@@ -1,0 +1,68 @@
+// B3 (§6.3, Appendix A): the C&B family on the Example 4.1 instance and on
+// widened variants (extra independent joins inflate the universal plan and
+// the 2^n backchase lattice). Counters: candidates examined, reformulations
+// found, universal-plan size. Plus the DESIGN.md ablation: Bag-C&B with the
+// key-based fast path on vs off (identical outputs, different latency).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "db/eval.h"
+#include "reformulation/candb.h"
+
+namespace sqleq {
+namespace {
+
+using bench::Example41Schema;
+using bench::Example41Sigma;
+using bench::Must;
+
+/// Q1 of Example 4.1 widened with `extra` independent u-joins.
+ConjunctiveQuery WidenedQ1(int extra) {
+  std::string text = "Q1(X) :- p(X, Y), t(X, Y, W), s(X, Z), r(X), u(X, U0)";
+  for (int i = 1; i <= extra; ++i) {
+    text += ", u(X, U" + std::to_string(i) + ")";
+  }
+  text += ".";
+  return Must(ParseQuery(text));
+}
+
+void RunCandB(benchmark::State& state, Semantics sem, bool fast_path) {
+  int extra = static_cast<int>(state.range(0));
+  ConjunctiveQuery q = WidenedQ1(extra);
+  Schema schema = Example41Schema();
+  DependencySet sigma = Example41Sigma();
+  CandBOptions options;
+  options.chase.key_based_fast_path = fast_path;
+  size_t candidates = 0, outputs = 0, plan = 0;
+  for (auto _ : state) {
+    CandBResult result = Must(ChaseAndBackchase(q, sigma, sem, schema, options));
+    candidates = result.candidates_examined;
+    outputs = result.reformulations.size();
+    plan = result.universal_plan.body().size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["body"] = static_cast<double>(q.body().size());
+  state.counters["plan_atoms"] = static_cast<double>(plan);
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.counters["outputs"] = static_cast<double>(outputs);
+}
+
+void BM_CandB_Set(benchmark::State& state) {
+  RunCandB(state, Semantics::kSet, true);
+}
+void BM_CandB_Bag(benchmark::State& state) {
+  RunCandB(state, Semantics::kBag, true);
+}
+void BM_CandB_BagSet(benchmark::State& state) {
+  RunCandB(state, Semantics::kBagSet, true);
+}
+void BM_CandB_Bag_NoFastPath(benchmark::State& state) {
+  RunCandB(state, Semantics::kBag, false);
+}
+BENCHMARK(BM_CandB_Set)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CandB_Bag)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CandB_BagSet)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CandB_Bag_NoFastPath)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sqleq

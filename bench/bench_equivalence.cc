@@ -1,0 +1,79 @@
+// B2 (§2.1, §2.3): latency of the three dependency-free equivalence tests
+// on growing chain and star queries. Set equivalence runs the NP-complete
+// containment search; bag equivalence runs the isomorphism matcher; bag-set
+// equivalence runs isomorphism on canonical representations. The shape to
+// see: all three are fast on these well-structured instances, with the set
+// test paying extra on the automorphism-rich stars.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "equivalence/bag_equivalence.h"
+#include "equivalence/bag_set_equivalence.h"
+#include "equivalence/containment.h"
+
+namespace sqleq {
+namespace {
+
+enum class TestKind { kSet, kBag, kBagSet };
+
+template <TestKind kind>
+void RunPair(benchmark::State& state, const ConjunctiveQuery& a,
+             const ConjunctiveQuery& b) {
+  bool verdict = false;
+  for (auto _ : state) {
+    if constexpr (kind == TestKind::kSet) {
+      verdict = SetEquivalent(a, b);
+    } else if constexpr (kind == TestKind::kBag) {
+      verdict = BagEquivalent(a, b);
+    } else {
+      verdict = BagSetEquivalent(a, b);
+    }
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.counters["n"] = static_cast<double>(state.range(0));
+  state.counters["equivalent"] = verdict ? 1 : 0;
+}
+
+void BM_SetEquivalence_Chain(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RunPair<TestKind::kSet>(state, bench::Chain(n, "X"), bench::Chain(n, "Y"));
+}
+void BM_BagEquivalence_Chain(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RunPair<TestKind::kBag>(state, bench::Chain(n, "X"), bench::Chain(n, "Y"));
+}
+void BM_BagSetEquivalence_Chain(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RunPair<TestKind::kBagSet>(state, bench::Chain(n, "X"), bench::Chain(n, "Y"));
+}
+BENCHMARK(BM_SetEquivalence_Chain)->DenseRange(2, 14, 2);
+BENCHMARK(BM_BagEquivalence_Chain)->DenseRange(2, 14, 2);
+BENCHMARK(BM_BagSetEquivalence_Chain)->DenseRange(2, 14, 2);
+
+void BM_SetEquivalence_Star(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RunPair<TestKind::kSet>(state, bench::Star(n, "Y"), bench::Star(n, "Z"));
+}
+void BM_BagEquivalence_Star(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RunPair<TestKind::kBag>(state, bench::Star(n, "Y"), bench::Star(n, "Z"));
+}
+BENCHMARK(BM_SetEquivalence_Star)->DenseRange(2, 14, 2);
+BENCHMARK(BM_BagEquivalence_Star)->DenseRange(2, 14, 2);
+
+// Negative instances: the bag test must reject quickly when per-predicate
+// counts differ; the set test must search before rejecting a chain vs a
+// chain with one extra edge.
+void BM_SetEquivalence_ChainNegative(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RunPair<TestKind::kSet>(state, bench::Chain(n, "X"), bench::Chain(n + 1, "Y"));
+}
+void BM_BagEquivalence_ChainNegative(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RunPair<TestKind::kBag>(state, bench::Chain(n, "X"), bench::Chain(n + 1, "Y"));
+}
+BENCHMARK(BM_SetEquivalence_ChainNegative)->DenseRange(2, 14, 2);
+BENCHMARK(BM_BagEquivalence_ChainNegative)->DenseRange(2, 14, 2);
+
+}  // namespace
+}  // namespace sqleq

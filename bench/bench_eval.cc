@@ -1,0 +1,66 @@
+// B4 (§2.1–2.2): throughput of the evaluation oracle under the three
+// semantics, vs database size and vs query size. The oracle is the
+// correctness backstop for every symbolic test, so its scaling matters for
+// the property suites.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "db/eval.h"
+#include "util/rng.h"
+
+namespace sqleq {
+namespace {
+
+using bench::Must;
+
+Database EdgeDatabase(int rows, int domain, int max_mult, uint64_t seed) {
+  Schema schema;
+  schema.Relation("e", 2);
+  Database db(schema);
+  Rng rng(seed);
+  for (int i = 0; i < rows; ++i) {
+    Tuple t{Term::Int(rng.UniformInt(0, domain - 1)),
+            Term::Int(rng.UniformInt(0, domain - 1))};
+    uint64_t mult = static_cast<uint64_t>(rng.UniformInt(1, max_mult));
+    Status s = db.Insert("e", t, mult);
+    (void)s;
+  }
+  return db;
+}
+
+void RunEval(benchmark::State& state, Semantics sem) {
+  int rows = static_cast<int>(state.range(0));
+  Database db = EdgeDatabase(rows, /*domain=*/32, /*max_mult=*/3, /*seed=*/7);
+  ConjunctiveQuery q = bench::Chain(3);
+  uint64_t total = 0;
+  for (auto _ : state) {
+    Bag out = Must(Evaluate(q, db, sem));
+    total = out.TotalSize();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rows"] = rows;
+  state.counters["answer_total"] = static_cast<double>(total);
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+
+void BM_Eval_Set(benchmark::State& state) { RunEval(state, Semantics::kSet); }
+void BM_Eval_Bag(benchmark::State& state) { RunEval(state, Semantics::kBag); }
+void BM_Eval_BagSet(benchmark::State& state) { RunEval(state, Semantics::kBagSet); }
+BENCHMARK(BM_Eval_Set)->RangeMultiplier(2)->Range(64, 512);
+BENCHMARK(BM_Eval_Bag)->RangeMultiplier(2)->Range(64, 256);
+BENCHMARK(BM_Eval_BagSet)->RangeMultiplier(2)->Range(64, 512);
+
+void BM_Eval_QuerySize(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Database db = EdgeDatabase(64, /*domain=*/32, /*max_mult=*/2, /*seed=*/11);
+  ConjunctiveQuery q = bench::Chain(n);
+  for (auto _ : state) {
+    Bag out = Must(Evaluate(q, db, Semantics::kBag));
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_Eval_QuerySize)->DenseRange(1, 5);
+
+}  // namespace
+}  // namespace sqleq

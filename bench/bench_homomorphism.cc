@@ -1,0 +1,33 @@
+// B8: homomorphism-search scaling — the inner loop of every chase step and
+// of the Chandra–Merlin containment test (§2.1, §2.4).
+#include <benchmark/benchmark.h>
+
+#include "chase/homomorphism.h"
+#include "ir/query.h"
+
+namespace sqleq {
+namespace {
+
+/// Chain query of length n: C(X0, Xn) :- e(X0,X1), ..., e(X{n-1},Xn).
+ConjunctiveQuery Chain(const std::string& name, int n) {
+  std::vector<Atom> body;
+  for (int i = 0; i < n; ++i) {
+    body.emplace_back("e", std::vector<Term>{Term::Var(name + std::to_string(i)),
+                                             Term::Var(name + std::to_string(i + 1))});
+  }
+  return ConjunctiveQuery::Make("C", {Term::Var(name + "0"), Term::Var(name + std::to_string(n))},
+                                std::move(body));
+}
+
+void BM_ChainSelfHomomorphism(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  ConjunctiveQuery from = Chain("X", n);
+  ConjunctiveQuery to = Chain("Y", n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HomomorphismExists(from.body(), to.body()));
+  }
+}
+BENCHMARK(BM_ChainSelfHomomorphism)->DenseRange(2, 14, 2);
+
+}  // namespace
+}  // namespace sqleq

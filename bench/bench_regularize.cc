@@ -1,0 +1,78 @@
+// B6 (§4.2.1): regularization cost vs head size. The paper sketches an
+// O(m² log m) algorithm; ours is union-find over shared existential
+// variables — near-linear, so the measured curve must stay at or below the
+// claimed shape. Two head shapes: fully disconnected (m components) and a
+// chain fully connected through existentials (1 component).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.h"
+#include "constraints/regularize.h"
+
+namespace sqleq {
+namespace {
+
+using bench::Must;
+
+/// p(X) → q1(X,Z1), ..., qm(X,Zm): every atom its own component.
+Tgd DisconnectedHead(int m) {
+  std::string text = "p(X) -> q1(X, Z1)";
+  for (int i = 2; i <= m; ++i) {
+    text += ", q" + std::to_string(i) + "(X, Z" + std::to_string(i) + ")";
+  }
+  text += ".";
+  return Must(ParseDependency(text))[0].tgd();
+}
+
+/// p(X) → q1(X,Z1), q2(Z1,Z2), ..., qm(Z{m-1},Zm): one chain component.
+Tgd ChainHead(int m) {
+  std::string text = "p(X) -> q1(X, Z1)";
+  for (int i = 2; i <= m; ++i) {
+    text += ", q" + std::to_string(i) + "(Z" + std::to_string(i - 1) + ", Z" +
+            std::to_string(i) + ")";
+  }
+  text += ".";
+  return Must(ParseDependency(text))[0].tgd();
+}
+
+void BM_Regularize_Disconnected(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  Tgd tgd = DisconnectedHead(m);
+  size_t pieces = 0;
+  for (auto _ : state) {
+    std::vector<Tgd> out = RegularizeTgd(tgd);
+    pieces = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["m"] = m;
+  state.counters["pieces"] = static_cast<double>(pieces);  // = m
+}
+BENCHMARK(BM_Regularize_Disconnected)->RangeMultiplier(2)->Range(2, 256);
+
+void BM_Regularize_Chain(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  Tgd tgd = ChainHead(m);
+  size_t pieces = 0;
+  for (auto _ : state) {
+    std::vector<Tgd> out = RegularizeTgd(tgd);
+    pieces = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["m"] = m;
+  state.counters["pieces"] = static_cast<double>(pieces);  // = 1
+}
+BENCHMARK(BM_Regularize_Chain)->RangeMultiplier(2)->Range(2, 256);
+
+void BM_IsRegularizedCheck(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  Tgd tgd = ChainHead(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsRegularized(tgd));
+  }
+  state.counters["m"] = m;
+}
+BENCHMARK(BM_IsRegularizedCheck)->RangeMultiplier(2)->Range(2, 256);
+
+}  // namespace
+}  // namespace sqleq

@@ -1,0 +1,120 @@
+// Shared fixtures for the sqleq benchmark suite: the Appendix H chase-
+// scaling family, chain/star query generators, and the Example 4.1 setting.
+#ifndef SQLEQ_BENCH_BENCH_UTIL_H_
+#define SQLEQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "constraints/builders.h"
+#include "constraints/dependency.h"
+#include "ir/parser.h"
+#include "ir/query.h"
+#include "ir/schema.h"
+
+namespace sqleq {
+namespace bench {
+
+template <typename T>
+T Must(Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench fixture failed: %s\n", r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+/// The Appendix H family: schema {p1..pm} (arity 2, set valued), tgds
+/// σ(1)_{i,j}: pi(X,Y) → ∃Z pj(Z,X) and σ(2)_{i,j}: pi(X,Y) → ∃W pj(Y,W)
+/// for all i < j, plus the two fds per relation that make every tgd
+/// key-based (Example H.2). Chase of Q(X,Y) :- p1(X,Y) grows exponentially
+/// in m under every semantics.
+struct AppendixHFamily {
+  Schema schema;
+  DependencySet sigma;
+  ConjunctiveQuery query;
+};
+
+inline AppendixHFamily MakeAppendixHFamily(int m) {
+  AppendixHFamily out{Schema(), {},
+                      Must(ParseQuery("Q(X, Y) :- p1(X, Y)."))};
+  for (int i = 1; i <= m; ++i) {
+    out.schema.Relation("p" + std::to_string(i), 2, /*set_valued=*/true);
+  }
+  for (int i = 1; i <= m; ++i) {
+    std::string pi = "p" + std::to_string(i);
+    for (int j = i + 1; j <= m; ++j) {
+      std::string pj = "p" + std::to_string(j);
+      for (Dependency& d : Must(ParseDependency(
+               pi + "(X, Y) -> " + pj + "(Z, X).",
+               "s1_" + std::to_string(i) + "_" + std::to_string(j)))) {
+        out.sigma.push_back(std::move(d));
+      }
+      for (Dependency& d : Must(ParseDependency(
+               pi + "(X, Y) -> " + pj + "(Y, W).",
+               "s2_" + std::to_string(i) + "_" + std::to_string(j)))) {
+        out.sigma.push_back(std::move(d));
+      }
+    }
+    // fds: each attribute determines the other (Example H.2).
+    for (Dependency& d : Must(ParseDependency(
+             pi + "(X, Y), " + pi + "(X, Z) -> Y = Z.", "fd1_" + std::to_string(i)))) {
+      out.sigma.push_back(std::move(d));
+    }
+    for (Dependency& d : Must(ParseDependency(
+             pi + "(Y, X), " + pi + "(Z, X) -> Y = Z.", "fd2_" + std::to_string(i)))) {
+      out.sigma.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+/// Chain query of length n over e/2: head (X0, Xn).
+inline ConjunctiveQuery Chain(int n, const std::string& prefix = "X") {
+  std::vector<Atom> body;
+  for (int i = 0; i < n; ++i) {
+    body.emplace_back("e", std::vector<Term>{Term::Var(prefix + std::to_string(i)),
+                                             Term::Var(prefix + std::to_string(i + 1))});
+  }
+  return ConjunctiveQuery::Make(
+      "C", {Term::Var(prefix + "0"), Term::Var(prefix + std::to_string(n))},
+      std::move(body));
+}
+
+/// Star query: center X joined to n rays e(X, Yi).
+inline ConjunctiveQuery Star(int n, const std::string& prefix = "Y") {
+  std::vector<Atom> body;
+  for (int i = 0; i < n; ++i) {
+    body.emplace_back("e", std::vector<Term>{Term::Var("X"),
+                                             Term::Var(prefix + std::to_string(i))});
+  }
+  return ConjunctiveQuery::Make("S", {Term::Var("X")}, std::move(body));
+}
+
+/// Example 4.1 fixtures (shared with the test suite).
+inline Schema Example41Schema() {
+  Schema schema;
+  schema.Relation("p", 2)
+      .Relation("r", 1)
+      .Relation("s", 2, /*set_valued=*/true)
+      .Relation("t", 3, /*set_valued=*/true)
+      .Relation("u", 2);
+  return schema;
+}
+
+inline DependencySet Example41Sigma() {
+  return Must(ParseSigma({
+      "p(X, Y) -> s(X, Z), t(X, V, W).",
+      "p(X, Y) -> t(X, Y, W).",
+      "p(X, Y) -> r(X).",
+      "p(X, Y) -> u(X, Z), t(X, Y, W).",
+      "s(X, Y), s(X, Z) -> Y = Z.",
+      "t(X, Y, W1), t(X, Y, W2) -> W1 = W2.",
+  }));
+}
+
+}  // namespace bench
+}  // namespace sqleq
+
+#endif  // SQLEQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,68 @@
+// Chase steps with tgds and egds (§2.4).
+//
+// Tgd σ: φ → ∃V̄ ψ applies to Q(X̄) :- ξ when some homomorphism h: φ → ξ
+// cannot extend to φ∧ψ → ξ; the step conjoins ψ(h(Ū), V̄) to the body with
+// the existential variables V̄ freshly renamed.
+//
+// Egd e: φ → U1 = U2 applies when some h: φ → ξ has h(U1) ≠ h(U2) with at
+// least one side a variable; the step replaces that variable throughout Q.
+// Two distinct constants make the chase FAIL (Q is unsatisfiable on
+// databases satisfying the egd).
+#ifndef SQLEQ_CHASE_CHASE_STEP_H_
+#define SQLEQ_CHASE_CHASE_STEP_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraints/dependency.h"
+#include "ir/query.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+/// Enumerates the homomorphisms h: body(σ) → body(q) under which the tgd
+/// chase is applicable, i.e. h does not extend to the head. Deterministic
+/// order.
+std::vector<TermMap> FindApplicableTgdHomomorphisms(const ConjunctiveQuery& q,
+                                                    const Tgd& tgd);
+
+/// First applicable homomorphism, or nullopt.
+std::optional<TermMap> FindApplicableTgdHomomorphism(const ConjunctiveQuery& q,
+                                                     const Tgd& tgd);
+
+/// The atoms a tgd step with homomorphism `h` conjoins to the body: head
+/// atoms under h with existential variables freshly renamed. The fresh
+/// renaming used is written to `out_fresh` when non-null.
+std::vector<Atom> InstantiateTgdHead(const Tgd& tgd, const TermMap& h,
+                                     TermMap* out_fresh = nullptr);
+
+/// Performs the tgd chase step Q ⇒σ Q′ for a given applicable `h`. Atoms
+/// are appended; no duplicate elimination (semantics-specific normalization
+/// is the caller's business — see sound_chase).
+ConjunctiveQuery ApplyTgdStep(const ConjunctiveQuery& q, const Tgd& tgd, const TermMap& h);
+
+/// One egd application opportunity.
+struct EgdApplication {
+  TermMap h;
+  Term from;  ///< variable to replace (h of one equation side)
+  Term to;    ///< replacement term
+  bool failure = false;  ///< h equates two distinct constants
+};
+
+/// Finds an h making the egd applicable (h(U1) ≠ h(U2)). If every such h
+/// equates two distinct constants, the first failing application is returned
+/// with failure=true. Returns nullopt when the egd is satisfied.
+std::optional<EgdApplication> FindEgdApplication(const ConjunctiveQuery& q, const Egd& egd);
+
+/// Performs the egd chase step: replaces `app.from` by `app.to` everywhere
+/// in Q (head and body). Requires !app.failure.
+ConjunctiveQuery ApplyEgdStep(const ConjunctiveQuery& q, const EgdApplication& app);
+
+/// True iff some chase step with `dep` applies to `q` (for an egd, a failing
+/// application counts as applicable).
+bool IsApplicable(const ConjunctiveQuery& q, const Dependency& dep);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_CHASE_CHASE_STEP_H_

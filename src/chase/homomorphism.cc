@@ -1,0 +1,179 @@
+#include "chase/homomorphism.h"
+
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace sqleq {
+namespace {
+
+/// Backtracking search for homomorphisms. Source atoms are matched
+/// most-constrained-first (fewest same-predicate targets, then most bound
+/// arguments), which keeps the NP-complete search fast on chase-generated
+/// conjunctions.
+class HomomorphismSearch {
+ public:
+  HomomorphismSearch(const std::vector<Atom>& from, const std::vector<Atom>& to,
+                     const TermMap& fixed)
+      : from_(from), to_(to), assignment_(fixed) {
+    for (const Atom& a : to_) targets_per_pred_[a.predicate()].push_back(&a);
+  }
+
+  /// Returns true if enumeration ran to exhaustion (fn never returned false).
+  bool Run(const std::function<bool(const TermMap&)>& fn) {
+    used_.assign(from_.size(), false);
+    fn_ = &fn;
+    return Recurse(0);
+  }
+
+ private:
+  size_t PickNextAtom() const {
+    size_t best = from_.size();
+    // Lexicographic score: (candidate targets, -bound args). Lower is better.
+    long best_score = -1;
+    for (size_t i = 0; i < from_.size(); ++i) {
+      if (used_[i]) continue;
+      auto it = targets_per_pred_.find(from_[i].predicate());
+      long n_targets = it == targets_per_pred_.end() ? 0 : static_cast<long>(it->second.size());
+      long bound = 0;
+      for (Term t : from_[i].args()) {
+        if (t.IsConstant() || assignment_.count(t) > 0) ++bound;
+      }
+      long score = n_targets * 64 - bound;
+      if (best == from_.size() || score < best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  bool Recurse(size_t depth) {
+    if (depth == from_.size()) {
+      // De-duplicate complete maps (different atom targets can induce the
+      // same term map).
+      std::string key = MapKey();
+      if (!emitted_.insert(std::move(key)).second) return true;
+      return (*fn_)(assignment_);
+    }
+    size_t idx = PickNextAtom();
+    used_[idx] = true;
+    const Atom& atom = from_[idx];
+    bool keep_going = true;
+    auto it = targets_per_pred_.find(atom.predicate());
+    if (it != targets_per_pred_.end()) {
+      for (const Atom* target : it->second) {
+        if (target->arity() != atom.arity()) continue;
+        std::vector<Term> newly_bound;
+        bool match = true;
+        for (size_t i = 0; i < atom.arity(); ++i) {
+          Term arg = atom.args()[i];
+          Term val = target->args()[i];
+          if (arg.IsConstant()) {
+            if (arg != val) {
+              match = false;
+              break;
+            }
+            continue;
+          }
+          auto bound = assignment_.find(arg);
+          if (bound != assignment_.end()) {
+            if (bound->second != val) {
+              match = false;
+              break;
+            }
+          } else {
+            assignment_.emplace(arg, val);
+            newly_bound.push_back(arg);
+          }
+        }
+        if (match) keep_going = Recurse(depth + 1);
+        for (Term v : newly_bound) assignment_.erase(v);
+        if (!keep_going) break;
+      }
+    }
+    used_[idx] = false;
+    return keep_going;
+  }
+
+  std::string MapKey() const {
+    // Canonical rendering of the current assignment restricted to the
+    // variables of `from_`.
+    std::set<std::string> entries;
+    for (const Atom& a : from_) {
+      for (Term t : a.args()) {
+        if (!t.IsVariable()) continue;
+        auto it = assignment_.find(t);
+        if (it != assignment_.end()) {
+          entries.insert(t.ToString() + ">" + it->second.ToString());
+        }
+      }
+    }
+    std::string out;
+    for (const std::string& e : entries) {
+      out += e;
+      out += '|';
+    }
+    return out;
+  }
+
+  const std::vector<Atom>& from_;
+  const std::vector<Atom>& to_;
+  TermMap assignment_;
+  std::vector<bool> used_;
+  std::unordered_map<std::string, std::vector<const Atom*>> targets_per_pred_;
+  std::set<std::string> emitted_;
+  const std::function<bool(const TermMap&)>* fn_ = nullptr;
+};
+
+}  // namespace
+
+void ForEachHomomorphism(const std::vector<Atom>& from, const std::vector<Atom>& to,
+                         const TermMap& fixed,
+                         const std::function<bool(const TermMap&)>& fn) {
+  HomomorphismSearch search(from, to, fixed);
+  search.Run(fn);
+}
+
+std::optional<TermMap> FindHomomorphism(const std::vector<Atom>& from,
+                                        const std::vector<Atom>& to,
+                                        const TermMap& fixed) {
+  std::optional<TermMap> found;
+  ForEachHomomorphism(from, to, fixed, [&found](const TermMap& h) {
+    found = h;
+    return false;
+  });
+  return found;
+}
+
+bool HomomorphismExists(const std::vector<Atom>& from, const std::vector<Atom>& to,
+                        const TermMap& fixed) {
+  return FindHomomorphism(from, to, fixed).has_value();
+}
+
+std::optional<TermMap> FindContainmentMapping(const ConjunctiveQuery& from,
+                                              const ConjunctiveQuery& to) {
+  if (from.head().size() != to.head().size()) return std::nullopt;
+  TermMap fixed;
+  for (size_t i = 0; i < from.head().size(); ++i) {
+    Term src = from.head()[i];
+    Term dst = to.head()[i];
+    if (src.IsConstant()) {
+      if (src != dst) return std::nullopt;
+      continue;
+    }
+    auto it = fixed.find(src);
+    if (it != fixed.end()) {
+      if (it->second != dst) return std::nullopt;
+    } else {
+      fixed.emplace(src, dst);
+    }
+  }
+  return FindHomomorphism(from.body(), to.body(), fixed);
+}
+
+bool ContainmentMappingExists(const ConjunctiveQuery& from, const ConjunctiveQuery& to) {
+  return FindContainmentMapping(from, to).has_value();
+}
+
+}  // namespace sqleq

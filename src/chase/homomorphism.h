@@ -1,0 +1,42 @@
+// Homomorphisms between conjunctions of atoms and containment mappings
+// between CQ queries (§2.1) — the engine under chase steps, applicability
+// tests, and the Chandra–Merlin containment test.
+#ifndef SQLEQ_CHASE_HOMOMORPHISM_H_
+#define SQLEQ_CHASE_HOMOMORPHISM_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ir/query.h"
+
+namespace sqleq {
+
+/// Enumerates homomorphisms h from the conjunction `from` to the conjunction
+/// `to`: h maps each variable of `from` to a term of `to` (or to a term
+/// pre-bound in `fixed`), fixes constants, and sends every atom of `from` to
+/// some atom of `to`. `fn` is invoked once per homomorphism (duplicates may
+/// arise only from distinct atom targets yielding equal maps — they are
+/// de-duplicated); return false from `fn` to stop.
+void ForEachHomomorphism(const std::vector<Atom>& from, const std::vector<Atom>& to,
+                         const TermMap& fixed,
+                         const std::function<bool(const TermMap&)>& fn);
+
+/// First homomorphism found, or nullopt. Deterministic for fixed inputs.
+std::optional<TermMap> FindHomomorphism(const std::vector<Atom>& from,
+                                        const std::vector<Atom>& to,
+                                        const TermMap& fixed = {});
+
+bool HomomorphismExists(const std::vector<Atom>& from, const std::vector<Atom>& to,
+                        const TermMap& fixed = {});
+
+/// A containment mapping from Q1 to Q2 (§2.1): a homomorphism from Q1's body
+/// to Q2's body with h(head of Q1) = head of Q2, position-wise.
+std::optional<TermMap> FindContainmentMapping(const ConjunctiveQuery& from,
+                                              const ConjunctiveQuery& to);
+
+bool ContainmentMappingExists(const ConjunctiveQuery& from, const ConjunctiveQuery& to);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_CHASE_HOMOMORPHISM_H_

@@ -1,0 +1,97 @@
+#include "chase/set_chase.h"
+
+#include "chase/chase_step.h"
+#include "constraints/weak_acyclicity.h"
+
+namespace sqleq {
+namespace {
+
+/// Appends only head-instance atoms not already present: under set
+/// semantics duplicate atoms are redundant, and eager de-duplication keeps
+/// chase results small.
+ConjunctiveQuery ApplyTgdStepDeduped(const ConjunctiveQuery& q, const Tgd& tgd,
+                                     const TermMap& h) {
+  std::vector<Atom> body = q.body();
+  for (Atom& a : InstantiateTgdHead(tgd, h)) {
+    bool present = false;
+    for (const Atom& existing : body) {
+      if (existing == a) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) body.push_back(std::move(a));
+  }
+  return q.WithBody(std::move(body));
+}
+
+}  // namespace
+
+Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& sigma,
+                              const ChaseOptions& options) {
+  ChaseOutcome out{q.CanonicalRepresentation(), {}, false};
+  for (size_t step = 0; step < options.max_steps; ++step) {
+    bool applied = false;
+    // Egd pass.
+    if (options.egds_first) {
+      for (const Dependency& dep : sigma) {
+        if (!dep.IsEgd()) continue;
+        std::optional<EgdApplication> app = FindEgdApplication(out.result, dep.egd());
+        if (!app.has_value()) continue;
+        if (app->failure) {
+          out.failed = true;
+          out.trace.push_back({dep.label(), false, "FAIL: " + app->from.ToString() +
+                                                       " = " + app->to.ToString()});
+          return out;
+        }
+        out.result = ApplyEgdStep(out.result, *app).CanonicalRepresentation();
+        out.trace.push_back({dep.label(), false, out.result.ToString()});
+        applied = true;
+        break;
+      }
+      if (applied) continue;
+    }
+    for (const Dependency& dep : sigma) {
+      if (dep.IsTgd()) {
+        std::optional<TermMap> h = FindApplicableTgdHomomorphism(out.result, dep.tgd());
+        if (!h.has_value()) continue;
+        out.result = ApplyTgdStepDeduped(out.result, dep.tgd(), *h);
+        out.trace.push_back({dep.label(), true, out.result.ToString()});
+        applied = true;
+        break;
+      }
+      if (!options.egds_first) {
+        std::optional<EgdApplication> app = FindEgdApplication(out.result, dep.egd());
+        if (!app.has_value()) continue;
+        if (app->failure) {
+          out.failed = true;
+          out.trace.push_back({dep.label(), false, "FAIL: " + app->from.ToString() +
+                                                       " = " + app->to.ToString()});
+          return out;
+        }
+        out.result = ApplyEgdStep(out.result, *app).CanonicalRepresentation();
+        out.trace.push_back({dep.label(), false, out.result.ToString()});
+        applied = true;
+        break;
+      }
+    }
+    if (!applied) return out;  // D(result) |= Σ — terminal.
+  }
+  std::string message =
+      "set chase exceeded " + std::to_string(options.max_steps) + " steps; ";
+  message += IsWeaklyAcyclic(sigma)
+                 ? "Σ is weakly acyclic, so raising ChaseOptions::max_steps will "
+                   "terminate (Thm H.1)"
+                 : "Σ is NOT weakly acyclic — the chase may diverge";
+  return Status::ResourceExhausted(std::move(message));
+}
+
+Result<bool> SetChaseTerminates(const ConjunctiveQuery& q, const DependencySet& sigma,
+                                const ChaseOptions& options) {
+  Result<ChaseOutcome> r = SetChase(q, sigma, options);
+  if (r.ok()) return true;
+  if (r.status().code() == StatusCode::kResourceExhausted) return false;
+  return r.status();
+}
+
+}  // namespace sqleq

@@ -1,0 +1,65 @@
+// Set-semantics chase to termination (§2.4): repeatedly apply chase steps
+// until the canonical database of the current query satisfies Σ (no step is
+// applicable). Terminates for weakly acyclic Σ; a step budget guards
+// non-terminating inputs.
+#ifndef SQLEQ_CHASE_SET_CHASE_H_
+#define SQLEQ_CHASE_SET_CHASE_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/dependency.h"
+#include "ir/query.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+/// Knobs shared by set chase and sound chase.
+struct ChaseOptions {
+  /// Hard cap on chase steps; exceeded → ResourceExhausted. The paper's
+  /// algorithms are conditioned on set-chase termination, so a generous
+  /// default suffices for weakly acyclic Σ.
+  size_t max_steps = 5000;
+  /// Apply egds before tgds at each step (the conventional strategy; chase
+  /// results are equivalent either way, Thm 5.1 / [10]).
+  bool egds_first = true;
+  /// Sound chase only: decide assignment-fixing via the cheap key-based test
+  /// (Def 5.1) first and run the full Def 4.3 associated-test-query chase
+  /// only when that fails. Key-based ⇒ assignment-fixing (§5.1), so this is
+  /// a pure fast path; disable to ablate (bench_candb measures the cost).
+  bool key_based_fast_path = true;
+};
+
+/// One entry of a chase trace.
+struct ChaseStepRecord {
+  std::string dep_label;
+  bool is_tgd = false;
+  /// Query after the step.
+  std::string result;
+};
+
+/// Outcome of a chase run.
+struct ChaseOutcome {
+  ConjunctiveQuery result;
+  std::vector<ChaseStepRecord> trace;
+  /// True when an egd equated two distinct constants: Q returns the empty
+  /// answer on every database satisfying Σ, and `result` is the query at
+  /// failure time.
+  bool failed = false;
+};
+
+/// Computes (Q)Σ,S. Returns ResourceExhausted if `options.max_steps` is hit
+/// (chase may not terminate for non-weakly-acyclic Σ).
+Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& sigma,
+                              const ChaseOptions& options = {});
+
+/// True iff set chase of `q` under Σ terminates within the step budget.
+/// (Undecidable in general; this is the practical proxy the library uses for
+/// the paper's "whenever set-chase on the inputs terminates" side
+/// conditions.)
+Result<bool> SetChaseTerminates(const ConjunctiveQuery& q, const DependencySet& sigma,
+                                const ChaseOptions& options = {});
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_CHASE_SET_CHASE_H_

@@ -1,0 +1,185 @@
+#include "chase/sound_chase.h"
+
+#include <optional>
+#include <unordered_set>
+
+#include "chase/assignment_fixing.h"
+#include "chase/chase_step.h"
+#include "constraints/regularize.h"
+
+namespace sqleq {
+namespace {
+
+/// Drops duplicate atoms; `droppable` decides per-atom whether duplicates of
+/// it may be removed.
+template <typename Pred>
+ConjunctiveQuery DropDuplicates(const ConjunctiveQuery& q, Pred droppable) {
+  std::vector<Atom> body;
+  std::unordered_set<Atom, AtomHash> seen;
+  for (const Atom& a : q.body()) {
+    if (droppable(a) && !seen.insert(a).second) continue;
+    body.push_back(a);
+  }
+  return q.WithBody(std::move(body));
+}
+
+/// The atoms a tgd step with homomorphism `h` would genuinely add to `q`:
+/// instantiated head atoms minus exact duplicates of existing body atoms
+/// (re-adding an existing atom is a no-op under S/BS and is the Thm 4.1(2)
+/// duplicate-drop under B when the relation is set valued).
+std::vector<Atom> GenuinelyAddedAtoms(const ConjunctiveQuery& q, const Tgd& tgd,
+                                      const TermMap& h, Semantics semantics,
+                                      const Schema& schema, bool* out_unsound_dup) {
+  *out_unsound_dup = false;
+  std::unordered_set<Atom, AtomHash> existing(q.body().begin(), q.body().end());
+  std::vector<Atom> added;
+  for (Atom& a : InstantiateTgdHead(tgd, h)) {
+    if (existing.count(a) > 0) {
+      // Exact duplicate. Dropping it is sound under S/BS always and under B
+      // only for set-valued relations.
+      if (semantics == Semantics::kBag && !schema.IsSetValued(a.predicate())) {
+        *out_unsound_dup = true;
+      }
+      continue;
+    }
+    added.push_back(std::move(a));
+  }
+  return added;
+}
+
+}  // namespace
+
+ConjunctiveQuery NormalizeForBag(const ConjunctiveQuery& q, const Schema& schema) {
+  return DropDuplicates(
+      q, [&schema](const Atom& a) { return schema.IsSetValued(a.predicate()); });
+}
+
+Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& sigma,
+                                Semantics semantics, const Schema& schema,
+                                const ChaseOptions& options) {
+  DependencySet regular = RegularizeSigma(sigma);
+  if (semantics == Semantics::kSet) return SetChase(q, regular, options);
+
+  // Precondition of Thms 4.1/4.3 and Def 4.3: (Q)Σ,S exists. Fail fast.
+  {
+    Result<ChaseOutcome> probe = SetChase(q, regular, options);
+    if (!probe.ok()) return probe.status();
+  }
+
+  auto normalize = [&](const ConjunctiveQuery& query) {
+    if (semantics == Semantics::kBag) return NormalizeForBag(query, schema);
+    // Under BS duplicate atoms never affect semantics (Thm 2.1(2)).
+    return query.CanonicalRepresentation();
+  };
+
+  ChaseOutcome out{normalize(q), {}, false};
+  for (size_t step = 0; step < options.max_steps; ++step) {
+    bool applied = false;
+
+    // Egd pass: egd steps are always sound (Thm 4.1(2) / 4.3(2)).
+    for (const Dependency& dep : regular) {
+      if (!dep.IsEgd()) continue;
+      std::optional<EgdApplication> app = FindEgdApplication(out.result, dep.egd());
+      if (!app.has_value()) continue;
+      if (app->failure) {
+        out.failed = true;
+        out.trace.push_back({dep.label(), false,
+                             "FAIL: " + app->from.ToString() + " = " + app->to.ToString()});
+        return out;
+      }
+      out.result = normalize(ApplyEgdStep(out.result, *app));
+      out.trace.push_back({dep.label(), false, out.result.ToString()});
+      applied = true;
+      break;
+    }
+    if (applied) continue;
+
+    // Tgd pass: only sound steps (Thm 4.1(1) / 4.3(1)).
+    for (const Dependency& dep : regular) {
+      if (!dep.IsTgd()) continue;
+      const Tgd& tgd = dep.tgd();
+      for (const TermMap& h : FindApplicableTgdHomomorphisms(out.result, tgd)) {
+        bool unsound_dup = false;
+        std::vector<Atom> added =
+            GenuinelyAddedAtoms(out.result, tgd, h, semantics, schema, &unsound_dup);
+        if (unsound_dup) continue;
+        if (added.empty()) continue;  // cannot happen for applicable h; guard anyway
+        if (semantics == Semantics::kBag) {
+          bool all_set_valued = true;
+          for (const Atom& a : added) {
+            if (!schema.IsSetValued(a.predicate())) {
+              all_set_valued = false;
+              break;
+            }
+          }
+          if (!all_set_valued) continue;
+        }
+        // Key-based ⇒ assignment-fixing (§5.1): try the cheap test first.
+        bool fixing = options.key_based_fast_path &&
+                      IsKeyBased(tgd, regular, schema,
+                                 /*require_set_valued=*/semantics == Semantics::kBag);
+        if (!fixing) {
+          SQLEQ_ASSIGN_OR_RETURN(
+              fixing, IsAssignmentFixing(out.result, tgd, h, regular, options));
+        }
+        if (!fixing) continue;
+        std::vector<Atom> body = out.result.body();
+        for (Atom& a : added) body.push_back(std::move(a));
+        out.result = normalize(out.result.WithBody(std::move(body)));
+        out.trace.push_back({dep.label(), true, out.result.ToString()});
+        applied = true;
+        break;
+      }
+      if (applied) break;
+    }
+    if (!applied) return out;  // no sound step applies — terminal.
+  }
+  return Status::ResourceExhausted("sound chase exceeded " +
+                                   std::to_string(options.max_steps) + " steps");
+}
+
+Result<StepAvailability> ClassifyStep(const ConjunctiveQuery& q, const Dependency& dep,
+                                      const DependencySet& sigma, Semantics semantics,
+                                      const Schema& schema, const ChaseOptions& options) {
+  DependencySet regular = RegularizeSigma(sigma);
+  if (dep.IsEgd()) {
+    std::optional<EgdApplication> app = FindEgdApplication(q, dep.egd());
+    if (!app.has_value()) return StepAvailability::kNotApplicable;
+    return StepAvailability::kSoundApplicable;  // egd steps are always sound
+  }
+  // A non-regularized tgd is classified through its regularized set: it is
+  // (un)soundly applicable when some piece is.
+  std::vector<Tgd> pieces = RegularizeTgd(dep.tgd());
+  bool any_applicable = false;
+  for (const Tgd& tgd : pieces) {
+    for (const TermMap& h : FindApplicableTgdHomomorphisms(q, tgd)) {
+      any_applicable = true;
+      if (semantics == Semantics::kSet) return StepAvailability::kSoundApplicable;
+      bool unsound_dup = false;
+      std::vector<Atom> added =
+          GenuinelyAddedAtoms(q, tgd, h, semantics, schema, &unsound_dup);
+      if (unsound_dup || added.empty()) continue;
+      if (semantics == Semantics::kBag) {
+        bool all_set_valued = true;
+        for (const Atom& a : added) {
+          if (!schema.IsSetValued(a.predicate())) {
+            all_set_valued = false;
+            break;
+          }
+        }
+        if (!all_set_valued) continue;
+      }
+      bool fixing = options.key_based_fast_path &&
+                    IsKeyBased(tgd, regular, schema,
+                               /*require_set_valued=*/semantics == Semantics::kBag);
+      if (!fixing) {
+        SQLEQ_ASSIGN_OR_RETURN(fixing, IsAssignmentFixing(q, tgd, h, regular, options));
+      }
+      if (fixing) return StepAvailability::kSoundApplicable;
+    }
+  }
+  return any_applicable ? StepAvailability::kUnsoundOnly
+                        : StepAvailability::kNotApplicable;
+}
+
+}  // namespace sqleq

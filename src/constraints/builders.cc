@@ -1,0 +1,105 @@
+#include "constraints/builders.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sqleq {
+
+Result<std::vector<Dependency>> MakeKeyEgds(const std::string& relation, size_t arity,
+                                            const std::vector<size_t>& key_positions,
+                                            const std::string& label_prefix) {
+  if (key_positions.empty()) {
+    return Status::InvalidArgument("key of '" + relation + "' may not be empty");
+  }
+  std::set<size_t> key(key_positions.begin(), key_positions.end());
+  for (size_t p : key) {
+    if (p >= arity) {
+      return Status::InvalidArgument("key position " + std::to_string(p) +
+                                     " out of range for arity " + std::to_string(arity));
+    }
+  }
+  std::vector<Dependency> out;
+  for (size_t dep_pos = 0; dep_pos < arity; ++dep_pos) {
+    if (key.count(dep_pos) > 0) continue;
+    std::vector<Term> args1, args2;
+    for (size_t i = 0; i < arity; ++i) {
+      if (key.count(i) > 0) {
+        Term shared = Term::Var("K" + std::to_string(i + 1));
+        args1.push_back(shared);
+        args2.push_back(shared);
+      } else {
+        args1.push_back(Term::Var("A" + std::to_string(i + 1)));
+        args2.push_back(Term::Var("B" + std::to_string(i + 1)));
+      }
+    }
+    SQLEQ_ASSIGN_OR_RETURN(
+        Egd egd, Egd::Create({Atom(relation, args1), Atom(relation, args2)},
+                             args1[dep_pos], args2[dep_pos]));
+    std::string label = label_prefix;
+    if (!label.empty()) label += "_" + std::to_string(dep_pos);
+    out.push_back(Dependency::FromEgd(std::move(egd), std::move(label)));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("key of '" + relation +
+                                   "' covers all attributes; no egd needed");
+  }
+  return out;
+}
+
+Result<Dependency> MakeInclusionDependency(const std::string& src, size_t src_arity,
+                                           const std::vector<size_t>& src_positions,
+                                           const std::string& dst, size_t dst_arity,
+                                           const std::vector<size_t>& dst_positions,
+                                           const std::string& label) {
+  if (src_positions.size() != dst_positions.size() || src_positions.empty()) {
+    return Status::InvalidArgument(
+        "inclusion dependency requires matching nonempty position lists");
+  }
+  for (size_t p : src_positions) {
+    if (p >= src_arity) {
+      return Status::InvalidArgument("source position out of range");
+    }
+  }
+  for (size_t p : dst_positions) {
+    if (p >= dst_arity) {
+      return Status::InvalidArgument("destination position out of range");
+    }
+  }
+  std::vector<Term> src_args;
+  for (size_t i = 0; i < src_arity; ++i) src_args.push_back(Term::Var("S" + std::to_string(i + 1)));
+  std::vector<Term> dst_args;
+  for (size_t i = 0; i < dst_arity; ++i) dst_args.push_back(Term::Var("D" + std::to_string(i + 1)));
+  for (size_t k = 0; k < src_positions.size(); ++k) {
+    dst_args[dst_positions[k]] = src_args[src_positions[k]];
+  }
+  SQLEQ_ASSIGN_OR_RETURN(Tgd tgd, Tgd::Create({Atom(src, std::move(src_args))},
+                                              {Atom(dst, std::move(dst_args))}));
+  return Dependency::FromTgd(std::move(tgd), label);
+}
+
+Result<Dependency> MakeForeignKey(const std::string& src, size_t src_arity,
+                                  const std::vector<size_t>& src_positions,
+                                  const std::string& dst, size_t dst_arity,
+                                  const std::vector<size_t>& dst_positions,
+                                  const std::string& label) {
+  return MakeInclusionDependency(src, src_arity, src_positions, dst, dst_arity,
+                                 dst_positions, label);
+}
+
+Result<DependencySet> KeyEgdsFromSchema(const Schema& schema) {
+  DependencySet out;
+  for (const RelationInfo& info : schema.Relations()) {
+    for (size_t k = 0; k < info.declared_keys.size(); ++k) {
+      // A key covering all attributes yields no egd; skip silently.
+      if (info.declared_keys[k].size() == info.arity) continue;
+      SQLEQ_ASSIGN_OR_RETURN(
+          std::vector<Dependency> egds,
+          MakeKeyEgds(info.name, info.arity, info.declared_keys[k],
+                      "key_" + info.name + (k == 0 ? "" : "_" + std::to_string(k + 1))));
+      for (Dependency& d : egds) out.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+}  // namespace sqleq

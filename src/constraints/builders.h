@@ -1,0 +1,44 @@
+// Convenience constructors for the dependency shapes that dominate practice:
+// key fds, inclusion dependencies, and foreign keys.
+#ifndef SQLEQ_CONSTRAINTS_BUILDERS_H_
+#define SQLEQ_CONSTRAINTS_BUILDERS_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/dependency.h"
+#include "ir/schema.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+/// Egds declaring `key_positions` a superkey of `relation` (arity `arity`):
+/// one fd σ(K|A) per attribute A outside the key (App. B notation).
+Result<std::vector<Dependency>> MakeKeyEgds(const std::string& relation, size_t arity,
+                                            const std::vector<size_t>& key_positions,
+                                            const std::string& label_prefix = "");
+
+/// An inclusion dependency: π_{src_positions}(src) ⊆ π_{dst_positions}(dst),
+/// as a single-atom-per-side tgd with existential variables for the
+/// non-referenced dst attributes.
+Result<Dependency> MakeInclusionDependency(const std::string& src, size_t src_arity,
+                                           const std::vector<size_t>& src_positions,
+                                           const std::string& dst, size_t dst_arity,
+                                           const std::vector<size_t>& dst_positions,
+                                           const std::string& label = "");
+
+/// Foreign key src(src_positions) REFERENCES dst(dst_positions): the
+/// inclusion dependency above. (SQL additionally requires dst_positions to
+/// be a key of dst; pair with MakeKeyEgds.)
+Result<Dependency> MakeForeignKey(const std::string& src, size_t src_arity,
+                                  const std::vector<size_t>& src_positions,
+                                  const std::string& dst, size_t dst_arity,
+                                  const std::vector<size_t>& dst_positions,
+                                  const std::string& label = "");
+
+/// All key egds implied by a schema's declared keys.
+Result<DependencySet> KeyEgdsFromSchema(const Schema& schema);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_CONSTRAINTS_BUILDERS_H_

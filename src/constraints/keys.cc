@@ -1,0 +1,164 @@
+#include "constraints/keys.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+
+namespace sqleq {
+
+std::string Fd::ToString() const {
+  std::string out = relation + ": {";
+  bool first = true;
+  for (size_t p : lhs) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(p);
+  }
+  out += "} -> " + std::to_string(rhs);
+  return out;
+}
+
+std::optional<Fd> ExtractFd(const Egd& egd) {
+  if (egd.body().size() != 2) return std::nullopt;
+  const Atom& a = egd.body()[0];
+  const Atom& b = egd.body()[1];
+  if (a.predicate() != b.predicate() || a.arity() != b.arity()) return std::nullopt;
+  size_t n = a.arity();
+
+  // All arguments must be variables, and within each atom linear (no repeats).
+  std::unordered_set<Term, TermHash> seen_a, seen_b;
+  for (size_t i = 0; i < n; ++i) {
+    if (!a.args()[i].IsVariable() || !b.args()[i].IsVariable()) return std::nullopt;
+    if (!seen_a.insert(a.args()[i]).second) return std::nullopt;
+    if (!seen_b.insert(b.args()[i]).second) return std::nullopt;
+  }
+
+  std::set<size_t> shared;
+  for (size_t i = 0; i < n; ++i) {
+    if (a.args()[i] == b.args()[i]) {
+      shared.insert(i);
+    } else {
+      // Non-shared positions must use variables private to their atom:
+      // a cross-position share would encode a different constraint.
+      if (seen_b.count(a.args()[i]) > 0 || seen_a.count(b.args()[i]) > 0) {
+        return std::nullopt;
+      }
+    }
+  }
+  if (shared.empty() || shared.size() == n) return std::nullopt;
+
+  // Conclusion: equates the two atoms' variables at one non-shared position.
+  for (size_t i = 0; i < n; ++i) {
+    if (shared.count(i) > 0) continue;
+    bool forward = egd.left() == a.args()[i] && egd.right() == b.args()[i];
+    bool backward = egd.left() == b.args()[i] && egd.right() == a.args()[i];
+    if (forward || backward) {
+      Fd fd;
+      fd.relation = a.predicate();
+      fd.lhs = shared;
+      fd.rhs = i;
+      return fd;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Fd> ExtractFds(const DependencySet& sigma) {
+  std::vector<Fd> out;
+  for (const Dependency& dep : sigma) {
+    if (!dep.IsEgd()) continue;
+    std::optional<Fd> fd = ExtractFd(dep.egd());
+    if (fd.has_value()) out.push_back(*fd);
+  }
+  return out;
+}
+
+std::set<size_t> AttributeClosure(const std::string& relation,
+                                  const std::set<size_t>& attrs,
+                                  const std::vector<Fd>& fds) {
+  std::set<size_t> closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : fds) {
+      if (fd.relation != relation) continue;
+      if (closure.count(fd.rhs) > 0) continue;
+      bool all_in = true;
+      for (size_t p : fd.lhs) {
+        if (closure.count(p) == 0) {
+          all_in = false;
+          break;
+        }
+      }
+      if (all_in) {
+        closure.insert(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool ImpliesFd(const std::vector<Fd>& fds, const Fd& candidate) {
+  std::set<size_t> closure = AttributeClosure(candidate.relation, candidate.lhs, fds);
+  return closure.count(candidate.rhs) > 0;
+}
+
+bool IsSuperkey(const std::string& relation, size_t arity, const std::set<size_t>& attrs,
+                const std::vector<Fd>& fds) {
+  std::set<size_t> closure = AttributeClosure(relation, attrs, fds);
+  for (size_t i = 0; i < arity; ++i) {
+    if (closure.count(i) == 0) return false;
+  }
+  return true;
+}
+
+bool IsKey(const std::string& relation, size_t arity, const std::set<size_t>& attrs,
+           const std::vector<Fd>& fds) {
+  if (attrs.empty()) return false;
+  if (!IsSuperkey(relation, arity, attrs, fds)) return false;
+  // Every proper subset obtained by removing one attribute must fail; by
+  // monotonicity of closure this covers all proper subsets.
+  for (size_t drop : attrs) {
+    std::set<size_t> smaller = attrs;
+    smaller.erase(drop);
+    if (!smaller.empty() && IsSuperkey(relation, arity, smaller, fds)) return false;
+  }
+  return true;
+}
+
+std::vector<std::set<size_t>> FindKeys(const std::string& relation, size_t arity,
+                                       const std::vector<Fd>& fds) {
+  std::vector<std::set<size_t>> keys;
+  // Enumerate subsets by increasing popcount so minimality is by
+  // construction: a superkey containing an already-found key is skipped.
+  std::vector<uint64_t> masks;
+  for (uint64_t m = 1; m < (uint64_t(1) << arity); ++m) masks.push_back(m);
+  std::sort(masks.begin(), masks.end(), [](uint64_t a, uint64_t b) {
+    int pa = __builtin_popcountll(a);
+    int pb = __builtin_popcountll(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+  std::vector<uint64_t> key_masks;
+  for (uint64_t m : masks) {
+    bool contains_key = false;
+    for (uint64_t km : key_masks) {
+      if ((m & km) == km) {
+        contains_key = true;
+        break;
+      }
+    }
+    if (contains_key) continue;
+    std::set<size_t> attrs;
+    for (size_t i = 0; i < arity; ++i) {
+      if ((m >> i) & 1) attrs.insert(i);
+    }
+    if (IsSuperkey(relation, arity, attrs, fds)) {
+      keys.push_back(attrs);
+      key_masks.push_back(m);
+    }
+  }
+  return keys;
+}
+
+}  // namespace sqleq

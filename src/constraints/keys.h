@@ -1,0 +1,67 @@
+// Functional dependencies and keys (Appendix B): recognizing fd-shaped egds,
+// attribute closure, implied fds, superkeys, and keys.
+#ifndef SQLEQ_CONSTRAINTS_KEYS_H_
+#define SQLEQ_CONSTRAINTS_KEYS_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "constraints/dependency.h"
+
+namespace sqleq {
+
+/// A functional dependency on one relation: attributes at positions `lhs`
+/// determine the attribute at position `rhs` (0-based).
+struct Fd {
+  std::string relation;
+  std::set<size_t> lhs;
+  size_t rhs = 0;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Fd& a, const Fd& b) {
+    return a.relation == b.relation && a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+};
+
+/// Recognizes an egd of the textbook fd shape (App. B):
+///   p(X̄, Y, Z̄) ∧ p(X̄, Y', Z̄') → Y = Y'
+/// i.e. two atoms of the same predicate, all arguments distinct variables,
+/// agreeing exactly on the lhs positions, with the conclusion equating the
+/// two atoms' variables at one non-lhs position. Returns nullopt for egds of
+/// any other shape (they are still valid egds, just not fds).
+std::optional<Fd> ExtractFd(const Egd& egd);
+
+/// All fds recognized among the egds of Σ (tgds are skipped).
+std::vector<Fd> ExtractFds(const DependencySet& sigma);
+
+/// The closure of `attrs` under the fds of `relation` in `fds`: the set of
+/// positions functionally determined by `attrs`.
+std::set<size_t> AttributeClosure(const std::string& relation,
+                                  const std::set<size_t>& attrs,
+                                  const std::vector<Fd>& fds);
+
+/// True iff `candidate` is implied by `fds` (Def B.1), via closure.
+bool ImpliesFd(const std::vector<Fd>& fds, const Fd& candidate);
+
+/// True iff positions `attrs` form a superkey of `relation` (arity `arity`)
+/// under `fds` (Def B.2). The full attribute set is always a superkey.
+bool IsSuperkey(const std::string& relation, size_t arity, const std::set<size_t>& attrs,
+                const std::vector<Fd>& fds);
+
+/// True iff `attrs` is a key: a superkey none of whose proper nonempty
+/// subsets is a superkey (Def B.3).
+bool IsKey(const std::string& relation, size_t arity, const std::set<size_t>& attrs,
+           const std::vector<Fd>& fds);
+
+/// All (minimal) keys of `relation`, found by breadth-first search over
+/// attribute subsets in increasing size. Exponential in arity; arities in
+/// this domain are tiny.
+std::vector<std::set<size_t>> FindKeys(const std::string& relation, size_t arity,
+                                       const std::vector<Fd>& fds);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_CONSTRAINTS_KEYS_H_

@@ -1,0 +1,113 @@
+#include "constraints/regularize.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sqleq {
+namespace {
+
+/// Union-find over head-atom indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+/// Groups the head atoms of `tgd` into connected components under shared
+/// existential variables. Two atoms are connected when some existential
+/// variable occurs in both (shared universal variables do NOT connect —
+/// that is exactly what makes a partition "nonshared", Def 4.1).
+std::vector<std::vector<size_t>> HeadComponents(const Tgd& tgd) {
+  const std::vector<Atom>& head = tgd.head();
+  std::unordered_set<Term, TermHash> existential;
+  for (Term v : tgd.ExistentialVariables()) existential.insert(v);
+
+  UnionFind uf(head.size());
+  std::unordered_map<Term, size_t, TermHash> first_owner;
+  for (size_t i = 0; i < head.size(); ++i) {
+    for (Term t : head[i].args()) {
+      if (!t.IsVariable() || existential.count(t) == 0) continue;
+      auto [it, inserted] = first_owner.emplace(t, i);
+      if (!inserted) uf.Union(i, it->second);
+    }
+  }
+
+  std::unordered_map<size_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < head.size(); ++i) groups[uf.Find(i)].push_back(i);
+  std::vector<std::vector<size_t>> out;
+  // Deterministic order: by smallest atom index in each component.
+  std::vector<size_t> roots;
+  for (const auto& [root, members] : groups) roots.push_back(members.front());
+  std::sort(roots.begin(), roots.end());
+  for (size_t first : roots) {
+    out.push_back(groups[uf.Find(first)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsRegularized(const Tgd& tgd) {
+  if (tgd.head().size() <= 1) return true;
+  return HeadComponents(tgd).size() == 1;
+}
+
+bool IsRegularizedSet(const DependencySet& sigma) {
+  for (const Dependency& dep : sigma) {
+    if (dep.IsTgd() && !IsRegularized(dep.tgd())) return false;
+  }
+  return true;
+}
+
+std::vector<Tgd> RegularizeTgd(const Tgd& tgd) {
+  std::vector<std::vector<size_t>> components = HeadComponents(tgd);
+  std::vector<Tgd> out;
+  out.reserve(components.size());
+  for (const std::vector<size_t>& component : components) {
+    std::vector<Atom> head;
+    head.reserve(component.size());
+    for (size_t i : component) head.push_back(tgd.head()[i]);
+    // Create cannot fail: body and component head are nonempty.
+    out.push_back(std::move(Tgd::Create(tgd.body(), std::move(head))).value());
+  }
+  return out;
+}
+
+DependencySet RegularizeSigma(const DependencySet& sigma) {
+  DependencySet out;
+  for (const Dependency& dep : sigma) {
+    if (dep.IsEgd()) {
+      out.push_back(dep);
+      continue;
+    }
+    std::vector<Tgd> pieces = RegularizeTgd(dep.tgd());
+    if (pieces.size() == 1) {
+      out.push_back(dep);
+      continue;
+    }
+    for (size_t i = 0; i < pieces.size(); ++i) {
+      std::string label = dep.label();
+      if (!label.empty()) label += "." + std::to_string(i + 1);
+      out.push_back(Dependency::FromTgd(std::move(pieces[i]), std::move(label)));
+    }
+  }
+  return out;
+}
+
+}  // namespace sqleq

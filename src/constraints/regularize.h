@@ -1,0 +1,36 @@
+// Regularization of tgds (Definition 4.1): a tgd is regularized when its
+// head admits no *nonshared* partition — no split of the head atoms into two
+// nonempty groups whose only common variables are universally quantified.
+// Chasing with a non-regularized tgd is unsound under bag/bag-set semantics
+// (Examples 4.4–4.5); sound chase therefore works with the regularized
+// version Σ′ of Σ, which is unique and instance-equivalent (Prop 4.1).
+#ifndef SQLEQ_CONSTRAINTS_REGULARIZE_H_
+#define SQLEQ_CONSTRAINTS_REGULARIZE_H_
+
+#include <vector>
+
+#include "constraints/dependency.h"
+
+namespace sqleq {
+
+/// True iff `tgd` is regularized (Def 4.1). A single-atom head is trivially
+/// regularized.
+bool IsRegularized(const Tgd& tgd);
+
+/// True iff every tgd in Σ is regularized.
+bool IsRegularizedSet(const DependencySet& sigma);
+
+/// The regularized set Σ_σ of one tgd: the head is split into its connected
+/// components under the "shares an existential variable" relation, one tgd
+/// per component (all with σ's body). Returns {σ} when σ is already
+/// regularized. The result is unique.
+std::vector<Tgd> RegularizeTgd(const Tgd& tgd);
+
+/// The regularized version Σ′ of Σ (§4.2.1): egds pass through; each tgd is
+/// replaced by its regularized set. Labels become "<label>.1", "<label>.2",
+/// ... when a tgd actually splits.
+DependencySet RegularizeSigma(const DependencySet& sigma);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_CONSTRAINTS_REGULARIZE_H_

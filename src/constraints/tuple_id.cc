@@ -1,0 +1,114 @@
+#include "constraints/tuple_id.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sqleq {
+namespace {
+
+bool IsTracked(const std::vector<std::string>& tracked, const std::string& name) {
+  return tracked.empty() ||
+         std::find(tracked.begin(), tracked.end(), name) != tracked.end();
+}
+
+}  // namespace
+
+Result<Schema> ExpandSchemaWithTupleIds(const Schema& schema,
+                                        const std::vector<std::string>& tracked) {
+  for (const std::string& name : tracked) {
+    if (!schema.HasRelation(name)) {
+      return Status::NotFound("cannot track unknown relation '" + name + "'");
+    }
+  }
+  Schema out;
+  for (const RelationInfo& info : schema.Relations()) {
+    std::vector<std::string> attrs = info.attributes;
+    size_t arity = info.arity;
+    if (IsTracked(tracked, info.name)) {
+      attrs.push_back(kTupleIdAttribute);
+      ++arity;
+    }
+    SQLEQ_RETURN_IF_ERROR(out.AddRelation(info.name, arity, std::move(attrs),
+                                          /*set_valued=*/false));
+  }
+  return out;
+}
+
+Result<Dependency> MakeSetEnforcingEgd(const std::string& relation,
+                                       size_t visible_arity) {
+  if (visible_arity == 0) {
+    return Status::InvalidArgument("visible arity must be >= 1");
+  }
+  std::vector<Term> args1, args2;
+  for (size_t i = 0; i < visible_arity; ++i) {
+    Term shared = Term::Var("X" + std::to_string(i + 1));
+    args1.push_back(shared);
+    args2.push_back(shared);
+  }
+  Term t1 = Term::Var("Tid1");
+  Term t2 = Term::Var("Tid2");
+  args1.push_back(t1);
+  args2.push_back(t2);
+  SQLEQ_ASSIGN_OR_RETURN(
+      Egd egd, Egd::Create({Atom(relation, args1), Atom(relation, args2)}, t1, t2));
+  return Dependency::FromEgd(std::move(egd), "set_" + relation);
+}
+
+Result<Database> AssignTupleIds(const Database& db, const Schema& expanded_schema,
+                                const std::vector<std::string>& tracked) {
+  Database out(expanded_schema);
+  int64_t next_id = 1;
+  for (const RelationInfo& info : db.schema().Relations()) {
+    SQLEQ_ASSIGN_OR_RETURN(RelationInstance rel, db.GetRelation(info.name));
+    bool is_tracked = IsTracked(tracked, info.name);
+    for (const auto& [tuple, count] : rel.bag().counts()) {
+      if (!is_tracked) {
+        SQLEQ_RETURN_IF_ERROR(out.Insert(info.name, tuple, count));
+        continue;
+      }
+      for (uint64_t c = 0; c < count; ++c) {
+        Tuple expanded = tuple;
+        expanded.push_back(Term::Int(next_id++));
+        SQLEQ_RETURN_IF_ERROR(out.Insert(info.name, expanded, 1));
+      }
+    }
+  }
+  return out;
+}
+
+Result<Database> ProjectOutTupleIds(const Database& expanded_db, const Schema& schema,
+                                    const std::vector<std::string>& tracked) {
+  Database out(schema);
+  for (const RelationInfo& info : schema.Relations()) {
+    SQLEQ_ASSIGN_OR_RETURN(RelationInstance rel, expanded_db.GetRelation(info.name));
+    bool is_tracked = IsTracked(tracked, info.name);
+    for (const auto& [tuple, count] : rel.bag().counts()) {
+      Tuple projected = tuple;
+      if (is_tracked) {
+        if (projected.size() != info.arity + 1) {
+          return Status::InvalidArgument("relation '" + info.name +
+                                         "' does not carry a tuple-ID column");
+        }
+        projected.pop_back();
+      }
+      SQLEQ_RETURN_IF_ERROR(out.Insert(info.name, projected, count));
+    }
+  }
+  return out;
+}
+
+Result<bool> TupleIdsAreUnique(const Database& expanded_db, const std::string& relation) {
+  SQLEQ_ASSIGN_OR_RETURN(RelationInstance rel, expanded_db.GetRelation(relation));
+  if (rel.arity() == 0) return Status::InvalidArgument("empty relation arity");
+  // |coreSet(Q_tid(D',B))|: distinct tuple-ID values.
+  std::unordered_set<Term, TermHash> distinct_ids;
+  // |Q_vals(D',B)|: total row count (bag projection keeps duplicates).
+  uint64_t total_rows = 0;
+  for (const auto& [tuple, count] : rel.bag().counts()) {
+    distinct_ids.insert(tuple.back());
+    total_rows += count;
+  }
+  return distinct_ids.size() == total_rows;
+}
+
+}  // namespace sqleq

@@ -1,0 +1,57 @@
+// Appendix C: expressing "relation R is set valued in all instances" as an
+// egd, via tuple IDs. The schema D is expanded to D′ by appending a
+// tuple-ID attribute to each tracked relation; Definition C.1 requires all
+// tuple IDs to be distinct within an instance; the set-enforcing egd σ_tid
+// then forces tuples that agree on all visible attributes to agree on the
+// tuple ID — i.e. to be the same tuple.
+//
+// Operationally, sqleq uses Schema::set_valued flags; this module proves the
+// flags are definable inside the embedded-dependency formalism and provides
+// the round-trip between D and D′ instances.
+#ifndef SQLEQ_CONSTRAINTS_TUPLE_ID_H_
+#define SQLEQ_CONSTRAINTS_TUPLE_ID_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/dependency.h"
+#include "db/database.h"
+#include "ir/schema.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+/// Name of the appended tuple-ID attribute.
+inline constexpr char kTupleIdAttribute[] = "tid";
+
+/// Expands `schema` to D′: each relation in `tracked` (all relations if
+/// empty) gains one trailing tuple-ID attribute. Set-valued flags are
+/// cleared in D′ (set-valuedness is now enforced by egds, not flags).
+Result<Schema> ExpandSchemaWithTupleIds(const Schema& schema,
+                                        const std::vector<std::string>& tracked = {});
+
+/// The set-enforcing egd σ_tid on `relation` of *expanded* arity `arity + 1`:
+///   R(X1..Xk, T) ∧ R(X1..Xk, T') → T = T'.
+/// Together with tuple-ID uniqueness (Def C.1) this forces the visible part
+/// of R to be set valued under bag semantics.
+Result<Dependency> MakeSetEnforcingEgd(const std::string& relation, size_t visible_arity);
+
+/// Converts an instance of D into an instance of D′ by assigning a fresh
+/// integer tuple ID to every copy of every tuple of each tracked relation.
+Result<Database> AssignTupleIds(const Database& db, const Schema& expanded_schema,
+                                const std::vector<std::string>& tracked = {});
+
+/// Recovers the D instance from a D′ instance: evaluates the projection
+/// query Q_vals (drop the trailing tuple-ID attribute) under bag semantics
+/// on each tracked relation.
+Result<Database> ProjectOutTupleIds(const Database& expanded_db, const Schema& schema,
+                                    const std::vector<std::string>& tracked = {});
+
+/// Checks Definition C.1 on one relation of a D′ instance:
+///   |coreSet(Q_tid(D′,B))| == |Q_vals(D′,B)|,
+/// i.e. tuple IDs are pairwise distinct across the bag.
+Result<bool> TupleIdsAreUnique(const Database& expanded_db, const std::string& relation);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_CONSTRAINTS_TUPLE_ID_H_

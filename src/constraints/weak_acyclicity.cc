@@ -1,0 +1,80 @@
+#include "constraints/weak_acyclicity.h"
+
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace sqleq {
+
+std::vector<PositionEdge> BuildDependencyGraph(const DependencySet& sigma) {
+  std::vector<PositionEdge> edges;
+  for (const Dependency& dep : sigma) {
+    if (!dep.IsTgd()) continue;
+    const Tgd& tgd = dep.tgd();
+    std::unordered_set<Term, TermHash> existential;
+    for (Term v : tgd.ExistentialVariables()) existential.insert(v);
+
+    // For every universal variable X occurring in the head, and for every
+    // occurrence of X in the body at position (R, i):
+    //   (a) regular edge to each head occurrence of X,
+    //   (b) special edge to each head position holding an existential var.
+    std::unordered_set<Term, TermHash> head_universals;
+    for (const Atom& h : tgd.head()) {
+      for (Term t : h.args()) {
+        if (t.IsVariable() && existential.count(t) == 0) head_universals.insert(t);
+      }
+    }
+    for (const Atom& b : tgd.body()) {
+      for (size_t i = 0; i < b.arity(); ++i) {
+        Term x = b.args()[i];
+        if (!x.IsVariable() || head_universals.count(x) == 0) continue;
+        Position from{b.predicate(), i};
+        for (const Atom& h : tgd.head()) {
+          for (size_t j = 0; j < h.arity(); ++j) {
+            Term y = h.args()[j];
+            if (!y.IsVariable()) continue;
+            Position to{h.predicate(), j};
+            if (y == x) {
+              edges.push_back({from, to, /*special=*/false});
+            } else if (existential.count(y) > 0) {
+              edges.push_back({from, to, /*special=*/true});
+            }
+          }
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+bool IsWeaklyAcyclic(const DependencySet& sigma) {
+  std::vector<PositionEdge> edges = BuildDependencyGraph(sigma);
+  // Adjacency over all mentioned positions.
+  std::map<Position, std::set<Position>> adj;
+  for (const PositionEdge& e : edges) adj[e.from].insert(e.to);
+
+  // A cycle goes through special edge u →* v iff v can reach u.
+  auto reaches = [&adj](const Position& src, const Position& dst) {
+    std::set<Position> visited;
+    std::vector<Position> stack{src};
+    while (!stack.empty()) {
+      Position cur = stack.back();
+      stack.pop_back();
+      if (cur == dst) return true;
+      if (!visited.insert(cur).second) continue;
+      auto it = adj.find(cur);
+      if (it == adj.end()) continue;
+      for (const Position& next : it->second) {
+        if (visited.count(next) == 0) stack.push_back(next);
+      }
+    }
+    return false;
+  };
+
+  for (const PositionEdge& e : edges) {
+    if (e.special && reaches(e.to, e.from)) return false;
+  }
+  return true;
+}
+
+}  // namespace sqleq

@@ -1,0 +1,51 @@
+// Weak acyclicity (Definition H.1, after Fagin et al.): the sufficient
+// condition guaranteeing set-chase termination. Build the dependency graph
+// over positions (R, i); a universal variable occurrence in a tgd body at
+// position u adds a regular edge to each of its head positions and a special
+// edge to each head position holding an existential variable. Σ is weakly
+// acyclic iff no cycle passes through a special edge.
+#ifndef SQLEQ_CONSTRAINTS_WEAK_ACYCLICITY_H_
+#define SQLEQ_CONSTRAINTS_WEAK_ACYCLICITY_H_
+
+#include <string>
+#include <vector>
+
+#include "constraints/dependency.h"
+
+namespace sqleq {
+
+/// One position (relation, attribute index) of the dependency graph.
+struct Position {
+  std::string relation;
+  size_t index = 0;
+
+  friend bool operator==(const Position& a, const Position& b) {
+    return a.relation == b.relation && a.index == b.index;
+  }
+  friend bool operator<(const Position& a, const Position& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.index < b.index;
+  }
+
+  std::string ToString() const {
+    return "(" + relation + ", " + std::to_string(index) + ")";
+  }
+};
+
+/// One edge of the dependency graph; `special` marks existential targets.
+struct PositionEdge {
+  Position from;
+  Position to;
+  bool special = false;
+};
+
+/// The dependency graph of the tgds of Σ (egds contribute nothing).
+std::vector<PositionEdge> BuildDependencyGraph(const DependencySet& sigma);
+
+/// True iff Σ is weakly acyclic: no cycle of the dependency graph goes
+/// through a special edge.
+bool IsWeaklyAcyclic(const DependencySet& sigma);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_CONSTRAINTS_WEAK_ACYCLICITY_H_

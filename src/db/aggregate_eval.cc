@@ -1,0 +1,90 @@
+#include "db/aggregate_eval.h"
+
+#include <map>
+
+namespace sqleq {
+namespace {
+
+Result<Term> FoldAggregate(AggregateFunction fn, const Bag& values) {
+  switch (fn) {
+    case AggregateFunction::kCount:
+    case AggregateFunction::kCountStar:
+      return Term::Int(static_cast<int64_t>(values.TotalSize()));
+    case AggregateFunction::kSum: {
+      int64_t total = 0;
+      for (const auto& [t, c] : values.counts()) {
+        const Value& v = t[0].value();
+        if (!std::holds_alternative<int64_t>(v)) {
+          return Status::InvalidArgument("sum over non-integer value " +
+                                         t[0].ToString());
+        }
+        total += std::get<int64_t>(v) * static_cast<int64_t>(c);
+      }
+      return Term::Int(total);
+    }
+    case AggregateFunction::kMax:
+    case AggregateFunction::kMin: {
+      bool want_max = fn == AggregateFunction::kMax;
+      bool first = true;
+      bool is_int = false;
+      int64_t best_int = 0;
+      std::string best_str;
+      for (const auto& [t, _] : values.counts()) {
+        const Value& v = t[0].value();
+        bool this_int = std::holds_alternative<int64_t>(v);
+        if (first) {
+          is_int = this_int;
+        } else if (is_int != this_int) {
+          return Status::InvalidArgument("max/min over a mixed-type group");
+        }
+        if (this_int) {
+          int64_t x = std::get<int64_t>(v);
+          if (first || (want_max ? x > best_int : x < best_int)) best_int = x;
+        } else {
+          const std::string& x = std::get<std::string>(v);
+          if (first || (want_max ? x > best_str : x < best_str)) best_str = x;
+        }
+        first = false;
+      }
+      if (first) return Status::Internal("aggregate fold over empty group");
+      if (is_int) return Term::Int(best_int);
+      return Term::Str(best_str);
+    }
+  }
+  return Status::Internal("unknown aggregate function");
+}
+
+}  // namespace
+
+Result<Bag> EvaluateAggregate(const AggregateQuery& q, const Database& db) {
+  // Step 1: B = Q̆(D, BS).
+  ConjunctiveQuery core = q.Core();
+  SQLEQ_ASSIGN_OR_RETURN(Bag core_bag, Evaluate(core, db, Semantics::kBagSet));
+
+  // Step 2: group by the grouping arguments (a prefix of the core head).
+  size_t group_arity = q.grouping().size();
+  bool has_arg = q.agg_arg().has_value();
+  std::map<Tuple, Bag> groups;
+  for (const auto& [t, c] : core_bag.counts()) {
+    Tuple key(t.begin(), t.begin() + group_arity);
+    Bag& vals = groups[key];
+    if (has_arg) {
+      vals.Add(Tuple{t[group_arity]}, c);
+    } else {
+      // count(*): the folded bag only needs cardinality; use a unit marker.
+      vals.Add(Tuple{Term::Int(0)}, c);
+    }
+  }
+
+  // Step 3: one output tuple per group.
+  Bag out;
+  for (const auto& [key, vals] : groups) {
+    SQLEQ_ASSIGN_OR_RETURN(Term agg, FoldAggregate(q.function(), vals));
+    Tuple row = key;
+    row.push_back(agg);
+    out.Add(row, 1);
+  }
+  return out;
+}
+
+}  // namespace sqleq

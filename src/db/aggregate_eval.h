@@ -1,0 +1,26 @@
+// Evaluation of aggregate queries: the three-step bag-set → group →
+// aggregate semantics of §2.5.
+#ifndef SQLEQ_DB_AGGREGATE_EVAL_H_
+#define SQLEQ_DB_AGGREGATE_EVAL_H_
+
+#include "db/database.h"
+#include "db/eval.h"
+#include "ir/query.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+/// Evaluates an aggregate query on a (set-valued) database:
+///   1. compute B = Q̆(D, BS) for the core Q̆;
+///   2. group B's tuples by the grouping arguments;
+///   3. per group, fold the aggregate over the bag of aggregate-argument
+///      values and emit one tuple (grouping values..., aggregate value).
+///
+/// sum and count produce integer results; sum requires integer inputs.
+/// max/min compare integers numerically and strings lexicographically, and
+/// require a type-homogeneous group. The result is a set-valued Bag.
+Result<Bag> EvaluateAggregate(const AggregateQuery& q, const Database& db);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_DB_AGGREGATE_EVAL_H_

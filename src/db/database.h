@@ -1,0 +1,85 @@
+// Database: an instance over a Schema, plus canonical-database construction.
+#ifndef SQLEQ_DB_DATABASE_H_
+#define SQLEQ_DB_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/relation.h"
+#include "ir/query.h"
+#include "ir/schema.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+/// A (generally bag-valued) database instance: one RelationInstance per
+/// relation symbol of its schema. Relations missing from the map are empty.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Inserts `count` copies of `t` into relation `name`. Fails if the
+  /// relation is unknown, the arity mismatches, or the relation is flagged
+  /// set valued in the schema and the insert would create a duplicate.
+  Status Insert(const std::string& name, const Tuple& t, uint64_t count = 1);
+
+  /// Convenience: Insert of an all-integer tuple; asserts success.
+  Database& Add(const std::string& name, std::initializer_list<int64_t> values,
+                uint64_t count = 1);
+
+  /// The instance of `name` (empty instance if nothing inserted). Fails only
+  /// for unknown relations.
+  Result<RelationInstance> GetRelation(const std::string& name) const;
+
+  /// Mutable access used by generators; creates the empty instance on
+  /// demand. Returns nullptr for unknown relations.
+  RelationInstance* GetMutableRelation(const std::string& name);
+
+  /// True if every relation of the instance is set valued (§2.1).
+  bool IsSetValued() const;
+
+  /// The instance with every relation collapsed to its core-set.
+  Database CoreSet() const;
+
+  /// Total tuple count across relations (duplicates counted).
+  uint64_t TotalSize() const;
+
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::map<std::string, RelationInstance> relations_;
+};
+
+/// The canonical database D(Q) of a CQ query (§2.1): each body atom becomes
+/// a tuple; variables are consistently replaced by fresh constants distinct
+/// from every constant of Q. Also returns the variable→constant assignment
+/// used (the "canonical assignment"), which satisfies Q's body by
+/// construction.
+struct CanonicalDatabase {
+  Database database;
+  TermMap assignment;  // body variables -> fresh constants
+};
+
+/// Builds D(Q) over `schema`. Fails if a body atom references a relation
+/// unknown to the schema or with mismatched arity. Set-valued schema flags
+/// are ignored during construction (D(Q) is set valued by definition).
+Result<CanonicalDatabase> BuildCanonicalDatabase(const ConjunctiveQuery& q,
+                                                 const Schema& schema);
+
+/// Infers a minimal schema from the atoms of `q` (every predicate gets the
+/// arity of its first occurrence; no set-valued flags), then builds D(Q).
+/// Fails if a predicate is used with two different arities.
+Result<CanonicalDatabase> BuildCanonicalDatabase(const ConjunctiveQuery& q);
+
+/// Infers a schema covering every predicate in `queries` and `extra_atoms`.
+Result<Schema> InferSchema(const std::vector<ConjunctiveQuery>& queries,
+                           const std::vector<Atom>& extra_atoms = {});
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_DB_DATABASE_H_

@@ -1,0 +1,177 @@
+#include "db/eval.h"
+
+namespace sqleq {
+namespace {
+
+/// Backtracking enumeration of satisfying assignments. Atoms are matched in
+/// most-constrained-first order: at each step the pending atom with the most
+/// already-bound arguments is chosen, which prunes the search sharply on the
+/// join-heavy conjunctions produced by the chase.
+class AssignmentEnumerator {
+ public:
+  AssignmentEnumerator(const std::vector<Atom>& atoms, const Database& db,
+                       const TermMap& fixed)
+      : atoms_(atoms), db_(db), assignment_(fixed) {}
+
+  /// Validates atoms against the schema, then runs the search. `fn` returns
+  /// false to stop. On completion, reports whether enumeration ran to
+  /// exhaustion (true) or was stopped by `fn` (false).
+  Result<bool> Run(const std::function<bool(const TermMap&)>& fn) {
+    for (const Atom& atom : atoms_) {
+      if (!db_.schema().HasRelation(atom.predicate())) {
+        return Status::NotFound("atom " + atom.ToString() + " uses unknown relation '" +
+                                atom.predicate() + "'");
+      }
+      if (db_.schema().ArityOf(atom.predicate()) != atom.arity()) {
+        return Status::InvalidArgument("atom " + atom.ToString() +
+                                       " disagrees with schema arity");
+      }
+    }
+    used_.assign(atoms_.size(), false);
+    return Recurse(0, fn);
+  }
+
+ private:
+  size_t PickNextAtom() const {
+    size_t best = atoms_.size();
+    int best_bound = -1;
+    for (size_t i = 0; i < atoms_.size(); ++i) {
+      if (used_[i]) continue;
+      int bound = 0;
+      for (Term t : atoms_[i].args()) {
+        if (t.IsConstant() || assignment_.count(t) > 0) ++bound;
+      }
+      if (bound > best_bound) {
+        best_bound = bound;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  bool Recurse(size_t depth, const std::function<bool(const TermMap&)>& fn) {
+    if (depth == atoms_.size()) return fn(assignment_);
+    size_t idx = PickNextAtom();
+    used_[idx] = true;
+    const Atom& atom = atoms_[idx];
+    // GetRelation cannot fail: predicates were validated in Run().
+    RelationInstance rel = std::move(db_.GetRelation(atom.predicate())).value();
+    bool keep_going = true;
+    for (const auto& [tuple, _] : rel.bag().counts()) {
+      std::vector<Term> newly_bound;
+      bool match = true;
+      for (size_t i = 0; i < atom.arity(); ++i) {
+        Term arg = atom.args()[i];
+        Term val = tuple[i];
+        if (arg.IsConstant()) {
+          if (arg != val) {
+            match = false;
+            break;
+          }
+          continue;
+        }
+        auto it = assignment_.find(arg);
+        if (it != assignment_.end()) {
+          if (it->second != val) {
+            match = false;
+            break;
+          }
+        } else {
+          assignment_.emplace(arg, val);
+          newly_bound.push_back(arg);
+        }
+      }
+      if (match) {
+        keep_going = Recurse(depth + 1, fn);
+      }
+      for (Term v : newly_bound) assignment_.erase(v);
+      if (!keep_going) break;
+    }
+    used_[idx] = false;
+    return keep_going;
+  }
+
+  const std::vector<Atom>& atoms_;
+  const Database& db_;
+  TermMap assignment_;
+  std::vector<bool> used_;
+};
+
+}  // namespace
+
+const char* SemanticsToString(Semantics s) {
+  switch (s) {
+    case Semantics::kSet:
+      return "S";
+    case Semantics::kBag:
+      return "B";
+    case Semantics::kBagSet:
+      return "BS";
+  }
+  return "?";
+}
+
+Status ForEachSatisfyingAssignment(const std::vector<Atom>& atoms, const Database& db,
+                                   const TermMap& fixed,
+                                   const std::function<bool(const TermMap&)>& fn) {
+  AssignmentEnumerator e(atoms, db, fixed);
+  SQLEQ_ASSIGN_OR_RETURN(bool exhausted, e.Run(fn));
+  (void)exhausted;
+  return Status::OK();
+}
+
+Result<bool> HasSatisfyingAssignment(const std::vector<Atom>& atoms, const Database& db,
+                                     const TermMap& fixed) {
+  AssignmentEnumerator e(atoms, db, fixed);
+  SQLEQ_ASSIGN_OR_RETURN(bool exhausted, e.Run([](const TermMap&) { return false; }));
+  // The search stops at the first satisfying assignment; if it ran to
+  // exhaustion none exists.
+  return !exhausted;
+}
+
+Result<Bag> Evaluate(const ConjunctiveQuery& q, const Database& db, Semantics sem) {
+  Bag out;
+  auto head_tuple = [&q](const TermMap& gamma) {
+    Tuple t;
+    t.reserve(q.head().size());
+    for (Term h : q.head()) t.push_back(ApplyTermMap(gamma, h));
+    return t;
+  };
+  Status status = Status::OK();
+  SQLEQ_RETURN_IF_ERROR(ForEachSatisfyingAssignment(
+      q.body(), db, TermMap(), [&](const TermMap& gamma) {
+        switch (sem) {
+          case Semantics::kSet: {
+            Tuple t = head_tuple(gamma);
+            if (out.Count(t) == 0) out.Add(t, 1);
+            break;
+          }
+          case Semantics::kBagSet: {
+            out.Add(head_tuple(gamma), 1);
+            break;
+          }
+          case Semantics::kBag: {
+            // Multiplicity contribution Π mᵢ over the subgoals (§2.2).
+            uint64_t mult = 1;
+            for (const Atom& atom : q.body()) {
+              Tuple t;
+              t.reserve(atom.arity());
+              for (Term arg : atom.args()) t.push_back(ApplyTermMap(gamma, arg));
+              Result<RelationInstance> rel = db.GetRelation(atom.predicate());
+              if (!rel.ok()) {
+                status = rel.status();
+                return false;
+              }
+              mult *= rel->Count(t);
+            }
+            out.Add(head_tuple(gamma), mult);
+            break;
+          }
+        }
+        return true;
+      }));
+  SQLEQ_RETURN_IF_ERROR(status);
+  return out;
+}
+
+}  // namespace sqleq

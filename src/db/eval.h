@@ -1,0 +1,57 @@
+// Evaluation of CQ queries under set, bag, and bag-set semantics — the
+// literal implementation of the paper's §2.1–2.2 definitions. This engine is
+// the model-checking oracle used by tests to cross-validate the symbolic
+// equivalence procedures.
+#ifndef SQLEQ_DB_EVAL_H_
+#define SQLEQ_DB_EVAL_H_
+
+#include <functional>
+
+#include "db/database.h"
+#include "ir/query.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+/// The three query-evaluation semantics of the paper.
+enum class Semantics {
+  kSet,     ///< S: set-valued database, set answer.
+  kBag,     ///< B: bag-valued database, bag answer (SQL default without keys).
+  kBagSet,  ///< BS: set-valued database, bag answer (SQL without DISTINCT).
+};
+
+/// "S", "B", or "BS".
+const char* SemanticsToString(Semantics s);
+
+/// Evaluates `q` on `db`.
+///
+/// * kSet: the set of tuples γ(X̄) over satisfying assignments γ (§2.1);
+///   multiplicities in the result are all 1. Relations are read as their
+///   core-sets.
+/// * kBagSet: each satisfying assignment γ w.r.t. the core-sets contributes
+///   one copy of γ(X̄) (§2.2). For a set-valued `db` this is exactly the
+///   paper's Q(D,BS); for a bag-valued `db` it equals Q(coreSet(D),BS).
+/// * kBag: each satisfying assignment γ contributes Π mᵢ copies, where mᵢ is
+///   the multiplicity of the tuple matched by the i-th subgoal (§2.2).
+///
+/// Fails if a body atom references a relation unknown to the database schema
+/// or with the wrong arity.
+Result<Bag> Evaluate(const ConjunctiveQuery& q, const Database& db, Semantics sem);
+
+/// Enumerates every assignment γ of the variables of `atoms` to constants
+/// that satisfies the conjunction w.r.t. the core-sets of `db`, extending the
+/// (possibly empty) partial assignment `fixed`. Invokes `fn` once per
+/// satisfying assignment; `fn` returns false to stop the enumeration early.
+/// The TermMap passed to `fn` maps every variable of `atoms` (plus the fixed
+/// bindings) to constants.
+Status ForEachSatisfyingAssignment(const std::vector<Atom>& atoms, const Database& db,
+                                   const TermMap& fixed,
+                                   const std::function<bool(const TermMap&)>& fn);
+
+/// True if at least one satisfying assignment extends `fixed`.
+Result<bool> HasSatisfyingAssignment(const std::vector<Atom>& atoms, const Database& db,
+                                     const TermMap& fixed);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_DB_EVAL_H_

@@ -1,0 +1,112 @@
+#include "db/generator.h"
+
+#include "db/eval.h"
+#include "db/satisfaction.h"
+
+namespace sqleq {
+
+Result<ConjunctiveQuery> RandomQuery(const Schema& schema,
+                                     const RandomQueryOptions& options, Rng* rng) {
+  std::vector<RelationInfo> relations = schema.Relations();
+  if (relations.empty()) {
+    return Status::InvalidArgument("cannot generate queries over an empty schema");
+  }
+  if (options.atoms < 1 || options.variable_pool < 1) {
+    return Status::InvalidArgument("RandomQueryOptions requires atoms, pool >= 1");
+  }
+  std::vector<Term> pool;
+  for (int i = 0; i < options.variable_pool; ++i) {
+    pool.push_back(Term::Var("RV" + std::to_string(i)));
+  }
+  std::vector<Atom> body;
+  for (int i = 0; i < options.atoms; ++i) {
+    const RelationInfo& rel = relations[rng->Index(relations.size())];
+    std::vector<Term> args;
+    for (size_t j = 0; j < rel.arity; ++j) {
+      if (rng->Chance(options.constant_probability)) {
+        args.push_back(Term::Int(rng->UniformInt(0, options.constant_domain - 1)));
+      } else {
+        args.push_back(pool[rng->Index(pool.size())]);
+      }
+    }
+    body.emplace_back(rel.name, std::move(args));
+  }
+  std::vector<Term> used = DistinctVariables(body);
+  std::vector<Term> head;
+  if (used.empty()) {
+    head.push_back(Term::Int(0));
+  } else {
+    size_t k = 1 + rng->Index(used.size());
+    rng->Shuffle(&used);
+    head.assign(used.begin(), used.begin() + k);
+  }
+  return ConjunctiveQuery::Create("R", std::move(head), std::move(body));
+}
+
+Result<Database> RandomDatabase(const Schema& schema,
+                                const RandomDatabaseOptions& options, Rng* rng) {
+  Database db(schema);
+  for (const RelationInfo& rel : schema.Relations()) {
+    int rows = rng->UniformInt(0, options.max_tuples_per_relation);
+    for (int i = 0; i < rows; ++i) {
+      Tuple t;
+      for (size_t j = 0; j < rel.arity; ++j) {
+        t.push_back(Term::Int(rng->UniformInt(0, options.domain - 1)));
+      }
+      uint64_t mult = 1;
+      if (!rel.set_valued && options.max_multiplicity > 1) {
+        mult = static_cast<uint64_t>(rng->UniformInt(1, options.max_multiplicity));
+      }
+      if (rel.set_valued) {
+        SQLEQ_ASSIGN_OR_RETURN(RelationInstance existing, db.GetRelation(rel.name));
+        if (existing.Contains(t)) continue;  // honour the set-valued flag
+      }
+      SQLEQ_RETURN_IF_ERROR(db.Insert(rel.name, t, mult));
+    }
+  }
+  return db;
+}
+
+Result<bool> RepairTowardSigma(Database* db, const DependencySet& sigma,
+                               int max_rounds) {
+  int64_t fresh = 1000000;  // values outside the random domain
+  for (int round = 0; round < max_rounds; ++round) {
+    bool changed = false;
+    for (const Dependency& dep : sigma) {
+      if (dep.IsEgd()) continue;  // egd violations are not repaired
+      const Tgd& tgd = dep.tgd();
+      std::vector<TermMap> pending;
+      Status inner = Status::OK();
+      SQLEQ_RETURN_IF_ERROR(ForEachSatisfyingAssignment(
+          tgd.body(), *db, TermMap(), [&](const TermMap& gamma) {
+            Result<bool> extends = HasSatisfyingAssignment(tgd.head(), *db, gamma);
+            if (!extends.ok()) {
+              inner = extends.status();
+              return false;
+            }
+            if (!*extends) pending.push_back(gamma);
+            return true;
+          }));
+      SQLEQ_RETURN_IF_ERROR(inner);
+      for (const TermMap& gamma : pending) {
+        TermMap full = gamma;
+        for (Term z : tgd.ExistentialVariables()) {
+          full.emplace(z, Term::Int(fresh++));
+        }
+        for (const Atom& head_atom : tgd.head()) {
+          Tuple t;
+          for (Term arg : head_atom.args()) t.push_back(ApplyTermMap(full, arg));
+          SQLEQ_ASSIGN_OR_RETURN(RelationInstance rel,
+                                 db->GetRelation(head_atom.predicate()));
+          if (rel.Contains(t)) continue;
+          SQLEQ_RETURN_IF_ERROR(db->Insert(head_atom.predicate(), t));
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return Satisfies(*db, sigma);
+}
+
+}  // namespace sqleq

@@ -1,0 +1,54 @@
+// Workload generation: random queries, random instances, and a bounded
+// repair loop that upgrades random instances to models of Σ. Shared by the
+// randomized property tests and the benchmark harness; downstream users get
+// the same machinery for fuzzing their own dependency sets.
+#ifndef SQLEQ_DB_GENERATOR_H_
+#define SQLEQ_DB_GENERATOR_H_
+
+#include "constraints/dependency.h"
+#include "db/database.h"
+#include "ir/query.h"
+#include "ir/schema.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+struct RandomQueryOptions {
+  int atoms = 3;
+  int variable_pool = 3;
+  /// Probability that an argument position holds a small integer constant.
+  double constant_probability = 0.1;
+  int constant_domain = 3;
+};
+
+/// A random safe CQ over `schema`: atoms drawn uniformly over the relations,
+/// arguments from a shared variable pool (plus occasional constants), head
+/// projecting a random nonempty subset of the used variables (or a constant
+/// for variable-free bodies). Requires a nonempty schema.
+Result<ConjunctiveQuery> RandomQuery(const Schema& schema, const RandomQueryOptions& options,
+                                     Rng* rng);
+
+struct RandomDatabaseOptions {
+  int max_tuples_per_relation = 5;
+  int domain = 4;
+  /// Maximum multiplicity for bag-valued relations (set-valued relations
+  /// always get multiplicity 1).
+  int max_multiplicity = 3;
+};
+
+/// A random instance of `schema` over a small integer domain, honouring the
+/// schema's set-valued flags.
+Result<Database> RandomDatabase(const Schema& schema, const RandomDatabaseOptions& options,
+                                Rng* rng);
+
+/// Repairs `db` toward Σ by an oblivious-chase-style fix-point: violated
+/// tgds insert their head tuples with fresh integer constants (outside the
+/// random domain); egd violations are NOT repaired. Returns true iff
+/// db |= Σ on exit within `max_rounds` rounds — callers discard instances
+/// where it returns false.
+Result<bool> RepairTowardSigma(Database* db, const DependencySet& sigma, int max_rounds);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_DB_GENERATOR_H_

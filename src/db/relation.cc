@@ -1,0 +1,31 @@
+#include "db/relation.h"
+
+namespace sqleq {
+
+Status RelationInstance::Insert(const Tuple& t, uint64_t count) {
+  if (t.size() != arity_) {
+    return Status::InvalidArgument("tuple arity " + std::to_string(t.size()) +
+                                   " does not match relation '" + name_ + "' arity " +
+                                   std::to_string(arity_));
+  }
+  for (Term x : t) {
+    if (!x.IsConstant()) {
+      return Status::InvalidArgument("tuple for '" + name_ +
+                                     "' contains a non-constant term " + x.ToString());
+    }
+  }
+  bag_.Add(t, count);
+  return Status::OK();
+}
+
+RelationInstance RelationInstance::CoreSet() const {
+  RelationInstance out(name_, arity_);
+  out.bag_ = bag_.CoreSet();
+  return out;
+}
+
+std::string RelationInstance::ToString() const {
+  return name_ + " = " + bag_.ToString();
+}
+
+}  // namespace sqleq

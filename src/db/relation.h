@@ -1,0 +1,52 @@
+// RelationInstance: one bag-valued relation of a database instance.
+#ifndef SQLEQ_DB_RELATION_H_
+#define SQLEQ_DB_RELATION_H_
+
+#include <string>
+
+#include "db/tuple.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+/// A named, fixed-arity, bag-valued relation. A relation is set valued when
+/// every multiplicity is 1 (§2.1).
+class RelationInstance {
+ public:
+  RelationInstance() = default;
+  RelationInstance(std::string name, size_t arity)
+      : name_(std::move(name)), arity_(arity) {}
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return arity_; }
+
+  /// Inserts `count` copies of `t`. Fails on arity mismatch or a tuple
+  /// containing variables.
+  Status Insert(const Tuple& t, uint64_t count = 1);
+
+  /// Multiplicity of `t` in the bag.
+  uint64_t Count(const Tuple& t) const { return bag_.Count(t); }
+
+  /// True iff some copy of `t` is present.
+  bool Contains(const Tuple& t) const { return bag_.Count(t) > 0; }
+
+  const Bag& bag() const { return bag_; }
+  size_t CoreSize() const { return bag_.CoreSize(); }
+  uint64_t TotalSize() const { return bag_.TotalSize(); }
+  bool IsSetValued() const { return bag_.IsSetValued(); }
+  bool empty() const { return bag_.empty(); }
+
+  /// Collapses all multiplicities to 1.
+  RelationInstance CoreSet() const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  size_t arity_ = 0;
+  Bag bag_;
+};
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_DB_RELATION_H_

@@ -1,0 +1,59 @@
+#include "db/satisfaction.h"
+
+#include "db/eval.h"
+
+namespace sqleq {
+
+Result<bool> Satisfies(const Database& db, const Dependency& dep) {
+  bool satisfied = true;
+  Status inner = Status::OK();
+  SQLEQ_RETURN_IF_ERROR(ForEachSatisfyingAssignment(
+      dep.body(), db, TermMap(), [&](const TermMap& gamma) {
+        if (dep.IsEgd()) {
+          Term l = ApplyTermMap(gamma, dep.egd().left());
+          Term r = ApplyTermMap(gamma, dep.egd().right());
+          if (l != r) {
+            satisfied = false;
+            return false;
+          }
+          return true;
+        }
+        // Tgd: γ must extend to the head; existential variables of the tgd
+        // are free in the head conjunction and get bound by the search.
+        Result<bool> extends =
+            HasSatisfyingAssignment(dep.tgd().head(), db, gamma);
+        if (!extends.ok()) {
+          inner = extends.status();
+          return false;
+        }
+        if (!*extends) {
+          satisfied = false;
+          return false;
+        }
+        return true;
+      }));
+  SQLEQ_RETURN_IF_ERROR(inner);
+  return satisfied;
+}
+
+Result<bool> Satisfies(const Database& db, const DependencySet& sigma) {
+  for (const Dependency& dep : sigma) {
+    SQLEQ_ASSIGN_OR_RETURN(bool ok, Satisfies(db, dep));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<std::optional<std::string>> FirstViolated(const Database& db,
+                                                 const DependencySet& sigma) {
+  for (const Dependency& dep : sigma) {
+    SQLEQ_ASSIGN_OR_RETURN(bool ok, Satisfies(db, dep));
+    if (!ok) {
+      return std::optional<std::string>(dep.label().empty() ? dep.ToString()
+                                                            : dep.label());
+    }
+  }
+  return std::optional<std::string>();
+}
+
+}  // namespace sqleq

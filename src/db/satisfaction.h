@@ -1,0 +1,29 @@
+// Dependency satisfaction on instances: D |= σ and D |= Σ (§2.4).
+#ifndef SQLEQ_DB_SATISFACTION_H_
+#define SQLEQ_DB_SATISFACTION_H_
+
+#include <optional>
+#include <string>
+
+#include "constraints/dependency.h"
+#include "db/database.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+/// True iff `db` (read as core-sets; satisfaction is insensitive to
+/// multiplicities) satisfies the dependency: every satisfying assignment of
+/// the body extends to the head (tgd) or equates the two sides (egd).
+Result<bool> Satisfies(const Database& db, const Dependency& dep);
+
+/// True iff `db` satisfies every dependency of Σ.
+Result<bool> Satisfies(const Database& db, const DependencySet& sigma);
+
+/// Like Satisfies(Σ) but reports the first violated dependency's label (or
+/// its text if unlabelled); nullopt if all hold.
+Result<std::optional<std::string>> FirstViolated(const Database& db,
+                                                 const DependencySet& sigma);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_DB_SATISFACTION_H_

@@ -1,0 +1,71 @@
+#include "db/tuple.h"
+
+namespace sqleq {
+
+Tuple IntTuple(std::initializer_list<int64_t> values) {
+  Tuple t;
+  t.reserve(values.size());
+  for (int64_t v : values) t.push_back(Term::Int(v));
+  return t;
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+void Bag::Add(const Tuple& t, uint64_t count) {
+  if (count == 0) return;
+  counts_[t] += count;
+}
+
+uint64_t Bag::Count(const Tuple& t) const {
+  auto it = counts_.find(t);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+uint64_t Bag::TotalSize() const {
+  uint64_t total = 0;
+  for (const auto& [_, c] : counts_) total += c;
+  return total;
+}
+
+bool Bag::IsSetValued() const {
+  for (const auto& [_, c] : counts_) {
+    if (c != 1) return false;
+  }
+  return true;
+}
+
+Bag Bag::CoreSet() const {
+  Bag out;
+  for (const auto& [t, _] : counts_) out.Add(t, 1);
+  return out;
+}
+
+std::string Bag::ToString() const {
+  std::string out = "{{";
+  bool first = true;
+  for (const auto& [t, c] : counts_) {
+    if (c <= 4) {
+      for (uint64_t i = 0; i < c; ++i) {
+        if (!first) out += ", ";
+        first = false;
+        out += TupleToString(t);
+      }
+    } else {
+      if (!first) out += ", ";
+      first = false;
+      out += TupleToString(t) + " x " + std::to_string(c);
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace sqleq

@@ -1,0 +1,74 @@
+// Tuple and Bag: ground rows and multisets of rows.
+#ifndef SQLEQ_DB_TUPLE_H_
+#define SQLEQ_DB_TUPLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/term.h"
+
+namespace sqleq {
+
+/// A ground row: a vector of constant terms. Invariant: no variables.
+using Tuple = std::vector<Term>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 1469598103u;
+    for (Term x : t) h = h * 1000003u + x.Hash();
+    return h;
+  }
+};
+
+/// Builds a tuple of integer constants — the dominant case in tests and in
+/// the paper's counterexample databases.
+Tuple IntTuple(std::initializer_list<int64_t> values);
+
+/// "(1, 2, 'a')".
+std::string TupleToString(const Tuple& t);
+
+/// A finite bag (multiset) of tuples: core-set with positive multiplicities.
+/// Ordered map so iteration and printing are deterministic.
+class Bag {
+ public:
+  Bag() = default;
+
+  /// Adds `count` copies of `t` (count may be 0, a no-op).
+  void Add(const Tuple& t, uint64_t count = 1);
+
+  /// Multiplicity of `t` (0 if absent).
+  uint64_t Count(const Tuple& t) const;
+
+  /// Number of distinct tuples.
+  size_t CoreSize() const { return counts_.size(); }
+
+  /// Total number of tuples, duplicates counted separately.
+  uint64_t TotalSize() const;
+
+  /// True if the bag is a set: every multiplicity is 1.
+  bool IsSetValued() const;
+
+  /// The bag with all multiplicities collapsed to 1.
+  Bag CoreSet() const;
+
+  bool empty() const { return counts_.empty(); }
+
+  friend bool operator==(const Bag& a, const Bag& b) { return a.counts_ == b.counts_; }
+  friend bool operator!=(const Bag& a, const Bag& b) { return !(a == b); }
+
+  const std::map<Tuple, uint64_t>& counts() const { return counts_; }
+
+  /// "{{(1), (1), (2)}}" in the paper's double-brace notation; multiplicities
+  /// above 4 are abbreviated "(t) x n".
+  std::string ToString() const;
+
+ private:
+  std::map<Tuple, uint64_t> counts_;
+};
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_DB_TUPLE_H_

@@ -1,0 +1,36 @@
+#include "equivalence/aggregate_equivalence.h"
+
+#include "equivalence/bag_set_equivalence.h"
+#include "equivalence/containment.h"
+#include "equivalence/sigma_equivalence.h"
+
+namespace sqleq {
+namespace {
+
+bool UsesSetReduction(AggregateFunction f) {
+  return f == AggregateFunction::kMax || f == AggregateFunction::kMin;
+}
+
+}  // namespace
+
+bool AggregateEquivalent(const AggregateQuery& q1, const AggregateQuery& q2) {
+  if (!q1.CompatibleWith(q2)) return false;
+  ConjunctiveQuery c1 = q1.Core();
+  ConjunctiveQuery c2 = q2.Core();
+  if (UsesSetReduction(q1.function())) return SetEquivalent(c1, c2);
+  return BagSetEquivalent(c1, c2);
+}
+
+Result<bool> AggregateEquivalentUnder(const AggregateQuery& q1, const AggregateQuery& q2,
+                                      const DependencySet& sigma,
+                                      const ChaseOptions& options) {
+  if (!q1.CompatibleWith(q2)) return false;
+  ConjunctiveQuery c1 = q1.Core();
+  ConjunctiveQuery c2 = q2.Core();
+  if (UsesSetReduction(q1.function())) {
+    return SetEquivalentUnder(c1, c2, sigma, options);
+  }
+  return BagSetEquivalentUnder(c1, c2, sigma, options);
+}
+
+}  // namespace sqleq

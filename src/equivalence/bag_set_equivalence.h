@@ -1,0 +1,16 @@
+// Bag-set equivalence in the absence of dependencies, Theorem 2.1(2)
+// [Chaudhuri–Vardi]: Q ≡BS Q′ iff the canonical representations (duplicate
+// atoms removed) are isomorphic.
+#ifndef SQLEQ_EQUIVALENCE_BAG_SET_EQUIVALENCE_H_
+#define SQLEQ_EQUIVALENCE_BAG_SET_EQUIVALENCE_H_
+
+#include "ir/query.h"
+
+namespace sqleq {
+
+/// Theorem 2.1(2).
+bool BagSetEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_EQUIVALENCE_BAG_SET_EQUIVALENCE_H_

@@ -1,0 +1,18 @@
+#include "equivalence/containment.h"
+
+#include "chase/homomorphism.h"
+
+namespace sqleq {
+
+bool SetContained(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  // Rename apart so shared variable names between the two queries cannot
+  // confuse the mapping search.
+  ConjunctiveQuery from = q2.RenameApart();
+  return ContainmentMappingExists(from, q1);
+}
+
+bool SetEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return SetContained(q1, q2) && SetContained(q2, q1);
+}
+
+}  // namespace sqleq

@@ -1,0 +1,19 @@
+// Chandra–Merlin set containment and equivalence of CQ queries (§2.1):
+// Q1 ⊑S Q2 iff a containment mapping Q2 → Q1 exists. NP-complete; the
+// homomorphism search in src/chase does the heavy lifting.
+#ifndef SQLEQ_EQUIVALENCE_CONTAINMENT_H_
+#define SQLEQ_EQUIVALENCE_CONTAINMENT_H_
+
+#include "ir/query.h"
+
+namespace sqleq {
+
+/// Q1 ⊑S Q2 (set containment, no dependencies).
+bool SetContained(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// Q1 ≡S Q2 (set equivalence, no dependencies): containment both ways.
+bool SetEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_EQUIVALENCE_CONTAINMENT_H_

@@ -1,0 +1,108 @@
+#include "equivalence/isomorphism.h"
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sqleq {
+namespace {
+
+/// Backtracking bijective matcher between the two bodies.
+class IsomorphismSearch {
+ public:
+  IsomorphismSearch(const ConjunctiveQuery& a, const ConjunctiveQuery& b)
+      : a_(a), b_(b) {
+    for (size_t j = 0; j < b_.body().size(); ++j) {
+      targets_[b_.body()[j].predicate()].push_back(j);
+    }
+  }
+
+  std::optional<TermMap> Run() {
+    // Quick rejects: sizes and per-predicate counts must agree.
+    if (a_.body().size() != b_.body().size()) return std::nullopt;
+    if (a_.head().size() != b_.head().size()) return std::nullopt;
+    std::map<std::string, size_t> ca, cb;
+    for (const Atom& x : a_.body()) ++ca[x.predicate()];
+    for (const Atom& x : b_.body()) ++cb[x.predicate()];
+    if (ca != cb) return std::nullopt;
+
+    // Seed the map with the head correspondence.
+    for (size_t i = 0; i < a_.head().size(); ++i) {
+      if (!Bind(a_.head()[i], b_.head()[i])) return std::nullopt;
+    }
+    taken_.assign(b_.body().size(), false);
+    if (Recurse(0)) return map_;
+    return std::nullopt;
+  }
+
+ private:
+  bool Bind(Term from, Term to) {
+    if (from.IsConstant() || to.IsConstant()) return from == to;
+    auto it = map_.find(from);
+    if (it != map_.end()) return it->second == to;
+    if (images_.count(to) > 0) return false;  // injectivity
+    map_.emplace(from, to);
+    images_.insert(to);
+    bound_stack_.push_back(from);
+    return true;
+  }
+
+  void RollbackTo(size_t mark) {
+    while (bound_stack_.size() > mark) {
+      Term v = bound_stack_.back();
+      bound_stack_.pop_back();
+      images_.erase(map_.at(v));
+      map_.erase(v);
+    }
+  }
+
+  bool Recurse(size_t i) {
+    if (i == a_.body().size()) return true;
+    const Atom& atom = a_.body()[i];
+    auto it = targets_.find(atom.predicate());
+    if (it == targets_.end()) return false;
+    for (size_t j : it->second) {
+      if (taken_[j]) continue;
+      const Atom& target = b_.body()[j];
+      if (target.arity() != atom.arity()) continue;
+      size_t mark = bound_stack_.size();
+      bool ok = true;
+      for (size_t k = 0; k < atom.arity(); ++k) {
+        if (!Bind(atom.args()[k], target.args()[k])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        taken_[j] = true;
+        if (Recurse(i + 1)) return true;
+        taken_[j] = false;
+      }
+      RollbackTo(mark);
+    }
+    return false;
+  }
+
+  const ConjunctiveQuery& a_;
+  const ConjunctiveQuery& b_;
+  TermMap map_;
+  std::unordered_set<Term, TermHash> images_;
+  std::vector<Term> bound_stack_;
+  std::vector<bool> taken_;
+  std::unordered_map<std::string, std::vector<size_t>> targets_;
+};
+
+}  // namespace
+
+std::optional<TermMap> FindIsomorphism(const ConjunctiveQuery& a,
+                                       const ConjunctiveQuery& b) {
+  IsomorphismSearch search(a, b);
+  return search.Run();
+}
+
+bool AreIsomorphic(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return FindIsomorphism(a, b).has_value();
+}
+
+}  // namespace sqleq

@@ -1,0 +1,50 @@
+// Equivalence of CQ queries in the presence of embedded dependencies — the
+// paper's headline tests:
+//   * Theorem 2.2 (set):     Q ≡Σ,S Q′  iff (Q)Σ,S ≡S (Q′)Σ,S.
+//   * Theorem 6.1 (bag):     Q ≡Σ,B Q′  iff (Q)Σ,B ≡B (Q′)Σ,B modulo the
+//     set-enforcing dependencies (Thm 4.2 isomorphism test).
+//   * Theorem 6.2 (bag-set): Q ≡Σ,BS Q′ iff (Q)Σ,BS ≡BS (Q′)Σ,BS.
+// All three are conditioned on termination of set chase on the inputs; the
+// step budget in ChaseOptions is the practical proxy.
+#ifndef SQLEQ_EQUIVALENCE_SIGMA_EQUIVALENCE_H_
+#define SQLEQ_EQUIVALENCE_SIGMA_EQUIVALENCE_H_
+
+#include "chase/set_chase.h"
+#include "constraints/dependency.h"
+#include "db/eval.h"
+#include "ir/query.h"
+#include "ir/schema.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+/// Q1 ≡Σ,X Q2 for X = `semantics`. `schema` supplies set-valued flags
+/// (consulted only under kBag).
+Result<bool> EquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                             const DependencySet& sigma, Semantics semantics,
+                             const Schema& schema, const ChaseOptions& options = {});
+
+/// Theorem 2.2 specialization.
+Result<bool> SetEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                                const DependencySet& sigma,
+                                const ChaseOptions& options = {});
+
+/// Theorem 6.1 specialization.
+Result<bool> BagEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                                const DependencySet& sigma, const Schema& schema,
+                                const ChaseOptions& options = {});
+
+/// Theorem 6.2 specialization.
+Result<bool> BagSetEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                                   const DependencySet& sigma,
+                                   const ChaseOptions& options = {});
+
+/// Q1 ⊑Σ,S Q2: set containment under dependencies, via chase of Q1 and a
+/// containment mapping from Q2 (the standard reduction).
+Result<bool> SetContainedUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                               const DependencySet& sigma,
+                               const ChaseOptions& options = {});
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_EQUIVALENCE_SIGMA_EQUIVALENCE_H_

@@ -1,0 +1,59 @@
+#include "ir/atom.h"
+
+#include <unordered_set>
+
+namespace sqleq {
+
+bool Atom::IsGround() const {
+  for (Term t : args_) {
+    if (t.IsVariable()) return false;
+  }
+  return true;
+}
+
+void Atom::CollectVariables(std::vector<Term>* out) const {
+  for (Term t : args_) {
+    if (t.IsVariable()) out->push_back(t);
+  }
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate_;
+  out += '(';
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i].ToString();
+  }
+  out += ')';
+  return out;
+}
+
+size_t Atom::Hash() const {
+  size_t h = std::hash<std::string>()(predicate_);
+  for (Term t : args_) {
+    h = h * 1000003u + t.Hash();
+  }
+  return h;
+}
+
+std::string AtomsToString(const std::vector<Atom>& atoms) {
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atoms[i].ToString();
+  }
+  return out;
+}
+
+std::vector<Term> DistinctVariables(const std::vector<Atom>& atoms) {
+  std::vector<Term> out;
+  std::unordered_set<Term, TermHash> seen;
+  for (const Atom& a : atoms) {
+    for (Term t : a.args()) {
+      if (t.IsVariable() && seen.insert(t).second) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace sqleq

@@ -1,0 +1,64 @@
+// Atom: a relational atom p(t1, ..., tn) over interned terms.
+#ifndef SQLEQ_IR_ATOM_H_
+#define SQLEQ_IR_ATOM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/term.h"
+
+namespace sqleq {
+
+/// A relational atom: predicate symbol applied to a vector of terms.
+/// Predicates are interned via Term::Var's table indirectly — we keep the
+/// predicate as an owned string for clarity; atom comparisons hash it once.
+class Atom {
+ public:
+  Atom() = default;
+  Atom(std::string predicate, std::vector<Term> args)
+      : predicate_(std::move(predicate)), args_(std::move(args)) {}
+
+  const std::string& predicate() const { return predicate_; }
+  const std::vector<Term>& args() const { return args_; }
+  std::vector<Term>& mutable_args() { return args_; }
+  size_t arity() const { return args_.size(); }
+
+  /// True if every argument is a constant.
+  bool IsGround() const;
+
+  /// Appends this atom's variables (with duplicates) to `out`.
+  void CollectVariables(std::vector<Term>* out) const;
+
+  /// "p(X, 1, 'a')".
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate_ == b.predicate_ && a.args_ == b.args_;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.predicate_ != b.predicate_) return a.predicate_ < b.predicate_;
+    return a.args_ < b.args_;
+  }
+
+ private:
+  std::string predicate_;
+  std::vector<Term> args_;
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& a) const { return a.Hash(); }
+};
+
+/// Renders a conjunction "p(X), q(X, Y)".
+std::string AtomsToString(const std::vector<Atom>& atoms);
+
+/// All distinct variables of `atoms` in first-occurrence order.
+std::vector<Term> DistinctVariables(const std::vector<Atom>& atoms);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_IR_ATOM_H_

@@ -1,0 +1,57 @@
+// Text syntax for queries and dependencies, close to the paper's notation:
+//
+//   Q(X) :- p(X, Y), t(X, Y, W).
+//   Q2(X, sum(Y)) :- p(X, Y), s(X, Z).
+//   p(X, Y) -> EXISTS Z, W: s(X, Z), t(Z, Y).        (tgd)
+//   r(X, Y), r(X, Z) -> Y = Z.                        (egd)
+//
+// Conventions: identifiers starting with an uppercase letter or '_' are
+// variables; lowercase identifiers are string constants; digit sequences are
+// integer constants; single-quoted text is a string constant. "AND" may be
+// used instead of ','. The EXISTS prefix is optional documentation — the
+// existential variables of a tgd are exactly the head variables absent from
+// the body.
+#ifndef SQLEQ_IR_PARSER_H_
+#define SQLEQ_IR_PARSER_H_
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ir/query.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+/// Parses a conjunctive query. Fails on aggregate heads.
+Result<ConjunctiveQuery> ParseQuery(std::string_view text);
+
+/// Parses an aggregate query; the head must contain exactly one aggregate
+/// term, in the last position.
+Result<AggregateQuery> ParseAggregateQuery(std::string_view text);
+
+/// A parsed dependency before classification by the constraints layer.
+struct ParsedDependency {
+  std::vector<Atom> body;
+  /// Tgd conclusion atoms (empty for an egd).
+  std::vector<Atom> head_atoms;
+  /// Egd conclusion equations (empty for a tgd).
+  std::vector<std::pair<Term, Term>> equations;
+  bool is_egd() const { return !equations.empty(); }
+};
+
+/// Parses "body -> head" where head is either a conjunction of relational
+/// atoms (tgd) or a conjunction of equations (egd). Mixing atoms and
+/// equations in one conclusion is rejected (normalize Σ into tgds + egds
+/// first, as the paper assumes).
+Result<ParsedDependency> ParseDependencyText(std::string_view text);
+
+/// Parses a conjunction of atoms "p(X), q(X, Y)".
+Result<std::vector<Atom>> ParseAtoms(std::string_view text);
+
+/// Parses a single term: variable, integer, or string constant.
+Result<Term> ParseTerm(std::string_view text);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_IR_PARSER_H_

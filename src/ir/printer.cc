@@ -1,0 +1,46 @@
+#include "ir/printer.h"
+
+#include <algorithm>
+
+namespace sqleq {
+
+std::string TermMapToString(const TermMap& map) {
+  std::vector<std::string> entries;
+  entries.reserve(map.size());
+  for (const auto& [from, to] : map) {
+    entries.push_back(from.ToString() + " -> " + to.ToString());
+  }
+  std::sort(entries.begin(), entries.end());
+  std::string out = "{";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += entries[i];
+  }
+  out += "}";
+  return out;
+}
+
+std::string QueriesToString(const std::vector<ConjunctiveQuery>& queries) {
+  std::string out;
+  for (const ConjunctiveQuery& q : queries) {
+    out += q.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string AlignedTable(const std::vector<std::pair<std::string, std::string>>& rows) {
+  size_t width = 0;
+  for (const auto& [label, _] : rows) width = std::max(width, label.size());
+  std::string out;
+  for (const auto& [label, value] : rows) {
+    out += "  ";
+    out += label;
+    out.append(width - label.size() + 2, ' ');
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sqleq

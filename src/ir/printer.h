@@ -1,0 +1,24 @@
+// Pretty-printing helpers shared by examples, tests, and benches.
+#ifndef SQLEQ_IR_PRINTER_H_
+#define SQLEQ_IR_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "ir/query.h"
+
+namespace sqleq {
+
+/// "{X -> a, Y -> Z}" with entries sorted for determinism.
+std::string TermMapToString(const TermMap& map);
+
+/// One query per line.
+std::string QueriesToString(const std::vector<ConjunctiveQuery>& queries);
+
+/// Renders a list of strings as an aligned two-column table: each row is
+/// "  <label><padding>  <value>".
+std::string AlignedTable(const std::vector<std::pair<std::string, std::string>>& rows);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_IR_PRINTER_H_

@@ -1,0 +1,90 @@
+// Term: an interned variable or constant, the leaf of the query IR.
+//
+// Terms are 8-byte value types. Variable names and constant values live in
+// process-wide interning tables, so equality, hashing, and copies are cheap —
+// the chase (src/chase) manipulates large conjunctions of atoms and relies on
+// this. Interning is append-only and thread-safe.
+#ifndef SQLEQ_IR_TERM_H_
+#define SQLEQ_IR_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace sqleq {
+
+/// A constant value: the database domain is 64-bit integers and strings.
+using Value = std::variant<int64_t, std::string>;
+
+/// Renders a Value as a literal: integers bare, strings single-quoted.
+std::string ValueToString(const Value& v);
+
+/// An interned variable or constant.
+class Term {
+ public:
+  enum class Kind : uint8_t { kVariable = 0, kConstant = 1 };
+
+  /// Default-constructed Term is the variable "_" (placeholder); avoid
+  /// relying on it except as a pre-assignment slot.
+  Term() : Term(Var("_")) {}
+
+  /// Interns (or looks up) the variable named `name`.
+  static Term Var(std::string_view name);
+
+  /// Interns an integer constant.
+  static Term Int(int64_t v);
+
+  /// Interns a string constant.
+  static Term Str(std::string_view s);
+
+  /// Interns an arbitrary Value constant.
+  static Term Const(const Value& v);
+
+  /// Returns a variable guaranteed distinct from every Term interned so far,
+  /// named "<prefix>#<n>" for a process-unique n.
+  static Term FreshVar(std::string_view prefix = "v");
+
+  bool IsVariable() const { return kind_ == Kind::kVariable; }
+  bool IsConstant() const { return kind_ == Kind::kConstant; }
+  Kind kind() const { return kind_; }
+
+  /// Variable name; requires IsVariable().
+  std::string_view name() const;
+
+  /// Constant value; requires IsConstant().
+  const Value& value() const;
+
+  /// Variable name or constant literal.
+  std::string ToString() const;
+
+  friend bool operator==(Term a, Term b) {
+    return a.kind_ == b.kind_ && a.id_ == b.id_;
+  }
+  friend bool operator!=(Term a, Term b) { return !(a == b); }
+  friend bool operator<(Term a, Term b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.id_ < b.id_;
+  }
+
+  /// Stable hash suitable for unordered containers.
+  size_t Hash() const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(kind_) << 32) |
+                                 static_cast<uint32_t>(id_));
+  }
+
+ private:
+  Term(Kind kind, int32_t id) : kind_(kind), id_(id) {}
+
+  Kind kind_;
+  int32_t id_;
+};
+
+struct TermHash {
+  size_t operator()(Term t) const { return t.Hash(); }
+};
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_IR_TERM_H_

@@ -1,0 +1,40 @@
+#include "reformulation/aggregate_candb.h"
+
+#include "reformulation/bag_candb.h"
+
+namespace sqleq {
+
+Result<AggregateCandBResult> AggregateCandB(const AggregateQuery& q,
+                                            const DependencySet& sigma,
+                                            const Schema& schema,
+                                            const CandBOptions& options) {
+  ConjunctiveQuery core = q.Core();
+  bool set_reduction = q.function() == AggregateFunction::kMax ||
+                       q.function() == AggregateFunction::kMin;
+  Result<CandBResult> core_result =
+      set_reduction ? SetCandB(core, sigma, options)
+                    : BagSetCandB(core, sigma, schema, options);
+  SQLEQ_RETURN_IF_ERROR(core_result.status());
+
+  AggregateCandBResult out{core_result->universal_plan, {},
+                           core_result->candidates_examined};
+  size_t group_arity = q.grouping().size();
+  for (const ConjunctiveQuery& reform : core_result->reformulations) {
+    // Rebuild the aggregate head from the (possibly egd-rewritten) core
+    // head: grouping prefix + aggregate argument suffix.
+    std::vector<Term> grouping(reform.head().begin(),
+                               reform.head().begin() + group_arity);
+    std::optional<Term> agg_arg;
+    if (q.agg_arg().has_value()) agg_arg = reform.head().back();
+    Result<AggregateQuery> rebuilt = AggregateQuery::Create(
+        q.name(), std::move(grouping), q.function(), agg_arg, reform.body());
+    // Chase can in principle unify the aggregate argument into the grouping
+    // terms, which no aggregate head can express; such candidates are
+    // skipped rather than emitted malformed.
+    if (!rebuilt.ok()) continue;
+    out.reformulations.push_back(std::move(*rebuilt));
+  }
+  return out;
+}
+
+}  // namespace sqleq

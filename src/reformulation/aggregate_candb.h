@@ -1,0 +1,33 @@
+// Reformulation of aggregate CQ queries (§6.3, Theorem K.2):
+//   * Max-Min-C&B — max/min queries, via set-semantics C&B on the core;
+//   * Sum-Count-C&B — sum/count queries, via Bag-Set-C&B on the core.
+// Each core reformulation Q′ is re-wrapped with the input query's aggregate
+// head; then Q′′ ≡Σ Q by Theorem 6.3.
+#ifndef SQLEQ_REFORMULATION_AGGREGATE_CANDB_H_
+#define SQLEQ_REFORMULATION_AGGREGATE_CANDB_H_
+
+#include <vector>
+
+#include "reformulation/candb.h"
+
+namespace sqleq {
+
+struct AggregateCandBResult {
+  /// The universal plan of the core.
+  ConjunctiveQuery core_universal_plan;
+  /// Σ-minimal aggregate reformulations Q′′ ≡Σ Q.
+  std::vector<AggregateQuery> reformulations;
+  size_t candidates_examined = 0;
+};
+
+/// Dispatches on the aggregate function: max/min → Max-Min-C&B (set core
+/// reformulation), sum/count/count(*) → Sum-Count-C&B (bag-set core
+/// reformulation). `schema` is consulted for Bag-Set-C&B's chase.
+Result<AggregateCandBResult> AggregateCandB(const AggregateQuery& q,
+                                            const DependencySet& sigma,
+                                            const Schema& schema,
+                                            const CandBOptions& options = {});
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_REFORMULATION_AGGREGATE_CANDB_H_

@@ -1,0 +1,20 @@
+#include "reformulation/bag_candb.h"
+
+namespace sqleq {
+
+Result<CandBResult> BagCandB(const ConjunctiveQuery& q, const DependencySet& sigma,
+                             const Schema& schema, const CandBOptions& options) {
+  return ChaseAndBackchase(q, sigma, Semantics::kBag, schema, options);
+}
+
+Result<CandBResult> BagSetCandB(const ConjunctiveQuery& q, const DependencySet& sigma,
+                                const Schema& schema, const CandBOptions& options) {
+  return ChaseAndBackchase(q, sigma, Semantics::kBagSet, schema, options);
+}
+
+Result<CandBResult> SetCandB(const ConjunctiveQuery& q, const DependencySet& sigma,
+                             const CandBOptions& options) {
+  return ChaseAndBackchase(q, sigma, Semantics::kSet, Schema(), options);
+}
+
+}  // namespace sqleq

@@ -1,0 +1,26 @@
+// Named entry points for the §6.3 reformulation algorithms on CQ queries:
+// Bag-C&B (Theorem 6.4) and Bag-Set-C&B (Theorem K.1). Both are thin
+// specializations of ChaseAndBackchase.
+#ifndef SQLEQ_REFORMULATION_BAG_CANDB_H_
+#define SQLEQ_REFORMULATION_BAG_CANDB_H_
+
+#include "reformulation/candb.h"
+
+namespace sqleq {
+
+/// Bag-C&B: all Σ-minimal Q′ with Q′ ≡Σ,B Q (sound & complete when set
+/// chase terminates, Thm 6.4).
+Result<CandBResult> BagCandB(const ConjunctiveQuery& q, const DependencySet& sigma,
+                             const Schema& schema, const CandBOptions& options = {});
+
+/// Bag-Set-C&B: all Σ-minimal Q′ with Q′ ≡Σ,BS Q (Thm K.1).
+Result<CandBResult> BagSetCandB(const ConjunctiveQuery& q, const DependencySet& sigma,
+                                const Schema& schema, const CandBOptions& options = {});
+
+/// Original set-semantics C&B of [11] (Thm A.1).
+Result<CandBResult> SetCandB(const ConjunctiveQuery& q, const DependencySet& sigma,
+                             const CandBOptions& options = {});
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_REFORMULATION_BAG_CANDB_H_

@@ -1,0 +1,121 @@
+#include "reformulation/candb.h"
+
+#include <algorithm>
+
+#include "chase/sound_chase.h"
+#include "equivalence/bag_equivalence.h"
+#include "equivalence/bag_set_equivalence.h"
+#include "equivalence/containment.h"
+#include "equivalence/isomorphism.h"
+#include "reformulation/minimize.h"
+
+namespace sqleq {
+namespace {
+
+/// Subsets of {0..n-1} in increasing-cardinality order (then numeric), so
+/// the backchase meets minimal candidates first.
+std::vector<uint64_t> SubsetMasksBySize(size_t n) {
+  std::vector<uint64_t> masks;
+  masks.reserve((uint64_t(1) << n) - 1);
+  for (uint64_t m = 1; m < (uint64_t(1) << n); ++m) masks.push_back(m);
+  std::stable_sort(masks.begin(), masks.end(), [](uint64_t a, uint64_t b) {
+    int pa = __builtin_popcountll(a);
+    int pb = __builtin_popcountll(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+  return masks;
+}
+
+}  // namespace
+
+Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
+                                      const DependencySet& sigma, Semantics semantics,
+                                      const Schema& schema, const CandBOptions& options) {
+  // ---- Chase phase: universal plan U = (Q)Σ,X. ----
+  SQLEQ_ASSIGN_OR_RETURN(ChaseOutcome chased,
+                         SoundChase(q, sigma, semantics, schema, options.chase));
+  if (chased.failed) {
+    return Status::FailedPrecondition(
+        "chase failed: Q is unsatisfiable on every instance of Σ");
+  }
+  CandBResult out{chased.result, {}, 0};
+  const ConjunctiveQuery& u = out.universal_plan;
+
+  size_t n = u.body().size();
+  if (n >= 63) {
+    return Status::ResourceExhausted("universal plan too large for backchase (" +
+                                     std::to_string(n) + " atoms)");
+  }
+
+  // ---- Backchase phase: subqueries of U, smallest first. ----
+  std::vector<uint64_t> accepted_masks;
+  std::vector<ConjunctiveQuery> accepted;
+  std::vector<uint64_t> masks = SubsetMasksBySize(n);
+  size_t candidate_budget = options.max_candidates;
+  for (uint64_t mask : masks) {
+    // Keep only Σ-minimal outputs: any superset of an accepted candidate
+    // chases to the same universal plan and is dominated.
+    bool dominated = false;
+    for (uint64_t am : accepted_masks) {
+      if ((mask & am) == am) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    if (candidate_budget == 0) {
+      return Status::ResourceExhausted("backchase candidate budget exhausted");
+    }
+    --candidate_budget;
+
+    std::vector<Atom> body;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) body.push_back(u.body()[i]);
+    }
+    Result<ConjunctiveQuery> candidate =
+        ConjunctiveQuery::Create(q.name(), u.head(), std::move(body));
+    if (!candidate.ok()) continue;  // unsafe subquery — skip silently
+    ++out.candidates_examined;
+
+    SQLEQ_ASSIGN_OR_RETURN(
+        ChaseOutcome cand_chased,
+        SoundChase(*candidate, sigma, semantics, schema, options.chase));
+    if (cand_chased.failed) continue;
+
+    bool equivalent = false;
+    switch (semantics) {
+      case Semantics::kSet:
+        equivalent = SetEquivalent(cand_chased.result, u);
+        break;
+      case Semantics::kBag:
+        equivalent = BagEquivalentModuloSetRelations(cand_chased.result, u, schema);
+        break;
+      case Semantics::kBagSet:
+        equivalent = BagSetEquivalent(cand_chased.result, u);
+        break;
+    }
+    if (!equivalent) continue;
+
+    if (options.verify_sigma_minimality) {
+      SQLEQ_ASSIGN_OR_RETURN(
+          bool minimal,
+          IsSigmaMinimal(*candidate, sigma, semantics, schema, options.chase));
+      if (!minimal) continue;
+    }
+
+    // De-duplicate isomorphic outputs.
+    bool duplicate = false;
+    for (const ConjunctiveQuery& seen : accepted) {
+      if (AreIsomorphic(seen, *candidate)) {
+        duplicate = true;
+        break;
+      }
+    }
+    accepted_masks.push_back(mask);
+    if (!duplicate) accepted.push_back(std::move(*candidate));
+  }
+  out.reformulations = std::move(accepted);
+  return out;
+}
+
+}  // namespace sqleq

@@ -1,0 +1,51 @@
+// Chase & Backchase (Appendix A) generalized over evaluation semantics —
+// the paper's §6.3 algorithms are exactly C&B with the sound chase and the
+// semantics' equivalence test plugged in:
+//   kSet    → C&B           (Thm A.1)
+//   kBag    → Bag-C&B       (Thm 6.4)
+//   kBagSet → Bag-Set-C&B   (Thm K.1)
+#ifndef SQLEQ_REFORMULATION_CANDB_H_
+#define SQLEQ_REFORMULATION_CANDB_H_
+
+#include <vector>
+
+#include "chase/set_chase.h"
+#include "constraints/dependency.h"
+#include "db/eval.h"
+#include "ir/query.h"
+#include "ir/schema.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+struct CandBOptions {
+  ChaseOptions chase;
+  /// Cap on backchase candidates (the subquery lattice is 2^|body(U)|).
+  size_t max_candidates = 1u << 20;
+  /// When true, outputs are additionally filtered through the Def 3.1
+  /// Σ-minimality check (subset-minimality in the universal-plan lattice is
+  /// the C&B guarantee; the extra check also covers variable-identification
+  /// minimality). Costs extra chases.
+  bool verify_sigma_minimality = false;
+};
+
+struct CandBResult {
+  /// The universal plan U = (Q)Σ,X.
+  ConjunctiveQuery universal_plan;
+  /// Σ-minimal reformulations Q′ with Q′ ≡Σ,X Q, pairwise non-isomorphic.
+  std::vector<ConjunctiveQuery> reformulations;
+  /// Backchase candidates whose equivalence was tested.
+  size_t candidates_examined = 0;
+};
+
+/// Runs chase & backchase for `q` under Σ and the given semantics. Sound
+/// and complete whenever set chase terminates on the inputs (Thms A.1, 6.4,
+/// K.1) — guarded by the chase step budget.
+Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
+                                      const DependencySet& sigma, Semantics semantics,
+                                      const Schema& schema,
+                                      const CandBOptions& options = {});
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_REFORMULATION_CANDB_H_

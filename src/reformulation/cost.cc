@@ -1,0 +1,104 @@
+#include "reformulation/cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sqleq {
+
+CostModel& CostModel::SetRows(const std::string& relation, double rows) {
+  stats_[relation].rows = rows;
+  return *this;
+}
+
+CostModel& CostModel::SetDistinct(const std::string& relation, size_t position,
+                                  double n) {
+  stats_[relation].distinct[position] = n;
+  return *this;
+}
+
+CostModel& CostModel::SetDefaultRows(double rows) {
+  default_rows_ = rows;
+  return *this;
+}
+
+double CostModel::RowsOf(const std::string& relation) const {
+  auto it = stats_.find(relation);
+  return it == stats_.end() ? default_rows_ : it->second.rows;
+}
+
+double CostModel::DistinctOf(const std::string& relation, size_t position) const {
+  auto it = stats_.find(relation);
+  if (it != stats_.end()) {
+    auto jt = it->second.distinct.find(position);
+    if (jt != it->second.distinct.end()) return std::max(1.0, jt->second);
+  }
+  return std::max(1.0, std::sqrt(RowsOf(relation)));
+}
+
+CostEstimate EstimateCost(const ConjunctiveQuery& q, const CostModel& model) {
+  CostEstimate out;
+  out.atoms = q.body().size();
+
+  std::unordered_set<Term, TermHash> bound;
+  std::vector<bool> used(q.body().size(), false);
+  double frontier = 1.0;  // current intermediate cardinality
+
+  // Count of occurrences per variable to spot join positions.
+  auto atom_contribution = [&](const Atom& atom) {
+    double rows = model.RowsOf(atom.predicate());
+    double selectivity = 1.0;
+    for (size_t i = 0; i < atom.arity(); ++i) {
+      Term t = atom.args()[i];
+      bool is_bound = t.IsConstant() || bound.count(t) > 0;
+      if (is_bound) {
+        selectivity /= model.DistinctOf(atom.predicate(), i);
+      }
+    }
+    return std::max(1e-9, rows * selectivity);
+  };
+
+  for (size_t step = 0; step < q.body().size(); ++step) {
+    // Greedy: pick the unused atom with the smallest contribution (most
+    // bound positions first).
+    size_t best = q.body().size();
+    double best_contribution = 0.0;
+    for (size_t i = 0; i < q.body().size(); ++i) {
+      if (used[i]) continue;
+      double c = atom_contribution(q.body()[i]);
+      if (best == q.body().size() || c < best_contribution) {
+        best = i;
+        best_contribution = c;
+      }
+    }
+    used[best] = true;
+    frontier *= best_contribution;
+    out.intermediate_tuples += frontier;
+    for (Term t : q.body()[best].args()) {
+      if (t.IsVariable()) bound.insert(t);
+    }
+  }
+  out.output_rows = frontier;
+  return out;
+}
+
+std::optional<size_t> PickCheapest(const std::vector<ConjunctiveQuery>& candidates,
+                                   const CostModel& model) {
+  std::optional<size_t> best;
+  CostEstimate best_cost;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    CostEstimate cost = EstimateCost(candidates[i], model);
+    bool better = !best.has_value() ||
+                  cost.intermediate_tuples < best_cost.intermediate_tuples ||
+                  (cost.intermediate_tuples == best_cost.intermediate_tuples &&
+                   cost.atoms < best_cost.atoms);
+    if (better) {
+      best = i;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace sqleq

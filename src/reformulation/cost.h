@@ -1,0 +1,65 @@
+// A small cardinality-based cost model for ranking the Σ-minimal
+// reformulations produced by the C&B family — the "quality metric on the
+// rewritings being generated" the paper's introduction appeals to.
+//
+// The estimate is the textbook System-R style independence model: scan the
+// body left to right in a most-bound-first order, charging each atom its
+// base cardinality divided by the selectivity of already-bound join
+// positions. Deliberately simple; it only has to ORDER reformulations.
+#ifndef SQLEQ_REFORMULATION_COST_H_
+#define SQLEQ_REFORMULATION_COST_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/query.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+/// Per-relation statistics.
+struct RelationStats {
+  double rows = 1000.0;
+  /// Distinct values per attribute position; defaults to sqrt(rows) when a
+  /// position is absent.
+  std::map<size_t, double> distinct;
+};
+
+/// Statistics for a schema; relations without an entry use `default_rows`.
+class CostModel {
+ public:
+  CostModel& SetRows(const std::string& relation, double rows);
+  CostModel& SetDistinct(const std::string& relation, size_t position, double n);
+  CostModel& SetDefaultRows(double rows);
+
+  double RowsOf(const std::string& relation) const;
+  double DistinctOf(const std::string& relation, size_t position) const;
+
+ private:
+  std::map<std::string, RelationStats> stats_;
+  double default_rows_ = 1000.0;
+};
+
+/// Cost breakdown for one query.
+struct CostEstimate {
+  /// Estimated total intermediate tuples produced by a greedy most-bound-
+  /// first join order (the cost used for ranking).
+  double intermediate_tuples = 0.0;
+  /// Estimated output cardinality.
+  double output_rows = 0.0;
+  size_t atoms = 0;
+};
+
+/// Estimates the cost of evaluating `q` under the independence model.
+CostEstimate EstimateCost(const ConjunctiveQuery& q, const CostModel& model);
+
+/// Index of the cheapest query in `candidates` (ties broken by fewer atoms,
+/// then input order). nullopt if empty.
+std::optional<size_t> PickCheapest(const std::vector<ConjunctiveQuery>& candidates,
+                                   const CostModel& model);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_REFORMULATION_COST_H_

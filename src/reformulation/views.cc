@@ -1,0 +1,251 @@
+#include "reformulation/views.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "chase/homomorphism.h"
+#include "chase/sound_chase.h"
+#include "equivalence/isomorphism.h"
+#include "equivalence/sigma_equivalence.h"
+
+namespace sqleq {
+namespace {
+
+/// Union-find over terms, constants as preferred representatives; a clash of
+/// two distinct constants marks the rewriting unsatisfiable.
+class Unifier {
+ public:
+  Term Find(Term t) {
+    auto it = parent_.find(t);
+    if (it == parent_.end() || it->second == t) return t;
+    Term root = Find(it->second);
+    parent_[t] = root;
+    return root;
+  }
+
+  Status Union(Term a, Term b) {
+    Term ra = Find(a);
+    Term rb = Find(b);
+    if (ra == rb) return Status::OK();
+    if (ra.IsConstant() && rb.IsConstant()) {
+      return Status::FailedPrecondition(
+          "rewriting is unsatisfiable: view head forces " + ra.ToString() + " = " +
+          rb.ToString());
+    }
+    if (ra.IsConstant()) std::swap(ra, rb);
+    parent_[ra] = rb;
+    return Status::OK();
+  }
+
+ private:
+  TermMap parent_;
+};
+
+}  // namespace
+
+Status ViewSet::Add(const ConjunctiveQuery& definition) {
+  const std::string& name = definition.name();
+  if (views_.count(name) > 0) {
+    return Status::InvalidArgument("duplicate view '" + name + "'");
+  }
+  for (const Atom& a : definition.body()) {
+    if (views_.count(a.predicate()) > 0 || a.predicate() == name) {
+      return Status::Unsupported("view '" + name + "' references view '" +
+                                 a.predicate() + "'; nested views are not supported");
+    }
+  }
+  for (const auto& [existing_name, existing] : views_) {
+    for (const Atom& a : existing.body()) {
+      if (a.predicate() == name) {
+        return Status::Unsupported("view '" + name + "' is referenced by view '" +
+                                   existing_name + "'; nested views are not supported");
+      }
+    }
+  }
+  views_.emplace(name, definition);
+  order_.push_back(name);
+  return Status::OK();
+}
+
+Result<ConjunctiveQuery> ViewSet::Get(const std::string& name) const {
+  auto it = views_.find(name);
+  if (it == views_.end()) return Status::NotFound("unknown view '" + name + "'");
+  return it->second;
+}
+
+Schema ViewSet::AsSchema(bool set_valued) const {
+  Schema out;
+  for (const auto& [name, def] : views_) {
+    Status s = out.AddRelation(name, def.head().size(), {}, set_valued);
+    (void)s;  // names are unique and arities positive by construction
+  }
+  return out;
+}
+
+Result<ConjunctiveQuery> ExpandRewriting(const ConjunctiveQuery& rewriting,
+                                         const ViewSet& views) {
+  // Phase 1: constraints induced by repeated variables / constants in view
+  // heads become unifications over the rewriting's terms.
+  Unifier unifier;
+  for (const Atom& atom : rewriting.body()) {
+    if (!views.Has(atom.predicate())) continue;
+    SQLEQ_ASSIGN_OR_RETURN(ConjunctiveQuery def, views.Get(atom.predicate()));
+    if (def.head().size() != atom.arity()) {
+      return Status::InvalidArgument("view atom " + atom.ToString() +
+                                     " disagrees with view head arity " +
+                                     std::to_string(def.head().size()));
+    }
+    TermMap seen;  // view head variable -> rewriting term
+    for (size_t i = 0; i < atom.arity(); ++i) {
+      Term h = def.head()[i];
+      Term arg = atom.args()[i];
+      if (h.IsConstant()) {
+        SQLEQ_RETURN_IF_ERROR(unifier.Union(arg, h));
+        continue;
+      }
+      auto it = seen.find(h);
+      if (it != seen.end()) {
+        SQLEQ_RETURN_IF_ERROR(unifier.Union(it->second, arg));
+      } else {
+        seen.emplace(h, arg);
+      }
+    }
+  }
+
+  // Phase 2: apply the unifier to the whole rewriting.
+  std::vector<Term> head;
+  for (Term t : rewriting.head()) head.push_back(unifier.Find(t));
+  std::vector<Atom> atoms;
+  for (const Atom& a : rewriting.body()) {
+    std::vector<Term> args;
+    for (Term t : a.args()) args.push_back(unifier.Find(t));
+    atoms.emplace_back(a.predicate(), std::move(args));
+  }
+
+  // Phase 3: splice in freshened view bodies.
+  std::vector<Atom> body;
+  for (const Atom& atom : atoms) {
+    if (!views.Has(atom.predicate())) {
+      body.push_back(atom);
+      continue;
+    }
+    SQLEQ_ASSIGN_OR_RETURN(ConjunctiveQuery def, views.Get(atom.predicate()));
+    ConjunctiveQuery fresh = def.RenameApart();
+    TermMap map;
+    for (size_t i = 0; i < atom.arity(); ++i) {
+      Term h = fresh.head()[i];
+      if (h.IsVariable()) map.emplace(h, atom.args()[i]);
+    }
+    for (const Atom& view_atom : ApplyTermMap(map, fresh.body())) {
+      body.push_back(view_atom);
+    }
+  }
+  return ConjunctiveQuery::Create(rewriting.name() + "_exp", std::move(head),
+                                  std::move(body));
+}
+
+Result<bool> IsEquivalentRewriting(const ConjunctiveQuery& q,
+                                   const ConjunctiveQuery& rewriting,
+                                   const ViewSet& views, const DependencySet& sigma,
+                                   Semantics semantics, const Schema& schema,
+                                   const ChaseOptions& options) {
+  Result<ConjunctiveQuery> expansion = ExpandRewriting(rewriting, views);
+  if (!expansion.ok()) {
+    if (expansion.status().code() == StatusCode::kFailedPrecondition) {
+      return false;  // unsatisfiable rewriting is never equivalent to a CQ
+    }
+    return expansion.status();
+  }
+  return EquivalentUnder(*expansion, q, sigma, semantics, schema, options);
+}
+
+Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet& views,
+                                       const DependencySet& sigma, Semantics semantics,
+                                       const Schema& schema,
+                                       const RewriteOptions& options) {
+  // Chase phase.
+  SQLEQ_ASSIGN_OR_RETURN(ChaseOutcome chased,
+                         SoundChase(q, sigma, semantics, schema, options.candb.chase));
+  if (chased.failed) {
+    return Status::FailedPrecondition("chase failed: Q is unsatisfiable under Σ");
+  }
+  RewriteResult out{{}, chased.result, 0};
+  const ConjunctiveQuery& u = out.universal_plan;
+
+  // Candidate atoms: view atoms induced by homomorphisms view-body → U,
+  // plus (optionally) the base atoms of U.
+  std::vector<Atom> pool;
+  std::unordered_set<Atom, AtomHash> seen;
+  for (const std::string& name : views.names()) {
+    SQLEQ_ASSIGN_OR_RETURN(ConjunctiveQuery def, views.Get(name));
+    ConjunctiveQuery fresh = def.RenameApart();
+    ForEachHomomorphism(fresh.body(), u.body(), TermMap(), [&](const TermMap& h) {
+      std::vector<Term> args;
+      args.reserve(fresh.head().size());
+      for (Term t : fresh.head()) args.push_back(ApplyTermMap(h, t));
+      Atom candidate(name, std::move(args));
+      if (seen.insert(candidate).second) pool.push_back(std::move(candidate));
+      return true;
+    });
+  }
+  if (options.allow_base_atoms) {
+    for (const Atom& a : u.body()) {
+      if (seen.insert(a).second) pool.push_back(a);
+    }
+  }
+  if (pool.size() >= 24) {
+    return Status::ResourceExhausted("rewriting candidate pool too large (" +
+                                     std::to_string(pool.size()) + " atoms)");
+  }
+
+  // Backchase over subsets of the pool, smallest first, pruning supersets of
+  // accepted rewritings.
+  std::vector<uint64_t> masks;
+  for (uint64_t m = 1; m < (uint64_t(1) << pool.size()); ++m) masks.push_back(m);
+  std::stable_sort(masks.begin(), masks.end(), [](uint64_t a, uint64_t b) {
+    int pa = __builtin_popcountll(a);
+    int pb = __builtin_popcountll(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+  std::vector<uint64_t> accepted_masks;
+  size_t budget = options.candb.max_candidates;
+  for (uint64_t mask : masks) {
+    bool dominated = false;
+    for (uint64_t am : accepted_masks) {
+      if ((mask & am) == am) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    if (budget == 0) {
+      return Status::ResourceExhausted("rewriting candidate budget exhausted");
+    }
+    --budget;
+    std::vector<Atom> body;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if ((mask >> i) & 1) body.push_back(pool[i]);
+    }
+    Result<ConjunctiveQuery> candidate =
+        ConjunctiveQuery::Create(q.name() + "_v", u.head(), std::move(body));
+    if (!candidate.ok()) continue;  // unsafe — head variable not covered
+    ++out.candidates_examined;
+    SQLEQ_ASSIGN_OR_RETURN(
+        bool equivalent,
+        IsEquivalentRewriting(u, *candidate, views, sigma, semantics, schema,
+                              options.candb.chase));
+    if (!equivalent) continue;
+    bool duplicate = false;
+    for (const ConjunctiveQuery& prior : out.rewritings) {
+      if (AreIsomorphic(prior, *candidate)) {
+        duplicate = true;
+        break;
+      }
+    }
+    accepted_masks.push_back(mask);
+    if (!duplicate) out.rewritings.push_back(std::move(*candidate));
+  }
+  return out;
+}
+
+}  // namespace sqleq

@@ -1,0 +1,94 @@
+// Rewriting CQ queries equivalently using views, in presence of embedded
+// dependencies, under set / bag / bag-set semantics — the application the
+// paper's introduction motivates (§1, [17, 23]).
+//
+// A candidate rewriting R is a CQ over view predicates (and optionally base
+// predicates). Its *expansion* replaces every view atom by the view's body
+// with head variables unified and non-head variables freshened. R is an
+// equivalent rewriting of Q iff expansion(R) ≡Σ,X Q — decidable with the
+// paper's tests (Thms 2.2, 6.1, 6.2) whenever set chase terminates.
+//
+// Under bag semantics this is sound when materialized views are populated
+// under bag semantics from the bag-valued base relations (and under bag-set
+// semantics when views are populated without DISTINCT from set-valued bases)
+// — CQ composition commutes with both semantics.
+#ifndef SQLEQ_REFORMULATION_VIEWS_H_
+#define SQLEQ_REFORMULATION_VIEWS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "reformulation/candb.h"
+
+namespace sqleq {
+
+/// A named set of CQ view definitions. The view's relation symbol is the
+/// query name; its arity is the head arity.
+class ViewSet {
+ public:
+  /// Registers a view. Fails on duplicate names and on names colliding with
+  /// a base predicate used in any view body.
+  Status Add(const ConjunctiveQuery& definition);
+
+  bool Has(const std::string& name) const { return views_.count(name) > 0; }
+  Result<ConjunctiveQuery> Get(const std::string& name) const;
+
+  /// Names in registration order.
+  const std::vector<std::string>& names() const { return order_; }
+  size_t size() const { return views_.size(); }
+
+  /// The view predicates as schema relations (arity = head arity), for
+  /// building rewriting-side schemas. `set_valued` marks all views (use for
+  /// views materialized WITH DISTINCT).
+  Schema AsSchema(bool set_valued = false) const;
+
+ private:
+  std::map<std::string, ConjunctiveQuery> views_;
+  std::vector<std::string> order_;
+};
+
+/// Replaces every view atom of `rewriting` by the view's (freshened) body;
+/// non-view atoms pass through. Fails on arity mismatches against the view
+/// head. The result's head is the rewriting's head.
+Result<ConjunctiveQuery> ExpandRewriting(const ConjunctiveQuery& rewriting,
+                                         const ViewSet& views);
+
+/// Decides whether `rewriting` is an equivalent rewriting of `q` using
+/// `views` under Σ and `semantics`: expansion(R) ≡Σ,X Q.
+Result<bool> IsEquivalentRewriting(const ConjunctiveQuery& q,
+                                   const ConjunctiveQuery& rewriting,
+                                   const ViewSet& views, const DependencySet& sigma,
+                                   Semantics semantics, const Schema& schema,
+                                   const ChaseOptions& options = {});
+
+struct RewriteResult {
+  /// Equivalent rewritings over the view (and optionally base) predicates,
+  /// pairwise non-isomorphic, subset-minimal in the candidate-atom lattice.
+  std::vector<ConjunctiveQuery> rewritings;
+  /// The universal plan the candidates were drawn from.
+  ConjunctiveQuery universal_plan;
+  size_t candidates_examined = 0;
+};
+
+struct RewriteOptions {
+  CandBOptions candb;
+  /// Allow base-relation atoms to appear alongside view atoms in rewritings
+  /// (false = total rewritings over views only).
+  bool allow_base_atoms = false;
+};
+
+/// Enumerates equivalent rewritings of `q` using `views` under Σ and
+/// `semantics`, C&B-with-views style [11]: chase Q to its universal plan U;
+/// every homomorphism from a view body into U contributes a candidate view
+/// atom over U's variables; backchase over subsets of candidate atoms (plus
+/// U's base atoms when `allow_base_atoms`), accepting candidates whose
+/// expansion chases to something equivalent to U.
+Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet& views,
+                                       const DependencySet& sigma, Semantics semantics,
+                                       const Schema& schema,
+                                       const RewriteOptions& options = {});
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_REFORMULATION_VIEWS_H_

@@ -1,0 +1,283 @@
+#include "shell/engine.h"
+
+#include <cctype>
+#include <vector>
+
+#include "equivalence/explain.h"
+#include "equivalence/sigma_equivalence.h"
+#include "ir/parser.h"
+#include "reformulation/candb.h"
+#include "sql/render.h"
+#include "sql/sql_parser.h"
+#include "util/string_util.h"
+
+namespace sqleq {
+namespace shell {
+namespace {
+
+/// First whitespace-delimited word of `s`, and the remainder.
+std::pair<std::string, std::string_view> SplitKeyword(std::string_view s) {
+  s = Trim(s);
+  size_t i = 0;
+  while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return {std::string(s.substr(0, i)), Trim(s.substr(i))};
+}
+
+Result<Semantics> SemanticsFromName(std::string_view name) {
+  if (EqualsIgnoreCase(name, "S") || EqualsIgnoreCase(name, "SET")) {
+    return Semantics::kSet;
+  }
+  if (EqualsIgnoreCase(name, "B") || EqualsIgnoreCase(name, "BAG")) {
+    return Semantics::kBag;
+  }
+  if (EqualsIgnoreCase(name, "BS") || EqualsIgnoreCase(name, "BAGSET")) {
+    return Semantics::kBagSet;
+  }
+  return Status::InvalidArgument("unknown semantics '" + std::string(name) +
+                                 "' (use S, B, or BS)");
+}
+
+}  // namespace
+
+Result<NamedQuery> ScriptEngine::GetQuery(const std::string& name) const {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("unknown query '" + name + "' (define it with QUERY)");
+  }
+  return it->second;
+}
+
+Result<std::pair<std::vector<std::string>, std::optional<Semantics>>>
+ScriptEngine::ParseArgs(std::string_view rest) const {
+  std::vector<std::string> names;
+  std::optional<Semantics> semantics;
+  std::string_view remaining = Trim(rest);
+  while (!remaining.empty()) {
+    auto [word, tail] = SplitKeyword(remaining);
+    if (EqualsIgnoreCase(word, "UNDER")) {
+      auto [sem_name, tail2] = SplitKeyword(tail);
+      SQLEQ_ASSIGN_OR_RETURN(Semantics sem, SemanticsFromName(sem_name));
+      semantics = sem;
+      remaining = tail2;
+      continue;
+    }
+    names.push_back(word);
+    remaining = tail;
+  }
+  return std::make_pair(std::move(names), semantics);
+}
+
+Result<std::string> ScriptEngine::Execute(std::string_view statement) {
+  statement = Trim(statement);
+  if (statement.empty()) return std::string();
+  auto [keyword, rest] = SplitKeyword(statement);
+  if (EqualsIgnoreCase(keyword, "CREATE")) return ExecCreate(statement);
+  if (EqualsIgnoreCase(keyword, "INSERT")) return ExecInsert(statement);
+  if (EqualsIgnoreCase(keyword, "DEP")) return ExecDep(rest);
+  if (EqualsIgnoreCase(keyword, "VIEW")) return ExecView(rest);
+  if (EqualsIgnoreCase(keyword, "QUERY")) return ExecQuery(rest);
+  if (EqualsIgnoreCase(keyword, "EVAL")) return ExecEval(rest);
+  if (EqualsIgnoreCase(keyword, "EQUIV")) return ExecEquiv(rest, /*explain=*/false);
+  if (EqualsIgnoreCase(keyword, "EXPLAIN")) return ExecEquiv(rest, /*explain=*/true);
+  if (EqualsIgnoreCase(keyword, "MINIMIZE")) return ExecMinimize(rest);
+  if (EqualsIgnoreCase(keyword, "REWRITE")) return ExecRewrite(rest);
+  if (EqualsIgnoreCase(keyword, "SHOW")) return ExecShow(rest);
+  return Status::InvalidArgument("unknown command '" + keyword + "'");
+}
+
+Result<std::string> ScriptEngine::Run(std::string_view script) {
+  std::string out;
+  size_t start = 0;
+  while (start < script.size()) {
+    size_t end = script.find(';', start);
+    if (end == std::string_view::npos) end = script.size();
+    std::string_view piece = Trim(script.substr(start, end - start));
+    if (!piece.empty()) {
+      SQLEQ_ASSIGN_OR_RETURN(std::string piece_out, Execute(piece));
+      out += piece_out;
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+Result<std::string> ScriptEngine::ExecCreate(std::string_view statement) {
+  SQLEQ_ASSIGN_OR_RETURN(sql::CreateTableStatement stmt,
+                         sql::ParseCreateTable(statement));
+  sql::Catalog updated = catalog_;
+  SQLEQ_RETURN_IF_ERROR(sql::ApplyCreateTable(stmt, &updated));
+  // Rebuild the instance over the widened schema, carrying data over.
+  Database rebuilt(updated.schema);
+  for (const RelationInfo& info : database_.schema().Relations()) {
+    SQLEQ_ASSIGN_OR_RETURN(RelationInstance rel, database_.GetRelation(info.name));
+    for (const auto& [tuple, count] : rel.bag().counts()) {
+      SQLEQ_RETURN_IF_ERROR(rebuilt.Insert(info.name, tuple, count));
+    }
+  }
+  catalog_ = std::move(updated);
+  database_ = std::move(rebuilt);
+  return "created table " + stmt.table + "\n";
+}
+
+Result<std::string> ScriptEngine::ExecInsert(std::string_view statement) {
+  SQLEQ_ASSIGN_OR_RETURN(sql::InsertStatement stmt, sql::ParseInsert(statement));
+  Database staged = database_;  // failed INSERTs leave the engine unchanged
+  SQLEQ_RETURN_IF_ERROR(sql::ApplyInsert(stmt, &staged));
+  database_ = std::move(staged);
+  return "inserted " + std::to_string(stmt.rows.size()) + " row(s) into " +
+         stmt.table + "\n";
+}
+
+Result<std::string> ScriptEngine::ExecDep(std::string_view rest) {
+  SQLEQ_ASSIGN_OR_RETURN(
+      std::vector<Dependency> deps,
+      ParseDependency(rest, "user" + std::to_string(++dep_counter_)));
+  std::string out;
+  for (Dependency& dep : deps) {
+    out += "added dependency " + dep.ToString() + "\n";
+    catalog_.sigma.push_back(std::move(dep));
+  }
+  return out;
+}
+
+Result<std::string> ScriptEngine::ExecView(std::string_view rest) {
+  SQLEQ_ASSIGN_OR_RETURN(ConjunctiveQuery def, ParseQuery(rest));
+  SQLEQ_RETURN_IF_ERROR(views_.Add(def));
+  return "registered view " + def.ToString() + "\n";
+}
+
+Result<std::string> ScriptEngine::ExecQuery(std::string_view rest) {
+  rest = Trim(rest);
+  size_t assign = rest.find(":=");
+  std::optional<ConjunctiveQuery> parsed;
+  Semantics semantics = Semantics::kBagSet;
+  std::string name;
+  if (assign != std::string_view::npos) {
+    // QUERY <name> := SELECT ...
+    name = std::string(Trim(rest.substr(0, assign)));
+    std::string_view select_text = Trim(rest.substr(assign + 2));
+    SQLEQ_ASSIGN_OR_RETURN(sql::TranslatedQuery translated,
+                           sql::TranslateSql(select_text, catalog_, name));
+    if (translated.is_aggregate) {
+      return Status::Unsupported(
+          "aggregate queries are not yet supported in QUERY; use the "
+          "AggregateCandB API directly");
+    }
+    parsed = *translated.cq;
+    semantics = translated.semantics;
+  } else {
+    // QUERY <datalog text>, name from the head.
+    SQLEQ_ASSIGN_OR_RETURN(ConjunctiveQuery q, ParseQuery(rest));
+    name = q.name();
+    // SQL-standard semantics derivation: bags unless every base relation is
+    // keyed (set valued).
+    bool all_set_valued = true;
+    for (const Atom& a : q.body()) {
+      if (!catalog_.schema.IsSetValued(a.predicate())) all_set_valued = false;
+    }
+    parsed = std::move(q);
+    semantics = all_set_valued ? Semantics::kBagSet : Semantics::kBag;
+  }
+  if (name.empty()) return Status::InvalidArgument("query name may not be empty");
+  NamedQuery named{std::move(*parsed), semantics};
+  queries_.erase(name);
+  queries_.emplace(name, named);
+  return "defined " + name + ": " + named.query.ToString() + "  [" +
+         SemanticsToString(named.semantics) + "]\n";
+}
+
+Result<std::string> ScriptEngine::ExecEval(std::string_view rest) {
+  SQLEQ_ASSIGN_OR_RETURN(auto args, ParseArgs(rest));
+  if (args.first.size() != 1) {
+    return Status::InvalidArgument("usage: EVAL <query> [UNDER S|B|BS]");
+  }
+  SQLEQ_ASSIGN_OR_RETURN(NamedQuery named, GetQuery(args.first[0]));
+  Semantics sem = args.second.value_or(named.semantics);
+  SQLEQ_ASSIGN_OR_RETURN(Bag answer, Evaluate(named.query, database_, sem));
+  return args.first[0] + "(D," + SemanticsToString(sem) + ") = " + answer.ToString() +
+         "\n";
+}
+
+Result<std::string> ScriptEngine::ExecEquiv(std::string_view rest, bool explain) {
+  SQLEQ_ASSIGN_OR_RETURN(auto args, ParseArgs(rest));
+  if (args.first.size() != 2) {
+    return Status::InvalidArgument("usage: EQUIV|EXPLAIN <q1> <q2> [UNDER S|B|BS]");
+  }
+  SQLEQ_ASSIGN_OR_RETURN(NamedQuery a, GetQuery(args.first[0]));
+  SQLEQ_ASSIGN_OR_RETURN(NamedQuery b, GetQuery(args.first[1]));
+  Semantics sem = args.second.value_or(a.semantics);
+  if (explain) {
+    SQLEQ_ASSIGN_OR_RETURN(
+        EquivalenceExplanation e,
+        ExplainEquivalence(a.query, b.query, catalog_.sigma, sem, catalog_.schema));
+    return e.ToString();
+  }
+  SQLEQ_ASSIGN_OR_RETURN(
+      bool eq, EquivalentUnder(a.query, b.query, catalog_.sigma, sem, catalog_.schema));
+  return args.first[0] + (eq ? " == " : " != ") + args.first[1] + "  under " +
+         SemanticsToString(sem) + " semantics (given Sigma)\n";
+}
+
+Result<std::string> ScriptEngine::ExecMinimize(std::string_view rest) {
+  SQLEQ_ASSIGN_OR_RETURN(auto args, ParseArgs(rest));
+  if (args.first.size() != 1) {
+    return Status::InvalidArgument("usage: MINIMIZE <query> [UNDER S|B|BS]");
+  }
+  SQLEQ_ASSIGN_OR_RETURN(NamedQuery named, GetQuery(args.first[0]));
+  Semantics sem = args.second.value_or(named.semantics);
+  SQLEQ_ASSIGN_OR_RETURN(
+      CandBResult result,
+      ChaseAndBackchase(named.query, catalog_.sigma, sem, catalog_.schema));
+  std::string out = "minimize " + args.first[0] + " under " + SemanticsToString(sem) +
+                    " (" + std::to_string(result.candidates_examined) +
+                    " candidates):\n";
+  for (const ConjunctiveQuery& reform : result.reformulations) {
+    Result<std::string> rendered = sql::RenderSql(reform, catalog_.schema, sem);
+    out += "  " + (rendered.ok() ? *rendered : reform.ToString()) + "\n";
+  }
+  return out;
+}
+
+Result<std::string> ScriptEngine::ExecRewrite(std::string_view rest) {
+  SQLEQ_ASSIGN_OR_RETURN(auto args, ParseArgs(rest));
+  if (args.first.size() != 1) {
+    return Status::InvalidArgument("usage: REWRITE <query> [UNDER S|B|BS]");
+  }
+  if (views_.size() == 0) {
+    return Status::FailedPrecondition("no views registered (use VIEW)");
+  }
+  SQLEQ_ASSIGN_OR_RETURN(NamedQuery named, GetQuery(args.first[0]));
+  Semantics sem = args.second.value_or(named.semantics);
+  SQLEQ_ASSIGN_OR_RETURN(
+      RewriteResult result,
+      RewriteWithViews(named.query, views_, catalog_.sigma, sem, catalog_.schema));
+  std::string out = "rewritings of " + args.first[0] + " under " +
+                    SemanticsToString(sem) + ":\n";
+  if (result.rewritings.empty()) out += "  (none)\n";
+  for (const ConjunctiveQuery& r : result.rewritings) {
+    out += "  " + r.ToString() + "\n";
+  }
+  return out;
+}
+
+Result<std::string> ScriptEngine::ExecShow(std::string_view rest) {
+  auto [what, tail] = SplitKeyword(rest);
+  if (!Trim(tail).empty()) {
+    return Status::InvalidArgument("usage: SHOW SCHEMA|SIGMA|QUERIES|DATA");
+  }
+  if (EqualsIgnoreCase(what, "SCHEMA")) return catalog_.schema.ToString();
+  if (EqualsIgnoreCase(what, "SIGMA")) return SigmaToString(catalog_.sigma);
+  if (EqualsIgnoreCase(what, "DATA")) return database_.ToString();
+  if (EqualsIgnoreCase(what, "QUERIES")) {
+    std::string out;
+    for (const auto& [name, named] : queries_) {
+      out += name + ": " + named.query.ToString() + "  [" +
+             SemanticsToString(named.semantics) + "]\n";
+    }
+    return out;
+  }
+  return Status::InvalidArgument("unknown SHOW target '" + what + "'");
+}
+
+}  // namespace shell
+}  // namespace sqleq

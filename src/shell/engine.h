@@ -1,0 +1,84 @@
+// ScriptEngine: the command interpreter behind the sqleq CLI. A script is a
+// ';'-separated sequence of statements:
+//
+//   CREATE TABLE t (...);            -- DDL (keys/fks induce Σ)
+//   INSERT INTO t VALUES (...);      -- data
+//   DEP p(X, Y) -> r(X);             -- extra dependency (Datalog syntax)
+//   VIEW v(X) :- p(X, Y);            -- register a view (Datalog syntax)
+//   QUERY q1 := SELECT ... ;         -- define a query from SQL
+//   QUERY q2 :- p(X, Y);             -- ... or directly in Datalog (name from head)
+//   EVAL q1;                         -- evaluate on the loaded data
+//   EQUIV q1 q2 [UNDER S|B|BS];      -- equivalence under Σ
+//   EXPLAIN q1 q2 [UNDER S|B|BS];    -- ... with chase traces and witnesses
+//   MINIMIZE q1 [UNDER S|B|BS];      -- C&B reformulations, rendered as SQL
+//   REWRITE q1 [UNDER S|B|BS];       -- rewritings over the registered views
+//   SHOW SCHEMA | SIGMA | QUERIES | DATA;
+//
+// Each statement returns printable output; errors are Status values (the
+// engine state is unchanged by a failed statement).
+#ifndef SQLEQ_SHELL_ENGINE_H_
+#define SQLEQ_SHELL_ENGINE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "db/database.h"
+#include "db/eval.h"
+#include "reformulation/views.h"
+#include "sql/translate.h"
+#include "util/status.h"
+
+namespace sqleq {
+namespace shell {
+
+/// A named query with the evaluation semantics it was defined under.
+struct NamedQuery {
+  ConjunctiveQuery query;
+  Semantics semantics = Semantics::kBagSet;
+};
+
+class ScriptEngine {
+ public:
+  ScriptEngine() = default;
+
+  /// Executes one statement (no trailing ';'), returning its output text.
+  Result<std::string> Execute(std::string_view statement);
+
+  /// Executes a ';'-separated script, concatenating outputs; stops at the
+  /// first error.
+  Result<std::string> Run(std::string_view script);
+
+  const sql::Catalog& catalog() const { return catalog_; }
+  const Database& database() const { return database_; }
+  const ViewSet& views() const { return views_; }
+  Result<NamedQuery> GetQuery(const std::string& name) const;
+
+ private:
+  Result<std::string> ExecCreate(std::string_view statement);
+  Result<std::string> ExecInsert(std::string_view statement);
+  Result<std::string> ExecDep(std::string_view rest);
+  Result<std::string> ExecView(std::string_view rest);
+  Result<std::string> ExecQuery(std::string_view rest);
+  Result<std::string> ExecEval(std::string_view rest);
+  Result<std::string> ExecEquiv(std::string_view rest, bool explain);
+  Result<std::string> ExecMinimize(std::string_view rest);
+  Result<std::string> ExecRewrite(std::string_view rest);
+  Result<std::string> ExecShow(std::string_view rest);
+
+  /// Splits "a b UNDER B" into names and an optional semantics override.
+  Result<std::pair<std::vector<std::string>, std::optional<Semantics>>> ParseArgs(
+      std::string_view rest) const;
+
+  sql::Catalog catalog_;
+  Database database_{Schema()};
+  ViewSet views_;
+  std::map<std::string, NamedQuery> queries_;
+  int dep_counter_ = 0;
+};
+
+}  // namespace shell
+}  // namespace sqleq
+
+#endif  // SQLEQ_SHELL_ENGINE_H_

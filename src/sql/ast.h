@@ -1,0 +1,102 @@
+// AST for the supported SQL-92 fragment: CREATE TABLE with key/foreign-key
+// constraints, and SELECT [DISTINCT] ... FROM ... WHERE <equality
+// conjunction> ... GROUP BY ... with a single optional aggregate — exactly
+// the SQL image of the paper's CQ / aggregate-CQ classes.
+#ifndef SQLEQ_SQL_AST_H_
+#define SQLEQ_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ir/term.h"
+
+namespace sqleq {
+namespace sql {
+
+/// "alias.column" or bare "column" (resolved against FROM).
+struct ColumnRef {
+  std::string qualifier;  // empty when unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+};
+
+/// A literal constant.
+struct Literal {
+  Value value;
+};
+
+/// One SELECT-list item.
+struct SelectItem {
+  enum class Kind { kColumn, kLiteral, kAggregate, kCountStar };
+  Kind kind = Kind::kColumn;
+  ColumnRef column;                 // kColumn, kAggregate (argument)
+  std::optional<Literal> literal;   // kLiteral
+  std::string aggregate_function;   // kAggregate: SUM/COUNT/MAX/MIN (upper)
+  std::string output_alias;         // optional AS name
+};
+
+/// FROM entry: a base table with an optional alias.
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to table name
+};
+
+/// WHERE conjunct: lhs = rhs, each side a column or a literal.
+struct EqualityCondition {
+  std::variant<ColumnRef, Literal> lhs;
+  std::variant<ColumnRef, Literal> rhs;
+};
+
+struct SelectStatement {
+  bool distinct = false;
+  /// SELECT *: project every column of every FROM table, in order. When
+  /// set, `items` is empty.
+  bool select_star = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::vector<EqualityCondition> where;
+  std::vector<ColumnRef> group_by;
+};
+
+/// Column definition inside CREATE TABLE.
+struct ColumnDef {
+  std::string name;
+  std::string type;  // INT / TEXT / anything; informational only
+  bool primary_key = false;
+  bool unique = false;
+};
+
+/// Table-level constraint inside CREATE TABLE.
+struct TableConstraint {
+  enum class Kind { kPrimaryKey, kUnique, kForeignKey };
+  Kind kind = Kind::kPrimaryKey;
+  std::vector<std::string> columns;
+  // Foreign-key target:
+  std::string ref_table;
+  std::vector<std::string> ref_columns;
+};
+
+struct CreateTableStatement {
+  std::string table;
+  std::vector<ColumnDef> columns;
+  std::vector<TableConstraint> constraints;
+};
+
+/// INSERT INTO t VALUES (...), (...); repeated VALUES rows insert multiple
+/// tuples (duplicates raise multiplicity on bag-valued tables).
+struct InsertStatement {
+  std::string table;
+  std::vector<std::vector<Literal>> rows;
+};
+
+using Statement = std::variant<SelectStatement, CreateTableStatement, InsertStatement>;
+
+}  // namespace sql
+}  // namespace sqleq
+
+#endif  // SQLEQ_SQL_AST_H_

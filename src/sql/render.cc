@@ -1,0 +1,128 @@
+#include "sql/render.h"
+
+#include <map>
+
+namespace sqleq {
+namespace sql {
+namespace {
+
+struct BodyRendering {
+  std::string from_clause;
+  std::vector<std::string> where_conjuncts;
+  /// First occurrence of each variable as "t<i>.<col>".
+  std::map<std::string, std::string> var_site;  // keyed by variable name
+};
+
+Result<BodyRendering> RenderBody(const std::vector<Atom>& body, const Schema& schema) {
+  BodyRendering out;
+  for (size_t i = 0; i < body.size(); ++i) {
+    const Atom& atom = body[i];
+    SQLEQ_ASSIGN_OR_RETURN(RelationInfo info, schema.GetRelation(atom.predicate()));
+    if (info.arity != atom.arity()) {
+      return Status::InvalidArgument("atom " + atom.ToString() +
+                                     " disagrees with schema arity");
+    }
+    std::string alias = "t" + std::to_string(i);
+    if (i > 0) out.from_clause += ", ";
+    out.from_clause += atom.predicate() + " " + alias;
+    for (size_t j = 0; j < atom.arity(); ++j) {
+      std::string site = alias + "." + info.attributes[j];
+      Term arg = atom.args()[j];
+      if (arg.IsConstant()) {
+        out.where_conjuncts.push_back(site + " = " + ValueToString(arg.value()));
+        continue;
+      }
+      std::string key(arg.name());
+      auto it = out.var_site.find(key);
+      if (it == out.var_site.end()) {
+        out.var_site.emplace(std::move(key), std::move(site));
+      } else {
+        out.where_conjuncts.push_back(it->second + " = " + site);
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::string> SiteOf(Term t, const BodyRendering& body) {
+  if (t.IsConstant()) return ValueToString(t.value());
+  auto it = body.var_site.find(std::string(t.name()));
+  if (it == body.var_site.end()) {
+    return Status::InvalidArgument("head variable " + t.ToString() +
+                                   " does not occur in the body");
+  }
+  return it->second;
+}
+
+std::string WhereClause(const std::vector<std::string>& conjuncts) {
+  if (conjuncts.empty()) return "";
+  std::string out = " WHERE ";
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += conjuncts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> RenderSql(const ConjunctiveQuery& q, const Schema& schema,
+                              Semantics semantics) {
+  SQLEQ_ASSIGN_OR_RETURN(BodyRendering body, RenderBody(q.body(), schema));
+  std::string select = "SELECT ";
+  if (semantics == Semantics::kSet) select += "DISTINCT ";
+  if (q.head().empty()) {
+    // CQ heads are never empty in this library's constructors, but render a
+    // defensible projection anyway.
+    select += "1";
+  }
+  for (size_t i = 0; i < q.head().size(); ++i) {
+    if (i > 0) select += ", ";
+    SQLEQ_ASSIGN_OR_RETURN(std::string site, SiteOf(q.head()[i], body));
+    select += site;
+  }
+  return select + " FROM " + body.from_clause + WhereClause(body.where_conjuncts);
+}
+
+Result<std::string> RenderAggregateSql(const AggregateQuery& q, const Schema& schema) {
+  SQLEQ_ASSIGN_OR_RETURN(BodyRendering body, RenderBody(q.body(), schema));
+  std::string select = "SELECT ";
+  std::vector<std::string> group_sites;
+  for (size_t i = 0; i < q.grouping().size(); ++i) {
+    SQLEQ_ASSIGN_OR_RETURN(std::string site, SiteOf(q.grouping()[i], body));
+    if (i > 0) select += ", ";
+    select += site;
+    group_sites.push_back(std::move(site));
+  }
+  if (!q.grouping().empty()) select += ", ";
+  switch (q.function()) {
+    case AggregateFunction::kCountStar:
+      select += "COUNT(*)";
+      break;
+    case AggregateFunction::kSum:
+    case AggregateFunction::kCount:
+    case AggregateFunction::kMax:
+    case AggregateFunction::kMin: {
+      const char* fn = q.function() == AggregateFunction::kSum     ? "SUM"
+                       : q.function() == AggregateFunction::kCount ? "COUNT"
+                       : q.function() == AggregateFunction::kMax   ? "MAX"
+                                                                   : "MIN";
+      SQLEQ_ASSIGN_OR_RETURN(std::string site, SiteOf(*q.agg_arg(), body));
+      select += std::string(fn) + "(" + site + ")";
+      break;
+    }
+  }
+  std::string out =
+      select + " FROM " + body.from_clause + WhereClause(body.where_conjuncts);
+  if (!group_sites.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_sites.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_sites[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace sql
+}  // namespace sqleq

@@ -1,0 +1,30 @@
+// Rendering CQ / aggregate queries back to SQL text, so reformulations
+// produced by the C&B family can be returned to a SQL-speaking caller.
+#ifndef SQLEQ_SQL_RENDER_H_
+#define SQLEQ_SQL_RENDER_H_
+
+#include <string>
+
+#include "db/eval.h"
+#include "ir/query.h"
+#include "ir/schema.h"
+#include "util/status.h"
+
+namespace sqleq {
+namespace sql {
+
+/// Renders `q` as a SELECT over `schema` (attribute names are taken from the
+/// schema): one FROM alias per body atom, WHERE equalities reconstructed
+/// from repeated variables and embedded constants. `semantics` == kSet emits
+/// DISTINCT. Fails when a head term never occurs in the body (impossible
+/// for safe queries) or the schema lacks a predicate.
+Result<std::string> RenderSql(const ConjunctiveQuery& q, const Schema& schema,
+                              Semantics semantics = Semantics::kBagSet);
+
+/// Renders an aggregate query as SELECT ... GROUP BY.
+Result<std::string> RenderAggregateSql(const AggregateQuery& q, const Schema& schema);
+
+}  // namespace sql
+}  // namespace sqleq
+
+#endif  // SQLEQ_SQL_RENDER_H_

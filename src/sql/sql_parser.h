@@ -1,0 +1,32 @@
+// Recursive-descent parser for the SQL fragment (see ast.h).
+#ifndef SQLEQ_SQL_SQL_PARSER_H_
+#define SQLEQ_SQL_SQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace sqleq {
+namespace sql {
+
+/// Parses one statement (SELECT or CREATE TABLE), optional trailing ';'.
+Result<Statement> ParseStatement(std::string_view text);
+
+/// Parses a SELECT; anything else is an error.
+Result<SelectStatement> ParseSelect(std::string_view text);
+
+/// Parses a CREATE TABLE; anything else is an error.
+Result<CreateTableStatement> ParseCreateTable(std::string_view text);
+
+/// Parses an INSERT INTO ... VALUES ...; anything else is an error.
+Result<InsertStatement> ParseInsert(std::string_view text);
+
+/// Parses a ';'-separated script of statements.
+Result<std::vector<Statement>> ParseScript(std::string_view text);
+
+}  // namespace sql
+}  // namespace sqleq
+
+#endif  // SQLEQ_SQL_SQL_PARSER_H_

@@ -1,0 +1,24 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace sqleq {
+
+int Rng::UniformInt(int lo, int hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+size_t Rng::Index(size_t n) {
+  assert(n > 0);
+  std::uniform_int_distribution<size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+bool Rng::Chance(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+}  // namespace sqleq

@@ -1,0 +1,42 @@
+// Deterministic seeded RNG used by workload generators and property tests.
+#ifndef SQLEQ_UTIL_RNG_H_
+#define SQLEQ_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sqleq {
+
+/// Thin wrapper over std::mt19937_64 with convenience draws. All sqleq
+/// randomized components take an Rng so runs are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform size_t in [0, n). Requires n > 0.
+  size_t Index(size_t n);
+
+  /// Bernoulli draw with probability p of true.
+  bool Chance(double p);
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_UTIL_RNG_H_

@@ -1,0 +1,133 @@
+// Status and Result<T>: exception-free error propagation for the sqleq
+// public API, following the RocksDB/Arrow idiom.
+#ifndef SQLEQ_UTIL_STATUS_H_
+#define SQLEQ_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sqleq {
+
+/// Machine-readable failure category carried by every non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input: unparsable text, unsafe query, arity mismatch, ...
+  kInvalidArgument,
+  /// Referenced schema object (relation, attribute) does not exist.
+  kNotFound,
+  /// A resource limit was hit (e.g. chase step budget exhausted).
+  kResourceExhausted,
+  /// The operation's precondition does not hold (e.g. chase not applicable).
+  kFailedPrecondition,
+  /// Feature intentionally outside the supported fragment.
+  kUnsupported,
+  /// Internal invariant violated; indicates a bug in sqleq itself.
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight success/failure value. OK carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is either a value of type T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace sqleq
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define SQLEQ_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::sqleq::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning its value or propagating
+/// its error. Usage: SQLEQ_ASSIGN_OR_RETURN(auto q, ParseQuery(text));
+#define SQLEQ_ASSIGN_OR_RETURN(lhs, expr)                 \
+  SQLEQ_ASSIGN_OR_RETURN_IMPL(                            \
+      SQLEQ_STATUS_CONCAT(_sqleq_result_, __LINE__), lhs, expr)
+
+#define SQLEQ_STATUS_CONCAT_INNER(a, b) a##b
+#define SQLEQ_STATUS_CONCAT(a, b) SQLEQ_STATUS_CONCAT_INNER(a, b)
+#define SQLEQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // SQLEQ_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+// Small string helpers shared across sqleq modules.
+#ifndef SQLEQ_UTIL_STRING_UTIL_H_
+#define SQLEQ_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqleq {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep`, trimming whitespace from each piece; empty pieces are
+/// dropped.
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix` (ASCII case-insensitive).
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+/// ASCII-lowercases a copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// ASCII-uppercases a copy of `s`.
+std::string ToUpper(std::string_view s);
+
+/// True if two strings are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_UTIL_STRING_UTIL_H_

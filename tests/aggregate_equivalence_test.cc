@@ -1,0 +1,115 @@
+// Unit tests for aggregate-query equivalence (Theorems 2.3 and 6.3).
+#include "equivalence/aggregate_equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include "db/aggregate_eval.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::AQ;
+using testing::Sigma;
+using testing::Unwrap;
+
+TEST(AggregateEquivalence, IncompatibleQueriesNeverEquivalent) {
+  EXPECT_FALSE(AggregateEquivalent(AQ("A(S, sum(Y)) :- p(S, Y)."),
+                                   AQ("B(S, max(Y)) :- p(S, Y).")));
+  EXPECT_FALSE(AggregateEquivalent(AQ("A(S, sum(Y)) :- p(S, Y)."),
+                                   AQ("B(S, T, sum(Y)) :- p(S, Y), p(T, Y).")));
+  EXPECT_FALSE(AggregateEquivalent(AQ("A(S, count(Y)) :- p(S, Y)."),
+                                   AQ("B(S, count(*)) :- p(S, Y).")));
+}
+
+TEST(AggregateEquivalence, MaxUsesSetEquivalenceOfCores) {
+  // Redundant atom p(S, Z): cores are set-equivalent, so max-queries are
+  // equivalent even though the cores are NOT bag-set-equivalent.
+  AggregateQuery a = AQ("A(S, max(Y)) :- p(S, Y).");
+  AggregateQuery b = AQ("B(S, max(Y)) :- p(S, Y), p(S, Z).");
+  EXPECT_TRUE(AggregateEquivalent(a, b));
+}
+
+TEST(AggregateEquivalence, SumUsesBagSetEquivalenceOfCores) {
+  // The same pair with sum is NOT equivalent: the extra join inflates the
+  // bag of Y-values.
+  AggregateQuery a = AQ("A(S, sum(Y)) :- p(S, Y).");
+  AggregateQuery b = AQ("B(S, sum(Y)) :- p(S, Y), p(S, Z).");
+  EXPECT_FALSE(AggregateEquivalent(a, b));
+  // Duplicate atoms, though, are harmless for sum (bag-set ignores them).
+  AggregateQuery c = AQ("C(S, sum(Y)) :- p(S, Y), p(S, Y).");
+  EXPECT_TRUE(AggregateEquivalent(a, c));
+}
+
+TEST(AggregateEquivalence, EvaluationOracleConfirmsSumGap) {
+  Schema schema;
+  schema.Relation("p", 2);
+  Database db(schema);
+  db.Add("p", {1, 10}).Add("p", {1, 20});
+  Bag sum_a = Unwrap(EvaluateAggregate(AQ("A(S, sum(Y)) :- p(S, Y)."), db));
+  Bag sum_b =
+      Unwrap(EvaluateAggregate(AQ("B(S, sum(Y)) :- p(S, Y), p(S, Z)."), db));
+  EXPECT_EQ(sum_a.Count(IntTuple({1, 30})), 1u);
+  EXPECT_EQ(sum_b.Count(IntTuple({1, 60})), 1u);  // each Y seen twice
+  Bag max_a = Unwrap(EvaluateAggregate(AQ("A(S, max(Y)) :- p(S, Y)."), db));
+  Bag max_b =
+      Unwrap(EvaluateAggregate(AQ("B(S, max(Y)) :- p(S, Y), p(S, Z)."), db));
+  EXPECT_EQ(max_a, max_b);
+}
+
+TEST(AggregateEquivalence, RenamedVariablesEquivalent) {
+  EXPECT_TRUE(AggregateEquivalent(AQ("A(S, sum(Y)) :- p(S, Y)."),
+                                  AQ("B(T, sum(W)) :- p(T, W).")));
+  EXPECT_TRUE(AggregateEquivalent(AQ("A(S, min(Y)) :- p(S, Y)."),
+                                  AQ("B(T, min(W)) :- p(T, W).")));
+}
+
+TEST(AggregateEquivalence, CountStarCompatiblePairs) {
+  EXPECT_TRUE(AggregateEquivalent(AQ("A(S, count(*)) :- p(S, Y)."),
+                                  AQ("B(T, count(*)) :- p(T, W).")));
+  EXPECT_FALSE(AggregateEquivalent(AQ("A(S, count(*)) :- p(S, Y)."),
+                                   AQ("B(T, count(*)) :- p(T, W), p(T, V).")));
+}
+
+TEST(AggregateEquivalenceUnder, Theorem63SumViaChasedCores) {
+  // Key fd on dept makes the dept join multiplicity-preserving, so the
+  // sum-queries are equivalent under Σ (Thm 6.3(2) via Thm 6.2).
+  DependencySet sigma = Sigma({
+      "emp(E, D) -> dept(D, M).",
+      "dept(D, M1), dept(D, M2) -> M1 = M2.",
+  });
+  AggregateQuery with_join = AQ("A(E, sum(S)) :- sal(E, S), emp(E, D), dept(D, M).");
+  AggregateQuery without = AQ("B(E, sum(S)) :- sal(E, S), emp(E, D).");
+  EXPECT_TRUE(Unwrap(AggregateEquivalentUnder(with_join, without, sigma)));
+  EXPECT_FALSE(AggregateEquivalent(with_join, without));
+}
+
+TEST(AggregateEquivalenceUnder, Theorem63MaxViaSetChase) {
+  // Without the key fd, sum is NOT safe (the dept join can duplicate), but
+  // max still is (Thm 6.3(1) needs only set equivalence).
+  DependencySet sigma = Sigma({"emp(E, D) -> dept(D, M)."});
+  AggregateQuery max_join = AQ("A(E, max(S)) :- sal(E, S), emp(E, D), dept(D, M).");
+  AggregateQuery max_plain = AQ("B(E, max(S)) :- sal(E, S), emp(E, D).");
+  EXPECT_TRUE(Unwrap(AggregateEquivalentUnder(max_join, max_plain, sigma)));
+  AggregateQuery sum_join = AQ("A(E, sum(S)) :- sal(E, S), emp(E, D), dept(D, M).");
+  AggregateQuery sum_plain = AQ("B(E, sum(S)) :- sal(E, S), emp(E, D).");
+  EXPECT_FALSE(Unwrap(AggregateEquivalentUnder(sum_join, sum_plain, sigma)));
+}
+
+TEST(AggregateEquivalenceUnder, CountBehavesLikeSum) {
+  DependencySet sigma = Sigma({
+      "emp(E, D) -> dept(D, M).",
+      "dept(D, M1), dept(D, M2) -> M1 = M2.",
+  });
+  AggregateQuery with_join = AQ("A(E, count(D)) :- emp(E, D), dept(D, M).");
+  AggregateQuery without = AQ("B(E, count(D)) :- emp(E, D).");
+  EXPECT_TRUE(Unwrap(AggregateEquivalentUnder(with_join, without, sigma)));
+}
+
+TEST(AggregateEquivalenceUnder, IncompatibleShortCircuits) {
+  EXPECT_FALSE(Unwrap(AggregateEquivalentUnder(AQ("A(S, sum(Y)) :- p(S, Y)."),
+                                               AQ("B(S, max(Y)) :- p(S, Y)."), {})));
+}
+
+}  // namespace
+}  // namespace sqleq

@@ -1,0 +1,119 @@
+// Unit tests for the three-step aggregate evaluation semantics (§2.5).
+#include "db/aggregate_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::AQ;
+using testing::Unwrap;
+
+Schema SalesSchema() {
+  Schema s;
+  s.Relation("sales", 2);  // (store, amount)
+  return s;
+}
+
+Database SalesDb() {
+  Database db(SalesSchema());
+  db.Add("sales", {1, 10}).Add("sales", {1, 20}).Add("sales", {2, 5});
+  return db;
+}
+
+TEST(AggregateEval, SumGroups) {
+  Bag out = Unwrap(EvaluateAggregate(AQ("A(S, sum(Y)) :- sales(S, Y)."), SalesDb()));
+  EXPECT_EQ(out.Count(IntTuple({1, 30})), 1u);
+  EXPECT_EQ(out.Count(IntTuple({2, 5})), 1u);
+  EXPECT_EQ(out.TotalSize(), 2u);
+}
+
+TEST(AggregateEval, CountGroups) {
+  Bag out = Unwrap(EvaluateAggregate(AQ("A(S, count(Y)) :- sales(S, Y)."), SalesDb()));
+  EXPECT_EQ(out.Count(IntTuple({1, 2})), 1u);
+  EXPECT_EQ(out.Count(IntTuple({2, 1})), 1u);
+}
+
+TEST(AggregateEval, CountStarGroups) {
+  Bag out = Unwrap(EvaluateAggregate(AQ("A(S, count(*)) :- sales(S, Y)."), SalesDb()));
+  EXPECT_EQ(out.Count(IntTuple({1, 2})), 1u);
+  EXPECT_EQ(out.Count(IntTuple({2, 1})), 1u);
+}
+
+TEST(AggregateEval, MaxAndMin) {
+  Bag mx = Unwrap(EvaluateAggregate(AQ("A(S, max(Y)) :- sales(S, Y)."), SalesDb()));
+  EXPECT_EQ(mx.Count(IntTuple({1, 20})), 1u);
+  Bag mn = Unwrap(EvaluateAggregate(AQ("A(S, min(Y)) :- sales(S, Y)."), SalesDb()));
+  EXPECT_EQ(mn.Count(IntTuple({1, 10})), 1u);
+}
+
+TEST(AggregateEval, NoGroupingProducesSingleRow) {
+  Bag out = Unwrap(EvaluateAggregate(AQ("A(sum(Y)) :- sales(S, Y)."), SalesDb()));
+  EXPECT_EQ(out.Count(IntTuple({35})), 1u);
+  EXPECT_EQ(out.TotalSize(), 1u);
+}
+
+TEST(AggregateEval, EmptyInputYieldsNoGroups) {
+  Database db(SalesSchema());
+  Bag out = Unwrap(EvaluateAggregate(AQ("A(S, sum(Y)) :- sales(S, Y)."), db));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(AggregateEval, SumSeesBagSetDuplicatesFromJoins) {
+  // The first step computes Q̆(D,BS): a join that produces the same (S, Y)
+  // twice makes Y count twice in the sum.
+  Schema schema;
+  schema.Relation("sales", 2).Relation("tag", 1);
+  Database db(schema);
+  db.Add("sales", {1, 10}).Add("tag", {7}).Add("tag", {8});
+  Bag out =
+      Unwrap(EvaluateAggregate(AQ("A(S, sum(Y)) :- sales(S, Y), tag(T)."), db));
+  EXPECT_EQ(out.Count(IntTuple({1, 20})), 1u);
+}
+
+TEST(AggregateEval, CountDistinctAssignmentsNotTuples) {
+  // count(Y) counts assignment occurrences (bag), not distinct values.
+  Database db(SalesSchema());
+  db.Add("sales", {1, 10}).Add("sales", {2, 10});
+  Bag out = Unwrap(EvaluateAggregate(AQ("A(count(Y)) :- sales(S, Y)."), db));
+  EXPECT_EQ(out.Count(IntTuple({2})), 1u);
+}
+
+TEST(AggregateEval, SumOverStringsFails) {
+  Schema schema;
+  schema.Relation("t", 1);
+  Database db(schema);
+  ASSERT_TRUE(db.Insert("t", {Term::Str("x")}).ok());
+  EXPECT_FALSE(EvaluateAggregate(AQ("A(sum(Y)) :- t(Y)."), db).ok());
+}
+
+TEST(AggregateEval, MaxOverStringsIsLexicographic) {
+  Schema schema;
+  schema.Relation("t", 1);
+  Database db(schema);
+  ASSERT_TRUE(db.Insert("t", {Term::Str("apple")}).ok());
+  ASSERT_TRUE(db.Insert("t", {Term::Str("pear")}).ok());
+  Bag out = Unwrap(EvaluateAggregate(AQ("A(max(Y)) :- t(Y)."), db));
+  EXPECT_EQ(out.Count({Term::Str("pear")}), 1u);
+}
+
+TEST(AggregateEval, MixedTypeGroupFails) {
+  Schema schema;
+  schema.Relation("t", 1);
+  Database db(schema);
+  ASSERT_TRUE(db.Insert("t", {Term::Str("x")}).ok());
+  ASSERT_TRUE(db.Insert("t", {Term::Int(1)}).ok());
+  EXPECT_FALSE(EvaluateAggregate(AQ("A(max(Y)) :- t(Y)."), db).ok());
+}
+
+TEST(AggregateEval, NegativeSums) {
+  Database db(SalesSchema());
+  db.Add("sales", {1, -10}).Add("sales", {1, 4});
+  Bag out = Unwrap(EvaluateAggregate(AQ("A(S, sum(Y)) :- sales(S, Y)."), db));
+  EXPECT_EQ(out.Count(IntTuple({1, -6})), 1u);
+}
+
+}  // namespace
+}  // namespace sqleq

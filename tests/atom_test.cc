@@ -1,0 +1,75 @@
+// Unit tests for Atom.
+#include "ir/atom.h"
+
+#include <gtest/gtest.h>
+
+namespace sqleq {
+namespace {
+
+Atom PXY() { return Atom("p", {Term::Var("X"), Term::Var("Y")}); }
+
+TEST(Atom, Accessors) {
+  Atom a = PXY();
+  EXPECT_EQ(a.predicate(), "p");
+  EXPECT_EQ(a.arity(), 2u);
+  EXPECT_EQ(a.args()[0], Term::Var("X"));
+}
+
+TEST(Atom, EqualityIsStructural) {
+  EXPECT_EQ(PXY(), PXY());
+  EXPECT_NE(PXY(), Atom("p", {Term::Var("Y"), Term::Var("X")}));
+  EXPECT_NE(PXY(), Atom("q", {Term::Var("X"), Term::Var("Y")}));
+}
+
+TEST(Atom, HashMatchesEquality) {
+  EXPECT_EQ(PXY().Hash(), PXY().Hash());
+}
+
+TEST(Atom, IsGround) {
+  EXPECT_FALSE(PXY().IsGround());
+  EXPECT_TRUE(Atom("p", {Term::Int(1), Term::Str("a")}).IsGround());
+}
+
+TEST(Atom, ToString) {
+  EXPECT_EQ(PXY().ToString(), "p(X, Y)");
+  EXPECT_EQ(Atom("r", {Term::Int(1)}).ToString(), "r(1)");
+}
+
+TEST(Atom, CollectVariablesKeepsDuplicates) {
+  Atom a("p", {Term::Var("X"), Term::Int(1), Term::Var("X")});
+  std::vector<Term> vars;
+  a.CollectVariables(&vars);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], Term::Var("X"));
+  EXPECT_EQ(vars[1], Term::Var("X"));
+}
+
+TEST(Atom, AtomsToStringJoinsWithCommas) {
+  std::vector<Atom> atoms{PXY(), Atom("r", {Term::Var("X")})};
+  EXPECT_EQ(AtomsToString(atoms), "p(X, Y), r(X)");
+}
+
+TEST(Atom, DistinctVariablesFirstOccurrenceOrder) {
+  std::vector<Atom> atoms{Atom("p", {Term::Var("B"), Term::Var("A")}),
+                          Atom("q", {Term::Var("A"), Term::Var("C")})};
+  std::vector<Term> vars = DistinctVariables(atoms);
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], Term::Var("B"));
+  EXPECT_EQ(vars[1], Term::Var("A"));
+  EXPECT_EQ(vars[2], Term::Var("C"));
+}
+
+TEST(Atom, DistinctVariablesIgnoresConstants) {
+  std::vector<Atom> atoms{Atom("p", {Term::Int(1), Term::Str("x")})};
+  EXPECT_TRUE(DistinctVariables(atoms).empty());
+}
+
+TEST(Atom, OrderingByPredicateThenArgs) {
+  Atom p1("p", {Term::Var("X")});
+  Atom q1("q", {Term::Var("X")});
+  EXPECT_TRUE(p1 < q1 || q1 < p1);
+  EXPECT_FALSE(p1 < p1);
+}
+
+}  // namespace
+}  // namespace sqleq

@@ -1,0 +1,113 @@
+// Unit tests for bag and bag-set equivalence without dependencies
+// (Theorem 2.1) and the Theorem 4.2 extension modulo set-valued relations.
+#include "equivalence/bag_equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include "db/eval.h"
+#include "equivalence/bag_set_equivalence.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Q;
+using testing::Unwrap;
+
+TEST(BagEquivalence, IsomorphicQueriesEquivalent) {
+  EXPECT_TRUE(BagEquivalent(Q("Q(X) :- p(X, Y)."), Q("Q(A) :- p(A, B).")));
+}
+
+TEST(BagEquivalence, RedundantAtomBreaksBagEquivalence) {
+  // Set-equivalent, bag-inequivalent (Chaudhuri–Vardi).
+  EXPECT_FALSE(BagEquivalent(Q("Q(X) :- p(X, Y)."), Q("Q(X) :- p(X, Y), p(X, Z).")));
+}
+
+TEST(BagEquivalence, DuplicateAtomBreaksBagEquivalence) {
+  EXPECT_FALSE(BagEquivalent(Q("Q(X) :- p(X, Y)."), Q("Q(X) :- p(X, Y), p(X, Y).")));
+}
+
+TEST(BagSetEquivalence, DuplicateAtomsIrrelevant) {
+  EXPECT_TRUE(BagSetEquivalent(Q("Q(X) :- p(X, Y)."), Q("Q(X) :- p(X, Y), p(X, Y).")));
+}
+
+TEST(BagSetEquivalence, RedundantNonDuplicateAtomStillMatters) {
+  // p(X, Z) is not a duplicate of p(X, Y): canonical representations differ.
+  EXPECT_FALSE(BagSetEquivalent(Q("Q(X) :- p(X, Y)."), Q("Q(X) :- p(X, Y), p(X, Z).")));
+}
+
+TEST(BagSetEquivalence, ImpliedByBagEquivalence) {
+  // Prop 2.1 chain on a small pair.
+  ConjunctiveQuery a = Q("Q(X) :- p(X, Y), r(X).");
+  ConjunctiveQuery b = Q("Q(A) :- r(A), p(A, B).");
+  EXPECT_TRUE(BagEquivalent(a, b));
+  EXPECT_TRUE(BagSetEquivalent(a, b));
+}
+
+TEST(Theorem42, DuplicateOverSetValuedRelationIgnored) {
+  // Example 4.9: Q3 vs Q5 — bag equivalent exactly because S is set valued.
+  Schema schema = testing::Example41Schema();
+  ConjunctiveQuery q3 = Q("Q3(X) :- p(X, Y), t(X, Y, W), s(X, Z).");
+  ConjunctiveQuery q5 = Q("Q5(X) :- p(X, Y), t(X, Y, W), s(X, Z), s(X, Z).");
+  EXPECT_FALSE(BagEquivalent(q3, q5));
+  EXPECT_TRUE(BagEquivalentModuloSetRelations(q3, q5, schema));
+}
+
+TEST(Theorem42, DuplicateOverBagValuedRelationStillCounts) {
+  // Example D.2: Q7 has two copies of r(X); R is bag valued.
+  Schema schema = testing::Example41Schema();
+  ConjunctiveQuery q7 = Q("Q7(X) :- p(X, Y), r(X), r(X).");
+  ConjunctiveQuery q8 = Q("Q8(X) :- p(X, Y), r(X).");
+  EXPECT_FALSE(BagEquivalentModuloSetRelations(q7, q8, schema));
+}
+
+TEST(Theorem42, WithoutSetValuedFlagsReducesToTheorem21) {
+  Schema plain;
+  plain.Relation("p", 2).Relation("s", 2);
+  ConjunctiveQuery a = Q("Q(X) :- p(X, Y), s(X, Z).");
+  ConjunctiveQuery b = Q("Q(X) :- p(X, Y), s(X, Z), s(X, Z).");
+  EXPECT_FALSE(BagEquivalentModuloSetRelations(a, b, plain));
+}
+
+TEST(Theorem42, EvaluationOracleConfirmsExample49) {
+  // Example D.1's database: with S forced to be a set, Q3 and Q5 agree; on
+  // a bag-valued S they differ.
+  Schema schema = testing::Example41Schema();
+  ConjunctiveQuery q3 = Q("Q3(X) :- p(X, Y), t(X, Y, W), s(X, Z).");
+  ConjunctiveQuery q5 = Q("Q5(X) :- p(X, Y), t(X, Y, W), s(X, Z), s(X, Z).");
+
+  // Set-valued S (flag enforced by the schema): answers agree.
+  Database d_ok(schema);
+  d_ok.Add("p", {1, 2}).Add("s", {1, 3}).Add("t", {1, 2, 5});
+  EXPECT_EQ(Unwrap(Evaluate(q3, d_ok, Semantics::kBag)),
+            Unwrap(Evaluate(q5, d_ok, Semantics::kBag)));
+
+  // Bag-valued S (schema without flags): Q5 squares the multiplicity.
+  Schema relaxed;
+  relaxed.Relation("p", 2).Relation("r", 1).Relation("s", 2).Relation("t", 3);
+  Database d_bad(relaxed);
+  d_bad.Add("p", {1, 2}).Add("s", {1, 3}, 2).Add("t", {1, 2, 5});
+  Bag a3 = Unwrap(Evaluate(q3, d_bad, Semantics::kBag));
+  Bag a5 = Unwrap(Evaluate(q5, d_bad, Semantics::kBag));
+  EXPECT_EQ(a3.Count(IntTuple({1})), 2u);
+  EXPECT_EQ(a5.Count(IntTuple({1})), 4u);
+}
+
+TEST(BagEquivalence, AgreesWithBagEvaluationOnRandomDatabases) {
+  // Theorem 2.1(1) spot-check by model checking: isomorphic pairs evaluate
+  // identically under B on random bag databases.
+  ConjunctiveQuery a = Q("Q(X) :- e(X, Y), e(Y, Z).");
+  ConjunctiveQuery b = Q("Q(U) :- e(V, W), e(U, V).");
+  ASSERT_TRUE(BagEquivalent(a, b));
+  Schema schema;
+  schema.Relation("e", 2);
+  Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    Database db = testing::RandomDatabase(schema, 6, 4, 3, &rng);
+    EXPECT_EQ(Unwrap(Evaluate(a, db, Semantics::kBag)),
+              Unwrap(Evaluate(b, db, Semantics::kBag)));
+  }
+}
+
+}  // namespace
+}  // namespace sqleq

@@ -1,0 +1,117 @@
+// Unit tests for dependency builders (keys, inclusion deps, foreign keys).
+#include "constraints/builders.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/keys.h"
+#include "db/satisfaction.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Unwrap;
+
+TEST(MakeKeyEgdsTest, OneFdPerNonKeyAttribute) {
+  std::vector<Dependency> egds = Unwrap(MakeKeyEgds("r", 3, {0}, "key_r"));
+  ASSERT_EQ(egds.size(), 2u);
+  for (const Dependency& d : egds) {
+    ASSERT_TRUE(d.IsEgd());
+    std::optional<Fd> fd = ExtractFd(d.egd());
+    ASSERT_TRUE(fd.has_value());
+    EXPECT_EQ(fd->relation, "r");
+    EXPECT_EQ(fd->lhs, (std::set<size_t>{0}));
+  }
+  EXPECT_EQ(egds[0].label(), "key_r_1");
+  EXPECT_EQ(egds[1].label(), "key_r_2");
+}
+
+TEST(MakeKeyEgdsTest, CompositeKey) {
+  std::vector<Dependency> egds = Unwrap(MakeKeyEgds("t", 3, {0, 1}));
+  ASSERT_EQ(egds.size(), 1u);
+  std::optional<Fd> fd = ExtractFd(egds[0].egd());
+  ASSERT_TRUE(fd.has_value());
+  EXPECT_EQ(fd->lhs, (std::set<size_t>{0, 1}));
+  EXPECT_EQ(fd->rhs, 2u);
+}
+
+TEST(MakeKeyEgdsTest, KeySemanticsOnInstances) {
+  std::vector<Dependency> egds = Unwrap(MakeKeyEgds("r", 2, {0}));
+  Schema schema;
+  schema.Relation("r", 2);
+  Database good(schema);
+  good.Add("r", {1, 5}).Add("r", {2, 6});
+  EXPECT_TRUE(Unwrap(Satisfies(good, egds[0])));
+  Database bad(schema);
+  bad.Add("r", {1, 5}).Add("r", {1, 6});
+  EXPECT_FALSE(Unwrap(Satisfies(bad, egds[0])));
+}
+
+TEST(MakeKeyEgdsTest, Validation) {
+  EXPECT_FALSE(MakeKeyEgds("r", 3, {}).ok());
+  EXPECT_FALSE(MakeKeyEgds("r", 3, {7}).ok());
+  // Key covering all attributes yields no egd — reported as error here.
+  EXPECT_FALSE(MakeKeyEgds("r", 2, {0, 1}).ok());
+}
+
+TEST(MakeInclusionDependencyTest, ProjectionInclusion) {
+  Dependency dep = Unwrap(MakeInclusionDependency("emp", 3, {1}, "dept", 2, {0}, "fk"));
+  ASSERT_TRUE(dep.IsTgd());
+  const Tgd& tgd = dep.tgd();
+  ASSERT_EQ(tgd.body().size(), 1u);
+  ASSERT_EQ(tgd.head().size(), 1u);
+  EXPECT_EQ(tgd.body()[0].predicate(), "emp");
+  EXPECT_EQ(tgd.head()[0].predicate(), "dept");
+  // Position 1 of emp flows into position 0 of dept.
+  EXPECT_EQ(tgd.body()[0].args()[1], tgd.head()[0].args()[0]);
+  // The other dept attribute is existential.
+  EXPECT_EQ(tgd.ExistentialVariables().size(), 1u);
+}
+
+TEST(MakeInclusionDependencyTest, SemanticsOnInstances) {
+  Dependency dep = Unwrap(MakeInclusionDependency("emp", 2, {1}, "dept", 1, {0}));
+  Schema schema;
+  schema.Relation("emp", 2).Relation("dept", 1);
+  Database good(schema);
+  good.Add("emp", {1, 10}).Add("dept", {10});
+  EXPECT_TRUE(Unwrap(Satisfies(good, dep)));
+  Database bad(schema);
+  bad.Add("emp", {1, 10});
+  EXPECT_FALSE(Unwrap(Satisfies(bad, dep)));
+}
+
+TEST(MakeInclusionDependencyTest, Validation) {
+  EXPECT_FALSE(MakeInclusionDependency("a", 2, {}, "b", 2, {}).ok());
+  EXPECT_FALSE(MakeInclusionDependency("a", 2, {0, 1}, "b", 2, {0}).ok());
+  EXPECT_FALSE(MakeInclusionDependency("a", 2, {5}, "b", 2, {0}).ok());
+  EXPECT_FALSE(MakeInclusionDependency("a", 2, {0}, "b", 2, {5}).ok());
+}
+
+TEST(MakeForeignKeyTest, IsAnInclusionDependency) {
+  Dependency dep = Unwrap(MakeForeignKey("emp", 2, {1}, "dept", 2, {0}, "fk"));
+  EXPECT_TRUE(dep.IsTgd());
+  EXPECT_EQ(dep.label(), "fk");
+}
+
+TEST(KeyEgdsFromSchemaTest, GeneratesPerDeclaredKey) {
+  Schema schema;
+  schema.Relation("s", 2).Relation("t", 3);
+  ASSERT_TRUE(schema.DeclareKey("s", {0}).ok());
+  ASSERT_TRUE(schema.DeclareKey("t", {0, 1}).ok());
+  DependencySet sigma = Unwrap(KeyEgdsFromSchema(schema));
+  ASSERT_EQ(sigma.size(), 2u);  // one fd for s, one for t
+  std::vector<Fd> fds = ExtractFds(sigma);
+  EXPECT_TRUE(IsSuperkey("s", 2, {0}, fds));
+  EXPECT_TRUE(IsSuperkey("t", 3, {0, 1}, fds));
+}
+
+TEST(KeyEgdsFromSchemaTest, AllAttributeKeySkipped) {
+  Schema schema;
+  schema.Relation("u", 2);
+  ASSERT_TRUE(schema.DeclareKey("u", {0, 1}).ok());
+  DependencySet sigma = Unwrap(KeyEgdsFromSchema(schema));
+  EXPECT_TRUE(sigma.empty());
+}
+
+}  // namespace
+}  // namespace sqleq

@@ -1,0 +1,112 @@
+// Edge cases: constants flowing through chase steps, sound chase, and
+// equivalence tests — SQL queries carry literals everywhere, so the chase
+// machinery must treat them as rigid designators.
+#include <gtest/gtest.h>
+
+#include "chase/set_chase.h"
+#include "chase/sound_chase.h"
+#include "db/eval.h"
+#include "equivalence/isomorphism.h"
+#include "equivalence/sigma_equivalence.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Q;
+using testing::Sigma;
+using testing::Unwrap;
+
+TEST(ChaseConstants, TgdWithConstantInHead) {
+  // Every p-row gets status 1.
+  DependencySet sigma = Sigma({"p(X) -> status(X, 1)."});
+  ConjunctiveQuery q = Q("Q(X) :- p(X).");
+  ChaseOutcome out = Unwrap(SetChase(q, sigma));
+  ASSERT_EQ(out.result.body().size(), 2u);
+  EXPECT_EQ(out.result.body()[1].ToString(), "status(X, 1)");
+}
+
+TEST(ChaseConstants, TgdWithConstantInBodyOnlyFiresOnMatch) {
+  DependencySet sigma = Sigma({"p(X, 1) -> r(X)."});
+  // Constant 2 in the query: no homomorphism (1 ≠ 2).
+  ChaseOutcome no_fire = Unwrap(SetChase(Q("Q(X) :- p(X, 2)."), sigma));
+  EXPECT_EQ(no_fire.result.body().size(), 1u);
+  // Constant 1: fires.
+  ChaseOutcome fires = Unwrap(SetChase(Q("Q(X) :- p(X, 1)."), sigma));
+  EXPECT_EQ(fires.result.body().size(), 2u);
+  // Variable in that position: also no fire (variables are not constants
+  // under homomorphisms from the dependency body into the query).
+  ChaseOutcome var = Unwrap(SetChase(Q("Q(X) :- p(X, Y)."), sigma));
+  EXPECT_EQ(var.result.body().size(), 1u);
+}
+
+TEST(ChaseConstants, EgdBindsVariableToConstant) {
+  DependencySet sigma = Sigma({"conf(X, V), conf(X, W) -> V = W."});
+  ConjunctiveQuery q = Q("Q(X, V) :- conf(X, V), conf(X, 5).");
+  ChaseOutcome out = Unwrap(SetChase(q, sigma));
+  EXPECT_FALSE(out.failed);
+  // V pinned to 5 in head and body; duplicates collapse.
+  ASSERT_EQ(out.result.body().size(), 1u);
+  EXPECT_EQ(out.result.head()[1], Term::Int(5));
+}
+
+TEST(ChaseConstants, SoundChaseWithConstantHeadIsFixing) {
+  // Full tgd with constant: assignment-fixing (no existentials), applies
+  // under BS; under B needs the set-valued flag on status.
+  DependencySet sigma = Sigma({"p(X) -> status(X, 1)."});
+  Schema bag_schema;
+  bag_schema.Relation("p", 1).Relation("status", 2);
+  ConjunctiveQuery q = Q("Q(X) :- p(X).");
+  ChaseOutcome bs = Unwrap(SoundChase(q, sigma, Semantics::kBagSet, bag_schema));
+  EXPECT_EQ(bs.result.body().size(), 2u);
+  ChaseOutcome b = Unwrap(SoundChase(q, sigma, Semantics::kBag, bag_schema));
+  EXPECT_EQ(b.result.body().size(), 1u);  // refused: status is a bag
+  Schema set_schema;
+  set_schema.Relation("p", 1).Relation("status", 2, /*set_valued=*/true);
+  ChaseOutcome b2 = Unwrap(SoundChase(q, sigma, Semantics::kBag, set_schema));
+  EXPECT_EQ(b2.result.body().size(), 2u);
+}
+
+TEST(ChaseConstants, EquivalenceWithLiteralFilters) {
+  // Σ: rows with flag 1 are indexed in hot. Filtering on flag 1 joined to
+  // the index is equivalent to the filter alone under bag-set semantics
+  // (hot/1 behaves as a set there, and the tgd is full).
+  DependencySet clean = Sigma({"item(X, 1) -> hot(X)."});
+  ConjunctiveQuery filtered = Q("Q(X) :- item(X, 1).");
+  ConjunctiveQuery joined = Q("Q(X) :- item(X, 1), hot(X).");
+  EXPECT_TRUE(Unwrap(BagSetEquivalentUnder(filtered, joined, clean)));
+  // Different literal on the filter: not equivalent.
+  ConjunctiveQuery other = Q("Q(X) :- item(X, 2), hot(X).");
+  EXPECT_FALSE(Unwrap(BagSetEquivalentUnder(filtered, other, clean)));
+}
+
+TEST(ChaseConstants, StringLiteralsDistinctFromIntegers) {
+  DependencySet sigma = Sigma({"log(X, 'error') -> alert(X)."});
+  ChaseOutcome fires = Unwrap(SetChase(Q("Q(X) :- log(X, 'error')."), sigma));
+  EXPECT_EQ(fires.result.body().size(), 2u);
+  ChaseOutcome no_fire = Unwrap(SetChase(Q("Q(X) :- log(X, 'info')."), sigma));
+  EXPECT_EQ(no_fire.result.body().size(), 1u);
+}
+
+TEST(ChaseConstants, IsomorphismNeverMapsAcrossConstants) {
+  EXPECT_FALSE(AreIsomorphic(Q("Q(X) :- p(X, 1)."), Q("Q(X) :- p(X, '1').")));
+  EXPECT_TRUE(AreIsomorphic(Q("Q(X) :- p(X, '1')."), Q("Q(Y) :- p(Y, '1').")));
+}
+
+TEST(ChaseConstants, AssignmentFixingTestWithConstants) {
+  // Existential tgd whose head carries a constant: the associated test query
+  // still decides correctly (key on first attr of s unifies the copies).
+  DependencySet sigma = Sigma({
+      "p(X) -> s(X, Z, 1).",
+      "s(X, Z1, C1), s(X, Z2, C2) -> Z1 = Z2.",
+  });
+  Schema schema;
+  schema.Relation("p", 1).Relation("s", 3, /*set_valued=*/true);
+  ConjunctiveQuery q = Q("Q(X) :- p(X).");
+  ChaseOutcome out = Unwrap(SoundChase(q, sigma, Semantics::kBag, schema));
+  EXPECT_EQ(out.result.body().size(), 2u);
+  EXPECT_EQ(out.result.body()[1].args()[2], Term::Int(1));
+}
+
+}  // namespace
+}  // namespace sqleq

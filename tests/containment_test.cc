@@ -1,0 +1,80 @@
+// Unit tests for Chandra–Merlin set containment / equivalence.
+#include "equivalence/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "db/eval.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Q;
+using testing::Unwrap;
+
+TEST(SetContainment, MoreAtomsContainedInFewer) {
+  ConjunctiveQuery narrow = Q("Q(X) :- p(X, Y), r(X).");
+  ConjunctiveQuery wide = Q("Q(X) :- p(X, Y).");
+  EXPECT_TRUE(SetContained(narrow, wide));
+  EXPECT_FALSE(SetContained(wide, narrow));
+}
+
+TEST(SetContainment, Reflexive) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y).");
+  EXPECT_TRUE(SetContained(q, q));
+}
+
+TEST(SetContainment, SharedVariableNamesDoNotConfuse) {
+  // Both queries use X and Y with different roles; RenameApart must keep
+  // the test honest.
+  ConjunctiveQuery a = Q("Q(X) :- p(X, Y), p(Y, X).");
+  ConjunctiveQuery b = Q("Q(Y) :- p(Y, X).");
+  EXPECT_TRUE(SetContained(a, b));
+  EXPECT_FALSE(SetContained(b, a));
+}
+
+TEST(SetContainment, ChainIntoCycle) {
+  ConjunctiveQuery cycle = Q("Q(X) :- e(X, Y), e(Y, X).");
+  ConjunctiveQuery chain = Q("Q(X) :- e(X, Y), e(Y, Z).");
+  // cycle ⊑ chain (map chain into cycle), not vice versa.
+  EXPECT_TRUE(SetContained(cycle, chain));
+  EXPECT_FALSE(SetContained(chain, cycle));
+}
+
+TEST(SetEquivalence, RedundantAtomIsEquivalent) {
+  ConjunctiveQuery a = Q("Q(X) :- p(X, Y).");
+  ConjunctiveQuery b = Q("Q(X) :- p(X, Y), p(X, Z).");
+  EXPECT_TRUE(SetEquivalent(a, b));
+}
+
+TEST(SetEquivalence, DifferentAnswersNotEquivalent) {
+  ConjunctiveQuery a = Q("Q(X) :- p(X, Y).");
+  ConjunctiveQuery b = Q("Q(Y) :- p(X, Y).");
+  EXPECT_FALSE(SetEquivalent(a, b));
+}
+
+TEST(SetEquivalence, ConstantSpecialization) {
+  ConjunctiveQuery a = Q("Q(X) :- p(X, 1).");
+  ConjunctiveQuery b = Q("Q(X) :- p(X, Y).");
+  EXPECT_TRUE(SetContained(a, b));
+  EXPECT_FALSE(SetContained(b, a));
+  EXPECT_FALSE(SetEquivalent(a, b));
+}
+
+TEST(SetContainment, AgreesWithEvaluationOnCanonicalDatabase) {
+  // Soundness sanity: if Q1 ⊑S Q2, then on D(Q1) the head tuple of Q1 is in
+  // Q2's answer (the Chandra–Merlin argument run through the oracle).
+  ConjunctiveQuery q1 = Q("Q(X) :- p(X, Y), r(X).");
+  ConjunctiveQuery q2 = Q("Q(X) :- p(X, Y).");
+  ASSERT_TRUE(SetContained(q1, q2));
+  CanonicalDatabase canon = Unwrap(BuildCanonicalDatabase(
+      q1, Unwrap(InferSchema({q1, q2}))));
+  Bag a1 = Unwrap(Evaluate(q1, canon.database, Semantics::kSet));
+  Bag a2 = Unwrap(Evaluate(q2, canon.database, Semantics::kSet));
+  for (const auto& [t, _] : a1.counts()) {
+    EXPECT_GT(a2.Count(t), 0u) << TupleToString(t);
+  }
+}
+
+}  // namespace
+}  // namespace sqleq

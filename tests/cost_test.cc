@@ -1,0 +1,89 @@
+// Unit tests for the cost model used to rank reformulations.
+#include "reformulation/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "reformulation/bag_candb.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Q;
+using testing::Unwrap;
+
+TEST(CostModelTest, DefaultsAndOverrides) {
+  CostModel model;
+  model.SetDefaultRows(100).SetRows("big", 1e6).SetDistinct("big", 0, 1000);
+  EXPECT_EQ(model.RowsOf("unknown"), 100);
+  EXPECT_EQ(model.RowsOf("big"), 1e6);
+  EXPECT_EQ(model.DistinctOf("big", 0), 1000);
+  // Missing distinct defaults to sqrt(rows).
+  EXPECT_NEAR(model.DistinctOf("big", 1), 1000.0, 1e-9);
+  EXPECT_NEAR(model.DistinctOf("unknown", 0), 10.0, 1e-9);
+}
+
+TEST(EstimateCostTest, SingleScan) {
+  CostModel model;
+  model.SetRows("p", 500);
+  CostEstimate cost = EstimateCost(Q("Q(X) :- p(X, Y)."), model);
+  EXPECT_EQ(cost.atoms, 1u);
+  EXPECT_NEAR(cost.output_rows, 500, 1e-9);
+  EXPECT_NEAR(cost.intermediate_tuples, 500, 1e-9);
+}
+
+TEST(EstimateCostTest, MoreAtomsCostMore) {
+  CostModel model;
+  CostEstimate one = EstimateCost(Q("Q(X) :- p(X, Y)."), model);
+  CostEstimate two = EstimateCost(Q("Q(X) :- p(X, Y), r(X)."), model);
+  EXPECT_GT(two.intermediate_tuples, one.intermediate_tuples);
+}
+
+TEST(EstimateCostTest, BoundJoinPositionShrinksContribution) {
+  CostModel model;
+  model.SetRows("p", 1000).SetRows("q", 1000).SetDistinct("q", 0, 1000);
+  // Joined q: second atom's first position is bound, cut by distinct count.
+  CostEstimate joined = EstimateCost(Q("Q(X) :- p(X, Y), q(Y, Z)."), model);
+  // Cartesian q: nothing bound.
+  CostEstimate cartesian = EstimateCost(Q("Q(X) :- p(X, Y), q(U, Z)."), model);
+  EXPECT_LT(joined.output_rows, cartesian.output_rows);
+}
+
+TEST(EstimateCostTest, ConstantsAreBound) {
+  CostModel model;
+  model.SetRows("p", 1000).SetDistinct("p", 1, 100);
+  CostEstimate filtered = EstimateCost(Q("Q(X) :- p(X, 5)."), model);
+  EXPECT_NEAR(filtered.output_rows, 10.0, 1e-6);
+}
+
+TEST(PickCheapestTest, PrefersSmallerIntermediate) {
+  CostModel model;
+  model.SetRows("small", 10).SetRows("huge", 1e7);
+  std::vector<ConjunctiveQuery> candidates{
+      Q("A(X) :- huge(X, Y)."),
+      Q("B(X) :- small(X, Y)."),
+  };
+  std::optional<size_t> best = PickCheapest(candidates, model);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, 1u);
+}
+
+TEST(PickCheapestTest, EmptyInput) {
+  EXPECT_FALSE(PickCheapest({}, CostModel()).has_value());
+}
+
+TEST(PickCheapestTest, RanksCandBOutputs) {
+  // End-to-end: multiple Σ-minimal reformulations (a ⇄ b) ranked by stats.
+  DependencySet sigma = testing::Sigma({"a(X) -> b(X).", "b(X) -> a(X)."});
+  ConjunctiveQuery q = Q("Q(X) :- a(X), b(X).");
+  CandBResult result = Unwrap(SetCandB(q, sigma));
+  ASSERT_EQ(result.reformulations.size(), 2u);
+  CostModel model;
+  model.SetRows("a", 10).SetRows("b", 100000);
+  std::optional<size_t> best = PickCheapest(result.reformulations, model);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(result.reformulations[*best].body()[0].predicate(), "a");
+}
+
+}  // namespace
+}  // namespace sqleq

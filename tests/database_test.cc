@@ -1,0 +1,161 @@
+// Unit tests for RelationInstance, Database, and canonical databases.
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Q;
+
+TEST(RelationInstance, InsertValidatesArityAndGroundness) {
+  RelationInstance rel("p", 2);
+  EXPECT_TRUE(rel.Insert(IntTuple({1, 2})).ok());
+  EXPECT_FALSE(rel.Insert(IntTuple({1})).ok());
+  EXPECT_FALSE(rel.Insert({Term::Var("X"), Term::Int(1)}).ok());
+}
+
+TEST(RelationInstance, CountsAndSetValuedness) {
+  RelationInstance rel("p", 1);
+  ASSERT_TRUE(rel.Insert(IntTuple({1}), 3).ok());
+  EXPECT_EQ(rel.Count(IntTuple({1})), 3u);
+  EXPECT_TRUE(rel.Contains(IntTuple({1})));
+  EXPECT_FALSE(rel.Contains(IntTuple({2})));
+  EXPECT_FALSE(rel.IsSetValued());
+  EXPECT_TRUE(rel.CoreSet().IsSetValued());
+  EXPECT_EQ(rel.TotalSize(), 3u);
+  EXPECT_EQ(rel.CoreSize(), 1u);
+}
+
+TEST(Database, InsertUnknownRelationFails) {
+  Database db((Schema()));
+  EXPECT_EQ(db.Insert("p", IntTuple({1})).code(), StatusCode::kNotFound);
+}
+
+TEST(Database, SetValuedFlagRejectsDuplicates) {
+  Schema schema;
+  schema.Relation("p", 1, /*set_valued=*/true);
+  Database db(schema);
+  EXPECT_TRUE(db.Insert("p", IntTuple({1})).ok());
+  EXPECT_EQ(db.Insert("p", IntTuple({1})).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db.Insert("p", IntTuple({2}), 2).code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(db.Insert("p", IntTuple({2}), 1).ok());
+}
+
+TEST(Database, GetRelationReturnsEmptyInstance) {
+  Schema schema;
+  schema.Relation("p", 2);
+  Database db(schema);
+  RelationInstance rel = std::move(db.GetRelation("p")).value();
+  EXPECT_TRUE(rel.empty());
+  EXPECT_EQ(rel.arity(), 2u);
+  EXPECT_FALSE(db.GetRelation("q").ok());
+}
+
+TEST(Database, IsSetValuedAndCoreSet) {
+  Schema schema;
+  schema.Relation("p", 1);
+  Database db(schema);
+  db.Add("p", {1}, 2);
+  EXPECT_FALSE(db.IsSetValued());
+  EXPECT_EQ(db.TotalSize(), 2u);
+  Database core = db.CoreSet();
+  EXPECT_TRUE(core.IsSetValued());
+  EXPECT_EQ(core.TotalSize(), 1u);
+}
+
+TEST(Database, ToStringSkipsEmptyRelations) {
+  Schema schema;
+  schema.Relation("p", 1).Relation("q", 1);
+  Database db(schema);
+  db.Add("p", {1});
+  std::string text = db.ToString();
+  EXPECT_NE(text.find("p ="), std::string::npos);
+  EXPECT_EQ(text.find("q ="), std::string::npos);
+}
+
+TEST(CanonicalDatabase, TurnsAtomsIntoTuples) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), r(X).");
+  CanonicalDatabase canon = std::move(BuildCanonicalDatabase(q)).value();
+  RelationInstance p = std::move(canon.database.GetRelation("p")).value();
+  RelationInstance r = std::move(canon.database.GetRelation("r")).value();
+  EXPECT_EQ(p.TotalSize(), 1u);
+  EXPECT_EQ(r.TotalSize(), 1u);
+  // The assignment is a satisfying homomorphism by construction.
+  Term cx = canon.assignment.at(Term::Var("X"));
+  EXPECT_TRUE(cx.IsConstant());
+  EXPECT_TRUE(r.Contains({cx}));
+}
+
+TEST(CanonicalDatabase, SharedVariablesShareConstants) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), q(Y, Z).");
+  CanonicalDatabase canon = std::move(BuildCanonicalDatabase(q)).value();
+  Term cy = canon.assignment.at(Term::Var("Y"));
+  RelationInstance p = std::move(canon.database.GetRelation("p")).value();
+  RelationInstance qq = std::move(canon.database.GetRelation("q")).value();
+  bool y_in_p = false, y_in_q = false;
+  for (const auto& [t, _] : p.bag().counts()) y_in_p |= (t[1] == cy);
+  for (const auto& [t, _] : qq.bag().counts()) y_in_q |= (t[0] == cy);
+  EXPECT_TRUE(y_in_p);
+  EXPECT_TRUE(y_in_q);
+}
+
+TEST(CanonicalDatabase, ConstantsKeptVerbatim) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, 7).");
+  CanonicalDatabase canon = std::move(BuildCanonicalDatabase(q)).value();
+  RelationInstance p = std::move(canon.database.GetRelation("p")).value();
+  bool found = false;
+  for (const auto& [t, _] : p.bag().counts()) found |= (t[1] == Term::Int(7));
+  EXPECT_TRUE(found);
+}
+
+TEST(CanonicalDatabase, DuplicateAtomsCollapse) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), p(X, Y).");
+  CanonicalDatabase canon = std::move(BuildCanonicalDatabase(q)).value();
+  RelationInstance p = std::move(canon.database.GetRelation("p")).value();
+  EXPECT_EQ(p.TotalSize(), 1u);
+  EXPECT_TRUE(canon.database.IsSetValued());
+}
+
+TEST(CanonicalDatabase, SetValuedSchemaDoesNotBlockConstruction) {
+  Schema schema;
+  schema.Relation("p", 2, /*set_valued=*/true);
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), p(X, Y).");
+  EXPECT_TRUE(BuildCanonicalDatabase(q, schema).ok());
+}
+
+TEST(CanonicalDatabase, UnknownPredicateFails) {
+  Schema schema;
+  schema.Relation("p", 2);
+  ConjunctiveQuery q = Q("Q(X) :- r(X).");
+  EXPECT_FALSE(BuildCanonicalDatabase(q, schema).ok());
+}
+
+TEST(CanonicalDatabase, ArityMismatchFails) {
+  Schema schema;
+  schema.Relation("p", 3);
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y).");
+  EXPECT_FALSE(BuildCanonicalDatabase(q, schema).ok());
+}
+
+TEST(InferSchema, CollectsAritiesAndRejectsConflicts) {
+  ConjunctiveQuery q1 = Q("Q(X) :- p(X, Y).");
+  ConjunctiveQuery q2 = Q("Q(X) :- p(X, Y), r(X).");
+  Schema s = std::move(InferSchema({q1, q2})).value();
+  EXPECT_EQ(s.ArityOf("p"), 2u);
+  EXPECT_EQ(s.ArityOf("r"), 1u);
+  ConjunctiveQuery bad = Q("Q(X) :- p(X).");
+  EXPECT_FALSE(InferSchema({q1, bad}).ok());
+}
+
+TEST(InferSchema, ExtraAtomsContribute) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y).");
+  std::vector<Atom> extra{Atom("s", {Term::Var("A")})};
+  Schema s = std::move(InferSchema({q}, extra)).value();
+  EXPECT_TRUE(s.HasRelation("s"));
+}
+
+}  // namespace
+}  // namespace sqleq

@@ -1,0 +1,117 @@
+// Unit tests for Tgd, Egd, Dependency, and Σ parsing.
+#include "constraints/dependency.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Sigma;
+
+TEST(Tgd, CreateValidatesNonEmptySides) {
+  std::vector<Atom> body{Atom("p", {Term::Var("X")})};
+  std::vector<Atom> head{Atom("r", {Term::Var("X")})};
+  EXPECT_TRUE(Tgd::Create(body, head).ok());
+  EXPECT_FALSE(Tgd::Create({}, head).ok());
+  EXPECT_FALSE(Tgd::Create(body, {}).ok());
+}
+
+TEST(Tgd, ExistentialVariables) {
+  DependencySet sigma = Sigma({"p(X, Y) -> s(X, Z), t(Z, W)."});
+  std::vector<Term> ex = sigma[0].tgd().ExistentialVariables();
+  ASSERT_EQ(ex.size(), 2u);
+  EXPECT_EQ(ex[0], Term::Var("Z"));
+  EXPECT_EQ(ex[1], Term::Var("W"));
+}
+
+TEST(Tgd, FrontierVariables) {
+  DependencySet sigma = Sigma({"p(X, Y), q(Y, V) -> s(X, Z), t(Z, V)."});
+  std::vector<Term> frontier = sigma[0].tgd().FrontierVariables();
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_EQ(frontier[0], Term::Var("X"));
+  EXPECT_EQ(frontier[1], Term::Var("V"));
+}
+
+TEST(Tgd, IsFull) {
+  EXPECT_TRUE(Sigma({"p(X, Y) -> r(X)."})[0].tgd().IsFull());
+  EXPECT_FALSE(Sigma({"p(X, Y) -> s(X, Z)."})[0].tgd().IsFull());
+}
+
+TEST(Tgd, ToStringShowsExistentials) {
+  DependencySet sigma = Sigma({"p(X, Y) -> s(X, Z)."});
+  EXPECT_EQ(sigma[0].tgd().ToString(), "p(X, Y) -> EXISTS Z: s(X, Z)");
+}
+
+TEST(Egd, CreateValidatesSides) {
+  std::vector<Atom> body{Atom("r", {Term::Var("X"), Term::Var("Y")}),
+                         Atom("r", {Term::Var("X"), Term::Var("Z")})};
+  EXPECT_TRUE(Egd::Create(body, Term::Var("Y"), Term::Var("Z")).ok());
+  // Identical sides rejected:
+  EXPECT_FALSE(Egd::Create(body, Term::Var("Y"), Term::Var("Y")).ok());
+  // Variable not in body rejected:
+  EXPECT_FALSE(Egd::Create(body, Term::Var("Y"), Term::Var("W")).ok());
+  // Constants allowed:
+  EXPECT_TRUE(Egd::Create(body, Term::Var("Y"), Term::Int(1)).ok());
+  EXPECT_FALSE(Egd::Create({}, Term::Var("Y"), Term::Var("Z")).ok());
+}
+
+TEST(Dependency, KindAccessors) {
+  DependencySet sigma = Sigma({
+      "p(X, Y) -> r(X).",
+      "r(X, Y), r(X, Z) -> Y = Z.",
+  });
+  EXPECT_TRUE(sigma[0].IsTgd());
+  EXPECT_FALSE(sigma[0].IsEgd());
+  EXPECT_TRUE(sigma[1].IsEgd());
+  EXPECT_EQ(sigma[0].kind(), Dependency::Kind::kTgd);
+  EXPECT_EQ(sigma[1].kind(), Dependency::Kind::kEgd);
+  EXPECT_EQ(sigma[0].body().size(), 1u);
+  EXPECT_EQ(sigma[1].body().size(), 2u);
+}
+
+TEST(Dependency, LabelsAssignedSequentially) {
+  DependencySet sigma = Sigma({"p(X, Y) -> r(X).", "p(X, Y) -> r(Y)."});
+  EXPECT_EQ(sigma[0].label(), "sigma1");
+  EXPECT_EQ(sigma[1].label(), "sigma2");
+}
+
+TEST(Dependency, WithLabel) {
+  DependencySet sigma = Sigma({"p(X, Y) -> r(X)."});
+  Dependency relabeled = sigma[0].WithLabel("key_p");
+  EXPECT_EQ(relabeled.label(), "key_p");
+  EXPECT_EQ(sigma[0].label(), "sigma1");  // original untouched
+}
+
+TEST(Dependency, ToStringIncludesLabel) {
+  DependencySet sigma = Sigma({"p(X, Y) -> r(X)."});
+  EXPECT_EQ(sigma[0].ToString(), "[sigma1] p(X, Y) -> r(X)");
+}
+
+TEST(ParseDependency, MultiEquationEgdSplits) {
+  Result<std::vector<Dependency>> deps =
+      ParseDependency("p(X, A, B), p(X, C, D) -> A = C, B = D.", "fd");
+  ASSERT_TRUE(deps.ok());
+  ASSERT_EQ(deps->size(), 2u);
+  EXPECT_TRUE((*deps)[0].IsEgd());
+  EXPECT_EQ((*deps)[0].label(), "fd_1");
+  EXPECT_EQ((*deps)[1].label(), "fd_2");
+}
+
+TEST(ParseDependency, RejectsEquationVariableOutsideBody) {
+  EXPECT_FALSE(ParseDependency("p(X, Y) -> X = Z.").ok());
+}
+
+TEST(SigmaToStringFn, OnePerLine) {
+  DependencySet sigma = Sigma({"p(X, Y) -> r(X).", "p(X, Y) -> r(Y)."});
+  std::string text = SigmaToString(sigma);
+  EXPECT_NE(text.find("[sigma1]"), std::string::npos);
+  EXPECT_NE(text.find("[sigma2]"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace sqleq

@@ -1,0 +1,188 @@
+// Unit tests for CQ evaluation under set / bag / bag-set semantics — the
+// §2.1–2.2 definitions, including the paper's worked multiplicities.
+#include "db/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Q;
+using testing::Unwrap;
+
+Schema PSchema() {
+  Schema s;
+  s.Relation("p", 2).Relation("r", 1);
+  return s;
+}
+
+TEST(Evaluate, SetSemanticsDeduplicates) {
+  Database db(PSchema());
+  db.Add("p", {1, 2}).Add("p", {1, 3});
+  Bag ans = Unwrap(Evaluate(Q("Q(X) :- p(X, Y)."), db, Semantics::kSet));
+  EXPECT_EQ(ans.Count(IntTuple({1})), 1u);
+  EXPECT_EQ(ans.TotalSize(), 1u);
+}
+
+TEST(Evaluate, BagSetSemanticsCountsAssignments) {
+  Database db(PSchema());
+  db.Add("p", {1, 2}).Add("p", {1, 3});
+  Bag ans = Unwrap(Evaluate(Q("Q(X) :- p(X, Y)."), db, Semantics::kBagSet));
+  // Two satisfying assignments (Y=2, Y=3) for the same head tuple.
+  EXPECT_EQ(ans.Count(IntTuple({1})), 2u);
+}
+
+TEST(Evaluate, BagSemanticsMultipliesMultiplicities) {
+  Database db(PSchema());
+  db.Add("p", {1, 2}, 3);
+  Bag ans = Unwrap(Evaluate(Q("Q(X) :- p(X, Y)."), db, Semantics::kBag));
+  EXPECT_EQ(ans.Count(IntTuple({1})), 3u);
+}
+
+TEST(Evaluate, BagSemanticsSelfJoinSquaresMultiplicity) {
+  // §2.2: each subgoal contributes its matched tuple's multiplicity.
+  Database db(PSchema());
+  db.Add("p", {1, 2}, 3);
+  Bag ans = Unwrap(Evaluate(Q("Q(X) :- p(X, Y), p(X, Y)."), db, Semantics::kBag));
+  EXPECT_EQ(ans.Count(IntTuple({1})), 9u);
+}
+
+TEST(Evaluate, BagSetIgnoresBaseMultiplicities) {
+  // BS reads relations as core-sets: Q(D,BS) = Q(coreSet(D),BS).
+  Database db(PSchema());
+  db.Add("p", {1, 2}, 5);
+  Bag ans = Unwrap(Evaluate(Q("Q(X) :- p(X, Y)."), db, Semantics::kBagSet));
+  EXPECT_EQ(ans.Count(IntTuple({1})), 1u);
+}
+
+TEST(Evaluate, JoinAcrossRelations) {
+  Database db(PSchema());
+  db.Add("p", {1, 2}).Add("p", {2, 3}).Add("r", {1});
+  Bag ans = Unwrap(Evaluate(Q("Q(X, Y) :- p(X, Y), r(X)."), db, Semantics::kSet));
+  EXPECT_EQ(ans.Count(IntTuple({1, 2})), 1u);
+  EXPECT_EQ(ans.TotalSize(), 1u);
+}
+
+TEST(Evaluate, ConstantInBodyFilters) {
+  Database db(PSchema());
+  db.Add("p", {1, 2}).Add("p", {1, 7});
+  Bag ans = Unwrap(Evaluate(Q("Q(X) :- p(X, 7)."), db, Semantics::kBagSet));
+  EXPECT_EQ(ans.Count(IntTuple({1})), 1u);
+  EXPECT_EQ(ans.TotalSize(), 1u);
+}
+
+TEST(Evaluate, ConstantInHeadEmitted) {
+  Database db(PSchema());
+  db.Add("p", {1, 2});
+  Bag ans = Unwrap(Evaluate(Q("Q(X, 9) :- p(X, Y)."), db, Semantics::kSet));
+  EXPECT_EQ(ans.Count(IntTuple({1, 9})), 1u);
+}
+
+TEST(Evaluate, RepeatedVariableEnforcesEquality) {
+  Database db(PSchema());
+  db.Add("p", {1, 1}).Add("p", {1, 2});
+  Bag ans = Unwrap(Evaluate(Q("Q(X) :- p(X, X)."), db, Semantics::kSet));
+  EXPECT_EQ(ans.TotalSize(), 1u);
+  EXPECT_EQ(ans.Count(IntTuple({1})), 1u);
+}
+
+TEST(Evaluate, EmptyRelationGivesEmptyAnswer) {
+  Database db(PSchema());
+  Bag ans = Unwrap(Evaluate(Q("Q(X) :- p(X, Y)."), db, Semantics::kBag));
+  EXPECT_TRUE(ans.empty());
+}
+
+TEST(Evaluate, CartesianProductUnderBag) {
+  Database db(PSchema());
+  db.Add("p", {1, 1}, 2).Add("r", {5}, 3);
+  Bag ans = Unwrap(Evaluate(Q("Q(X, Z) :- p(X, Y), r(Z)."), db, Semantics::kBag));
+  EXPECT_EQ(ans.Count(IntTuple({1, 5})), 6u);
+}
+
+TEST(Evaluate, UnknownRelationFails) {
+  Database db(PSchema());
+  EXPECT_FALSE(Evaluate(Q("Q(X) :- zz(X)."), db, Semantics::kSet).ok());
+}
+
+TEST(Evaluate, ArityMismatchFails) {
+  Database db(PSchema());
+  EXPECT_FALSE(Evaluate(Q("Q(X) :- p(X)."), db, Semantics::kSet).ok());
+}
+
+TEST(Evaluate, ChaudhuriVardiBagCounterexample) {
+  // Classic: Q1(X):-p(X,Y),p(X,Z) vs Q2(X):-p(X,Y) are set-equivalent but
+  // not bag-set-equivalent; the evaluation engine must witness that.
+  Database db(PSchema());
+  db.Add("p", {1, 2}).Add("p", {1, 3});
+  Bag a1 = Unwrap(Evaluate(Q("Q(X) :- p(X, Y), p(X, Z)."), db, Semantics::kBagSet));
+  Bag a2 = Unwrap(Evaluate(Q("Q(X) :- p(X, Y)."), db, Semantics::kBagSet));
+  EXPECT_EQ(a1.Count(IntTuple({1})), 4u);
+  EXPECT_EQ(a2.Count(IntTuple({1})), 2u);
+  Bag s1 = Unwrap(Evaluate(Q("Q(X) :- p(X, Y), p(X, Z)."), db, Semantics::kSet));
+  Bag s2 = Unwrap(Evaluate(Q("Q(X) :- p(X, Y)."), db, Semantics::kSet));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(ForEachSatisfyingAssignment, EnumeratesAll) {
+  Database db(PSchema());
+  db.Add("p", {1, 2}).Add("p", {3, 4});
+  int count = 0;
+  Status s = ForEachSatisfyingAssignment(
+      std::vector<Atom>{Atom("p", {Term::Var("X"), Term::Var("Y")})}, db, TermMap(),
+      [&count](const TermMap&) {
+        ++count;
+        return true;
+      });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(ForEachSatisfyingAssignment, RespectsFixedBindings) {
+  Database db(PSchema());
+  db.Add("p", {1, 2}).Add("p", {3, 4});
+  int count = 0;
+  TermMap fixed{{Term::Var("X"), Term::Int(3)}};
+  Status s = ForEachSatisfyingAssignment(
+      std::vector<Atom>{Atom("p", {Term::Var("X"), Term::Var("Y")})}, db, fixed,
+      [&count](const TermMap& gamma) {
+        EXPECT_EQ(gamma.at(Term::Var("Y")), Term::Int(4));
+        ++count;
+        return true;
+      });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ForEachSatisfyingAssignment, EarlyStop) {
+  Database db(PSchema());
+  db.Add("p", {1, 2}).Add("p", {3, 4});
+  int count = 0;
+  Status s = ForEachSatisfyingAssignment(
+      std::vector<Atom>{Atom("p", {Term::Var("X"), Term::Var("Y")})}, db, TermMap(),
+      [&count](const TermMap&) {
+        ++count;
+        return false;
+      });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(HasSatisfyingAssignment, PositiveAndNegative) {
+  Database db(PSchema());
+  db.Add("p", {1, 2});
+  std::vector<Atom> atoms{Atom("p", {Term::Var("X"), Term::Var("Y")})};
+  EXPECT_TRUE(*HasSatisfyingAssignment(atoms, db, TermMap()));
+  TermMap fixed{{Term::Var("X"), Term::Int(9)}};
+  EXPECT_FALSE(*HasSatisfyingAssignment(atoms, db, fixed));
+}
+
+TEST(SemanticsToStringNames, AllCovered) {
+  EXPECT_STREQ(SemanticsToString(Semantics::kSet), "S");
+  EXPECT_STREQ(SemanticsToString(Semantics::kBag), "B");
+  EXPECT_STREQ(SemanticsToString(Semantics::kBagSet), "BS");
+}
+
+}  // namespace
+}  // namespace sqleq

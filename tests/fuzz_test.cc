@@ -1,0 +1,121 @@
+// Robustness fuzzing: random byte soup and mutated valid inputs fed to
+// every parser entry point must produce Status errors, never crashes or
+// hangs. Seeds are parameterized so each instantiation explores different
+// garbage.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ir/parser.h"
+#include "sql/sql_parser.h"
+#include "sql/translate.h"
+#include "util/rng.h"
+
+namespace sqleq {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomSoup(Rng* rng, int len) {
+  static const char kAlphabet[] =
+      "abcXYZ01(),.:->=EXISTS AND'\"#_*;\t\n SELECT FROM WHERE";
+  std::string out;
+  for (int i = 0; i < len; ++i) {
+    out += kAlphabet[rng->Index(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+std::string Mutate(std::string base, Rng* rng) {
+  if (base.empty()) return base;
+  int edits = rng->UniformInt(1, 4);
+  for (int i = 0; i < edits; ++i) {
+    size_t pos = rng->Index(base.size());
+    switch (rng->UniformInt(0, 2)) {
+      case 0:
+        base.erase(pos, 1);
+        break;
+      case 1:
+        base.insert(pos, 1, static_cast<char>(rng->UniformInt(32, 126)));
+        break;
+      default:
+        base[pos] = static_cast<char>(rng->UniformInt(32, 126));
+        break;
+    }
+    if (base.empty()) break;
+  }
+  return base;
+}
+
+TEST_P(FuzzTest, DatalogParsersNeverCrashOnSoup) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    std::string soup = RandomSoup(&rng, rng.UniformInt(0, 60));
+    (void)ParseQuery(soup);
+    (void)ParseAggregateQuery(soup);
+    (void)ParseDependencyText(soup);
+    (void)ParseAtoms(soup);
+    (void)ParseTerm(soup);
+  }
+}
+
+TEST_P(FuzzTest, DatalogParsersNeverCrashOnMutatedValidInput) {
+  Rng rng(GetParam() + 100);
+  const std::string valid_query = "Q(X, Y) :- p(X, Z), q(Z, Y), r(X, 1, 'a').";
+  const std::string valid_dep = "p(X, Y) -> EXISTS Z: s(X, Z), t(Z, Y).";
+  for (int i = 0; i < 300; ++i) {
+    (void)ParseQuery(Mutate(valid_query, &rng));
+    (void)ParseDependencyText(Mutate(valid_dep, &rng));
+  }
+}
+
+TEST_P(FuzzTest, SqlParsersNeverCrashOnSoup) {
+  Rng rng(GetParam() + 200);
+  for (int i = 0; i < 300; ++i) {
+    std::string soup = RandomSoup(&rng, rng.UniformInt(0, 80));
+    (void)sql::ParseStatement(soup);
+    (void)sql::ParseScript(soup);
+  }
+}
+
+TEST_P(FuzzTest, SqlParsersNeverCrashOnMutatedValidInput) {
+  Rng rng(GetParam() + 300);
+  const std::string valid_select =
+      "SELECT DISTINCT e.id, SUM(e.salary) FROM emp e, dept d "
+      "WHERE e.dept = d.id AND d.mgr = 7 GROUP BY e.id";
+  const std::string valid_create =
+      "CREATE TABLE emp (id INT PRIMARY KEY, dept INT, "
+      "FOREIGN KEY (dept) REFERENCES dept (id))";
+  const std::string valid_insert = "INSERT INTO emp VALUES (1, 2), (3, 4)";
+  for (int i = 0; i < 200; ++i) {
+    (void)sql::ParseStatement(Mutate(valid_select, &rng));
+    (void)sql::ParseStatement(Mutate(valid_create, &rng));
+    (void)sql::ParseStatement(Mutate(valid_insert, &rng));
+  }
+}
+
+TEST_P(FuzzTest, ValidParsesStayValidUnderWhitespaceMutation) {
+  // Inserting whitespace anywhere between tokens must not change the parse.
+  Rng rng(GetParam() + 400);
+  const std::string text = "Q(X) :- p(X, Y), r(Y).";
+  Result<ConjunctiveQuery> base = ParseQuery(text);
+  ASSERT_TRUE(base.ok());
+  for (int i = 0; i < 50; ++i) {
+    std::string padded = text;
+    // Insert spaces at token boundaries only (after commas/parens).
+    for (size_t pos = padded.size(); pos-- > 0;) {
+      if ((padded[pos] == ',' || padded[pos] == '(' || padded[pos] == ')') &&
+          rng.Chance(0.5)) {
+        padded.insert(pos + 1, " ");
+      }
+    }
+    Result<ConjunctiveQuery> again = ParseQuery(padded);
+    ASSERT_TRUE(again.ok()) << padded;
+    EXPECT_TRUE(base->SameUpToAtomOrder(*again));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace sqleq

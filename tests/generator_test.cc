@@ -1,0 +1,128 @@
+// Unit tests for the workload generator.
+#include "db/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "db/satisfaction.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Unwrap;
+
+Schema SmallSchema() {
+  Schema s;
+  s.Relation("p", 2).Relation("r", 1).Relation("s", 2, /*set_valued=*/true);
+  return s;
+}
+
+TEST(GeneratorRandomQuery, ProducesSafeQueriesOverTheSchema) {
+  Schema schema = SmallSchema();
+  Rng rng(42);
+  RandomQueryOptions options;
+  options.atoms = 4;
+  for (int i = 0; i < 50; ++i) {
+    ConjunctiveQuery q = Unwrap(RandomQuery(schema, options, &rng));
+    EXPECT_EQ(q.body().size(), 4u);
+    for (const Atom& a : q.body()) {
+      ASSERT_TRUE(schema.HasRelation(a.predicate()));
+      EXPECT_EQ(schema.ArityOf(a.predicate()), a.arity());
+    }
+    EXPECT_FALSE(q.head().empty());
+  }
+}
+
+TEST(GeneratorRandomQuery, RejectsBadInputs) {
+  Rng rng(1);
+  EXPECT_FALSE(RandomQuery(Schema(), RandomQueryOptions(), &rng).ok());
+  RandomQueryOptions zero;
+  zero.atoms = 0;
+  EXPECT_FALSE(RandomQuery(SmallSchema(), zero, &rng).ok());
+}
+
+TEST(GeneratorRandomQuery, DeterministicForSeed) {
+  Schema schema = SmallSchema();
+  Rng a(7), b(7);
+  RandomQueryOptions options;
+  for (int i = 0; i < 10; ++i) {
+    ConjunctiveQuery qa = Unwrap(RandomQuery(schema, options, &a));
+    ConjunctiveQuery qb = Unwrap(RandomQuery(schema, options, &b));
+    EXPECT_EQ(qa.ToString(), qb.ToString());
+  }
+}
+
+TEST(GeneratorRandomDatabase, HonoursSetValuedFlags) {
+  Schema schema = SmallSchema();
+  Rng rng(3);
+  RandomDatabaseOptions options;
+  options.max_tuples_per_relation = 20;
+  options.domain = 2;  // tight domain forces duplicate attempts
+  options.max_multiplicity = 4;
+  for (int i = 0; i < 20; ++i) {
+    Database db = Unwrap(RandomDatabase(schema, options, &rng));
+    RelationInstance s_rel = Unwrap(db.GetRelation("s"));
+    EXPECT_TRUE(s_rel.IsSetValued());
+  }
+}
+
+TEST(GeneratorRepair, FixesTgdViolations) {
+  DependencySet sigma = testing::Sigma({"p(X, Y) -> r(X)."});
+  Schema schema = SmallSchema();
+  Database db(schema);
+  db.Add("p", {1, 2}).Add("p", {3, 4});
+  ASSERT_FALSE(Unwrap(Satisfies(db, sigma)));
+  EXPECT_TRUE(Unwrap(RepairTowardSigma(&db, sigma, 5)));
+  EXPECT_TRUE(Unwrap(Satisfies(db, sigma)));
+}
+
+TEST(GeneratorRepair, ExistentialHeadsGetFreshValues) {
+  DependencySet sigma = testing::Sigma({"r(X) -> p(X, Z)."});
+  Schema schema = SmallSchema();
+  Database db(schema);
+  db.Add("r", {1});
+  EXPECT_TRUE(Unwrap(RepairTowardSigma(&db, sigma, 5)));
+  RelationInstance p = Unwrap(db.GetRelation("p"));
+  EXPECT_EQ(p.TotalSize(), 1u);
+}
+
+TEST(GeneratorRepair, CascadingTgdsConverge) {
+  DependencySet sigma = testing::Sigma({
+      "p(X, Y) -> s(X, Y).",
+      "s(X, Y) -> r(X).",
+  });
+  Schema schema = SmallSchema();
+  Database db(schema);
+  db.Add("p", {1, 2});
+  EXPECT_TRUE(Unwrap(RepairTowardSigma(&db, sigma, 5)));
+}
+
+TEST(GeneratorRepair, EgdViolationsReportedNotFixed) {
+  DependencySet sigma = testing::Sigma({"s(X, Y), s(X, Z) -> Y = Z."});
+  Schema schema;
+  schema.Relation("s", 2);
+  Database db(schema);
+  db.Add("s", {1, 2}).Add("s", {1, 3});
+  EXPECT_FALSE(Unwrap(RepairTowardSigma(&db, sigma, 5)));
+}
+
+TEST(GeneratorRepair, WeaklyAcyclicSigmaOfExample41Repairable) {
+  Schema schema = testing::Example41Schema();
+  DependencySet sigma = testing::Example41Sigma();
+  Rng rng(11);
+  int repaired = 0;
+  for (int i = 0; i < 30; ++i) {
+    RandomDatabaseOptions options;
+    options.max_tuples_per_relation = 2;
+    options.domain = 3;
+    options.max_multiplicity = 2;
+    Database db = Unwrap(RandomDatabase(schema, options, &rng));
+    Result<bool> ok = RepairTowardSigma(&db, sigma, 10);
+    ASSERT_TRUE(ok.ok());
+    if (*ok) ++repaired;
+  }
+  EXPECT_GT(repaired, 0);
+}
+
+}  // namespace
+}  // namespace sqleq

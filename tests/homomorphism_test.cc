@@ -1,0 +1,134 @@
+// Unit tests for homomorphism search and containment mappings (§2.1).
+#include "chase/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Q;
+using testing::Unwrap;
+
+std::vector<Atom> Atoms(std::string_view text) {
+  return Unwrap(ParseAtoms(text), "ParseAtoms");
+}
+
+TEST(Homomorphism, IdentityAlwaysExists) {
+  std::vector<Atom> a = Atoms("p(X, Y), r(X)");
+  EXPECT_TRUE(HomomorphismExists(a, a));
+}
+
+TEST(Homomorphism, VariableCollapse) {
+  // p(X, Y) maps into p(Z, Z) via X,Y -> Z.
+  EXPECT_TRUE(HomomorphismExists(Atoms("p(X, Y)"), Atoms("p(Z, Z)")));
+  // But not vice versa: p(Z, Z) needs a target with equal arguments.
+  EXPECT_FALSE(HomomorphismExists(Atoms("p(Z, Z)"), Atoms("p(X, Y)")));
+}
+
+TEST(Homomorphism, ConstantsMustMatchExactly) {
+  EXPECT_TRUE(HomomorphismExists(Atoms("p(X, 1)"), Atoms("p(a, 1)")));
+  EXPECT_FALSE(HomomorphismExists(Atoms("p(X, 1)"), Atoms("p(a, 2)")));
+  // A variable may map to a constant:
+  EXPECT_TRUE(HomomorphismExists(Atoms("p(X, Y)"), Atoms("p(1, 2)")));
+}
+
+TEST(Homomorphism, PredicateMismatch) {
+  EXPECT_FALSE(HomomorphismExists(Atoms("p(X)"), Atoms("q(X)")));
+}
+
+TEST(Homomorphism, ArityMismatchIsNoTarget) {
+  EXPECT_FALSE(HomomorphismExists(Atoms("p(X)"), Atoms("p(X, Y)")));
+}
+
+TEST(Homomorphism, JoinStructureRespected) {
+  // Chain of length 2 maps into a triangle, but not into two disjoint edges.
+  std::vector<Atom> chain = Atoms("e(X, Y), e(Y, Z)");
+  EXPECT_TRUE(HomomorphismExists(chain, Atoms("e(A, B), e(B, C), e(C, A)")));
+  EXPECT_FALSE(HomomorphismExists(chain, Atoms("e(A, B), e(C, D)")));
+}
+
+TEST(Homomorphism, FixedBindingsRestrict) {
+  std::vector<Atom> from = Atoms("p(X, Y)");
+  std::vector<Atom> to = Atoms("p(A, B), p(C, D)");
+  TermMap fixed{{Term::Var("X"), Term::Var("C")}};
+  std::optional<TermMap> h = FindHomomorphism(from, to, fixed);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at(Term::Var("Y")), Term::Var("D"));
+}
+
+TEST(Homomorphism, ForEachEnumeratesAllDistinctMaps) {
+  std::vector<Atom> from = Atoms("p(X)");
+  std::vector<Atom> to = Atoms("p(A), p(B), p(C)");
+  int count = 0;
+  ForEachHomomorphism(from, to, TermMap(), [&count](const TermMap&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Homomorphism, ForEachDeduplicatesEqualMaps) {
+  // Two identical target atoms induce the same term map once.
+  std::vector<Atom> from = Atoms("p(X)");
+  std::vector<Atom> to = Atoms("p(A), p(A)");
+  int count = 0;
+  ForEachHomomorphism(from, to, TermMap(), [&count](const TermMap&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Homomorphism, EarlyStopHonored) {
+  std::vector<Atom> from = Atoms("p(X)");
+  std::vector<Atom> to = Atoms("p(A), p(B)");
+  int count = 0;
+  ForEachHomomorphism(from, to, TermMap(), [&count](const TermMap&) {
+    ++count;
+    return false;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ContainmentMapping, ChandraMerlinDirection) {
+  // Q2 ⊒S Q1 via containment mapping Q2 → Q1: Q1 has an extra atom.
+  ConjunctiveQuery q1 = Q("Q(X) :- p(X, Y), r(X).");
+  ConjunctiveQuery q2 = Q("Q(X) :- p(X, Y).");
+  EXPECT_TRUE(ContainmentMappingExists(q2, q1));
+  EXPECT_FALSE(ContainmentMappingExists(q1, q2));
+}
+
+TEST(ContainmentMapping, HeadMustMapPositionally) {
+  ConjunctiveQuery from = Q("Q(X, Y) :- p(X, Y).");
+  ConjunctiveQuery to = Q("Q(A, A) :- p(A, A).");
+  EXPECT_TRUE(ContainmentMappingExists(from, to));
+  EXPECT_FALSE(ContainmentMappingExists(to, from));
+}
+
+TEST(ContainmentMapping, HeadArityMismatch) {
+  ConjunctiveQuery from = Q("Q(X, Y) :- p(X, Y).");
+  ConjunctiveQuery to = Q("Q(A) :- p(A, B).");
+  EXPECT_FALSE(ContainmentMappingExists(from, to));
+}
+
+TEST(ContainmentMapping, HeadConstants) {
+  ConjunctiveQuery from = Q("Q(1) :- p(X).");
+  ConjunctiveQuery same = Q("Q(1) :- p(Y).");
+  ConjunctiveQuery diff = Q("Q(2) :- p(Y).");
+  EXPECT_TRUE(ContainmentMappingExists(from, same));
+  EXPECT_FALSE(ContainmentMappingExists(from, diff));
+}
+
+TEST(ContainmentMapping, ReturnsTheWitness) {
+  ConjunctiveQuery from = Q("Q(X) :- p(X, Y).");
+  ConjunctiveQuery to = Q("Q(A) :- p(A, B), p(A, 7).");
+  std::optional<TermMap> h = FindContainmentMapping(from, to);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at(Term::Var("X")), Term::Var("A"));
+}
+
+}  // namespace
+}  // namespace sqleq

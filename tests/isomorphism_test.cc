@@ -1,0 +1,88 @@
+// Unit tests for CQ isomorphism (the Theorem 2.1(1) bag-equivalence test).
+#include "equivalence/isomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Q;
+
+TEST(Isomorphism, IdenticalQueries) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y).");
+  EXPECT_TRUE(AreIsomorphic(q, q));
+}
+
+TEST(Isomorphism, RenamedVariables) {
+  EXPECT_TRUE(AreIsomorphic(Q("Q(X) :- p(X, Y)."), Q("Q(A) :- p(A, B).")));
+}
+
+TEST(Isomorphism, AtomOrderIrrelevant) {
+  EXPECT_TRUE(AreIsomorphic(Q("Q(X) :- p(X, Y), r(X)."), Q("Q(A) :- r(A), p(A, B).")));
+}
+
+TEST(Isomorphism, MultiplicityMatters) {
+  EXPECT_FALSE(AreIsomorphic(Q("Q(X) :- p(X, Y)."), Q("Q(A) :- p(A, B), p(A, B).")));
+  EXPECT_TRUE(AreIsomorphic(Q("Q(X) :- p(X, Y), p(X, Y)."),
+                            Q("Q(A) :- p(A, B), p(A, B).")));
+}
+
+TEST(Isomorphism, InjectivityRequired) {
+  // p(X, Y) is NOT isomorphic to p(Z, Z): the map would not be injective.
+  EXPECT_FALSE(AreIsomorphic(Q("Q(X) :- p(X, Y)."), Q("Q(Z) :- p(Z, Z).")));
+  EXPECT_FALSE(AreIsomorphic(Q("Q(Z) :- p(Z, Z)."), Q("Q(X) :- p(X, Y).")));
+}
+
+TEST(Isomorphism, HeadPositionsMustCorrespond) {
+  EXPECT_FALSE(AreIsomorphic(Q("Q(X, Y) :- p(X, Y)."), Q("Q(B, A) :- p(A, B).")));
+  EXPECT_TRUE(AreIsomorphic(Q("Q(X, Y) :- p(X, Y)."), Q("Q(A, B) :- p(A, B).")));
+}
+
+TEST(Isomorphism, ConstantsMustMatchExactly) {
+  EXPECT_TRUE(AreIsomorphic(Q("Q(X) :- p(X, 1)."), Q("Q(A) :- p(A, 1).")));
+  EXPECT_FALSE(AreIsomorphic(Q("Q(X) :- p(X, 1)."), Q("Q(A) :- p(A, 2).")));
+  // A variable never maps onto a constant.
+  EXPECT_FALSE(AreIsomorphic(Q("Q(X) :- p(X, Y)."), Q("Q(A) :- p(A, 1).")));
+}
+
+TEST(Isomorphism, PredicateCountsQuickReject) {
+  EXPECT_FALSE(AreIsomorphic(Q("Q(X) :- p(X, Y), r(X)."), Q("Q(A) :- p(A, B), p(B, A).")));
+}
+
+TEST(Isomorphism, JoinShapeDistinguished) {
+  // Chain vs fork with equal predicate counts.
+  ConjunctiveQuery chain = Q("Q(X) :- e(X, Y), e(Y, Z).");
+  ConjunctiveQuery fork = Q("Q(X) :- e(X, Y), e(X, Z).");
+  EXPECT_FALSE(AreIsomorphic(chain, fork));
+}
+
+TEST(Isomorphism, AutomorphicBodiesStillMatch) {
+  ConjunctiveQuery a = Q("Q(X) :- e(X, Y), e(Y, X).");
+  ConjunctiveQuery b = Q("Q(A) :- e(B, A), e(A, B).");
+  EXPECT_TRUE(AreIsomorphic(a, b));
+}
+
+TEST(Isomorphism, WitnessIsConsistent) {
+  ConjunctiveQuery a = Q("Q(X) :- p(X, Y), r(Y).");
+  ConjunctiveQuery b = Q("Q(A) :- p(A, B), r(B).");
+  std::optional<TermMap> iso = FindIsomorphism(a, b);
+  ASSERT_TRUE(iso.has_value());
+  EXPECT_EQ(iso->at(Term::Var("X")), Term::Var("A"));
+  EXPECT_EQ(iso->at(Term::Var("Y")), Term::Var("B"));
+}
+
+TEST(Isomorphism, HeadArityMismatch) {
+  EXPECT_FALSE(AreIsomorphic(Q("Q(X) :- p(X, Y)."), Q("Q(A, B) :- p(A, B).")));
+}
+
+TEST(Isomorphism, SetEquivalentButNotIsomorphic) {
+  // The Chaudhuri–Vardi gap: redundant atoms break isomorphism.
+  ConjunctiveQuery a = Q("Q(X) :- p(X, Y).");
+  ConjunctiveQuery b = Q("Q(X) :- p(X, Y), p(X, Z).");
+  EXPECT_FALSE(AreIsomorphic(a, b));
+}
+
+}  // namespace
+}  // namespace sqleq

@@ -1,0 +1,148 @@
+// Unit tests for functional dependencies, closure, superkeys, and keys
+// (Appendix B).
+#include "constraints/keys.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Sigma;
+
+TEST(ExtractFd, RecognizesTextbookShape) {
+  DependencySet sigma = Sigma({"r(X, Y), r(X, Z) -> Y = Z."});
+  std::optional<Fd> fd = ExtractFd(sigma[0].egd());
+  ASSERT_TRUE(fd.has_value());
+  EXPECT_EQ(fd->relation, "r");
+  EXPECT_EQ(fd->lhs, (std::set<size_t>{0}));
+  EXPECT_EQ(fd->rhs, 1u);
+}
+
+TEST(ExtractFd, RecognizesReversedConclusion) {
+  DependencySet sigma = Sigma({"r(X, Y), r(X, Z) -> Z = Y."});
+  ASSERT_TRUE(ExtractFd(sigma[0].egd()).has_value());
+}
+
+TEST(ExtractFd, CompositeLhs) {
+  DependencySet sigma = Sigma({"t(X, Y, W1), t(X, Y, W2) -> W1 = W2."});
+  std::optional<Fd> fd = ExtractFd(sigma[0].egd());
+  ASSERT_TRUE(fd.has_value());
+  EXPECT_EQ(fd->lhs, (std::set<size_t>{0, 1}));
+  EXPECT_EQ(fd->rhs, 2u);
+}
+
+TEST(ExtractFd, RejectsDifferentPredicates) {
+  DependencySet sigma = Sigma({"r(X, Y), s(X, Z) -> Y = Z."});
+  EXPECT_FALSE(ExtractFd(sigma[0].egd()).has_value());
+}
+
+TEST(ExtractFd, RejectsThreeAtomBodies) {
+  DependencySet sigma = Sigma({"r(X, Y), r(X, Z), r(X, W) -> Y = Z."});
+  EXPECT_FALSE(ExtractFd(sigma[0].egd()).has_value());
+}
+
+TEST(ExtractFd, RejectsNonLinearAtoms) {
+  // Repeated variable within an atom is not the fd shape.
+  DependencySet sigma = Sigma({"r(X, X, Y), r(X, X, Z) -> Y = Z."});
+  EXPECT_FALSE(ExtractFd(sigma[0].egd()).has_value());
+}
+
+TEST(ExtractFd, RejectsCrossSharing) {
+  // A variable shared across non-matching positions encodes a join, not an fd.
+  DependencySet sigma = Sigma({"r(X, Y), r(Y, Z) -> Y = Z."});
+  EXPECT_FALSE(ExtractFd(sigma[0].egd()).has_value());
+}
+
+TEST(ExtractFd, RejectsFullySharedBody) {
+  DependencySet sigma = Sigma({"r(X, Y), r(X, Y) -> X = Y."});
+  EXPECT_FALSE(ExtractFd(sigma[0].egd()).has_value());
+}
+
+TEST(ExtractFds, FiltersTgdsAndNonFdEgds) {
+  DependencySet sigma = Sigma({
+      "p(X, Y) -> r(X).",
+      "r(X, Y), r(X, Z) -> Y = Z.",
+      "r(X, Y), s(Y, Z) -> X = Z.",
+  });
+  std::vector<Fd> fds = ExtractFds(sigma);
+  ASSERT_EQ(fds.size(), 1u);
+  EXPECT_EQ(fds[0].relation, "r");
+}
+
+TEST(AttributeClosureTest, TransitiveClosure) {
+  // A -> B, B -> C on rel(A, B, C): {0}+ = {0, 1, 2}.
+  std::vector<Fd> fds{{"rel", {0}, 1}, {"rel", {1}, 2}};
+  std::set<size_t> closure = AttributeClosure("rel", {0}, fds);
+  EXPECT_EQ(closure, (std::set<size_t>{0, 1, 2}));
+}
+
+TEST(AttributeClosureTest, IgnoresOtherRelations) {
+  std::vector<Fd> fds{{"other", {0}, 1}};
+  EXPECT_EQ(AttributeClosure("rel", {0}, fds), (std::set<size_t>{0}));
+}
+
+TEST(ImpliesFdTest, ArmstrongDerivation) {
+  std::vector<Fd> fds{{"rel", {0}, 1}, {"rel", {1}, 2}};
+  EXPECT_TRUE(ImpliesFd(fds, {"rel", {0}, 2}));
+  EXPECT_FALSE(ImpliesFd(fds, {"rel", {2}, 0}));
+  // Trivial (reflexive) fd:
+  EXPECT_TRUE(ImpliesFd(fds, {"rel", {0, 2}, 2}));
+}
+
+TEST(IsSuperkeyTest, Basic) {
+  std::vector<Fd> fds{{"rel", {0}, 1}, {"rel", {1}, 2}};
+  EXPECT_TRUE(IsSuperkey("rel", 3, {0}, fds));
+  EXPECT_TRUE(IsSuperkey("rel", 3, {0, 2}, fds));
+  EXPECT_FALSE(IsSuperkey("rel", 3, {1}, fds));  // 1 -> 2 but not -> 0
+  // Full attribute set is always a superkey:
+  EXPECT_TRUE(IsSuperkey("rel", 3, {0, 1, 2}, {}));
+}
+
+TEST(IsKeyTest, MinimalityMatters) {
+  std::vector<Fd> fds{{"rel", {0}, 1}, {"rel", {1}, 2}};
+  EXPECT_TRUE(IsKey("rel", 3, {0}, fds));
+  EXPECT_FALSE(IsKey("rel", 3, {0, 2}, fds));  // superkey but not minimal
+  EXPECT_FALSE(IsKey("rel", 3, {1}, fds));     // not even a superkey
+  EXPECT_FALSE(IsKey("rel", 3, {}, fds));
+}
+
+TEST(FindKeysTest, SingleKey) {
+  std::vector<Fd> fds{{"rel", {0}, 1}, {"rel", {0}, 2}};
+  std::vector<std::set<size_t>> keys = FindKeys("rel", 3, fds);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (std::set<size_t>{0}));
+}
+
+TEST(FindKeysTest, MultipleMinimalKeys) {
+  // A -> B and B -> A on rel(A, B): both {A} and {B} are keys of rel(A, B).
+  std::vector<Fd> fds{{"rel", {0}, 1}, {"rel", {1}, 0}};
+  std::vector<std::set<size_t>> keys = FindKeys("rel", 2, fds);
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(FindKeysTest, NoFdsMeansAllAttributesKey) {
+  std::vector<std::set<size_t>> keys = FindKeys("rel", 2, {});
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (std::set<size_t>{0, 1}));
+}
+
+TEST(FdToString, Shape) {
+  Fd fd{"rel", {0, 1}, 2};
+  EXPECT_EQ(fd.ToString(), "rel: {0, 1} -> 2");
+}
+
+TEST(Keys, Example41TKeysFirstTwoAttributes) {
+  // In Example 4.1, the first two attributes of T form its key (σ8).
+  DependencySet sigma = testing::Example41Sigma();
+  std::vector<Fd> fds = ExtractFds(sigma);
+  EXPECT_TRUE(IsSuperkey("t", 3, {0, 1}, fds));
+  EXPECT_FALSE(IsSuperkey("t", 3, {0}, fds));
+  EXPECT_TRUE(IsKey("t", 3, {0, 1}, fds));
+  // U has no declared fds: only the full attribute set is a superkey.
+  EXPECT_FALSE(IsSuperkey("u", 2, {0}, fds));
+}
+
+}  // namespace
+}  // namespace sqleq

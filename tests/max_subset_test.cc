@@ -1,0 +1,114 @@
+// Unit tests for Max-Bag-Σ-Subset / Max-Bag-Set-Σ-Subset (Algorithms 1–2,
+// Theorems 5.3, 5.4, I.1, Proposition 5.2).
+#include "chase/max_subset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "db/satisfaction.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Example41Schema;
+using testing::Example41Sigma;
+using testing::Q;
+using testing::Unwrap;
+
+std::set<std::string> Labels(const DependencySet& sigma) {
+  std::set<std::string> out;
+  for (const Dependency& d : sigma) out.insert(d.label());
+  return out;
+}
+
+TEST(MaxSubset, Example41BagSubset) {
+  // D(Q3) satisfies σ1 (s+t pieces), σ2, and the egds, but neither σ3
+  // (needs r) nor σ4 (needs u).
+  ConjunctiveQuery q4 = Q("Q4(X) :- p(X, Y).");
+  MaxSubsetResult r =
+      Unwrap(MaxBagSigmaSubset(q4, Example41Sigma(), Example41Schema()));
+  std::set<std::string> labels = Labels(r.max_subset);
+  EXPECT_TRUE(labels.count("sigma1") > 0);
+  EXPECT_TRUE(labels.count("sigma2") > 0);
+  EXPECT_EQ(labels.count("sigma3"), 0u);
+  EXPECT_EQ(labels.count("sigma4"), 0u);
+  EXPECT_TRUE(labels.count("sigma5") > 0);
+  EXPECT_TRUE(labels.count("sigma6") > 0);
+}
+
+TEST(MaxSubset, Example41BagSetSubsetLarger) {
+  // ΣmaxB ⊆ ΣmaxBS ⊆ Σ, both proper here (Prop 5.2): σ3 returns under BS.
+  ConjunctiveQuery q4 = Q("Q4(X) :- p(X, Y).");
+  MaxSubsetResult b = Unwrap(MaxBagSigmaSubset(q4, Example41Sigma(), Example41Schema()));
+  MaxSubsetResult bs =
+      Unwrap(MaxBagSetSigmaSubset(q4, Example41Sigma(), Example41Schema()));
+  std::set<std::string> lb = Labels(b.max_subset);
+  std::set<std::string> lbs = Labels(bs.max_subset);
+  for (const std::string& l : lb) EXPECT_TRUE(lbs.count(l) > 0) << l;
+  EXPECT_TRUE(lbs.count("sigma3") > 0);
+  EXPECT_EQ(lbs.count("sigma4"), 0u);
+  EXPECT_LT(lb.size(), lbs.size());
+  EXPECT_LT(lbs.size(), Example41Sigma().size());
+}
+
+TEST(MaxSubset, CanonicalDatabaseSatisfiesSubset) {
+  // The defining property (Thm 5.3): D(Qn) |= ΣmaxB(Q, Σ).
+  ConjunctiveQuery q4 = Q("Q4(X) :- p(X, Y).");
+  MaxSubsetResult r =
+      Unwrap(MaxBagSigmaSubset(q4, Example41Sigma(), Example41Schema()));
+  CanonicalDatabase canon =
+      Unwrap(BuildCanonicalDatabase(r.chase_result, Example41Schema()));
+  EXPECT_TRUE(Unwrap(Satisfies(canon.database, r.max_subset)));
+}
+
+TEST(MaxSubset, MaximalityEachDroppedDependencyIsViolated) {
+  // Maximality (Thm 5.3): every dependency outside the subset is violated
+  // by D(Qn), so no strict superset works.
+  ConjunctiveQuery q4 = Q("Q4(X) :- p(X, Y).");
+  DependencySet sigma = Example41Sigma();
+  MaxSubsetResult r = Unwrap(MaxBagSigmaSubset(q4, sigma, Example41Schema()));
+  CanonicalDatabase canon =
+      Unwrap(BuildCanonicalDatabase(r.chase_result, Example41Schema()));
+  std::set<std::string> kept = Labels(r.max_subset);
+  for (const Dependency& dep : sigma) {
+    if (kept.count(dep.label()) > 0) continue;
+    EXPECT_FALSE(Unwrap(Satisfies(canon.database, dep))) << dep.ToString();
+  }
+}
+
+TEST(MaxSubset, QueryDependence) {
+  // §5.3: for Q(X) :- p(X,Y), u(X,Z) the canonical database of (Q)Σ,B does
+  // satisfy σ4 (the u-subgoal is already there).
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), u(X, Z).");
+  MaxSubsetResult r = Unwrap(MaxBagSigmaSubset(q, Example41Sigma(), Example41Schema()));
+  EXPECT_TRUE(Labels(r.max_subset).count("sigma4") > 0);
+}
+
+TEST(MaxSubset, AllSatisfiedWhenNothingApplies) {
+  DependencySet sigma = testing::Sigma({"p(X, Y) -> r(X)."});
+  Schema schema;
+  schema.Relation("p", 2).Relation("r", 1, /*set_valued=*/true);
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), r(X).");
+  MaxSubsetResult r = Unwrap(MaxSigmaSubset(q, sigma, Semantics::kBag, schema));
+  EXPECT_EQ(r.max_subset.size(), sigma.size());
+}
+
+TEST(MaxSubset, RejectsSetSemantics) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y).");
+  Result<MaxSubsetResult> r =
+      MaxSigmaSubset(q, Example41Sigma(), Semantics::kSet, Example41Schema());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MaxSubset, ChaseResultReturnedMatchesSoundChase) {
+  ConjunctiveQuery q4 = Q("Q4(X) :- p(X, Y).");
+  MaxSubsetResult r =
+      Unwrap(MaxBagSigmaSubset(q4, Example41Sigma(), Example41Schema()));
+  EXPECT_EQ(r.chase_result.body().size(), 3u);  // Q3
+}
+
+}  // namespace
+}  // namespace sqleq

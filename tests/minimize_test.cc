@@ -1,0 +1,102 @@
+// Unit tests for CQ minimization and Σ-minimality (Definition 3.1).
+#include "reformulation/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include "equivalence/containment.h"
+#include "equivalence/isomorphism.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Example41Schema;
+using testing::Example41Sigma;
+using testing::Q;
+using testing::Unwrap;
+
+TEST(MinimizeSet, RedundantAtomRemoved) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), p(X, Z).");
+  ConjunctiveQuery m = MinimizeSet(q);
+  EXPECT_EQ(m.body().size(), 1u);
+  EXPECT_TRUE(SetEquivalent(m, q));
+}
+
+TEST(MinimizeSet, AlreadyMinimalUntouched) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), r(Y).");
+  ConjunctiveQuery m = MinimizeSet(q);
+  EXPECT_TRUE(AreIsomorphic(m, q));
+}
+
+TEST(MinimizeSet, DuplicatesCollapseFirst) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), p(X, Y), p(X, Y).");
+  EXPECT_EQ(MinimizeSet(q).body().size(), 1u);
+}
+
+TEST(MinimizeSet, ChainFoldsIntoCycleCore) {
+  // e(X,Y), e(Y,Z), e(Z,X) plus a redundant appendix e(X,W): the appendix
+  // maps into the cycle, the cycle itself is a core.
+  ConjunctiveQuery q = Q("Q(X) :- e(X, Y), e(Y, Z), e(Z, X), e(X, W).");
+  ConjunctiveQuery m = MinimizeSet(q);
+  EXPECT_EQ(m.body().size(), 3u);
+  EXPECT_TRUE(SetEquivalent(m, q));
+}
+
+TEST(MinimizeSet, HeadVariablesProtectAtoms) {
+  // The head uses W, so e(X, W) cannot be dropped even though it maps in.
+  ConjunctiveQuery q = Q("Q(X, W) :- e(X, Y), e(Y, Z), e(Z, X), e(X, W).");
+  EXPECT_EQ(MinimizeSet(q).body().size(), 4u);
+}
+
+TEST(MinimizeSet, BooleanQueryShrinksToOneAtom) {
+  ConjunctiveQuery q = Q("Q(1) :- e(X, Y), e(Z, W).");
+  EXPECT_EQ(MinimizeSet(q).body().size(), 1u);
+}
+
+TEST(IsSigmaMinimalTest, Example41Q4IsMinimal) {
+  ConjunctiveQuery q4 = Q("Q4(X) :- p(X, Y).");
+  EXPECT_TRUE(Unwrap(IsSigmaMinimal(q4, Example41Sigma(), Semantics::kBag,
+                                    Example41Schema())));
+}
+
+TEST(IsSigmaMinimalTest, Example41Q3NotMinimalUnderBag) {
+  // Q3 ≡Σ,B Q4 and Q4 is a proper subquery: Q3 is not Σ-minimal under B.
+  ConjunctiveQuery q3 = Q("Q3(X) :- p(X, Y), t(X, Y, W), s(X, Z).");
+  EXPECT_FALSE(Unwrap(IsSigmaMinimal(q3, Example41Sigma(), Semantics::kBag,
+                                     Example41Schema())));
+}
+
+TEST(IsSigmaMinimalTest, WithoutDependenciesRedundancyDetected) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), p(X, Z).");
+  Schema schema;
+  schema.Relation("p", 2);
+  EXPECT_FALSE(Unwrap(IsSigmaMinimal(q, {}, Semantics::kSet, schema)));
+  // Under bag semantics that query IS minimal (no subquery is ≡B).
+  EXPECT_TRUE(Unwrap(IsSigmaMinimal(q, {}, Semantics::kBag, schema)));
+}
+
+TEST(IsSigmaMinimalTest, VariableIdentificationWitness) {
+  // Q(X) :- p(X,Y), p(Y,X), p(X,X): substituting Y→X gives S1 with three
+  // copies of p(X,X); S1 ≡S Q? S1 maps into Q (all to p(X,X)) and Q maps
+  // into S1? p(X,Y)→p(X,X) needs Y→X fine. So both contain each other —
+  // then dropping two atoms leaves p(X,X) which is still ≡S Q.
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), p(Y, X), p(X, X).");
+  Schema schema;
+  schema.Relation("p", 2);
+  EXPECT_FALSE(Unwrap(IsSigmaMinimal(q, {}, Semantics::kSet, schema)));
+}
+
+TEST(IsSigmaMinimalTest, BudgetSurfacesAsError) {
+  // 12 distinct variables => 12^12 substitutions: must trip the budget.
+  ConjunctiveQuery q = Q(
+      "Q(A) :- e(A, B), e(B, C), e(C, D), e(D, E), e(E, F), e(F, G), e(G, H), "
+      "e(H, I), e(I, J), e(J, K), e(K, L).");
+  Schema schema;
+  schema.Relation("e", 2);
+  Result<bool> r = IsSigmaMinimal(q, {}, Semantics::kSet, schema, {}, 1000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace sqleq

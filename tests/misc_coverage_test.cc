@@ -1,0 +1,139 @@
+// Targeted tests for branches not covered elsewhere: explain negatives
+// under set semantics, Σ-minimality across semantics, view-set lookups,
+// bag-duplicate normalization interplay, and renderer corner cases.
+#include <gtest/gtest.h>
+
+#include "chase/sound_chase.h"
+#include "equivalence/explain.h"
+#include "reformulation/minimize.h"
+#include "reformulation/views.h"
+#include "sql/render.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Example41Schema;
+using testing::Example41Sigma;
+using testing::Q;
+using testing::Sigma;
+using testing::Unwrap;
+
+TEST(MiscExplain, SetSemanticsNegativeShowsMissingDirection) {
+  Schema schema;
+  schema.Relation("p", 2).Relation("r", 1);
+  ConjunctiveQuery narrow = Q("A(X) :- p(X, Y), r(X).");
+  ConjunctiveQuery wide = Q("B(X) :- p(X, Y).");
+  EquivalenceExplanation e =
+      Unwrap(ExplainEquivalence(narrow, wide, {}, Semantics::kSet, schema));
+  EXPECT_FALSE(e.equivalent);
+  // narrow ⊑ wide: the forward witness (wide→narrow mapping) exists...
+  EXPECT_TRUE(e.witness_forward.has_value());
+  // ...but not the reverse.
+  EXPECT_FALSE(e.witness_backward.has_value());
+  EXPECT_TRUE(e.counterexample.has_value());
+}
+
+TEST(MiscExplain, TracesMentionDependencyLabels) {
+  ConjunctiveQuery q4 = Q("Q4(X) :- p(X, Y).");
+  EquivalenceExplanation e = Unwrap(ExplainEquivalence(
+      q4, q4, Example41Sigma(), Semantics::kBag, Example41Schema()));
+  EXPECT_TRUE(e.equivalent);
+  ASSERT_FALSE(e.trace_q1.empty());
+  EXPECT_NE(e.ToString().find("[sigma"), std::string::npos);
+}
+
+TEST(MiscMinimize, Example41Q5NotMinimalUnderBag) {
+  // Q5 (duplicate s-subgoal over set-valued S) reduces to Q4 under B.
+  ConjunctiveQuery q5 = Q("Q5(X) :- p(X, Y), t(X, Y, W), s(X, Z), s(X, Z).");
+  EXPECT_FALSE(Unwrap(IsSigmaMinimal(q5, Example41Sigma(), Semantics::kBag,
+                                     Example41Schema())));
+}
+
+TEST(MiscMinimize, SameQueryDifferentSemanticsDifferentVerdicts) {
+  // Q2 = p,t,s,r: NOT minimal under BS (reduces to Q4) but IS minimal under
+  // B (r cannot be re-derived by sound bag chase).
+  ConjunctiveQuery q2 = Q("Q2(X) :- p(X, Y), t(X, Y, W), s(X, Z), r(X).");
+  EXPECT_FALSE(Unwrap(IsSigmaMinimal(q2, Example41Sigma(), Semantics::kBagSet,
+                                     Example41Schema())));
+  EXPECT_FALSE(Unwrap(IsSigmaMinimal(q2, Example41Sigma(), Semantics::kBag,
+                                     Example41Schema())));
+  // (Q2 under B still reduces: dropping t and s is allowed since sound bag
+  // chase re-derives them — the minimal form keeps p and r.)
+  ConjunctiveQuery pr = Q("Qpr(X) :- p(X, Y), r(X).");
+  EXPECT_TRUE(Unwrap(
+      IsSigmaMinimal(pr, Example41Sigma(), Semantics::kBag, Example41Schema())));
+}
+
+TEST(MiscViews, GetUnknownViewFails) {
+  ViewSet views;
+  EXPECT_EQ(views.Get("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(views.names().empty());
+}
+
+TEST(MiscViews, RewriteViewOfViewRejectedAtExpansion) {
+  // A rewriting may reference a view atom with the wrong arity — caught.
+  ViewSet views;
+  ASSERT_TRUE(views.Add(Q("v(X) :- p(X, Y).")).ok());
+  EXPECT_FALSE(ExpandRewriting(Q("R(A, B) :- v(A, B)."), views).ok());
+}
+
+TEST(MiscNormalize, TripleDuplicateCollapsesToOne) {
+  Schema schema;
+  schema.Relation("s", 2, /*set_valued=*/true);
+  ConjunctiveQuery q = Q("Q(X) :- s(X, Z), s(X, Z), s(X, Z).");
+  EXPECT_EQ(NormalizeForBag(q, schema).body().size(), 1u);
+}
+
+TEST(MiscNormalize, HeadUntouchedByNormalization) {
+  Schema schema;
+  schema.Relation("s", 2, /*set_valued=*/true);
+  ConjunctiveQuery q = Q("Q(X, Z) :- s(X, Z), s(X, Z).");
+  ConjunctiveQuery n = NormalizeForBag(q, schema);
+  EXPECT_EQ(n.head(), q.head());
+  EXPECT_EQ(n.name(), q.name());
+}
+
+TEST(MiscRender, AggregateWithJoinAndConstant) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("emp", 3, {"id", "dept", "salary"}).ok());
+  ASSERT_TRUE(schema.AddRelation("dept", 2, {"id", "mgr"}).ok());
+  AggregateQuery q = testing::AQ(
+      "A(D, sum(S)) :- emp(E, D, S), dept(D, 7).");
+  std::string out = Unwrap(sql::RenderAggregateSql(q, schema));
+  EXPECT_NE(out.find("t1.mgr = 7"), std::string::npos) << out;
+  EXPECT_NE(out.find("GROUP BY t0.dept"), std::string::npos) << out;
+  EXPECT_NE(out.find("t0.dept = t1.id"), std::string::npos) << out;
+}
+
+TEST(MiscRender, BagSemanticsNeverEmitsDistinct) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("t", 1, {"a"}).ok());
+  std::string b = Unwrap(sql::RenderSql(Q("Q(X) :- t(X)."), schema, Semantics::kBag));
+  EXPECT_EQ(b.find("DISTINCT"), std::string::npos);
+}
+
+TEST(MiscSoundChase, EgdOnlySigmaTerminatesImmediatelyWhenSatisfied) {
+  DependencySet sigma = Sigma({"s(A, B), s(A, C) -> B = C."});
+  Schema schema;
+  schema.Relation("s", 2);
+  ConjunctiveQuery q = Q("Q(X) :- s(X, Y).");
+  ChaseOutcome out = Unwrap(SoundChase(q, sigma, Semantics::kBag, schema));
+  EXPECT_TRUE(out.trace.empty());
+  EXPECT_TRUE(out.result.SameUpToAtomOrder(q));
+}
+
+TEST(MiscSoundChase, HeadVariablesSurviveEgdUnification) {
+  // Unifying a head variable must keep the query safe and reflect the
+  // substitution in the head.
+  DependencySet sigma = Sigma({"s(A, B), s(A, C) -> B = C."});
+  Schema schema;
+  schema.Relation("s", 2, /*set_valued=*/true);
+  ConjunctiveQuery q = Q("Q(Y, Z) :- s(X, Y), s(X, Z).");
+  ChaseOutcome out = Unwrap(SoundChase(q, sigma, Semantics::kBag, schema));
+  EXPECT_EQ(out.result.head()[0], out.result.head()[1]);
+  EXPECT_EQ(out.result.body().size(), 1u);
+}
+
+}  // namespace
+}  // namespace sqleq

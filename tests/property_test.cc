@@ -1,0 +1,228 @@
+// Randomized property tests (experiment ids T1, T2, T6 of DESIGN.md): the
+// symbolic decision procedures are cross-validated against the evaluation
+// oracle on hundreds of random queries and databases. Parameterized over
+// RNG seeds so each instantiation explores a different region.
+#include <gtest/gtest.h>
+
+#include "chase/set_chase.h"
+#include "chase/sound_chase.h"
+#include "db/eval.h"
+#include "db/satisfaction.h"
+#include "equivalence/bag_equivalence.h"
+#include "equivalence/bag_set_equivalence.h"
+#include "equivalence/containment.h"
+#include "equivalence/isomorphism.h"
+#include "reformulation/candb.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Example41Schema;
+using testing::Example41Sigma;
+using testing::RandomDatabase;
+using testing::RandomQuery;
+using testing::RepairDatabase;
+using testing::Unwrap;
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+Schema SmallSchema() {
+  Schema s;
+  s.Relation("p", 2).Relation("r", 1).Relation("s", 2);
+  return s;
+}
+
+// ---- T1: Theorem 2.1 soundness on random instances. -----------------
+
+TEST_P(SeededTest, IsomorphicVariantsEvaluateEquallyUnderBag) {
+  Rng rng(GetParam());
+  Schema schema = SmallSchema();
+  for (int round = 0; round < 8; ++round) {
+    ConjunctiveQuery q = RandomQuery(schema, rng.UniformInt(1, 4), 3, &rng);
+    // Build an isomorphic variant: rename + shuffle atoms.
+    ConjunctiveQuery renamed = q.RenameApart();
+    std::vector<Atom> body = renamed.body();
+    rng.Shuffle(&body);
+    ConjunctiveQuery variant = renamed.WithBody(std::move(body));
+    ASSERT_TRUE(BagEquivalent(q, variant)) << q.ToString();
+    for (int i = 0; i < 4; ++i) {
+      Database db = RandomDatabase(schema, 5, 3, 3, &rng);
+      EXPECT_EQ(Unwrap(Evaluate(q, db, Semantics::kBag)),
+                Unwrap(Evaluate(variant, db, Semantics::kBag)))
+          << q.ToString() << " vs " << variant.ToString();
+    }
+  }
+}
+
+TEST_P(SeededTest, BagEquivalenceVerdictImpliesEqualBagAnswers) {
+  Rng rng(GetParam() + 1000);
+  Schema schema = SmallSchema();
+  for (int round = 0; round < 10; ++round) {
+    ConjunctiveQuery q1 = RandomQuery(schema, rng.UniformInt(1, 3), 3, &rng);
+    ConjunctiveQuery q2 = RandomQuery(schema, rng.UniformInt(1, 3), 3, &rng);
+    if (q1.head().size() != q2.head().size()) continue;
+    if (!BagEquivalent(q1, q2)) continue;
+    for (int i = 0; i < 5; ++i) {
+      Database db = RandomDatabase(schema, 5, 3, 3, &rng);
+      EXPECT_EQ(Unwrap(Evaluate(q1, db, Semantics::kBag)),
+                Unwrap(Evaluate(q2, db, Semantics::kBag)));
+    }
+  }
+}
+
+TEST_P(SeededTest, DuplicateAtomPreservesBagSetAnswers) {
+  // Thm 2.1(2): duplicating an atom never changes BS answers.
+  Rng rng(GetParam() + 2000);
+  Schema schema = SmallSchema();
+  for (int round = 0; round < 8; ++round) {
+    ConjunctiveQuery q = RandomQuery(schema, rng.UniformInt(1, 4), 3, &rng);
+    std::vector<Atom> body = q.body();
+    body.push_back(body[rng.Index(body.size())]);
+    ConjunctiveQuery dup = q.WithBody(std::move(body));
+    ASSERT_TRUE(BagSetEquivalent(q, dup));
+    EXPECT_FALSE(BagEquivalent(q, dup));
+    for (int i = 0; i < 4; ++i) {
+      Database db = RandomDatabase(schema, 5, 3, 1, &rng).CoreSet();
+      EXPECT_EQ(Unwrap(Evaluate(q, db, Semantics::kBagSet)),
+                Unwrap(Evaluate(dup, db, Semantics::kBagSet)));
+    }
+  }
+}
+
+TEST_P(SeededTest, SetContainmentVerdictMatchesEvaluation) {
+  Rng rng(GetParam() + 3000);
+  Schema schema = SmallSchema();
+  for (int round = 0; round < 10; ++round) {
+    ConjunctiveQuery q1 = RandomQuery(schema, rng.UniformInt(1, 3), 3, &rng);
+    ConjunctiveQuery q2 = RandomQuery(schema, rng.UniformInt(1, 3), 3, &rng);
+    if (q1.head().size() != q2.head().size()) continue;
+    bool contained = SetContained(q1, q2);
+    for (int i = 0; i < 4; ++i) {
+      Database db = RandomDatabase(schema, 5, 3, 1, &rng);
+      Bag a1 = Unwrap(Evaluate(q1, db, Semantics::kSet));
+      Bag a2 = Unwrap(Evaluate(q2, db, Semantics::kSet));
+      if (contained) {
+        for (const auto& [t, _] : a1.counts()) {
+          EXPECT_GT(a2.Count(t), 0u)
+              << q1.ToString() << " ⊑ " << q2.ToString() << " but tuple "
+              << TupleToString(t) << " missing";
+        }
+      }
+    }
+    // Completeness on the canonical database: if NOT contained, D(Q1)
+    // separates them (the Chandra–Merlin argument).
+    if (!contained) {
+      Result<CanonicalDatabase> canon = BuildCanonicalDatabase(q1, schema);
+      ASSERT_TRUE(canon.ok());
+      Bag a1 = Unwrap(Evaluate(q1, canon->database, Semantics::kSet));
+      Bag a2 = Unwrap(Evaluate(q2, canon->database, Semantics::kSet));
+      bool separated = false;
+      for (const auto& [t, _] : a1.counts()) {
+        if (a2.Count(t) == 0) separated = true;
+      }
+      EXPECT_TRUE(separated) << q1.ToString() << " vs " << q2.ToString();
+    }
+  }
+}
+
+// ---- T2/T6: sound chase and Σ-equivalence vs the oracle. -------------
+
+TEST_P(SeededTest, SoundChasePreservesAnswersOnSatisfyingDatabases) {
+  Rng rng(GetParam() + 4000);
+  Schema schema = Example41Schema();
+  DependencySet sigma = Example41Sigma();
+  int databases_checked = 0;
+  for (int round = 0; round < 6; ++round) {
+    ConjunctiveQuery q = RandomQuery(schema, rng.UniformInt(1, 3), 3, &rng);
+    Result<ChaseOutcome> bag_chase = SoundChase(q, sigma, Semantics::kBag, schema);
+    Result<ChaseOutcome> bs_chase = SoundChase(q, sigma, Semantics::kBagSet, schema);
+    ASSERT_TRUE(bag_chase.ok()) << bag_chase.status().ToString() << " " << q.ToString();
+    ASSERT_TRUE(bs_chase.ok());
+    if (bag_chase->failed || bs_chase->failed) continue;
+    for (int i = 0; i < 6; ++i) {
+      Database db = RandomDatabase(schema, 3, 3, 2, &rng);
+      if (!RepairDatabase(&db, sigma, 8)) continue;
+      ++databases_checked;
+      EXPECT_EQ(Unwrap(Evaluate(q, db, Semantics::kBag)),
+                Unwrap(Evaluate(bag_chase->result, db, Semantics::kBag)))
+          << "B: " << q.ToString() << " vs " << bag_chase->result.ToString();
+      Database core = db.CoreSet();
+      EXPECT_EQ(Unwrap(Evaluate(q, core, Semantics::kBagSet)),
+                Unwrap(Evaluate(bs_chase->result, core, Semantics::kBagSet)))
+          << "BS: " << q.ToString() << " vs " << bs_chase->result.ToString();
+    }
+  }
+  EXPECT_GT(databases_checked, 0) << "repair never succeeded; test vacuous";
+}
+
+TEST_P(SeededTest, SetChasePreservesSetAnswersOnSatisfyingDatabases) {
+  Rng rng(GetParam() + 5000);
+  Schema schema = Example41Schema();
+  DependencySet sigma = Example41Sigma();
+  int databases_checked = 0;
+  for (int round = 0; round < 6; ++round) {
+    ConjunctiveQuery q = RandomQuery(schema, rng.UniformInt(1, 3), 3, &rng);
+    Result<ChaseOutcome> chased = SetChase(q, sigma);
+    ASSERT_TRUE(chased.ok());
+    if (chased->failed) continue;
+    for (int i = 0; i < 6; ++i) {
+      Database db = RandomDatabase(schema, 3, 3, 1, &rng);
+      if (!RepairDatabase(&db, sigma, 8)) continue;
+      ++databases_checked;
+      EXPECT_EQ(Unwrap(Evaluate(q, db, Semantics::kSet)),
+                Unwrap(Evaluate(chased->result, db, Semantics::kSet)))
+          << q.ToString() << " vs " << chased->result.ToString();
+    }
+  }
+  EXPECT_GT(databases_checked, 0);
+}
+
+TEST_P(SeededTest, CandBOutputsEvaluateLikeTheInput) {
+  Rng rng(GetParam() + 6000);
+  Schema schema = Example41Schema();
+  DependencySet sigma = Example41Sigma();
+  ConjunctiveQuery q = RandomQuery(schema, rng.UniformInt(1, 3), 3, &rng);
+  for (Semantics sem : {Semantics::kBag, Semantics::kBagSet}) {
+    Result<CandBResult> result = ChaseAndBackchase(q, sigma, sem, schema);
+    if (!result.ok()) continue;  // failed chase (constant clash) — fine
+    for (const ConjunctiveQuery& reform : result->reformulations) {
+      for (int i = 0; i < 5; ++i) {
+        Database db = RandomDatabase(schema, 3, 3, sem == Semantics::kBag ? 2 : 1,
+                                     &rng);
+        if (!RepairDatabase(&db, sigma, 8)) continue;
+        if (sem == Semantics::kBagSet) db = db.CoreSet();
+        EXPECT_EQ(Unwrap(Evaluate(q, db, sem)), Unwrap(Evaluate(reform, db, sem)))
+            << SemanticsToString(sem) << ": " << q.ToString() << " vs "
+            << reform.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(SeededTest, ChaseResultUniqueAcrossSigmaPermutations) {
+  // Thm 5.1: permute Σ randomly; the sound chase results stay equivalent.
+  Rng rng(GetParam() + 7000);
+  Schema schema = Example41Schema();
+  DependencySet sigma = Example41Sigma();
+  for (int round = 0; round < 4; ++round) {
+    ConjunctiveQuery q = RandomQuery(schema, rng.UniformInt(1, 3), 3, &rng);
+    DependencySet shuffled = sigma;
+    rng.Shuffle(&shuffled);
+    Result<ChaseOutcome> a = SoundChase(q, sigma, Semantics::kBag, schema);
+    Result<ChaseOutcome> b = SoundChase(q, shuffled, Semantics::kBag, schema);
+    ASSERT_TRUE(a.ok() && b.ok());
+    if (a->failed || b->failed) {
+      EXPECT_EQ(a->failed, b->failed);
+      continue;
+    }
+    EXPECT_TRUE(BagEquivalentModuloSetRelations(a->result, b->result, schema))
+        << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace sqleq

@@ -1,0 +1,186 @@
+// Unit tests for ConjunctiveQuery, AggregateQuery, and TermMap application.
+#include "ir/query.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Q;
+
+TEST(TermMapApply, VariablePassThroughAndReplace) {
+  TermMap m{{Term::Var("X"), Term::Var("Y")}};
+  EXPECT_EQ(ApplyTermMap(m, Term::Var("X")), Term::Var("Y"));
+  EXPECT_EQ(ApplyTermMap(m, Term::Var("Z")), Term::Var("Z"));
+  EXPECT_EQ(ApplyTermMap(m, Term::Int(1)), Term::Int(1));
+}
+
+TEST(TermMapApply, AtomAndConjunction) {
+  TermMap m{{Term::Var("X"), Term::Int(5)}};
+  Atom a("p", {Term::Var("X"), Term::Var("Y")});
+  Atom mapped = ApplyTermMap(m, a);
+  EXPECT_EQ(mapped.ToString(), "p(5, Y)");
+  std::vector<Atom> conj = ApplyTermMap(m, std::vector<Atom>{a, a});
+  EXPECT_EQ(conj[1].ToString(), "p(5, Y)");
+}
+
+TEST(ConjunctiveQuery, CreateRejectsEmptyBody) {
+  Result<ConjunctiveQuery> r = ConjunctiveQuery::Create("Q", {Term::Var("X")}, {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConjunctiveQuery, CreateRejectsUnsafeHead) {
+  Result<ConjunctiveQuery> r = ConjunctiveQuery::Create(
+      "Q", {Term::Var("Z")}, {Atom("p", {Term::Var("X"), Term::Var("Y")})});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ConjunctiveQuery, HeadConstantsAreAllowed) {
+  Result<ConjunctiveQuery> r = ConjunctiveQuery::Create(
+      "Q", {Term::Int(1), Term::Var("X")}, {Atom("p", {Term::Var("X")})});
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ConjunctiveQuery, HeadAndBodyVariables) {
+  ConjunctiveQuery q = Q("Q(X, X, Y) :- p(X, Y), q(Y, Z).");
+  std::vector<Term> hv = q.HeadVariables();
+  ASSERT_EQ(hv.size(), 2u);  // X deduplicated
+  EXPECT_EQ(hv[0], Term::Var("X"));
+  std::vector<Term> bv = q.BodyVariables();
+  EXPECT_EQ(bv.size(), 3u);
+}
+
+TEST(ConjunctiveQuery, CanonicalRepresentationDropsDuplicates) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), p(X, Y), r(X).");
+  EXPECT_EQ(q.size(), 3u);
+  ConjunctiveQuery c = q.CanonicalRepresentation();
+  EXPECT_EQ(c.size(), 2u);
+  // Head and name survive.
+  EXPECT_EQ(c.name(), "Q");
+  EXPECT_EQ(c.head(), q.head());
+}
+
+TEST(ConjunctiveQuery, CanonicalRepresentationKeepsDistinctAtoms) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), p(X, Z).");
+  EXPECT_EQ(q.CanonicalRepresentation().size(), 2u);
+}
+
+TEST(ConjunctiveQuery, SameUpToAtomOrder) {
+  ConjunctiveQuery a = Q("Q(X) :- p(X, Y), r(X).");
+  ConjunctiveQuery b = Q("Q(X) :- r(X), p(X, Y).");
+  EXPECT_TRUE(a.SameUpToAtomOrder(b));
+  // Multiplicity-sensitive:
+  ConjunctiveQuery c = Q("Q(X) :- p(X, Y), p(X, Y), r(X).");
+  EXPECT_FALSE(a.SameUpToAtomOrder(c));
+  // Head-sensitive:
+  ConjunctiveQuery d = Q("Q(Y) :- p(X, Y), r(X).");
+  EXPECT_FALSE(a.SameUpToAtomOrder(d));
+}
+
+TEST(ConjunctiveQuery, SubstituteMapsHeadAndBody) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y).");
+  TermMap m{{Term::Var("X"), Term::Var("W")}};
+  ConjunctiveQuery s = q.Substitute(m);
+  EXPECT_EQ(s.ToString(), "Q(W) :- p(W, Y).");
+}
+
+TEST(ConjunctiveQuery, RenameApartProducesIsomorphicDisjointCopy) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), r(Y).");
+  TermMap renaming;
+  ConjunctiveQuery renamed = q.RenameApart(&renaming);
+  EXPECT_EQ(renamed.size(), q.size());
+  EXPECT_EQ(renaming.size(), 2u);
+  for (Term v : renamed.BodyVariables()) {
+    for (Term old : q.BodyVariables()) EXPECT_NE(v, old);
+  }
+}
+
+TEST(ConjunctiveQuery, PredicateCounts) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), p(Y, Z), r(X).");
+  auto counts = q.PredicateCounts();
+  EXPECT_EQ(counts.at("p"), 2u);
+  EXPECT_EQ(counts.at("r"), 1u);
+}
+
+TEST(ConjunctiveQuery, ToStringRoundtripShape) {
+  EXPECT_EQ(Q("Q(X) :- p(X, Y).").ToString(), "Q(X) :- p(X, Y).");
+}
+
+TEST(AggregateQuery, CreateValidatesCountStarTakesNoArg) {
+  Result<AggregateQuery> bad = AggregateQuery::Create(
+      "A", {}, AggregateFunction::kCountStar, Term::Var("Y"),
+      {Atom("p", {Term::Var("X"), Term::Var("Y")})});
+  EXPECT_FALSE(bad.ok());
+  Result<AggregateQuery> good = AggregateQuery::Create(
+      "A", {}, AggregateFunction::kCountStar, std::nullopt,
+      {Atom("p", {Term::Var("X"), Term::Var("Y")})});
+  EXPECT_TRUE(good.ok());
+}
+
+TEST(AggregateQuery, CreateRequiresArgForSum) {
+  Result<AggregateQuery> bad = AggregateQuery::Create(
+      "A", {}, AggregateFunction::kSum, std::nullopt,
+      {Atom("p", {Term::Var("X"), Term::Var("Y")})});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(AggregateQuery, CreateRejectsAggArgInGrouping) {
+  Result<AggregateQuery> bad = AggregateQuery::Create(
+      "A", {Term::Var("Y")}, AggregateFunction::kSum, Term::Var("Y"),
+      {Atom("p", {Term::Var("X"), Term::Var("Y")})});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(AggregateQuery, CreateRejectsUnsafeGroupingOrArg) {
+  std::vector<Atom> body{Atom("p", {Term::Var("X"), Term::Var("Y")})};
+  EXPECT_FALSE(AggregateQuery::Create("A", {Term::Var("Z")}, AggregateFunction::kSum,
+                                      Term::Var("Y"), body)
+                   .ok());
+  EXPECT_FALSE(AggregateQuery::Create("A", {Term::Var("X")}, AggregateFunction::kSum,
+                                      Term::Var("Z"), body)
+                   .ok());
+}
+
+TEST(AggregateQuery, CoreAppendsAggregateArgument) {
+  AggregateQuery a = testing::AQ("A(S, sum(Y)) :- p(S, Y).");
+  ConjunctiveQuery core = a.Core();
+  ASSERT_EQ(core.head().size(), 2u);
+  EXPECT_EQ(core.head()[0], Term::Var("S"));
+  EXPECT_EQ(core.head()[1], Term::Var("Y"));
+}
+
+TEST(AggregateQuery, CoreOfCountStarIsGroupingOnly) {
+  AggregateQuery a = testing::AQ("A(S, count(*)) :- p(S, Y).");
+  EXPECT_EQ(a.Core().head().size(), 1u);
+}
+
+TEST(AggregateQuery, Compatibility) {
+  AggregateQuery a = testing::AQ("A(S, sum(Y)) :- p(S, Y).");
+  AggregateQuery b = testing::AQ("B(T, sum(W)) :- p(T, W), p(T, T).");
+  AggregateQuery c = testing::AQ("C(T, max(W)) :- p(T, W).");
+  AggregateQuery d = testing::AQ("D(T, U, sum(W)) :- p(T, W), p(U, W).");
+  EXPECT_TRUE(a.CompatibleWith(b));
+  EXPECT_FALSE(a.CompatibleWith(c));  // different function
+  EXPECT_FALSE(a.CompatibleWith(d));  // different grouping arity
+}
+
+TEST(AggregateQuery, ToStringShapes) {
+  EXPECT_EQ(testing::AQ("A(S, sum(Y)) :- p(S, Y).").ToString(),
+            "A(S, sum(Y)) :- p(S, Y).");
+  EXPECT_EQ(testing::AQ("A(count(*)) :- p(S, Y).").ToString(),
+            "A(count(*)) :- p(S, Y).");
+}
+
+TEST(AggregateFunctionNames, AllCovered) {
+  EXPECT_STREQ(AggregateFunctionToString(AggregateFunction::kSum), "sum");
+  EXPECT_STREQ(AggregateFunctionToString(AggregateFunction::kCount), "count");
+  EXPECT_STREQ(AggregateFunctionToString(AggregateFunction::kCountStar), "count(*)");
+  EXPECT_STREQ(AggregateFunctionToString(AggregateFunction::kMax), "max");
+  EXPECT_STREQ(AggregateFunctionToString(AggregateFunction::kMin), "min");
+}
+
+}  // namespace
+}  // namespace sqleq

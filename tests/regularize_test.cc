@@ -1,0 +1,163 @@
+// Unit tests for tgd regularization (Definition 4.1, §4.2.1).
+#include "constraints/regularize.h"
+
+#include <gtest/gtest.h>
+
+#include "chase/set_chase.h"
+#include "db/satisfaction.h"
+#include "equivalence/containment.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Sigma;
+
+TEST(IsRegularizedTest, SingleAtomHeadTrivially) {
+  DependencySet sigma = Sigma({"p(X, Y) -> s(X, Z)."});
+  EXPECT_TRUE(IsRegularized(sigma[0].tgd()));
+}
+
+TEST(IsRegularizedTest, SharedExistentialConnects) {
+  // σ1 of Example 4.2: r(X,Z) ∧ s(Z,W) share existential Z — regularized.
+  DependencySet sigma = Sigma({"p(X, Y) -> r(X, Z), s(Z, W)."});
+  EXPECT_TRUE(IsRegularized(sigma[0].tgd()));
+}
+
+TEST(IsRegularizedTest, OnlyUniversalSharingDoesNot) {
+  // σ4 of Example 4.1: u(X,Z) ∧ t(X,Y,W) share only universal X — NOT
+  // regularized ({u},{t} is a nonshared partition).
+  DependencySet sigma = Sigma({"p(X, Y) -> u(X, Z), t(X, Y, W)."});
+  EXPECT_FALSE(IsRegularized(sigma[0].tgd()));
+}
+
+TEST(IsRegularizedTest, FullTgdMultiAtomHeadSplits) {
+  // No existential variables at all: every head atom is its own component.
+  DependencySet sigma = Sigma({"p(X, Y) -> r(X), q(Y)."});
+  EXPECT_FALSE(IsRegularized(sigma[0].tgd()));
+}
+
+TEST(RegularizeTgdTest, SplitsNonsharedComponents) {
+  DependencySet sigma = Sigma({"p(X, Y) -> u(X, Z), t(X, Y, W)."});
+  std::vector<Tgd> pieces = RegularizeTgd(sigma[0].tgd());
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0].head().size(), 1u);
+  EXPECT_EQ(pieces[0].head()[0].predicate(), "u");
+  EXPECT_EQ(pieces[1].head()[0].predicate(), "t");
+  // Bodies preserved.
+  EXPECT_EQ(pieces[0].body(), sigma[0].tgd().body());
+  for (const Tgd& piece : pieces) EXPECT_TRUE(IsRegularized(piece));
+}
+
+TEST(RegularizeTgdTest, KeepsConnectedHeadTogether) {
+  DependencySet sigma = Sigma({"p(X, Y) -> r(X, Z), s(Z, W)."});
+  std::vector<Tgd> pieces = RegularizeTgd(sigma[0].tgd());
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].head().size(), 2u);
+}
+
+TEST(RegularizeTgdTest, ChainOfSharingIsOneComponent) {
+  // a(X,Z1), b(Z1,Z2), c(Z2,Z3): transitively connected via existentials.
+  DependencySet sigma = Sigma({"p(X) -> a(X, Z1), b(Z1, Z2), c(Z2, Z3)."});
+  EXPECT_TRUE(IsRegularized(sigma[0].tgd()));
+  EXPECT_EQ(RegularizeTgd(sigma[0].tgd()).size(), 1u);
+}
+
+TEST(RegularizeTgdTest, MixedComponents) {
+  // {a(X,Z), b(Z)} and {c(X,W)} and {d(X)}: three components.
+  DependencySet sigma = Sigma({"p(X) -> a(X, Z), b(Z), c(X, W), d(X)."});
+  std::vector<Tgd> pieces = RegularizeTgd(sigma[0].tgd());
+  ASSERT_EQ(pieces.size(), 3u);
+}
+
+TEST(RegularizeSigmaTest, EgdsPassThrough) {
+  DependencySet sigma = Sigma({
+      "r(X, Y), r(X, Z) -> Y = Z.",
+      "p(X, Y) -> u(X, Z), t(X, Y, W).",
+  });
+  DependencySet regular = RegularizeSigma(sigma);
+  ASSERT_EQ(regular.size(), 3u);
+  EXPECT_TRUE(regular[0].IsEgd());
+  EXPECT_EQ(regular[1].label(), "sigma2.1");
+  EXPECT_EQ(regular[2].label(), "sigma2.2");
+  EXPECT_TRUE(IsRegularizedSet(regular));
+}
+
+TEST(RegularizeSigmaTest, AlreadyRegularSigmaUnchanged) {
+  DependencySet sigma = testing::Sigma({
+      "p(X, Y) -> s(X, Z).",
+      "s(X, Y), s(X, Z) -> Y = Z.",
+  });
+  DependencySet regular = RegularizeSigma(sigma);
+  ASSERT_EQ(regular.size(), 2u);
+  EXPECT_EQ(regular[0].label(), "sigma1");  // label untouched
+}
+
+TEST(RegularizeSigmaTest, IsRegularizedSetDetectsOffenders) {
+  DependencySet sigma = Sigma({"p(X, Y) -> u(X, Z), t(X, Y, W)."});
+  EXPECT_FALSE(IsRegularizedSet(sigma));
+  EXPECT_TRUE(IsRegularizedSet(RegularizeSigma(sigma)));
+}
+
+TEST(RegularizeSigmaTest, Example41Sigma1SplitsIntoTwo) {
+  // σ1: p(X,Y) → s(X,Z) ∧ t(X,V,W): Z and {V,W} do not connect s and t.
+  DependencySet sigma = Sigma({"p(X, Y) -> s(X, Z), t(X, V, W)."});
+  std::vector<Tgd> pieces = RegularizeTgd(sigma[0].tgd());
+  ASSERT_EQ(pieces.size(), 2u);
+}
+
+TEST(RegularizeSigmaTest, Proposition41InstanceEquivalence) {
+  // Prop 4.1: D |= Σ iff D |= Σ′ — checked on random instances.
+  DependencySet sigma = Sigma({
+      "p(X, Y) -> u(X, Z), t(X, Y, W).",
+      "p(X, Y) -> s(X, Z), t(X, V, W).",
+      "s(X, Y), s(X, Z) -> Y = Z.",
+  });
+  DependencySet regular = RegularizeSigma(sigma);
+  ASSERT_GT(regular.size(), sigma.size());
+  Schema schema = testing::Example41Schema();
+  Rng rng(77);
+  int checked = 0;
+  for (int i = 0; i < 40; ++i) {
+    Database db = testing::RandomDatabase(schema, 3, 3, 2, &rng);
+    Result<bool> original = Satisfies(db, sigma);
+    Result<bool> regularized = Satisfies(db, regular);
+    ASSERT_TRUE(original.ok() && regularized.ok());
+    EXPECT_EQ(*original, *regularized) << db.ToString();
+    ++checked;
+  }
+  EXPECT_EQ(checked, 40);
+}
+
+TEST(RegularizeSigmaTest, Proposition41ChaseEquivalence) {
+  // Prop 4.1's second half: set chase under Σ and Σ′ produce set-equivalent
+  // results.
+  DependencySet sigma = Sigma({
+      "p(X, Y) -> u(X, Z), t(X, Y, W).",
+      "t(X, Y, W1), t(X, Y, W2) -> W1 = W2.",
+  });
+  DependencySet regular = RegularizeSigma(sigma);
+  ConjunctiveQuery q = testing::Q("Q(X) :- p(X, Y).");
+  ChaseOutcome with_sigma = testing::Unwrap(SetChase(q, sigma));
+  ChaseOutcome with_regular = testing::Unwrap(SetChase(q, regular));
+  EXPECT_TRUE(SetEquivalent(with_sigma.result, with_regular.result));
+}
+
+TEST(RegularizeSigmaTest, ConstantsInHeadAreNotVariables) {
+  // Constants never connect head atoms (only existential variables do).
+  DependencySet sigma = Sigma({"p(X) -> a(X, 1), b(X, 1)."});
+  EXPECT_FALSE(IsRegularized(sigma[0].tgd()));
+  EXPECT_EQ(RegularizeTgd(sigma[0].tgd()).size(), 2u);
+}
+
+TEST(RegularizeSigmaTest, DeterministicComponentOrder) {
+  DependencySet sigma = Sigma({"p(X) -> c(X, W), a(X, Z)."});
+  std::vector<Tgd> pieces = RegularizeTgd(sigma[0].tgd());
+  ASSERT_EQ(pieces.size(), 2u);
+  // Components ordered by first atom index, not atom name.
+  EXPECT_EQ(pieces[0].head()[0].predicate(), "c");
+  EXPECT_EQ(pieces[1].head()[0].predicate(), "a");
+}
+
+}  // namespace
+}  // namespace sqleq

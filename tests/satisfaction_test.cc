@@ -1,0 +1,134 @@
+// Unit tests for dependency satisfaction D |= σ / D |= Σ.
+#include "db/satisfaction.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Sigma;
+using testing::Unwrap;
+
+Schema TwoRelSchema() {
+  Schema s;
+  s.Relation("p", 2).Relation("r", 1).Relation("s", 2);
+  return s;
+}
+
+TEST(Satisfaction, FullTgdHolds) {
+  Database db(TwoRelSchema());
+  db.Add("p", {1, 2}).Add("r", {1});
+  DependencySet sigma = Sigma({"p(X, Y) -> r(X)."});
+  EXPECT_TRUE(Unwrap(Satisfies(db, sigma[0])));
+}
+
+TEST(Satisfaction, FullTgdViolated) {
+  Database db(TwoRelSchema());
+  db.Add("p", {1, 2});
+  DependencySet sigma = Sigma({"p(X, Y) -> r(X)."});
+  EXPECT_FALSE(Unwrap(Satisfies(db, sigma[0])));
+}
+
+TEST(Satisfaction, ExistentialTgdHolds) {
+  Database db(TwoRelSchema());
+  db.Add("p", {1, 2}).Add("s", {1, 99});
+  DependencySet sigma = Sigma({"p(X, Y) -> EXISTS Z: s(X, Z)."});
+  EXPECT_TRUE(Unwrap(Satisfies(db, sigma[0])));
+}
+
+TEST(Satisfaction, ExistentialTgdViolated) {
+  Database db(TwoRelSchema());
+  db.Add("p", {1, 2}).Add("s", {3, 99});
+  DependencySet sigma = Sigma({"p(X, Y) -> EXISTS Z: s(X, Z)."});
+  EXPECT_FALSE(Unwrap(Satisfies(db, sigma[0])));
+}
+
+TEST(Satisfaction, EgdHolds) {
+  Database db(TwoRelSchema());
+  db.Add("s", {1, 5}).Add("s", {2, 6});
+  DependencySet sigma = Sigma({"s(X, Y), s(X, Z) -> Y = Z."});
+  EXPECT_TRUE(Unwrap(Satisfies(db, sigma[0])));
+}
+
+TEST(Satisfaction, EgdViolated) {
+  Database db(TwoRelSchema());
+  db.Add("s", {1, 5}).Add("s", {1, 6});
+  DependencySet sigma = Sigma({"s(X, Y), s(X, Z) -> Y = Z."});
+  EXPECT_FALSE(Unwrap(Satisfies(db, sigma[0])));
+}
+
+TEST(Satisfaction, EmptyDatabaseSatisfiesEverything) {
+  Database db(TwoRelSchema());
+  DependencySet sigma = Sigma({
+      "p(X, Y) -> r(X).",
+      "s(X, Y), s(X, Z) -> Y = Z.",
+  });
+  EXPECT_TRUE(Unwrap(Satisfies(db, sigma)));
+}
+
+TEST(Satisfaction, InsensitiveToMultiplicities) {
+  // Satisfaction reads core-sets; duplicate tuples do not create violations.
+  Database db(TwoRelSchema());
+  db.Add("s", {1, 5}, 4);
+  DependencySet sigma = Sigma({"s(X, Y), s(X, Z) -> Y = Z."});
+  EXPECT_TRUE(Unwrap(Satisfies(db, sigma[0])));
+}
+
+TEST(Satisfaction, SigmaConjunction) {
+  Database db(TwoRelSchema());
+  db.Add("p", {1, 2}).Add("r", {1}).Add("s", {1, 5}).Add("s", {1, 6});
+  DependencySet sigma = Sigma({
+      "p(X, Y) -> r(X).",
+      "s(X, Y), s(X, Z) -> Y = Z.",
+  });
+  EXPECT_FALSE(Unwrap(Satisfies(db, sigma)));
+}
+
+TEST(Satisfaction, FirstViolatedReportsLabel) {
+  Database db(TwoRelSchema());
+  db.Add("s", {1, 5}).Add("s", {1, 6});
+  DependencySet sigma = Sigma({
+      "p(X, Y) -> r(X).",
+      "s(X, Y), s(X, Z) -> Y = Z.",
+  });
+  auto violated = Unwrap(FirstViolated(db, sigma));
+  ASSERT_TRUE(violated.has_value());
+  EXPECT_EQ(*violated, "sigma2");
+}
+
+TEST(Satisfaction, FirstViolatedNulloptWhenAllHold) {
+  Database db(TwoRelSchema());
+  DependencySet sigma = Sigma({"p(X, Y) -> r(X)."});
+  EXPECT_FALSE(Unwrap(FirstViolated(db, sigma)).has_value());
+}
+
+TEST(Satisfaction, EgdWithConstantSide) {
+  Database db(TwoRelSchema());
+  db.Add("r", {7});
+  DependencySet sigma = Sigma({"r(X) -> X = 7."});
+  EXPECT_TRUE(Unwrap(Satisfies(db, sigma[0])));
+  db.Add("r", {8});
+  EXPECT_FALSE(Unwrap(Satisfies(db, sigma[0])));
+}
+
+TEST(Satisfaction, CanonicalDatabaseOfChasedQuerySatisfiesSigma) {
+  // The defining property of terminal chase results, checked through the
+  // db layer: chase Q4 of Example 4.1 under set semantics, then D(Qn) |= Σ.
+  DependencySet sigma = testing::Example41Sigma();
+  ConjunctiveQuery q4 = testing::Q("Q4(X) :- p(X, Y).");
+  // Hand-rolled (Q4)Σ,S = Q1 of Example 4.1:
+  ConjunctiveQuery q1 =
+      testing::Q("Q1(X) :- p(X, Y), t(X, Y, W), s(X, Z), r(X), u(X, U).");
+  CanonicalDatabase canon =
+      Unwrap(BuildCanonicalDatabase(q1, testing::Example41Schema()));
+  EXPECT_TRUE(Unwrap(Satisfies(canon.database, sigma)));
+  // Whereas D(Q4) does not satisfy the tgds:
+  CanonicalDatabase canon4 =
+      Unwrap(BuildCanonicalDatabase(q4, testing::Example41Schema()));
+  EXPECT_FALSE(Unwrap(Satisfies(canon4.database, sigma)));
+}
+
+}  // namespace
+}  // namespace sqleq

@@ -1,0 +1,104 @@
+// Unit tests for Schema.
+#include "ir/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace sqleq {
+namespace {
+
+TEST(Schema, AddAndLookup) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("p", 2).ok());
+  EXPECT_TRUE(s.HasRelation("p"));
+  EXPECT_FALSE(s.HasRelation("q"));
+  EXPECT_EQ(s.ArityOf("p"), 2u);
+  EXPECT_EQ(s.ArityOf("q"), 0u);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Schema, DefaultAttributeNames) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("p", 3).ok());
+  RelationInfo info = std::move(s.GetRelation("p")).value();
+  ASSERT_EQ(info.attributes.size(), 3u);
+  EXPECT_EQ(info.attributes[0], "c0");
+  EXPECT_EQ(info.attributes[2], "c2");
+}
+
+TEST(Schema, ExplicitAttributeNames) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("emp", 2, {"id", "dept"}).ok());
+  RelationInfo info = std::move(s.GetRelation("emp")).value();
+  EXPECT_EQ(info.attributes[1], "dept");
+}
+
+TEST(Schema, RejectsDuplicates) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("p", 2).ok());
+  EXPECT_FALSE(s.AddRelation("p", 3).ok());
+}
+
+TEST(Schema, RejectsZeroArity) {
+  Schema s;
+  EXPECT_FALSE(s.AddRelation("p", 0).ok());
+}
+
+TEST(Schema, RejectsEmptyName) {
+  Schema s;
+  EXPECT_FALSE(s.AddRelation("", 1).ok());
+}
+
+TEST(Schema, RejectsAttributeCountMismatch) {
+  Schema s;
+  EXPECT_FALSE(s.AddRelation("p", 2, {"only_one"}).ok());
+}
+
+TEST(Schema, SetValuedFlag) {
+  Schema s;
+  s.Relation("p", 2).Relation("q", 1, /*set_valued=*/true);
+  EXPECT_FALSE(s.IsSetValued("p"));
+  EXPECT_TRUE(s.IsSetValued("q"));
+  EXPECT_FALSE(s.IsSetValued("unknown"));
+  ASSERT_TRUE(s.SetSetValued("p", true).ok());
+  EXPECT_TRUE(s.IsSetValued("p"));
+  EXPECT_FALSE(s.SetSetValued("unknown", true).ok());
+}
+
+TEST(Schema, DeclareKeyValidation) {
+  Schema s;
+  s.Relation("p", 3);
+  EXPECT_TRUE(s.DeclareKey("p", {0, 1}).ok());
+  EXPECT_FALSE(s.DeclareKey("p", {}).ok());
+  EXPECT_FALSE(s.DeclareKey("p", {5}).ok());
+  EXPECT_FALSE(s.DeclareKey("q", {0}).ok());
+  RelationInfo info = std::move(s.GetRelation("p")).value();
+  ASSERT_EQ(info.declared_keys.size(), 1u);
+  EXPECT_EQ(info.declared_keys[0], (std::vector<size_t>{0, 1}));
+}
+
+TEST(Schema, RelationsAndNamesOrderedByName) {
+  Schema s;
+  s.Relation("z", 1).Relation("a", 1).Relation("m", 1);
+  std::vector<std::string> names = s.RelationNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[2], "z");
+  EXPECT_EQ(s.Relations()[0].name, "a");
+}
+
+TEST(Schema, GetRelationUnknownFails) {
+  Schema s;
+  EXPECT_EQ(s.GetRelation("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Schema, ToStringMentionsFlagsAndKeys) {
+  Schema s;
+  s.Relation("p", 2, /*set_valued=*/true);
+  ASSERT_TRUE(s.DeclareKey("p", {0}).ok());
+  std::string text = s.ToString();
+  EXPECT_NE(text.find("[set]"), std::string::npos);
+  EXPECT_NE(text.find("key(0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqleq

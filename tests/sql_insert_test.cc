@@ -1,0 +1,112 @@
+// Unit tests for INSERT parsing and script loading.
+#include <gtest/gtest.h>
+
+#include "db/eval.h"
+#include "sql/sql_parser.h"
+#include "sql/translate.h"
+
+namespace sqleq {
+namespace sql {
+namespace {
+
+template <typename T>
+T Must(Result<T> r) {
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+TEST(SqlInsertParse, SingleRow) {
+  InsertStatement s = Must(ParseInsert("INSERT INTO t VALUES (1, 'x')"));
+  EXPECT_EQ(s.table, "t");
+  ASSERT_EQ(s.rows.size(), 1u);
+  ASSERT_EQ(s.rows[0].size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(s.rows[0][0].value), 1);
+  EXPECT_EQ(std::get<std::string>(s.rows[0][1].value), "x");
+}
+
+TEST(SqlInsertParse, MultiRow) {
+  InsertStatement s = Must(ParseInsert("INSERT INTO t VALUES (1), (2), (3)"));
+  EXPECT_EQ(s.rows.size(), 3u);
+}
+
+TEST(SqlInsertParse, Rejections) {
+  EXPECT_FALSE(ParseInsert("INSERT t VALUES (1)").ok());
+  EXPECT_FALSE(ParseInsert("INSERT INTO t (1)").ok());
+  EXPECT_FALSE(ParseInsert("INSERT INTO t VALUES (a)").ok());  // no column refs
+  EXPECT_FALSE(ParseInsert("INSERT INTO t VALUES ()").ok());
+}
+
+TEST(SqlInsertParse, StatementDispatch) {
+  Statement s = Must(ParseStatement("INSERT INTO t VALUES (1)"));
+  EXPECT_TRUE(std::holds_alternative<InsertStatement>(s));
+}
+
+TEST(LoadScriptTest, CreatesAndInserts) {
+  LoadedDatabase loaded = Must(LoadScript(R"(
+    CREATE TABLE emp (id INT PRIMARY KEY, dept INT);
+    CREATE TABLE log (emp INT, action TEXT);
+    INSERT INTO emp VALUES (1, 10), (2, 10);
+    INSERT INTO log VALUES (1, 'login');
+    INSERT INTO log VALUES (1, 'login');
+  )"));
+  RelationInstance emp = Must(loaded.database.GetRelation("emp"));
+  EXPECT_EQ(emp.TotalSize(), 2u);
+  // log has no key: duplicate rows accumulate multiplicity.
+  RelationInstance log = Must(loaded.database.GetRelation("log"));
+  EXPECT_EQ(log.Count({Term::Int(1), Term::Str("login")}), 2u);
+}
+
+TEST(LoadScriptTest, DuplicateIntoKeyedTableRejected) {
+  Result<LoadedDatabase> r = LoadScript(R"(
+    CREATE TABLE emp (id INT PRIMARY KEY, dept INT);
+    INSERT INTO emp VALUES (1, 10), (1, 10);
+  )");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(LoadScriptTest, ArityMismatchRejected) {
+  EXPECT_FALSE(LoadScript(R"(
+    CREATE TABLE emp (id INT PRIMARY KEY, dept INT);
+    INSERT INTO emp VALUES (1);
+  )").ok());
+}
+
+TEST(LoadScriptTest, UnknownTableRejected) {
+  EXPECT_FALSE(LoadScript("INSERT INTO nope VALUES (1)").ok());
+}
+
+TEST(LoadScriptTest, CreateAfterInsertRejected) {
+  EXPECT_FALSE(LoadScript(R"(
+    CREATE TABLE a (x INT);
+    INSERT INTO a VALUES (1);
+    CREATE TABLE b (y INT);
+  )").ok());
+}
+
+TEST(LoadScriptTest, SelectInScriptRejected) {
+  EXPECT_FALSE(LoadScript(R"(
+    CREATE TABLE a (x INT);
+    SELECT x FROM a;
+  )").ok());
+}
+
+TEST(LoadScriptTest, EndToEndEvaluation) {
+  LoadedDatabase loaded = Must(LoadScript(R"(
+    CREATE TABLE emp (id INT PRIMARY KEY, dept INT);
+    CREATE TABLE dept (id INT PRIMARY KEY, mgr INT);
+    INSERT INTO emp VALUES (1, 10), (2, 10), (3, 11);
+    INSERT INTO dept VALUES (10, 7), (11, 8);
+  )"));
+  TranslatedQuery q = Must(TranslateSql(
+      "SELECT e.id FROM emp e, dept d WHERE e.dept = d.id AND d.mgr = 7",
+      loaded.catalog));
+  Bag answer = Must(Evaluate(*q.cq, loaded.database, q.semantics));
+  EXPECT_EQ(answer.TotalSize(), 2u);
+  EXPECT_EQ(answer.Count(IntTuple({1})), 1u);
+  EXPECT_EQ(answer.Count(IntTuple({2})), 1u);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace sqleq

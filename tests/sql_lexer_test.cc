@@ -1,0 +1,77 @@
+// Unit tests for the SQL tokenizer.
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace sqleq {
+namespace sql {
+namespace {
+
+std::vector<Token> Lex(std::string_view text) {
+  Result<std::vector<Token>> r = Tokenize(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(SqlLexer, EmptyInputYieldsEnd) {
+  std::vector<Token> tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(SqlLexer, IdentifiersPreserveCase) {
+  std::vector<Token> tokens = Lex("SELECT foo_Bar");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].text, "foo_Bar");
+}
+
+TEST(SqlLexer, NumbersIncludingNegative) {
+  std::vector<Token> tokens = Lex("42 -7");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].text, "-7");
+}
+
+TEST(SqlLexer, StringsSingleQuoted) {
+  std::vector<Token> tokens = Lex("'hello world'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello world");
+}
+
+TEST(SqlLexer, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(SqlLexer, Punctuation) {
+  std::vector<Token> tokens = Lex("( ) , . = * ;");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kRParen);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kComma);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kEquals);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kStar);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kSemicolon);
+}
+
+TEST(SqlLexer, QualifiedName) {
+  std::vector<Token> tokens = Lex("t1.col");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "t1");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[2].text, "col");
+}
+
+TEST(SqlLexer, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Tokenize("SELECT @x").ok());
+}
+
+TEST(SqlLexer, PositionsRecorded) {
+  std::vector<Token> tokens = Lex("ab  cd");
+  EXPECT_EQ(tokens[0].pos, 0u);
+  EXPECT_EQ(tokens[1].pos, 4u);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace sqleq

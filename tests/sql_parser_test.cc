@@ -1,0 +1,181 @@
+// Unit tests for the SQL parser (SELECT and CREATE TABLE fragment).
+#include "sql/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sqleq {
+namespace sql {
+namespace {
+
+template <typename T>
+T Must(Result<T> r) {
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+TEST(SqlParseSelect, Basic) {
+  SelectStatement s = Must(ParseSelect("SELECT a FROM t"));
+  EXPECT_FALSE(s.distinct);
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_EQ(s.items[0].kind, SelectItem::Kind::kColumn);
+  EXPECT_EQ(s.items[0].column.column, "a");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "t");
+  EXPECT_EQ(s.from[0].alias, "t");
+}
+
+TEST(SqlParseSelect, DistinctAndQualifiedColumns) {
+  SelectStatement s = Must(ParseSelect("SELECT DISTINCT t.a, u.b FROM t, u"));
+  EXPECT_TRUE(s.distinct);
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].column.qualifier, "t");
+  EXPECT_EQ(s.items[1].column.ToString(), "u.b");
+}
+
+TEST(SqlParseSelect, AliasesWithAndWithoutAs) {
+  SelectStatement s = Must(ParseSelect("SELECT x.a FROM t AS x, u y"));
+  EXPECT_EQ(s.from[0].alias, "x");
+  EXPECT_EQ(s.from[1].alias, "y");
+}
+
+TEST(SqlParseSelect, WhereEqualityChain) {
+  SelectStatement s =
+      Must(ParseSelect("SELECT a FROM t, u WHERE t.a = u.b AND u.c = 5 AND 'x' = t.d"));
+  ASSERT_EQ(s.where.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<ColumnRef>(s.where[0].lhs));
+  EXPECT_TRUE(std::holds_alternative<Literal>(s.where[1].rhs));
+  EXPECT_TRUE(std::holds_alternative<Literal>(s.where[2].lhs));
+}
+
+TEST(SqlParseSelect, Aggregates) {
+  SelectStatement s = Must(ParseSelect("SELECT d, SUM(sal) FROM emp GROUP BY d"));
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[1].kind, SelectItem::Kind::kAggregate);
+  EXPECT_EQ(s.items[1].aggregate_function, "SUM");
+  EXPECT_EQ(s.items[1].column.column, "sal");
+  ASSERT_EQ(s.group_by.size(), 1u);
+  EXPECT_EQ(s.group_by[0].column, "d");
+}
+
+TEST(SqlParseSelect, CountStar) {
+  SelectStatement s = Must(ParseSelect("SELECT COUNT(*) FROM t"));
+  EXPECT_EQ(s.items[0].kind, SelectItem::Kind::kCountStar);
+}
+
+TEST(SqlParseSelect, StarOnlyForCount) {
+  EXPECT_FALSE(ParseSelect("SELECT MAX(*) FROM t").ok());
+}
+
+TEST(SqlParseSelect, LiteralsAndOutputAliases) {
+  SelectStatement s = Must(ParseSelect("SELECT 1 AS one, a AS alpha FROM t"));
+  EXPECT_EQ(s.items[0].kind, SelectItem::Kind::kLiteral);
+  EXPECT_EQ(s.items[0].output_alias, "one");
+  EXPECT_EQ(s.items[1].output_alias, "alpha");
+}
+
+TEST(SqlParseSelect, TrailingSemicolonOk) {
+  EXPECT_TRUE(ParseSelect("SELECT a FROM t;").ok());
+}
+
+TEST(SqlParseSelect, Rejections) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE a").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t GROUP a").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t extra garbage ,").ok());
+}
+
+TEST(SqlParseSelect, ExplicitJoinOnBecomesWhere) {
+  SelectStatement s = Must(ParseSelect(
+      "SELECT e.id FROM emp e JOIN dept d ON e.dept = d.id AND d.mgr = 7"));
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[1].alias, "d");
+  ASSERT_EQ(s.where.size(), 2u);
+}
+
+TEST(SqlParseSelect, InnerJoinChain) {
+  SelectStatement s = Must(ParseSelect(
+      "SELECT a.x FROM t1 a INNER JOIN t2 b ON a.x = b.x JOIN t3 c ON b.y = c.y"));
+  EXPECT_EQ(s.from.size(), 3u);
+  EXPECT_EQ(s.where.size(), 2u);
+}
+
+TEST(SqlParseSelect, JoinMixedWithCommaAndWhere) {
+  SelectStatement s = Must(ParseSelect(
+      "SELECT a.x FROM t1 a JOIN t2 b ON a.x = b.x, t3 c WHERE c.y = 1"));
+  EXPECT_EQ(s.from.size(), 3u);
+  EXPECT_EQ(s.where.size(), 2u);
+}
+
+TEST(SqlParseSelect, JoinWithoutOnRejected) {
+  EXPECT_FALSE(ParseSelect("SELECT a.x FROM t1 a JOIN t2 b").ok());
+}
+
+TEST(SqlParseSelect, SelectStar) {
+  SelectStatement s = Must(ParseSelect("SELECT * FROM t"));
+  EXPECT_TRUE(s.select_star);
+  EXPECT_TRUE(s.items.empty());
+  // '*' mixed with items is rejected (trailing input).
+  EXPECT_FALSE(ParseSelect("SELECT *, a FROM t").ok());
+}
+
+TEST(SqlParseCreate, ColumnsAndTypes) {
+  CreateTableStatement s =
+      Must(ParseCreateTable("CREATE TABLE emp (id INT, name VARCHAR(40))"));
+  EXPECT_EQ(s.table, "emp");
+  ASSERT_EQ(s.columns.size(), 2u);
+  EXPECT_EQ(s.columns[0].name, "id");
+  EXPECT_EQ(s.columns[0].type, "INT");
+  EXPECT_EQ(s.columns[1].type, "VARCHAR");
+}
+
+TEST(SqlParseCreate, InlineConstraints) {
+  CreateTableStatement s = Must(ParseCreateTable(
+      "CREATE TABLE emp (id INT PRIMARY KEY, ssn INT UNIQUE, note TEXT NOT NULL)"));
+  EXPECT_TRUE(s.columns[0].primary_key);
+  EXPECT_TRUE(s.columns[1].unique);
+  EXPECT_FALSE(s.columns[2].primary_key);
+}
+
+TEST(SqlParseCreate, TableConstraints) {
+  CreateTableStatement s = Must(ParseCreateTable(
+      "CREATE TABLE t (a INT, b INT, c INT, PRIMARY KEY (a, b), UNIQUE (c), "
+      "FOREIGN KEY (c) REFERENCES u (x))"));
+  ASSERT_EQ(s.constraints.size(), 3u);
+  EXPECT_EQ(s.constraints[0].kind, TableConstraint::Kind::kPrimaryKey);
+  EXPECT_EQ(s.constraints[0].columns, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(s.constraints[1].kind, TableConstraint::Kind::kUnique);
+  EXPECT_EQ(s.constraints[2].kind, TableConstraint::Kind::kForeignKey);
+  EXPECT_EQ(s.constraints[2].ref_table, "u");
+  EXPECT_EQ(s.constraints[2].ref_columns, (std::vector<std::string>{"x"}));
+}
+
+TEST(SqlParseCreate, Rejections) {
+  EXPECT_FALSE(ParseCreateTable("CREATE TABLE t").ok());
+  EXPECT_FALSE(ParseCreateTable("CREATE t (a INT)").ok());
+  EXPECT_FALSE(ParseCreateTable("CREATE TABLE t (a INT").ok());
+}
+
+TEST(SqlParseStatement, Dispatch) {
+  Statement s1 = Must(ParseStatement("SELECT a FROM t"));
+  EXPECT_TRUE(std::holds_alternative<SelectStatement>(s1));
+  Statement s2 = Must(ParseStatement("CREATE TABLE t (a INT)"));
+  EXPECT_TRUE(std::holds_alternative<CreateTableStatement>(s2));
+}
+
+TEST(SqlParseScript, SplitsOnSemicolons) {
+  std::vector<Statement> stmts = Must(
+      ParseScript("CREATE TABLE t (a INT);\nCREATE TABLE u (b INT);\nSELECT a FROM t;"));
+  ASSERT_EQ(stmts.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<SelectStatement>(stmts[2]));
+}
+
+TEST(SqlParseScript, EmptyStatementsIgnored) {
+  std::vector<Statement> stmts = Must(ParseScript(";;  SELECT a FROM t ;; "));
+  EXPECT_EQ(stmts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace sqleq

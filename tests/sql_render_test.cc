@@ -1,0 +1,139 @@
+// Unit tests for CQ → SQL rendering, including round-trips through the
+// translator.
+#include "sql/render.h"
+
+#include <gtest/gtest.h>
+
+#include "db/eval.h"
+#include "equivalence/isomorphism.h"
+#include "sql/translate.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace sql {
+namespace {
+
+using sqleq::testing::AQ;
+using sqleq::testing::Q;
+
+template <typename T>
+T Must(Result<T> r) {
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+Schema EmpSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddRelation("emp", 3, {"id", "dept", "salary"}).ok());
+  EXPECT_TRUE(s.AddRelation("dept", 2, {"id", "mgr"}).ok());
+  return s;
+}
+
+TEST(RenderSqlTest, SimpleProjection) {
+  std::string out = Must(RenderSql(Q("Q(X) :- emp(X, D, S)."), EmpSchema()));
+  EXPECT_EQ(out, "SELECT t0.id FROM emp t0");
+}
+
+TEST(RenderSqlTest, DistinctForSetSemantics) {
+  std::string out =
+      Must(RenderSql(Q("Q(X) :- emp(X, D, S)."), EmpSchema(), Semantics::kSet));
+  EXPECT_EQ(out, "SELECT DISTINCT t0.id FROM emp t0");
+}
+
+TEST(RenderSqlTest, JoinConditionFromSharedVariable) {
+  std::string out = Must(
+      RenderSql(Q("Q(X) :- emp(X, D, S), dept(D, M)."), EmpSchema()));
+  EXPECT_EQ(out,
+            "SELECT t0.id FROM emp t0, dept t1 WHERE t0.dept = t1.id");
+}
+
+TEST(RenderSqlTest, ConstantBecomesEquality) {
+  std::string out = Must(RenderSql(Q("Q(X) :- emp(X, D, 100)."), EmpSchema()));
+  EXPECT_EQ(out, "SELECT t0.id FROM emp t0 WHERE t0.salary = 100");
+}
+
+TEST(RenderSqlTest, StringConstantQuoted) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("log", 2, {"emp", "action"}).ok());
+  std::string out = Must(RenderSql(Q("Q(X) :- log(X, 'login')."), s));
+  EXPECT_EQ(out, "SELECT t0.emp FROM log t0 WHERE t0.action = 'login'");
+}
+
+TEST(RenderSqlTest, SelfJoinRepeatedVariable) {
+  std::string out =
+      Must(RenderSql(Q("Q(X) :- emp(X, D, S), emp(Y, D, S2)."), EmpSchema()));
+  EXPECT_EQ(out,
+            "SELECT t0.id FROM emp t0, emp t1 WHERE t0.dept = t1.dept");
+}
+
+TEST(RenderSqlTest, ConstantHeadTerm) {
+  std::string out = Must(RenderSql(Q("Q(1, X) :- emp(X, D, S)."), EmpSchema()));
+  EXPECT_EQ(out, "SELECT 1, t0.id FROM emp t0");
+}
+
+TEST(RenderSqlTest, UnknownRelationFails) {
+  EXPECT_FALSE(RenderSql(Q("Q(X) :- zz(X)."), EmpSchema()).ok());
+}
+
+TEST(RenderSqlTest, ArityMismatchFails) {
+  EXPECT_FALSE(RenderSql(Q("Q(X) :- emp(X, D)."), EmpSchema()).ok());
+}
+
+TEST(RenderAggregateSqlTest, GroupBy) {
+  std::string out =
+      Must(RenderAggregateSql(AQ("A(D, sum(S)) :- emp(E, D, S)."), EmpSchema()));
+  EXPECT_EQ(out,
+            "SELECT t0.dept, SUM(t0.salary) FROM emp t0 GROUP BY t0.dept");
+}
+
+TEST(RenderAggregateSqlTest, CountStarNoGrouping) {
+  std::string out =
+      Must(RenderAggregateSql(AQ("A(count(*)) :- emp(E, D, S)."), EmpSchema()));
+  EXPECT_EQ(out, "SELECT COUNT(*) FROM emp t0");
+}
+
+TEST(RenderAggregateSqlTest, MaxMinCount) {
+  EXPECT_NE(Must(RenderAggregateSql(AQ("A(max(S)) :- emp(E, D, S)."), EmpSchema()))
+                .find("MAX(t0.salary)"),
+            std::string::npos);
+  EXPECT_NE(Must(RenderAggregateSql(AQ("A(min(S)) :- emp(E, D, S)."), EmpSchema()))
+                .find("MIN(t0.salary)"),
+            std::string::npos);
+  EXPECT_NE(Must(RenderAggregateSql(AQ("A(count(S)) :- emp(E, D, S)."), EmpSchema()))
+                .find("COUNT(t0.salary)"),
+            std::string::npos);
+}
+
+TEST(RenderRoundTrip, SqlToCqToSqlToCqIsIsomorphic) {
+  // render(translate(sql)) re-translates to an isomorphic query.
+  Catalog catalog = Must(CatalogFromScript(R"(
+    CREATE TABLE emp (id INT PRIMARY KEY, dept INT, salary INT);
+    CREATE TABLE dept (id INT PRIMARY KEY, mgr INT);
+  )"));
+  TranslatedQuery first = Must(TranslateSql(
+      "SELECT e.id FROM emp e, dept d WHERE e.dept = d.id AND d.mgr = 7",
+      catalog));
+  std::string rendered = Must(RenderSql(*first.cq, catalog.schema));
+  TranslatedQuery second = Must(TranslateSql(rendered, catalog));
+  EXPECT_TRUE(AreIsomorphic(*first.cq, *second.cq))
+      << rendered << "\n"
+      << first.cq->ToString() << "\n"
+      << second.cq->ToString();
+}
+
+TEST(RenderRoundTrip, AggregateRoundTrip) {
+  Catalog catalog = Must(CatalogFromScript(
+      "CREATE TABLE emp (id INT PRIMARY KEY, dept INT, salary INT)"));
+  TranslatedQuery first = Must(TranslateSql(
+      "SELECT dept, SUM(salary) FROM emp GROUP BY dept", catalog));
+  std::string rendered = Must(RenderAggregateSql(*first.aggregate, catalog.schema));
+  TranslatedQuery second = Must(TranslateSql(rendered, catalog));
+  ASSERT_TRUE(second.is_aggregate);
+  EXPECT_EQ(second.aggregate->function(), AggregateFunction::kSum);
+  EXPECT_TRUE(AreIsomorphic(first.aggregate->Core(), second.aggregate->Core()));
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace sqleq

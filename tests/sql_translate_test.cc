@@ -1,0 +1,207 @@
+// Unit tests for SQL → CQ / aggregate-CQ translation, catalog building, and
+// the SQL-standard semantics selection (§1, §2.2 of the paper).
+#include "sql/translate.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/keys.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace sql {
+namespace {
+
+template <typename T>
+T Must(Result<T> r) {
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+Catalog TestCatalog() {
+  return Must(CatalogFromScript(R"(
+    CREATE TABLE dept (id INT PRIMARY KEY, mgr INT);
+    CREATE TABLE emp (id INT PRIMARY KEY, dept INT, salary INT,
+                      FOREIGN KEY (dept) REFERENCES dept (id));
+    CREATE TABLE log (emp INT, action TEXT);
+  )"));
+}
+
+TEST(CatalogBuild, SchemaShape) {
+  Catalog c = TestCatalog();
+  EXPECT_EQ(c.schema.ArityOf("emp"), 3u);
+  EXPECT_EQ(c.schema.ArityOf("dept"), 2u);
+  EXPECT_EQ(c.schema.ArityOf("log"), 2u);
+  // PRIMARY KEY ⇒ set valued (the paper's SQL-standard reading).
+  EXPECT_TRUE(c.schema.IsSetValued("emp"));
+  EXPECT_TRUE(c.schema.IsSetValued("dept"));
+  // No key clause ⇒ bag valued.
+  EXPECT_FALSE(c.schema.IsSetValued("log"));
+}
+
+TEST(CatalogBuild, KeyEgdsGenerated) {
+  Catalog c = TestCatalog();
+  std::vector<Fd> fds = ExtractFds(c.sigma);
+  EXPECT_TRUE(IsSuperkey("emp", 3, {0}, fds));
+  EXPECT_TRUE(IsSuperkey("dept", 2, {0}, fds));
+}
+
+TEST(CatalogBuild, ForeignKeyBecomesInclusionTgd) {
+  Catalog c = TestCatalog();
+  bool found = false;
+  for (const Dependency& d : c.sigma) {
+    if (d.IsTgd() && d.tgd().body()[0].predicate() == "emp" &&
+        d.tgd().head()[0].predicate() == "dept") {
+      found = true;
+      // emp.dept (position 1) flows into dept.id (position 0).
+      EXPECT_EQ(d.tgd().body()[0].args()[1], d.tgd().head()[0].args()[0]);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CatalogBuild, Rejections) {
+  EXPECT_FALSE(CatalogFromScript("CREATE TABLE t (a INT, a INT)").ok());
+  EXPECT_FALSE(CatalogFromScript("SELECT a FROM t").ok());
+  EXPECT_FALSE(
+      CatalogFromScript("CREATE TABLE t (a INT, FOREIGN KEY (a) REFERENCES zz (b))")
+          .ok());
+  EXPECT_FALSE(
+      CatalogFromScript("CREATE TABLE t (a INT, PRIMARY KEY (nope))").ok());
+}
+
+TEST(TranslateSelectTest, PlainJoinBecomesCq) {
+  Catalog c = TestCatalog();
+  TranslatedQuery t = Must(TranslateSql(
+      "SELECT e.id FROM emp e, dept d WHERE e.dept = d.id", c));
+  ASSERT_FALSE(t.is_aggregate);
+  EXPECT_EQ(t.cq->body().size(), 2u);
+  // Join condition realized as a shared variable.
+  Term join_var = t.cq->body()[0].args()[1];
+  EXPECT_EQ(t.cq->body()[1].args()[0], join_var);
+  // Head is the emp id variable.
+  ASSERT_EQ(t.cq->head().size(), 1u);
+  EXPECT_EQ(t.cq->head()[0], t.cq->body()[0].args()[0]);
+}
+
+TEST(TranslateSelectTest, SemanticsSelection) {
+  Catalog c = TestCatalog();
+  // DISTINCT → set.
+  EXPECT_EQ(Must(TranslateSql("SELECT DISTINCT id FROM emp", c)).semantics,
+            Semantics::kSet);
+  // All set-valued tables → bag-set.
+  EXPECT_EQ(Must(TranslateSql("SELECT id FROM emp", c)).semantics,
+            Semantics::kBagSet);
+  // A bag-valued table in FROM → bag.
+  EXPECT_EQ(Must(TranslateSql("SELECT emp FROM log", c)).semantics, Semantics::kBag);
+}
+
+TEST(TranslateSelectTest, LiteralConditionBindsConstant) {
+  Catalog c = TestCatalog();
+  TranslatedQuery t =
+      Must(TranslateSql("SELECT id FROM emp WHERE salary = 100", c));
+  EXPECT_EQ(t.cq->body()[0].args()[2], Term::Int(100));
+}
+
+TEST(TranslateSelectTest, TransitiveEqualitiesUnify) {
+  Catalog c = TestCatalog();
+  TranslatedQuery t = Must(TranslateSql(
+      "SELECT e1.id FROM emp e1, emp e2 WHERE e1.dept = e2.dept AND e2.dept = 7", c));
+  EXPECT_EQ(t.cq->body()[0].args()[1], Term::Int(7));
+  EXPECT_EQ(t.cq->body()[1].args()[1], Term::Int(7));
+}
+
+TEST(TranslateSelectTest, ContradictoryWhereRejected) {
+  Catalog c = TestCatalog();
+  EXPECT_FALSE(TranslateSql("SELECT id FROM emp WHERE salary = 1 AND salary = 2", c)
+                   .ok());
+}
+
+TEST(TranslateSelectTest, UnqualifiedColumnResolution) {
+  Catalog c = TestCatalog();
+  TranslatedQuery t = Must(TranslateSql("SELECT salary FROM emp", c));
+  EXPECT_EQ(t.cq->head()[0], t.cq->body()[0].args()[2]);
+  // Ambiguous across tables:
+  EXPECT_FALSE(TranslateSql("SELECT id FROM emp, dept", c).ok());
+  // Unknown column:
+  EXPECT_FALSE(TranslateSql("SELECT nope FROM emp", c).ok());
+  // Unknown alias:
+  EXPECT_FALSE(TranslateSql("SELECT zz.id FROM emp", c).ok());
+  // Unknown table:
+  EXPECT_FALSE(TranslateSql("SELECT a FROM missing", c).ok());
+  // Duplicate alias:
+  EXPECT_FALSE(TranslateSql("SELECT e.id FROM emp e, dept e", c).ok());
+}
+
+TEST(TranslateSelectTest, SelfJoinGetsDistinctVariables) {
+  Catalog c = TestCatalog();
+  TranslatedQuery t =
+      Must(TranslateSql("SELECT e1.id, e2.id FROM emp e1, emp e2", c));
+  EXPECT_NE(t.cq->body()[0].args()[0], t.cq->body()[1].args()[0]);
+}
+
+TEST(TranslateSelectTest, GroupByAggregate) {
+  Catalog c = TestCatalog();
+  TranslatedQuery t = Must(TranslateSql(
+      "SELECT dept, SUM(salary) FROM emp GROUP BY dept", c));
+  ASSERT_TRUE(t.is_aggregate);
+  EXPECT_EQ(t.aggregate->function(), AggregateFunction::kSum);
+  ASSERT_EQ(t.aggregate->grouping().size(), 1u);
+  EXPECT_EQ(t.aggregate->grouping()[0], t.aggregate->body()[0].args()[1]);
+}
+
+TEST(TranslateSelectTest, UngroupedAggregate) {
+  Catalog c = TestCatalog();
+  TranslatedQuery t = Must(TranslateSql("SELECT COUNT(*) FROM log", c));
+  ASSERT_TRUE(t.is_aggregate);
+  EXPECT_EQ(t.aggregate->function(), AggregateFunction::kCountStar);
+  EXPECT_TRUE(t.aggregate->grouping().empty());
+}
+
+TEST(TranslateSelectTest, AggregateValidation) {
+  Catalog c = TestCatalog();
+  // Selected column not in GROUP BY:
+  EXPECT_FALSE(
+      TranslateSql("SELECT id, SUM(salary) FROM emp GROUP BY dept", c).ok());
+  // GROUP BY without aggregate:
+  EXPECT_FALSE(TranslateSql("SELECT dept FROM emp GROUP BY dept", c).ok());
+  // Two aggregates:
+  EXPECT_FALSE(
+      TranslateSql("SELECT SUM(salary), MAX(salary) FROM emp", c).ok());
+  // DISTINCT with aggregate:
+  EXPECT_FALSE(TranslateSql("SELECT DISTINCT SUM(salary) FROM emp", c).ok());
+}
+
+TEST(TranslateSelectTest, JoinOnEquivalentToCommaWhere) {
+  Catalog c = TestCatalog();
+  TranslatedQuery join_syntax = Must(TranslateSql(
+      "SELECT e.id FROM emp e JOIN dept d ON e.dept = d.id", c));
+  TranslatedQuery comma_syntax = Must(TranslateSql(
+      "SELECT e.id FROM emp e, dept d WHERE e.dept = d.id", c));
+  // Identical translation up to variable names: same shape, same semantics.
+  EXPECT_EQ(join_syntax.semantics, comma_syntax.semantics);
+  EXPECT_EQ(join_syntax.cq->body().size(), comma_syntax.cq->body().size());
+  EXPECT_EQ(join_syntax.cq->body()[0].args()[1], join_syntax.cq->body()[1].args()[0]);
+}
+
+TEST(TranslateSelectTest, SelectStarProjectsAllColumnsInOrder) {
+  Catalog c = TestCatalog();
+  TranslatedQuery t = Must(TranslateSql("SELECT * FROM dept", c));
+  ASSERT_EQ(t.cq->head().size(), 2u);
+  EXPECT_EQ(t.cq->head()[0], t.cq->body()[0].args()[0]);
+  EXPECT_EQ(t.cq->head()[1], t.cq->body()[0].args()[1]);
+  // Across two tables: emp columns then dept columns (FROM order).
+  TranslatedQuery t2 = Must(TranslateSql(
+      "SELECT * FROM emp e, dept d WHERE e.dept = d.id", c));
+  EXPECT_EQ(t2.cq->head().size(), 5u);
+}
+
+TEST(TranslateSelectTest, ToStringMentionsSemantics) {
+  Catalog c = TestCatalog();
+  TranslatedQuery t = Must(TranslateSql("SELECT id FROM emp", c));
+  EXPECT_NE(t.ToString().find("[semantics: BS]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace sqleq

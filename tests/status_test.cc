@@ -1,0 +1,110 @@
+// Unit tests for Status / Result<T> / propagation macros.
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sqleq {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryOk) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(Status, InvalidArgumentCarriesMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(Status, AllFactoriesSetTheirCode) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  EXPECT_EQ(r->size(), 3u);
+}
+
+namespace {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status ChainTwo(int a, int b) {
+  SQLEQ_RETURN_IF_ERROR(FailIfNegative(a));
+  SQLEQ_RETURN_IF_ERROR(FailIfNegative(b));
+  return Status::OK();
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterDivisibleBy4(int x) {
+  SQLEQ_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  SQLEQ_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+}  // namespace
+
+TEST(StatusMacros, ReturnIfErrorPassesThrough) {
+  EXPECT_TRUE(ChainTwo(1, 2).ok());
+  EXPECT_FALSE(ChainTwo(-1, 2).ok());
+  EXPECT_FALSE(ChainTwo(1, -2).ok());
+}
+
+TEST(StatusMacros, AssignOrReturn) {
+  Result<int> ok = QuarterDivisibleBy4(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(QuarterDivisibleBy4(6).ok());  // fails at the second halving
+  EXPECT_FALSE(QuarterDivisibleBy4(3).ok());  // fails at the first
+}
+
+}  // namespace
+}  // namespace sqleq

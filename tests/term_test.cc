@@ -1,0 +1,97 @@
+// Unit tests for Term interning and Value rendering.
+#include "ir/term.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sqleq {
+namespace {
+
+TEST(Term, VariablesInternByName) {
+  Term a = Term::Var("X");
+  Term b = Term::Var("X");
+  Term c = Term::Var("Y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a.IsVariable());
+  EXPECT_FALSE(a.IsConstant());
+  EXPECT_EQ(a.name(), "X");
+}
+
+TEST(Term, IntConstantsIntern) {
+  Term a = Term::Int(42);
+  Term b = Term::Int(42);
+  Term c = Term::Int(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a.IsConstant());
+  EXPECT_EQ(std::get<int64_t>(a.value()), 42);
+}
+
+TEST(Term, StringConstantsIntern) {
+  Term a = Term::Str("hello");
+  Term b = Term::Str("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::get<std::string>(a.value()), "hello");
+}
+
+TEST(Term, VariableAndConstantNeverEqual) {
+  // Even with colliding rendering, kinds differ.
+  EXPECT_NE(Term::Var("X"), Term::Str("X"));
+}
+
+TEST(Term, IntAndStringConstantsDistinct) {
+  EXPECT_NE(Term::Int(1), Term::Str("1"));
+}
+
+TEST(Term, ToStringForms) {
+  EXPECT_EQ(Term::Var("Xyz").ToString(), "Xyz");
+  EXPECT_EQ(Term::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Term::Str("ab").ToString(), "'ab'");
+}
+
+TEST(Term, ValueToStringQuotesStrings) {
+  EXPECT_EQ(ValueToString(Value(int64_t{5})), "5");
+  EXPECT_EQ(ValueToString(Value(std::string("x"))), "'x'");
+}
+
+TEST(Term, FreshVarsAreAllDistinct) {
+  std::unordered_set<Term, TermHash> seen;
+  for (int i = 0; i < 100; ++i) {
+    Term t = Term::FreshVar("Z");
+    EXPECT_TRUE(t.IsVariable());
+    EXPECT_TRUE(seen.insert(t).second) << t.ToString() << " repeated";
+  }
+}
+
+TEST(Term, FreshVarDistinctFromPlainVar) {
+  Term fresh = Term::FreshVar("W");
+  EXPECT_NE(fresh, Term::Var("W"));
+}
+
+TEST(Term, HashConsistentWithEquality) {
+  EXPECT_EQ(Term::Var("A").Hash(), Term::Var("A").Hash());
+  EXPECT_EQ(Term::Int(9).Hash(), Term::Int(9).Hash());
+}
+
+TEST(Term, OrderingIsStrictWeak) {
+  Term a = Term::Var("A");
+  Term b = Term::Var("B");
+  EXPECT_TRUE((a < b) || (b < a) || (a == b));
+  EXPECT_FALSE(a < a);
+}
+
+TEST(Term, DefaultConstructedIsPlaceholderVariable) {
+  Term t;
+  EXPECT_TRUE(t.IsVariable());
+  EXPECT_EQ(t.name(), "_");
+}
+
+TEST(Term, ConstInternsThroughGenericEntryPoint) {
+  EXPECT_EQ(Term::Const(Value(int64_t{3})), Term::Int(3));
+  EXPECT_EQ(Term::Const(Value(std::string("s"))), Term::Str("s"));
+}
+
+}  // namespace
+}  // namespace sqleq

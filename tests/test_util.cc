@@ -1,0 +1,34 @@
+#include "test_util.h"
+
+#include "db/generator.h"
+
+namespace sqleq {
+namespace testing {
+
+// The test-facing helpers are thin wrappers over the library's generator
+// (src/db/generator.h) that fail the test on generator errors.
+
+ConjunctiveQuery RandomQuery(const Schema& schema, int n_atoms, int n_vars, Rng* rng) {
+  RandomQueryOptions options;
+  options.atoms = n_atoms;
+  options.variable_pool = n_vars;
+  return Unwrap(sqleq::RandomQuery(schema, options, rng), "RandomQuery");
+}
+
+Database RandomDatabase(const Schema& schema, int n_tuples, int domain, int max_mult,
+                        Rng* rng) {
+  RandomDatabaseOptions options;
+  options.max_tuples_per_relation = n_tuples;
+  options.domain = domain;
+  options.max_multiplicity = max_mult;
+  return Unwrap(sqleq::RandomDatabase(schema, options, rng), "RandomDatabase");
+}
+
+bool RepairDatabase(Database* db, const DependencySet& sigma, int max_rounds) {
+  Result<bool> repaired = RepairTowardSigma(db, sigma, max_rounds);
+  EXPECT_TRUE(repaired.ok()) << repaired.status().ToString();
+  return repaired.ok() && *repaired;
+}
+
+}  // namespace testing
+}  // namespace sqleq

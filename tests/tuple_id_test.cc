@@ -1,0 +1,109 @@
+// Unit tests for the Appendix C tuple-ID framework: set-enforcing egds.
+#include "constraints/tuple_id.h"
+
+#include <gtest/gtest.h>
+
+#include "db/satisfaction.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Unwrap;
+
+Schema BaseSchema() {
+  Schema s;
+  s.Relation("p", 2).Relation("r", 1);
+  return s;
+}
+
+TEST(TupleId, ExpandSchemaAddsTidColumn) {
+  Schema expanded = Unwrap(ExpandSchemaWithTupleIds(BaseSchema()));
+  EXPECT_EQ(expanded.ArityOf("p"), 3u);
+  EXPECT_EQ(expanded.ArityOf("r"), 2u);
+  RelationInfo info = Unwrap(expanded.GetRelation("p"));
+  EXPECT_EQ(info.attributes.back(), kTupleIdAttribute);
+  EXPECT_FALSE(info.set_valued);
+}
+
+TEST(TupleId, ExpandSchemaTracksSubset) {
+  Schema expanded = Unwrap(ExpandSchemaWithTupleIds(BaseSchema(), {"p"}));
+  EXPECT_EQ(expanded.ArityOf("p"), 3u);
+  EXPECT_EQ(expanded.ArityOf("r"), 1u);  // untracked, unchanged
+}
+
+TEST(TupleId, ExpandSchemaRejectsUnknownTracked) {
+  EXPECT_FALSE(ExpandSchemaWithTupleIds(BaseSchema(), {"zz"}).ok());
+}
+
+TEST(TupleId, SetEnforcingEgdShape) {
+  Dependency dep = Unwrap(MakeSetEnforcingEgd("p", 2));
+  ASSERT_TRUE(dep.IsEgd());
+  const Egd& egd = dep.egd();
+  ASSERT_EQ(egd.body().size(), 2u);
+  EXPECT_EQ(egd.body()[0].arity(), 3u);  // visible arity + tid
+  // Both atoms share the visible columns and differ in the tid column.
+  EXPECT_EQ(egd.body()[0].args()[0], egd.body()[1].args()[0]);
+  EXPECT_EQ(egd.body()[0].args()[1], egd.body()[1].args()[1]);
+  EXPECT_NE(egd.body()[0].args()[2], egd.body()[1].args()[2]);
+  EXPECT_FALSE(MakeSetEnforcingEgd("p", 0).ok());
+}
+
+TEST(TupleId, AssignRoundTripsThroughProjection) {
+  Database db(BaseSchema());
+  db.Add("p", {1, 2}, 3).Add("p", {4, 5}).Add("r", {9}, 2);
+  Schema expanded = Unwrap(ExpandSchemaWithTupleIds(BaseSchema()));
+  Database with_ids = Unwrap(AssignTupleIds(db, expanded));
+  // Every copy got its own id: the expanded db is set valued.
+  EXPECT_TRUE(with_ids.IsSetValued());
+  EXPECT_TRUE(Unwrap(TupleIdsAreUnique(with_ids, "p")));
+  EXPECT_TRUE(Unwrap(TupleIdsAreUnique(with_ids, "r")));
+  // Projecting the ids away recovers the original bag exactly.
+  Database back = Unwrap(ProjectOutTupleIds(with_ids, BaseSchema()));
+  EXPECT_EQ(Unwrap(back.GetRelation("p")).Count(IntTuple({1, 2})), 3u);
+  EXPECT_EQ(Unwrap(back.GetRelation("r")).Count(IntTuple({9})), 2u);
+}
+
+TEST(TupleId, UniquenessViolationDetected) {
+  Schema expanded = Unwrap(ExpandSchemaWithTupleIds(BaseSchema(), {"p"}));
+  Database db(expanded);
+  db.Add("p", {1, 2, 100}).Add("p", {1, 3, 100});  // same tid twice
+  EXPECT_FALSE(Unwrap(TupleIdsAreUnique(db, "p")));
+}
+
+TEST(TupleId, SetEnforcingEgdSemantics) {
+  // With distinct visible values the egd holds; with duplicated visible
+  // values and distinct tids it is violated — exactly the "must be a set"
+  // reading of Appendix C.
+  Schema expanded = Unwrap(ExpandSchemaWithTupleIds(BaseSchema(), {"p"}));
+  Dependency egd = Unwrap(MakeSetEnforcingEgd("p", 2));
+
+  Database ok_db(expanded);
+  ok_db.Add("p", {1, 2, 100}).Add("p", {1, 3, 101});
+  EXPECT_TRUE(Unwrap(Satisfies(ok_db, egd)));
+
+  Database bad_db(expanded);
+  bad_db.Add("p", {1, 2, 100}).Add("p", {1, 2, 101});  // duplicate row, two ids
+  EXPECT_FALSE(Unwrap(Satisfies(bad_db, egd)));
+}
+
+TEST(TupleId, ProjectionDetectsMissingTidColumn) {
+  // Projecting a db whose relation was never expanded fails loudly.
+  Database not_expanded(BaseSchema());
+  not_expanded.Add("p", {1, 2});
+  EXPECT_FALSE(ProjectOutTupleIds(not_expanded, BaseSchema(), {"p"}).ok());
+}
+
+TEST(TupleId, FlagAndEgdAgree) {
+  // The operational set_valued flag and the formal egd framework agree:
+  // a bag-valued p violates the egd after tuple-IDs would have collided,
+  // and the flag rejects the duplicate insert directly.
+  Schema flagged;
+  flagged.Relation("p", 2, /*set_valued=*/true);
+  Database db(flagged);
+  EXPECT_TRUE(db.Insert("p", IntTuple({1, 2})).ok());
+  EXPECT_FALSE(db.Insert("p", IntTuple({1, 2})).ok());
+}
+
+}  // namespace
+}  // namespace sqleq

@@ -1,0 +1,87 @@
+// Unit tests for Tuple and Bag.
+#include "db/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace sqleq {
+namespace {
+
+TEST(Tuple, IntTupleBuilder) {
+  Tuple t = IntTuple({1, 2, 3});
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], Term::Int(1));
+  EXPECT_EQ(TupleToString(t), "(1, 2, 3)");
+}
+
+TEST(Tuple, HashConsistency) {
+  EXPECT_EQ(TupleHash()(IntTuple({1, 2})), TupleHash()(IntTuple({1, 2})));
+}
+
+TEST(Bag, EmptyBag) {
+  Bag b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.CoreSize(), 0u);
+  EXPECT_EQ(b.TotalSize(), 0u);
+  EXPECT_TRUE(b.IsSetValued());
+  EXPECT_EQ(b.ToString(), "{{}}");
+}
+
+TEST(Bag, AddAccumulatesMultiplicity) {
+  Bag b;
+  b.Add(IntTuple({1}));
+  b.Add(IntTuple({1}), 2);
+  b.Add(IntTuple({2}));
+  EXPECT_EQ(b.Count(IntTuple({1})), 3u);
+  EXPECT_EQ(b.Count(IntTuple({2})), 1u);
+  EXPECT_EQ(b.Count(IntTuple({3})), 0u);
+  EXPECT_EQ(b.CoreSize(), 2u);
+  EXPECT_EQ(b.TotalSize(), 4u);
+  EXPECT_FALSE(b.IsSetValued());
+}
+
+TEST(Bag, AddZeroIsNoOp) {
+  Bag b;
+  b.Add(IntTuple({1}), 0);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Bag, CoreSetCollapsesMultiplicities) {
+  Bag b;
+  b.Add(IntTuple({1}), 5);
+  b.Add(IntTuple({2}), 1);
+  Bag core = b.CoreSet();
+  EXPECT_EQ(core.Count(IntTuple({1})), 1u);
+  EXPECT_EQ(core.TotalSize(), 2u);
+  EXPECT_TRUE(core.IsSetValued());
+}
+
+TEST(Bag, EqualityIsMultisetEquality) {
+  Bag a, b;
+  a.Add(IntTuple({1}), 2);
+  b.Add(IntTuple({1}));
+  EXPECT_NE(a, b);
+  b.Add(IntTuple({1}));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bag, ToStringSmallMultiplicitiesExpanded) {
+  Bag b;
+  b.Add(IntTuple({1}), 2);
+  EXPECT_EQ(b.ToString(), "{{(1), (1)}}");
+}
+
+TEST(Bag, ToStringLargeMultiplicitiesAbbreviated) {
+  Bag b;
+  b.Add(IntTuple({1}), 100);
+  EXPECT_EQ(b.ToString(), "{{(1) x 100}}");
+}
+
+TEST(Bag, MixedTypeTuples) {
+  Bag b;
+  b.Add({Term::Int(1), Term::Str("x")});
+  EXPECT_EQ(b.Count({Term::Int(1), Term::Str("x")}), 1u);
+  EXPECT_EQ(b.Count({Term::Int(1), Term::Str("y")}), 0u);
+}
+
+}  // namespace
+}  // namespace sqleq

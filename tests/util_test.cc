@@ -1,0 +1,90 @@
+// Unit tests for string utilities and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace sqleq {
+namespace {
+
+TEST(StringUtil, JoinEmpty) { EXPECT_EQ(Join({}, ", "), ""); }
+
+TEST(StringUtil, JoinOne) { EXPECT_EQ(Join({"a"}, ", "), "a"); }
+
+TEST(StringUtil, JoinMany) { EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c"); }
+
+TEST(StringUtil, TrimBothSides) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\nx"), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtil, SplitAndTrimDropsEmptyPieces) {
+  std::vector<std::string> parts = SplitAndTrim(" a, b ,, c ,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtil, SplitEmptyInput) { EXPECT_TRUE(SplitAndTrim("", ',').empty()); }
+
+TEST(StringUtil, CaseInsensitiveComparisons) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_TRUE(StartsWithIgnoreCase("CREATE TABLE t", "create"));
+  EXPECT_FALSE(StartsWithIgnoreCase("abc", "abcd"));
+}
+
+TEST(StringUtil, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC1"), "abc1");
+  EXPECT_EQ(ToUpper("AbC1"), "ABC1");
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(Rng, UniformIntRespectsRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int x = rng.UniformInt(-3, 5);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 5);
+  }
+}
+
+TEST(Rng, IndexCoversAllSlots) {
+  Rng rng(2);
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Index(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(4);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sqleq

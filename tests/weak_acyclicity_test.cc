@@ -1,0 +1,106 @@
+// Unit tests for weak acyclicity (Definition H.1).
+#include "constraints/weak_acyclicity.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Sigma;
+
+TEST(WeakAcyclicity, EmptySigmaIsWeaklyAcyclic) {
+  EXPECT_TRUE(IsWeaklyAcyclic({}));
+}
+
+TEST(WeakAcyclicity, EgdsContributeNothing) {
+  DependencySet sigma = Sigma({"r(X, Y), r(X, Z) -> Y = Z."});
+  EXPECT_TRUE(IsWeaklyAcyclic(sigma));
+  EXPECT_TRUE(BuildDependencyGraph(sigma).empty());
+}
+
+TEST(WeakAcyclicity, SimpleAcyclicTgd) {
+  DependencySet sigma = Sigma({"p(X, Y) -> s(X, Z)."});
+  EXPECT_TRUE(IsWeaklyAcyclic(sigma));
+}
+
+TEST(WeakAcyclicity, SelfLoopWithExistentialRejected) {
+  // The textbook non-terminating tgd: p(X,Y) → ∃Z p(Y,Z).
+  DependencySet sigma = Sigma({"p(X, Y) -> p(Y, Z)."});
+  EXPECT_FALSE(IsWeaklyAcyclic(sigma));
+}
+
+TEST(WeakAcyclicity, FullTgdCyclesAreFine) {
+  // Cycles without special edges are allowed: p(X,Y) → p(Y,X).
+  DependencySet sigma = Sigma({"p(X, Y) -> p(Y, X)."});
+  EXPECT_TRUE(IsWeaklyAcyclic(sigma));
+}
+
+TEST(WeakAcyclicity, TwoStepSpecialCycleRejected) {
+  DependencySet sigma = Sigma({
+      "p(X, Y) -> q(Y, Z).",  // special (p,?) ->* (q,1)
+      "q(X, Y) -> p(Y, Z).",  // special back into p
+  });
+  EXPECT_FALSE(IsWeaklyAcyclic(sigma));
+}
+
+TEST(WeakAcyclicity, DagOfSpecialEdgesAccepted) {
+  DependencySet sigma = Sigma({
+      "p(X, Y) -> q(Y, Z).",
+      "q(X, Y) -> r(Y, Z).",
+  });
+  EXPECT_TRUE(IsWeaklyAcyclic(sigma));
+}
+
+TEST(WeakAcyclicity, Example41SigmaIsWeaklyAcyclic) {
+  EXPECT_TRUE(IsWeaklyAcyclic(testing::Example41Sigma()));
+}
+
+TEST(WeakAcyclicity, AppendixHFamilyIsWeaklyAcyclic) {
+  // The σ(1)_{i,j} / σ(2)_{i,j} family of Example H.1 for m = 3: strictly
+  // acyclic (indices only increase).
+  DependencySet sigma = Sigma({
+      "p1(X, Y) -> p2(Z, X).",
+      "p1(X, Y) -> p2(Y, W).",
+      "p1(X, Y) -> p3(Z, X).",
+      "p1(X, Y) -> p3(Y, W).",
+      "p2(X, Y) -> p3(Z, X).",
+      "p2(X, Y) -> p3(Y, W).",
+  });
+  EXPECT_TRUE(IsWeaklyAcyclic(sigma));
+}
+
+TEST(WeakAcyclicity, GraphEdgesClassifyRegularAndSpecial) {
+  DependencySet sigma = Sigma({"p(X, Y) -> q(X, Z)."});
+  std::vector<PositionEdge> edges = BuildDependencyGraph(sigma);
+  bool saw_regular = false, saw_special = false;
+  for (const PositionEdge& e : edges) {
+    EXPECT_EQ(e.from.relation, "p");
+    EXPECT_EQ(e.from.index, 0u);  // X occurs in p at position 0 only
+    if (e.special) {
+      saw_special = true;
+      EXPECT_EQ(e.to, (Position{"q", 1}));
+    } else {
+      saw_regular = true;
+      EXPECT_EQ(e.to, (Position{"q", 0}));
+    }
+  }
+  EXPECT_TRUE(saw_regular);
+  EXPECT_TRUE(saw_special);
+}
+
+TEST(WeakAcyclicity, BodyOnlyVariablesAddNoEdges) {
+  // Y never reaches the head: no edges from (p, 1).
+  DependencySet sigma = Sigma({"p(X, Y) -> q(X, X)."});
+  for (const PositionEdge& e : BuildDependencyGraph(sigma)) {
+    EXPECT_NE(e.from, (Position{"p", 1}));
+  }
+}
+
+TEST(WeakAcyclicity, PositionToString) {
+  EXPECT_EQ((Position{"p", 2}).ToString(), "(p, 2)");
+}
+
+}  // namespace
+}  // namespace sqleq

@@ -1,0 +1,43 @@
+// sqleq command-line tool: runs a sqleq script (see src/shell/engine.h for
+// the command language) from a file or stdin.
+//
+//   sqleq_cli script.sqleq
+//   echo "CREATE TABLE t (a INT); SHOW SCHEMA;" | sqleq_cli
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "shell/engine.h"
+
+int main(int argc, char** argv) {
+  std::string script;
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [script-file]\n", argv[0]);
+    return 2;
+  }
+  if (argc == 2) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    script = buffer.str();
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    script = buffer.str();
+  }
+
+  sqleq::shell::ScriptEngine engine;
+  sqleq::Result<std::string> out = engine.Run(script);
+  if (!out.ok()) {
+    std::fprintf(stderr, "error: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(out->c_str(), stdout);
+  return 0;
+}
