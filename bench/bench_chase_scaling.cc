@@ -22,7 +22,7 @@ void RunSigmaSweep(benchmark::State& state, Semantics sem) {
   int m = static_cast<int>(state.range(0));
   AppendixHFamily family = MakeAppendixHFamily(m);
   ChaseOptions options;
-  options.max_steps = 100000;
+  options.budget.max_chase_steps = 100000;
   size_t atoms = 0, steps = 0;
   for (auto _ : state) {
     ChaseOutcome out =

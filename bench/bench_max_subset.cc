@@ -18,7 +18,7 @@ void BM_MaxSubset_AppendixH(benchmark::State& state) {
   int m = static_cast<int>(state.range(0));
   bench::AppendixHFamily family = MakeAppendixHFamily(m);
   ChaseOptions options;
-  options.max_steps = 100000;
+  options.budget.max_chase_steps = 100000;
   size_t kept = 0;
   for (auto _ : state) {
     MaxSubsetResult r = Must(

@@ -1,0 +1,93 @@
+// Thread-scaling sweep for the parallel memoized backchase: the same
+// reformulation problem at 1/2/4/8 workers, with counters separating the two
+// speedup sources — memoization (chase_cache_hits: isomorphic candidates
+// chased once) and concurrency (wall time vs the threads=1 baseline). A
+// dedicated deduplication bench isolates the memo's effect by comparing a
+// query whose lattice is full of isomorphic subqueries against one where
+// every subquery is distinct.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.h"
+#include "reformulation/candb.h"
+
+namespace sqleq {
+namespace {
+
+using bench::Example41Schema;
+using bench::Example41Sigma;
+using bench::Must;
+
+/// Example 4.1's Q1 widened with `extra` independent u-joins; the extra
+/// atoms are pairwise isomorphic, so the candidate lattice is dense with
+/// memo hits.
+ConjunctiveQuery WidenedQ1(int extra) {
+  std::string text = "Q1(X) :- p(X, Y), t(X, Y, W), s(X, Z), r(X), u(X, U0)";
+  for (int i = 1; i <= extra; ++i) {
+    text += ", u(X, U" + std::to_string(i) + ")";
+  }
+  text += ".";
+  return Must(ParseQuery(text));
+}
+
+void BM_Backchase_ThreadSweep(benchmark::State& state) {
+  ConjunctiveQuery q = WidenedQ1(4);
+  Schema schema = Example41Schema();
+  DependencySet sigma = Example41Sigma();
+  CandBOptions options;
+  options.budget.threads = static_cast<size_t>(state.range(0));
+  size_t candidates = 0, hits = 0, misses = 0, outputs = 0;
+  for (auto _ : state) {
+    CandBResult result =
+        Must(ChaseAndBackchase(q, sigma, Semantics::kSet, schema, options));
+    candidates = result.candidates_examined;
+    hits = result.chase_cache_hits;
+    misses = result.chase_cache_misses;
+    outputs = result.reformulations.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.counters["cache_hits"] = static_cast<double>(hits);
+  state.counters["cache_misses"] = static_cast<double>(misses);
+  state.counters["outputs"] = static_cast<double>(outputs);
+}
+BENCHMARK(BM_Backchase_ThreadSweep)
+    ->DenseRange(1, 8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Memoization ablation at fixed thread count: `symmetric` queries (n
+/// isomorphic self-join atoms) vs `distinct` queries (n different
+/// relations). The candidate counts match; only the hit ratio differs.
+void RunMemoAblation(benchmark::State& state, bool symmetric) {
+  int n = static_cast<int>(state.range(0));
+  std::string text = "Q(X) :- ";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) text += ", ";
+    std::string rel = symmetric ? "p" : "p" + std::to_string(i);
+    text += rel + "(X, Y" + std::to_string(i) + ")";
+  }
+  text += ".";
+  ConjunctiveQuery q = Must(ParseQuery(text));
+  size_t hits = 0, misses = 0;
+  for (auto _ : state) {
+    CandBResult result =
+        Must(ChaseAndBackchase(q, {}, Semantics::kSet, Schema()));
+    hits = result.chase_cache_hits;
+    misses = result.chase_cache_misses;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["cache_hits"] = static_cast<double>(hits);
+  state.counters["cache_misses"] = static_cast<double>(misses);
+}
+void BM_Backchase_Memo_Symmetric(benchmark::State& state) {
+  RunMemoAblation(state, /*symmetric=*/true);
+}
+void BM_Backchase_Memo_Distinct(benchmark::State& state) {
+  RunMemoAblation(state, /*symmetric=*/false);
+}
+BENCHMARK(BM_Backchase_Memo_Symmetric)->DenseRange(4, 8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Backchase_Memo_Distinct)->DenseRange(4, 8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sqleq

@@ -78,6 +78,35 @@ void BM_RewriteWithViews_Star(benchmark::State& state) {
 }
 BENCHMARK(BM_RewriteWithViews_Star)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
 
+/// Same star-join rewrite under the parallel memoized sweep: range(0) = dims,
+/// range(1) = worker threads. The big win here is the chase memo — U is
+/// chased once up front and every candidate expansion isomorphic to an
+/// earlier one is served from cache instead of re-chasing.
+void BM_RewriteWithViews_Star_Threads(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  StarFixture fixture = MakeStar(n);
+  RewriteOptions options;
+  options.allow_base_atoms = true;
+  options.candb.budget.threads = static_cast<size_t>(state.range(1));
+  size_t candidates = 0, hits = 0, misses = 0;
+  for (auto _ : state) {
+    RewriteResult result =
+        Must(RewriteWithViews(fixture.query, fixture.views, fixture.sigma,
+                              Semantics::kSet, fixture.schema, options));
+    candidates = result.candidates_examined;
+    hits = result.chase_cache_hits;
+    misses = result.chase_cache_misses;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] = static_cast<double>(options.candb.budget.threads);
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.counters["cache_hits"] = static_cast<double>(hits);
+  state.counters["cache_misses"] = static_cast<double>(misses);
+}
+BENCHMARK(BM_RewriteWithViews_Star_Threads)
+    ->ArgsProduct({{3, 4}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ExpandRewriting(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   StarFixture fixture = MakeStar(n);

@@ -1,0 +1,184 @@
+#include "chase/chase_cache.h"
+
+#include <algorithm>
+
+namespace sqleq {
+namespace {
+
+/// Renders one atom under a partial variable renaming: constants as
+/// "c<literal>", renamed variables by their canonical name, not-yet-renamed
+/// variables as "u0", "u1", ... numbered by first occurrence *within this
+/// atom*. Two atoms get equal signatures iff they are equal up to a
+/// renaming of the not-yet-canonicalized variables.
+std::string AtomSignature(const Atom& atom, const TermMap& to_canonical) {
+  std::string sig = atom.predicate();
+  sig += '(';
+  TermMap local;
+  size_t next_local = 0;
+  for (size_t i = 0; i < atom.arity(); ++i) {
+    Term t = atom.args()[i];
+    if (i > 0) sig += ',';
+    if (t.IsConstant()) {
+      sig += 'c';
+      sig += t.ToString();
+      continue;
+    }
+    auto it = to_canonical.find(t);
+    if (it != to_canonical.end()) {
+      sig += it->second.ToString();
+      continue;
+    }
+    auto lit = local.find(t);
+    if (lit == local.end()) {
+      lit = local.emplace(t, Term::Var("u" + std::to_string(next_local++))).first;
+    }
+    sig += lit->second.ToString();
+  }
+  sig += ')';
+  return sig;
+}
+
+/// Renders a fully canonicalized atom (every variable already a ?k name):
+/// the key segment must use the global canonical names, not AtomSignature's
+/// per-atom u-locals, or distinct queries would collide.
+std::string CommittedSignature(const Atom& atom) {
+  std::string sig = atom.predicate();
+  sig += '(';
+  for (size_t i = 0; i < atom.arity(); ++i) {
+    if (i > 0) sig += ',';
+    Term t = atom.args()[i];
+    if (t.IsConstant()) sig += 'c';
+    sig += t.ToString();
+  }
+  sig += ')';
+  return sig;
+}
+
+}  // namespace
+
+std::string CanonicalQueryKey(const ConjunctiveQuery& q,
+                              ConjunctiveQuery* out_canonical,
+                              TermMap* out_from_canonical) {
+  TermMap to_canonical;
+  size_t next_id = 0;
+  auto canonical_of = [&](Term v) -> Term {
+    auto it = to_canonical.find(v);
+    if (it != to_canonical.end()) return it->second;
+    Term c = Term::Var("?" + std::to_string(next_id++));
+    to_canonical.emplace(v, c);
+    return c;
+  };
+
+  // Head first, position order: head positions anchor the labelling.
+  std::string key = "H";
+  std::vector<Term> head;
+  head.reserve(q.head().size());
+  for (Term t : q.head()) {
+    Term mapped = t.IsVariable() ? canonical_of(t) : t;
+    head.push_back(mapped);
+    key += t.IsConstant() ? "c" + t.ToString() : mapped.ToString();
+    key += ';';
+  }
+
+  // Body: repeatedly commit the atom with the least signature under the
+  // current partial renaming. Invariant under input atom order; ties carry
+  // equal signatures, so either choice extends the renaming identically —
+  // we take the lowest index for determinism.
+  std::vector<Atom> remaining = q.body();
+  std::vector<Atom> body;
+  body.reserve(remaining.size());
+  while (!remaining.empty()) {
+    size_t best = 0;
+    std::string best_sig = AtomSignature(remaining[0], to_canonical);
+    for (size_t i = 1; i < remaining.size(); ++i) {
+      std::string sig = AtomSignature(remaining[i], to_canonical);
+      if (sig < best_sig) {
+        best = i;
+        best_sig = std::move(sig);
+      }
+    }
+    std::vector<Term> args;
+    args.reserve(remaining[best].arity());
+    for (Term t : remaining[best].args()) {
+      args.push_back(t.IsVariable() ? canonical_of(t) : t);
+    }
+    Atom committed(remaining[best].predicate(), std::move(args));
+    key += '|';
+    key += CommittedSignature(committed);
+    body.push_back(std::move(committed));
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
+  }
+
+  if (out_canonical != nullptr) {
+    // Canonical heads/bodies come from a safe query, so Make cannot fail.
+    *out_canonical = ConjunctiveQuery::Make("Qc", std::move(head), std::move(body));
+  }
+  if (out_from_canonical != nullptr) {
+    out_from_canonical->clear();
+    for (const auto& [orig, canon] : to_canonical) {
+      out_from_canonical->emplace(canon, orig);
+    }
+  }
+  return key;
+}
+
+Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
+    const ConjunctiveQuery& q, std::string* out_key) {
+  ConjunctiveQuery canonical = q;  // overwritten by CanonicalQueryKey
+  std::string key = CanonicalQueryKey(q, &canonical);
+  if (out_key != nullptr) *out_key = key;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Chase outside the lock: other keys (and even this key, on a concurrent
+  // miss) may be chased in parallel; the first insert wins.
+  Result<ChaseOutcome> outcome =
+      SoundChase(canonical, sigma_, semantics_, schema_, options_);
+  if (!outcome.ok()) return outcome.status();
+  auto entry = std::make_shared<const ChaseOutcome>(std::move(outcome).value());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(key, entry);
+  return inserted ? entry : it->second;
+}
+
+Result<ChaseOutcome> ChaseMemo::Chase(const ConjunctiveQuery& q) {
+  ConjunctiveQuery canonical = q;
+  TermMap from_canonical;
+  std::string key = CanonicalQueryKey(q, &canonical, &from_canonical);
+  std::shared_ptr<const ChaseOutcome> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      entry = it->second;
+    } else {
+      ++misses_;
+    }
+  }
+  if (entry == nullptr) {
+    Result<ChaseOutcome> outcome =
+        SoundChase(canonical, sigma_, semantics_, schema_, options_);
+    if (!outcome.ok()) return outcome.status();
+    entry = std::make_shared<const ChaseOutcome>(std::move(outcome).value());
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = cache_.emplace(key, entry);
+    if (!inserted) entry = it->second;
+  }
+  ChaseOutcome remapped{entry->result.Substitute(from_canonical).WithName(q.name()),
+                        entry->trace, entry->failed};
+  return remapped;
+}
+
+ChaseMemo::Stats ChaseMemo::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, cache_.size()};
+}
+
+}  // namespace sqleq

@@ -1,0 +1,90 @@
+// Chase memoization. Sound chase results are pure functions of
+// (query, Σ, semantics, schema, chase knobs) — Thm 5.1 / G.1 make them
+// unique up to the semantics' equivalence — so a memo cache over a
+// renaming- and atom-order-invariant canonical form of the query is sound:
+// isomorphic queries share one chase. The backchase sweeps the 2^n subquery
+// lattice, where isomorphic candidates abound; the cache is what keeps the
+// parallel backchase from re-chasing them.
+#ifndef SQLEQ_CHASE_CHASE_CACHE_H_
+#define SQLEQ_CHASE_CHASE_CACHE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "chase/sound_chase.h"
+
+namespace sqleq {
+
+/// A canonical form of `q`: variables renamed to ?0, ?1, ... and body atoms
+/// reordered by a greedy least-signature labelling, so any two queries that
+/// differ only by variable naming and atom order (and usually any two
+/// isomorphic queries) canonicalize identically. The key does NOT include
+/// the query name. `out_canonical` (optional) receives the canonicalized
+/// query; `out_from_canonical` (optional) the canonical→original variable
+/// map.
+std::string CanonicalQueryKey(const ConjunctiveQuery& q,
+                              ConjunctiveQuery* out_canonical = nullptr,
+                              TermMap* out_from_canonical = nullptr);
+
+/// Thread-safe memo of sound-chase outcomes for one fixed chase context
+/// (Σ, semantics, schema, options). Outcomes are cached in canonical
+/// variable space; Chase() maps them back onto the caller's variables.
+///
+/// The stored ChaseOptions' deadline applies to cache-miss chases; callers
+/// that need per-call deadlines should check them around the call (cache
+/// hits cost microseconds).
+class ChaseMemo {
+ public:
+  ChaseMemo(DependencySet sigma, Semantics semantics, Schema schema,
+            ChaseOptions options)
+      : sigma_(std::move(sigma)),
+        semantics_(semantics),
+        schema_(std::move(schema)),
+        options_(std::move(options)) {}
+
+  /// Memoized SoundChase of `q`, returned in canonical variable space (NOT
+  /// remapped to q's variables) — sufficient for every isomorphism-invariant
+  /// use (the equivalence tests of Thms 2.2/6.1/6.2). Shared pointer: the
+  /// outcome may be handed to many threads. `out_key` (optional) receives
+  /// the canonical key, letting callers do their own deterministic hit
+  /// accounting. Statuses (step budget, deadline) are never cached.
+  Result<std::shared_ptr<const ChaseOutcome>> ChaseCanonical(
+      const ConjunctiveQuery& q, std::string* out_key = nullptr);
+
+  /// Memoized SoundChase of `q` with the result mapped back onto q's
+  /// variables and name. Chase-introduced fresh variables and the trace
+  /// (rendered in canonical space) pass through unchanged.
+  Result<ChaseOutcome> Chase(const ConjunctiveQuery& q);
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t entries = 0;
+  };
+  /// Live counters. Under concurrent misses of one key both misses are
+  /// counted (the first insert wins); use CanonicalQueryKey-based accounting
+  /// for deterministic numbers.
+  Stats stats() const;
+
+  const DependencySet& sigma() const { return sigma_; }
+  Semantics semantics() const { return semantics_; }
+  const Schema& schema() const { return schema_; }
+  const ChaseOptions& options() const { return options_; }
+
+ private:
+  const DependencySet sigma_;
+  const Semantics semantics_;
+  const Schema schema_;
+  const ChaseOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const ChaseOutcome>> cache_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_CHASE_CHASE_CACHE_H_

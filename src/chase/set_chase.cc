@@ -30,7 +30,8 @@ ConjunctiveQuery ApplyTgdStepDeduped(const ConjunctiveQuery& q, const Tgd& tgd,
 Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& sigma,
                               const ChaseOptions& options) {
   ChaseOutcome out{q.CanonicalRepresentation(), {}, false};
-  for (size_t step = 0; step < options.max_steps; ++step) {
+  for (size_t step = 0; step < options.budget.max_chase_steps; ++step) {
+    SQLEQ_RETURN_IF_ERROR(options.budget.CheckDeadline("set chase"));
     bool applied = false;
     // Egd pass.
     if (options.egds_first) {
@@ -77,10 +78,11 @@ Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& si
     }
     if (!applied) return out;  // D(result) |= Σ — terminal.
   }
-  std::string message =
-      "set chase exceeded " + std::to_string(options.max_steps) + " steps; ";
+  std::string message = "set chase exceeded " +
+                        std::to_string(options.budget.max_chase_steps) +
+                        " steps (ResourceBudget::max_chase_steps); ";
   message += IsWeaklyAcyclic(sigma)
-                 ? "Σ is weakly acyclic, so raising ChaseOptions::max_steps will "
+                 ? "Σ is weakly acyclic, so raising the budget will "
                    "terminate (Thm H.1)"
                  : "Σ is NOT weakly acyclic — the chase may diverge";
   return Status::ResourceExhausted(std::move(message));

@@ -10,16 +10,17 @@
 
 #include "constraints/dependency.h"
 #include "ir/query.h"
+#include "util/resource_budget.h"
 #include "util/status.h"
 
 namespace sqleq {
 
 /// Knobs shared by set chase and sound chase.
 struct ChaseOptions {
-  /// Hard cap on chase steps; exceeded → ResourceExhausted. The paper's
-  /// algorithms are conditioned on set-chase termination, so a generous
-  /// default suffices for weakly acyclic Σ.
-  size_t max_steps = 5000;
+  /// Resource limits. The chase consults budget.max_chase_steps (hard cap on
+  /// chase steps; exceeded → ResourceExhausted) and budget.deadline (checked
+  /// once per step). See util/resource_budget.h.
+  ResourceBudget budget;
   /// Apply egds before tgds at each step (the conventional strategy; chase
   /// results are equivalent either way, Thm 5.1 / [10]).
   bool egds_first = true;
@@ -48,8 +49,8 @@ struct ChaseOutcome {
   bool failed = false;
 };
 
-/// Computes (Q)Σ,S. Returns ResourceExhausted if `options.max_steps` is hit
-/// (chase may not terminate for non-weakly-acyclic Σ).
+/// Computes (Q)Σ,S. Returns ResourceExhausted if `options.budget` is
+/// exhausted (chase may not terminate for non-weakly-acyclic Σ).
 Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& sigma,
                               const ChaseOptions& options = {});
 

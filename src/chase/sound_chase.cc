@@ -73,7 +73,8 @@ Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& 
   };
 
   ChaseOutcome out{normalize(q), {}, false};
-  for (size_t step = 0; step < options.max_steps; ++step) {
+  for (size_t step = 0; step < options.budget.max_chase_steps; ++step) {
+    SQLEQ_RETURN_IF_ERROR(options.budget.CheckDeadline("sound chase"));
     bool applied = false;
 
     // Egd pass: egd steps are always sound (Thm 4.1(2) / 4.3(2)).
@@ -134,8 +135,9 @@ Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& 
     }
     if (!applied) return out;  // no sound step applies — terminal.
   }
-  return Status::ResourceExhausted("sound chase exceeded " +
-                                   std::to_string(options.max_steps) + " steps");
+  return Status::ResourceExhausted(
+      "sound chase exceeded " + std::to_string(options.budget.max_chase_steps) +
+      " steps (ResourceBudget::max_chase_steps)");
 }
 
 Result<StepAvailability> ClassifyStep(const ConjunctiveQuery& q, const Dependency& dep,

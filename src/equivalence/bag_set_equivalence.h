@@ -8,7 +8,9 @@
 
 namespace sqleq {
 
-/// Theorem 2.1(2).
+/// Theorem 2.1(2). DEPRECATED: thin wrapper over EquivalenceEngine
+/// (equivalence/engine.h) with Σ = ∅; use the engine for the verdict's
+/// evidence and Result-based error reporting.
 bool BagSetEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
 
 }  // namespace sqleq

@@ -1,0 +1,116 @@
+#include "equivalence/engine.h"
+
+#include "chase/homomorphism.h"
+#include "chase/sound_chase.h"
+#include "equivalence/bag_equivalence.h"
+#include "equivalence/containment.h"
+#include "equivalence/isomorphism.h"
+
+namespace sqleq {
+namespace {
+
+/// Context fingerprint for memo sharing: everything a chase outcome depends
+/// on. Deadline and thread count are excluded on purpose (see MemoFor).
+std::string ContextKey(const EquivRequest& request) {
+  std::string key = SemanticsToString(request.semantics);
+  key += '\n';
+  key += SigmaToString(request.sigma);
+  key += '\n';
+  key += request.schema.ToString();
+  key += '\n';
+  key += request.chase.egds_first ? "E" : "e";
+  key += request.chase.key_based_fast_path ? "K" : "k";
+  key += std::to_string(request.chase.budget.max_chase_steps);
+  return key;
+}
+
+}  // namespace
+
+bool ChasedEquivalent(const ConjunctiveQuery& c1, const ConjunctiveQuery& c2,
+                      Semantics semantics, const Schema& schema) {
+  switch (semantics) {
+    case Semantics::kSet:
+      return SetEquivalent(c1, c2);
+    case Semantics::kBag:
+      return BagEquivalentModuloSetRelations(c1, c2, schema);
+    case Semantics::kBagSet:
+      return AreIsomorphic(c1.CanonicalRepresentation(), c2.CanonicalRepresentation());
+  }
+  return false;
+}
+
+std::shared_ptr<ChaseMemo> EquivalenceEngine::MemoFor(const EquivRequest& request) {
+  std::string key = ContextKey(request);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = memos_.find(key);
+  if (it != memos_.end()) return it->second;
+  ChaseOptions memo_options = request.chase;
+  memo_options.budget.deadline.reset();  // enforced per call, not per memo
+  auto memo = std::make_shared<ChaseMemo>(request.sigma, request.semantics,
+                                          request.schema, memo_options);
+  memos_.emplace(std::move(key), memo);
+  return memo;
+}
+
+Result<EquivVerdict> EquivalenceEngine::Equivalent(const ConjunctiveQuery& q1,
+                                                   const ConjunctiveQuery& q2,
+                                                   const EquivRequest& request) {
+  std::shared_ptr<ChaseMemo> memo = MemoFor(request);
+  SQLEQ_RETURN_IF_ERROR(request.chase.budget.CheckDeadline("equivalence chase of Q1"));
+  SQLEQ_ASSIGN_OR_RETURN(ChaseOutcome c1, memo->Chase(q1));
+  SQLEQ_RETURN_IF_ERROR(request.chase.budget.CheckDeadline("equivalence chase of Q2"));
+  SQLEQ_ASSIGN_OR_RETURN(ChaseOutcome c2, memo->Chase(q2));
+
+  EquivVerdict out{/*equivalent=*/false, request.semantics,
+                   c1.result,            c2.result,
+                   std::move(c1.trace),  std::move(c2.trace),
+                   c1.failed,            c2.failed,
+                   std::nullopt,         std::nullopt};
+  if (c1.failed || c2.failed) {
+    // A failed chase means the query is empty on every instance of Σ; two
+    // queries are then equivalent iff both fail.
+    out.equivalent = c1.failed == c2.failed;
+    return out;
+  }
+
+  switch (request.semantics) {
+    case Semantics::kSet: {
+      ConjunctiveQuery renamed2 = c2.result.RenameApart();
+      out.witness_forward = FindContainmentMapping(renamed2, c1.result);
+      ConjunctiveQuery renamed1 = c1.result.RenameApart();
+      out.witness_backward = FindContainmentMapping(renamed1, c2.result);
+      out.equivalent =
+          out.witness_forward.has_value() && out.witness_backward.has_value();
+      break;
+    }
+    case Semantics::kBag: {
+      ConjunctiveQuery n1 = NormalizeForBag(c1.result, request.schema);
+      ConjunctiveQuery n2 = NormalizeForBag(c2.result, request.schema);
+      out.witness_forward = FindIsomorphism(n1, n2);
+      out.equivalent = out.witness_forward.has_value();
+      break;
+    }
+    case Semantics::kBagSet: {
+      out.witness_forward = FindIsomorphism(c1.result.CanonicalRepresentation(),
+                                            c2.result.CanonicalRepresentation());
+      out.equivalent = out.witness_forward.has_value();
+      break;
+    }
+  }
+  return out;
+}
+
+EquivalenceEngine::CacheStats EquivalenceEngine::cache_stats() const {
+  CacheStats out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.contexts = memos_.size();
+  for (const auto& [key, memo] : memos_) {
+    ChaseMemo::Stats s = memo->stats();
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.entries += s.entries;
+  }
+  return out;
+}
+
+}  // namespace sqleq

@@ -1,0 +1,112 @@
+// EquivalenceEngine — the unified front door for Σ-equivalence testing.
+// One call shape covers the paper's headline theorems:
+//
+//   EquivalenceEngine engine;
+//   SQLEQ_ASSIGN_OR_RETURN(EquivVerdict v,
+//       engine.Equivalent(q1, q2, {Semantics::kBag, sigma, schema}));
+//   if (v.equivalent) { ... v.witness_forward ... }
+//
+// The engine owns a chase memo per (Σ, semantics, schema, chase-knob)
+// context, so repeated calls against the same constraint theory — the
+// common shape in minimization and rewriting loops — chase each distinct
+// query once. The legacy free functions (EquivalentUnder and friends in
+// sigma_equivalence.h, BagEquivalent / BagSetEquivalent) remain as thin
+// deprecated wrappers over a per-call engine.
+#ifndef SQLEQ_EQUIVALENCE_ENGINE_H_
+#define SQLEQ_EQUIVALENCE_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chase/chase_cache.h"
+#include "chase/set_chase.h"
+#include "constraints/dependency.h"
+#include "db/eval.h"
+#include "ir/query.h"
+#include "ir/schema.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+/// Everything one equivalence decision depends on. Defaults: set semantics,
+/// no dependencies, empty schema, default ChaseOptions (whose embedded
+/// ResourceBudget bounds the chases and supplies the optional deadline).
+struct EquivRequest {
+  Semantics semantics = Semantics::kSet;
+  DependencySet sigma;
+  Schema schema;
+  ChaseOptions chase;
+};
+
+/// The decision plus its evidence: sound-chase results for both inputs
+/// (remapped onto the callers' variables), the chase traces (rendered in
+/// the memo's canonical variable space), and — when equivalent — the
+/// witness mapping between the chase results (isomorphism under B/BS, the
+/// Q2→Q1 containment mapping under S, with witness_backward the Q1→Q2
+/// direction).
+struct EquivVerdict {
+  bool equivalent;
+  Semantics semantics;
+
+  // ConjunctiveQuery has no default constructor, so EquivVerdict is built
+  // by aggregate initialization (all members supplied).
+  ConjunctiveQuery chased_q1;
+  ConjunctiveQuery chased_q2;
+  std::vector<ChaseStepRecord> trace_q1;
+  std::vector<ChaseStepRecord> trace_q2;
+  bool q1_failed;
+  bool q2_failed;
+
+  std::optional<TermMap> witness_forward;
+  std::optional<TermMap> witness_backward;
+};
+
+/// The post-chase equivalence primitive the facade, C&B, and the view
+/// rewriter all share: are the (already chased) queries equivalent under
+/// `semantics`? (Thm 2.2's ≡S via containment mappings, Thm 6.1's ≡B modulo
+/// the schema's set-enforcing dependencies, Thm 6.2's ≡BS via canonical
+/// representations.) Isomorphism-invariant in both arguments.
+bool ChasedEquivalent(const ConjunctiveQuery& c1, const ConjunctiveQuery& c2,
+                      Semantics semantics, const Schema& schema);
+
+class EquivalenceEngine {
+ public:
+  EquivalenceEngine() = default;
+  EquivalenceEngine(const EquivalenceEngine&) = delete;
+  EquivalenceEngine& operator=(const EquivalenceEngine&) = delete;
+
+  /// Decides q1 ≡Σ,X q2 per the request and assembles the evidence. Errors:
+  /// ResourceExhausted when a chase exceeds request.chase.budget (steps or
+  /// deadline). Thread-safe; concurrent calls share the memo caches.
+  Result<EquivVerdict> Equivalent(const ConjunctiveQuery& q1,
+                                  const ConjunctiveQuery& q2,
+                                  const EquivRequest& request);
+
+  struct CacheStats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t entries = 0;
+    size_t contexts = 0;
+  };
+  /// Chase-memo counters aggregated over every context this engine has
+  /// served.
+  CacheStats cache_stats() const;
+
+ private:
+  /// The memo for the request's chase context. Deadlines are deliberately
+  /// not part of the context key (and are stripped from the memo's options):
+  /// Equivalent() enforces them per call, so calls differing only in
+  /// deadline share cached chases.
+  std::shared_ptr<ChaseMemo> MemoFor(const EquivRequest& request);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<ChaseMemo>> memos_;
+};
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_EQUIVALENCE_ENGINE_H_

@@ -1,31 +1,19 @@
 #include "equivalence/sigma_equivalence.h"
 
 #include "chase/sound_chase.h"
-#include "equivalence/bag_equivalence.h"
-#include "equivalence/bag_set_equivalence.h"
 #include "equivalence/containment.h"
+#include "equivalence/engine.h"
 
 namespace sqleq {
 
 Result<bool> EquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
                              const DependencySet& sigma, Semantics semantics,
                              const Schema& schema, const ChaseOptions& options) {
-  SQLEQ_ASSIGN_OR_RETURN(ChaseOutcome c1, SoundChase(q1, sigma, semantics, schema, options));
-  SQLEQ_ASSIGN_OR_RETURN(ChaseOutcome c2, SoundChase(q2, sigma, semantics, schema, options));
-  if (c1.failed || c2.failed) {
-    // A failed chase means the query returns the empty answer on every
-    // instance satisfying Σ; two queries are then equivalent iff both fail.
-    return c1.failed == c2.failed;
-  }
-  switch (semantics) {
-    case Semantics::kSet:
-      return SetEquivalent(c1.result, c2.result);
-    case Semantics::kBag:
-      return BagEquivalentModuloSetRelations(c1.result, c2.result, schema);
-    case Semantics::kBagSet:
-      return BagSetEquivalent(c1.result, c2.result);
-  }
-  return Status::Internal("unknown semantics");
+  EquivalenceEngine engine;
+  SQLEQ_ASSIGN_OR_RETURN(
+      EquivVerdict verdict,
+      engine.Equivalent(q1, q2, EquivRequest{semantics, sigma, schema, options}));
+  return verdict.equivalent;
 }
 
 Result<bool> SetEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,

@@ -6,6 +6,11 @@
 //   * Theorem 6.2 (bag-set): Q ≡Σ,BS Q′ iff (Q)Σ,BS ≡BS (Q′)Σ,BS.
 // All three are conditioned on termination of set chase on the inputs; the
 // step budget in ChaseOptions is the practical proxy.
+//
+// DEPRECATED entry points: the equivalence functions below are kept as thin
+// wrappers over equivalence/engine.h's EquivalenceEngine, which unifies the
+// call shape, memoizes chases across calls, and returns the full evidence
+// (chase traces + witness). New code should use the engine directly.
 #ifndef SQLEQ_EQUIVALENCE_SIGMA_EQUIVALENCE_H_
 #define SQLEQ_EQUIVALENCE_SIGMA_EQUIVALENCE_H_
 

@@ -1,0 +1,127 @@
+#include "reformulation/backchase.h"
+
+#include <unordered_set>
+
+#include "equivalence/isomorphism.h"
+#include "util/thread_pool.h"
+
+namespace sqleq {
+namespace {
+
+/// Next mask with the same popcount (Gosper's hack); call only with m != 0.
+uint64_t NextSamePopcount(uint64_t m) {
+  uint64_t c = m & (~m + 1);
+  uint64_t r = m + c;
+  return (((r ^ m) >> 2) / c) | r;
+}
+
+}  // namespace
+
+Result<SweepOutput> SweepBackchaseLattice(
+    size_t n, const ResourceBudget& budget, bool enable_failure_prune,
+    const std::vector<std::string>& preseeded_chase_keys,
+    const std::function<Result<CandidateVerdict>(uint64_t)>& evaluate) {
+  SweepOutput out;
+  if (n == 0) return out;
+
+  std::vector<uint64_t> accepted_masks;
+  std::vector<uint64_t> failed_masks;
+  std::unordered_set<std::string> seen_keys(preseeded_chase_keys.begin(),
+                                            preseeded_chase_keys.end());
+  size_t budget_left = budget.max_candidates;
+  const uint64_t limit = uint64_t(1) << n;
+
+  // Workers beyond the calling thread; the caller participates in every
+  // wave, so `budget.threads` is the total concurrency.
+  std::optional<ThreadPool> pool;
+  if (budget.threads > 1) pool.emplace(budget.threads - 1);
+
+  for (size_t k = 1; k <= n; ++k) {
+    // ---- Enumerate this wave's non-pruned masks (serial, cheap). All
+    // pruning facts come from strictly smaller masks, so they are complete
+    // before the wave starts.
+    std::vector<uint64_t> wave;
+    for (uint64_t m = (uint64_t(1) << k) - 1; m < limit; m = NextSamePopcount(m)) {
+      SQLEQ_RETURN_IF_ERROR(budget.CheckDeadline("backchase"));
+      bool pruned = false;
+      for (uint64_t am : accepted_masks) {
+        if ((m & am) == am) {
+          ++out.stats.dominance_pruned;
+          pruned = true;
+          break;
+        }
+      }
+      if (!pruned && enable_failure_prune) {
+        for (uint64_t fm : failed_masks) {
+          if ((m & fm) == fm) {
+            ++out.stats.failure_pruned;
+            pruned = true;
+            break;
+          }
+        }
+      }
+      if (pruned) continue;
+      if (budget_left == 0) {
+        return Status::ResourceExhausted(
+            "backchase candidate budget exhausted (ResourceBudget::max_candidates=" +
+            std::to_string(budget.max_candidates) + ")");
+      }
+      --budget_left;
+      wave.push_back(m);
+      if (k == n) break;  // single full mask; Gosper would overflow past it
+    }
+    if (wave.empty()) continue;
+
+    // ---- Evaluate the wave, possibly in parallel.
+    std::vector<std::optional<Result<CandidateVerdict>>> results(wave.size());
+    auto eval_one = [&](size_t i) { results[i] = evaluate(wave[i]); };
+    if (pool.has_value() && wave.size() > 1) {
+      pool->ParallelFor(wave.size(), eval_one);
+    } else {
+      for (size_t i = 0; i < wave.size(); ++i) eval_one(i);
+    }
+
+    // ---- Merge in ascending mask order: acceptance bookkeeping, cache-hit
+    // replay, and isomorphism dedup are all order-dependent, so this stays
+    // serial and deterministic.
+    for (size_t i = 0; i < wave.size(); ++i) {
+      Result<CandidateVerdict>& r = *results[i];
+      if (!r.ok()) return r.status();  // first error in mask order wins
+      CandidateVerdict& verdict = *r;
+      if (!verdict.chase_key.empty()) {
+        if (seen_keys.insert(verdict.chase_key).second) {
+          ++out.stats.chase_cache_misses;
+        } else {
+          ++out.stats.chase_cache_hits;
+        }
+      }
+      switch (verdict.outcome) {
+        case CandidateOutcome::kSkipped:
+          break;
+        case CandidateOutcome::kRejected:
+          ++out.stats.candidates_examined;
+          break;
+        case CandidateOutcome::kChaseFailed:
+          ++out.stats.candidates_examined;
+          if (enable_failure_prune) failed_masks.push_back(wave[i]);
+          break;
+        case CandidateOutcome::kAccepted: {
+          ++out.stats.candidates_examined;
+          accepted_masks.push_back(wave[i]);
+          bool duplicate = false;
+          for (const ConjunctiveQuery& prior : out.accepted) {
+            if (AreIsomorphic(prior, *verdict.query)) {
+              duplicate = true;
+              break;
+            }
+          }
+          if (!duplicate) out.accepted.push_back(std::move(*verdict.query));
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sqleq

@@ -1,0 +1,85 @@
+// The backchase lattice sweep shared by chase & backchase (candb.cc) and
+// rewrite-with-views (views.cc): enumerate subset masks of a candidate pool
+// smallest-cardinality first, prune, evaluate candidates — possibly on a
+// worker pool — and collect accepted candidates deterministically.
+//
+// Parallel soundness rests on the wave structure: masks are processed in
+// cardinality waves, and a mask can only be dominated (or failure-pruned)
+// by a *strictly smaller* mask, so every pruning fact a wave needs is fully
+// known before the wave starts. Within a wave, evaluations are independent
+// pure functions; their results are merged in ascending mask order. Serial
+// and parallel sweeps therefore return byte-identical outputs.
+#ifndef SQLEQ_REFORMULATION_BACKCHASE_H_
+#define SQLEQ_REFORMULATION_BACKCHASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/query.h"
+#include "util/resource_budget.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+/// What one candidate evaluation concluded.
+enum class CandidateOutcome {
+  kSkipped,      ///< not a well-formed candidate (e.g. unsafe) — not counted
+  kRejected,     ///< examined; not equivalent (or not minimal)
+  kChaseFailed,  ///< examined; the candidate's chase failed (unsatisfiable)
+  kAccepted,     ///< examined; an equivalent reformulation
+};
+
+struct CandidateVerdict {
+  CandidateOutcome outcome = CandidateOutcome::kSkipped;
+  /// The accepted candidate (kAccepted only).
+  std::optional<ConjunctiveQuery> query;
+  /// Canonical chase key of the candidate's (memoized) chase, empty when no
+  /// chase ran. Drives the sweep's deterministic cache-hit accounting.
+  std::string chase_key;
+};
+
+struct SweepStats {
+  /// Candidates whose equivalence was tested (kSkipped excluded).
+  size_t candidates_examined = 0;
+  /// Deterministic chase-memo accounting, replayed in mask order at merge
+  /// time (identical at every thread count, unlike the memo's live
+  /// counters under concurrent same-key misses).
+  size_t chase_cache_hits = 0;
+  size_t chase_cache_misses = 0;
+  /// Masks skipped as supersets of an already-accepted mask (Σ-minimality
+  /// lattice pruning).
+  size_t dominance_pruned = 0;
+  /// Masks skipped as supersets of a chase-failed mask (set-semantics
+  /// failure pruning: a superset of an unsatisfiable subquery is itself
+  /// unsatisfiable).
+  size_t failure_pruned = 0;
+};
+
+struct SweepOutput {
+  /// Accepted candidates, ascending mask order, pairwise non-isomorphic.
+  std::vector<ConjunctiveQuery> accepted;
+  SweepStats stats;
+};
+
+/// Sweeps the 2^n - 1 nonempty subset masks of an n-element candidate pool.
+/// `evaluate` must be a pure, thread-safe function of the mask; it runs on
+/// `budget.threads` threads (<=1 → serial). `enable_failure_prune` turns on
+/// the kChaseFailed superset prune — sound under set semantics, where chase
+/// failure is monotone in the body (a restriction of any hom into a model
+/// is a hom). `preseeded_chase_keys` seed the hit accounting with chases
+/// performed before the sweep (e.g. the universal plan's).
+///
+/// Budget: every non-pruned mask consumes one unit of
+/// `budget.max_candidates`; exhaustion and deadline expiry return
+/// ResourceExhausted naming the limit.
+Result<SweepOutput> SweepBackchaseLattice(
+    size_t n, const ResourceBudget& budget, bool enable_failure_prune,
+    const std::vector<std::string>& preseeded_chase_keys,
+    const std::function<Result<CandidateVerdict>(uint64_t)>& evaluate);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_REFORMULATION_BACKCHASE_H_

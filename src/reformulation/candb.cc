@@ -1,44 +1,31 @@
 #include "reformulation/candb.h"
 
-#include <algorithm>
+#include <string>
 
+#include "chase/chase_cache.h"
 #include "chase/sound_chase.h"
-#include "equivalence/bag_equivalence.h"
-#include "equivalence/bag_set_equivalence.h"
-#include "equivalence/containment.h"
-#include "equivalence/isomorphism.h"
+#include "equivalence/engine.h"
+#include "reformulation/backchase.h"
 #include "reformulation/minimize.h"
 
 namespace sqleq {
-namespace {
-
-/// Subsets of {0..n-1} in increasing-cardinality order (then numeric), so
-/// the backchase meets minimal candidates first.
-std::vector<uint64_t> SubsetMasksBySize(size_t n) {
-  std::vector<uint64_t> masks;
-  masks.reserve((uint64_t(1) << n) - 1);
-  for (uint64_t m = 1; m < (uint64_t(1) << n); ++m) masks.push_back(m);
-  std::stable_sort(masks.begin(), masks.end(), [](uint64_t a, uint64_t b) {
-    int pa = __builtin_popcountll(a);
-    int pb = __builtin_popcountll(b);
-    return pa != pb ? pa < pb : a < b;
-  });
-  return masks;
-}
-
-}  // namespace
 
 Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
                                       const DependencySet& sigma, Semantics semantics,
                                       const Schema& schema, const CandBOptions& options) {
+  // One budget governs the whole call: fold it into the chase options every
+  // chase below runs with.
+  ChaseOptions chase_options = options.chase;
+  chase_options.budget = options.budget;
+
   // ---- Chase phase: universal plan U = (Q)Σ,X. ----
   SQLEQ_ASSIGN_OR_RETURN(ChaseOutcome chased,
-                         SoundChase(q, sigma, semantics, schema, options.chase));
+                         SoundChase(q, sigma, semantics, schema, chase_options));
   if (chased.failed) {
     return Status::FailedPrecondition(
         "chase failed: Q is unsatisfiable on every instance of Σ");
   }
-  CandBResult out{chased.result, {}, 0};
+  CandBResult out{chased.result, {}, 0, 0, 0};
   const ConjunctiveQuery& u = out.universal_plan;
 
   size_t n = u.body().size();
@@ -47,74 +34,56 @@ Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
                                      std::to_string(n) + " atoms)");
   }
 
-  // ---- Backchase phase: subqueries of U, smallest first. ----
-  std::vector<uint64_t> accepted_masks;
-  std::vector<ConjunctiveQuery> accepted;
-  std::vector<uint64_t> masks = SubsetMasksBySize(n);
-  size_t candidate_budget = options.max_candidates;
-  for (uint64_t mask : masks) {
-    // Keep only Σ-minimal outputs: any superset of an accepted candidate
-    // chases to the same universal plan and is dominated.
-    bool dominated = false;
-    for (uint64_t am : accepted_masks) {
-      if ((mask & am) == am) {
-        dominated = true;
-        break;
-      }
-    }
-    if (dominated) continue;
-    if (candidate_budget == 0) {
-      return Status::ResourceExhausted("backchase candidate budget exhausted");
-    }
-    --candidate_budget;
-
+  // ---- Backchase phase: subqueries of U, smallest first, chased through a
+  // shared memo so isomorphic candidates cost one chase. ----
+  ChaseMemo memo(sigma, semantics, schema, chase_options);
+  auto evaluate = [&](uint64_t mask) -> Result<CandidateVerdict> {
     std::vector<Atom> body;
     for (size_t i = 0; i < n; ++i) {
       if ((mask >> i) & 1) body.push_back(u.body()[i]);
     }
     Result<ConjunctiveQuery> candidate =
         ConjunctiveQuery::Create(q.name(), u.head(), std::move(body));
-    if (!candidate.ok()) continue;  // unsafe subquery — skip silently
-    ++out.candidates_examined;
+    if (!candidate.ok()) return CandidateVerdict{};  // unsafe subquery — skip
 
-    SQLEQ_ASSIGN_OR_RETURN(
-        ChaseOutcome cand_chased,
-        SoundChase(*candidate, sigma, semantics, schema, options.chase));
-    if (cand_chased.failed) continue;
-
-    bool equivalent = false;
-    switch (semantics) {
-      case Semantics::kSet:
-        equivalent = SetEquivalent(cand_chased.result, u);
-        break;
-      case Semantics::kBag:
-        equivalent = BagEquivalentModuloSetRelations(cand_chased.result, u, schema);
-        break;
-      case Semantics::kBagSet:
-        equivalent = BagSetEquivalent(cand_chased.result, u);
-        break;
+    CandidateVerdict verdict;
+    SQLEQ_ASSIGN_OR_RETURN(std::shared_ptr<const ChaseOutcome> cand_chased,
+                           memo.ChaseCanonical(*candidate, &verdict.chase_key));
+    if (cand_chased->failed) {
+      verdict.outcome = CandidateOutcome::kChaseFailed;
+      return verdict;
     }
-    if (!equivalent) continue;
 
-    if (options.verify_sigma_minimality) {
+    // The cached chase is in canonical variable space; ChasedEquivalent is
+    // isomorphism-invariant, so no remapping is needed.
+    bool equivalent = ChasedEquivalent(cand_chased->result, u, semantics, schema);
+    if (equivalent && options.verify_sigma_minimality) {
       SQLEQ_ASSIGN_OR_RETURN(
           bool minimal,
-          IsSigmaMinimal(*candidate, sigma, semantics, schema, options.chase));
-      if (!minimal) continue;
+          IsSigmaMinimal(*candidate, sigma, semantics, schema, chase_options));
+      equivalent = minimal;
     }
+    if (equivalent) {
+      verdict.outcome = CandidateOutcome::kAccepted;
+      verdict.query = std::move(*candidate);
+    } else {
+      verdict.outcome = CandidateOutcome::kRejected;
+    }
+    return verdict;
+  };
 
-    // De-duplicate isomorphic outputs.
-    bool duplicate = false;
-    for (const ConjunctiveQuery& seen : accepted) {
-      if (AreIsomorphic(seen, *candidate)) {
-        duplicate = true;
-        break;
-      }
-    }
-    accepted_masks.push_back(mask);
-    if (!duplicate) accepted.push_back(std::move(*candidate));
-  }
-  out.reformulations = std::move(accepted);
+  // Failure pruning is sound only under set semantics: there, chase failure
+  // witnesses unsatisfiability, which is monotone in the body (restricting a
+  // homomorphism into a model is a homomorphism). Under B/BS the sound chase
+  // fixes assignments per query, so no such monotonicity holds.
+  bool failure_prune = semantics == Semantics::kSet;
+  SQLEQ_ASSIGN_OR_RETURN(
+      SweepOutput swept,
+      SweepBackchaseLattice(n, options.budget, failure_prune, {}, evaluate));
+  out.reformulations = std::move(swept.accepted);
+  out.candidates_examined = swept.stats.candidates_examined;
+  out.chase_cache_hits = swept.stats.chase_cache_hits;
+  out.chase_cache_misses = swept.stats.chase_cache_misses;
   return out;
 }
 

@@ -4,6 +4,13 @@
 //   kSet    → C&B           (Thm A.1)
 //   kBag    → Bag-C&B       (Thm 6.4)
 //   kBagSet → Bag-Set-C&B   (Thm K.1)
+//
+// The backchase phase sweeps the 2^|body(U)| subquery lattice through the
+// parallel memoized engine of backchase.h: candidates are chased through a
+// shared canonical-form memo cache (chase/chase_cache.h) so isomorphic
+// candidates never re-chase, supersets of accepted or chase-failed masks
+// are pruned, and results are merged deterministically — serial and
+// parallel runs return byte-identical CandBResults.
 #ifndef SQLEQ_REFORMULATION_CANDB_H_
 #define SQLEQ_REFORMULATION_CANDB_H_
 
@@ -14,14 +21,20 @@
 #include "db/eval.h"
 #include "ir/query.h"
 #include "ir/schema.h"
+#include "util/resource_budget.h"
 #include "util/status.h"
 
 namespace sqleq {
 
 struct CandBOptions {
+  /// Chase strategy knobs (egds_first, key_based_fast_path). The embedded
+  /// chase.budget is overridden by `budget` below for the chases C&B runs,
+  /// so there is a single budget knob per call.
   ChaseOptions chase;
-  /// Cap on backchase candidates (the subquery lattice is 2^|body(U)|).
-  size_t max_candidates = 1u << 20;
+  /// The C&B resource budget: max_candidates caps the backchase lattice,
+  /// max_chase_steps every chase, deadline the whole call, and threads the
+  /// backchase worker pool.
+  ResourceBudget budget;
   /// When true, outputs are additionally filtered through the Def 3.1
   /// Σ-minimality check (subset-minimality in the universal-plan lattice is
   /// the C&B guarantee; the extra check also covers variable-identification
@@ -36,11 +49,17 @@ struct CandBResult {
   std::vector<ConjunctiveQuery> reformulations;
   /// Backchase candidates whose equivalence was tested.
   size_t candidates_examined = 0;
+  /// Chase-memo accounting for the backchase phase, replayed
+  /// deterministically in mask order (identical at every thread count).
+  size_t chase_cache_hits = 0;
+  size_t chase_cache_misses = 0;
 };
 
 /// Runs chase & backchase for `q` under Σ and the given semantics. Sound
 /// and complete whenever set chase terminates on the inputs (Thms A.1, 6.4,
-/// K.1) — guarded by the chase step budget.
+/// K.1) — guarded by the chase step budget. With options.budget.threads > 1
+/// the backchase sweeps candidates on a worker pool; the result is
+/// byte-identical to the serial sweep.
 Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
                                       const DependencySet& sigma, Semantics semantics,
                                       const Schema& schema,

@@ -1,12 +1,15 @@
 #include "reformulation/views.h"
 
-#include <algorithm>
+#include <memory>
 #include <unordered_set>
 
+#include "chase/chase_cache.h"
 #include "chase/homomorphism.h"
 #include "chase/sound_chase.h"
+#include "equivalence/engine.h"
 #include "equivalence/isomorphism.h"
 #include "equivalence/sigma_equivalence.h"
+#include "reformulation/backchase.h"
 
 namespace sqleq {
 namespace {
@@ -163,13 +166,17 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
                                        const DependencySet& sigma, Semantics semantics,
                                        const Schema& schema,
                                        const RewriteOptions& options) {
+  // One budget governs the whole call (see CandBOptions::budget).
+  ChaseOptions chase_options = options.candb.chase;
+  chase_options.budget = options.candb.budget;
+
   // Chase phase.
   SQLEQ_ASSIGN_OR_RETURN(ChaseOutcome chased,
-                         SoundChase(q, sigma, semantics, schema, options.candb.chase));
+                         SoundChase(q, sigma, semantics, schema, chase_options));
   if (chased.failed) {
     return Status::FailedPrecondition("chase failed: Q is unsatisfiable under Σ");
   }
-  RewriteResult out{{}, chased.result, 0};
+  RewriteResult out{{}, chased.result, 0, 0, 0};
   const ConjunctiveQuery& u = out.universal_plan;
 
   // Candidate atoms: view atoms induced by homomorphisms view-body → U,
@@ -198,53 +205,71 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
                                      std::to_string(pool.size()) + " atoms)");
   }
 
-  // Backchase over subsets of the pool, smallest first, pruning supersets of
-  // accepted rewritings.
-  std::vector<uint64_t> masks;
-  for (uint64_t m = 1; m < (uint64_t(1) << pool.size()); ++m) masks.push_back(m);
-  std::stable_sort(masks.begin(), masks.end(), [](uint64_t a, uint64_t b) {
-    int pa = __builtin_popcountll(a);
-    int pb = __builtin_popcountll(b);
-    return pa != pb ? pa < pb : a < b;
-  });
-  std::vector<uint64_t> accepted_masks;
-  size_t budget = options.candb.max_candidates;
-  for (uint64_t mask : masks) {
-    bool dominated = false;
-    for (uint64_t am : accepted_masks) {
-      if ((mask & am) == am) {
-        dominated = true;
-        break;
-      }
-    }
-    if (dominated) continue;
-    if (budget == 0) {
-      return Status::ResourceExhausted("rewriting candidate budget exhausted");
-    }
-    --budget;
+  // Backchase over subsets of the pool, smallest first, through the shared
+  // sweep: candidate expansions are chased via a memo (isomorphic expansions
+  // abound among view-atom combinations), and U itself is chased exactly
+  // once, up front, instead of once per candidate.
+  ChaseMemo memo(sigma, semantics, schema, chase_options);
+  std::string u_key;
+  SQLEQ_ASSIGN_OR_RETURN(std::shared_ptr<const ChaseOutcome> u_chased,
+                         memo.ChaseCanonical(u, &u_key));
+  auto evaluate = [&](uint64_t mask) -> Result<CandidateVerdict> {
     std::vector<Atom> body;
     for (size_t i = 0; i < pool.size(); ++i) {
       if ((mask >> i) & 1) body.push_back(pool[i]);
     }
     Result<ConjunctiveQuery> candidate =
         ConjunctiveQuery::Create(q.name() + "_v", u.head(), std::move(body));
-    if (!candidate.ok()) continue;  // unsafe — head variable not covered
-    ++out.candidates_examined;
-    SQLEQ_ASSIGN_OR_RETURN(
-        bool equivalent,
-        IsEquivalentRewriting(u, *candidate, views, sigma, semantics, schema,
-                              options.candb.chase));
-    if (!equivalent) continue;
-    bool duplicate = false;
-    for (const ConjunctiveQuery& prior : out.rewritings) {
-      if (AreIsomorphic(prior, *candidate)) {
-        duplicate = true;
-        break;
+    if (!candidate.ok()) return CandidateVerdict{};  // unsafe — skip
+
+    CandidateVerdict verdict;
+    Result<ConjunctiveQuery> expansion = ExpandRewriting(*candidate, views);
+    if (!expansion.ok()) {
+      if (expansion.status().code() == StatusCode::kFailedPrecondition) {
+        // Unsatisfiable rewriting (view heads force a constant clash) —
+        // never equivalent to a CQ.
+        verdict.outcome = CandidateOutcome::kRejected;
+        return verdict;
       }
+      return expansion.status();
     }
-    accepted_masks.push_back(mask);
-    if (!duplicate) out.rewritings.push_back(std::move(*candidate));
-  }
+    SQLEQ_ASSIGN_OR_RETURN(std::shared_ptr<const ChaseOutcome> exp_chased,
+                           memo.ChaseCanonical(*expansion, &verdict.chase_key));
+    if (exp_chased->failed) {
+      verdict.outcome = u_chased->failed ? CandidateOutcome::kAccepted
+                                         : CandidateOutcome::kChaseFailed;
+      if (verdict.outcome == CandidateOutcome::kAccepted) {
+        verdict.query = std::move(*candidate);
+      }
+      return verdict;
+    }
+
+    // Both chases live in canonical variable space; ChasedEquivalent is
+    // isomorphism-invariant.
+    bool equivalent =
+        !u_chased->failed &&
+        ChasedEquivalent(exp_chased->result, u_chased->result, semantics, schema);
+    if (equivalent) {
+      verdict.outcome = CandidateOutcome::kAccepted;
+      verdict.query = std::move(*candidate);
+    } else {
+      verdict.outcome = CandidateOutcome::kRejected;
+    }
+    return verdict;
+  };
+
+  // Failure pruning (supersets of a mask whose expansion's chase failed):
+  // sound under set semantics only — a superset mask induces a stronger
+  // unifier, so its expansion receives a homomorphism from the failed one,
+  // and unsatisfiability transfers along homomorphisms.
+  bool failure_prune = semantics == Semantics::kSet && !u_chased->failed;
+  SQLEQ_ASSIGN_OR_RETURN(SweepOutput swept,
+                         SweepBackchaseLattice(pool.size(), options.candb.budget,
+                                               failure_prune, {u_key}, evaluate));
+  out.rewritings = std::move(swept.accepted);
+  out.candidates_examined = swept.stats.candidates_examined;
+  out.chase_cache_hits = swept.stats.chase_cache_hits;
+  out.chase_cache_misses = swept.stats.chase_cache_misses;
   return out;
 }
 

@@ -69,6 +69,12 @@ struct RewriteResult {
   /// The universal plan the candidates were drawn from.
   ConjunctiveQuery universal_plan;
   size_t candidates_examined = 0;
+  /// Chase-memo accounting for the backchase phase, replayed
+  /// deterministically in mask order (identical at every thread count). The
+  /// up-front chase of U preseeds the memo, so an expansion isomorphic to U
+  /// counts as a hit.
+  size_t chase_cache_hits = 0;
+  size_t chase_cache_misses = 0;
 };
 
 struct RewriteOptions {

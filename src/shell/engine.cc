@@ -37,6 +37,21 @@ Result<Semantics> SemanticsFromName(std::string_view name) {
                                  "' (use S, B, or BS)");
 }
 
+Result<size_t> ParseCount(const std::string& word, const char* what) {
+  if (word.empty()) {
+    return Status::InvalidArgument(std::string("missing ") + what + " value");
+  }
+  size_t value = 0;
+  for (char c : word) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument(std::string(what) + " must be a positive integer, got '" +
+                                     word + "'");
+    }
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  return value;
+}
+
 }  // namespace
 
 Result<NamedQuery> ScriptEngine::GetQuery(const std::string& name) const {
@@ -81,6 +96,7 @@ Result<std::string> ScriptEngine::Execute(std::string_view statement) {
   if (EqualsIgnoreCase(keyword, "EXPLAIN")) return ExecEquiv(rest, /*explain=*/true);
   if (EqualsIgnoreCase(keyword, "MINIMIZE")) return ExecMinimize(rest);
   if (EqualsIgnoreCase(keyword, "REWRITE")) return ExecRewrite(rest);
+  if (EqualsIgnoreCase(keyword, "SET")) return ExecSet(rest);
   if (EqualsIgnoreCase(keyword, "SHOW")) return ExecShow(rest);
   return Status::InvalidArgument("unknown command '" + keyword + "'");
 }
@@ -206,14 +222,17 @@ Result<std::string> ScriptEngine::ExecEquiv(std::string_view rest, bool explain)
   SQLEQ_ASSIGN_OR_RETURN(NamedQuery a, GetQuery(args.first[0]));
   SQLEQ_ASSIGN_OR_RETURN(NamedQuery b, GetQuery(args.first[1]));
   Semantics sem = args.second.value_or(a.semantics);
+  ChaseOptions chase_options;
+  chase_options.budget = budget_;
   if (explain) {
-    SQLEQ_ASSIGN_OR_RETURN(
-        EquivalenceExplanation e,
-        ExplainEquivalence(a.query, b.query, catalog_.sigma, sem, catalog_.schema));
+    SQLEQ_ASSIGN_OR_RETURN(EquivalenceExplanation e,
+                           ExplainEquivalence(a.query, b.query, catalog_.sigma, sem,
+                                              catalog_.schema, chase_options));
     return e.ToString();
   }
-  SQLEQ_ASSIGN_OR_RETURN(
-      bool eq, EquivalentUnder(a.query, b.query, catalog_.sigma, sem, catalog_.schema));
+  SQLEQ_ASSIGN_OR_RETURN(bool eq,
+                         EquivalentUnder(a.query, b.query, catalog_.sigma, sem,
+                                         catalog_.schema, chase_options));
   return args.first[0] + (eq ? " == " : " != ") + args.first[1] + "  under " +
          SemanticsToString(sem) + " semantics (given Sigma)\n";
 }
@@ -225,9 +244,11 @@ Result<std::string> ScriptEngine::ExecMinimize(std::string_view rest) {
   }
   SQLEQ_ASSIGN_OR_RETURN(NamedQuery named, GetQuery(args.first[0]));
   Semantics sem = args.second.value_or(named.semantics);
+  CandBOptions options;
+  options.budget = budget_;
   SQLEQ_ASSIGN_OR_RETURN(
       CandBResult result,
-      ChaseAndBackchase(named.query, catalog_.sigma, sem, catalog_.schema));
+      ChaseAndBackchase(named.query, catalog_.sigma, sem, catalog_.schema, options));
   std::string out = "minimize " + args.first[0] + " under " + SemanticsToString(sem) +
                     " (" + std::to_string(result.candidates_examined) +
                     " candidates):\n";
@@ -248,9 +269,12 @@ Result<std::string> ScriptEngine::ExecRewrite(std::string_view rest) {
   }
   SQLEQ_ASSIGN_OR_RETURN(NamedQuery named, GetQuery(args.first[0]));
   Semantics sem = args.second.value_or(named.semantics);
+  RewriteOptions options;
+  options.candb.budget = budget_;
   SQLEQ_ASSIGN_OR_RETURN(
       RewriteResult result,
-      RewriteWithViews(named.query, views_, catalog_.sigma, sem, catalog_.schema));
+      RewriteWithViews(named.query, views_, catalog_.sigma, sem, catalog_.schema,
+                       options));
   std::string out = "rewritings of " + args.first[0] + " under " +
                     SemanticsToString(sem) + ":\n";
   if (result.rewritings.empty()) out += "  (none)\n";
@@ -260,14 +284,46 @@ Result<std::string> ScriptEngine::ExecRewrite(std::string_view rest) {
   return out;
 }
 
+Result<std::string> ScriptEngine::ExecSet(std::string_view rest) {
+  auto [what, tail] = SplitKeyword(rest);
+  if (EqualsIgnoreCase(what, "THREADS")) {
+    auto [value, tail2] = SplitKeyword(tail);
+    if (!Trim(tail2).empty()) {
+      return Status::InvalidArgument("usage: SET THREADS <n>");
+    }
+    SQLEQ_ASSIGN_OR_RETURN(size_t n, ParseCount(value, "THREADS"));
+    if (n == 0) return Status::InvalidArgument("THREADS must be at least 1");
+    budget_.threads = n;
+    return "set threads = " + std::to_string(n) + "\n";
+  }
+  if (EqualsIgnoreCase(what, "BUDGET")) {
+    auto [steps_word, tail2] = SplitKeyword(tail);
+    auto [cands_word, tail3] = SplitKeyword(tail2);
+    if (!Trim(tail3).empty()) {
+      return Status::InvalidArgument("usage: SET BUDGET <chase-steps> <candidates>");
+    }
+    SQLEQ_ASSIGN_OR_RETURN(size_t steps, ParseCount(steps_word, "BUDGET chase-steps"));
+    SQLEQ_ASSIGN_OR_RETURN(size_t cands, ParseCount(cands_word, "BUDGET candidates"));
+    if (steps == 0 || cands == 0) {
+      return Status::InvalidArgument("BUDGET limits must be at least 1");
+    }
+    budget_.max_chase_steps = steps;
+    budget_.max_candidates = cands;
+    return "set budget: " + budget_.ToString() + "\n";
+  }
+  return Status::InvalidArgument(
+      "usage: SET THREADS <n> | SET BUDGET <chase-steps> <candidates>");
+}
+
 Result<std::string> ScriptEngine::ExecShow(std::string_view rest) {
   auto [what, tail] = SplitKeyword(rest);
   if (!Trim(tail).empty()) {
-    return Status::InvalidArgument("usage: SHOW SCHEMA|SIGMA|QUERIES|DATA");
+    return Status::InvalidArgument("usage: SHOW SCHEMA|SIGMA|QUERIES|DATA|BUDGET");
   }
   if (EqualsIgnoreCase(what, "SCHEMA")) return catalog_.schema.ToString();
   if (EqualsIgnoreCase(what, "SIGMA")) return SigmaToString(catalog_.sigma);
   if (EqualsIgnoreCase(what, "DATA")) return database_.ToString();
+  if (EqualsIgnoreCase(what, "BUDGET")) return budget_.ToString() + "\n";
   if (EqualsIgnoreCase(what, "QUERIES")) {
     std::string out;
     for (const auto& [name, named] : queries_) {

@@ -12,7 +12,9 @@
 //   EXPLAIN q1 q2 [UNDER S|B|BS];    -- ... with chase traces and witnesses
 //   MINIMIZE q1 [UNDER S|B|BS];      -- C&B reformulations, rendered as SQL
 //   REWRITE q1 [UNDER S|B|BS];       -- rewritings over the registered views
-//   SHOW SCHEMA | SIGMA | QUERIES | DATA;
+//   SET THREADS n;                   -- backchase worker threads
+//   SET BUDGET <steps> <candidates>; -- chase-step / candidate limits
+//   SHOW SCHEMA | SIGMA | QUERIES | DATA | BUDGET;
 //
 // Each statement returns printable output; errors are Status values (the
 // engine state is unchanged by a failed statement).
@@ -28,6 +30,7 @@
 #include "db/eval.h"
 #include "reformulation/views.h"
 #include "sql/translate.h"
+#include "util/resource_budget.h"
 #include "util/status.h"
 
 namespace sqleq {
@@ -53,6 +56,9 @@ class ScriptEngine {
   const sql::Catalog& catalog() const { return catalog_; }
   const Database& database() const { return database_; }
   const ViewSet& views() const { return views_; }
+  /// The budget SET THREADS / SET BUDGET configure; applied to every EQUIV,
+  /// EXPLAIN, MINIMIZE, and REWRITE statement.
+  const ResourceBudget& budget() const { return budget_; }
   Result<NamedQuery> GetQuery(const std::string& name) const;
 
  private:
@@ -65,6 +71,7 @@ class ScriptEngine {
   Result<std::string> ExecEquiv(std::string_view rest, bool explain);
   Result<std::string> ExecMinimize(std::string_view rest);
   Result<std::string> ExecRewrite(std::string_view rest);
+  Result<std::string> ExecSet(std::string_view rest);
   Result<std::string> ExecShow(std::string_view rest);
 
   /// Splits "a b UNDER B" into names and an optional semantics override.
@@ -75,6 +82,7 @@ class ScriptEngine {
   Database database_{Schema()};
   ViewSet views_;
   std::map<std::string, NamedQuery> queries_;
+  ResourceBudget budget_;
   int dep_counter_ = 0;
 };
 

@@ -1,0 +1,26 @@
+#include "util/resource_budget.h"
+
+namespace sqleq {
+
+Status ResourceBudget::CheckDeadline(const char* phase) const {
+  if (!DeadlineExpired()) return Status::OK();
+  return Status::ResourceExhausted(std::string("deadline exceeded during ") + phase +
+                                   " (ResourceBudget::deadline)");
+}
+
+std::string ResourceBudget::ToString() const {
+  std::string out = "steps=" + std::to_string(max_chase_steps);
+  out += " candidates=" + std::to_string(max_candidates);
+  out += " threads=" + std::to_string(threads);
+  out += " deadline=";
+  if (deadline.has_value()) {
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        *deadline - std::chrono::steady_clock::now());
+    out += std::to_string(left.count()) + "ms";
+  } else {
+    out += "unset";
+  }
+  return out;
+}
+
+}  // namespace sqleq

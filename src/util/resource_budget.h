@@ -1,0 +1,57 @@
+// ResourceBudget: the shared resource-limit knob of sqleq. Every bounded
+// search in the library (chase step loop, backchase candidate lattice,
+// rewriting enumeration) draws from one of these instead of carrying its own
+// ad-hoc cap, so callers configure limits in exactly one place and
+// ResourceExhausted errors can always name the limit that tripped.
+#ifndef SQLEQ_UTIL_RESOURCE_BUDGET_H_
+#define SQLEQ_UTIL_RESOURCE_BUDGET_H_
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "util/status.h"
+
+namespace sqleq {
+
+/// Resource limits shared by the chase and the reformulation searches.
+/// Embedded in ChaseOptions (chase-level limits) and CandBOptions (which
+/// propagates its budget to the chases it spawns).
+struct ResourceBudget {
+  /// Hard cap on chase steps per chase run; exceeded → ResourceExhausted.
+  /// The paper's algorithms are conditioned on set-chase termination, so a
+  /// generous default suffices for weakly acyclic Σ.
+  size_t max_chase_steps = 5000;
+  /// Cap on backchase/rewriting candidates per reformulation call (the
+  /// subquery lattice is 2^|body(U)|).
+  size_t max_candidates = 1u << 20;
+  /// Optional wall-clock deadline. Checked at chase-step and backchase-
+  /// candidate granularity; exceeded → ResourceExhausted naming the phase.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Worker threads for the parallel backchase sweep. 0 and 1 both mean
+  /// serial; results are byte-identical at every thread count.
+  size_t threads = 1;
+
+  /// A budget with a deadline `d` from now (other limits default).
+  static ResourceBudget WithDeadlineIn(std::chrono::milliseconds d) {
+    ResourceBudget b;
+    b.deadline = std::chrono::steady_clock::now() + d;
+    return b;
+  }
+
+  bool DeadlineExpired() const {
+    return deadline.has_value() && std::chrono::steady_clock::now() > *deadline;
+  }
+
+  /// OK while the deadline (if any) has not passed; otherwise
+  /// ResourceExhausted("deadline exceeded during <phase> ...").
+  Status CheckDeadline(const char* phase) const;
+
+  /// "steps=5000 candidates=1048576 threads=1 deadline=unset".
+  std::string ToString() const;
+};
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_UTIL_RESOURCE_BUDGET_H_

@@ -1,0 +1,54 @@
+// A fixed-size worker pool over a shared work queue, built on std::jthread.
+// Powers the parallel backchase sweep; deliberately minimal — tasks are
+// void() closures that report failures through captured Status slots, never
+// by throwing.
+#ifndef SQLEQ_UTIL_THREAD_POOL_H_
+#define SQLEQ_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sqleq {
+
+/// Fixed-size thread pool. Construction spawns the workers; destruction
+/// drains nothing — pending tasks are completed, then workers exit (jthread
+/// joins automatically). A pool of size 0 runs every task inline on the
+/// submitting thread, so callers need no serial special case.
+class ThreadPool {
+ public:
+  /// `threads` workers. Values 0 and 1 behave identically for ParallelFor
+  /// (the calling thread always participates).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, n), distributing indices dynamically
+  /// over the workers plus the calling thread. Blocks until all n calls have
+  /// returned. `body` must be thread-safe and must not throw.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop(std::stop_token stop);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_UTIL_THREAD_POOL_H_

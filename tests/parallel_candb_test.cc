@@ -1,0 +1,218 @@
+// Determinism and accounting tests for the parallel memoized backchase:
+// serial and multi-threaded sweeps must return identical CandBResults /
+// RewriteResults (reformulation sets, order, and cache statistics), the
+// chase memo accounting must be exact, and ResourceBudget limits must trip
+// with errors naming the limit.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "chase/chase_cache.h"
+#include "reformulation/bag_candb.h"
+#include "reformulation/candb.h"
+#include "reformulation/views.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Example41Schema;
+using testing::Example41Sigma;
+using testing::Q;
+using testing::Sigma;
+using testing::Unwrap;
+
+/// Canonical serialization of a CandBResult: queries rendered through
+/// CanonicalQueryKey so the comparison is insensitive to the process-global
+/// fresh-variable counter (which advances between runs), while reformulation
+/// ORDER and all statistics compare exactly.
+std::string Canon(const CandBResult& r) {
+  std::string out = "U=" + CanonicalQueryKey(r.universal_plan) + "\n";
+  for (const ConjunctiveQuery& q : r.reformulations) {
+    out += "R=" + CanonicalQueryKey(q) + "\n";
+  }
+  out += "examined=" + std::to_string(r.candidates_examined);
+  out += " hits=" + std::to_string(r.chase_cache_hits);
+  out += " misses=" + std::to_string(r.chase_cache_misses);
+  return out;
+}
+
+std::string Canon(const RewriteResult& r) {
+  std::string out = "U=" + CanonicalQueryKey(r.universal_plan) + "\n";
+  for (const ConjunctiveQuery& q : r.rewritings) {
+    out += "R=" + CanonicalQueryKey(q) + "\n";
+  }
+  out += "examined=" + std::to_string(r.candidates_examined);
+  out += " hits=" + std::to_string(r.chase_cache_hits);
+  out += " misses=" + std::to_string(r.chase_cache_misses);
+  return out;
+}
+
+TEST(ParallelCandB, ThreadCountDoesNotChangeResultsExample41) {
+  // Example 4.1's Q1 under all three semantics, serial vs 2/4/8 threads.
+  ConjunctiveQuery q1 =
+      Q("Q1(X) :- p(X, Y), t(X, Y, W), s(X, Z), r(X), u(X, U).");
+  for (Semantics sem : {Semantics::kSet, Semantics::kBag, Semantics::kBagSet}) {
+    CandBOptions serial;
+    serial.budget.threads = 1;
+    std::string reference = Canon(Unwrap(
+        ChaseAndBackchase(q1, Example41Sigma(), sem, Example41Schema(), serial)));
+    for (size_t threads : {2u, 4u, 8u}) {
+      CandBOptions parallel;
+      parallel.budget.threads = threads;
+      std::string got = Canon(Unwrap(ChaseAndBackchase(
+          q1, Example41Sigma(), sem, Example41Schema(), parallel)));
+      EXPECT_EQ(got, reference)
+          << SemanticsToString(sem) << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelCandB, ThreadCountDoesNotChangeResultsWideQuery) {
+  // A wider lattice (2^8 masks) with both accepted-superset and failure
+  // pruning live; full-tgd Σ so the chase introduces no fresh variables.
+  DependencySet sigma = Sigma({"a(X) -> b(X).", "b(X) -> a(X)."});
+  ConjunctiveQuery q = Q(
+      "Q(X) :- a(X), b(X), p(X, Y1), p(X, Y2), p(X, Y3), p(X, Y4), "
+      "p(X, Y5), p(X, Y6).");
+  CandBOptions serial;
+  serial.budget.threads = 1;
+  std::string reference =
+      Canon(Unwrap(ChaseAndBackchase(q, sigma, Semantics::kSet, Schema(), serial)));
+  for (size_t threads : {2u, 4u, 8u}) {
+    CandBOptions parallel;
+    parallel.budget.threads = threads;
+    std::string got = Canon(
+        Unwrap(ChaseAndBackchase(q, sigma, Semantics::kSet, Schema(), parallel)));
+    EXPECT_EQ(got, reference) << threads << " threads";
+  }
+}
+
+TEST(ParallelCandB, ByteIdenticalWhenChaseAddsNoFreshVariables) {
+  // With full tgds only, the universal plan reuses the query's own variables,
+  // so even the raw ToString rendering is byte-identical across runs and
+  // thread counts.
+  DependencySet sigma = Sigma({"p(X, Y) -> q2(Y, X)."});
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), p(X, Z), q2(Y, X).");
+  auto serialize = [](const CandBResult& r) {
+    std::string out = r.universal_plan.ToString() + "\n";
+    for (const ConjunctiveQuery& reform : r.reformulations) {
+      out += reform.ToString() + "\n";
+    }
+    out += std::to_string(r.candidates_examined) + "/" +
+           std::to_string(r.chase_cache_hits) + "/" +
+           std::to_string(r.chase_cache_misses);
+    return out;
+  };
+  CandBOptions serial;
+  serial.budget.threads = 1;
+  std::string reference =
+      serialize(Unwrap(ChaseAndBackchase(q, sigma, Semantics::kSet, Schema(), serial)));
+  for (size_t threads : {2u, 4u, 8u}) {
+    CandBOptions parallel;
+    parallel.budget.threads = threads;
+    std::string got = serialize(
+        Unwrap(ChaseAndBackchase(q, sigma, Semantics::kSet, Schema(), parallel)));
+    EXPECT_EQ(got, reference) << threads << " threads";
+  }
+}
+
+TEST(ParallelCandB, CacheHitAccountingIsExactAndDeterministic) {
+  // Q(X) :- p(X,Y1), p(X,Y2), p(X,Y3): the three single-atom candidates are
+  // isomorphic, so the memo chases one of them and serves the others from
+  // cache. The single-atom candidates are accepted (set semantics), so every
+  // two-atom superset is pruned: examined = 3, misses = 1, hits = 2 — at
+  // every thread count.
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y1), p(X, Y2), p(X, Y3).");
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    CandBOptions options;
+    options.budget.threads = threads;
+    CandBResult result =
+        Unwrap(ChaseAndBackchase(q, {}, Semantics::kSet, Schema(), options));
+    EXPECT_EQ(result.candidates_examined, 3u) << threads << " threads";
+    EXPECT_EQ(result.chase_cache_misses, 1u) << threads << " threads";
+    EXPECT_EQ(result.chase_cache_hits, 2u) << threads << " threads";
+    EXPECT_EQ(result.chase_cache_hits + result.chase_cache_misses,
+              result.candidates_examined);
+    ASSERT_EQ(result.reformulations.size(), 1u);
+    EXPECT_EQ(result.reformulations[0].body().size(), 1u);
+  }
+}
+
+TEST(ParallelCandB, DeadlineExpiryReportsResourceExhausted) {
+  ConjunctiveQuery q1 =
+      Q("Q1(X) :- p(X, Y), t(X, Y, W), s(X, Z), r(X), u(X, U).");
+  CandBOptions options;
+  options.budget.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  Result<CandBResult> result = ChaseAndBackchase(q1, Example41Sigma(),
+                                                 Semantics::kSet,
+                                                 Example41Schema(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("deadline"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ParallelCandB, CandidateBudgetErrorNamesTheLimit) {
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y), r(X).");
+  CandBOptions options;
+  options.budget.max_candidates = 1;
+  Result<CandBResult> result =
+      ChaseAndBackchase(q, {}, Semantics::kSet, Schema(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("max_candidates"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ParallelCandB, ChaseStepBudgetErrorNamesTheLimit) {
+  // One tgd application is needed; a zero-ish step budget trips first.
+  DependencySet sigma = Sigma({"a(X) -> b(X).", "b(X) -> a(X)."});
+  ConjunctiveQuery q = Q("Q(X) :- a(X), b(X).");
+  CandBOptions options;
+  options.budget.max_chase_steps = 0;
+  Result<CandBResult> result =
+      ChaseAndBackchase(q, sigma, Semantics::kSet, Schema(), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("max_chase_steps"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ParallelRewrite, ThreadCountDoesNotChangeRewritings) {
+  ViewSet views;
+  ASSERT_TRUE(views.Add(Q("v1(X, Y) :- p(X, Y), r(Y).")).ok());
+  ASSERT_TRUE(views.Add(Q("v2(X) :- p(X, Y).")).ok());
+  DependencySet sigma = Sigma({"p(X, Y) -> r(Y)."});
+  ConjunctiveQuery q = Q("Q(X, Y) :- p(X, Y), r(Y).");
+  RewriteOptions serial;
+  serial.candb.budget.threads = 1;
+  std::string reference = Canon(
+      Unwrap(RewriteWithViews(q, views, sigma, Semantics::kSet, Schema(), serial)));
+  for (size_t threads : {2u, 4u, 8u}) {
+    RewriteOptions parallel;
+    parallel.candb.budget.threads = threads;
+    std::string got = Canon(Unwrap(
+        RewriteWithViews(q, views, sigma, Semantics::kSet, Schema(), parallel)));
+    EXPECT_EQ(got, reference) << threads << " threads";
+  }
+}
+
+TEST(ParallelRewrite, MemoizedUniversalPlanCountsAsPreseededHit) {
+  // The view copies the query exactly, so the candidate v(X,Y)'s expansion
+  // is isomorphic to U: its chase must be served from the preseeded memo
+  // entry (U was chased before the sweep), i.e. hits >= 1.
+  ViewSet views;
+  ASSERT_TRUE(views.Add(Q("v(X, Y) :- p(X, Y).")).ok());
+  ConjunctiveQuery q = Q("Q(X, Y) :- p(X, Y).");
+  RewriteResult result =
+      Unwrap(RewriteWithViews(q, views, {}, Semantics::kSet, Schema()));
+  ASSERT_EQ(result.rewritings.size(), 1u);
+  EXPECT_GE(result.chase_cache_hits, 1u);
+}
+
+}  // namespace
+}  // namespace sqleq

@@ -69,7 +69,7 @@ TEST(SetChase, NonTerminatingChaseHitsBudget) {
   ConjunctiveQuery q = Q("Q(X) :- p(X, Y).");
   DependencySet sigma = Sigma({"p(X, Y) -> p(Y, Z)."});  // not weakly acyclic
   ChaseOptions options;
-  options.max_steps = 50;
+  options.budget.max_chase_steps = 50;
   Result<ChaseOutcome> out = SetChase(q, sigma, options);
   ASSERT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
@@ -85,7 +85,7 @@ TEST(SetChase, BudgetDiagnosticForWeaklyAcyclicSigma) {
   ConjunctiveQuery q = Q("Q(X) :- p(X, Y).");
   DependencySet sigma = Sigma({"p(X, Y) -> r(X)."});
   ChaseOptions options;
-  options.max_steps = 0;
+  options.budget.max_chase_steps = 0;
   Result<ChaseOutcome> out = SetChase(q, sigma, options);
   ASSERT_FALSE(out.ok());
   EXPECT_NE(out.status().message().find("is weakly acyclic"), std::string::npos)

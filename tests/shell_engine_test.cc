@@ -209,6 +209,47 @@ TEST(ShellEngine, QueryRedefinitionReplaces) {
   EXPECT_EQ(q.query.head().size(), 2u);
 }
 
+TEST(ShellEngine, SetThreadsAndBudget) {
+  ScriptEngine engine;
+  EXPECT_NE(Must(engine.Execute("SET THREADS 4")).find("4"), std::string::npos);
+  EXPECT_EQ(engine.budget().threads, 4u);
+  Must(engine.Execute("SET BUDGET 100 50"));
+  EXPECT_EQ(engine.budget().max_chase_steps, 100u);
+  EXPECT_EQ(engine.budget().max_candidates, 50u);
+  EXPECT_EQ(engine.budget().threads, 4u);  // SET BUDGET leaves threads alone
+  std::string shown = Must(engine.Execute("SHOW BUDGET"));
+  EXPECT_NE(shown.find("steps=100"), std::string::npos) << shown;
+  EXPECT_NE(shown.find("candidates=50"), std::string::npos) << shown;
+  EXPECT_NE(shown.find("threads=4"), std::string::npos) << shown;
+}
+
+TEST(ShellEngine, SetRejectsBadArguments) {
+  ScriptEngine engine;
+  EXPECT_FALSE(engine.Execute("SET THREADS 0").ok());
+  EXPECT_FALSE(engine.Execute("SET THREADS many").ok());
+  EXPECT_FALSE(engine.Execute("SET BUDGET 100").ok());
+  EXPECT_FALSE(engine.Execute("SET GIZMO 3").ok());
+  // Failed SETs leave the budget at its defaults.
+  EXPECT_EQ(engine.budget().threads, ResourceBudget{}.threads);
+}
+
+TEST(ShellEngine, BudgetFlowsIntoMinimize) {
+  ScriptEngine engine;
+  Must(engine.Run(R"(
+    CREATE TABLE p (a INT, b INT);
+    QUERY q(X) :- p(X, Y1), p(X, Y2);
+  )"));
+  // A 1-candidate budget cannot finish the 2-atom lattice.
+  Must(engine.Execute("SET BUDGET 5000 1"));
+  Result<std::string> minimized = engine.Execute("MINIMIZE q UNDER S");
+  ASSERT_FALSE(minimized.ok());
+  EXPECT_EQ(minimized.status().code(), StatusCode::kResourceExhausted);
+  // Restoring a roomy budget makes the same MINIMIZE succeed.
+  Must(engine.Execute("SET BUDGET 5000 1000"));
+  EXPECT_NE(Must(engine.Execute("MINIMIZE q UNDER S")).find("FROM p"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace shell
 }  // namespace sqleq

@@ -191,7 +191,7 @@ TEST(SoundChase, BudgetExhaustionSurfaces) {
   schema.Relation("p", 2, /*set_valued=*/true);
   ConjunctiveQuery q = Q("Q(X) :- p(X, Y).");
   ChaseOptions options;
-  options.max_steps = 20;
+  options.budget.max_chase_steps = 20;
   Result<ChaseOutcome> out = SoundChase(q, sigma, Semantics::kBag, schema, options);
   ASSERT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);

@@ -1,0 +1,61 @@
+// Unit tests for the worker pool behind the parallel backchase.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace sqleq {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  for (size_t threads : {0u, 1u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.ParallelFor(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndSingle) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&calls](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.ParallelFor(1, [&calls](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(17, [&total](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50u * 17u);
+}
+
+TEST(ThreadPool, SubmittedTasksRunBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // destructor completes pending tasks before joining
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkersRunInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  int ran = 0;
+  pool.Submit([&ran] { ++ran; });  // inline, no data race possible
+  EXPECT_EQ(ran, 1);
+}
+
+}  // namespace
+}  // namespace sqleq
