@@ -12,7 +12,7 @@
 #include "db/eval.h"
 #include "db/satisfaction.h"
 #include "equivalence/bag_equivalence.h"
-#include "equivalence/sigma_equivalence.h"
+#include "equivalence/engine.h"
 #include "ir/parser.h"
 
 namespace {
@@ -28,6 +28,20 @@ template <typename T>
 T Unwrap(sqleq::Result<T> r) {
   Check(r.status());
   return std::move(r).value();
+}
+
+/// Q1 ≡Σ,X Q2 through a throwaway EquivalenceEngine (replaces the
+/// deprecated per-semantics wrappers).
+sqleq::Result<bool> Equivalent(const sqleq::ConjunctiveQuery& q1,
+                               const sqleq::ConjunctiveQuery& q2,
+                               const sqleq::DependencySet& sigma,
+                               sqleq::Semantics semantics,
+                               const sqleq::Schema& schema) {
+  sqleq::EquivalenceEngine engine;
+  SQLEQ_ASSIGN_OR_RETURN(
+      sqleq::EquivVerdict verdict,
+      engine.Equivalent(q1, q2, sqleq::EquivRequest{semantics, sigma, schema, {}}));
+  return verdict.equivalent;
 }
 
 void Section(const char* title) { std::printf("\n=== %s ===\n", title); }
@@ -130,11 +144,11 @@ int main() {
     ConjunctiveQuery q2 =
         Unwrap(ParseQuery("Q2(X) :- p(X, Y), t(X, Y, W), s(X, Z), r(X)."));
     std::printf("  Q3 ==Sigma,B  Q4: %s\n",
-                Unwrap(BagEquivalentUnder(q3, q4, sigma, schema)) ? "yes" : "no");
+                Unwrap(Equivalent(q3, q4, sigma, Semantics::kBag, schema)) ? "yes" : "no");
     std::printf("  Q2 ==Sigma,BS Q4: %s\n",
-                Unwrap(BagSetEquivalentUnder(q2, q4, sigma)) ? "yes" : "no");
+                Unwrap(Equivalent(q2, q4, sigma, Semantics::kBagSet, schema)) ? "yes" : "no");
     std::printf("  Q2 ==Sigma,B  Q4: %s  (r is bag valued)\n",
-                Unwrap(BagEquivalentUnder(q2, q4, sigma, schema)) ? "yes" : "no");
+                Unwrap(Equivalent(q2, q4, sigma, Semantics::kBag, schema)) ? "yes" : "no");
   }
   return 0;
 }

@@ -11,7 +11,7 @@
 
 #include "chase/sound_chase.h"
 #include "db/eval.h"
-#include "equivalence/sigma_equivalence.h"
+#include "equivalence/engine.h"
 #include "ir/parser.h"
 #include "reformulation/bag_candb.h"
 
@@ -28,6 +28,20 @@ template <typename T>
 T Unwrap(sqleq::Result<T> r) {
   Check(r.status());
   return std::move(r).value();
+}
+
+/// Q1 ≡Σ,X Q2 through a throwaway EquivalenceEngine (replaces the
+/// deprecated per-semantics wrappers).
+sqleq::Result<bool> Equivalent(const sqleq::ConjunctiveQuery& q1,
+                               const sqleq::ConjunctiveQuery& q2,
+                               const sqleq::DependencySet& sigma,
+                               sqleq::Semantics semantics,
+                               const sqleq::Schema& schema) {
+  sqleq::EquivalenceEngine engine;
+  SQLEQ_ASSIGN_OR_RETURN(
+      sqleq::EquivVerdict verdict,
+      engine.Equivalent(q1, q2, sqleq::EquivRequest{semantics, sigma, schema, {}}));
+  return verdict.equivalent;
 }
 
 }  // namespace
@@ -63,7 +77,7 @@ int main() {
 
   // --- Equivalence under each semantics. ---
   for (Semantics sem : {Semantics::kSet, Semantics::kBagSet, Semantics::kBag}) {
-    bool eq = Unwrap(EquivalentUnder(q1, q4, sigma, sem, schema));
+    bool eq = Unwrap(Equivalent(q1, q4, sigma, sem, schema));
     std::printf("Q1 ==Sigma,%-2s Q4 ?  %s\n", SemanticsToString(sem),
                 eq ? "yes" : "no");
   }

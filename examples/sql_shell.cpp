@@ -6,7 +6,7 @@
 
 #include "db/eval.h"
 #include "ir/parser.h"
-#include "equivalence/sigma_equivalence.h"
+#include "equivalence/engine.h"
 #include "reformulation/candb.h"
 #include "reformulation/cost.h"
 #include "reformulation/views.h"
@@ -26,6 +26,20 @@ template <typename T>
 T Unwrap(sqleq::Result<T> r) {
   Check(r.status());
   return std::move(r).value();
+}
+
+/// Q1 ≡Σ,X Q2 through a throwaway EquivalenceEngine (replaces the
+/// deprecated per-semantics wrappers).
+sqleq::Result<bool> Equivalent(const sqleq::ConjunctiveQuery& q1,
+                               const sqleq::ConjunctiveQuery& q2,
+                               const sqleq::DependencySet& sigma,
+                               sqleq::Semantics semantics,
+                               const sqleq::Schema& schema) {
+  sqleq::EquivalenceEngine engine;
+  SQLEQ_ASSIGN_OR_RETURN(
+      sqleq::EquivVerdict verdict,
+      engine.Equivalent(q1, q2, sqleq::EquivRequest{semantics, sigma, schema, {}}));
+  return verdict.equivalent;
 }
 
 }  // namespace
@@ -61,8 +75,8 @@ int main() {
       "SELECT o.oid FROM orders o, customer c WHERE o.cid = c.cid", catalog));
   sql::TranslatedQuery rhs =
       Unwrap(sql::TranslateSql("SELECT o.oid FROM orders o", catalog));
-  bool equivalent = Unwrap(EquivalentUnder(*lhs.cq, *rhs.cq, catalog.sigma,
-                                           lhs.semantics, catalog.schema));
+  bool equivalent = Unwrap(Equivalent(*lhs.cq, *rhs.cq, catalog.sigma,
+                                      lhs.semantics, catalog.schema));
   std::printf("fk+key prove the customer join redundant (no DISTINCT needed): %s\n\n",
               equivalent ? "yes" : "no");
 

@@ -1,0 +1,272 @@
+#include "analysis/analyzer.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "chase/homomorphism.h"
+#include "chase/set_chase.h"
+#include "constraints/regularize.h"
+#include "constraints/weak_acyclicity.h"
+
+namespace sqleq {
+namespace {
+
+/// Appends a diagnostic, applying the warnings_as_errors escalation.
+void Emit(AnalysisReport& report, const AnalyzeOptions& opts, std::string code,
+          Severity severity, std::string subject, std::string message,
+          std::string fix_hint = "") {
+  if (severity == Severity::kWarning && opts.warnings_as_errors) {
+    severity = Severity::kError;
+  }
+  report.diagnostics.push_back(Diagnostic{std::move(code), severity,
+                                          std::move(message), std::move(subject),
+                                          std::move(fix_hint)});
+}
+
+std::string DependencySubject(const Dependency& dep, size_t index) {
+  if (!dep.label().empty()) return "dependency " + dep.label();
+  return "dependency #" + std::to_string(index + 1);
+}
+
+/// Names the dependencies of `indices` for the nontermination message.
+std::string ComponentNames(const DependencySet& sigma,
+                           const std::vector<size_t>& indices) {
+  std::string out;
+  for (size_t i : indices) {
+    if (!out.empty()) out += ", ";
+    out += sigma[i].label().empty() ? "#" + std::to_string(i + 1) : sigma[i].label();
+  }
+  return out;
+}
+
+void CheckTermination(AnalysisReport& report, const AnalyzeOptions& opts,
+                      const DependencySet& sigma) {
+  StratificationResult strat = CheckStratification(sigma);
+  if (strat.weakly_acyclic) return;
+  if (!strat.stratified) {
+    std::string message = "the set chase may not terminate: sigma is neither "
+                          "weakly acyclic nor stratified";
+    if (strat.witness.has_value()) {
+      message += "; special-edge cycle " + strat.witness->ToString();
+    }
+    if (!strat.offending_component.empty()) {
+      message += " within firing component {" +
+                 ComponentNames(sigma, strat.offending_component) + "}";
+    }
+    Emit(report, opts, "chase-nontermination", Severity::kError, "sigma", message,
+         "break the special-edge cycle (drop an existential variable or an "
+         "offending dependency), or raise budget.max_chase_steps and accept "
+         "possible non-termination");
+    return;
+  }
+  std::string message = "sigma is not weakly acyclic but every firing "
+                        "component is (stratified): the set chase still "
+                        "terminates on every input";
+  if (strat.witness.has_value()) {
+    message += "; global special-edge cycle " + strat.witness->ToString();
+  }
+  Emit(report, opts, "sigma-not-weakly-acyclic", Severity::kInfo, "sigma", message);
+}
+
+/// Schema checks over one atom list; `seen` deduplicates per (subject,
+/// predicate) so a relation misspelled five times reports once.
+void CheckAtomsAgainstSchema(AnalysisReport& report, const AnalyzeOptions& opts,
+                             const Schema& schema, const std::vector<Atom>& atoms,
+                             const std::string& subject,
+                             std::set<std::string>* seen) {
+  for (const Atom& atom : atoms) {
+    if (!seen->insert(atom.predicate()).second) continue;
+    if (!schema.HasRelation(atom.predicate())) {
+      Emit(report, opts, "unknown-relation", Severity::kError, subject,
+           "atom over '" + atom.predicate() + "' which is not in the schema",
+           "CREATE the relation or fix the predicate name");
+      continue;
+    }
+    size_t expected = schema.ArityOf(atom.predicate());
+    if (atom.arity() != expected) {
+      Emit(report, opts, "arity-mismatch", Severity::kError, subject,
+           "atom '" + atom.predicate() + "' has arity " +
+               std::to_string(atom.arity()) + " but the schema declares " +
+               std::to_string(expected));
+    }
+  }
+}
+
+void CheckDependencyAgainstSchema(AnalysisReport& report, const AnalyzeOptions& opts,
+                                  const Schema& schema, const Dependency& dep,
+                                  size_t index) {
+  std::string subject = DependencySubject(dep, index);
+  std::set<std::string> seen;
+  CheckAtomsAgainstSchema(report, opts, schema, dep.body(), subject, &seen);
+  if (dep.IsTgd()) {
+    CheckAtomsAgainstSchema(report, opts, schema, dep.tgd().head(), subject, &seen);
+  }
+}
+
+void CheckRegularization(AnalysisReport& report, const AnalyzeOptions& opts,
+                         const Dependency& dep, size_t index) {
+  if (!dep.IsTgd() || IsRegularized(dep.tgd())) return;
+  size_t components = RegularizeTgd(dep.tgd()).size();
+  Emit(report, opts, "tgd-unregularized", Severity::kWarning,
+       DependencySubject(dep, index),
+       "head admits a nonshared partition (Def 4.1): it splits into " +
+           std::to_string(components) +
+           " components connected only through universal variables; chasing "
+           "with it as-is is unsound under bag/bag-set semantics",
+       "split the head into one tgd per component (RegularizeSigma does this "
+       "automatically inside the sound chase)");
+}
+
+void CheckEgdSatisfiability(AnalysisReport& report, const AnalyzeOptions& opts,
+                            const Dependency& dep, size_t index) {
+  if (!dep.IsEgd()) return;
+  const Egd& egd = dep.egd();
+  if (egd.left().IsVariable() || egd.right().IsVariable()) return;
+  // Egd::Create rejects syntactically identical sides, so two constants here
+  // are distinct: the egd can only fire to fail.
+  Emit(report, opts, "egd-constant-contradiction", Severity::kWarning,
+       DependencySubject(dep, index),
+       "equates distinct constants " + egd.left().ToString() + " and " +
+           egd.right().ToString() +
+           ": every instance matching the body violates sigma, and any query "
+           "whose chase triggers it returns the empty answer",
+       "drop the dependency or fix one side to a variable");
+}
+
+/// Chase-based implication test: chase σ's frozen body with Σ \ {σ} and ask
+/// whether σ's conclusion already holds in the result.
+void CheckImplication(AnalysisReport& report, const AnalyzeOptions& opts,
+                      const DependencySet& sigma, size_t index) {
+  const Dependency& dep = sigma[index];
+  std::string subject = DependencySubject(dep, index);
+  DependencySet rest;
+  rest.reserve(sigma.size() - 1);
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    if (i != index) rest.push_back(sigma[i]);
+  }
+  if (rest.empty()) return;
+
+  // Freeze the body into a query whose head tracks the terms the conclusion
+  // talks about: the frontier for a tgd, both sides for an egd.
+  std::vector<Term> head;
+  if (dep.IsTgd()) {
+    head = dep.tgd().FrontierVariables();
+  } else {
+    head = {dep.egd().left(), dep.egd().right()};
+  }
+  Result<ConjunctiveQuery> frozen =
+      ConjunctiveQuery::Create("frozen_body", head, dep.body());
+  if (!frozen.ok()) return;  // cannot happen for valid dependencies
+
+  ChaseOptions chase_opts;
+  chase_opts.budget = opts.budget;
+  Result<ChaseOutcome> chased = SetChase(*frozen, rest, chase_opts);
+  if (!chased.ok()) {
+    Emit(report, opts, "analysis-incomplete", Severity::kInfo, subject,
+         "implication check gave up: " + chased.status().message());
+    return;
+  }
+  if (chased->failed) {
+    Emit(report, opts, "dependency-unsatisfiable-body", Severity::kWarning, subject,
+         "the body is unsatisfiable under the rest of sigma (its chase fails), "
+         "so the dependency is vacuous",
+         "drop the dependency");
+    return;
+  }
+
+  const ConjunctiveQuery& result = chased->result;
+  bool implied = false;
+  if (dep.IsTgd()) {
+    // ∃Z̄ ψ holds in the chased body iff ψ maps into it with the frontier
+    // pinned to the chased images of the frozen head.
+    TermMap fixed;
+    for (size_t i = 0; i < head.size(); ++i) {
+      fixed[head[i]] = result.head()[i];
+    }
+    implied = FindHomomorphism(dep.tgd().head(), result.body(), fixed).has_value();
+  } else {
+    implied = result.head()[0] == result.head()[1];
+  }
+  if (implied) {
+    Emit(report, opts, "dependency-implied", Severity::kWarning, subject,
+         "already implied by the rest of sigma: chasing its frozen body with "
+         "the other dependencies derives its conclusion",
+         "drop the dependency; it only adds chase work");
+  }
+}
+
+}  // namespace
+
+AnalysisReport AnalyzeDependencies(const Schema& schema, const DependencySet& sigma,
+                                   const AnalyzeOptions& opts) {
+  AnalysisReport report;
+  if (opts.check_termination) CheckTermination(report, opts, sigma);
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    if (opts.check_schema && schema.size() > 0) {
+      CheckDependencyAgainstSchema(report, opts, schema, sigma[i], i);
+    }
+    if (opts.check_regularization) CheckRegularization(report, opts, sigma[i], i);
+    if (opts.check_satisfiability) CheckEgdSatisfiability(report, opts, sigma[i], i);
+  }
+  if (opts.check_implication) {
+    for (size_t i = 0; i < sigma.size(); ++i) CheckImplication(report, opts, sigma, i);
+  }
+  return report;
+}
+
+AnalysisReport AnalyzeQueryParts(const Schema& schema, const std::string& name,
+                                 const std::vector<Term>& head,
+                                 const std::vector<Atom>& body,
+                                 const AnalyzeOptions& opts) {
+  AnalysisReport report;
+  std::string subject = "query " + name;
+  if (body.empty()) {
+    Emit(report, opts, "query-empty-body", Severity::kError, subject,
+         "conjunctive queries need at least one body atom");
+    return report;
+  }
+  if (opts.check_safety) {
+    std::unordered_set<Term, TermHash> body_vars;
+    for (const Atom& atom : body) {
+      for (Term t : atom.args()) {
+        if (t.IsVariable()) body_vars.insert(t);
+      }
+    }
+    std::string uncovered;
+    std::unordered_set<Term, TermHash> reported;
+    for (Term t : head) {
+      if (!t.IsVariable() || body_vars.count(t) > 0) continue;
+      if (!reported.insert(t).second) continue;
+      if (!uncovered.empty()) uncovered += ", ";
+      uncovered += t.ToString();
+    }
+    if (!uncovered.empty()) {
+      Emit(report, opts, "query-unsafe-head", Severity::kError, subject,
+           "head variable(s) " + uncovered +
+               " do not occur in the body (range-unrestricted)",
+           "add a body atom binding them or drop them from the head");
+    }
+  }
+  if (opts.check_schema && schema.size() > 0) {
+    std::set<std::string> seen;
+    CheckAtomsAgainstSchema(report, opts, schema, body, subject, &seen);
+  }
+  return report;
+}
+
+AnalysisReport AnalyzeQuery(const Schema& schema, const ConjunctiveQuery& query,
+                            const AnalyzeOptions& opts) {
+  return AnalyzeQueryParts(schema, query.name(), query.head(), query.body(), opts);
+}
+
+AnalysisReport AnalyzeProgram(const Schema& schema, const DependencySet& sigma,
+                              const std::vector<ConjunctiveQuery>& queries,
+                              const AnalyzeOptions& opts) {
+  AnalysisReport report = AnalyzeDependencies(schema, sigma, opts);
+  for (const ConjunctiveQuery& q : queries) {
+    report.Merge(AnalyzeQuery(schema, q, opts));
+  }
+  return report;
+}
+
+}  // namespace sqleq

@@ -1,0 +1,95 @@
+// Σ-lint: static analysis of a (Schema, Σ, queries) triple before any
+// engine runs. Cheap syntactic checks (safety, schema drift, regularization,
+// constant clashes) plus the chase-termination test always run; the
+// chase-based redundancy checks (dependency implication, dead bodies) are
+// opt-in because they chase frozen bodies — bounded by opts.budget.
+//
+// Checks and their codes (docs/diagnostics.md has the catalogue):
+//   chase-nontermination        error    Σ not stratified; witness cycle
+//   sigma-not-weakly-acyclic    info     stratified but not weakly acyclic
+//   query-unsafe-head           error    head variable absent from body
+//   query-empty-body            error    CQ with no body atoms
+//   unknown-relation            error    atom over a relation not in Schema
+//   arity-mismatch              error    atom arity disagrees with Schema
+//   egd-constant-contradiction  warning  egd equating two distinct constants
+//   tgd-unregularized           warning  Def 4.1 nonshared partition exists
+//   dependency-implied          warning  σ follows from Σ \ {σ}
+//   dependency-unsatisfiable-body warning σ's body dies under Σ \ {σ}
+//   analysis-incomplete         info     a chase-based check hit its budget
+//
+// Severity policy: errors are conditions under which the engines are
+// unsound or non-terminating; warnings are conditions they survive
+// (SoundChase regularizes Σ itself, an implied dependency only wastes
+// work). AnalyzeOptions::warnings_as_errors escalates for strict callers.
+#ifndef SQLEQ_ANALYSIS_ANALYZER_H_
+#define SQLEQ_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "constraints/dependency.h"
+#include "ir/query.h"
+#include "ir/schema.h"
+#include "util/resource_budget.h"
+
+namespace sqleq {
+
+/// Which checks run, and how strictly.
+struct AnalyzeOptions {
+  /// Master switch for the engine pre-flights (EquivRequest / CandBOptions);
+  /// the Analyze* functions themselves ignore it.
+  bool enabled = true;
+
+  bool check_termination = true;     ///< stratification / weak acyclicity
+  bool check_safety = true;          ///< query head coverage
+  bool check_schema = true;          ///< unknown relations, arity drift
+  bool check_regularization = true;  ///< Def 4.1 partitions
+  bool check_satisfiability = true;  ///< syntactic egd constant clashes
+  bool check_implication = false;    ///< chase-based redundancy + dead bodies
+
+  /// Escalate kWarning findings to kError at emission time. Strict mode for
+  /// callers that refuse anything the engines would merely auto-correct.
+  bool warnings_as_errors = false;
+
+  /// Bounds the chases the implication check runs (per dependency).
+  ResourceBudget budget;
+
+  /// Pre-flight preset: every syntactic check, no chasing — the default
+  /// gate inside EquivalenceEngine and the reformulation entry points.
+  static AnalyzeOptions Preflight() { return AnalyzeOptions{}; }
+
+  /// Everything on, including the chase-based implication check — the LINT
+  /// command and sqleq-lint preset.
+  static AnalyzeOptions Full() {
+    AnalyzeOptions opts;
+    opts.check_implication = true;
+    return opts;
+  }
+};
+
+/// Analyzes Σ against `schema`. Schema checks are skipped when the schema is
+/// empty (the library treats an empty Schema as "unspecified").
+AnalysisReport AnalyzeDependencies(const Schema& schema, const DependencySet& sigma,
+                                   const AnalyzeOptions& opts = {});
+
+/// Analyzes one (possibly unsafe) query given as raw parts — the form the
+/// linter uses for inputs ConjunctiveQuery::Create would reject.
+AnalysisReport AnalyzeQueryParts(const Schema& schema, const std::string& name,
+                                 const std::vector<Term>& head,
+                                 const std::vector<Atom>& body,
+                                 const AnalyzeOptions& opts = {});
+
+/// Analyzes a constructed query (safety holds by construction unless the
+/// caller used WithBody to break it — the check still runs).
+AnalysisReport AnalyzeQuery(const Schema& schema, const ConjunctiveQuery& query,
+                            const AnalyzeOptions& opts = {});
+
+/// The whole triple: AnalyzeDependencies plus AnalyzeQuery per query.
+AnalysisReport AnalyzeProgram(const Schema& schema, const DependencySet& sigma,
+                              const std::vector<ConjunctiveQuery>& queries,
+                              const AnalyzeOptions& opts = {});
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,80 @@
+#include "analysis/diagnostic.h"
+
+namespace sqleq {
+
+const char* SeverityToString(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = SeverityToString(severity);
+  out += "[";
+  out += code;
+  out += "]";
+  if (!subject.empty()) {
+    out += " ";
+    out += subject;
+  }
+  out += ": ";
+  out += message;
+  if (!fix_hint.empty()) {
+    out += " (fix: ";
+    out += fix_hint;
+    out += ")";
+  }
+  return out;
+}
+
+bool AnalysisReport::HasErrors() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+size_t AnalysisReport::CountOf(Severity s) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+const Diagnostic* AnalysisReport::FirstError() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return &d;
+  }
+  return nullptr;
+}
+
+void AnalysisReport::Merge(AnalysisReport other) {
+  diagnostics.insert(diagnostics.end(),
+                     std::make_move_iterator(other.diagnostics.begin()),
+                     std::make_move_iterator(other.diagnostics.end()));
+}
+
+std::string AnalysisReport::ToString() const {
+  if (diagnostics.empty()) return "no findings";
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+Status ReportToStatus(const AnalysisReport& report) {
+  const Diagnostic* first = report.FirstError();
+  if (first == nullptr) return Status::OK();
+  return Status::FailedPrecondition("rejected by sigma-lint: " + first->ToString());
+}
+
+}  // namespace sqleq

@@ -1,0 +1,64 @@
+// Structured diagnostics for the Σ-lint static analyzer (src/analysis).
+//
+// A Diagnostic is one finding about a (Schema, Σ, queries) triple; an
+// AnalysisReport is the ordered list of findings from one analyzer run.
+// Analyzers never fail — inputs they cannot judge produce an
+// `analysis-incomplete` note instead of an error Status.
+#ifndef SQLEQ_ANALYSIS_DIAGNOSTIC_H_
+#define SQLEQ_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sqleq {
+
+enum class Severity {
+  kInfo,     ///< Observation; never blocks anything.
+  kWarning,  ///< Suspicious but executable (the engines auto-correct or cope).
+  kError,    ///< Executing this input would be unsound or non-terminating.
+};
+
+const char* SeverityToString(Severity s);  // "info" / "warning" / "error"
+
+/// One finding. `code` is a stable kebab-case identifier (catalogued in
+/// docs/diagnostics.md); `subject` names what the finding is about
+/// ("dependency sigma2", "query Q1"); `fix_hint` is optional advice.
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::kWarning;
+  std::string message;
+  std::string subject;
+  std::string fix_hint;
+
+  /// "error[chase-nontermination] dependency sigma2: <message> (fix: ...)".
+  std::string ToString() const;
+};
+
+/// The findings of one analyzer run, in emission order (errors are not
+/// sorted to the front; use FirstError).
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+
+  bool HasErrors() const;
+  size_t CountOf(Severity s) const;
+
+  /// First kError diagnostic, or nullptr.
+  const Diagnostic* FirstError() const;
+
+  /// Appends all of `other`'s diagnostics.
+  void Merge(AnalysisReport other);
+
+  /// One diagnostic per line; "no findings" when empty.
+  std::string ToString() const;
+};
+
+/// OK when the report has no errors; otherwise FailedPrecondition naming the
+/// first error — the shape the engine pre-flights surface to callers:
+/// "rejected by sigma-lint: error[...] ...".
+Status ReportToStatus(const AnalysisReport& report);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_ANALYSIS_DIAGNOSTIC_H_

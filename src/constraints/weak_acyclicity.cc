@@ -1,10 +1,204 @@
 #include "constraints/weak_acyclicity.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace sqleq {
+namespace {
+
+/// The tgd indices of `sigma` restricted to `members` (all of Σ when
+/// `members` is empty is NOT implied — callers pass the full index range).
+std::vector<PositionEdge> BuildGraphForSubset(const DependencySet& sigma,
+                                              const std::vector<size_t>& members) {
+  DependencySet subset;
+  subset.reserve(members.size());
+  for (size_t i : members) subset.push_back(sigma[i]);
+  return BuildDependencyGraph(subset);
+}
+
+/// Shortest path from `src` to `dst` along `edges`, as the edge sequence,
+/// or nullopt when unreachable. BFS with parent-edge tracking keeps the
+/// witness minimal and deterministic.
+std::optional<std::vector<PositionEdge>> FindPath(
+    const std::vector<PositionEdge>& edges, const Position& src,
+    const Position& dst) {
+  if (src == dst) return std::vector<PositionEdge>{};
+  std::map<Position, std::vector<const PositionEdge*>> adj;
+  for (const PositionEdge& e : edges) adj[e.from].push_back(&e);
+
+  std::map<Position, const PositionEdge*> parent;  // position -> edge used to reach it
+  std::vector<Position> frontier{src};
+  std::set<Position> visited{src};
+  while (!frontier.empty()) {
+    std::vector<Position> next;
+    for (const Position& cur : frontier) {
+      auto it = adj.find(cur);
+      if (it == adj.end()) continue;
+      for (const PositionEdge* e : it->second) {
+        if (!visited.insert(e->to).second) continue;
+        parent[e->to] = e;
+        if (e->to == dst) {
+          std::vector<PositionEdge> path;
+          Position at = dst;
+          while (!(at == src)) {
+            const PositionEdge* pe = parent[at];
+            path.push_back(*pe);
+            at = pe->from;
+          }
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        next.push_back(e->to);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return std::nullopt;
+}
+
+/// A special-edge cycle in the given edge set, or nullopt.
+std::optional<SpecialCycle> FindSpecialCycleInGraph(
+    const std::vector<PositionEdge>& edges) {
+  for (const PositionEdge& e : edges) {
+    if (!e.special) continue;
+    std::optional<std::vector<PositionEdge>> back = FindPath(edges, e.to, e.from);
+    if (!back.has_value()) continue;
+    SpecialCycle cycle;
+    cycle.edges.push_back(e);
+    cycle.edges.insert(cycle.edges.end(), back->begin(), back->end());
+    return cycle;
+  }
+  return std::nullopt;
+}
+
+/// An atom firing `dep` can add or rewrite, with `wildcard` marking atoms
+/// whose argument values are unconstrained: head atoms for a tgd (their
+/// constants are literal); body atoms for an egd (its merges rewrite the
+/// matched tuples to values the egd text does not determine).
+struct WrittenAtom {
+  const Atom* atom;
+  bool wildcard;
+};
+
+std::vector<WrittenAtom> WrittenAtoms(const Dependency& dep) {
+  std::vector<WrittenAtom> out;
+  if (dep.IsTgd()) {
+    for (const Atom& h : dep.tgd().head()) out.push_back({&h, false});
+  } else {
+    for (const Atom& b : dep.egd().body()) out.push_back({&b, true});
+  }
+  return out;
+}
+
+/// Whether a tuple produced by `written` can match `read`. Variables are
+/// wildcards (an existential null may later be merged into anything);
+/// only a position where both atoms carry distinct constants rules a match
+/// out — constants are never rewritten (an egd equating two constants fails
+/// the chase instead).
+bool MayMatch(const WrittenAtom& written, const Atom& read) {
+  const Atom& w = *written.atom;
+  if (w.predicate() != read.predicate() || w.arity() != read.arity()) return false;
+  if (written.wildcard) return true;
+  for (size_t i = 0; i < w.arity(); ++i) {
+    const Term& a = w.args()[i];
+    const Term& b = read.args()[i];
+    if (!a.IsVariable() && !b.IsVariable() && !(a == b)) return false;
+  }
+  return true;
+}
+
+/// Strongly connected components of the firing graph over dependency
+/// indices, via iterative Tarjan. Deterministic for fixed inputs.
+std::vector<std::vector<size_t>> FiringComponents(const DependencySet& sigma) {
+  size_t n = sigma.size();
+  std::vector<std::vector<WrittenAtom>> writes(n);
+  for (size_t i = 0; i < n; ++i) writes[i] = WrittenAtoms(sigma[i]);
+  std::vector<std::vector<size_t>> succ(n);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      bool fires = false;
+      for (const WrittenAtom& w : writes[a]) {
+        for (const Atom& r : sigma[b].body()) {
+          if (MayMatch(w, r)) {
+            fires = true;
+            break;
+          }
+        }
+        if (fires) break;
+      }
+      if (fires) succ[a].push_back(b);
+    }
+  }
+
+  // Iterative Tarjan SCC.
+  constexpr size_t kUnvisited = static_cast<size_t>(-1);
+  std::vector<size_t> index(n, kUnvisited), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  std::vector<std::vector<size_t>> components;
+  size_t next_index = 0;
+
+  struct Frame {
+    size_t v;
+    size_t child = 0;
+  };
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    std::vector<Frame> frames{{root}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < succ[f.v].size()) {
+        size_t w = succ[f.v][f.child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          std::vector<size_t> component;
+          size_t w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component.push_back(w);
+          } while (w != f.v);
+          std::sort(component.begin(), component.end());
+          components.push_back(std::move(component));
+        }
+        size_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] = std::min(lowlink[frames.back().v], lowlink[v]);
+        }
+      }
+    }
+  }
+  std::sort(components.begin(), components.end());
+  return components;
+}
+
+}  // namespace
+
+std::string SpecialCycle::ToString() const {
+  if (edges.empty()) return "(empty cycle)";
+  std::string out = edges.front().from.ToString();
+  for (const PositionEdge& e : edges) {
+    out += e.special ? " =>* " : " -> ";
+    out += e.to.ToString();
+  }
+  return out;
+}
 
 std::vector<PositionEdge> BuildDependencyGraph(const DependencySet& sigma) {
   std::vector<PositionEdge> edges;
@@ -47,34 +241,35 @@ std::vector<PositionEdge> BuildDependencyGraph(const DependencySet& sigma) {
   return edges;
 }
 
+std::optional<SpecialCycle> FindSpecialCycle(const DependencySet& sigma) {
+  return FindSpecialCycleInGraph(BuildDependencyGraph(sigma));
+}
+
 bool IsWeaklyAcyclic(const DependencySet& sigma) {
-  std::vector<PositionEdge> edges = BuildDependencyGraph(sigma);
-  // Adjacency over all mentioned positions.
-  std::map<Position, std::set<Position>> adj;
-  for (const PositionEdge& e : edges) adj[e.from].insert(e.to);
+  return !FindSpecialCycle(sigma).has_value();
+}
 
-  // A cycle goes through special edge u →* v iff v can reach u.
-  auto reaches = [&adj](const Position& src, const Position& dst) {
-    std::set<Position> visited;
-    std::vector<Position> stack{src};
-    while (!stack.empty()) {
-      Position cur = stack.back();
-      stack.pop_back();
-      if (cur == dst) return true;
-      if (!visited.insert(cur).second) continue;
-      auto it = adj.find(cur);
-      if (it == adj.end()) continue;
-      for (const Position& next : it->second) {
-        if (visited.count(next) == 0) stack.push_back(next);
-      }
-    }
-    return false;
-  };
-
-  for (const PositionEdge& e : edges) {
-    if (e.special && reaches(e.to, e.from)) return false;
+StratificationResult CheckStratification(const DependencySet& sigma) {
+  StratificationResult out;
+  out.weakly_acyclic = IsWeaklyAcyclic(sigma);
+  if (out.weakly_acyclic) {
+    out.stratified = true;
+    return out;
   }
-  return true;
+  out.stratified = true;
+  for (const std::vector<size_t>& component : FiringComponents(sigma)) {
+    std::vector<PositionEdge> edges = BuildGraphForSubset(sigma, component);
+    std::optional<SpecialCycle> cycle = FindSpecialCycleInGraph(edges);
+    if (!cycle.has_value()) continue;
+    out.stratified = false;
+    out.witness = std::move(cycle);
+    out.offending_component = component;
+    return out;
+  }
+  // Not weakly acyclic, yet every firing component is: stratified, chase
+  // still terminates. Surface the global cycle as an informational witness.
+  out.witness = FindSpecialCycle(sigma);
+  return out;
 }
 
 }  // namespace sqleq

@@ -1,12 +1,24 @@
-// Weak acyclicity (Definition H.1, after Fagin et al.): the sufficient
+// Chase-termination analysis of Σ (App. H and beyond).
+//
+// Weak acyclicity (Definition H.1, after Fagin et al.) is the sufficient
 // condition guaranteeing set-chase termination. Build the dependency graph
 // over positions (R, i); a universal variable occurrence in a tgd body at
 // position u adds a regular edge to each of its head positions and a special
 // edge to each head position holding an existential variable. Σ is weakly
 // acyclic iff no cycle passes through a special edge.
+//
+// Stratification (after Deutsch–Nash–Remmel) is the strictly richer test
+// used by the Σ-lint analyzer: partition Σ into strongly connected
+// components of the firing graph (σ ≺ σ′ when firing σ can enable σ′ —
+// over-approximated here by constant-aware atom matching: a written atom of
+// σ must unify with a body atom of σ′ up to variables, so clashing constants
+// sever the edge) and require every component to be weakly acyclic on its
+// own. Weakly acyclic ⇒ stratified ⇒ the set chase terminates on every
+// input.
 #ifndef SQLEQ_CONSTRAINTS_WEAK_ACYCLICITY_H_
 #define SQLEQ_CONSTRAINTS_WEAK_ACYCLICITY_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,12 +51,48 @@ struct PositionEdge {
   bool special = false;
 };
 
+/// A cycle of the dependency graph passing through a special edge — the
+/// witness that Σ is not weakly acyclic. edges[0] is the special edge; the
+/// remaining edges lead from its target back to its source (empty for a
+/// special self-loop).
+struct SpecialCycle {
+  std::vector<PositionEdge> edges;
+
+  /// "(p, 1) =>* (q, 0) -> (p, 1)" with "=>*" marking the special edge.
+  std::string ToString() const;
+};
+
 /// The dependency graph of the tgds of Σ (egds contribute nothing).
 std::vector<PositionEdge> BuildDependencyGraph(const DependencySet& sigma);
+
+/// A cycle through a special edge, or nullopt when Σ is weakly acyclic.
+/// Deterministic for fixed inputs.
+std::optional<SpecialCycle> FindSpecialCycle(const DependencySet& sigma);
 
 /// True iff Σ is weakly acyclic: no cycle of the dependency graph goes
 /// through a special edge.
 bool IsWeaklyAcyclic(const DependencySet& sigma);
+
+/// Outcome of the stratification test.
+struct StratificationResult {
+  /// Σ as a whole is weakly acyclic (implies `stratified`).
+  bool weakly_acyclic = false;
+  /// Every firing-graph component of Σ is weakly acyclic; the set chase
+  /// terminates on every input.
+  bool stratified = false;
+  /// When not stratified: a special-edge cycle of the offending component.
+  std::optional<SpecialCycle> witness;
+  /// When not stratified: indices into Σ of the offending component.
+  std::vector<size_t> offending_component;
+};
+
+/// The stratification test: SCCs of the firing graph (σ ≺ σ′ when an atom σ
+/// writes — a tgd head atom, or a body atom an egd's merges rewrite — can
+/// match a body atom of σ′; distinct constants at one position rule a match
+/// out, variables match anything), each component checked for weak
+/// acyclicity in isolation. The ≺ here over-approximates the semantic
+/// firing relation, so `stratified` is a sound termination guarantee.
+StratificationResult CheckStratification(const DependencySet& sigma);
 
 }  // namespace sqleq
 

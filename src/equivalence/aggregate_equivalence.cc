@@ -2,7 +2,7 @@
 
 #include "equivalence/bag_set_equivalence.h"
 #include "equivalence/containment.h"
-#include "equivalence/sigma_equivalence.h"
+#include "equivalence/engine.h"
 
 namespace sqleq {
 namespace {
@@ -27,10 +27,13 @@ Result<bool> AggregateEquivalentUnder(const AggregateQuery& q1, const AggregateQ
   if (!q1.CompatibleWith(q2)) return false;
   ConjunctiveQuery c1 = q1.Core();
   ConjunctiveQuery c2 = q2.Core();
-  if (UsesSetReduction(q1.function())) {
-    return SetEquivalentUnder(c1, c2, sigma, options);
-  }
-  return BagSetEquivalentUnder(c1, c2, sigma, options);
+  Semantics semantics =
+      UsesSetReduction(q1.function()) ? Semantics::kSet : Semantics::kBagSet;
+  EquivalenceEngine engine;
+  SQLEQ_ASSIGN_OR_RETURN(
+      EquivVerdict verdict,
+      engine.Equivalent(c1, c2, EquivRequest{semantics, sigma, Schema(), options}));
+  return verdict.equivalent;
 }
 
 }  // namespace sqleq

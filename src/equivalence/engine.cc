@@ -55,6 +55,10 @@ std::shared_ptr<ChaseMemo> EquivalenceEngine::MemoFor(const EquivRequest& reques
 Result<EquivVerdict> EquivalenceEngine::Equivalent(const ConjunctiveQuery& q1,
                                                    const ConjunctiveQuery& q2,
                                                    const EquivRequest& request) {
+  if (request.analyze.enabled) {
+    SQLEQ_RETURN_IF_ERROR(ReportToStatus(
+        AnalyzeProgram(request.schema, request.sigma, {q1, q2}, request.analyze)));
+  }
   std::shared_ptr<ChaseMemo> memo = MemoFor(request);
   SQLEQ_RETURN_IF_ERROR(request.chase.budget.CheckDeadline("equivalence chase of Q1"));
   SQLEQ_ASSIGN_OR_RETURN(ChaseOutcome c1, memo->Chase(q1));

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "chase/chase_cache.h"
 #include "chase/set_chase.h"
 #include "constraints/dependency.h"
@@ -40,6 +41,13 @@ struct EquivRequest {
   DependencySet sigma;
   Schema schema;
   ChaseOptions chase;
+  /// Σ-lint pre-flight (src/analysis): the request is analyzed before any
+  /// chase runs, and kError findings — a non-stratified Σ, an unsafe query,
+  /// schema drift — are rejected as FailedPrecondition naming the diagnostic
+  /// instead of burning the chase budget. Set analyze.enabled = false to
+  /// skip (inputs already vetted), or analyze.warnings_as_errors = true to
+  /// also refuse what the engines would merely auto-correct.
+  AnalyzeOptions analyze = AnalyzeOptions::Preflight();
 };
 
 /// The decision plus its evidence: sound-chase results for both inputs

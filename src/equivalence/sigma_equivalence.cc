@@ -5,10 +5,13 @@
 #include "equivalence/engine.h"
 
 namespace sqleq {
+namespace {
 
-Result<bool> EquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
-                             const DependencySet& sigma, Semantics semantics,
-                             const Schema& schema, const ChaseOptions& options) {
+/// Shared body of the deprecated wrappers, so they need not call each other
+/// (which would trip -Wdeprecated-declarations under -Werror).
+Result<bool> EquivalentUnderImpl(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                                 const DependencySet& sigma, Semantics semantics,
+                                 const Schema& schema, const ChaseOptions& options) {
   EquivalenceEngine engine;
   SQLEQ_ASSIGN_OR_RETURN(
       EquivVerdict verdict,
@@ -16,22 +19,30 @@ Result<bool> EquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery&
   return verdict.equivalent;
 }
 
+}  // namespace
+
+Result<bool> EquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                             const DependencySet& sigma, Semantics semantics,
+                             const Schema& schema, const ChaseOptions& options) {
+  return EquivalentUnderImpl(q1, q2, sigma, semantics, schema, options);
+}
+
 Result<bool> SetEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
                                 const DependencySet& sigma, const ChaseOptions& options) {
-  return EquivalentUnder(q1, q2, sigma, Semantics::kSet, Schema(), options);
+  return EquivalentUnderImpl(q1, q2, sigma, Semantics::kSet, Schema(), options);
 }
 
 Result<bool> BagEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
                                 const DependencySet& sigma, const Schema& schema,
                                 const ChaseOptions& options) {
-  return EquivalentUnder(q1, q2, sigma, Semantics::kBag, schema, options);
+  return EquivalentUnderImpl(q1, q2, sigma, Semantics::kBag, schema, options);
 }
 
 Result<bool> BagSetEquivalentUnder(const ConjunctiveQuery& q1,
                                    const ConjunctiveQuery& q2,
                                    const DependencySet& sigma,
                                    const ChaseOptions& options) {
-  return EquivalentUnder(q1, q2, sigma, Semantics::kBagSet, Schema(), options);
+  return EquivalentUnderImpl(q1, q2, sigma, Semantics::kBagSet, Schema(), options);
 }
 
 Result<bool> SetContainedUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,

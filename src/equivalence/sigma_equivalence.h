@@ -25,21 +25,25 @@ namespace sqleq {
 
 /// Q1 ≡Σ,X Q2 for X = `semantics`. `schema` supplies set-valued flags
 /// (consulted only under kBag).
+[[deprecated("use EquivalenceEngine::Equivalent (equivalence/engine.h)")]]
 Result<bool> EquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
                              const DependencySet& sigma, Semantics semantics,
                              const Schema& schema, const ChaseOptions& options = {});
 
 /// Theorem 2.2 specialization.
+[[deprecated("use EquivalenceEngine::Equivalent with Semantics::kSet")]]
 Result<bool> SetEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
                                 const DependencySet& sigma,
                                 const ChaseOptions& options = {});
 
 /// Theorem 6.1 specialization.
+[[deprecated("use EquivalenceEngine::Equivalent with Semantics::kBag")]]
 Result<bool> BagEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
                                 const DependencySet& sigma, const Schema& schema,
                                 const ChaseOptions& options = {});
 
 /// Theorem 6.2 specialization.
+[[deprecated("use EquivalenceEngine::Equivalent with Semantics::kBagSet")]]
 Result<bool> BagSetEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
                                    const DependencySet& sigma,
                                    const ChaseOptions& options = {});

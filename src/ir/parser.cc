@@ -301,23 +301,29 @@ Status FinishStatement(Parser* p) {
 
 }  // namespace
 
-Result<ConjunctiveQuery> ParseQuery(std::string_view text) {
+Result<ParsedQueryParts> ParseQueryParts(std::string_view text) {
   SQLEQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(text).Tokenize());
   Parser p(std::move(tokens));
   SQLEQ_ASSIGN_OR_RETURN(auto head, ParseHead(&p));
-  std::vector<Term> head_terms;
+  ParsedQueryParts parts;
+  parts.name = std::move(head.first);
   for (const HeadItem& item : head.second) {
     if (item.agg.has_value()) {
       return Status::InvalidArgument(
           "aggregate term in a plain CQ head; use ParseAggregateQuery");
     }
-    head_terms.push_back(*item.term);
+    parts.head.push_back(*item.term);
   }
   SQLEQ_RETURN_IF_ERROR(p.Expect(TokKind::kColonDash, "':-'"));
-  SQLEQ_ASSIGN_OR_RETURN(std::vector<Atom> body, p.ParseConjunction());
+  SQLEQ_ASSIGN_OR_RETURN(parts.body, p.ParseConjunction());
   SQLEQ_RETURN_IF_ERROR(FinishStatement(&p));
-  return ConjunctiveQuery::Create(std::move(head.first), std::move(head_terms),
-                                  std::move(body));
+  return parts;
+}
+
+Result<ConjunctiveQuery> ParseQuery(std::string_view text) {
+  SQLEQ_ASSIGN_OR_RETURN(ParsedQueryParts parts, ParseQueryParts(text));
+  return ConjunctiveQuery::Create(std::move(parts.name), std::move(parts.head),
+                                  std::move(parts.body));
 }
 
 Result<AggregateQuery> ParseAggregateQuery(std::string_view text) {

@@ -26,6 +26,20 @@ namespace sqleq {
 /// Parses a conjunctive query. Fails on aggregate heads.
 Result<ConjunctiveQuery> ParseQuery(std::string_view text);
 
+/// A syntactically parsed CQ before semantic validation. Unlike
+/// ConjunctiveQuery, this may be unsafe (head variables missing from the
+/// body) or have an empty body — the Σ-lint analyzer diagnoses such inputs
+/// instead of rejecting them at parse time.
+struct ParsedQueryParts {
+  std::string name;
+  std::vector<Term> head;
+  std::vector<Atom> body;
+};
+
+/// Parses a CQ without the safety validation ConjunctiveQuery::Create
+/// enforces. Fails only on syntax errors (and aggregate heads).
+Result<ParsedQueryParts> ParseQueryParts(std::string_view text);
+
 /// Parses an aggregate query; the head must contain exactly one aggregate
 /// term, in the last position.
 Result<AggregateQuery> ParseAggregateQuery(std::string_view text);

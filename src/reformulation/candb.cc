@@ -13,6 +13,10 @@ namespace sqleq {
 Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
                                       const DependencySet& sigma, Semantics semantics,
                                       const Schema& schema, const CandBOptions& options) {
+  if (options.analyze.enabled) {
+    SQLEQ_RETURN_IF_ERROR(
+        ReportToStatus(AnalyzeProgram(schema, sigma, {q}, options.analyze)));
+  }
   // One budget governs the whole call: fold it into the chase options every
   // chase below runs with.
   ChaseOptions chase_options = options.chase;

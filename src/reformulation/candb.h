@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "chase/set_chase.h"
 #include "constraints/dependency.h"
 #include "db/eval.h"
@@ -40,6 +41,10 @@ struct CandBOptions {
   /// the C&B guarantee; the extra check also covers variable-identification
   /// minimality). Costs extra chases.
   bool verify_sigma_minimality = false;
+  /// Σ-lint pre-flight over (schema, Σ, Q) before the chase phase; kError
+  /// findings become FailedPrecondition instead of a budget blowout. See
+  /// EquivRequest::analyze.
+  AnalyzeOptions analyze = AnalyzeOptions::Preflight();
 };
 
 struct CandBResult {

@@ -3,7 +3,7 @@
 #include <functional>
 
 #include "equivalence/containment.h"
-#include "equivalence/sigma_equivalence.h"
+#include "equivalence/engine.h"
 
 namespace sqleq {
 
@@ -61,10 +61,22 @@ Result<bool> IsSigmaMinimal(const ConjunctiveQuery& q, const DependencySet& sigm
   };
   SQLEQ_RETURN_IF_ERROR(enumerate(0));
 
+  // One engine for the whole search: every candidate shares Q's chase
+  // context, so the memo collapses isomorphic candidates to one chase. The
+  // Σ-lint pre-flight is skipped — candidates are derived from an already
+  // vetted Q and Σ.
+  EquivalenceEngine engine;
+  EquivRequest request{semantics, sigma, schema, options};
+  request.analyze.enabled = false;
+  auto equivalent_to_q = [&](const ConjunctiveQuery& candidate) -> Result<bool> {
+    SQLEQ_ASSIGN_OR_RETURN(EquivVerdict verdict,
+                           engine.Equivalent(candidate, q, request));
+    return verdict.equivalent;
+  };
+
   for (const TermMap& sub : substitutions) {
     ConjunctiveQuery s1 = q.Substitute(sub);
-    SQLEQ_ASSIGN_OR_RETURN(bool s1_equivalent,
-                           EquivalentUnder(s1, q, sigma, semantics, schema, options));
+    SQLEQ_ASSIGN_OR_RETURN(bool s1_equivalent, equivalent_to_q(s1));
     if (!s1_equivalent) continue;
     // S2: drop nonempty subsets of atoms from S1. Subset enumeration is
     // bounded by the same budget.
@@ -82,8 +94,7 @@ Result<bool> IsSigmaMinimal(const ConjunctiveQuery& q, const DependencySet& sigm
       Result<ConjunctiveQuery> s2 =
           ConjunctiveQuery::Create(s1.name(), s1.head(), std::move(kept));
       if (!s2.ok()) continue;  // unsafe drop
-      SQLEQ_ASSIGN_OR_RETURN(bool s2_equivalent,
-                             EquivalentUnder(*s2, q, sigma, semantics, schema, options));
+      SQLEQ_ASSIGN_OR_RETURN(bool s2_equivalent, equivalent_to_q(*s2));
       if (s2_equivalent) return false;  // witness: Q is not Σ-minimal
     }
   }

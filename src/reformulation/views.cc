@@ -8,7 +8,6 @@
 #include "chase/sound_chase.h"
 #include "equivalence/engine.h"
 #include "equivalence/isomorphism.h"
-#include "equivalence/sigma_equivalence.h"
 #include "reformulation/backchase.h"
 
 namespace sqleq {
@@ -159,13 +158,28 @@ Result<bool> IsEquivalentRewriting(const ConjunctiveQuery& q,
     }
     return expansion.status();
   }
-  return EquivalentUnder(*expansion, q, sigma, semantics, schema, options);
+  EquivalenceEngine engine;
+  SQLEQ_ASSIGN_OR_RETURN(
+      EquivVerdict verdict,
+      engine.Equivalent(*expansion, q, EquivRequest{semantics, sigma, schema, options}));
+  return verdict.equivalent;
 }
 
 Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet& views,
                                        const DependencySet& sigma, Semantics semantics,
                                        const Schema& schema,
                                        const RewriteOptions& options) {
+  if (options.candb.analyze.enabled) {
+    // Pre-flight Q and every view definition: a bad view body would
+    // otherwise surface deep inside candidate expansion chases.
+    std::vector<ConjunctiveQuery> queries{q};
+    for (const std::string& name : views.names()) {
+      SQLEQ_ASSIGN_OR_RETURN(ConjunctiveQuery def, views.Get(name));
+      queries.push_back(std::move(def));
+    }
+    SQLEQ_RETURN_IF_ERROR(
+        ReportToStatus(AnalyzeProgram(schema, sigma, queries, options.candb.analyze)));
+  }
   // One budget governs the whole call (see CandBOptions::budget).
   ChaseOptions chase_options = options.candb.chase;
   chase_options.budget = options.candb.budget;

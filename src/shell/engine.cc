@@ -3,10 +3,12 @@
 #include <cctype>
 #include <vector>
 
+#include "analysis/analyzer.h"
+#include "equivalence/engine.h"
 #include "equivalence/explain.h"
-#include "equivalence/sigma_equivalence.h"
 #include "ir/parser.h"
 #include "reformulation/candb.h"
+#include "shell/lint.h"
 #include "sql/render.h"
 #include "sql/sql_parser.h"
 #include "util/string_util.h"
@@ -96,12 +98,15 @@ Result<std::string> ScriptEngine::Execute(std::string_view statement) {
   if (EqualsIgnoreCase(keyword, "EXPLAIN")) return ExecEquiv(rest, /*explain=*/true);
   if (EqualsIgnoreCase(keyword, "MINIMIZE")) return ExecMinimize(rest);
   if (EqualsIgnoreCase(keyword, "REWRITE")) return ExecRewrite(rest);
+  if (EqualsIgnoreCase(keyword, "LINT")) return ExecLint(rest);
   if (EqualsIgnoreCase(keyword, "SET")) return ExecSet(rest);
   if (EqualsIgnoreCase(keyword, "SHOW")) return ExecShow(rest);
   return Status::InvalidArgument("unknown command '" + keyword + "'");
 }
 
 Result<std::string> ScriptEngine::Run(std::string_view script) {
+  std::string stripped = StripLineComments(script);
+  script = stripped;
   std::string out;
   size_t start = 0;
   while (start < script.size()) {
@@ -230,11 +235,14 @@ Result<std::string> ScriptEngine::ExecEquiv(std::string_view rest, bool explain)
                                               catalog_.schema, chase_options));
     return e.ToString();
   }
-  SQLEQ_ASSIGN_OR_RETURN(bool eq,
-                         EquivalentUnder(a.query, b.query, catalog_.sigma, sem,
-                                         catalog_.schema, chase_options));
-  return args.first[0] + (eq ? " == " : " != ") + args.first[1] + "  under " +
-         SemanticsToString(sem) + " semantics (given Sigma)\n";
+  EquivalenceEngine engine;
+  SQLEQ_ASSIGN_OR_RETURN(
+      EquivVerdict verdict,
+      engine.Equivalent(a.query, b.query,
+                        EquivRequest{sem, catalog_.sigma, catalog_.schema,
+                                     chase_options}));
+  return args.first[0] + (verdict.equivalent ? " == " : " != ") + args.first[1] +
+         "  under " + SemanticsToString(sem) + " semantics (given Sigma)\n";
 }
 
 Result<std::string> ScriptEngine::ExecMinimize(std::string_view rest) {
@@ -281,6 +289,33 @@ Result<std::string> ScriptEngine::ExecRewrite(std::string_view rest) {
   for (const ConjunctiveQuery& r : result.rewritings) {
     out += "  " + r.ToString() + "\n";
   }
+  return out;
+}
+
+Result<std::string> ScriptEngine::ExecLint(std::string_view rest) {
+  auto [mode, tail] = SplitKeyword(rest);
+  bool strict = false;
+  if (EqualsIgnoreCase(mode, "STRICT")) {
+    strict = true;
+  } else if (!mode.empty()) {
+    return Status::InvalidArgument("usage: LINT [STRICT]");
+  }
+  if (!Trim(tail).empty()) return Status::InvalidArgument("usage: LINT [STRICT]");
+
+  AnalyzeOptions opts = AnalyzeOptions::Full();
+  opts.warnings_as_errors = strict;
+  opts.budget = budget_;
+  std::vector<ConjunctiveQuery> queries;
+  for (const auto& [name, named] : queries_) queries.push_back(named.query);
+  for (const std::string& name : views_.names()) {
+    SQLEQ_ASSIGN_OR_RETURN(ConjunctiveQuery def, views_.Get(name));
+    queries.push_back(std::move(def));
+  }
+  AnalysisReport report =
+      AnalyzeProgram(catalog_.schema, catalog_.sigma, queries, opts);
+  std::string out = report.ToString();
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  out += LintSummaryLine(report) + "\n";
   return out;
 }
 

@@ -12,12 +12,14 @@
 //   EXPLAIN q1 q2 [UNDER S|B|BS];    -- ... with chase traces and witnesses
 //   MINIMIZE q1 [UNDER S|B|BS];      -- C&B reformulations, rendered as SQL
 //   REWRITE q1 [UNDER S|B|BS];       -- rewritings over the registered views
+//   LINT [STRICT];                   -- Σ-lint the session (STRICT: warnings err)
 //   SET THREADS n;                   -- backchase worker threads
 //   SET BUDGET <steps> <candidates>; -- chase-step / candidate limits
 //   SHOW SCHEMA | SIGMA | QUERIES | DATA | BUDGET;
 //
-// Each statement returns printable output; errors are Status values (the
-// engine state is unchanged by a failed statement).
+// "--" starts a line comment (outside quoted literals). Each statement
+// returns printable output; errors are Status values (the engine state is
+// unchanged by a failed statement).
 #ifndef SQLEQ_SHELL_ENGINE_H_
 #define SQLEQ_SHELL_ENGINE_H_
 
@@ -71,6 +73,7 @@ class ScriptEngine {
   Result<std::string> ExecEquiv(std::string_view rest, bool explain);
   Result<std::string> ExecMinimize(std::string_view rest);
   Result<std::string> ExecRewrite(std::string_view rest);
+  Result<std::string> ExecLint(std::string_view rest);
   Result<std::string> ExecSet(std::string_view rest);
   Result<std::string> ExecShow(std::string_view rest);
 

@@ -1,0 +1,52 @@
+// Script-level Σ-lint: statically checks a whole sqleq shell script (the
+// statement language docs/shell.md describes) without executing it. No data
+// is loaded, no chase-and-backchase runs — the linter replays only the
+// declaration statements (CREATE TABLE, DEP, VIEW, QUERY) into an in-memory
+// catalog, validates every reference the command statements make, and then
+// runs the src/analysis analyzer over the accumulated (Schema, Σ, queries).
+//
+// On top of the analyzer's catalogue (docs/diagnostics.md), the script
+// linter emits two codes of its own:
+//   parse-error    error  a statement the shell would reject at parse time
+//   unknown-query  error  EVAL/EQUIV/... names a query no QUERY defined
+//
+// Unlike ScriptEngine::Run, linting never stops at the first problem: a
+// malformed statement becomes a diagnostic and the scan continues, so one
+// pass reports everything. LintScript itself therefore never fails.
+#ifndef SQLEQ_SHELL_LINT_H_
+#define SQLEQ_SHELL_LINT_H_
+
+#include <string>
+#include <string_view>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+
+namespace sqleq {
+namespace shell {
+
+/// The outcome of linting one script.
+struct LintResult {
+  AnalysisReport report;
+  /// Non-empty statements examined (the linter never stops early).
+  size_t statements = 0;
+
+  bool HasErrors() const { return report.HasErrors(); }
+
+  /// The report plus a "lint: N error(s), M warning(s), K note(s)" summary
+  /// line — the exact text `LINT` and sqleq-lint print.
+  std::string ToString() const;
+};
+
+/// Lints `script` (';'-separated statements). Statements are numbered from 1
+/// in diagnostic subjects ("statement 3: DEP ...").
+LintResult LintScript(std::string_view script,
+                      const AnalyzeOptions& opts = AnalyzeOptions::Full());
+
+/// Formats the summary line alone: "lint: N error(s), M warning(s), K note(s)".
+std::string LintSummaryLine(const AnalysisReport& report);
+
+}  // namespace shell
+}  // namespace sqleq
+
+#endif  // SQLEQ_SHELL_LINT_H_

@@ -66,4 +66,33 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   return true;
 }
 
+std::string StripLineComments(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_string = false;
+  size_t i = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    if (in_string) {
+      out += c;
+      if (c == '\'') in_string = false;
+      ++i;
+      continue;
+    }
+    if (c == '\'') {
+      in_string = true;
+      out += c;
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < s.size() && s[i + 1] == '-') {
+      while (i < s.size() && s[i] != '\n') ++i;
+      continue;  // keep the newline itself
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
 }  // namespace sqleq

@@ -30,6 +30,10 @@ std::string ToUpper(std::string_view s);
 /// True if two strings are equal ignoring ASCII case.
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
+/// Removes SQL-style "--" line comments (outside single-quoted literals)
+/// up to but excluding the newline, so statement numbering survives.
+std::string StripLineComments(std::string_view s);
+
 }  // namespace sqleq
 
 #endif  // SQLEQ_UTIL_STRING_UTIL_H_

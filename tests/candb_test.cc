@@ -17,6 +17,7 @@ namespace sqleq {
 namespace {
 
 using testing::AQ;
+using testing::EngineEquivalent;
 using testing::Example41Schema;
 using testing::Example41Sigma;
 using testing::Q;
@@ -63,8 +64,8 @@ TEST(CandB, OutputsAreEquivalentToInput) {
     CandBResult result = Unwrap(
         ChaseAndBackchase(q1, Example41Sigma(), sem, Example41Schema()));
     for (const ConjunctiveQuery& reform : result.reformulations) {
-      EXPECT_TRUE(Unwrap(EquivalentUnder(reform, q1, Example41Sigma(), sem,
-                                         Example41Schema())))
+      EXPECT_TRUE(Unwrap(EngineEquivalent(reform, q1, Example41Sigma(), sem,
+                                          Example41Schema())))
           << SemanticsToString(sem) << ": " << reform.ToString();
     }
   }
@@ -148,7 +149,7 @@ TEST(CandB, CompletenessAgainstBruteForceLattice) {
       Result<ConjunctiveQuery> candidate =
           ConjunctiveQuery::Create("C", u.head(), std::move(body));
       if (!candidate.ok()) continue;
-      if (Unwrap(EquivalentUnder(*candidate, q1, sigma, sem, schema))) {
+      if (Unwrap(EngineEquivalent(*candidate, q1, sigma, sem, schema))) {
         equivalent_masks.push_back(mask);
       }
     }

@@ -13,6 +13,7 @@
 namespace sqleq {
 namespace {
 
+using testing::EngineEquivalent;
 using testing::Q;
 using testing::Sigma;
 using testing::Unwrap;
@@ -74,10 +75,10 @@ TEST(ChaseConstants, EquivalenceWithLiteralFilters) {
   DependencySet clean = Sigma({"item(X, 1) -> hot(X)."});
   ConjunctiveQuery filtered = Q("Q(X) :- item(X, 1).");
   ConjunctiveQuery joined = Q("Q(X) :- item(X, 1), hot(X).");
-  EXPECT_TRUE(Unwrap(BagSetEquivalentUnder(filtered, joined, clean)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(filtered, joined, clean, Semantics::kBagSet)));
   // Different literal on the filter: not equivalent.
   ConjunctiveQuery other = Q("Q(X) :- item(X, 2), hot(X).");
-  EXPECT_FALSE(Unwrap(BagSetEquivalentUnder(filtered, other, clean)));
+  EXPECT_FALSE(Unwrap(EngineEquivalent(filtered, other, clean, Semantics::kBagSet)));
 }
 
 TEST(ChaseConstants, StringLiteralsDistinctFromIntegers) {

@@ -12,6 +12,9 @@
 #include "equivalence/sigma_equivalence.h"
 #include "test_util.h"
 
+// The legacy-agreement test below calls the deprecated wrapper on purpose.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace sqleq {
 namespace {
 

@@ -9,6 +9,7 @@
 namespace sqleq {
 namespace {
 
+using testing::EngineEquivalent;
 using testing::Example41Schema;
 using testing::Example41Sigma;
 using testing::Q;
@@ -100,7 +101,7 @@ TEST(Explain, AgreesWithEquivalentUnderOnExample41Grid) {
   for (Semantics sem : {Semantics::kSet, Semantics::kBag, Semantics::kBagSet}) {
     for (const ConjunctiveQuery& a : queries) {
       for (const ConjunctiveQuery& b : queries) {
-        bool expected = Unwrap(EquivalentUnder(a, b, sigma, sem, schema));
+        bool expected = Unwrap(EngineEquivalent(a, b, sigma, sem, schema));
         EquivalenceExplanation e =
             Unwrap(ExplainEquivalence(a, b, sigma, sem, schema));
         EXPECT_EQ(e.equivalent, expected)

@@ -19,6 +19,7 @@
 namespace sqleq {
 namespace {
 
+using testing::EngineEquivalent;
 using testing::Unwrap;
 
 /// nation — customer — orders — lineitem, keys + foreign keys throughout;
@@ -60,7 +61,7 @@ TEST(Warehouse, FkChainJoinsAreRedundantUnderBagSet) {
   sql::TranslatedQuery plain =
       Unwrap(sql::TranslateSql("SELECT okey FROM orders", c));
   EXPECT_EQ(with_joins.semantics, Semantics::kBagSet);
-  EXPECT_TRUE(Unwrap(EquivalentUnder(*with_joins.cq, *plain.cq, c.sigma,
+  EXPECT_TRUE(Unwrap(EngineEquivalent(*with_joins.cq, *plain.cq, c.sigma,
                                      Semantics::kBagSet, c.schema)));
 }
 
@@ -73,9 +74,9 @@ TEST(Warehouse, LineitemFanOutIsNotRedundant) {
   sql::TranslatedQuery plain =
       Unwrap(sql::TranslateSql("SELECT okey FROM orders", c));
   EXPECT_EQ(with_join.semantics, Semantics::kBag);  // lineitem is a bag
-  EXPECT_FALSE(Unwrap(EquivalentUnder(*with_join.cq, *plain.cq, c.sigma,
+  EXPECT_FALSE(Unwrap(EngineEquivalent(*with_join.cq, *plain.cq, c.sigma,
                                       Semantics::kBag, c.schema)));
-  EXPECT_FALSE(Unwrap(EquivalentUnder(*with_join.cq, *plain.cq, c.sigma,
+  EXPECT_FALSE(Unwrap(EngineEquivalent(*with_join.cq, *plain.cq, c.sigma,
                                       Semantics::kSet, c.schema)));
 }
 
@@ -106,9 +107,9 @@ TEST(Warehouse, DistinctVsPlainSelectDiverge) {
   sql::TranslatedQuery single =
       Unwrap(sql::TranslateSql("SELECT ckey FROM weblog", c));
   EXPECT_TRUE(Unwrap(
-      EquivalentUnder(*dup.cq, *single.cq, c.sigma, Semantics::kSet, c.schema)));
+      EngineEquivalent(*dup.cq, *single.cq, c.sigma, Semantics::kSet, c.schema)));
   EXPECT_FALSE(Unwrap(
-      EquivalentUnder(*dup.cq, *single.cq, c.sigma, Semantics::kBag, c.schema)));
+      EngineEquivalent(*dup.cq, *single.cq, c.sigma, Semantics::kBag, c.schema)));
 }
 
 TEST(Warehouse, ViewRewritingWithCostRanking) {

@@ -19,6 +19,7 @@
 namespace sqleq {
 namespace {
 
+using testing::EngineEquivalent;
 using testing::Example41Schema;
 using testing::Example41Sigma;
 using testing::Q;
@@ -32,9 +33,9 @@ TEST(Example41, Q1SetEquivalentToQ4ButNotBagOrBagSet) {
   ConjunctiveQuery q4 = Q("Q4(X) :- p(X, Y).");
   DependencySet sigma = Example41Sigma();
   Schema schema = Example41Schema();
-  EXPECT_TRUE(Unwrap(SetEquivalentUnder(q1, q4, sigma)));
-  EXPECT_FALSE(Unwrap(BagEquivalentUnder(q1, q4, sigma, schema)));
-  EXPECT_FALSE(Unwrap(BagSetEquivalentUnder(q1, q4, sigma)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(q1, q4, sigma)));
+  EXPECT_FALSE(Unwrap(EngineEquivalent(q1, q4, sigma, Semantics::kBag, schema)));
+  EXPECT_FALSE(Unwrap(EngineEquivalent(q1, q4, sigma, Semantics::kBagSet)));
 }
 
 TEST(Example41, NaiveCandBConjectureFails) {
@@ -128,8 +129,8 @@ TEST(Example44, SkippingNonRegularSigma4MissesRewriting) {
   Schema schema = Example41Schema();
   ConjunctiveQuery q3 = Q("Q3(X) :- p(X, Y), t(X, Y, W), s(X, Z).");
   ConjunctiveQuery q4 = Q("Q4(X) :- p(X, Y).");
-  EXPECT_TRUE(Unwrap(BagEquivalentUnder(q3, q4, sigma_prime, schema)));
-  EXPECT_TRUE(Unwrap(BagSetEquivalentUnder(q3, q4, sigma_prime)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(q3, q4, sigma_prime, Semantics::kBag, schema)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(q3, q4, sigma_prime, Semantics::kBagSet)));
 }
 
 TEST(Example45, ApplyingSigma4WholesaleIsUnsound) {
@@ -190,7 +191,7 @@ TEST(Example46, ModifiedChaseStepWouldBeUnsound) {
   ConjunctiveQuery q_good = Q("Qg(X) :- p(X, Y), s(X, Z), s(X, W), t(W, Y).");
   Bag g = Unwrap(Evaluate(q_good, d, Semantics::kBagSet));
   EXPECT_EQ(g, a);
-  EXPECT_TRUE(Unwrap(BagSetEquivalentUnder(q_good, q, sigma)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(q_good, q, sigma, Semantics::kBagSet)));
 }
 
 TEST(Example48, SoundStepViaAssignmentFixingNotKeyBased) {

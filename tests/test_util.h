@@ -10,6 +10,7 @@
 
 #include "constraints/dependency.h"
 #include "db/database.h"
+#include "equivalence/engine.h"
 #include "ir/parser.h"
 #include "ir/query.h"
 #include "ir/schema.h"
@@ -40,6 +41,21 @@ inline AggregateQuery AQ(std::string_view text) {
 /// Parses a Σ, failing the test on error.
 inline DependencySet Sigma(const std::vector<std::string>& statements) {
   return Unwrap(ParseSigma(statements), "ParseSigma");
+}
+
+/// Q1 ≡Σ,X Q2 through a per-call EquivalenceEngine — the test-suite
+/// replacement for the deprecated per-semantics wrappers.
+inline Result<bool> EngineEquivalent(const ConjunctiveQuery& q1,
+                                     const ConjunctiveQuery& q2,
+                                     const DependencySet& sigma,
+                                     Semantics semantics = Semantics::kSet,
+                                     const Schema& schema = {},
+                                     const ChaseOptions& options = {}) {
+  EquivalenceEngine engine;
+  SQLEQ_ASSIGN_OR_RETURN(
+      EquivVerdict verdict,
+      engine.Equivalent(q1, q2, EquivRequest{semantics, sigma, schema, options}));
+  return verdict.equivalent;
 }
 
 /// The schema of Example 4.1: D = {P, R, S, T, U} with S and T set valued.

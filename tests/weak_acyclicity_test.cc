@@ -102,5 +102,191 @@ TEST(WeakAcyclicity, PositionToString) {
   EXPECT_EQ((Position{"p", 2}).ToString(), "(p, 2)");
 }
 
+// --- edge cases around self-loops, repeated existentials, egd/tgd mixing ---
+
+TEST(WeakAcyclicity, SpecialEdgeIntoDeadEndPositionAccepted) {
+  // p(X, Y) -> p(X, Z): regular self-loop on (p, 0) plus a special edge
+  // (p, 0) =>* (p, 1) — but nothing ever leaves (p, 1) (Y is body-only), so
+  // no cycle passes through the special edge. The chase saturates.
+  DependencySet sigma = Sigma({"p(X, Y) -> p(X, Z)."});
+  EXPECT_TRUE(IsWeaklyAcyclic(sigma));
+}
+
+TEST(WeakAcyclicity, SpecialSelfLoopOnSinglePositionRejected) {
+  // p(X, Y) -> p(Y, Z): Y sits at (p, 1) in the body and the existential Z
+  // lands at (p, 1) in the head — a special edge from (p, 1) to itself, the
+  // shortest possible special cycle.
+  DependencySet sigma = Sigma({"p(X, Y) -> p(Y, Z)."});
+  std::optional<SpecialCycle> cycle = FindSpecialCycle(sigma);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->edges.size(), 1u);  // self-loop: empty path back
+  EXPECT_TRUE(cycle->edges.front().special);
+  EXPECT_EQ(cycle->edges.front().from, (Position{"p", 1}));
+  EXPECT_EQ(cycle->edges.front().to, (Position{"p", 1}));
+  EXPECT_EQ(cycle->ToString(), "(p, 1) =>* (p, 1)");
+}
+
+TEST(WeakAcyclicity, RegularSelfLoopAloneAccepted) {
+  // p(X, Y) -> p(Y, X) has regular self-loops only (both head vars
+  // universal): weakly acyclic even though every position is on a cycle.
+  DependencySet sigma = Sigma({"p(X, Y) -> p(Y, X).", "p(X, X) -> p(X, X)."});
+  EXPECT_TRUE(IsWeaklyAcyclic(sigma));
+  EXPECT_FALSE(FindSpecialCycle(sigma).has_value());
+}
+
+TEST(WeakAcyclicity, RepeatedExistentialVariableMakesOneSpecialTargetPerPosition) {
+  // The same existential Z fills two head positions: both are special
+  // targets of (p, 0).
+  DependencySet sigma = Sigma({"p(X, Y) -> q(X, Z, Z)."});
+  std::vector<PositionEdge> edges = BuildDependencyGraph(sigma);
+  size_t special = 0;
+  for (const PositionEdge& e : edges) {
+    if (e.special) {
+      ++special;
+      EXPECT_EQ(e.from, (Position{"p", 0}));
+      EXPECT_EQ(e.to.relation, "q");
+      EXPECT_TRUE(e.to.index == 1 || e.to.index == 2);
+    }
+  }
+  EXPECT_EQ(special, 2u);
+  EXPECT_TRUE(IsWeaklyAcyclic(sigma));
+}
+
+TEST(WeakAcyclicity, RepeatedExistentialClosingCycleRejected) {
+  DependencySet sigma = Sigma({
+      "p(X, Y) -> q(X, Z, Z).",
+      "q(X, Y, W) -> p(Y, X).",  // (q,1) flows back into (p,0)
+  });
+  EXPECT_FALSE(IsWeaklyAcyclic(sigma));
+}
+
+TEST(WeakAcyclicity, EgdsMixedWithTgdsCreateNoSpecialEdges) {
+  // The egd touches the same predicates as the tgds but must contribute no
+  // edges at all: the verdict is identical with and without it.
+  DependencySet tgds = Sigma({
+      "p(X, Y) -> q(Y, Z).",
+      "q(X, Y) -> r(Y).",
+  });
+  DependencySet mixed = Sigma({
+      "p(X, Y) -> q(Y, Z).",
+      "q(X, Y) -> r(Y).",
+      "q(X, Y), q(X, Z) -> Y = Z.",
+  });
+  EXPECT_EQ(BuildDependencyGraph(tgds).size(), BuildDependencyGraph(mixed).size());
+  EXPECT_TRUE(IsWeaklyAcyclic(mixed));
+
+  DependencySet bad_mixed = Sigma({
+      "p(X, Y) -> p(Y, Z).",
+      "p(X, Y), p(X, Z) -> Y = Z.",
+  });
+  EXPECT_FALSE(IsWeaklyAcyclic(bad_mixed));
+}
+
+// --- witness cycles ---
+
+TEST(SpecialCycleWitness, SelfLoopWitnessIsSingleEdge) {
+  std::optional<SpecialCycle> cycle =
+      FindSpecialCycle(Sigma({"p(X, Y) -> p(Y, Z)."}));
+  ASSERT_TRUE(cycle.has_value());
+  ASSERT_GE(cycle->edges.size(), 1u);
+  EXPECT_TRUE(cycle->edges.front().special);
+  // The remaining edges lead from the special target back to the source.
+  EXPECT_EQ(cycle->edges.back().to, cycle->edges.front().from);
+}
+
+TEST(SpecialCycleWitness, TwoStepWitnessRoundTrips) {
+  std::optional<SpecialCycle> cycle = FindSpecialCycle(Sigma({
+      "p(X, Y) -> q(Y, Z).",
+      "q(X, Y) -> p(Y, Z).",
+  }));
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_TRUE(cycle->edges.front().special);
+  EXPECT_EQ(cycle->edges.back().to, cycle->edges.front().from);
+  std::string text = cycle->ToString();
+  EXPECT_NE(text.find("=>*"), std::string::npos) << text;
+}
+
+TEST(SpecialCycleWitness, DeterministicAcrossCalls) {
+  DependencySet sigma = Sigma({
+      "p(X, Y) -> q(Y, Z).",
+      "q(X, Y) -> p(Y, Z).",
+      "r(X, Y) -> r(Y, Z).",
+  });
+  std::optional<SpecialCycle> a = FindSpecialCycle(sigma);
+  std::optional<SpecialCycle> b = FindSpecialCycle(sigma);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->ToString(), b->ToString());
+}
+
+// --- stratification ---
+
+TEST(Stratification, WeaklyAcyclicImpliesStratified) {
+  StratificationResult r = CheckStratification(Sigma({"p(X, Y) -> q(X, Z)."}));
+  EXPECT_TRUE(r.weakly_acyclic);
+  EXPECT_TRUE(r.stratified);
+  EXPECT_FALSE(r.witness.has_value());
+  EXPECT_TRUE(r.offending_component.empty());
+}
+
+TEST(Stratification, SelfFiringSpecialLoopNotStratified) {
+  StratificationResult r = CheckStratification(Sigma({"p(X, Y) -> p(Y, Z)."}));
+  EXPECT_FALSE(r.weakly_acyclic);
+  EXPECT_FALSE(r.stratified);
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_TRUE(r.witness->edges.front().special);
+  EXPECT_EQ(r.offending_component, std::vector<size_t>{0});
+}
+
+TEST(Stratification, MutualRecursionReportsBothMembers) {
+  StratificationResult r = CheckStratification(Sigma({
+      "p(X, Y) -> q(Y, Z).",
+      "q(X, Y) -> p(Y, Z).",
+  }));
+  EXPECT_FALSE(r.stratified);
+  EXPECT_EQ(r.offending_component, (std::vector<size_t>{0, 1}));
+}
+
+TEST(Stratification, ConstantClashSeversFiringEdge) {
+  // Globally there is a special cycle (p,0) =>* (q,1) -> (p,0), but the
+  // first tgd only writes q-tuples ending in 2 while the second only reads
+  // q-tuples ending in 3: the firing graph is acyclic, every component is
+  // weakly acyclic on its own, and the chase terminates by stratification.
+  StratificationResult r = CheckStratification(Sigma({
+      "p(X, 1) -> q(X, Z, 2).",
+      "q(X, Y, 3) -> p(Y, 1).",
+  }));
+  EXPECT_FALSE(r.weakly_acyclic);
+  EXPECT_TRUE(r.stratified);
+  // The informational witness carries the global cycle.
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_TRUE(r.witness->edges.front().special);
+  EXPECT_TRUE(r.offending_component.empty());
+}
+
+TEST(Stratification, MatchingConstantsKeepFiringEdge) {
+  // Same shape but the constants agree: the cycle is real.
+  StratificationResult r = CheckStratification(Sigma({
+      "p(X, 1) -> q(X, Z, 2).",
+      "q(X, Y, 2) -> p(Y, 1).",
+  }));
+  EXPECT_FALSE(r.weakly_acyclic);
+  EXPECT_FALSE(r.stratified);
+  EXPECT_EQ(r.offending_component, (std::vector<size_t>{0, 1}));
+}
+
+TEST(Stratification, EgdBridgesComponents) {
+  // The egd rewrites q-tuples (wildcard writes), so it may enable the
+  // q-reader even though the q-writer's constants clash — the egd glues all
+  // three into one component and the cycle is flagged.
+  StratificationResult r = CheckStratification(Sigma({
+      "p(X, 1) -> q(X, Z, 2).",
+      "q(X, Y, 3) -> p(Y, 1).",
+      "q(X, Y, W), q(X, Y2, W2) -> Y = Y2.",
+  }));
+  EXPECT_FALSE(r.weakly_acyclic);
+  EXPECT_FALSE(r.stratified);
+}
+
 }  // namespace
 }  // namespace sqleq

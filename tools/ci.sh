@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 CI entry point: configure + build + full test suite, then the two
+# static-analysis gates — clang-tidy over the sources (tools/lint.sh, skipped
+# when clang-tidy is absent) and sqleq-lint over the example scripts.
+#
+# usage: tools/ci.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure =="
+cmake -B "${BUILD_DIR}" -S .
+
+echo "== build =="
+cmake --build "${BUILD_DIR}" -j
+
+echo "== ctest =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j
+
+echo "== clang-tidy =="
+tools/lint.sh "${BUILD_DIR}"
+
+echo "== sqleq-lint (examples/scripts) =="
+"${BUILD_DIR}/tools/sqleq-lint" examples/scripts/*.sqleq
+
+echo "CI OK"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# clang-tidy runner over the sqleq sources, driven by the .clang-tidy config
+# at the repo root. Needs a configured build directory with
+# compile_commands.json (cmake -B build -S . produces one; see
+# CMAKE_EXPORT_COMPILE_COMMANDS in CMakeLists.txt). Skips cleanly when
+# clang-tidy is not installed, so CI works on minimal toolchains.
+#
+# usage: tools/lint.sh [build-dir]
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint.sh: clang-tidy not found; skipping static analysis" >&2
+  exit 0
+fi
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "lint.sh: ${BUILD_DIR}/compile_commands.json missing;" \
+       "configure with: cmake -B ${BUILD_DIR} -S ." >&2
+  exit 2
+fi
+
+FILES=$(find src tools examples -name '*.cc' -o -name '*.cpp' | sort)
+STATUS=0
+for f in ${FILES}; do
+  clang-tidy -p "${BUILD_DIR}" --quiet "$f" || STATUS=1
+done
+exit ${STATUS}

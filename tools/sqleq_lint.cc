@@ -1,0 +1,78 @@
+// sqleq-lint: standalone Σ-lint driver over sqleq script files (the command
+// language src/shell/engine.h documents). Statically analyzes each script —
+// no data is loaded and no chase-and-backchase runs — and prints the
+// diagnostics plus a per-file summary line.
+//
+//   sqleq-lint script.sqleq [more.sqleq ...]
+//   sqleq-lint --strict script.sqleq     # warnings count as errors
+//   echo "DEP p(X) -> r(X);" | sqleq-lint
+//
+// Exit status: 0 when every file is clean of errors, 1 when any file has at
+// least one error-severity diagnostic, 2 on usage/IO problems.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "shell/lint.h"
+
+namespace {
+
+int Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--strict] [script-file ...]\n"
+               "  lints sqleq scripts (stdin when no files are given)\n"
+               "  --strict  escalate warnings to errors\n",
+               prog);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  sqleq::AnalyzeOptions opts = sqleq::AnalyzeOptions::Full();
+  opts.warnings_as_errors = strict;
+
+  bool any_errors = false;
+  if (files.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    sqleq::shell::LintResult result = sqleq::shell::LintScript(buffer.str(), opts);
+    std::fputs(result.ToString().c_str(), stdout);
+    any_errors = result.HasErrors();
+  } else {
+    for (const std::string& file : files) {
+      std::ifstream in(file);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", file.c_str());
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      sqleq::shell::LintResult result = sqleq::shell::LintScript(buffer.str(), opts);
+      if (files.size() > 1) std::printf("== %s ==\n", file.c_str());
+      std::fputs(result.ToString().c_str(), stdout);
+      any_errors = any_errors || result.HasErrors();
+    }
+  }
+  return any_errors ? 1 : 0;
+}
