@@ -1,0 +1,126 @@
+// Robustness bench (docs/robustness.md): what does interrupting a C&B run
+// and resuming it cost over running it straight through? One loop runs the
+// uninterrupted Example 4.1 C&B, one splits the same job into an interrupted
+// half (candidate budget at ~half the full run) plus a resumed second half,
+// and one adds a full serialize/parse round trip of the checkpoint in the
+// middle — the park-on-disk shape. Checkpoint text size and candidate
+// counts are reported as counters.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "db/eval.h"
+#include "reformulation/candb.h"
+
+namespace sqleq {
+namespace {
+
+using bench::Example41Schema;
+using bench::Example41Sigma;
+using bench::Must;
+
+ConjunctiveQuery Example41Q1() {
+  return Must(
+      ParseQuery("Q1(X) :- p(X, Y), t(X, Y, W), s(X, Z), r(X), u(X, U)."));
+}
+
+/// Candidates the uninterrupted run consumes — measured once so the
+/// interrupted runs can cut at half of it.
+size_t FullCandidateCount() {
+  static const size_t count = [] {
+    CandBResult full = Must(ChaseAndBackchase(
+        Example41Q1(), Example41Sigma(), Semantics::kSet, Example41Schema()));
+    return full.candidates_examined;
+  }();
+  return count;
+}
+
+void BM_CandB_Uninterrupted(benchmark::State& state) {
+  ConjunctiveQuery q = Example41Q1();
+  Schema schema = Example41Schema();
+  DependencySet sigma = Example41Sigma();
+  size_t outputs = 0;
+  for (auto _ : state) {
+    CandBResult result =
+        Must(ChaseAndBackchase(q, sigma, Semantics::kSet, schema));
+    outputs = result.reformulations.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["candidates"] = static_cast<double>(FullCandidateCount());
+  state.counters["outputs"] = static_cast<double>(outputs);
+}
+BENCHMARK(BM_CandB_Uninterrupted);
+
+void BM_CandB_InterruptAndResume(benchmark::State& state) {
+  ConjunctiveQuery q = Example41Q1();
+  Schema schema = Example41Schema();
+  DependencySet sigma = Example41Sigma();
+  size_t half = FullCandidateCount() / 2;
+  if (half == 0) half = 1;
+  size_t outputs = 0;
+  for (auto _ : state) {
+    CandBOptions budgeted;
+    budgeted.budget.max_candidates = half;
+    CandBResult partial =
+        Must(ChaseAndBackchase(q, sigma, Semantics::kSet, schema, budgeted));
+    CandBOptions resumed;
+    resumed.resume = &*partial.checkpoint;
+    CandBResult finished =
+        Must(ChaseAndBackchase(q, sigma, Semantics::kSet, schema, resumed));
+    outputs = finished.reformulations.size();
+    benchmark::DoNotOptimize(finished);
+  }
+  state.counters["cut_at"] = static_cast<double>(half);
+  state.counters["outputs"] = static_cast<double>(outputs);
+}
+BENCHMARK(BM_CandB_InterruptAndResume);
+
+void BM_CandB_InterruptParkAndResume(benchmark::State& state) {
+  // As above, plus a serialize → text → deserialize round trip of the
+  // checkpoint between the halves (the cross-process resume shape).
+  ConjunctiveQuery q = Example41Q1();
+  Schema schema = Example41Schema();
+  DependencySet sigma = Example41Sigma();
+  size_t half = FullCandidateCount() / 2;
+  if (half == 0) half = 1;
+  size_t checkpoint_bytes = 0;
+  for (auto _ : state) {
+    CandBOptions budgeted;
+    budgeted.budget.max_candidates = half;
+    CandBResult partial =
+        Must(ChaseAndBackchase(q, sigma, Semantics::kSet, schema, budgeted));
+    std::string parked = partial.checkpoint->Serialize();
+    checkpoint_bytes = parked.size();
+    CandBCheckpoint reloaded = Must(CandBCheckpoint::Deserialize(parked));
+    CandBOptions resumed;
+    resumed.resume = &reloaded;
+    CandBResult finished =
+        Must(ChaseAndBackchase(q, sigma, Semantics::kSet, schema, resumed));
+    benchmark::DoNotOptimize(finished);
+  }
+  state.counters["checkpoint_bytes"] = static_cast<double>(checkpoint_bytes);
+}
+BENCHMARK(BM_CandB_InterruptParkAndResume);
+
+void BM_Checkpoint_RoundTrip(benchmark::State& state) {
+  // Serialize + deserialize alone, on a real mid-sweep checkpoint.
+  ConjunctiveQuery q = Example41Q1();
+  Schema schema = Example41Schema();
+  DependencySet sigma = Example41Sigma();
+  CandBOptions budgeted;
+  budgeted.budget.max_candidates = FullCandidateCount() / 2;
+  if (budgeted.budget.max_candidates == 0) budgeted.budget.max_candidates = 1;
+  CandBResult partial =
+      Must(ChaseAndBackchase(q, sigma, Semantics::kSet, schema, budgeted));
+  const CandBCheckpoint& checkpoint = *partial.checkpoint;
+  for (auto _ : state) {
+    std::string text = checkpoint.Serialize();
+    CandBCheckpoint reloaded = Must(CandBCheckpoint::Deserialize(text));
+    benchmark::DoNotOptimize(reloaded);
+  }
+  state.counters["bytes"] =
+      static_cast<double>(checkpoint.Serialize().size());
+}
+BENCHMARK(BM_Checkpoint_RoundTrip);
+
+}  // namespace
+}  // namespace sqleq

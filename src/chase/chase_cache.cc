@@ -2,8 +2,29 @@
 
 #include <algorithm>
 
+#include "chase/checkpoint.h"
+#include "util/fault.h"
+
 namespace sqleq {
 namespace {
+
+/// Per-call runtime for the memo's inner SoundChase: a resume checkpoint is
+/// honored only when stamped for this key, so a checkpoint captured for one
+/// query can never be replayed into another's chase.
+ChaseRuntime RuntimeForKey(const ChaseRuntime& runtime, const std::string& key) {
+  ChaseRuntime inner = runtime;
+  if (inner.resume != nullptr && inner.resume->subject != key) {
+    inner.resume = nullptr;
+  }
+  return inner;
+}
+
+/// Stamps a captured checkpoint with the canonical key it belongs to.
+void StampSubject(const ChaseRuntime& runtime, const std::string& key) {
+  if (runtime.checkpoint_out != nullptr && runtime.checkpoint_out->has_value()) {
+    (*runtime.checkpoint_out)->subject = key;
+  }
+}
 
 /// Renders one atom under a partial variable renaming: constants as
 /// "c<literal>", renamed variables by their canonical name, not-yet-renamed
@@ -123,7 +144,7 @@ std::string CanonicalQueryKey(const ConjunctiveQuery& q,
 }
 
 Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
-    const ConjunctiveQuery& q, std::string* out_key) {
+    const ConjunctiveQuery& q, std::string* out_key, const ChaseRuntime& runtime) {
   ConjunctiveQuery canonical = q;  // overwritten by CanonicalQueryKey
   std::string key = CanonicalQueryKey(q, &canonical);
   if (out_key != nullptr) *out_key = key;
@@ -138,16 +159,23 @@ Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
   }
   // Chase outside the lock: other keys (and even this key, on a concurrent
   // miss) may be chased in parallel; the first insert wins.
+  ChaseRuntime inner = RuntimeForKey(runtime, key);
   Result<ChaseOutcome> outcome =
-      SoundChase(canonical, sigma_, semantics_, schema_, options_);
-  if (!outcome.ok()) return outcome.status();
+      SoundChase(canonical, sigma_, semantics_, schema_, options_, inner);
+  if (!outcome.ok()) {
+    StampSubject(inner, key);
+    return outcome.status();
+  }
+  SQLEQ_RETURN_IF_ERROR(
+      ProbeSite(runtime.faults, runtime.cancel, fault_sites::kMemoInsert));
   auto entry = std::make_shared<const ChaseOutcome>(std::move(outcome).value());
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = cache_.emplace(key, entry);
   return inserted ? entry : it->second;
 }
 
-Result<ChaseOutcome> ChaseMemo::Chase(const ConjunctiveQuery& q) {
+Result<ChaseOutcome> ChaseMemo::Chase(const ConjunctiveQuery& q,
+                                      const ChaseRuntime& runtime) {
   ConjunctiveQuery canonical = q;
   TermMap from_canonical;
   std::string key = CanonicalQueryKey(q, &canonical, &from_canonical);
@@ -163,9 +191,15 @@ Result<ChaseOutcome> ChaseMemo::Chase(const ConjunctiveQuery& q) {
     }
   }
   if (entry == nullptr) {
+    ChaseRuntime inner = RuntimeForKey(runtime, key);
     Result<ChaseOutcome> outcome =
-        SoundChase(canonical, sigma_, semantics_, schema_, options_);
-    if (!outcome.ok()) return outcome.status();
+        SoundChase(canonical, sigma_, semantics_, schema_, options_, inner);
+    if (!outcome.ok()) {
+      StampSubject(inner, key);
+      return outcome.status();
+    }
+    SQLEQ_RETURN_IF_ERROR(
+        ProbeSite(runtime.faults, runtime.cancel, fault_sites::kMemoInsert));
     entry = std::make_shared<const ChaseOutcome>(std::move(outcome).value());
     std::lock_guard<std::mutex> lock(mu_);
     auto [it, inserted] = cache_.emplace(key, entry);

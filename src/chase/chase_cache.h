@@ -50,13 +50,24 @@ class ChaseMemo {
   /// outcome may be handed to many threads. `out_key` (optional) receives
   /// the canonical key, letting callers do their own deterministic hit
   /// accounting. Statuses (step budget, deadline) are never cached.
+  ///
+  /// `runtime` (chase/set_chase.h) threads the anytime hooks through the
+  /// cache-miss chase: captured checkpoints are stamped with the canonical
+  /// key as `subject` and live in canonical variable space, and a
+  /// runtime.resume checkpoint is applied only when its subject matches the
+  /// query being chased (mismatches start cold — never corrupt). The
+  /// "memo.insert" fault site fires before a freshly chased outcome is
+  /// inserted.
   Result<std::shared_ptr<const ChaseOutcome>> ChaseCanonical(
-      const ConjunctiveQuery& q, std::string* out_key = nullptr);
+      const ConjunctiveQuery& q, std::string* out_key = nullptr,
+      const ChaseRuntime& runtime = {});
 
   /// Memoized SoundChase of `q` with the result mapped back onto q's
   /// variables and name. Chase-introduced fresh variables and the trace
-  /// (rendered in canonical space) pass through unchanged.
-  Result<ChaseOutcome> Chase(const ConjunctiveQuery& q);
+  /// (rendered in canonical space) pass through unchanged. Checkpoints
+  /// behave as in ChaseCanonical (canonical space, subject-stamped).
+  Result<ChaseOutcome> Chase(const ConjunctiveQuery& q,
+                             const ChaseRuntime& runtime = {});
 
   struct Stats {
     size_t hits = 0;

@@ -1,0 +1,257 @@
+#include "chase/checkpoint.h"
+
+#include <variant>
+
+namespace sqleq {
+namespace {
+
+std::vector<std::string_view> SplitTabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (true) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+std::string SerializeTerm(Term t) {
+  if (t.IsVariable()) return "V:" + EscapeField(t.name());
+  const Value& v = t.value();
+  if (std::holds_alternative<int64_t>(v)) {
+    return "I:" + std::to_string(std::get<int64_t>(v));
+  }
+  return "S:" + EscapeField(std::get<std::string>(v));
+}
+
+Result<Term> DeserializeTerm(std::string_view token) {
+  if (token.size() < 2 || token[1] != ':') {
+    return Status::InvalidArgument("checkpoint: malformed term token '" +
+                                   std::string(token) + "'");
+  }
+  std::string_view payload = token.substr(2);
+  switch (token[0]) {
+    case 'V': {
+      SQLEQ_ASSIGN_OR_RETURN(std::string name, UnescapeField(payload));
+      return Term::Var(name);
+    }
+    case 'I': {
+      int64_t value = 0;
+      bool negative = !payload.empty() && payload[0] == '-';
+      std::string_view digits = negative ? payload.substr(1) : payload;
+      if (digits.empty()) {
+        return Status::InvalidArgument("checkpoint: empty integer token");
+      }
+      for (char c : digits) {
+        if (c < '0' || c > '9') {
+          return Status::InvalidArgument("checkpoint: bad integer token '" +
+                                         std::string(token) + "'");
+        }
+        value = value * 10 + (c - '0');
+      }
+      return Term::Int(negative ? -value : value);
+    }
+    case 'S': {
+      SQLEQ_ASSIGN_OR_RETURN(std::string s, UnescapeField(payload));
+      return Term::Str(s);
+    }
+    default:
+      return Status::InvalidArgument("checkpoint: unknown term tag '" +
+                                     std::string(token) + "'");
+  }
+}
+
+}  // namespace
+
+std::string EscapeField(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeField(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      return Status::InvalidArgument("checkpoint: dangling escape");
+    }
+    ++i;
+    switch (s[i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      default:
+        return Status::InvalidArgument("checkpoint: unknown escape '\\" +
+                                       std::string(1, s[i]) + "'");
+    }
+  }
+  return out;
+}
+
+std::string SerializeQuery(const ConjunctiveQuery& q) {
+  std::string out = "Q:" + EscapeField(q.name());
+  out += "\tH";
+  for (Term t : q.head()) {
+    out += '\t';
+    out += SerializeTerm(t);
+  }
+  for (const Atom& a : q.body()) {
+    out += "\tA:" + EscapeField(a.predicate());
+    for (Term t : a.args()) {
+      out += '\t';
+      out += SerializeTerm(t);
+    }
+  }
+  return out;
+}
+
+Result<ConjunctiveQuery> DeserializeQuery(std::string_view line) {
+  std::vector<std::string_view> fields = SplitTabs(line);
+  if (fields.size() < 2 || fields[0].substr(0, 2) != "Q:" || fields[1] != "H") {
+    return Status::InvalidArgument("checkpoint: malformed query line");
+  }
+  SQLEQ_ASSIGN_OR_RETURN(std::string name, UnescapeField(fields[0].substr(2)));
+  std::vector<Term> head;
+  size_t i = 2;
+  for (; i < fields.size() && fields[i].substr(0, 2) != "A:"; ++i) {
+    SQLEQ_ASSIGN_OR_RETURN(Term t, DeserializeTerm(fields[i]));
+    head.push_back(t);
+  }
+  std::vector<Atom> body;
+  while (i < fields.size()) {
+    SQLEQ_ASSIGN_OR_RETURN(std::string pred, UnescapeField(fields[i].substr(2)));
+    ++i;
+    std::vector<Term> args;
+    for (; i < fields.size() && fields[i].substr(0, 2) != "A:"; ++i) {
+      SQLEQ_ASSIGN_OR_RETURN(Term t, DeserializeTerm(fields[i]));
+      args.push_back(t);
+    }
+    body.emplace_back(std::move(pred), std::move(args));
+  }
+  return ConjunctiveQuery::Make(std::move(name), std::move(head),
+                                std::move(body));
+}
+
+std::string SerializeStepRecord(const ChaseStepRecord& record) {
+  return EscapeField(record.dep_label) + '\t' + (record.is_tgd ? '1' : '0') +
+         '\t' + EscapeField(record.result);
+}
+
+Result<ChaseStepRecord> DeserializeStepRecord(std::string_view line) {
+  std::vector<std::string_view> fields = SplitTabs(line);
+  if (fields.size() != 3 || (fields[1] != "0" && fields[1] != "1")) {
+    return Status::InvalidArgument("checkpoint: malformed trace line");
+  }
+  ChaseStepRecord record;
+  SQLEQ_ASSIGN_OR_RETURN(record.dep_label, UnescapeField(fields[0]));
+  record.is_tgd = fields[1] == "1";
+  SQLEQ_ASSIGN_OR_RETURN(record.result, UnescapeField(fields[2]));
+  return record;
+}
+
+std::string ChaseCheckpoint::Serialize() const {
+  std::string out = "sqleq-chase-checkpoint v1\n";
+  out += "phase " + phase + '\n';
+  out += "subject " + EscapeField(subject) + '\n';
+  out += "steps " + std::to_string(steps_done) + '\n';
+  out += "state " + SerializeQuery(state) + '\n';
+  for (const ChaseStepRecord& record : trace) {
+    out += "trace " + SerializeStepRecord(record) + '\n';
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<ChaseCheckpoint> ChaseCheckpoint::Deserialize(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (lines.empty() || lines[0] != "sqleq-chase-checkpoint v1") {
+    return Status::InvalidArgument("checkpoint: bad header");
+  }
+  std::string phase;
+  std::string subject;
+  size_t steps = 0;
+  std::optional<ConjunctiveQuery> state;
+  std::vector<ChaseStepRecord> trace;
+  bool saw_end = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    if (line.empty()) continue;
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    size_t space = line.find(' ');
+    if (space == std::string_view::npos) {
+      return Status::InvalidArgument("checkpoint: malformed line '" +
+                                     std::string(line) + "'");
+    }
+    std::string_view key = line.substr(0, space);
+    std::string_view value = line.substr(space + 1);
+    if (key == "phase") {
+      phase = std::string(value);
+    } else if (key == "subject") {
+      SQLEQ_ASSIGN_OR_RETURN(subject, UnescapeField(value));
+    } else if (key == "steps") {
+      steps = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') {
+          return Status::InvalidArgument("checkpoint: bad step count");
+        }
+        steps = steps * 10 + static_cast<size_t>(c - '0');
+      }
+    } else if (key == "state") {
+      SQLEQ_ASSIGN_OR_RETURN(ConjunctiveQuery q, DeserializeQuery(value));
+      state = std::move(q);
+    } else if (key == "trace") {
+      SQLEQ_ASSIGN_OR_RETURN(ChaseStepRecord record, DeserializeStepRecord(value));
+      trace.push_back(std::move(record));
+    } else {
+      return Status::InvalidArgument("checkpoint: unknown key '" +
+                                     std::string(key) + "'");
+    }
+  }
+  if (!saw_end || !state.has_value() || phase.empty()) {
+    return Status::InvalidArgument("checkpoint: truncated");
+  }
+  return ChaseCheckpoint{std::move(phase), std::move(subject),
+                         std::move(*state), std::move(trace), steps};
+}
+
+}  // namespace sqleq

@@ -1,7 +1,9 @@
 #include "chase/set_chase.h"
 
 #include "chase/chase_step.h"
+#include "chase/checkpoint.h"
 #include "constraints/weak_acyclicity.h"
+#include "util/fault.h"
 
 namespace sqleq {
 namespace {
@@ -25,13 +27,39 @@ ConjunctiveQuery ApplyTgdStepDeduped(const ConjunctiveQuery& q, const Tgd& tgd,
   return q.WithBody(std::move(body));
 }
 
+/// Captures the loop state into `runtime.checkpoint_out` (when requested and
+/// the stop is resumable) and propagates `status`.
+Status StopChase(Status status, const ChaseOutcome& out, size_t steps_done,
+                 const char* phase, const ChaseRuntime& runtime) {
+  if (runtime.checkpoint_out != nullptr && IsAnytimeStop(status)) {
+    *runtime.checkpoint_out =
+        ChaseCheckpoint{phase, /*subject=*/"", out.result, out.trace, steps_done};
+  }
+  return status;
+}
+
 }  // namespace
 
 Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& sigma,
-                              const ChaseOptions& options) {
+                              const ChaseOptions& options,
+                              const ChaseRuntime& runtime) {
   ChaseOutcome out{q.CanonicalRepresentation(), {}, false};
-  for (size_t step = 0; step < options.budget.max_chase_steps; ++step) {
-    SQLEQ_RETURN_IF_ERROR(options.budget.CheckDeadline("set chase"));
+  size_t start = 0;
+  if (runtime.resume != nullptr &&
+      runtime.resume->phase == ChaseCheckpoint::kSetChasePhase) {
+    out.result = runtime.resume->state;
+    out.trace = runtime.resume->trace;
+    start = runtime.resume->steps_done;
+  }
+  for (size_t step = start; step < options.budget.max_chase_steps; ++step) {
+    Status guard = options.budget.CheckDeadline("set chase");
+    if (guard.ok()) {
+      guard = ProbeSite(runtime.faults, runtime.cancel, fault_sites::kChaseStep);
+    }
+    if (!guard.ok()) {
+      return StopChase(std::move(guard), out, step,
+                       ChaseCheckpoint::kSetChasePhase, runtime);
+    }
     bool applied = false;
     // Egd pass.
     if (options.egds_first) {
@@ -85,7 +113,9 @@ Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& si
                  ? "Σ is weakly acyclic, so raising the budget will "
                    "terminate (Thm H.1)"
                  : "Σ is NOT weakly acyclic — the chase may diverge";
-  return Status::ResourceExhausted(std::move(message));
+  return StopChase(Status::ResourceExhausted(std::move(message)), out,
+                   options.budget.max_chase_steps,
+                   ChaseCheckpoint::kSetChasePhase, runtime);
 }
 
 Result<bool> SetChaseTerminates(const ConjunctiveQuery& q, const DependencySet& sigma,

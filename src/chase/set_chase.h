@@ -5,6 +5,7 @@
 #ifndef SQLEQ_CHASE_SET_CHASE_H_
 #define SQLEQ_CHASE_SET_CHASE_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,29 @@
 #include "util/status.h"
 
 namespace sqleq {
+
+class FaultInjector;
+class CancellationToken;
+struct ChaseCheckpoint;
+
+/// Per-call runtime hooks for a chase run (docs/robustness.md), deliberately
+/// separate from ChaseOptions: options are part of memo context keys and
+/// must stay pure configuration, while these are call-scoped pointers.
+/// All members are optional; a default ChaseRuntime is inert.
+struct ChaseRuntime {
+  /// Fault-injection sites ("chase.step", "memo.insert") consult this.
+  FaultInjector* faults = nullptr;
+  /// Cooperative cancellation, checked once per chase step.
+  CancellationToken* cancel = nullptr;
+  /// Resume from this checkpoint (chase/checkpoint.h) instead of starting
+  /// cold. Ignored when the checkpoint's phase does not match the loop (a
+  /// set-chase loop only accepts kSetChasePhase, and so on).
+  const ChaseCheckpoint* resume = nullptr;
+  /// When non-null and the run stops on an anytime condition (budget,
+  /// deadline, cancellation, injected exhaustion), receives the loop state
+  /// for a later resume.
+  std::optional<ChaseCheckpoint>* checkpoint_out = nullptr;
+};
 
 /// Knobs shared by set chase and sound chase.
 struct ChaseOptions {
@@ -50,9 +74,13 @@ struct ChaseOutcome {
 };
 
 /// Computes (Q)Σ,S. Returns ResourceExhausted if `options.budget` is
-/// exhausted (chase may not terminate for non-weakly-acyclic Σ).
+/// exhausted (chase may not terminate for non-weakly-acyclic Σ); the loop
+/// state at exhaustion is captured through `runtime.checkpoint_out`, and a
+/// matching checkpoint in `runtime.resume` continues a prior run instead of
+/// re-firing its steps.
 Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& sigma,
-                              const ChaseOptions& options = {});
+                              const ChaseOptions& options = {},
+                              const ChaseRuntime& runtime = {});
 
 /// True iff set chase of `q` under Σ terminates within the step budget.
 /// (Undecidable in general; this is the practical proxy the library uses for

@@ -5,7 +5,9 @@
 
 #include "chase/assignment_fixing.h"
 #include "chase/chase_step.h"
+#include "chase/checkpoint.h"
 #include "constraints/regularize.h"
+#include "util/fault.h"
 
 namespace sqleq {
 namespace {
@@ -56,14 +58,40 @@ ConjunctiveQuery NormalizeForBag(const ConjunctiveQuery& q, const Schema& schema
 
 Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& sigma,
                                 Semantics semantics, const Schema& schema,
-                                const ChaseOptions& options) {
+                                const ChaseOptions& options,
+                                const ChaseRuntime& runtime) {
   DependencySet regular = RegularizeSigma(sigma);
-  if (semantics == Semantics::kSet) return SetChase(q, regular, options);
+  if (semantics == Semantics::kSet) return SetChase(q, regular, options, runtime);
 
-  // Precondition of Thms 4.1/4.3 and Def 4.3: (Q)Σ,S exists. Fail fast.
-  {
-    Result<ChaseOutcome> probe = SetChase(q, regular, options);
-    if (!probe.ok()) return probe.status();
+  const ChaseCheckpoint* resume = runtime.resume;
+  const bool resume_sound =
+      resume != nullptr && resume->phase == ChaseCheckpoint::kSoundChasePhase;
+
+  // Precondition of Thms 4.1/4.3 and Def 4.3: (Q)Σ,S exists. Fail fast. A
+  // sound-chase checkpoint implies the probe already passed; a probe
+  // checkpoint resumes inside it (rewritten to the set-chase phase the inner
+  // loop understands, and back on capture).
+  if (!resume_sound) {
+    ChaseRuntime probe_runtime;
+    probe_runtime.faults = runtime.faults;
+    probe_runtime.cancel = runtime.cancel;
+    std::optional<ChaseCheckpoint> probe_resume;
+    if (resume != nullptr &&
+        resume->phase == ChaseCheckpoint::kSetChaseProbePhase) {
+      probe_resume = *resume;
+      probe_resume->phase = ChaseCheckpoint::kSetChasePhase;
+      probe_runtime.resume = &*probe_resume;
+    }
+    std::optional<ChaseCheckpoint> probe_checkpoint;
+    probe_runtime.checkpoint_out = &probe_checkpoint;
+    Result<ChaseOutcome> probe = SetChase(q, regular, options, probe_runtime);
+    if (!probe.ok()) {
+      if (probe_checkpoint.has_value() && runtime.checkpoint_out != nullptr) {
+        probe_checkpoint->phase = ChaseCheckpoint::kSetChaseProbePhase;
+        *runtime.checkpoint_out = std::move(probe_checkpoint);
+      }
+      return probe.status();
+    }
   }
 
   auto normalize = [&](const ConjunctiveQuery& query) {
@@ -73,8 +101,26 @@ Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& 
   };
 
   ChaseOutcome out{normalize(q), {}, false};
-  for (size_t step = 0; step < options.budget.max_chase_steps; ++step) {
-    SQLEQ_RETURN_IF_ERROR(options.budget.CheckDeadline("sound chase"));
+  size_t start = 0;
+  if (resume_sound) {
+    out.result = resume->state;
+    out.trace = resume->trace;
+    start = resume->steps_done;
+  }
+  auto stop = [&](Status status, size_t steps_done) -> Status {
+    if (runtime.checkpoint_out != nullptr && IsAnytimeStop(status)) {
+      *runtime.checkpoint_out =
+          ChaseCheckpoint{ChaseCheckpoint::kSoundChasePhase, /*subject=*/"",
+                          out.result, out.trace, steps_done};
+    }
+    return status;
+  };
+  for (size_t step = start; step < options.budget.max_chase_steps; ++step) {
+    Status guard = options.budget.CheckDeadline("sound chase");
+    if (guard.ok()) {
+      guard = ProbeSite(runtime.faults, runtime.cancel, fault_sites::kChaseStep);
+    }
+    if (!guard.ok()) return stop(std::move(guard), step);
     bool applied = false;
 
     // Egd pass: egd steps are always sound (Thm 4.1(2) / 4.3(2)).
@@ -135,9 +181,11 @@ Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& 
     }
     if (!applied) return out;  // no sound step applies — terminal.
   }
-  return Status::ResourceExhausted(
-      "sound chase exceeded " + std::to_string(options.budget.max_chase_steps) +
-      " steps (ResourceBudget::max_chase_steps)");
+  return stop(Status::ResourceExhausted(
+                  "sound chase exceeded " +
+                  std::to_string(options.budget.max_chase_steps) +
+                  " steps (ResourceBudget::max_chase_steps)"),
+              options.budget.max_chase_steps);
 }
 
 Result<StepAvailability> ClassifyStep(const ConjunctiveQuery& q, const Dependency& dep,

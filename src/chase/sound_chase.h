@@ -33,10 +33,15 @@ ConjunctiveQuery NormalizeForBag(const ConjunctiveQuery& q, const Schema& schema
 /// SetChase. `schema` supplies the set-valued flags consulted under kBag
 /// (ignored under kSet/kBagSet). Fails with ResourceExhausted when set
 /// chase does not terminate within the step budget — the precondition of
-/// every theorem this implements.
+/// every theorem this implements. `runtime` carries the per-call anytime
+/// hooks (fault sites, cancellation, checkpoint capture/resume — see
+/// chase/checkpoint.h); the checkpoint phase distinguishes the set-chase
+/// precondition probe from the sound-chase loop proper, so a resume skips
+/// whatever already completed.
 Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& sigma,
                                 Semantics semantics, const Schema& schema,
-                                const ChaseOptions& options = {});
+                                const ChaseOptions& options = {},
+                                const ChaseRuntime& runtime = {});
 
 /// How a dependency relates to a query for the purposes of Algorithms 1–2.
 enum class StepAvailability {

@@ -33,7 +33,7 @@ Result<bool> AggregateEquivalentUnder(const AggregateQuery& q1, const AggregateQ
   SQLEQ_ASSIGN_OR_RETURN(
       EquivVerdict verdict,
       engine.Equivalent(c1, c2, EquivRequest{semantics, sigma, Schema(), options}));
-  return verdict.equivalent;
+  return VerdictToBool(verdict);
 }
 
 }  // namespace sqleq

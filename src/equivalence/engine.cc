@@ -60,20 +60,57 @@ Result<EquivVerdict> EquivalenceEngine::Equivalent(const ConjunctiveQuery& q1,
         AnalyzeProgram(request.schema, request.sigma, {q1, q2}, request.analyze)));
   }
   std::shared_ptr<ChaseMemo> memo = MemoFor(request);
-  SQLEQ_RETURN_IF_ERROR(request.chase.budget.CheckDeadline("equivalence chase of Q1"));
-  SQLEQ_ASSIGN_OR_RETURN(ChaseOutcome c1, memo->Chase(q1));
-  SQLEQ_RETURN_IF_ERROR(request.chase.budget.CheckDeadline("equivalence chase of Q2"));
-  SQLEQ_ASSIGN_OR_RETURN(ChaseOutcome c2, memo->Chase(q2));
+  ChaseRuntime runtime;
+  runtime.faults = request.faults;
+  runtime.cancel = request.cancel;
+  runtime.resume = request.resume;  // subject-stamped: applied to its own query only
+  std::optional<ChaseCheckpoint> checkpoint;
+  runtime.checkpoint_out = &checkpoint;
 
-  EquivVerdict out{/*equivalent=*/false, request.semantics,
-                   c1.result,            c2.result,
-                   std::move(c1.trace),  std::move(c2.trace),
-                   c1.failed,            c2.failed,
-                   std::nullopt,         std::nullopt};
+  // Anytime conversion: a chase stopped by budget/deadline/cancellation/
+  // fault yields a kUnknown verdict echoing the inputs, not an error.
+  auto unknown = [&](const Status& status, std::string phase) -> EquivVerdict {
+    EquivVerdict out{/*equivalent=*/false, request.semantics,
+                     q1,                   q2,
+                     {},                   {},
+                     /*q1_failed=*/false,  /*q2_failed=*/false,
+                     std::nullopt,         std::nullopt,
+                     Verdict::kUnknown,    std::nullopt,
+                     std::nullopt};
+    out.exhaustion = InferExhaustion(status, std::move(phase));
+    out.checkpoint = std::move(checkpoint);
+    return out;
+  };
+
+  Status guard = request.chase.budget.CheckDeadline("equivalence chase of Q1");
+  if (!guard.ok()) return unknown(guard, "chase of Q1");
+  Result<ChaseOutcome> c1_result = memo->Chase(q1, runtime);
+  if (!c1_result.ok()) {
+    if (!IsAnytimeStop(c1_result.status())) return c1_result.status();
+    return unknown(c1_result.status(), "chase of Q1");
+  }
+  ChaseOutcome c1 = std::move(*c1_result);
+  guard = request.chase.budget.CheckDeadline("equivalence chase of Q2");
+  if (!guard.ok()) return unknown(guard, "chase of Q2");
+  Result<ChaseOutcome> c2_result = memo->Chase(q2, runtime);
+  if (!c2_result.ok()) {
+    if (!IsAnytimeStop(c2_result.status())) return c2_result.status();
+    return unknown(c2_result.status(), "chase of Q2");
+  }
+  ChaseOutcome c2 = std::move(*c2_result);
+
+  EquivVerdict out{/*equivalent=*/false,   request.semantics,
+                   c1.result,              c2.result,
+                   std::move(c1.trace),    std::move(c2.trace),
+                   c1.failed,              c2.failed,
+                   std::nullopt,           std::nullopt,
+                   Verdict::kNotEquivalent, std::nullopt,
+                   std::nullopt};
   if (c1.failed || c2.failed) {
     // A failed chase means the query is empty on every instance of Σ; two
     // queries are then equivalent iff both fail.
     out.equivalent = c1.failed == c2.failed;
+    out.verdict = out.equivalent ? Verdict::kEquivalent : Verdict::kNotEquivalent;
     return out;
   }
 
@@ -101,7 +138,29 @@ Result<EquivVerdict> EquivalenceEngine::Equivalent(const ConjunctiveQuery& q1,
       break;
     }
   }
+  out.verdict = out.equivalent ? Verdict::kEquivalent : Verdict::kNotEquivalent;
   return out;
+}
+
+Result<EquivVerdict> EquivalenceEngine::EquivalentWithRetry(
+    const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+    const EquivRequest& request, const EscalatingBudget& policy) {
+  const size_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  EquivRequest attempt_request = request;
+  std::optional<ChaseCheckpoint> carried;
+  Result<EquivVerdict> result =
+      Status::Internal("retry loop did not run");  // overwritten below
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    attempt_request.chase.budget = policy.Escalate(request.chase.budget, attempt);
+    attempt_request.resume = carried.has_value() ? &*carried : request.resume;
+    result = Equivalent(q1, q2, attempt_request);
+    if (!result.ok() || result->verdict != Verdict::kUnknown ||
+        !result->checkpoint.has_value()) {
+      return result;
+    }
+    carried = *result->checkpoint;
+  }
+  return result;
 }
 
 EquivalenceEngine::CacheStats EquivalenceEngine::cache_stats() const {

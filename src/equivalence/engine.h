@@ -24,8 +24,10 @@
 
 #include "analysis/analyzer.h"
 #include "chase/chase_cache.h"
+#include "chase/checkpoint.h"
 #include "chase/set_chase.h"
 #include "constraints/dependency.h"
+#include "util/resource_budget.h"
 #include "db/eval.h"
 #include "ir/query.h"
 #include "ir/schema.h"
@@ -48,6 +50,14 @@ struct EquivRequest {
   /// skip (inputs already vetted), or analyze.warnings_as_errors = true to
   /// also refuse what the engines would merely auto-correct.
   AnalyzeOptions analyze = AnalyzeOptions::Preflight();
+  /// Anytime hooks (docs/robustness.md): fault injection, cooperative
+  /// cancellation, and a chase checkpoint to resume from. The checkpoint is
+  /// subject-stamped with its query's canonical key, so it is applied only
+  /// to the chase it belongs to (the other query starts cold). All three
+  /// may be left null.
+  FaultInjector* faults = nullptr;
+  CancellationToken* cancel = nullptr;
+  const ChaseCheckpoint* resume = nullptr;
 };
 
 /// The decision plus its evidence: sound-chase results for both inputs
@@ -61,7 +71,7 @@ struct EquivVerdict {
   Semantics semantics;
 
   // ConjunctiveQuery has no default constructor, so EquivVerdict is built
-  // by aggregate initialization (all members supplied).
+  // by aggregate initialization (trailing members below carry defaults).
   ConjunctiveQuery chased_q1;
   ConjunctiveQuery chased_q2;
   std::vector<ChaseStepRecord> trace_q1;
@@ -71,7 +81,31 @@ struct EquivVerdict {
 
   std::optional<TermMap> witness_forward;
   std::optional<TermMap> witness_backward;
+
+  /// Three-valued outcome. kUnknown means an anytime condition (budget,
+  /// deadline, cancellation, injected fault) stopped a chase before the
+  /// decision: `equivalent` is then false-but-meaningless, chased_q1/q2 echo
+  /// the inputs, `exhaustion` says what tripped, and `checkpoint` (when a
+  /// chase got far enough to capture one) resumes the interrupted chase via
+  /// EquivRequest::resume.
+  Verdict verdict = Verdict::kNotEquivalent;
+  std::optional<ExhaustionInfo> exhaustion;
+  std::optional<ChaseCheckpoint> checkpoint;
 };
+
+/// Collapses a three-valued verdict onto the legacy boolean contract: a
+/// kUnknown verdict becomes the anytime Status it replaced (kCancelled for
+/// cancellation, kResourceExhausted otherwise). For Result<bool> APIs that
+/// predate the anytime contract.
+inline Result<bool> VerdictToBool(const EquivVerdict& v) {
+  if (v.verdict != Verdict::kUnknown) return v.equivalent;
+  std::string msg = v.exhaustion.has_value() ? v.exhaustion->ToString()
+                                             : "equivalence undecided";
+  if (v.exhaustion.has_value() && v.exhaustion->limit == "cancelled") {
+    return Status::Cancelled(std::move(msg));
+  }
+  return Status::ResourceExhausted(std::move(msg));
+}
 
 /// The post-chase equivalence primitive the facade, C&B, and the view
 /// rewriter all share: are the (already chased) queries equivalent under
@@ -87,12 +121,26 @@ class EquivalenceEngine {
   EquivalenceEngine(const EquivalenceEngine&) = delete;
   EquivalenceEngine& operator=(const EquivalenceEngine&) = delete;
 
-  /// Decides q1 ≡Σ,X q2 per the request and assembles the evidence. Errors:
-  /// ResourceExhausted when a chase exceeds request.chase.budget (steps or
-  /// deadline). Thread-safe; concurrent calls share the memo caches.
+  /// Decides q1 ≡Σ,X q2 per the request and assembles the evidence.
+  /// Anytime contract (docs/robustness.md): when a chase trips the budget,
+  /// the deadline, cancellation, or an injected fault, the call returns OK
+  /// with verdict = kUnknown (plus exhaustion and, usually, a resumable
+  /// checkpoint) instead of an error. Non-anytime failures (bad inputs,
+  /// Σ-lint rejections) remain errors. Thread-safe; concurrent calls share
+  /// the memo caches.
   Result<EquivVerdict> Equivalent(const ConjunctiveQuery& q1,
                                   const ConjunctiveQuery& q2,
                                   const EquivRequest& request);
+
+  /// Equivalent() under an escalating-budget retry policy: attempt 0 runs
+  /// with request.chase.budget; each kUnknown attempt is resumed from its
+  /// checkpoint under a budget scaled by `policy` until the verdict is
+  /// decided or policy.max_attempts is spent. The final (possibly still
+  /// kUnknown) verdict is returned; errors propagate immediately.
+  Result<EquivVerdict> EquivalentWithRetry(const ConjunctiveQuery& q1,
+                                           const ConjunctiveQuery& q2,
+                                           const EquivRequest& request,
+                                           const EscalatingBudget& policy);
 
   struct CacheStats {
     size_t hits = 0;

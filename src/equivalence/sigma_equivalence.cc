@@ -16,7 +16,7 @@ Result<bool> EquivalentUnderImpl(const ConjunctiveQuery& q1, const ConjunctiveQu
   SQLEQ_ASSIGN_OR_RETURN(
       EquivVerdict verdict,
       engine.Equivalent(q1, q2, EquivRequest{semantics, sigma, schema, options}));
-  return verdict.equivalent;
+  return VerdictToBool(verdict);
 }
 
 }  // namespace

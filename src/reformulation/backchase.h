@@ -58,26 +58,78 @@ struct SweepStats {
   size_t failure_pruned = 0;
 };
 
+/// The resumable state of an interrupted lattice sweep, cut at the first
+/// unevaluated mask: everything strictly before `next_mask` (in wave order)
+/// is fully merged into the carried fields; everything at or after it is
+/// untouched and re-enumerated on resume. Because the sweep merges in
+/// ascending mask order, resuming and finishing yields exactly the
+/// uninterrupted sweep's output, at every thread count.
+struct BackchaseCheckpoint {
+  /// Popcount of `next_mask` — the wave to re-enter.
+  size_t cardinality = 1;
+  /// First mask not yet evaluated.
+  uint64_t next_mask = 0;
+  std::vector<uint64_t> accepted_masks;
+  std::vector<uint64_t> failed_masks;
+  /// Accepted candidates so far (ascending mask order, deduped).
+  std::vector<ConjunctiveQuery> accepted;
+  SweepStats stats;
+  /// Chase keys seen so far (sorted), for deterministic hit replay.
+  std::vector<std::string> seen_chase_keys;
+  /// Non-pruned masks already charged against max_candidates.
+  size_t budget_consumed = 0;
+
+  std::string Serialize() const;
+  static Result<BackchaseCheckpoint> Deserialize(std::string_view text);
+};
+
+class FaultInjector;
+class CancellationToken;
+
+/// Per-call knobs of the sweep beyond the budget.
+struct SweepOptions {
+  /// Turns on the kChaseFailed superset prune — sound under set semantics,
+  /// where chase failure is monotone in the body (a restriction of any hom
+  /// into a model is a hom).
+  bool enable_failure_prune = false;
+  /// Seed the hit accounting with chases performed before the sweep (e.g.
+  /// the universal plan's).
+  std::vector<std::string> preseeded_chase_keys;
+  /// Resume an interrupted sweep. The caller must re-supply the identical
+  /// pool and evaluate function (the checkpoint stores mask-indexed state).
+  const BackchaseCheckpoint* resume = nullptr;
+  /// Fault injection ("pool.task" fires once per evaluated mask) and
+  /// cooperative cancellation, both checked during enumeration and
+  /// evaluation. Either may be null.
+  FaultInjector* faults = nullptr;
+  CancellationToken* cancel = nullptr;
+};
+
 struct SweepOutput {
   /// Accepted candidates, ascending mask order, pairwise non-isomorphic.
   std::vector<ConjunctiveQuery> accepted;
   SweepStats stats;
+  /// False when the sweep stopped early on an anytime condition (candidate
+  /// budget, deadline, cancellation, injected exhaustion); `accepted` then
+  /// holds the prefix confirmed before the stop, `exhaustion` says why, and
+  /// `checkpoint` resumes the sweep.
+  bool complete = true;
+  std::optional<ExhaustionInfo> exhaustion;
+  std::optional<BackchaseCheckpoint> checkpoint;
 };
 
 /// Sweeps the 2^n - 1 nonempty subset masks of an n-element candidate pool.
 /// `evaluate` must be a pure, thread-safe function of the mask; it runs on
-/// `budget.threads` threads (<=1 → serial). `enable_failure_prune` turns on
-/// the kChaseFailed superset prune — sound under set semantics, where chase
-/// failure is monotone in the body (a restriction of any hom into a model
-/// is a hom). `preseeded_chase_keys` seed the hit accounting with chases
-/// performed before the sweep (e.g. the universal plan's).
+/// `budget.threads` threads (<=1 → serial).
 ///
 /// Budget: every non-pruned mask consumes one unit of
-/// `budget.max_candidates`; exhaustion and deadline expiry return
-/// ResourceExhausted naming the limit.
+/// `budget.max_candidates`. Exhaustion, deadline expiry, cancellation, and
+/// injected exhaustion do NOT error: they end the sweep early with
+/// `complete = false` and a resumable checkpoint (anytime contract, see
+/// docs/robustness.md). Non-anytime evaluate errors still propagate as
+/// errors, first-in-mask-order.
 Result<SweepOutput> SweepBackchaseLattice(
-    size_t n, const ResourceBudget& budget, bool enable_failure_prune,
-    const std::vector<std::string>& preseeded_chase_keys,
+    size_t n, const ResourceBudget& budget, const SweepOptions& options,
     const std::function<Result<CandidateVerdict>(uint64_t)>& evaluate);
 
 }  // namespace sqleq

@@ -1,14 +1,100 @@
 #include "reformulation/candb.h"
 
 #include <string>
+#include <utility>
 
 #include "chase/chase_cache.h"
 #include "chase/sound_chase.h"
 #include "equivalence/engine.h"
-#include "reformulation/backchase.h"
 #include "reformulation/minimize.h"
+#include "util/fault.h"
 
 namespace sqleq {
+
+std::string CandBCheckpoint::Serialize() const {
+  std::string out = "sqleq-candb-checkpoint v1\n";
+  out += "phase " + phase + '\n';
+  if (chase.has_value()) {
+    out += "chase-begin\n";
+    out += chase->Serialize();
+    out += "chase-end\n";
+  }
+  if (universal_plan.has_value()) {
+    out += "plan " + SerializeQuery(*universal_plan) + '\n';
+  }
+  if (backchase.has_value()) {
+    out += "backchase-begin\n";
+    out += backchase->Serialize();
+    out += "backchase-end\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<CandBCheckpoint> CandBCheckpoint::Deserialize(std::string_view text) {
+  CandBCheckpoint cp;
+  size_t pos = 0;
+  auto next_line = [&]() -> std::optional<std::string_view> {
+    if (pos >= text.size()) return std::nullopt;
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+  auto collect_until = [&](std::string_view sentinel) -> Result<std::string> {
+    std::string block;
+    while (true) {
+      std::optional<std::string_view> line = next_line();
+      if (!line.has_value()) {
+        return Status::InvalidArgument("checkpoint: missing " +
+                                       std::string(sentinel));
+      }
+      if (*line == sentinel) return block;
+      block += std::string(*line);
+      block += '\n';
+    }
+  };
+  std::optional<std::string_view> header = next_line();
+  if (!header.has_value() || *header != "sqleq-candb-checkpoint v1") {
+    return Status::InvalidArgument("checkpoint: bad candb header");
+  }
+  bool saw_end = false;
+  while (true) {
+    std::optional<std::string_view> line = next_line();
+    if (!line.has_value()) break;
+    if (line->empty()) continue;
+    if (*line == "end") {
+      saw_end = true;
+      break;
+    }
+    if (line->rfind("phase ", 0) == 0) {
+      cp.phase = std::string(line->substr(6));
+    } else if (*line == "chase-begin") {
+      SQLEQ_ASSIGN_OR_RETURN(std::string block, collect_until("chase-end"));
+      SQLEQ_ASSIGN_OR_RETURN(ChaseCheckpoint inner,
+                             ChaseCheckpoint::Deserialize(block));
+      cp.chase = std::move(inner);
+    } else if (line->rfind("plan ", 0) == 0) {
+      SQLEQ_ASSIGN_OR_RETURN(ConjunctiveQuery plan,
+                             DeserializeQuery(line->substr(5)));
+      cp.universal_plan = std::move(plan);
+    } else if (*line == "backchase-begin") {
+      SQLEQ_ASSIGN_OR_RETURN(std::string block, collect_until("backchase-end"));
+      SQLEQ_ASSIGN_OR_RETURN(BackchaseCheckpoint inner,
+                             BackchaseCheckpoint::Deserialize(block));
+      cp.backchase = std::move(inner);
+    } else {
+      return Status::InvalidArgument("checkpoint: unknown candb line");
+    }
+  }
+  if (!saw_end) return Status::InvalidArgument("checkpoint: truncated");
+  if (cp.phase != kChasePhase && cp.phase != kBackchasePhase) {
+    return Status::InvalidArgument("checkpoint: unknown candb phase '" +
+                                   cp.phase + "'");
+  }
+  return cp;
+}
 
 Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
                                       const DependencySet& sigma, Semantics semantics,
@@ -22,14 +108,47 @@ Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
   ChaseOptions chase_options = options.chase;
   chase_options.budget = options.budget;
 
+  const CandBCheckpoint* resume = options.resume;
+  const bool resume_backchase =
+      resume != nullptr && resume->phase == CandBCheckpoint::kBackchasePhase &&
+      resume->universal_plan.has_value() && resume->backchase.has_value();
+
   // ---- Chase phase: universal plan U = (Q)Σ,X. ----
-  SQLEQ_ASSIGN_OR_RETURN(ChaseOutcome chased,
-                         SoundChase(q, sigma, semantics, schema, chase_options));
-  if (chased.failed) {
-    return Status::FailedPrecondition(
-        "chase failed: Q is unsatisfiable on every instance of Σ");
+  std::optional<ConjunctiveQuery> plan;
+  if (resume_backchase) {
+    plan = *resume->universal_plan;
+  } else {
+    ChaseRuntime chase_runtime;
+    chase_runtime.faults = options.faults;
+    chase_runtime.cancel = options.cancel;
+    if (resume != nullptr && resume->phase == CandBCheckpoint::kChasePhase &&
+        resume->chase.has_value()) {
+      chase_runtime.resume = &*resume->chase;
+    }
+    std::optional<ChaseCheckpoint> chase_checkpoint;
+    chase_runtime.checkpoint_out = &chase_checkpoint;
+    Result<ChaseOutcome> chased =
+        SoundChase(q, sigma, semantics, schema, chase_options, chase_runtime);
+    if (!chased.ok()) {
+      if (!IsAnytimeStop(chased.status())) return chased.status();
+      // The plan does not exist yet: no reformulation can be confirmed.
+      // Package what the chase got through as a resumable partial result.
+      CandBResult out{q, {}, 0, 0, 0, true, std::nullopt, std::nullopt};
+      out.complete = false;
+      out.exhaustion = InferExhaustion(chased.status(), "chase");
+      CandBCheckpoint cp;
+      cp.phase = CandBCheckpoint::kChasePhase;
+      cp.chase = std::move(chase_checkpoint);
+      out.checkpoint = std::move(cp);
+      return out;
+    }
+    if (chased->failed) {
+      return Status::FailedPrecondition(
+          "chase failed: Q is unsatisfiable on every instance of Σ");
+    }
+    plan = std::move(chased->result);
   }
-  CandBResult out{chased.result, {}, 0, 0, 0};
+  CandBResult out{*plan, {}, 0, 0, 0, true, std::nullopt, std::nullopt};
   const ConjunctiveQuery& u = out.universal_plan;
 
   size_t n = u.body().size();
@@ -41,7 +160,12 @@ Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
   // ---- Backchase phase: subqueries of U, smallest first, chased through a
   // shared memo so isomorphic candidates cost one chase. ----
   ChaseMemo memo(sigma, semantics, schema, chase_options);
+  ChaseRuntime memo_runtime;
+  memo_runtime.faults = options.faults;
+  memo_runtime.cancel = options.cancel;
   auto evaluate = [&](uint64_t mask) -> Result<CandidateVerdict> {
+    SQLEQ_RETURN_IF_ERROR(ProbeSite(options.faults, options.cancel,
+                                    fault_sites::kBackchaseCandidate));
     std::vector<Atom> body;
     for (size_t i = 0; i < n; ++i) {
       if ((mask >> i) & 1) body.push_back(u.body()[i]);
@@ -51,8 +175,9 @@ Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
     if (!candidate.ok()) return CandidateVerdict{};  // unsafe subquery — skip
 
     CandidateVerdict verdict;
-    SQLEQ_ASSIGN_OR_RETURN(std::shared_ptr<const ChaseOutcome> cand_chased,
-                           memo.ChaseCanonical(*candidate, &verdict.chase_key));
+    SQLEQ_ASSIGN_OR_RETURN(
+        std::shared_ptr<const ChaseOutcome> cand_chased,
+        memo.ChaseCanonical(*candidate, &verdict.chase_key, memo_runtime));
     if (cand_chased->failed) {
       verdict.outcome = CandidateOutcome::kChaseFailed;
       return verdict;
@@ -80,15 +205,50 @@ Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
   // witnesses unsatisfiability, which is monotone in the body (restricting a
   // homomorphism into a model is a homomorphism). Under B/BS the sound chase
   // fixes assignments per query, so no such monotonicity holds.
-  bool failure_prune = semantics == Semantics::kSet;
+  SweepOptions sweep_options;
+  sweep_options.enable_failure_prune = semantics == Semantics::kSet;
+  sweep_options.faults = options.faults;
+  sweep_options.cancel = options.cancel;
+  if (resume_backchase) sweep_options.resume = &*resume->backchase;
   SQLEQ_ASSIGN_OR_RETURN(
       SweepOutput swept,
-      SweepBackchaseLattice(n, options.budget, failure_prune, {}, evaluate));
+      SweepBackchaseLattice(n, options.budget, sweep_options, evaluate));
   out.reformulations = std::move(swept.accepted);
   out.candidates_examined = swept.stats.candidates_examined;
   out.chase_cache_hits = swept.stats.chase_cache_hits;
   out.chase_cache_misses = swept.stats.chase_cache_misses;
+  if (!swept.complete) {
+    out.complete = false;
+    out.exhaustion = std::move(swept.exhaustion);
+    CandBCheckpoint cp;
+    cp.phase = CandBCheckpoint::kBackchasePhase;
+    cp.universal_plan = u;
+    cp.backchase = std::move(swept.checkpoint);
+    out.checkpoint = std::move(cp);
+  }
   return out;
+}
+
+Result<CandBResult> ChaseAndBackchaseWithRetry(
+    const ConjunctiveQuery& q, const DependencySet& sigma, Semantics semantics,
+    const Schema& schema, const CandBOptions& options,
+    const EscalatingBudget& policy) {
+  const size_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  CandBOptions attempt_options = options;
+  std::optional<CandBCheckpoint> carried;
+  Result<CandBResult> result =
+      Status::Internal("retry loop did not run");  // overwritten below
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    attempt_options.budget = policy.Escalate(options.budget, attempt);
+    attempt_options.resume =
+        carried.has_value() ? &*carried : options.resume;
+    result = ChaseAndBackchase(q, sigma, semantics, schema, attempt_options);
+    if (!result.ok() || result->complete || !result->checkpoint.has_value()) {
+      return result;
+    }
+    carried = *result->checkpoint;
+  }
+  return result;
 }
 
 }  // namespace sqleq

@@ -11,21 +11,52 @@
 // candidates never re-chase, supersets of accepted or chase-failed masks
 // are pruned, and results are merged deterministically — serial and
 // parallel runs return byte-identical CandBResults.
+//
+// Anytime contract (docs/robustness.md): budget exhaustion, deadline
+// expiry, cancellation, and injected faults do not error. They return a
+// partial CandBResult (complete = false) whose reformulations are the
+// Σ-minimal candidates confirmed before the stop — a prefix-consistent
+// subset of the unbudgeted output — plus a CandBCheckpoint from which a
+// later call finishes the job exactly.
 #ifndef SQLEQ_REFORMULATION_CANDB_H_
 #define SQLEQ_REFORMULATION_CANDB_H_
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "chase/checkpoint.h"
 #include "chase/set_chase.h"
 #include "constraints/dependency.h"
 #include "db/eval.h"
 #include "ir/query.h"
 #include "ir/schema.h"
+#include "reformulation/backchase.h"
 #include "util/resource_budget.h"
 #include "util/status.h"
 
 namespace sqleq {
+
+class FaultInjector;
+class CancellationToken;
+
+/// Where an interrupted C&B call stopped and everything needed to finish it.
+struct CandBCheckpoint {
+  static constexpr const char* kChasePhase = "chase";
+  static constexpr const char* kBackchasePhase = "backchase";
+
+  /// kChasePhase: the universal-plan chase was interrupted (`chase` set).
+  /// kBackchasePhase: the chase finished (`universal_plan` set) and the
+  /// lattice sweep was interrupted (`backchase` set).
+  std::string phase;
+  std::optional<ChaseCheckpoint> chase;
+  std::optional<ConjunctiveQuery> universal_plan;
+  std::optional<BackchaseCheckpoint> backchase;
+
+  std::string Serialize() const;
+  static Result<CandBCheckpoint> Deserialize(std::string_view text);
+};
 
 struct CandBOptions {
   /// Chase strategy knobs (egds_first, key_based_fast_path). The embedded
@@ -45,12 +76,25 @@ struct CandBOptions {
   /// findings become FailedPrecondition instead of a budget blowout. See
   /// EquivRequest::analyze.
   AnalyzeOptions analyze = AnalyzeOptions::Preflight();
+  /// Fault injection ("backchase.candidate" fires once per candidate built,
+  /// plus the chase/memo/pool sites downstream) and cooperative
+  /// cancellation. Either may be null.
+  FaultInjector* faults = nullptr;
+  CancellationToken* cancel = nullptr;
+  /// Resume an interrupted call. Must be a checkpoint produced by a prior
+  /// ChaseAndBackchase over the same (q, Σ, semantics, schema, chase knobs);
+  /// the finished run's result is then byte-identical to an uninterrupted
+  /// run's, at every thread count.
+  const CandBCheckpoint* resume = nullptr;
 };
 
 struct CandBResult {
-  /// The universal plan U = (Q)Σ,X.
+  /// The universal plan U = (Q)Σ,X. When the chase phase itself was
+  /// interrupted (complete = false, checkpoint.phase == "chase") the plan
+  /// does not exist yet and this echoes the input query.
   ConjunctiveQuery universal_plan;
   /// Σ-minimal reformulations Q′ with Q′ ≡Σ,X Q, pairwise non-isomorphic.
+  /// On a partial result: the prefix confirmed before the stop.
   std::vector<ConjunctiveQuery> reformulations;
   /// Backchase candidates whose equivalence was tested.
   size_t candidates_examined = 0;
@@ -58,17 +102,34 @@ struct CandBResult {
   /// deterministically in mask order (identical at every thread count).
   size_t chase_cache_hits = 0;
   size_t chase_cache_misses = 0;
+  /// False when the call stopped early on an anytime condition; `exhaustion`
+  /// says what tripped and `checkpoint` resumes the call.
+  bool complete = true;
+  std::optional<ExhaustionInfo> exhaustion;
+  std::optional<CandBCheckpoint> checkpoint;
 };
 
 /// Runs chase & backchase for `q` under Σ and the given semantics. Sound
 /// and complete whenever set chase terminates on the inputs (Thms A.1, 6.4,
 /// K.1) — guarded by the chase step budget. With options.budget.threads > 1
 /// the backchase sweeps candidates on a worker pool; the result is
-/// byte-identical to the serial sweep.
+/// byte-identical to the serial sweep. Anytime stops (budget, deadline,
+/// cancellation, injected faults) return partial results, not errors — see
+/// the header comment.
 Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
                                       const DependencySet& sigma, Semantics semantics,
                                       const Schema& schema,
                                       const CandBOptions& options = {});
+
+/// ChaseAndBackchase under an escalating-budget retry policy: attempt 0 runs
+/// with options.budget; each incomplete attempt is resumed (from its own
+/// checkpoint) under a budget scaled by `policy` until the result is
+/// complete or policy.max_attempts is spent. The final (possibly still
+/// partial) result is returned; errors propagate immediately.
+Result<CandBResult> ChaseAndBackchaseWithRetry(
+    const ConjunctiveQuery& q, const DependencySet& sigma, Semantics semantics,
+    const Schema& schema, const CandBOptions& options,
+    const EscalatingBudget& policy);
 
 }  // namespace sqleq
 

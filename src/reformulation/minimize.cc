@@ -71,7 +71,7 @@ Result<bool> IsSigmaMinimal(const ConjunctiveQuery& q, const DependencySet& sigm
   auto equivalent_to_q = [&](const ConjunctiveQuery& candidate) -> Result<bool> {
     SQLEQ_ASSIGN_OR_RETURN(EquivVerdict verdict,
                            engine.Equivalent(candidate, q, request));
-    return verdict.equivalent;
+    return VerdictToBool(verdict);
   };
 
   for (const TermMap& sub : substitutions) {

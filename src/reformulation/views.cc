@@ -9,6 +9,7 @@
 #include "equivalence/engine.h"
 #include "equivalence/isomorphism.h"
 #include "reformulation/backchase.h"
+#include "util/fault.h"
 
 namespace sqleq {
 namespace {
@@ -162,7 +163,7 @@ Result<bool> IsEquivalentRewriting(const ConjunctiveQuery& q,
   SQLEQ_ASSIGN_OR_RETURN(
       EquivVerdict verdict,
       engine.Equivalent(*expansion, q, EquivRequest{semantics, sigma, schema, options}));
-  return verdict.equivalent;
+  return VerdictToBool(verdict);
 }
 
 Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet& views,
@@ -184,13 +185,44 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
   ChaseOptions chase_options = options.candb.chase;
   chase_options.budget = options.candb.budget;
 
+  const CandBCheckpoint* resume = options.candb.resume;
+  const bool resume_backchase =
+      resume != nullptr && resume->phase == CandBCheckpoint::kBackchasePhase &&
+      resume->universal_plan.has_value() && resume->backchase.has_value();
+
   // Chase phase.
-  SQLEQ_ASSIGN_OR_RETURN(ChaseOutcome chased,
-                         SoundChase(q, sigma, semantics, schema, chase_options));
-  if (chased.failed) {
-    return Status::FailedPrecondition("chase failed: Q is unsatisfiable under Σ");
+  std::optional<ConjunctiveQuery> plan;
+  if (resume_backchase) {
+    plan = *resume->universal_plan;
+  } else {
+    ChaseRuntime chase_runtime;
+    chase_runtime.faults = options.candb.faults;
+    chase_runtime.cancel = options.candb.cancel;
+    if (resume != nullptr && resume->phase == CandBCheckpoint::kChasePhase &&
+        resume->chase.has_value()) {
+      chase_runtime.resume = &*resume->chase;
+    }
+    std::optional<ChaseCheckpoint> chase_checkpoint;
+    chase_runtime.checkpoint_out = &chase_checkpoint;
+    Result<ChaseOutcome> chased =
+        SoundChase(q, sigma, semantics, schema, chase_options, chase_runtime);
+    if (!chased.ok()) {
+      if (!IsAnytimeStop(chased.status())) return chased.status();
+      RewriteResult out{{}, q, 0, 0, 0, true, std::nullopt, std::nullopt};
+      out.complete = false;
+      out.exhaustion = InferExhaustion(chased.status(), "chase");
+      CandBCheckpoint cp;
+      cp.phase = CandBCheckpoint::kChasePhase;
+      cp.chase = std::move(chase_checkpoint);
+      out.checkpoint = std::move(cp);
+      return out;
+    }
+    if (chased->failed) {
+      return Status::FailedPrecondition("chase failed: Q is unsatisfiable under Σ");
+    }
+    plan = std::move(chased->result);
   }
-  RewriteResult out{{}, chased.result, 0, 0, 0};
+  RewriteResult out{{}, *plan, 0, 0, 0, true, std::nullopt, std::nullopt};
   const ConjunctiveQuery& u = out.universal_plan;
 
   // Candidate atoms: view atoms induced by homomorphisms view-body → U,
@@ -224,10 +256,38 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
   // abound among view-atom combinations), and U itself is chased exactly
   // once, up front, instead of once per candidate.
   ChaseMemo memo(sigma, semantics, schema, chase_options);
+  ChaseRuntime memo_runtime;
+  memo_runtime.faults = options.candb.faults;
+  memo_runtime.cancel = options.candb.cancel;
   std::string u_key;
-  SQLEQ_ASSIGN_OR_RETURN(std::shared_ptr<const ChaseOutcome> u_chased,
-                         memo.ChaseCanonical(u, &u_key));
+  Result<std::shared_ptr<const ChaseOutcome>> u_chase_result =
+      memo.ChaseCanonical(u, &u_key, memo_runtime);
+  if (!u_chase_result.ok()) {
+    if (!IsAnytimeStop(u_chase_result.status())) return u_chase_result.status();
+    // U's own (usually near-fixpoint) chase tripped before the sweep began:
+    // checkpoint at the sweep's start — or at the incoming resume point,
+    // which is strictly further along.
+    RewriteResult partial{{}, u, 0, 0, 0, true, std::nullopt, std::nullopt};
+    partial.complete = false;
+    partial.exhaustion = InferExhaustion(u_chase_result.status(), "backchase");
+    CandBCheckpoint cp;
+    cp.phase = CandBCheckpoint::kBackchasePhase;
+    cp.universal_plan = u;
+    cp.backchase =
+        resume_backchase ? *resume->backchase : BackchaseCheckpoint{};
+    if (resume_backchase) {
+      partial.rewritings = resume->backchase->accepted;
+      partial.candidates_examined = resume->backchase->stats.candidates_examined;
+      partial.chase_cache_hits = resume->backchase->stats.chase_cache_hits;
+      partial.chase_cache_misses = resume->backchase->stats.chase_cache_misses;
+    }
+    partial.checkpoint = std::move(cp);
+    return partial;
+  }
+  std::shared_ptr<const ChaseOutcome> u_chased = std::move(*u_chase_result);
   auto evaluate = [&](uint64_t mask) -> Result<CandidateVerdict> {
+    SQLEQ_RETURN_IF_ERROR(ProbeSite(options.candb.faults, options.candb.cancel,
+                                    fault_sites::kBackchaseCandidate));
     std::vector<Atom> body;
     for (size_t i = 0; i < pool.size(); ++i) {
       if ((mask >> i) & 1) body.push_back(pool[i]);
@@ -247,8 +307,9 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
       }
       return expansion.status();
     }
-    SQLEQ_ASSIGN_OR_RETURN(std::shared_ptr<const ChaseOutcome> exp_chased,
-                           memo.ChaseCanonical(*expansion, &verdict.chase_key));
+    SQLEQ_ASSIGN_OR_RETURN(
+        std::shared_ptr<const ChaseOutcome> exp_chased,
+        memo.ChaseCanonical(*expansion, &verdict.chase_key, memo_runtime));
     if (exp_chased->failed) {
       verdict.outcome = u_chased->failed ? CandidateOutcome::kAccepted
                                          : CandidateOutcome::kChaseFailed;
@@ -276,15 +337,53 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
   // sound under set semantics only — a superset mask induces a stronger
   // unifier, so its expansion receives a homomorphism from the failed one,
   // and unsatisfiability transfers along homomorphisms.
-  bool failure_prune = semantics == Semantics::kSet && !u_chased->failed;
-  SQLEQ_ASSIGN_OR_RETURN(SweepOutput swept,
-                         SweepBackchaseLattice(pool.size(), options.candb.budget,
-                                               failure_prune, {u_key}, evaluate));
+  SweepOptions sweep_options;
+  sweep_options.enable_failure_prune =
+      semantics == Semantics::kSet && !u_chased->failed;
+  sweep_options.preseeded_chase_keys = {u_key};
+  sweep_options.faults = options.candb.faults;
+  sweep_options.cancel = options.candb.cancel;
+  if (resume_backchase) sweep_options.resume = &*resume->backchase;
+  SQLEQ_ASSIGN_OR_RETURN(
+      SweepOutput swept,
+      SweepBackchaseLattice(pool.size(), options.candb.budget, sweep_options,
+                            evaluate));
   out.rewritings = std::move(swept.accepted);
   out.candidates_examined = swept.stats.candidates_examined;
   out.chase_cache_hits = swept.stats.chase_cache_hits;
   out.chase_cache_misses = swept.stats.chase_cache_misses;
+  if (!swept.complete) {
+    out.complete = false;
+    out.exhaustion = std::move(swept.exhaustion);
+    CandBCheckpoint cp;
+    cp.phase = CandBCheckpoint::kBackchasePhase;
+    cp.universal_plan = u;
+    cp.backchase = std::move(swept.checkpoint);
+    out.checkpoint = std::move(cp);
+  }
   return out;
+}
+
+Result<RewriteResult> RewriteWithViewsWithRetry(
+    const ConjunctiveQuery& q, const ViewSet& views, const DependencySet& sigma,
+    Semantics semantics, const Schema& schema, const RewriteOptions& options,
+    const EscalatingBudget& policy) {
+  const size_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  RewriteOptions attempt_options = options;
+  std::optional<CandBCheckpoint> carried;
+  Result<RewriteResult> result =
+      Status::Internal("retry loop did not run");  // overwritten below
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    attempt_options.candb.budget = policy.Escalate(options.candb.budget, attempt);
+    attempt_options.candb.resume =
+        carried.has_value() ? &*carried : options.candb.resume;
+    result = RewriteWithViews(q, views, sigma, semantics, schema, attempt_options);
+    if (!result.ok() || result->complete || !result->checkpoint.has_value()) {
+      return result;
+    }
+    carried = *result->checkpoint;
+  }
+  return result;
 }
 
 }  // namespace sqleq

@@ -65,8 +65,11 @@ Result<bool> IsEquivalentRewriting(const ConjunctiveQuery& q,
 struct RewriteResult {
   /// Equivalent rewritings over the view (and optionally base) predicates,
   /// pairwise non-isomorphic, subset-minimal in the candidate-atom lattice.
+  /// On a partial result: the prefix confirmed before the stop.
   std::vector<ConjunctiveQuery> rewritings;
-  /// The universal plan the candidates were drawn from.
+  /// The universal plan the candidates were drawn from. When the chase phase
+  /// itself was interrupted (complete = false, checkpoint.phase == "chase")
+  /// the plan does not exist yet and this echoes the input query.
   ConjunctiveQuery universal_plan;
   size_t candidates_examined = 0;
   /// Chase-memo accounting for the backchase phase, replayed
@@ -75,6 +78,13 @@ struct RewriteResult {
   /// counts as a hit.
   size_t chase_cache_hits = 0;
   size_t chase_cache_misses = 0;
+  /// Anytime contract, as in CandBResult: false when the call stopped early
+  /// on budget/deadline/cancellation/fault; resume via options.candb.resume.
+  /// The candidate pool is rebuilt deterministically from the checkpointed
+  /// universal plan, so mask-indexed checkpoint state stays valid.
+  bool complete = true;
+  std::optional<ExhaustionInfo> exhaustion;
+  std::optional<CandBCheckpoint> checkpoint;
 };
 
 struct RewriteOptions {
@@ -94,6 +104,16 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
                                        const DependencySet& sigma, Semantics semantics,
                                        const Schema& schema,
                                        const RewriteOptions& options = {});
+
+/// RewriteWithViews under an escalating-budget retry policy: attempt 0 runs
+/// with options.candb.budget; each incomplete attempt is resumed from its
+/// own checkpoint under a budget scaled by `policy` until the result is
+/// complete or policy.max_attempts is spent. The final (possibly still
+/// partial) result is returned; errors propagate immediately.
+Result<RewriteResult> RewriteWithViewsWithRetry(
+    const ConjunctiveQuery& q, const ViewSet& views, const DependencySet& sigma,
+    Semantics semantics, const Schema& schema, const RewriteOptions& options,
+    const EscalatingBudget& policy);
 
 }  // namespace sqleq
 

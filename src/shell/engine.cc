@@ -1,6 +1,9 @@
 #include "shell/engine.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
 #include <vector>
 
 #include "analysis/analyzer.h"
@@ -49,9 +52,44 @@ Result<size_t> ParseCount(const std::string& word, const char* what) {
       return Status::InvalidArgument(std::string(what) + " must be a positive integer, got '" +
                                      word + "'");
     }
-    value = value * 10 + static_cast<size_t>(c - '0');
+    size_t digit = static_cast<size_t>(c - '0');
+    if (value > (std::numeric_limits<size_t>::max() - digit) / 10) {
+      return Status::InvalidArgument(std::string(what) + " value '" + word +
+                                     "' overflows");
+    }
+    value = value * 10 + digit;
   }
   return value;
+}
+
+/// Parses the SET RETRY growth factor: a decimal number >= 1.
+Result<double> ParseGrowth(const std::string& word) {
+  if (word.empty()) return Status::InvalidArgument("missing RETRY growth value");
+  for (char c : word) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.') {
+      return Status::InvalidArgument("RETRY growth must be a number >= 1, got '" +
+                                     word + "'");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(word.c_str(), &end);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("RETRY growth must be a number >= 1, got '" +
+                                   word + "'");
+  }
+  if (value < 1.0) {
+    return Status::InvalidArgument("RETRY growth must be >= 1, got '" + word + "'");
+  }
+  return value;
+}
+
+/// Renders the anytime-stop annotation for a partial result.
+std::string IncompleteLine(const std::optional<ExhaustionInfo>& exhaustion) {
+  return "  (incomplete: " +
+         (exhaustion.has_value() ? exhaustion->ToString()
+                                 : std::string("stopped early")) +
+         ")\n";
 }
 
 }  // namespace
@@ -236,11 +274,18 @@ Result<std::string> ScriptEngine::ExecEquiv(std::string_view rest, bool explain)
     return e.ToString();
   }
   EquivalenceEngine engine;
+  EquivRequest request{sem, catalog_.sigma, catalog_.schema, chase_options};
+  request.cancel = cancel_;
   SQLEQ_ASSIGN_OR_RETURN(
       EquivVerdict verdict,
-      engine.Equivalent(a.query, b.query,
-                        EquivRequest{sem, catalog_.sigma, catalog_.schema,
-                                     chase_options}));
+      retry_.has_value()
+          ? engine.EquivalentWithRetry(a.query, b.query, request, *retry_)
+          : engine.Equivalent(a.query, b.query, request));
+  if (verdict.verdict == Verdict::kUnknown) {
+    return args.first[0] + " ?? " + args.first[1] + "  under " +
+           SemanticsToString(sem) + " semantics (given Sigma)\n" +
+           IncompleteLine(verdict.exhaustion);
+  }
   return args.first[0] + (verdict.equivalent ? " == " : " != ") + args.first[1] +
          "  under " + SemanticsToString(sem) + " semantics (given Sigma)\n";
 }
@@ -254,9 +299,14 @@ Result<std::string> ScriptEngine::ExecMinimize(std::string_view rest) {
   Semantics sem = args.second.value_or(named.semantics);
   CandBOptions options;
   options.budget = budget_;
+  options.cancel = cancel_;
   SQLEQ_ASSIGN_OR_RETURN(
       CandBResult result,
-      ChaseAndBackchase(named.query, catalog_.sigma, sem, catalog_.schema, options));
+      retry_.has_value()
+          ? ChaseAndBackchaseWithRetry(named.query, catalog_.sigma, sem,
+                                       catalog_.schema, options, *retry_)
+          : ChaseAndBackchase(named.query, catalog_.sigma, sem, catalog_.schema,
+                              options));
   std::string out = "minimize " + args.first[0] + " under " + SemanticsToString(sem) +
                     " (" + std::to_string(result.candidates_examined) +
                     " candidates):\n";
@@ -264,6 +314,7 @@ Result<std::string> ScriptEngine::ExecMinimize(std::string_view rest) {
     Result<std::string> rendered = sql::RenderSql(reform, catalog_.schema, sem);
     out += "  " + (rendered.ok() ? *rendered : reform.ToString()) + "\n";
   }
+  if (!result.complete) out += IncompleteLine(result.exhaustion);
   return out;
 }
 
@@ -279,16 +330,21 @@ Result<std::string> ScriptEngine::ExecRewrite(std::string_view rest) {
   Semantics sem = args.second.value_or(named.semantics);
   RewriteOptions options;
   options.candb.budget = budget_;
+  options.candb.cancel = cancel_;
   SQLEQ_ASSIGN_OR_RETURN(
       RewriteResult result,
-      RewriteWithViews(named.query, views_, catalog_.sigma, sem, catalog_.schema,
-                       options));
+      retry_.has_value()
+          ? RewriteWithViewsWithRetry(named.query, views_, catalog_.sigma, sem,
+                                      catalog_.schema, options, *retry_)
+          : RewriteWithViews(named.query, views_, catalog_.sigma, sem,
+                             catalog_.schema, options));
   std::string out = "rewritings of " + args.first[0] + " under " +
                     SemanticsToString(sem) + ":\n";
-  if (result.rewritings.empty()) out += "  (none)\n";
+  if (result.rewritings.empty() && result.complete) out += "  (none)\n";
   for (const ConjunctiveQuery& r : result.rewritings) {
     out += "  " + r.ToString() + "\n";
   }
+  if (!result.complete) out += IncompleteLine(result.exhaustion);
   return out;
 }
 
@@ -346,8 +402,35 @@ Result<std::string> ScriptEngine::ExecSet(std::string_view rest) {
     budget_.max_candidates = cands;
     return "set budget: " + budget_.ToString() + "\n";
   }
+  if (EqualsIgnoreCase(what, "RETRY")) {
+    auto [attempts_word, tail2] = SplitKeyword(tail);
+    if (EqualsIgnoreCase(attempts_word, "OFF")) {
+      if (!Trim(tail2).empty()) {
+        return Status::InvalidArgument("usage: SET RETRY OFF");
+      }
+      retry_.reset();
+      return std::string("set retry: off\n");
+    }
+    auto [growth_word, tail3] = SplitKeyword(tail2);
+    if (!Trim(tail3).empty()) {
+      return Status::InvalidArgument(
+          "usage: SET RETRY <attempts> [<growth>] | SET RETRY OFF");
+    }
+    SQLEQ_ASSIGN_OR_RETURN(size_t attempts,
+                           ParseCount(attempts_word, "RETRY attempts"));
+    if (attempts == 0) return Status::InvalidArgument("RETRY attempts must be at least 1");
+    EscalatingBudget policy;
+    policy.max_attempts = attempts;
+    if (!growth_word.empty()) {
+      SQLEQ_ASSIGN_OR_RETURN(policy.growth, ParseGrowth(growth_word));
+    }
+    retry_ = policy;
+    return "set retry: " + std::to_string(attempts) + " attempt(s), growth " +
+           std::to_string(retry_->growth) + "\n";
+  }
   return Status::InvalidArgument(
-      "usage: SET THREADS <n> | SET BUDGET <chase-steps> <candidates>");
+      "usage: SET THREADS <n> | SET BUDGET <chase-steps> <candidates> | "
+      "SET RETRY <attempts> [<growth>] | SET RETRY OFF");
 }
 
 Result<std::string> ScriptEngine::ExecShow(std::string_view rest) {
@@ -358,7 +441,14 @@ Result<std::string> ScriptEngine::ExecShow(std::string_view rest) {
   if (EqualsIgnoreCase(what, "SCHEMA")) return catalog_.schema.ToString();
   if (EqualsIgnoreCase(what, "SIGMA")) return SigmaToString(catalog_.sigma);
   if (EqualsIgnoreCase(what, "DATA")) return database_.ToString();
-  if (EqualsIgnoreCase(what, "BUDGET")) return budget_.ToString() + "\n";
+  if (EqualsIgnoreCase(what, "BUDGET")) {
+    std::string out = budget_.ToString() + "\n";
+    if (retry_.has_value()) {
+      out += "retry: " + std::to_string(retry_->max_attempts) +
+             " attempt(s), growth " + std::to_string(retry_->growth) + "\n";
+    }
+    return out;
+  }
   if (EqualsIgnoreCase(what, "QUERIES")) {
     std::string out;
     for (const auto& [name, named] : queries_) {

@@ -15,6 +15,7 @@
 //   LINT [STRICT];                   -- Σ-lint the session (STRICT: warnings err)
 //   SET THREADS n;                   -- backchase worker threads
 //   SET BUDGET <steps> <candidates>; -- chase-step / candidate limits
+//   SET RETRY n [growth] | OFF;      -- escalating-budget retries on exhaustion
 //   SHOW SCHEMA | SIGMA | QUERIES | DATA | BUDGET;
 //
 // "--" starts a line comment (outside quoted literals). Each statement
@@ -36,6 +37,9 @@
 #include "util/status.h"
 
 namespace sqleq {
+
+class CancellationToken;
+
 namespace shell {
 
 /// A named query with the evaluation semantics it was defined under.
@@ -61,6 +65,14 @@ class ScriptEngine {
   /// The budget SET THREADS / SET BUDGET configure; applied to every EQUIV,
   /// EXPLAIN, MINIMIZE, and REWRITE statement.
   const ResourceBudget& budget() const { return budget_; }
+  /// The SET RETRY policy (nullopt = retries off, the default).
+  const std::optional<EscalatingBudget>& retry() const { return retry_; }
+  /// Cooperative cancellation for EQUIV/MINIMIZE/REWRITE: when set (may be
+  /// null), the token is checked at every chase step and backchase
+  /// candidate; a cancelled statement returns a partial result annotated
+  /// "(incomplete: cancelled ...)". The token must outlive the engine or be
+  /// cleared with set_cancellation(nullptr).
+  void set_cancellation(CancellationToken* cancel) { cancel_ = cancel; }
   Result<NamedQuery> GetQuery(const std::string& name) const;
 
  private:
@@ -86,6 +98,8 @@ class ScriptEngine {
   ViewSet views_;
   std::map<std::string, NamedQuery> queries_;
   ResourceBudget budget_;
+  std::optional<EscalatingBudget> retry_;
+  CancellationToken* cancel_ = nullptr;
   int dep_counter_ = 0;
 };
 

@@ -1,0 +1,119 @@
+#include "util/fault.h"
+
+#include <new>
+#include <thread>
+
+namespace sqleq {
+namespace {
+
+/// splitmix64 — the standard 64-bit avalanche mixer; enough to decorrelate
+/// (seed, site, hit) triples without a shared RNG stream.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(const std::string& site) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  state.spec = spec;
+  state.armed = true;
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.armed = false;
+}
+
+void FaultInjector::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [site, state] : sites_) {
+    state.hits = 0;
+    state.fired = 0;
+  }
+}
+
+Status FaultInjector::Hit(const char* site) {
+  FaultSpec spec;
+  uint64_t hit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteState& state = sites_[site];
+    hit = ++state.hits;
+    if (!state.armed) return Status::OK();
+    spec = state.spec;
+    bool eligible =
+        hit >= spec.start &&
+        (spec.period == 0 ? hit == spec.start
+                          : (hit - spec.start) % spec.period == 0);
+    if (!eligible) return Status::OK();
+    if (spec.probability < 1.0) {
+      // Deterministic coin: high 53 bits of the mixed triple, uniform in
+      // [0, 1). Depends only on (seed, site, hit index).
+      uint64_t mixed = Mix64(seed_ ^ Mix64(HashSite(site)) ^ Mix64(hit));
+      double coin = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+      if (coin >= spec.probability) return Status::OK();
+    }
+    ++state.fired;
+  }
+  // Inject outside the lock: a delay must not serialize other sites.
+  switch (spec.kind) {
+    case FaultKind::kDelay:
+      if (spec.delay.count() > 0) std::this_thread::sleep_for(spec.delay);
+      return Status::OK();
+    case FaultKind::kExhausted:
+      return Status::ResourceExhausted(
+          std::string("injected fault at ") + site + " (hit #" +
+          std::to_string(hit) + ", FaultInjector)");
+    case FaultKind::kBadAlloc:
+      try {
+        throw std::bad_alloc();
+      } catch (const std::bad_alloc& e) {
+        return Status::Internal(std::string("injected allocation failure at ") +
+                                site + " (hit #" + std::to_string(hit) +
+                                "): " + e.what());
+      }
+  }
+  return Status::OK();
+}
+
+uint64_t FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::FiredCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+Status CancellationToken::Check(const char* site) const {
+  if (!cancelled()) return Status::OK();
+  return Status::Cancelled(std::string("cancelled at ") + site +
+                           " (CancellationToken)");
+}
+
+Status ProbeSite(FaultInjector* faults, CancellationToken* cancel,
+                 const char* site) {
+  if (cancel != nullptr) SQLEQ_RETURN_IF_ERROR(cancel->Check(site));
+  if (faults != nullptr) SQLEQ_RETURN_IF_ERROR(faults->Hit(site));
+  return Status::OK();
+}
+
+}  // namespace sqleq

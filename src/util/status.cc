@@ -12,6 +12,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotFound";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
     case StatusCode::kUnsupported:

@@ -19,6 +19,10 @@ enum class StatusCode {
   kNotFound,
   /// A resource limit was hit (e.g. chase step budget exhausted).
   kResourceExhausted,
+  /// The operation was interrupted through a CancellationToken (util/fault.h)
+  /// before it finished; partial results may have been captured by the
+  /// anytime layers (see docs/robustness.md).
+  kCancelled,
   /// The operation's precondition does not hold (e.g. chase not applicable).
   kFailedPrecondition,
   /// Feature intentionally outside the supported fragment.
@@ -45,6 +49,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));

@@ -301,9 +301,14 @@ TEST(Preflight, DisablingAnalyzeSkipsTheGate) {
   request.analyze.enabled = false;
   request.chase.budget.max_chase_steps = 50;
   Result<EquivVerdict> verdict = engine.Equivalent(q, q, request);
-  ASSERT_FALSE(verdict.ok());
-  EXPECT_EQ(verdict.status().message().find("sigma-lint"), std::string::npos)
-      << verdict.status().message();
+  // Anytime contract: the exhausted chase budget yields kUnknown (with no
+  // lint diagnostic in sight), not a lint rejection.
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_EQ(verdict->verdict, Verdict::kUnknown);
+  ASSERT_TRUE(verdict->exhaustion.has_value());
+  EXPECT_EQ(verdict->exhaustion->limit, "max_chase_steps");
+  EXPECT_EQ(verdict->exhaustion->progress.find("sigma-lint"), std::string::npos)
+      << verdict->exhaustion->progress;
 }
 
 TEST(Preflight, CandBRefusesNonTerminatingSigma) {

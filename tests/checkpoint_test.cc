@@ -1,0 +1,343 @@
+// Checkpoint serialization tests (docs/robustness.md): ChaseCheckpoint,
+// BackchaseCheckpoint, and CandBCheckpoint must round-trip byte-exactly
+// through their text formats — including chase-introduced fresh variables
+// ("v#7"), string constants with tabs/newlines/backslashes, and stamped
+// subjects — and malformed inputs must be rejected with InvalidArgument, not
+// crashes. A deserialized checkpoint must also actually *work*: resuming
+// from it finishes the interrupted run exactly.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chase/chase_cache.h"
+#include "chase/checkpoint.h"
+#include "chase/set_chase.h"
+#include "reformulation/candb.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Example41Schema;
+using testing::Example41Sigma;
+using testing::Q;
+using testing::Unwrap;
+
+ConjunctiveQuery Example41Q1() {
+  return Q("Q1(X) :- p(X, Y), t(X, Y, W), s(X, Z), r(X), u(X, U).");
+}
+
+/// The single-atom projection of Example 4.1: σ1–σ4 all fire on it, so its
+/// chase takes five steps and small step budgets genuinely interrupt it.
+/// (Example41Q1's own body already satisfies Σ and chases in zero steps.)
+ConjunctiveQuery StepHungryP() { return Q("P(X) :- p(X, Y)."); }
+
+/// Captures a real mid-chase checkpoint by running StepHungryP's chase under
+/// a step budget too small to finish.
+std::optional<ChaseCheckpoint> CaptureChaseCheckpoint(size_t max_steps) {
+  ChaseOptions options;
+  options.budget.max_chase_steps = max_steps;
+  ChaseRuntime runtime;
+  std::optional<ChaseCheckpoint> checkpoint;
+  runtime.checkpoint_out = &checkpoint;
+  Result<ChaseOutcome> chased =
+      SetChase(StepHungryP(), Example41Sigma(), options, runtime);
+  EXPECT_FALSE(chased.ok());
+  if (chased.ok()) return std::nullopt;
+  EXPECT_EQ(chased.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(checkpoint.has_value());
+  return checkpoint;
+}
+
+// ---- Field / query serialization helpers ----
+
+TEST(CheckpointFields, EscapeRoundTripsControlCharacters) {
+  for (const std::string& s :
+       {std::string(""), std::string("plain"), std::string("tab\there"),
+        std::string("line\nbreak"), std::string("back\\slash"),
+        std::string("\\n is not \n"), std::string("\t\n\\\t\n")}) {
+    std::string escaped = EscapeField(s);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << s;
+    EXPECT_EQ(escaped.find('\t'), std::string::npos) << s;
+    EXPECT_EQ(Unwrap(UnescapeField(escaped), "UnescapeField"), s);
+  }
+}
+
+TEST(CheckpointFields, UnescapeRejectsDanglingEscape) {
+  EXPECT_FALSE(UnescapeField("trailing\\").ok());
+}
+
+TEST(CheckpointFields, QueryRoundTripsFreshVariablesAndConstants) {
+  // A query no parser would accept: chase-style fresh variables and mixed
+  // constants, including a string constant with an embedded tab.
+  Term fresh = Term::FreshVar("w");
+  ConjunctiveQuery q = ConjunctiveQuery::Make(
+      "Weird", {Term::Var("X"), fresh},
+      {Atom("p", {Term::Var("X"), Term::Var("v#7")}),
+       Atom("t", {Term::Int(-42), Term::Str("a\tb"), fresh})});
+  ConjunctiveQuery back =
+      Unwrap(DeserializeQuery(SerializeQuery(q)), "DeserializeQuery");
+  EXPECT_EQ(back.ToString(), q.ToString());
+  EXPECT_EQ(SerializeQuery(back), SerializeQuery(q));
+}
+
+TEST(CheckpointFields, QueryDeserializeRejectsGarbage) {
+  EXPECT_FALSE(DeserializeQuery("").ok());
+  EXPECT_FALSE(DeserializeQuery("not a query line").ok());
+  EXPECT_FALSE(DeserializeQuery("Q\tV:X\tp\tQ:banana").ok());
+}
+
+TEST(CheckpointFields, StepRecordRoundTrips) {
+  ChaseStepRecord record;
+  record.dep_label = "sigma_1 (tgd)";
+  record.is_tgd = true;
+  record.result = "Q1(X) :- p(X, Y), s(X, v#3).";
+  ChaseStepRecord back = Unwrap(DeserializeStepRecord(SerializeStepRecord(record)),
+                                "DeserializeStepRecord");
+  EXPECT_EQ(back.dep_label, record.dep_label);
+  EXPECT_EQ(back.is_tgd, record.is_tgd);
+  EXPECT_EQ(back.result, record.result);
+}
+
+// ---- ChaseCheckpoint ----
+
+TEST(ChaseCheckpointTest, RealMidChaseStateRoundTripsByteExactly) {
+  std::optional<ChaseCheckpoint> captured = CaptureChaseCheckpoint(2);
+  ASSERT_TRUE(captured.has_value());
+  const ChaseCheckpoint& cp = *captured;
+  EXPECT_EQ(cp.phase, ChaseCheckpoint::kSetChasePhase);
+  EXPECT_EQ(cp.steps_done, 2u);
+  EXPECT_EQ(cp.trace.size(), 2u);
+
+  std::string text = cp.Serialize();
+  ChaseCheckpoint back = Unwrap(ChaseCheckpoint::Deserialize(text),
+                                "ChaseCheckpoint::Deserialize");
+  EXPECT_EQ(back.Serialize(), text);
+  EXPECT_EQ(back.phase, cp.phase);
+  EXPECT_EQ(back.subject, cp.subject);
+  EXPECT_EQ(back.steps_done, cp.steps_done);
+  EXPECT_EQ(back.state.ToString(), cp.state.ToString());
+  ASSERT_EQ(back.trace.size(), cp.trace.size());
+  for (size_t i = 0; i < cp.trace.size(); ++i) {
+    EXPECT_EQ(back.trace[i].dep_label, cp.trace[i].dep_label);
+    EXPECT_EQ(back.trace[i].is_tgd, cp.trace[i].is_tgd);
+    EXPECT_EQ(back.trace[i].result, cp.trace[i].result);
+  }
+}
+
+TEST(ChaseCheckpointTest, DeserializedCheckpointResumesTheChase) {
+  // Finish the interrupted chase from the *deserialized* checkpoint; the
+  // outcome must match an unbudgeted cold run (same chased-atom set and the
+  // resumed trace must extend the checkpointed prefix).
+  ChaseOutcome reference =
+      Unwrap(SetChase(StepHungryP(), Example41Sigma()), "cold chase");
+
+  std::optional<ChaseCheckpoint> cp = CaptureChaseCheckpoint(2);
+  ASSERT_TRUE(cp.has_value());
+  ChaseCheckpoint parked = Unwrap(ChaseCheckpoint::Deserialize(cp->Serialize()),
+                                  "ChaseCheckpoint::Deserialize");
+  ChaseRuntime runtime;
+  runtime.resume = &parked;
+  ChaseOutcome resumed = Unwrap(
+      SetChase(StepHungryP(), Example41Sigma(), {}, runtime), "resumed chase");
+  EXPECT_EQ(CanonicalQueryKey(resumed.result), CanonicalQueryKey(reference.result));
+  ASSERT_GE(resumed.trace.size(), cp->trace.size());
+  for (size_t i = 0; i < cp->trace.size(); ++i) {
+    EXPECT_EQ(resumed.trace[i].dep_label, cp->trace[i].dep_label);
+  }
+}
+
+TEST(ChaseCheckpointTest, MemoStampsSubjectAndIgnoresMismatches) {
+  ChaseOptions options;
+  options.budget.max_chase_steps = 1;
+  ChaseMemo memo(Example41Sigma(), Semantics::kSet, Example41Schema(), options);
+  ChaseRuntime runtime;
+  std::optional<ChaseCheckpoint> checkpoint;
+  runtime.checkpoint_out = &checkpoint;
+  Result<ChaseOutcome> chased = memo.Chase(StepHungryP(), runtime);
+  ASSERT_FALSE(chased.ok());
+  ASSERT_TRUE(checkpoint.has_value());
+  EXPECT_EQ(checkpoint->subject, CanonicalQueryKey(StepHungryP()));
+
+  // Resuming a *different* query with this checkpoint must start cold, not
+  // corrupt state: the unrelated query still chases to its correct result.
+  ChaseMemo roomy(Example41Sigma(), Semantics::kSet, Example41Schema(), {});
+  ChaseRuntime mismatched;
+  mismatched.resume = &*checkpoint;
+  ConjunctiveQuery other = Q("Other(X) :- r(X).");
+  ChaseOutcome outcome = Unwrap(roomy.Chase(other, mismatched), "mismatched resume");
+  ChaseOutcome cold = Unwrap(SetChase(other, Example41Sigma()), "cold");
+  EXPECT_EQ(CanonicalQueryKey(outcome.result), CanonicalQueryKey(cold.result));
+}
+
+TEST(ChaseCheckpointTest, DeserializeRejectsMalformedInput) {
+  EXPECT_FALSE(ChaseCheckpoint::Deserialize("").ok());
+  EXPECT_FALSE(ChaseCheckpoint::Deserialize("not a checkpoint").ok());
+  EXPECT_FALSE(
+      ChaseCheckpoint::Deserialize("sqleq-chase-checkpoint v2\nphase x").ok());
+  // Truncated: header only.
+  EXPECT_FALSE(ChaseCheckpoint::Deserialize("sqleq-chase-checkpoint v1\n").ok());
+  // A real serialization with a corrupted line injected before "end".
+  std::optional<ChaseCheckpoint> cp = CaptureChaseCheckpoint(1);
+  ASSERT_TRUE(cp.has_value());
+  std::string text = cp->Serialize();
+  text.insert(text.rfind("end\n"), "bogus keyline\n");
+  EXPECT_FALSE(ChaseCheckpoint::Deserialize(text).ok());
+}
+
+// ---- BackchaseCheckpoint ----
+
+TEST(BackchaseCheckpointTest, SyntheticStateRoundTripsByteExactly) {
+  BackchaseCheckpoint cp;
+  cp.cardinality = 3;
+  cp.next_mask = 0b1101;
+  cp.accepted_masks = {0b0011, 0b0101};
+  cp.failed_masks = {0b0001};
+  cp.accepted = {Q("Q(X) :- p(X, Y)."),
+                 ConjunctiveQuery::Make("Q", {Term::Var("X")},
+                                        {Atom("s", {Term::Var("X"), Term::FreshVar()})})};
+  cp.stats.candidates_examined = 9;
+  cp.stats.chase_cache_hits = 4;
+  cp.stats.chase_cache_misses = 5;
+  cp.stats.dominance_pruned = 2;
+  cp.stats.failure_pruned = 1;
+  cp.seen_chase_keys = {"key with\ttab", "plain-key"};
+  cp.budget_consumed = 9;
+
+  std::string text = cp.Serialize();
+  BackchaseCheckpoint back = Unwrap(BackchaseCheckpoint::Deserialize(text),
+                                    "BackchaseCheckpoint::Deserialize");
+  EXPECT_EQ(back.Serialize(), text);
+  EXPECT_EQ(back.cardinality, cp.cardinality);
+  EXPECT_EQ(back.next_mask, cp.next_mask);
+  EXPECT_EQ(back.accepted_masks, cp.accepted_masks);
+  EXPECT_EQ(back.failed_masks, cp.failed_masks);
+  ASSERT_EQ(back.accepted.size(), cp.accepted.size());
+  for (size_t i = 0; i < cp.accepted.size(); ++i) {
+    EXPECT_EQ(back.accepted[i].ToString(), cp.accepted[i].ToString());
+  }
+  EXPECT_EQ(back.stats.candidates_examined, cp.stats.candidates_examined);
+  EXPECT_EQ(back.stats.dominance_pruned, cp.stats.dominance_pruned);
+  EXPECT_EQ(back.stats.failure_pruned, cp.stats.failure_pruned);
+  EXPECT_EQ(back.seen_chase_keys, cp.seen_chase_keys);
+  EXPECT_EQ(back.budget_consumed, cp.budget_consumed);
+}
+
+TEST(BackchaseCheckpointTest, DeserializeRejectsMalformedInput) {
+  EXPECT_FALSE(BackchaseCheckpoint::Deserialize("").ok());
+  EXPECT_FALSE(BackchaseCheckpoint::Deserialize("sqleq-chase-checkpoint v1\n").ok());
+  EXPECT_FALSE(
+      BackchaseCheckpoint::Deserialize(
+          "sqleq-backchase-checkpoint v1\nnext banana banana\nend\n")
+          .ok());
+  EXPECT_FALSE(
+      BackchaseCheckpoint::Deserialize(
+          "sqleq-backchase-checkpoint v1\nnonsense-line\nend\n")
+          .ok());
+}
+
+// ---- CandBCheckpoint ----
+
+TEST(CandBCheckpointTest, BackchasePhaseCheckpointFromRealRunRoundTrips) {
+  CandBOptions options;
+  options.budget.max_candidates = 4;
+  CandBResult partial = Unwrap(
+      ChaseAndBackchase(Example41Q1(), Example41Sigma(), Semantics::kSet,
+                        Example41Schema(), options),
+      "budgeted C&B");
+  ASSERT_FALSE(partial.complete);
+  ASSERT_TRUE(partial.checkpoint.has_value());
+  ASSERT_EQ(partial.checkpoint->phase, CandBCheckpoint::kBackchasePhase);
+
+  std::string text = partial.checkpoint->Serialize();
+  CandBCheckpoint back = Unwrap(CandBCheckpoint::Deserialize(text),
+                                "CandBCheckpoint::Deserialize");
+  EXPECT_EQ(back.Serialize(), text);
+  EXPECT_EQ(back.phase, partial.checkpoint->phase);
+  ASSERT_TRUE(back.universal_plan.has_value());
+  EXPECT_EQ(back.universal_plan->ToString(),
+            partial.checkpoint->universal_plan->ToString());
+  ASSERT_TRUE(back.backchase.has_value());
+  EXPECT_EQ(back.backchase->Serialize(),
+            partial.checkpoint->backchase->Serialize());
+  EXPECT_FALSE(back.chase.has_value());
+}
+
+TEST(CandBCheckpointTest, ChasePhaseCheckpointFromRealRunRoundTrips) {
+  CandBOptions options;
+  options.budget.max_chase_steps = 2;
+  CandBResult partial = Unwrap(
+      ChaseAndBackchase(StepHungryP(), Example41Sigma(), Semantics::kSet,
+                        Example41Schema(), options),
+      "step-budgeted C&B");
+  ASSERT_FALSE(partial.complete);
+  ASSERT_TRUE(partial.checkpoint.has_value());
+  ASSERT_EQ(partial.checkpoint->phase, CandBCheckpoint::kChasePhase);
+  ASSERT_TRUE(partial.checkpoint->chase.has_value());
+
+  std::string text = partial.checkpoint->Serialize();
+  CandBCheckpoint back = Unwrap(CandBCheckpoint::Deserialize(text),
+                                "CandBCheckpoint::Deserialize");
+  EXPECT_EQ(back.Serialize(), text);
+  EXPECT_EQ(back.phase, CandBCheckpoint::kChasePhase);
+  ASSERT_TRUE(back.chase.has_value());
+  EXPECT_EQ(back.chase->Serialize(), partial.checkpoint->chase->Serialize());
+  EXPECT_FALSE(back.universal_plan.has_value());
+  EXPECT_FALSE(back.backchase.has_value());
+}
+
+TEST(CandBCheckpointTest, ParkedCheckpointResumesAcrossDeserialization) {
+  // Park an interrupted C&B as text, reload it, resume: the finished result
+  // must match an uninterrupted run — the round trip a deadline-bound
+  // service would do across processes.
+  CandBOptions clean;
+  std::string reference;
+  {
+    CandBResult full = Unwrap(
+        ChaseAndBackchase(Example41Q1(), Example41Sigma(), Semantics::kSet,
+                          Example41Schema(), clean),
+        "clean C&B");
+    reference = CanonicalQueryKey(full.universal_plan) + "|" +
+                std::to_string(full.reformulations.size()) + "|" +
+                std::to_string(full.candidates_examined);
+  }
+  CandBOptions budgeted;
+  budgeted.budget.max_candidates = 4;
+  CandBResult partial = Unwrap(
+      ChaseAndBackchase(Example41Q1(), Example41Sigma(), Semantics::kSet,
+                        Example41Schema(), budgeted),
+      "budgeted C&B");
+  ASSERT_FALSE(partial.complete);
+  CandBCheckpoint parked =
+      Unwrap(CandBCheckpoint::Deserialize(partial.checkpoint->Serialize()),
+             "CandBCheckpoint::Deserialize");
+  CandBOptions resumed_options;
+  resumed_options.resume = &parked;
+  CandBResult finished = Unwrap(
+      ChaseAndBackchase(Example41Q1(), Example41Sigma(), Semantics::kSet,
+                        Example41Schema(), resumed_options),
+      "resumed C&B");
+  EXPECT_TRUE(finished.complete);
+  EXPECT_EQ(CanonicalQueryKey(finished.universal_plan) + "|" +
+                std::to_string(finished.reformulations.size()) + "|" +
+                std::to_string(finished.candidates_examined),
+            reference);
+}
+
+TEST(CandBCheckpointTest, DeserializeRejectsMalformedInput) {
+  EXPECT_FALSE(CandBCheckpoint::Deserialize("").ok());
+  EXPECT_FALSE(CandBCheckpoint::Deserialize("sqleq-candb-checkpoint v1\n").ok());
+  EXPECT_FALSE(
+      CandBCheckpoint::Deserialize(
+          "sqleq-candb-checkpoint v1\nphase banana\nend\n")
+          .ok());
+  EXPECT_FALSE(
+      CandBCheckpoint::Deserialize(
+          "sqleq-candb-checkpoint v1\nphase backchase\nbackchase-begin\nend\n")
+          .ok());
+}
+
+}  // namespace
+}  // namespace sqleq

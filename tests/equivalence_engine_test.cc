@@ -140,10 +140,14 @@ TEST(EquivalenceEngine, ExpiredDeadlineReportsResourceExhausted) {
       std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
   Result<EquivVerdict> v =
       engine.Equivalent(Q("Q(X) :- a(X)."), Q("P(X) :- a(X), b(X)."), request);
-  ASSERT_FALSE(v.ok());
-  EXPECT_EQ(v.status().code(), StatusCode::kResourceExhausted);
-  EXPECT_NE(v.status().message().find("deadline"), std::string::npos)
-      << v.status().ToString();
+  // Anytime contract: the expired deadline yields kUnknown, not an error.
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->verdict, Verdict::kUnknown);
+  EXPECT_FALSE(v->equivalent);
+  ASSERT_TRUE(v->exhaustion.has_value());
+  EXPECT_EQ(v->exhaustion->limit, "deadline");
+  EXPECT_NE(v->exhaustion->progress.find("deadline"), std::string::npos)
+      << v->exhaustion->ToString();
 }
 
 }  // namespace

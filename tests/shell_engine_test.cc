@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/fault.h"
+
 namespace sqleq {
 namespace shell {
 namespace {
@@ -227,10 +229,80 @@ TEST(ShellEngine, SetRejectsBadArguments) {
   ScriptEngine engine;
   EXPECT_FALSE(engine.Execute("SET THREADS 0").ok());
   EXPECT_FALSE(engine.Execute("SET THREADS many").ok());
+  EXPECT_FALSE(engine.Execute("SET THREADS -2").ok());
   EXPECT_FALSE(engine.Execute("SET BUDGET 100").ok());
+  EXPECT_FALSE(engine.Execute("SET BUDGET 0 10").ok());
+  EXPECT_FALSE(engine.Execute("SET BUDGET 10 0").ok());
+  EXPECT_FALSE(engine.Execute("SET BUDGET -5 10").ok());
   EXPECT_FALSE(engine.Execute("SET GIZMO 3").ok());
+  // A count bigger than size_t is rejected as overflow, not wrapped.
+  Result<std::string> overflow =
+      engine.Execute("SET BUDGET 99999999999999999999999999 10");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_NE(overflow.status().message().find("overflows"), std::string::npos)
+      << overflow.status().ToString();
   // Failed SETs leave the budget at its defaults.
   EXPECT_EQ(engine.budget().threads, ResourceBudget{}.threads);
+  EXPECT_EQ(engine.budget().max_chase_steps, ResourceBudget{}.max_chase_steps);
+}
+
+TEST(ShellEngine, SetRetryConfiguresAndValidatesThePolicy) {
+  ScriptEngine engine;
+  EXPECT_FALSE(engine.retry().has_value());
+  std::string on = Must(engine.Execute("SET RETRY 4 3.5"));
+  EXPECT_NE(on.find("4 attempt"), std::string::npos) << on;
+  ASSERT_TRUE(engine.retry().has_value());
+  EXPECT_EQ(engine.retry()->max_attempts, 4u);
+  EXPECT_DOUBLE_EQ(engine.retry()->growth, 3.5);
+  std::string shown = Must(engine.Execute("SHOW BUDGET"));
+  EXPECT_NE(shown.find("retry"), std::string::npos) << shown;
+
+  EXPECT_FALSE(engine.Execute("SET RETRY 0").ok());
+  EXPECT_FALSE(engine.Execute("SET RETRY two").ok());
+  EXPECT_FALSE(engine.Execute("SET RETRY 3 0.5").ok());
+  EXPECT_FALSE(engine.Execute("SET RETRY 3 fast").ok());
+  // Failed SETs leave the policy untouched.
+  ASSERT_TRUE(engine.retry().has_value());
+  EXPECT_EQ(engine.retry()->max_attempts, 4u);
+
+  Must(engine.Execute("SET RETRY OFF"));
+  EXPECT_FALSE(engine.retry().has_value());
+}
+
+TEST(ShellEngine, RetryFinishesWhatTheBaseBudgetCannot) {
+  ScriptEngine engine;
+  Must(engine.Run(R"(
+    CREATE TABLE p (a INT, b INT);
+    QUERY q(X) :- p(X, Y1), p(X, Y2);
+  )"));
+  Must(engine.Execute("SET BUDGET 5000 1"));
+  // Without retries: a partial result.
+  EXPECT_NE(Must(engine.Execute("MINIMIZE q UNDER S")).find("(incomplete:"),
+            std::string::npos);
+  // With an escalating retry policy the same statement finishes.
+  Must(engine.Execute("SET RETRY 4 4"));
+  std::string out = Must(engine.Execute("MINIMIZE q UNDER S"));
+  EXPECT_EQ(out.find("(incomplete:"), std::string::npos) << out;
+  EXPECT_NE(out.find("FROM p"), std::string::npos) << out;
+}
+
+TEST(ShellEngine, CancellationAnnotatesEquivAsUnknown) {
+  ScriptEngine engine;
+  CancellationToken cancel;
+  cancel.Cancel();
+  engine.set_cancellation(&cancel);
+  Must(engine.Run(R"(
+    CREATE TABLE p (a INT, b INT);
+    QUERY q1(X) :- p(X, Y);
+    QUERY q2(X) :- p(X, Y);
+  )"));
+  std::string out = Must(engine.Execute("EQUIV q1 q2 UNDER S"));
+  EXPECT_NE(out.find("??"), std::string::npos) << out;
+  EXPECT_NE(out.find("(incomplete: cancelled"), std::string::npos) << out;
+  // Clearing the token restores decided verdicts.
+  cancel.Reset();
+  std::string decided = Must(engine.Execute("EQUIV q1 q2 UNDER S"));
+  EXPECT_EQ(decided.find("??"), std::string::npos) << decided;
 }
 
 TEST(ShellEngine, BudgetFlowsIntoMinimize) {
@@ -239,12 +311,13 @@ TEST(ShellEngine, BudgetFlowsIntoMinimize) {
     CREATE TABLE p (a INT, b INT);
     QUERY q(X) :- p(X, Y1), p(X, Y2);
   )"));
-  // A 1-candidate budget cannot finish the 2-atom lattice.
+  // A 1-candidate budget cannot finish the 2-atom lattice: the statement
+  // still succeeds, reporting a partial result (anytime contract).
   Must(engine.Execute("SET BUDGET 5000 1"));
-  Result<std::string> minimized = engine.Execute("MINIMIZE q UNDER S");
-  ASSERT_FALSE(minimized.ok());
-  EXPECT_EQ(minimized.status().code(), StatusCode::kResourceExhausted);
-  // Restoring a roomy budget makes the same MINIMIZE succeed.
+  std::string partial = Must(engine.Execute("MINIMIZE q UNDER S"));
+  EXPECT_NE(partial.find("(incomplete:"), std::string::npos) << partial;
+  EXPECT_NE(partial.find("max_candidates"), std::string::npos) << partial;
+  // Restoring a roomy budget makes the same MINIMIZE finish.
   Must(engine.Execute("SET BUDGET 5000 1000"));
   EXPECT_NE(Must(engine.Execute("MINIMIZE q UNDER S")).find("FROM p"),
             std::string::npos);

@@ -55,7 +55,7 @@ inline Result<bool> EngineEquivalent(const ConjunctiveQuery& q1,
   SQLEQ_ASSIGN_OR_RETURN(
       EquivVerdict verdict,
       engine.Equivalent(q1, q2, EquivRequest{semantics, sigma, schema, options}));
-  return verdict.equivalent;
+  return VerdictToBool(verdict);
 }
 
 /// The schema of Example 4.1: D = {P, R, S, T, U} with S and T set valued.

@@ -18,6 +18,9 @@ cmake --build "${BUILD_DIR}" -j
 echo "== ctest =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j
 
+echo "== fault/anytime suite =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j -L fault
+
 echo "== clang-tidy =="
 tools/lint.sh "${BUILD_DIR}"
 

@@ -3,6 +3,11 @@
 //
 //   sqleq_cli script.sqleq
 //   echo "CREATE TABLE t (a INT); SHOW SCHEMA;" | sqleq_cli
+//
+// Ctrl-C requests cooperative cancellation: the running statement stops at
+// its next chase step / backchase candidate and reports a partial result
+// annotated "(incomplete: cancelled ...)"; a second Ctrl-C aborts.
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -10,6 +15,23 @@
 #include <string>
 
 #include "shell/engine.h"
+#include "util/fault.h"
+
+namespace {
+
+sqleq::CancellationToken g_cancel;
+
+void HandleInterrupt(int /*sig*/) {
+  if (g_cancel.cancelled()) {
+    // Second Ctrl-C: the cooperative path is apparently stuck; hard exit.
+    std::signal(SIGINT, SIG_DFL);
+    std::raise(SIGINT);
+    return;
+  }
+  g_cancel.Cancel();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string script;
@@ -32,7 +54,10 @@ int main(int argc, char** argv) {
     script = buffer.str();
   }
 
+  std::signal(SIGINT, HandleInterrupt);
+
   sqleq::shell::ScriptEngine engine;
+  engine.set_cancellation(&g_cancel);
   sqleq::Result<std::string> out = engine.Run(script);
   if (!out.ok()) {
     std::fprintf(stderr, "error: %s\n", out.status().ToString().c_str());
