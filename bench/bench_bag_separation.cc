@@ -33,7 +33,7 @@ void BM_BagSeparation(benchmark::State& state) {
   state.counters["lemma_bound"] = static_cast<double>(4 * m);    // Eq. 4
   state.counters["separated"] = a7 > 4 * m ? 1 : 0;              // m > 4
 }
-BENCHMARK(BM_BagSeparation)->DenseRange(1, 10)->RangeMultiplier(2)->Range(16, 256);
+SQLEQ_BENCHMARK(BM_BagSeparation)->DenseRange(1, 10)->RangeMultiplier(2)->Range(16, 256);
 
 }  // namespace
 }  // namespace sqleq

@@ -59,10 +59,10 @@ void BM_CandB_BagSet(benchmark::State& state) {
 void BM_CandB_Bag_NoFastPath(benchmark::State& state) {
   RunCandB(state, Semantics::kBag, false);
 }
-BENCHMARK(BM_CandB_Set)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_CandB_Bag)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_CandB_BagSet)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_CandB_Bag_NoFastPath)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+SQLEQ_BENCHMARK(BM_CandB_Set)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+SQLEQ_BENCHMARK(BM_CandB_Bag)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+SQLEQ_BENCHMARK(BM_CandB_BagSet)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+SQLEQ_BENCHMARK(BM_CandB_Bag_NoFastPath)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 
 /// The parallel memoized sweep: range(0) = extra joins, range(1) = worker
 /// threads (1 = serial baseline). Outputs are identical at every thread
@@ -89,7 +89,7 @@ void BM_CandB_Set_Threads(benchmark::State& state) {
   state.counters["cache_hits"] = static_cast<double>(hits);
   state.counters["cache_misses"] = static_cast<double>(misses);
 }
-BENCHMARK(BM_CandB_Set_Threads)
+SQLEQ_BENCHMARK(BM_CandB_Set_Threads)
     ->ArgsProduct({{2, 4}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 

@@ -46,9 +46,9 @@ void BM_ChaseSigmaSweep_Bag(benchmark::State& state) {
 void BM_ChaseSigmaSweep_BagSet(benchmark::State& state) {
   RunSigmaSweep(state, Semantics::kBagSet);
 }
-BENCHMARK(BM_ChaseSigmaSweep_Set)->DenseRange(2, 7)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ChaseSigmaSweep_Bag)->DenseRange(2, 7)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ChaseSigmaSweep_BagSet)->DenseRange(2, 7)->Unit(benchmark::kMillisecond);
+SQLEQ_BENCHMARK(BM_ChaseSigmaSweep_Set)->DenseRange(2, 7)->Unit(benchmark::kMillisecond);
+SQLEQ_BENCHMARK(BM_ChaseSigmaSweep_Bag)->DenseRange(2, 7)->Unit(benchmark::kMillisecond);
+SQLEQ_BENCHMARK(BM_ChaseSigmaSweep_BagSet)->DenseRange(2, 7)->Unit(benchmark::kMillisecond);
 
 // Query-size sweep: Σ fixed (edge relation feeds a node relation plus a key
 // fd), chain query of length n. Growth must stay polynomial.
@@ -70,7 +70,7 @@ void BM_ChaseQuerySweep(benchmark::State& state) {
   state.counters["n"] = n;
   state.counters["atoms"] = static_cast<double>(atoms);
 }
-BENCHMARK(BM_ChaseQuerySweep)->DenseRange(2, 16, 2)->Unit(benchmark::kMillisecond);
+SQLEQ_BENCHMARK(BM_ChaseQuerySweep)->DenseRange(2, 16, 2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace sqleq

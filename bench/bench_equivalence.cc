@@ -46,9 +46,9 @@ void BM_BagSetEquivalence_Chain(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   RunPair<TestKind::kBagSet>(state, bench::Chain(n, "X"), bench::Chain(n, "Y"));
 }
-BENCHMARK(BM_SetEquivalence_Chain)->DenseRange(2, 14, 2);
-BENCHMARK(BM_BagEquivalence_Chain)->DenseRange(2, 14, 2);
-BENCHMARK(BM_BagSetEquivalence_Chain)->DenseRange(2, 14, 2);
+SQLEQ_BENCHMARK(BM_SetEquivalence_Chain)->DenseRange(2, 14, 2);
+SQLEQ_BENCHMARK(BM_BagEquivalence_Chain)->DenseRange(2, 14, 2);
+SQLEQ_BENCHMARK(BM_BagSetEquivalence_Chain)->DenseRange(2, 14, 2);
 
 void BM_SetEquivalence_Star(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
@@ -58,8 +58,8 @@ void BM_BagEquivalence_Star(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   RunPair<TestKind::kBag>(state, bench::Star(n, "Y"), bench::Star(n, "Z"));
 }
-BENCHMARK(BM_SetEquivalence_Star)->DenseRange(2, 14, 2);
-BENCHMARK(BM_BagEquivalence_Star)->DenseRange(2, 14, 2);
+SQLEQ_BENCHMARK(BM_SetEquivalence_Star)->DenseRange(2, 14, 2);
+SQLEQ_BENCHMARK(BM_BagEquivalence_Star)->DenseRange(2, 14, 2);
 
 // Negative instances: the bag test must reject quickly when per-predicate
 // counts differ; the set test must search before rejecting a chain vs a
@@ -72,8 +72,8 @@ void BM_BagEquivalence_ChainNegative(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   RunPair<TestKind::kBag>(state, bench::Chain(n, "X"), bench::Chain(n + 1, "Y"));
 }
-BENCHMARK(BM_SetEquivalence_ChainNegative)->DenseRange(2, 14, 2);
-BENCHMARK(BM_BagEquivalence_ChainNegative)->DenseRange(2, 14, 2);
+SQLEQ_BENCHMARK(BM_SetEquivalence_ChainNegative)->DenseRange(2, 14, 2);
+SQLEQ_BENCHMARK(BM_BagEquivalence_ChainNegative)->DenseRange(2, 14, 2);
 
 }  // namespace
 }  // namespace sqleq

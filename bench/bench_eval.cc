@@ -46,9 +46,9 @@ void RunEval(benchmark::State& state, Semantics sem) {
 void BM_Eval_Set(benchmark::State& state) { RunEval(state, Semantics::kSet); }
 void BM_Eval_Bag(benchmark::State& state) { RunEval(state, Semantics::kBag); }
 void BM_Eval_BagSet(benchmark::State& state) { RunEval(state, Semantics::kBagSet); }
-BENCHMARK(BM_Eval_Set)->RangeMultiplier(2)->Range(64, 512);
-BENCHMARK(BM_Eval_Bag)->RangeMultiplier(2)->Range(64, 256);
-BENCHMARK(BM_Eval_BagSet)->RangeMultiplier(2)->Range(64, 512);
+SQLEQ_BENCHMARK(BM_Eval_Set)->RangeMultiplier(2)->Range(64, 512);
+SQLEQ_BENCHMARK(BM_Eval_Bag)->RangeMultiplier(2)->Range(64, 256);
+SQLEQ_BENCHMARK(BM_Eval_BagSet)->RangeMultiplier(2)->Range(64, 512);
 
 void BM_Eval_QuerySize(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
@@ -60,7 +60,7 @@ void BM_Eval_QuerySize(benchmark::State& state) {
   }
   state.counters["n"] = n;
 }
-BENCHMARK(BM_Eval_QuerySize)->DenseRange(1, 5);
+SQLEQ_BENCHMARK(BM_Eval_QuerySize)->DenseRange(1, 5);
 
 }  // namespace
 }  // namespace sqleq

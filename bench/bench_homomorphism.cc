@@ -2,6 +2,7 @@
 // of the Chandra–Merlin containment test (§2.1, §2.4).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "chase/homomorphism.h"
 #include "ir/query.h"
 
@@ -27,7 +28,7 @@ void BM_ChainSelfHomomorphism(benchmark::State& state) {
     benchmark::DoNotOptimize(HomomorphismExists(from.body(), to.body()));
   }
 }
-BENCHMARK(BM_ChainSelfHomomorphism)->DenseRange(2, 14, 2);
+SQLEQ_BENCHMARK(BM_ChainSelfHomomorphism)->DenseRange(2, 14, 2);
 
 }  // namespace
 }  // namespace sqleq

@@ -1,0 +1,48 @@
+// Shared driver for the bench_* binaries, replacing benchmark::benchmark_main:
+// unless the caller already passed --benchmark_out, results are additionally
+// written as Google Benchmark JSON to BENCH_<name>.json in the working
+// directory (<name> = binary basename without the bench_ prefix), the
+// machine-readable output `tools/ci.sh bench-smoke` validates with
+// check_bench_json. Pinned-iteration runs come from SQLEQ_BENCH_ITERS via
+// bench_util.h's SQLEQ_BENCHMARK registration macro.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// bench/bench_candb -> candb.
+std::string BenchName(const char* argv0) {
+  std::string name = argv0;
+  size_t slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  if (name.empty()) name = "unnamed";
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag;
+  std::string format_flag;
+  if (!has_out) {
+    out_flag = "--benchmark_out=BENCH_" + BenchName(argv[0]) + ".json";
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

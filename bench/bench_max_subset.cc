@@ -30,7 +30,7 @@ void BM_MaxSubset_AppendixH(benchmark::State& state) {
   state.counters["sigma_size"] = static_cast<double>(family.sigma.size());
   state.counters["kept"] = static_cast<double>(kept);
 }
-BENCHMARK(BM_MaxSubset_AppendixH)->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
+SQLEQ_BENCHMARK(BM_MaxSubset_AppendixH)->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
 
 void BM_MaxSubset_Example41(benchmark::State& state) {
   Schema schema = bench::Example41Schema();
@@ -45,7 +45,7 @@ void BM_MaxSubset_Example41(benchmark::State& state) {
   state.counters["kept_bag"] = static_cast<double>(kept_b);       // 4 of 6
   state.counters["kept_bag_set"] = static_cast<double>(kept_bs);  // 5 of 6
 }
-BENCHMARK(BM_MaxSubset_Example41)->Unit(benchmark::kMillisecond);
+SQLEQ_BENCHMARK(BM_MaxSubset_Example41)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace sqleq

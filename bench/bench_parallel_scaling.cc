@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "reformulation/candb.h"
+#include "util/telemetry.h"
 
 namespace sqleq {
 namespace {
@@ -52,7 +53,7 @@ void BM_Backchase_ThreadSweep(benchmark::State& state) {
   state.counters["cache_misses"] = static_cast<double>(misses);
   state.counters["outputs"] = static_cast<double>(outputs);
 }
-BENCHMARK(BM_Backchase_ThreadSweep)
+SQLEQ_BENCHMARK(BM_Backchase_ThreadSweep)
     ->DenseRange(1, 8)
     ->Unit(benchmark::kMillisecond);
 
@@ -86,8 +87,43 @@ void BM_Backchase_Memo_Symmetric(benchmark::State& state) {
 void BM_Backchase_Memo_Distinct(benchmark::State& state) {
   RunMemoAblation(state, /*symmetric=*/false);
 }
-BENCHMARK(BM_Backchase_Memo_Symmetric)->DenseRange(4, 8)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Backchase_Memo_Distinct)->DenseRange(4, 8)->Unit(benchmark::kMillisecond);
+SQLEQ_BENCHMARK(BM_Backchase_Memo_Symmetric)->DenseRange(4, 8)->Unit(benchmark::kMillisecond);
+SQLEQ_BENCHMARK(BM_Backchase_Memo_Distinct)->DenseRange(4, 8)->Unit(benchmark::kMillisecond);
+
+/// Telemetry overhead ablation: the same reformulation with the full
+/// observability stack on (MetricsRegistry + TraceSink in the context) vs
+/// off (both null — every instrumentation site reduces to one branch).
+/// Acceptance: the enabled/disabled wall-time delta stays within 5%.
+void RunTelemetryOverhead(benchmark::State& state, bool enabled) {
+  ConjunctiveQuery q = WidenedQ1(4);
+  Schema schema = Example41Schema();
+  DependencySet sigma = Example41Sigma();
+  MetricsRegistry metrics;
+  TraceSink trace;
+  CandBOptions options;
+  if (enabled) {
+    options.context.metrics = &metrics;
+    options.context.trace = &trace;
+  }
+  for (auto _ : state) {
+    CandBResult result =
+        Must(ChaseAndBackchase(q, sigma, Semantics::kSet, schema, options));
+    benchmark::DoNotOptimize(result);
+    trace.Clear();  // keep the sink's arena flat across iterations
+  }
+  if (enabled) {
+    state.counters["metric_names"] =
+        static_cast<double>(metrics.Snapshot().counters.size());
+  }
+}
+void BM_Telemetry_Off(benchmark::State& state) {
+  RunTelemetryOverhead(state, /*enabled=*/false);
+}
+void BM_Telemetry_On(benchmark::State& state) {
+  RunTelemetryOverhead(state, /*enabled=*/true);
+}
+SQLEQ_BENCHMARK(BM_Telemetry_Off)->Unit(benchmark::kMillisecond);
+SQLEQ_BENCHMARK(BM_Telemetry_On)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace sqleq

@@ -48,7 +48,7 @@ void BM_Regularize_Disconnected(benchmark::State& state) {
   state.counters["m"] = m;
   state.counters["pieces"] = static_cast<double>(pieces);  // = m
 }
-BENCHMARK(BM_Regularize_Disconnected)->RangeMultiplier(2)->Range(2, 256);
+SQLEQ_BENCHMARK(BM_Regularize_Disconnected)->RangeMultiplier(2)->Range(2, 256);
 
 void BM_Regularize_Chain(benchmark::State& state) {
   int m = static_cast<int>(state.range(0));
@@ -62,7 +62,7 @@ void BM_Regularize_Chain(benchmark::State& state) {
   state.counters["m"] = m;
   state.counters["pieces"] = static_cast<double>(pieces);  // = 1
 }
-BENCHMARK(BM_Regularize_Chain)->RangeMultiplier(2)->Range(2, 256);
+SQLEQ_BENCHMARK(BM_Regularize_Chain)->RangeMultiplier(2)->Range(2, 256);
 
 void BM_IsRegularizedCheck(benchmark::State& state) {
   int m = static_cast<int>(state.range(0));
@@ -72,7 +72,7 @@ void BM_IsRegularizedCheck(benchmark::State& state) {
   }
   state.counters["m"] = m;
 }
-BENCHMARK(BM_IsRegularizedCheck)->RangeMultiplier(2)->Range(2, 256);
+SQLEQ_BENCHMARK(BM_IsRegularizedCheck)->RangeMultiplier(2)->Range(2, 256);
 
 }  // namespace
 }  // namespace sqleq

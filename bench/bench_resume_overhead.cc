@@ -48,7 +48,7 @@ void BM_CandB_Uninterrupted(benchmark::State& state) {
   state.counters["candidates"] = static_cast<double>(FullCandidateCount());
   state.counters["outputs"] = static_cast<double>(outputs);
 }
-BENCHMARK(BM_CandB_Uninterrupted);
+SQLEQ_BENCHMARK(BM_CandB_Uninterrupted);
 
 void BM_CandB_InterruptAndResume(benchmark::State& state) {
   ConjunctiveQuery q = Example41Q1();
@@ -72,7 +72,7 @@ void BM_CandB_InterruptAndResume(benchmark::State& state) {
   state.counters["cut_at"] = static_cast<double>(half);
   state.counters["outputs"] = static_cast<double>(outputs);
 }
-BENCHMARK(BM_CandB_InterruptAndResume);
+SQLEQ_BENCHMARK(BM_CandB_InterruptAndResume);
 
 void BM_CandB_InterruptParkAndResume(benchmark::State& state) {
   // As above, plus a serialize → text → deserialize round trip of the
@@ -99,7 +99,7 @@ void BM_CandB_InterruptParkAndResume(benchmark::State& state) {
   }
   state.counters["checkpoint_bytes"] = static_cast<double>(checkpoint_bytes);
 }
-BENCHMARK(BM_CandB_InterruptParkAndResume);
+SQLEQ_BENCHMARK(BM_CandB_InterruptParkAndResume);
 
 void BM_Checkpoint_RoundTrip(benchmark::State& state) {
   // Serialize + deserialize alone, on a real mid-sweep checkpoint.
@@ -120,7 +120,7 @@ void BM_Checkpoint_RoundTrip(benchmark::State& state) {
   state.counters["bytes"] =
       static_cast<double>(checkpoint.Serialize().size());
 }
-BENCHMARK(BM_Checkpoint_RoundTrip);
+SQLEQ_BENCHMARK(BM_Checkpoint_RoundTrip);
 
 }  // namespace
 }  // namespace sqleq

@@ -1,7 +1,13 @@
 // Shared fixtures for the sqleq benchmark suite: the Appendix H chase-
-// scaling family, chain/star query generators, and the Example 4.1 setting.
+// scaling family, chain/star query generators, the Example 4.1 setting, and
+// the SQLEQ_BENCHMARK registration macro every bench_*.cc uses. Benchmarks
+// registered through SQLEQ_BENCHMARK honor the SQLEQ_BENCH_ITERS environment
+// variable, and the shared driver (bench_main.cc) writes each binary's
+// results to BENCH_<name>.json — see docs/observability.md.
 #ifndef SQLEQ_BENCH_BENCH_UTIL_H_
 #define SQLEQ_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
 
 #include <cstdlib>
 #include <string>
@@ -114,7 +120,34 @@ inline DependencySet Example41Sigma() {
   }));
 }
 
+/// SQLEQ_BENCH_ITERS: when set to a positive integer N, every benchmark
+/// registered through SQLEQ_BENCHMARK runs exactly N iterations with no
+/// warmup — the contract `tools/ci.sh bench-smoke` relies on for fast,
+/// deterministic smoke runs (SQLEQ_BENCH_ITERS=1). Unset or unparsable:
+/// Google Benchmark's adaptive iteration counts apply unchanged.
+inline benchmark::internal::Benchmark* ConfigureFromEnv(
+    benchmark::internal::Benchmark* b) {
+  const char* text = std::getenv("SQLEQ_BENCH_ITERS");
+  if (text == nullptr) return b;
+  char* end = nullptr;
+  long iters = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || iters <= 0) return b;
+  // Pinned iterations bypass the min-time/warmup logic entirely (and
+  // combining them with MinWarmUpTime is a hard error in benchmark 1.7).
+  b->Iterations(iters);
+  return b;
+}
+
 }  // namespace bench
 }  // namespace sqleq
+
+/// Drop-in replacement for BENCHMARK() that applies the SQLEQ_BENCH_ITERS
+/// environment override at registration; later chained calls (DenseRange,
+/// Unit, ...) compose as usual.
+#define SQLEQ_BENCHMARK(n)                                  \
+  BENCHMARK_PRIVATE_DECLARE(n) =                            \
+      (::sqleq::bench::ConfigureFromEnv(                    \
+          ::benchmark::internal::RegisterBenchmarkInternal( \
+              new ::benchmark::internal::FunctionBenchmark(#n, n))))
 
 #endif  // SQLEQ_BENCH_BENCH_UTIL_H_

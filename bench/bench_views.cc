@@ -76,7 +76,7 @@ void BM_RewriteWithViews_Star(benchmark::State& state) {
   state.counters["candidates"] = static_cast<double>(candidates);
   state.counters["outputs"] = static_cast<double>(outputs);
 }
-BENCHMARK(BM_RewriteWithViews_Star)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+SQLEQ_BENCHMARK(BM_RewriteWithViews_Star)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
 
 /// Same star-join rewrite under the parallel memoized sweep: range(0) = dims,
 /// range(1) = worker threads. The big win here is the chase memo — U is
@@ -103,7 +103,7 @@ void BM_RewriteWithViews_Star_Threads(benchmark::State& state) {
   state.counters["cache_hits"] = static_cast<double>(hits);
   state.counters["cache_misses"] = static_cast<double>(misses);
 }
-BENCHMARK(BM_RewriteWithViews_Star_Threads)
+SQLEQ_BENCHMARK(BM_RewriteWithViews_Star_Threads)
     ->ArgsProduct({{3, 4}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 
@@ -125,7 +125,7 @@ void BM_ExpandRewriting(benchmark::State& state) {
   }
   state.counters["views_used"] = n;
 }
-BENCHMARK(BM_ExpandRewriting)->DenseRange(1, 6);
+SQLEQ_BENCHMARK(BM_ExpandRewriting)->DenseRange(1, 6);
 
 }  // namespace
 }  // namespace sqleq

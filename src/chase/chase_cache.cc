@@ -4,9 +4,27 @@
 
 #include "chase/checkpoint.h"
 #include "util/fault.h"
+#include "util/telemetry.h"
 
 namespace sqleq {
 namespace {
+
+/// memo.hits / memo.misses, mirroring the live Stats counters (and sharing
+/// their caveat: concurrent misses of one key are both counted).
+void CountMemoLookup(MetricsRegistry* metrics, bool hit) {
+  if (metrics == nullptr) return;
+  metrics->counter(hit ? metric::kMemoHits : metric::kMemoMisses).Add();
+}
+
+/// memo.inserts / memo.bytes for a winning insert. Bytes are the retained
+/// footprint estimate: canonical key plus rendered chase result.
+void CountMemoInsert(MetricsRegistry* metrics, const std::string& key,
+                     const ChaseOutcome& outcome) {
+  if (metrics == nullptr) return;
+  metrics->counter(metric::kMemoInserts).Add();
+  metrics->counter(metric::kMemoBytes)
+      .Add(key.size() + outcome.result.ToString().size());
+}
 
 /// Per-call runtime for the memo's inner SoundChase: a resume checkpoint is
 /// honored only when stamped for this key, so a checkpoint captured for one
@@ -148,15 +166,19 @@ Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
   ConjunctiveQuery canonical = q;  // overwritten by CanonicalQueryKey
   std::string key = CanonicalQueryKey(q, &canonical);
   if (out_key != nullptr) *out_key = key;
+  std::shared_ptr<const ChaseOutcome> cached;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
-      return it->second;
+      cached = it->second;
+    } else {
+      ++misses_;
     }
-    ++misses_;
   }
+  CountMemoLookup(runtime.metrics, /*hit=*/cached != nullptr);
+  if (cached != nullptr) return cached;
   // Chase outside the lock: other keys (and even this key, on a concurrent
   // miss) may be chased in parallel; the first insert wins.
   ChaseRuntime inner = RuntimeForKey(runtime, key);
@@ -169,9 +191,15 @@ Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
   SQLEQ_RETURN_IF_ERROR(
       ProbeSite(runtime.faults, runtime.cancel, fault_sites::kMemoInsert));
   auto entry = std::make_shared<const ChaseOutcome>(std::move(outcome).value());
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = cache_.emplace(key, entry);
-  return inserted ? entry : it->second;
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, fresh] = cache_.emplace(key, entry);
+    inserted = fresh;
+    if (!fresh) entry = it->second;
+  }
+  if (inserted) CountMemoInsert(runtime.metrics, key, *entry);
+  return entry;
 }
 
 Result<ChaseOutcome> ChaseMemo::Chase(const ConjunctiveQuery& q,
@@ -190,6 +218,7 @@ Result<ChaseOutcome> ChaseMemo::Chase(const ConjunctiveQuery& q,
       ++misses_;
     }
   }
+  CountMemoLookup(runtime.metrics, /*hit=*/entry != nullptr);
   if (entry == nullptr) {
     ChaseRuntime inner = RuntimeForKey(runtime, key);
     Result<ChaseOutcome> outcome =
@@ -201,9 +230,14 @@ Result<ChaseOutcome> ChaseMemo::Chase(const ConjunctiveQuery& q,
     SQLEQ_RETURN_IF_ERROR(
         ProbeSite(runtime.faults, runtime.cancel, fault_sites::kMemoInsert));
     entry = std::make_shared<const ChaseOutcome>(std::move(outcome).value());
-    std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = cache_.emplace(key, entry);
-    if (!inserted) entry = it->second;
+    bool inserted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto [it, fresh] = cache_.emplace(key, entry);
+      inserted = fresh;
+      if (!fresh) entry = it->second;
+    }
+    if (inserted) CountMemoInsert(runtime.metrics, key, *entry);
   }
   ChaseOutcome remapped{entry->result.Substitute(from_canonical).WithName(q.name()),
                         entry->trace, entry->failed};

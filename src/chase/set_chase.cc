@@ -1,6 +1,7 @@
 #include "chase/set_chase.h"
 
 #include "chase/chase_step.h"
+#include "chase/chase_telemetry.h"
 #include "chase/checkpoint.h"
 #include "constraints/weak_acyclicity.h"
 #include "util/fault.h"
@@ -43,6 +44,8 @@ Status StopChase(Status status, const ChaseOutcome& out, size_t steps_done,
 Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& sigma,
                               const ChaseOptions& options,
                               const ChaseRuntime& runtime) {
+  ChaseCounters counters(runtime.metrics);
+  TraceSpan span(runtime.trace, "chase.set");
   ChaseOutcome out{q.CanonicalRepresentation(), {}, false};
   size_t start = 0;
   if (runtime.resume != nullptr &&
@@ -66,7 +69,10 @@ Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& si
       for (const Dependency& dep : sigma) {
         if (!dep.IsEgd()) continue;
         std::optional<EgdApplication> app = FindEgdApplication(out.result, dep.egd());
-        if (!app.has_value()) continue;
+        if (!app.has_value()) {
+          counters.Satisfied();
+          continue;
+        }
         if (app->failure) {
           out.failed = true;
           out.trace.push_back({dep.label(), false, "FAIL: " + app->from.ToString() +
@@ -75,6 +81,7 @@ Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& si
         }
         out.result = ApplyEgdStep(out.result, *app).CanonicalRepresentation();
         out.trace.push_back({dep.label(), false, out.result.ToString()});
+        counters.Fired(dep.label(), /*is_tgd=*/false);
         applied = true;
         break;
       }
@@ -83,15 +90,22 @@ Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& si
     for (const Dependency& dep : sigma) {
       if (dep.IsTgd()) {
         std::optional<TermMap> h = FindApplicableTgdHomomorphism(out.result, dep.tgd());
-        if (!h.has_value()) continue;
+        if (!h.has_value()) {
+          counters.Satisfied();
+          continue;
+        }
         out.result = ApplyTgdStepDeduped(out.result, dep.tgd(), *h);
         out.trace.push_back({dep.label(), true, out.result.ToString()});
+        counters.Fired(dep.label(), /*is_tgd=*/true);
         applied = true;
         break;
       }
       if (!options.egds_first) {
         std::optional<EgdApplication> app = FindEgdApplication(out.result, dep.egd());
-        if (!app.has_value()) continue;
+        if (!app.has_value()) {
+          counters.Satisfied();
+          continue;
+        }
         if (app->failure) {
           out.failed = true;
           out.trace.push_back({dep.label(), false, "FAIL: " + app->from.ToString() +
@@ -100,6 +114,7 @@ Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& si
         }
         out.result = ApplyEgdStep(out.result, *app).CanonicalRepresentation();
         out.trace.push_back({dep.label(), false, out.result.ToString()});
+        counters.Fired(dep.label(), /*is_tgd=*/false);
         applied = true;
         break;
       }

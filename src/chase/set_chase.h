@@ -18,17 +18,24 @@ namespace sqleq {
 
 class FaultInjector;
 class CancellationToken;
+class MetricsRegistry;
+class TraceSink;
 struct ChaseCheckpoint;
 
-/// Per-call runtime hooks for a chase run (docs/robustness.md), deliberately
-/// separate from ChaseOptions: options are part of memo context keys and
-/// must stay pure configuration, while these are call-scoped pointers.
-/// All members are optional; a default ChaseRuntime is inert.
+/// Per-call runtime hooks for a chase run (docs/robustness.md,
+/// docs/observability.md), deliberately separate from ChaseOptions: options
+/// are part of memo context keys and must stay pure configuration, while
+/// these are call-scoped pointers. All members are optional; a default
+/// ChaseRuntime is inert.
 struct ChaseRuntime {
   /// Fault-injection sites ("chase.step", "memo.insert") consult this.
   FaultInjector* faults = nullptr;
   /// Cooperative cancellation, checked once per chase step.
   CancellationToken* cancel = nullptr;
+  /// Counter sink for chase.* and memo.* metrics; null disables them.
+  MetricsRegistry* metrics = nullptr;
+  /// Span sink ("chase.set", "chase.sound" spans); null disables tracing.
+  TraceSink* trace = nullptr;
   /// Resume from this checkpoint (chase/checkpoint.h) instead of starting
   /// cold. Ignored when the checkpoint's phase does not match the loop (a
   /// set-chase loop only accepts kSetChasePhase, and so on).

@@ -5,6 +5,7 @@
 
 #include "chase/assignment_fixing.h"
 #include "chase/chase_step.h"
+#include "chase/chase_telemetry.h"
 #include "chase/checkpoint.h"
 #include "constraints/regularize.h"
 #include "util/fault.h"
@@ -71,10 +72,15 @@ Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& 
   // sound-chase checkpoint implies the probe already passed; a probe
   // checkpoint resumes inside it (rewritten to the set-chase phase the inner
   // loop understands, and back on capture).
+  ChaseCounters counters(runtime.metrics);
+  TraceSpan span(runtime.trace, "chase.sound");
+
   if (!resume_sound) {
     ChaseRuntime probe_runtime;
     probe_runtime.faults = runtime.faults;
     probe_runtime.cancel = runtime.cancel;
+    probe_runtime.metrics = runtime.metrics;
+    probe_runtime.trace = runtime.trace;
     std::optional<ChaseCheckpoint> probe_resume;
     if (resume != nullptr &&
         resume->phase == ChaseCheckpoint::kSetChaseProbePhase) {
@@ -127,7 +133,10 @@ Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& 
     for (const Dependency& dep : regular) {
       if (!dep.IsEgd()) continue;
       std::optional<EgdApplication> app = FindEgdApplication(out.result, dep.egd());
-      if (!app.has_value()) continue;
+      if (!app.has_value()) {
+        counters.Satisfied();
+        continue;
+      }
       if (app->failure) {
         out.failed = true;
         out.trace.push_back({dep.label(), false,
@@ -136,6 +145,7 @@ Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& 
       }
       out.result = normalize(ApplyEgdStep(out.result, *app));
       out.trace.push_back({dep.label(), false, out.result.ToString()});
+      counters.Fired(dep.label(), /*is_tgd=*/false);
       applied = true;
       break;
     }
@@ -174,10 +184,12 @@ Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& 
         for (Atom& a : added) body.push_back(std::move(a));
         out.result = normalize(out.result.WithBody(std::move(body)));
         out.trace.push_back({dep.label(), true, out.result.ToString()});
+        counters.Fired(dep.label(), /*is_tgd=*/true);
         applied = true;
         break;
       }
       if (applied) break;
+      counters.Satisfied();
     }
     if (!applied) return out;  // no sound step applies — terminal.
   }

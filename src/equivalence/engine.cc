@@ -10,17 +10,18 @@ namespace sqleq {
 namespace {
 
 /// Context fingerprint for memo sharing: everything a chase outcome depends
-/// on. Deadline and thread count are excluded on purpose (see MemoFor).
-std::string ContextKey(const EquivRequest& request) {
+/// on. `chase` is the resolved chase options (context budget already folded
+/// in). Deadline and thread count are excluded on purpose (see MemoFor).
+std::string ContextKey(const EquivRequest& request, const ChaseOptions& chase) {
   std::string key = SemanticsToString(request.semantics);
   key += '\n';
   key += SigmaToString(request.sigma);
   key += '\n';
   key += request.schema.ToString();
   key += '\n';
-  key += request.chase.egds_first ? "E" : "e";
-  key += request.chase.key_based_fast_path ? "K" : "k";
-  key += std::to_string(request.chase.budget.max_chase_steps);
+  key += chase.egds_first ? "E" : "e";
+  key += chase.key_based_fast_path ? "K" : "k";
+  key += std::to_string(chase.budget.max_chase_steps);
   return key;
 }
 
@@ -39,12 +40,13 @@ bool ChasedEquivalent(const ConjunctiveQuery& c1, const ConjunctiveQuery& c2,
   return false;
 }
 
-std::shared_ptr<ChaseMemo> EquivalenceEngine::MemoFor(const EquivRequest& request) {
-  std::string key = ContextKey(request);
+std::shared_ptr<ChaseMemo> EquivalenceEngine::MemoFor(const EquivRequest& request,
+                                                      const ChaseOptions& chase) {
+  std::string key = ContextKey(request, chase);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = memos_.find(key);
   if (it != memos_.end()) return it->second;
-  ChaseOptions memo_options = request.chase;
+  ChaseOptions memo_options = chase;
   memo_options.budget.deadline.reset();  // enforced per call, not per memo
   auto memo = std::make_shared<ChaseMemo>(request.sigma, request.semantics,
                                           request.schema, memo_options);
@@ -55,14 +57,42 @@ std::shared_ptr<ChaseMemo> EquivalenceEngine::MemoFor(const EquivRequest& reques
 Result<EquivVerdict> EquivalenceEngine::Equivalent(const ConjunctiveQuery& q1,
                                                    const ConjunctiveQuery& q2,
                                                    const EquivRequest& request) {
-  if (request.analyze.enabled) {
-    SQLEQ_RETURN_IF_ERROR(ReportToStatus(
-        AnalyzeProgram(request.schema, request.sigma, {q1, q2}, request.analyze)));
+  // Resolve the per-call environment: a customized request.context wins over
+  // the legacy shims (request.faults / request.cancel / chase.budget).
+  const EngineContext ctx =
+      request.context.WithLegacy(request.chase.budget, request.faults, request.cancel);
+  TraceSpan engine_span(ctx.trace, "engine.equivalent");
+  if (ctx.metrics != nullptr) {
+    ctx.metrics->counter(metric::kEngineEquivCalls).Add();
   }
-  std::shared_ptr<ChaseMemo> memo = MemoFor(request);
+  // Stamp the resolved verdict counter on every exit path.
+  auto counted = [&](EquivVerdict v) -> EquivVerdict {
+    if (ctx.metrics != nullptr) {
+      const char* name = v.verdict == Verdict::kEquivalent
+                             ? metric::kEngineEquivEquivalent
+                         : v.verdict == Verdict::kNotEquivalent
+                             ? metric::kEngineEquivNotEquivalent
+                             : metric::kEngineEquivUnknown;
+      ctx.metrics->counter(name).Add();
+    }
+    return v;
+  };
+  if (request.analyze.enabled) {
+    AnalyzeOptions analyze = request.analyze;
+    if (analyze.budget == ResourceBudget{}) analyze.budget = ctx.budget;
+    SQLEQ_RETURN_IF_ERROR(ReportToStatus(
+        AnalyzeProgram(request.schema, request.sigma, {q1, q2}, analyze)));
+  }
+  // One budget governs the call: fold the resolved budget into the chase
+  // options before the memo lookup so the memo context key reflects it.
+  ChaseOptions chase_options = request.chase;
+  chase_options.budget = ctx.budget;
+  std::shared_ptr<ChaseMemo> memo = MemoFor(request, chase_options);
   ChaseRuntime runtime;
-  runtime.faults = request.faults;
-  runtime.cancel = request.cancel;
+  runtime.faults = ctx.faults;
+  runtime.cancel = ctx.cancel;
+  runtime.metrics = ctx.metrics;
+  runtime.trace = ctx.trace;
   runtime.resume = request.resume;  // subject-stamped: applied to its own query only
   std::optional<ChaseCheckpoint> checkpoint;
   runtime.checkpoint_out = &checkpoint;
@@ -82,20 +112,20 @@ Result<EquivVerdict> EquivalenceEngine::Equivalent(const ConjunctiveQuery& q1,
     return out;
   };
 
-  Status guard = request.chase.budget.CheckDeadline("equivalence chase of Q1");
-  if (!guard.ok()) return unknown(guard, "chase of Q1");
+  Status guard = ctx.budget.CheckDeadline("equivalence chase of Q1");
+  if (!guard.ok()) return counted(unknown(guard, "chase of Q1"));
   Result<ChaseOutcome> c1_result = memo->Chase(q1, runtime);
   if (!c1_result.ok()) {
     if (!IsAnytimeStop(c1_result.status())) return c1_result.status();
-    return unknown(c1_result.status(), "chase of Q1");
+    return counted(unknown(c1_result.status(), "chase of Q1"));
   }
   ChaseOutcome c1 = std::move(*c1_result);
-  guard = request.chase.budget.CheckDeadline("equivalence chase of Q2");
-  if (!guard.ok()) return unknown(guard, "chase of Q2");
+  guard = ctx.budget.CheckDeadline("equivalence chase of Q2");
+  if (!guard.ok()) return counted(unknown(guard, "chase of Q2"));
   Result<ChaseOutcome> c2_result = memo->Chase(q2, runtime);
   if (!c2_result.ok()) {
     if (!IsAnytimeStop(c2_result.status())) return c2_result.status();
-    return unknown(c2_result.status(), "chase of Q2");
+    return counted(unknown(c2_result.status(), "chase of Q2"));
   }
   ChaseOutcome c2 = std::move(*c2_result);
 
@@ -111,7 +141,7 @@ Result<EquivVerdict> EquivalenceEngine::Equivalent(const ConjunctiveQuery& q1,
     // queries are then equivalent iff both fail.
     out.equivalent = c1.failed == c2.failed;
     out.verdict = out.equivalent ? Verdict::kEquivalent : Verdict::kNotEquivalent;
-    return out;
+    return counted(std::move(out));
   }
 
   switch (request.semantics) {
@@ -139,19 +169,24 @@ Result<EquivVerdict> EquivalenceEngine::Equivalent(const ConjunctiveQuery& q1,
     }
   }
   out.verdict = out.equivalent ? Verdict::kEquivalent : Verdict::kNotEquivalent;
-  return out;
+  return counted(std::move(out));
 }
 
 Result<EquivVerdict> EquivalenceEngine::EquivalentWithRetry(
     const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
     const EquivRequest& request, const EscalatingBudget& policy) {
   const size_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  // Escalate whichever budget the caller effectively set (context or shim);
+  // the escalated budget is written into the context so it wins the merge.
+  const ResourceBudget base_budget =
+      request.context.budget == ResourceBudget{} ? request.chase.budget
+                                                 : request.context.budget;
   EquivRequest attempt_request = request;
   std::optional<ChaseCheckpoint> carried;
   Result<EquivVerdict> result =
       Status::Internal("retry loop did not run");  // overwritten below
   for (size_t attempt = 0; attempt < attempts; ++attempt) {
-    attempt_request.chase.budget = policy.Escalate(request.chase.budget, attempt);
+    attempt_request.context.budget = policy.Escalate(base_budget, attempt);
     attempt_request.resume = carried.has_value() ? &*carried : request.resume;
     result = Equivalent(q1, q2, attempt_request);
     if (!result.ok() || result->verdict != Verdict::kUnknown ||

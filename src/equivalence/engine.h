@@ -27,6 +27,7 @@
 #include "chase/checkpoint.h"
 #include "chase/set_chase.h"
 #include "constraints/dependency.h"
+#include "util/engine_context.h"
 #include "util/resource_budget.h"
 #include "db/eval.h"
 #include "ir/query.h"
@@ -43,6 +44,12 @@ struct EquivRequest {
   DependencySet sigma;
   Schema schema;
   ChaseOptions chase;
+  /// The per-call environment: resource budget plus the optional metrics,
+  /// trace, fault, and cancel facilities (util/engine_context.h). New code
+  /// sets this; the loose `faults`/`cancel` fields and `chase.budget` below
+  /// are forwarding shims kept for one release and honored only where the
+  /// context leaves the corresponding slot untouched.
+  EngineContext context = {};
   /// Σ-lint pre-flight (src/analysis): the request is analyzed before any
   /// chase runs, and kError findings — a non-stratified Σ, an unsafe query,
   /// schema drift — are rejected as FailedPrecondition naming the diagnostic
@@ -153,11 +160,13 @@ class EquivalenceEngine {
   CacheStats cache_stats() const;
 
  private:
-  /// The memo for the request's chase context. Deadlines are deliberately
+  /// The memo for the request's chase context, under the resolved chase
+  /// options (context budget already folded in). Deadlines are deliberately
   /// not part of the context key (and are stripped from the memo's options):
   /// Equivalent() enforces them per call, so calls differing only in
   /// deadline share cached chases.
-  std::shared_ptr<ChaseMemo> MemoFor(const EquivRequest& request);
+  std::shared_ptr<ChaseMemo> MemoFor(const EquivRequest& request,
+                                     const ChaseOptions& chase);
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<ChaseMemo>> memos_;

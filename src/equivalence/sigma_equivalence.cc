@@ -1,3 +1,7 @@
+// The implementation always builds the legacy symbols so binaries compiled
+// against the gated declarations keep linking; only the header visibility is
+// behind the macro.
+#define SQLEQ_LEGACY_API
 #include "equivalence/sigma_equivalence.h"
 
 #include "chase/sound_chase.h"

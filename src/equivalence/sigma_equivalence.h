@@ -10,7 +10,11 @@
 // DEPRECATED entry points: the equivalence functions below are kept as thin
 // wrappers over equivalence/engine.h's EquivalenceEngine, which unifies the
 // call shape, memoizes chases across calls, and returns the full evidence
-// (chase traces + witness). New code should use the engine directly.
+// (chase traces + witness). New code should use the engine directly. The
+// wrappers are visible only under -DSQLEQ_LEGACY_API (the symbols stay in
+// the library either way), so their removal in a future release is a
+// macro flip for stragglers rather than a source break discovered at link
+// time. SetContainedUnder is not deprecated and remains unconditional.
 #ifndef SQLEQ_EQUIVALENCE_SIGMA_EQUIVALENCE_H_
 #define SQLEQ_EQUIVALENCE_SIGMA_EQUIVALENCE_H_
 
@@ -22,6 +26,8 @@
 #include "util/status.h"
 
 namespace sqleq {
+
+#ifdef SQLEQ_LEGACY_API
 
 /// Q1 ≡Σ,X Q2 for X = `semantics`. `schema` supplies set-valued flags
 /// (consulted only under kBag).
@@ -47,6 +53,8 @@ Result<bool> BagEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQue
 Result<bool> BagSetEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
                                    const DependencySet& sigma,
                                    const ChaseOptions& options = {});
+
+#endif  // SQLEQ_LEGACY_API
 
 /// Q1 ⊑Σ,S Q2: set containment under dependencies, via chase of Q1 and a
 /// containment mapping from Q2 (the standard reduction).

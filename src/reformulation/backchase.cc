@@ -7,6 +7,7 @@
 #include "chase/checkpoint.h"
 #include "equivalence/isomorphism.h"
 #include "util/fault.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace sqleq {
@@ -18,6 +19,39 @@ uint64_t NextSamePopcount(uint64_t m) {
   uint64_t r = m + c;
   return (((r ^ m) >> 2) / c) | r;
 }
+
+/// Flushes the sweep's aggregate backchase.* counters on every exit path.
+/// Deltas against the resume-carried base keep a resumed sweep from
+/// re-counting the prior run's work; the sources are all maintained by the
+/// serial merge, so the flushed totals are thread-count invariant.
+struct SweepMetricsFlusher {
+  MetricsRegistry* metrics = nullptr;
+  const SweepStats* stats = nullptr;
+  const std::vector<uint64_t>* accepted_masks = nullptr;
+  const size_t* rejected = nullptr;
+  const size_t* chase_failed = nullptr;
+  SweepStats base;
+  size_t base_accepted = 0;
+
+  ~SweepMetricsFlusher() {
+    if (metrics == nullptr) return;
+    auto add = [&](const char* name, size_t delta) {
+      if (delta > 0) metrics->counter(name).Add(delta);
+    };
+    add(metric::kBackchaseCandidates,
+        stats->candidates_examined - base.candidates_examined);
+    add(metric::kBackchaseAccepted, accepted_masks->size() - base_accepted);
+    add(metric::kBackchaseRejected, *rejected);
+    add("backchase.chase_failed", *chase_failed);
+    add(metric::kBackchasePrunedDominance,
+        stats->dominance_pruned - base.dominance_pruned);
+    add(metric::kBackchasePrunedFailure,
+        stats->failure_pruned - base.failure_pruned);
+    add("backchase.cache_hits", stats->chase_cache_hits - base.chase_cache_hits);
+    add("backchase.cache_misses",
+        stats->chase_cache_misses - base.chase_cache_misses);
+  }
+};
 
 Result<size_t> ParseSize(std::string_view s, const char* what) {
   size_t value = 0;
@@ -168,6 +202,35 @@ Result<SweepOutput> SweepBackchaseLattice(
   }
   const uint64_t limit = uint64_t(1) << n;
 
+  TraceSpan sweep_span(options.trace, "backchase.sweep");
+  // Merge-phase tallies for the registry (serial, hence thread-count
+  // invariant), flushed as deltas on every exit path.
+  size_t rejected_total = 0;
+  size_t chase_failed_total = 0;
+  SweepMetricsFlusher flusher;
+  flusher.metrics = options.metrics;
+  flusher.stats = &out.stats;
+  flusher.accepted_masks = &accepted_masks;
+  flusher.rejected = &rejected_total;
+  flusher.chase_failed = &chase_failed_total;
+  flusher.base = out.stats;
+  flusher.base_accepted = accepted_masks.size();
+
+  // Per-wave tallies for the backchase.level.<k>.* counters, committed at
+  // the same points as the SweepStats they mirror.
+  size_t current_k = start_k;
+  size_t wave_merged = 0;
+  size_t wave_accepted = 0;
+  auto commit_level = [&](size_t cands, size_t pruned, size_t accepted) {
+    if (options.metrics == nullptr) return;
+    std::string prefix = "backchase.level." + std::to_string(current_k) + ".";
+    if (cands > 0) options.metrics->counter(prefix + "candidates").Add(cands);
+    if (pruned > 0) options.metrics->counter(prefix + "pruned").Add(pruned);
+    if (accepted > 0) {
+      options.metrics->counter(prefix + "accepted").Add(accepted);
+    }
+  };
+
   // Cuts the sweep at `cut_mask` (first unevaluated mask): commits the
   // pruning events strictly before the cut, packages the merged prefix as a
   // partial result, and captures the resume point. Everything merged so far
@@ -175,14 +238,17 @@ Result<SweepOutput> SweepBackchaseLattice(
   // uninterrupted sweep exactly.
   auto cut = [&](uint64_t cut_mask, const Status& status,
                  const std::vector<std::pair<uint64_t, int>>& wave_prunes) {
+    size_t pruned_before_cut = 0;
     for (const auto& [mask, kind] : wave_prunes) {
       if (mask >= cut_mask) break;  // ascending enumeration order
+      ++pruned_before_cut;
       if (kind == 0) {
         ++out.stats.dominance_pruned;
       } else {
         ++out.stats.failure_pruned;
       }
     }
+    commit_level(wave_merged, pruned_before_cut, wave_accepted);
     out.complete = false;
     out.exhaustion = InferExhaustion(status, "backchase");
     BackchaseCheckpoint cp;
@@ -201,9 +267,12 @@ Result<SweepOutput> SweepBackchaseLattice(
   // Workers beyond the calling thread; the caller participates in every
   // wave, so `budget.threads` is the total concurrency.
   std::optional<ThreadPool> pool;
-  if (budget.threads > 1) pool.emplace(budget.threads - 1);
+  if (budget.threads > 1) pool.emplace(budget.threads - 1, options.metrics);
 
   for (size_t k = start_k; k <= n; ++k) {
+    current_k = k;
+    wave_merged = 0;
+    wave_accepted = 0;
     // ---- Enumerate this wave's non-pruned masks (serial, cheap). All
     // pruning facts come from strictly smaller masks, so they are complete
     // before the wave starts. Pruning-counter increments are buffered with
@@ -284,6 +353,7 @@ Result<SweepOutput> SweepBackchaseLattice(
           ++out.stats.failure_pruned;
         }
       }
+      commit_level(0, wave_prunes.size(), 0);
       continue;
     }
 
@@ -318,6 +388,7 @@ Result<SweepOutput> SweepBackchaseLattice(
         return out;
       }
       ++budget_consumed;
+      ++wave_merged;
       CandidateVerdict& verdict = *r;
       if (!verdict.chase_key.empty()) {
         if (seen_keys.insert(verdict.chase_key).second) {
@@ -331,13 +402,16 @@ Result<SweepOutput> SweepBackchaseLattice(
           break;
         case CandidateOutcome::kRejected:
           ++out.stats.candidates_examined;
+          ++rejected_total;
           break;
         case CandidateOutcome::kChaseFailed:
           ++out.stats.candidates_examined;
+          ++chase_failed_total;
           if (options.enable_failure_prune) failed_masks.push_back(wave[i]);
           break;
         case CandidateOutcome::kAccepted: {
           ++out.stats.candidates_examined;
+          ++wave_accepted;
           accepted_masks.push_back(wave[i]);
           bool duplicate = false;
           for (const ConjunctiveQuery& prior : out.accepted) {
@@ -366,6 +440,7 @@ Result<SweepOutput> SweepBackchaseLattice(
         ++out.stats.failure_pruned;
       }
     }
+    commit_level(wave_merged, wave_prunes.size(), wave_accepted);
   }
   return out;
 }

@@ -85,6 +85,8 @@ struct BackchaseCheckpoint {
 
 class FaultInjector;
 class CancellationToken;
+class MetricsRegistry;
+class TraceSink;
 
 /// Per-call knobs of the sweep beyond the budget.
 struct SweepOptions {
@@ -103,6 +105,13 @@ struct SweepOptions {
   /// evaluation. Either may be null.
   FaultInjector* faults = nullptr;
   CancellationToken* cancel = nullptr;
+  /// Counter sink for backchase.* metrics. All backchase counters are
+  /// committed in the sweep's serial merge phase (or its cut), so their
+  /// totals are identical at every thread count. Null disables them.
+  MetricsRegistry* metrics = nullptr;
+  /// Span sink ("backchase.sweep"); also handed to the worker pool for
+  /// pool.* latency histograms when metrics is set. Null disables tracing.
+  TraceSink* trace = nullptr;
 };
 
 struct SweepOutput {

@@ -99,14 +99,21 @@ Result<CandBCheckpoint> CandBCheckpoint::Deserialize(std::string_view text) {
 Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
                                       const DependencySet& sigma, Semantics semantics,
                                       const Schema& schema, const CandBOptions& options) {
+  // Resolve the per-call environment: an explicitly customized context wins
+  // over the legacy loose fields (forwarding shims, one release).
+  const EngineContext ctx =
+      options.context.WithLegacy(options.budget, options.faults, options.cancel);
+  TraceSpan candb_span(ctx.trace, "candb");
   if (options.analyze.enabled) {
+    AnalyzeOptions analyze = options.analyze;
+    if (analyze.budget == ResourceBudget{}) analyze.budget = ctx.budget;
     SQLEQ_RETURN_IF_ERROR(
-        ReportToStatus(AnalyzeProgram(schema, sigma, {q}, options.analyze)));
+        ReportToStatus(AnalyzeProgram(schema, sigma, {q}, analyze)));
   }
   // One budget governs the whole call: fold it into the chase options every
   // chase below runs with.
   ChaseOptions chase_options = options.chase;
-  chase_options.budget = options.budget;
+  chase_options.budget = ctx.budget;
 
   const CandBCheckpoint* resume = options.resume;
   const bool resume_backchase =
@@ -119,8 +126,10 @@ Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
     plan = *resume->universal_plan;
   } else {
     ChaseRuntime chase_runtime;
-    chase_runtime.faults = options.faults;
-    chase_runtime.cancel = options.cancel;
+    chase_runtime.faults = ctx.faults;
+    chase_runtime.cancel = ctx.cancel;
+    chase_runtime.metrics = ctx.metrics;
+    chase_runtime.trace = ctx.trace;
     if (resume != nullptr && resume->phase == CandBCheckpoint::kChasePhase &&
         resume->chase.has_value()) {
       chase_runtime.resume = &*resume->chase;
@@ -161,11 +170,13 @@ Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
   // shared memo so isomorphic candidates cost one chase. ----
   ChaseMemo memo(sigma, semantics, schema, chase_options);
   ChaseRuntime memo_runtime;
-  memo_runtime.faults = options.faults;
-  memo_runtime.cancel = options.cancel;
+  memo_runtime.faults = ctx.faults;
+  memo_runtime.cancel = ctx.cancel;
+  memo_runtime.metrics = ctx.metrics;
+  memo_runtime.trace = ctx.trace;
   auto evaluate = [&](uint64_t mask) -> Result<CandidateVerdict> {
-    SQLEQ_RETURN_IF_ERROR(ProbeSite(options.faults, options.cancel,
-                                    fault_sites::kBackchaseCandidate));
+    SQLEQ_RETURN_IF_ERROR(
+        ProbeSite(ctx.faults, ctx.cancel, fault_sites::kBackchaseCandidate));
     std::vector<Atom> body;
     for (size_t i = 0; i < n; ++i) {
       if ((mask >> i) & 1) body.push_back(u.body()[i]);
@@ -207,12 +218,14 @@ Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
   // fixes assignments per query, so no such monotonicity holds.
   SweepOptions sweep_options;
   sweep_options.enable_failure_prune = semantics == Semantics::kSet;
-  sweep_options.faults = options.faults;
-  sweep_options.cancel = options.cancel;
+  sweep_options.faults = ctx.faults;
+  sweep_options.cancel = ctx.cancel;
+  sweep_options.metrics = ctx.metrics;
+  sweep_options.trace = ctx.trace;
   if (resume_backchase) sweep_options.resume = &*resume->backchase;
   SQLEQ_ASSIGN_OR_RETURN(
       SweepOutput swept,
-      SweepBackchaseLattice(n, options.budget, sweep_options, evaluate));
+      SweepBackchaseLattice(n, ctx.budget, sweep_options, evaluate));
   out.reformulations = std::move(swept.accepted);
   out.candidates_examined = swept.stats.candidates_examined;
   out.chase_cache_hits = swept.stats.chase_cache_hits;
@@ -234,12 +247,17 @@ Result<CandBResult> ChaseAndBackchaseWithRetry(
     const Schema& schema, const CandBOptions& options,
     const EscalatingBudget& policy) {
   const size_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  // Escalate whichever budget the caller effectively set (context or shim);
+  // the escalated budget is written into the context so it wins the merge.
+  const ResourceBudget base_budget =
+      options.context.budget == ResourceBudget{} ? options.budget
+                                                 : options.context.budget;
   CandBOptions attempt_options = options;
   std::optional<CandBCheckpoint> carried;
   Result<CandBResult> result =
       Status::Internal("retry loop did not run");  // overwritten below
   for (size_t attempt = 0; attempt < attempts; ++attempt) {
-    attempt_options.budget = policy.Escalate(options.budget, attempt);
+    attempt_options.context.budget = policy.Escalate(base_budget, attempt);
     attempt_options.resume =
         carried.has_value() ? &*carried : options.resume;
     result = ChaseAndBackchase(q, sigma, semantics, schema, attempt_options);

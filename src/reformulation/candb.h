@@ -33,6 +33,7 @@
 #include "ir/query.h"
 #include "ir/schema.h"
 #include "reformulation/backchase.h"
+#include "util/engine_context.h"
 #include "util/resource_budget.h"
 #include "util/status.h"
 
@@ -59,13 +60,20 @@ struct CandBCheckpoint {
 };
 
 struct CandBOptions {
+  /// The per-call environment: resource budget (max_candidates caps the
+  /// backchase lattice, max_chase_steps every chase, deadline the whole
+  /// call, threads the backchase worker pool) plus the optional metrics,
+  /// trace, fault, and cancel facilities. This is the one knob new code
+  /// should set; the loose `budget`/`faults`/`cancel` fields below are
+  /// forwarding shims kept for one release and honored only where the
+  /// context leaves the corresponding slot untouched.
+  EngineContext context;
   /// Chase strategy knobs (egds_first, key_based_fast_path). The embedded
-  /// chase.budget is overridden by `budget` below for the chases C&B runs,
-  /// so there is a single budget knob per call.
+  /// chase.budget is overridden by the resolved context budget for the
+  /// chases C&B runs, so there is a single budget knob per call.
   ChaseOptions chase;
-  /// The C&B resource budget: max_candidates caps the backchase lattice,
-  /// max_chase_steps every chase, deadline the whole call, and threads the
-  /// backchase worker pool.
+  /// DEPRECATED SHIM — use context.budget. Honored when context.budget is
+  /// left default-constructed.
   ResourceBudget budget;
   /// When true, outputs are additionally filtered through the Def 3.1
   /// Σ-minimality check (subset-minimality in the universal-plan lattice is
@@ -76,9 +84,10 @@ struct CandBOptions {
   /// findings become FailedPrecondition instead of a budget blowout. See
   /// EquivRequest::analyze.
   AnalyzeOptions analyze = AnalyzeOptions::Preflight();
-  /// Fault injection ("backchase.candidate" fires once per candidate built,
-  /// plus the chase/memo/pool sites downstream) and cooperative
-  /// cancellation. Either may be null.
+  /// DEPRECATED SHIMS — use context.faults / context.cancel. Fault
+  /// injection ("backchase.candidate" fires once per candidate built, plus
+  /// the chase/memo/pool sites downstream) and cooperative cancellation.
+  /// Either may be null; honored when the context slot is null.
   FaultInjector* faults = nullptr;
   CancellationToken* cancel = nullptr;
   /// Resume an interrupted call. Must be a checkpoint produced by a prior

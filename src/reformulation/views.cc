@@ -170,6 +170,10 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
                                        const DependencySet& sigma, Semantics semantics,
                                        const Schema& schema,
                                        const RewriteOptions& options) {
+  // Resolve the per-call environment (context wins over the legacy shims).
+  const EngineContext ctx = options.candb.context.WithLegacy(
+      options.candb.budget, options.candb.faults, options.candb.cancel);
+  TraceSpan rewrite_span(ctx.trace, "rewrite.views");
   if (options.candb.analyze.enabled) {
     // Pre-flight Q and every view definition: a bad view body would
     // otherwise surface deep inside candidate expansion chases.
@@ -178,12 +182,14 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
       SQLEQ_ASSIGN_OR_RETURN(ConjunctiveQuery def, views.Get(name));
       queries.push_back(std::move(def));
     }
+    AnalyzeOptions analyze = options.candb.analyze;
+    if (analyze.budget == ResourceBudget{}) analyze.budget = ctx.budget;
     SQLEQ_RETURN_IF_ERROR(
-        ReportToStatus(AnalyzeProgram(schema, sigma, queries, options.candb.analyze)));
+        ReportToStatus(AnalyzeProgram(schema, sigma, queries, analyze)));
   }
-  // One budget governs the whole call (see CandBOptions::budget).
+  // One budget governs the whole call (see CandBOptions::context).
   ChaseOptions chase_options = options.candb.chase;
-  chase_options.budget = options.candb.budget;
+  chase_options.budget = ctx.budget;
 
   const CandBCheckpoint* resume = options.candb.resume;
   const bool resume_backchase =
@@ -196,8 +202,10 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
     plan = *resume->universal_plan;
   } else {
     ChaseRuntime chase_runtime;
-    chase_runtime.faults = options.candb.faults;
-    chase_runtime.cancel = options.candb.cancel;
+    chase_runtime.faults = ctx.faults;
+    chase_runtime.cancel = ctx.cancel;
+    chase_runtime.metrics = ctx.metrics;
+    chase_runtime.trace = ctx.trace;
     if (resume != nullptr && resume->phase == CandBCheckpoint::kChasePhase &&
         resume->chase.has_value()) {
       chase_runtime.resume = &*resume->chase;
@@ -257,8 +265,10 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
   // once, up front, instead of once per candidate.
   ChaseMemo memo(sigma, semantics, schema, chase_options);
   ChaseRuntime memo_runtime;
-  memo_runtime.faults = options.candb.faults;
-  memo_runtime.cancel = options.candb.cancel;
+  memo_runtime.faults = ctx.faults;
+  memo_runtime.cancel = ctx.cancel;
+  memo_runtime.metrics = ctx.metrics;
+  memo_runtime.trace = ctx.trace;
   std::string u_key;
   Result<std::shared_ptr<const ChaseOutcome>> u_chase_result =
       memo.ChaseCanonical(u, &u_key, memo_runtime);
@@ -286,8 +296,8 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
   }
   std::shared_ptr<const ChaseOutcome> u_chased = std::move(*u_chase_result);
   auto evaluate = [&](uint64_t mask) -> Result<CandidateVerdict> {
-    SQLEQ_RETURN_IF_ERROR(ProbeSite(options.candb.faults, options.candb.cancel,
-                                    fault_sites::kBackchaseCandidate));
+    SQLEQ_RETURN_IF_ERROR(
+        ProbeSite(ctx.faults, ctx.cancel, fault_sites::kBackchaseCandidate));
     std::vector<Atom> body;
     for (size_t i = 0; i < pool.size(); ++i) {
       if ((mask >> i) & 1) body.push_back(pool[i]);
@@ -341,13 +351,14 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
   sweep_options.enable_failure_prune =
       semantics == Semantics::kSet && !u_chased->failed;
   sweep_options.preseeded_chase_keys = {u_key};
-  sweep_options.faults = options.candb.faults;
-  sweep_options.cancel = options.candb.cancel;
+  sweep_options.faults = ctx.faults;
+  sweep_options.cancel = ctx.cancel;
+  sweep_options.metrics = ctx.metrics;
+  sweep_options.trace = ctx.trace;
   if (resume_backchase) sweep_options.resume = &*resume->backchase;
   SQLEQ_ASSIGN_OR_RETURN(
       SweepOutput swept,
-      SweepBackchaseLattice(pool.size(), options.candb.budget, sweep_options,
-                            evaluate));
+      SweepBackchaseLattice(pool.size(), ctx.budget, sweep_options, evaluate));
   out.rewritings = std::move(swept.accepted);
   out.candidates_examined = swept.stats.candidates_examined;
   out.chase_cache_hits = swept.stats.chase_cache_hits;
@@ -369,12 +380,18 @@ Result<RewriteResult> RewriteWithViewsWithRetry(
     Semantics semantics, const Schema& schema, const RewriteOptions& options,
     const EscalatingBudget& policy) {
   const size_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  // Escalate whichever budget the caller effectively set (context or shim);
+  // the escalated budget is written into the context so it wins the merge.
+  const ResourceBudget base_budget =
+      options.candb.context.budget == ResourceBudget{}
+          ? options.candb.budget
+          : options.candb.context.budget;
   RewriteOptions attempt_options = options;
   std::optional<CandBCheckpoint> carried;
   Result<RewriteResult> result =
       Status::Internal("retry loop did not run");  // overwritten below
   for (size_t attempt = 0; attempt < attempts; ++attempt) {
-    attempt_options.candb.budget = policy.Escalate(options.candb.budget, attempt);
+    attempt_options.candb.context.budget = policy.Escalate(base_budget, attempt);
     attempt_options.candb.resume =
         carried.has_value() ? &*carried : options.candb.resume;
     result = RewriteWithViews(q, views, sigma, semantics, schema, attempt_options);

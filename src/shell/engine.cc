@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <vector>
 
@@ -92,7 +93,35 @@ std::string IncompleteLine(const std::optional<ExhaustionInfo>& exhaustion) {
          ")\n";
 }
 
+/// Human-readable rendering of a metrics snapshot for SHOW STATS: counters
+/// as `name = value`, histograms with count/mean/p95/max, in name order.
+std::string RenderStats(const MetricsSnapshot& snap) {
+  if (snap.counters.empty() && snap.histograms.empty()) {
+    return "no stats recorded yet (run EQUIV, MINIMIZE, or REWRITE)\n";
+  }
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += name + " = " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out += name + ": count=" + std::to_string(h.count) +
+           " mean=" + std::to_string(static_cast<uint64_t>(h.Mean())) +
+           " p95<=" + std::to_string(h.ApproxQuantile(0.95)) +
+           " max=" + std::to_string(h.max) + "\n";
+  }
+  return out;
+}
+
 }  // namespace
+
+EngineContext ScriptEngine::Context() {
+  EngineContext ctx;
+  ctx.budget = budget_;
+  ctx.metrics = &metrics_;
+  ctx.trace = tracing_ ? &trace_ : nullptr;
+  ctx.cancel = cancel_;
+  return ctx;
+}
 
 Result<NamedQuery> ScriptEngine::GetQuery(const std::string& name) const {
   auto it = queries_.find(name);
@@ -139,6 +168,7 @@ Result<std::string> ScriptEngine::Execute(std::string_view statement) {
   if (EqualsIgnoreCase(keyword, "LINT")) return ExecLint(rest);
   if (EqualsIgnoreCase(keyword, "SET")) return ExecSet(rest);
   if (EqualsIgnoreCase(keyword, "SHOW")) return ExecShow(rest);
+  if (EqualsIgnoreCase(keyword, "TRACE")) return ExecTrace(rest);
   return Status::InvalidArgument("unknown command '" + keyword + "'");
 }
 
@@ -265,17 +295,17 @@ Result<std::string> ScriptEngine::ExecEquiv(std::string_view rest, bool explain)
   SQLEQ_ASSIGN_OR_RETURN(NamedQuery a, GetQuery(args.first[0]));
   SQLEQ_ASSIGN_OR_RETURN(NamedQuery b, GetQuery(args.first[1]));
   Semantics sem = args.second.value_or(a.semantics);
-  ChaseOptions chase_options;
-  chase_options.budget = budget_;
   if (explain) {
+    ChaseOptions chase_options;
+    chase_options.budget = budget_;
     SQLEQ_ASSIGN_OR_RETURN(EquivalenceExplanation e,
                            ExplainEquivalence(a.query, b.query, catalog_.sigma, sem,
                                               catalog_.schema, chase_options));
     return e.ToString();
   }
   EquivalenceEngine engine;
-  EquivRequest request{sem, catalog_.sigma, catalog_.schema, chase_options};
-  request.cancel = cancel_;
+  EquivRequest request{sem, catalog_.sigma, catalog_.schema, {}};
+  request.context = Context();
   SQLEQ_ASSIGN_OR_RETURN(
       EquivVerdict verdict,
       retry_.has_value()
@@ -298,8 +328,7 @@ Result<std::string> ScriptEngine::ExecMinimize(std::string_view rest) {
   SQLEQ_ASSIGN_OR_RETURN(NamedQuery named, GetQuery(args.first[0]));
   Semantics sem = args.second.value_or(named.semantics);
   CandBOptions options;
-  options.budget = budget_;
-  options.cancel = cancel_;
+  options.context = Context();
   SQLEQ_ASSIGN_OR_RETURN(
       CandBResult result,
       retry_.has_value()
@@ -329,8 +358,7 @@ Result<std::string> ScriptEngine::ExecRewrite(std::string_view rest) {
   SQLEQ_ASSIGN_OR_RETURN(NamedQuery named, GetQuery(args.first[0]));
   Semantics sem = args.second.value_or(named.semantics);
   RewriteOptions options;
-  options.candb.budget = budget_;
-  options.candb.cancel = cancel_;
+  options.candb.context = Context();
   SQLEQ_ASSIGN_OR_RETURN(
       RewriteResult result,
       retry_.has_value()
@@ -436,8 +464,10 @@ Result<std::string> ScriptEngine::ExecSet(std::string_view rest) {
 Result<std::string> ScriptEngine::ExecShow(std::string_view rest) {
   auto [what, tail] = SplitKeyword(rest);
   if (!Trim(tail).empty()) {
-    return Status::InvalidArgument("usage: SHOW SCHEMA|SIGMA|QUERIES|DATA|BUDGET");
+    return Status::InvalidArgument(
+        "usage: SHOW SCHEMA|SIGMA|QUERIES|DATA|BUDGET|STATS");
   }
+  if (EqualsIgnoreCase(what, "STATS")) return RenderStats(metrics_.Snapshot());
   if (EqualsIgnoreCase(what, "SCHEMA")) return catalog_.schema.ToString();
   if (EqualsIgnoreCase(what, "SIGMA")) return SigmaToString(catalog_.sigma);
   if (EqualsIgnoreCase(what, "DATA")) return database_.ToString();
@@ -458,6 +488,36 @@ Result<std::string> ScriptEngine::ExecShow(std::string_view rest) {
     return out;
   }
   return Status::InvalidArgument("unknown SHOW target '" + what + "'");
+}
+
+Result<std::string> ScriptEngine::ExecTrace(std::string_view rest) {
+  auto [mode, tail] = SplitKeyword(rest);
+  if (EqualsIgnoreCase(mode, "ON")) {
+    if (!Trim(tail).empty()) return Status::InvalidArgument("usage: TRACE ON");
+    tracing_ = true;
+    return std::string("tracing on\n");
+  }
+  if (EqualsIgnoreCase(mode, "OFF")) {
+    if (!Trim(tail).empty()) return Status::InvalidArgument("usage: TRACE OFF");
+    tracing_ = false;
+    return std::string("tracing off\n");
+  }
+  if (EqualsIgnoreCase(mode, "EXPORT")) {
+    auto [path, tail2] = SplitKeyword(tail);
+    if (path.empty() || !Trim(tail2).empty()) {
+      return Status::InvalidArgument("usage: TRACE EXPORT <file>");
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::Internal("cannot open '" + path + "' for writing");
+    }
+    out << trace_.ToChromeTraceJson();
+    out.close();
+    if (!out) return Status::Internal("failed writing '" + path + "'");
+    return "exported " + std::to_string(trace_.size()) + " trace event(s) to " +
+           path + "\n";
+  }
+  return Status::InvalidArgument("usage: TRACE ON | TRACE OFF | TRACE EXPORT <file>");
 }
 
 }  // namespace shell

@@ -16,7 +16,13 @@
 //   SET THREADS n;                   -- backchase worker threads
 //   SET BUDGET <steps> <candidates>; -- chase-step / candidate limits
 //   SET RETRY n [growth] | OFF;      -- escalating-budget retries on exhaustion
-//   SHOW SCHEMA | SIGMA | QUERIES | DATA | BUDGET;
+//   SHOW SCHEMA | SIGMA | QUERIES | DATA | BUDGET | STATS;
+//   TRACE ON | OFF | EXPORT <file>;  -- chase-span tracing (Chrome trace JSON)
+//
+// SHOW STATS prints the session's accumulated engine metrics (chase steps,
+// memo hits, backchase counters — see docs/observability.md); TRACE ON
+// records spans for subsequent EQUIV/MINIMIZE/REWRITE statements and TRACE
+// EXPORT writes them as chrome://tracing / Perfetto JSON.
 //
 // "--" starts a line comment (outside quoted literals). Each statement
 // returns printable output; errors are Status values (the engine state is
@@ -33,8 +39,10 @@
 #include "db/eval.h"
 #include "reformulation/views.h"
 #include "sql/translate.h"
+#include "util/engine_context.h"
 #include "util/resource_budget.h"
 #include "util/status.h"
+#include "util/telemetry.h"
 
 namespace sqleq {
 
@@ -74,6 +82,13 @@ class ScriptEngine {
   /// cleared with set_cancellation(nullptr).
   void set_cancellation(CancellationToken* cancel) { cancel_ = cancel; }
   Result<NamedQuery> GetQuery(const std::string& name) const;
+  /// Session-lifetime engine metrics (what SHOW STATS prints).
+  const MetricsRegistry& metrics() const { return metrics_; }
+  /// The span sink TRACE ON feeds (empty until tracing is enabled).
+  const TraceSink& trace() const { return trace_; }
+  bool tracing() const { return tracing_; }
+  /// Programmatic TRACE ON/OFF (what sqleq_cli --trace-out uses).
+  void set_tracing(bool on) { tracing_ = on; }
 
  private:
   Result<std::string> ExecCreate(std::string_view statement);
@@ -88,6 +103,12 @@ class ScriptEngine {
   Result<std::string> ExecLint(std::string_view rest);
   Result<std::string> ExecSet(std::string_view rest);
   Result<std::string> ExecShow(std::string_view rest);
+  Result<std::string> ExecTrace(std::string_view rest);
+
+  /// The per-call environment EQUIV/MINIMIZE/REWRITE run under: the SET
+  /// budget, the session metrics, the trace sink when TRACE is ON, and the
+  /// caller's cancellation token.
+  EngineContext Context();
 
   /// Splits "a b UNDER B" into names and an optional semantics override.
   Result<std::pair<std::vector<std::string>, std::optional<Semantics>>> ParseArgs(
@@ -100,6 +121,9 @@ class ScriptEngine {
   ResourceBudget budget_;
   std::optional<EscalatingBudget> retry_;
   CancellationToken* cancel_ = nullptr;
+  MetricsRegistry metrics_;
+  TraceSink trace_;
+  bool tracing_ = false;
   int dep_counter_ = 0;
 };
 

@@ -1,0 +1,314 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sqleq {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    SQLEQ_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (depth_ > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+      case 'f':
+        return ParseBool();
+      case 'n':
+        return ParseNull();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    ++depth_;
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) {
+      --depth_;
+      return value;
+    }
+    while (true) {
+      SkipWhitespace();
+      SQLEQ_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      SkipWhitespace();
+      SQLEQ_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
+      value.object[key.string] = std::move(member);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in object");
+    }
+    --depth_;
+    return value;
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    ++depth_;
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) {
+      --depth_;
+      return value;
+    }
+    while (true) {
+      SkipWhitespace();
+      SQLEQ_ASSIGN_OR_RETURN(JsonValue element, ParseValue());
+      value.array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in array");
+    }
+    --depth_;
+    return value;
+  }
+
+  Result<JsonValue> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        value.string.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          value.string.push_back('"');
+          break;
+        case '\\':
+          value.string.push_back('\\');
+          break;
+        case '/':
+          value.string.push_back('/');
+          break;
+        case 'b':
+          value.string.push_back('\b');
+          break;
+        case 'f':
+          value.string.push_back('\f');
+          break;
+        case 'n':
+          value.string.push_back('\n');
+          break;
+        case 'r':
+          value.string.push_back('\r');
+          break;
+        case 't':
+          value.string.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // the telemetry layer never emits them).
+          if (code < 0x80) {
+            value.string.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            value.string.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            value.string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            value.string.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            value.string.push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            value.string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error(std::string("invalid escape '\\") + e + "'");
+      }
+    }
+    return value;
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      value.boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      value.boolean = false;
+      pos_ += 5;
+      return value;
+    }
+    return Error("invalid literal");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return Error("invalid literal");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || token.empty() || token == "-") {
+      return Error("invalid number '" + token + "'");
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = parsed;
+    return value;
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sqleq

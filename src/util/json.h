@@ -1,0 +1,50 @@
+// Minimal JSON support for the observability layer: a recursive-descent
+// parser (objects, arrays, strings, numbers, booleans, null — RFC 8259
+// without \u surrogate pairs beyond the BMP) and the string-escaping helper
+// every exporter shares. The parser exists so telemetry exporter output and
+// the BENCH_*.json files can be validated in-process (tests,
+// tools/check_bench_json) without an external dependency; it is not a
+// general-purpose JSON library.
+#ifndef SQLEQ_UTIL_JSON_H_
+#define SQLEQ_UTIL_JSON_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sqleq {
+
+/// A parsed JSON document node.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion order is not preserved; key lookup is what validation needs.
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// The member named `key`, or nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// `s` with the JSON string escapes applied (quotes, backslash, control
+/// characters as \u00XX), without surrounding quotes.
+std::string EscapeJson(std::string_view s);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_UTIL_JSON_H_

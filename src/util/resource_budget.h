@@ -60,6 +60,11 @@ struct ResourceBudget {
 
   /// "steps=5000 candidates=1048576 threads=1 deadline=unset".
   std::string ToString() const;
+
+  /// Memberwise equality; EngineContext::Resolve uses `b == ResourceBudget{}`
+  /// to detect "budget never customized" when merging legacy option structs.
+  friend bool operator==(const ResourceBudget&, const ResourceBudget&) =
+      default;
 };
 
 /// Three-valued outcome of a budgeted decision procedure: the search either

@@ -1,0 +1,255 @@
+#include "util/telemetry.h"
+
+#include <bit>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace sqleq {
+namespace {
+
+size_t BucketIndex(uint64_t value) {
+  // bit_width(0) == 0, bit_width(1) == 1, ... — exactly the bucket layout
+  // documented on Histogram::kBuckets.
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+/// Upper bound (exclusive) of bucket i: 2^i, saturating at UINT64_MAX.
+uint64_t BucketUpper(size_t i) {
+  if (i >= 64) return UINT64_MAX;
+  return uint64_t{1} << i;
+}
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = "sqleq_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t min = min_.load(std::memory_order_relaxed);
+  s.min = (s.count == 0 && min == UINT64_MAX) ? 0 : min;
+  s.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Snapshot::ApproxQuantile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  uint64_t rank = static_cast<uint64_t>(p * double(count - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) return BucketUpper(i);
+  }
+  return max;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, counter] : counters_) {
+    s.counters[name] = counter->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    s.histograms[name] = hist->snapshot();
+  }
+  return s;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    std::string pname = SanitizeMetricName(name);
+    out << "# TYPE " << pname << " counter\n";
+    out << pname << " " << value << "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    std::string pname = SanitizeMetricName(name);
+    out << "# TYPE " << pname << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (hist.buckets[i] == 0) continue;
+      cumulative += hist.buckets[i];
+      out << pname << "_bucket{le=\"" << BucketUpper(i) << "\"} " << cumulative
+          << "\n";
+    }
+    out << pname << "_bucket{le=\"+Inf\"} " << hist.count << "\n";
+    out << pname << "_sum " << hist.sum << "\n";
+    out << pname << "_count " << hist.count << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << EscapeJson(name) << "\":" << value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << EscapeJson(name) << "\":{\"count\":" << hist.count
+        << ",\"sum\":" << hist.sum << ",\"min\":" << hist.min
+        << ",\"max\":" << hist.max << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+TraceSink::TraceSink() : origin_(std::chrono::steady_clock::now()) {}
+
+uint32_t TraceSink::TidLocked(std::thread::id id) {
+  auto it = tids_.find(id);
+  if (it == tids_.end()) {
+    it = tids_.emplace(id, static_cast<uint32_t>(tids_.size())).first;
+  }
+  return it->second;
+}
+
+void TraceSink::Record(const char* name, char phase) {
+  auto now = std::chrono::steady_clock::now();
+  uint64_t ts_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - origin_)
+          .count());
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(
+      TraceEvent{name, phase, ts_us, TidLocked(std::this_thread::get_id())});
+}
+
+void TraceSink::Begin(const char* name) { Record(name, 'B'); }
+
+void TraceSink::End(const char* name) { Record(name, 'E'); }
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  // Thread-id registration survives Clear so tids stay stable across
+  // TRACE OFF / TRACE ON within one shell session.
+}
+
+bool TraceSink::CheckBalanced(std::string* error) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Per-tid stack of open span names; every E must match the innermost B.
+  std::map<uint32_t, std::vector<const char*>> open;
+  for (const TraceEvent& e : events_) {
+    if (e.phase == 'B') {
+      open[e.tid].push_back(e.name);
+      continue;
+    }
+    auto& stack = open[e.tid];
+    if (stack.empty() || std::string_view(stack.back()) != e.name) {
+      if (error != nullptr) {
+        *error = "unbalanced end event '" + std::string(e.name) + "' on tid " +
+                 std::to_string(e.tid);
+      }
+      return false;
+    }
+    stack.pop_back();
+  }
+  for (const auto& [tid, stack] : open) {
+    if (!stack.empty()) {
+      if (error != nullptr) {
+        *error = "span '" + std::string(stack.back()) +
+                 "' never ended on tid " + std::to_string(tid);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string TraceSink::ToChromeTraceJson() const {
+  std::vector<TraceEvent> snapshot = events();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : snapshot) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << EscapeJson(e.name) << "\",\"cat\":\"sqleq\","
+        << "\"ph\":\"" << e.phase << "\",\"ts\":" << e.ts_us
+        << ",\"pid\":1,\"tid\":" << e.tid << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace sqleq

@@ -15,6 +15,9 @@
 
 namespace sqleq {
 
+class MetricsRegistry;
+class Histogram;
+
 /// Fixed-size thread pool. Construction spawns the workers; destruction
 /// drains nothing — pending tasks are completed, then workers exit (jthread
 /// joins automatically). A pool of size 0 runs every task inline on the
@@ -22,8 +25,9 @@ namespace sqleq {
 class ThreadPool {
  public:
   /// `threads` workers. Values 0 and 1 behave identically for ParallelFor
-  /// (the calling thread always participates).
-  explicit ThreadPool(size_t threads);
+  /// (the calling thread always participates). A non-null `metrics` samples
+  /// pool.queue_wait_us and pool.task_us histograms per submitted task.
+  explicit ThreadPool(size_t threads, MetricsRegistry* metrics = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -41,6 +45,10 @@ class ThreadPool {
 
  private:
   void WorkerLoop(std::stop_token stop);
+
+  /// Resolved once at construction; null when telemetry is off.
+  Histogram* queue_wait_us_ = nullptr;
+  Histogram* task_us_ = nullptr;
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -12,7 +12,9 @@
 #include "equivalence/sigma_equivalence.h"
 #include "test_util.h"
 
-// The legacy-agreement test below calls the deprecated wrapper on purpose.
+// This target builds with -DSQLEQ_LEGACY_API (tests/CMakeLists.txt): the
+// legacy-agreement test below pins the deprecated wrapper contract until the
+// wrappers are removed, and is the one in-repo caller left on them.
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace sqleq {
@@ -33,10 +35,13 @@ TEST(EquivalenceEngine, AgreesWithLegacyEntryPointsOnExample41) {
   for (Semantics sem : {Semantics::kSet, Semantics::kBag, Semantics::kBagSet}) {
     EquivRequest request{sem, Example41Sigma(), Example41Schema(), {}};
     EquivVerdict verdict = Unwrap(engine.Equivalent(q1, q4, request));
+    EXPECT_EQ(verdict.equivalent, sem == Semantics::kSet) << SemanticsToString(sem);
+    EXPECT_EQ(verdict.semantics, sem);
+#ifdef SQLEQ_LEGACY_API
     bool legacy = Unwrap(
         EquivalentUnder(q1, q4, Example41Sigma(), sem, Example41Schema()));
     EXPECT_EQ(verdict.equivalent, legacy) << SemanticsToString(sem);
-    EXPECT_EQ(verdict.semantics, sem);
+#endif
   }
   // The set-semantics verdict specifically is "equivalent".
   EquivRequest set_request{Semantics::kSet, Example41Sigma(), Example41Schema(), {}};

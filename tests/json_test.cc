@@ -1,0 +1,134 @@
+// util/json: the minimal JSON reader backing check_bench_json and the
+// exporter round-trip tests — every serializer in the telemetry layer
+// (MetricsSnapshot::ToJson, TraceSink::ToChromeTraceJson) must emit text
+// this parser accepts.
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/telemetry.h"
+
+namespace sqleq {
+namespace {
+
+JsonValue Parse(const std::string& text) {
+  Result<JsonValue> parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString() << " for: " << text;
+  if (!parsed.ok()) std::abort();
+  return std::move(parsed).value();
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_EQ(Parse("null").kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(Parse("true").boolean);
+  EXPECT_FALSE(Parse("false").boolean);
+  EXPECT_DOUBLE_EQ(Parse("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(Parse("-3.5").number, -3.5);
+  EXPECT_DOUBLE_EQ(Parse("1e3").number, 1000.0);
+  EXPECT_EQ(Parse("\"hi\"").string, "hi");
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  EXPECT_EQ(Parse(R"("a\"b\\c\nd\te")").string, "a\"b\\c\nd\te");
+  EXPECT_EQ(Parse(R"("A")").string, "A");
+}
+
+TEST(JsonTest, ParsesNestedContainers) {
+  JsonValue v = Parse(R"({"a": [1, 2, {"b": "x"}], "c": {}})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  const JsonValue* b = a->array[2].Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->string, "x");
+  const JsonValue* c = v.Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->is_object());
+  EXPECT_TRUE(c->object.empty());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\" 1}", "\"unterminated",
+                          "tru", "01x", "{\"a\":1,}", "[1] trailing"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonTest, EscapeJsonRoundTrips) {
+  const std::string raw = "line\nquote\"slash\\tab\tend";
+  JsonValue v = Parse("\"" + EscapeJson(raw) + "\"");
+  EXPECT_EQ(v.string, raw);
+}
+
+// The exporter contract: telemetry serializers emit text util/json.h parses
+// back into the expected shape.
+
+TEST(JsonTest, MetricsSnapshotJsonRoundTrips) {
+  MetricsRegistry registry;
+  registry.counter("chase.steps").Add(7);
+  registry.counter("memo.hits").Add(2);
+  registry.histogram("pool.task_us").Record(150);
+  registry.histogram("pool.task_us").Record(3);
+
+  JsonValue v = Parse(registry.Snapshot().ToJson());
+  const JsonValue* counters = v.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  const JsonValue* steps = counters->Find("chase.steps");
+  ASSERT_NE(steps, nullptr);
+  EXPECT_DOUBLE_EQ(steps->number, 7.0);
+  const JsonValue* histograms = v.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* task = histograms->Find("pool.task_us");
+  ASSERT_NE(task, nullptr);
+  ASSERT_TRUE(task->is_object());
+  EXPECT_DOUBLE_EQ(task->Find("count")->number, 2.0);
+  EXPECT_DOUBLE_EQ(task->Find("sum")->number, 153.0);
+  EXPECT_DOUBLE_EQ(task->Find("min")->number, 3.0);
+  EXPECT_DOUBLE_EQ(task->Find("max")->number, 150.0);
+}
+
+TEST(JsonTest, ChromeTraceJsonRoundTrips) {
+  TraceSink sink;
+  {
+    TraceSpan outer(&sink, "outer");
+    TraceSpan inner(&sink, "inner \"quoted\"");
+  }
+  JsonValue v = Parse(sink.ToChromeTraceJson());
+  const JsonValue* events = v.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 4u);
+  const JsonValue& first = events->array[0];
+  EXPECT_EQ(first.Find("name")->string, "outer");
+  EXPECT_EQ(first.Find("ph")->string, "B");
+  EXPECT_TRUE(first.Find("ts")->is_number());
+  EXPECT_TRUE(first.Find("tid")->is_number());
+  // The quoted name survives serialization.
+  EXPECT_EQ(events->array[1].Find("name")->string, "inner \"quoted\"");
+}
+
+TEST(JsonTest, PrometheusTextIsWellFormed) {
+  MetricsRegistry registry;
+  registry.counter("backchase.level.2.accepted").Add(5);
+  registry.histogram("pool.queue_wait_us").Record(10);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  // Names are sanitized (dots -> underscores) and prefixed.
+  EXPECT_NE(text.find("sqleq_backchase_level_2_accepted 5"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE sqleq_backchase_level_2_accepted counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sqleq_pool_queue_wait_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("sqleq_pool_queue_wait_us_count 1"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqleq

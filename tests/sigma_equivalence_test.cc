@@ -1,11 +1,9 @@
 // Unit tests for equivalence under dependencies (Theorems 2.2, 6.1, 6.2;
-// Propositions 6.1, 6.2) — the paper's headline decision procedures.
-//
-// These tests deliberately exercise the deprecated per-semantics wrappers
-// (the API contract they pin down must keep working until removal).
-#include "equivalence/sigma_equivalence.h"
-
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// Propositions 6.1, 6.2) — the paper's headline decision procedures,
+// exercised through the EquivalenceEngine facade (testing::EngineEquivalent).
+// The legacy wrapper contract is pinned separately by the
+// SQLEQ_LEGACY_API-gated test in equivalence_engine_test.cc.
+#include "equivalence/sigma_equivalence.h"  // SetContainedUnder
 
 #include <gtest/gtest.h>
 
@@ -17,6 +15,7 @@ namespace {
 
 using testing::Example41Schema;
 using testing::Example41Sigma;
+using testing::EngineEquivalent;
 using testing::Q;
 using testing::Sigma;
 using testing::Unwrap;
@@ -26,17 +25,17 @@ TEST(SigmaEquivalence, Theorem22SetEquivalence) {
   ConjunctiveQuery q1 =
       Q("Q1(X) :- p(X, Y), t(X, Y, W), s(X, Z), r(X), u(X, U).");
   ConjunctiveQuery q4 = Q("Q4(X) :- p(X, Y).");
-  EXPECT_TRUE(Unwrap(SetEquivalentUnder(q1, q4, Example41Sigma())));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(q1, q4, Example41Sigma())));
   // Without dependencies they are not even set equivalent.
-  EXPECT_FALSE(Unwrap(SetEquivalentUnder(q1, q4, {})));
+  EXPECT_FALSE(Unwrap(EngineEquivalent(q1, q4, {})));
 }
 
 TEST(SigmaEquivalence, Example41BagAndBagSetFail) {
   ConjunctiveQuery q1 =
       Q("Q1(X) :- p(X, Y), t(X, Y, W), s(X, Z), r(X), u(X, U).");
   ConjunctiveQuery q4 = Q("Q4(X) :- p(X, Y).");
-  EXPECT_FALSE(Unwrap(BagEquivalentUnder(q1, q4, Example41Sigma(), Example41Schema())));
-  EXPECT_FALSE(Unwrap(BagSetEquivalentUnder(q1, q4, Example41Sigma())));
+  EXPECT_FALSE(Unwrap(EngineEquivalent(q1, q4, Example41Sigma(), Semantics::kBag, Example41Schema())));
+  EXPECT_FALSE(Unwrap(EngineEquivalent(q1, q4, Example41Sigma(), Semantics::kBagSet)));
 }
 
 TEST(SigmaEquivalence, Example41PositivePairs) {
@@ -46,11 +45,11 @@ TEST(SigmaEquivalence, Example41PositivePairs) {
   ConjunctiveQuery q3 = Q("Q3(X) :- p(X, Y), t(X, Y, W), s(X, Z).");
   ConjunctiveQuery q4 = Q("Q4(X) :- p(X, Y).");
   // Q3 = (Q4)Σ,B: bag-equivalent to Q4 under Σ.
-  EXPECT_TRUE(Unwrap(BagEquivalentUnder(q3, q4, sigma, schema)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(q3, q4, sigma, Semantics::kBag, schema)));
   // Q2 = (Q4)Σ,BS: bag-set-equivalent to Q4 under Σ.
-  EXPECT_TRUE(Unwrap(BagSetEquivalentUnder(q2, q4, sigma)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(q2, q4, sigma, Semantics::kBagSet)));
   // But Q2 is NOT bag-equivalent to Q4 under Σ (r is bag valued).
-  EXPECT_FALSE(Unwrap(BagEquivalentUnder(q2, q4, sigma, schema)));
+  EXPECT_FALSE(Unwrap(EngineEquivalent(q2, q4, sigma, Semantics::kBag, schema)));
 }
 
 TEST(SigmaEquivalence, Proposition21ChainUnderDependencies) {
@@ -60,9 +59,9 @@ TEST(SigmaEquivalence, Proposition21ChainUnderDependencies) {
   Schema schema = Example41Schema();
   ConjunctiveQuery q3 = Q("Q3(X) :- p(X, Y), t(X, Y, W), s(X, Z).");
   ConjunctiveQuery q4 = Q("Q4(X) :- p(X, Y).");
-  ASSERT_TRUE(Unwrap(BagEquivalentUnder(q3, q4, sigma, schema)));
-  EXPECT_TRUE(Unwrap(BagSetEquivalentUnder(q3, q4, sigma)));
-  EXPECT_TRUE(Unwrap(SetEquivalentUnder(q3, q4, sigma)));
+  ASSERT_TRUE(Unwrap(EngineEquivalent(q3, q4, sigma, Semantics::kBag, schema)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(q3, q4, sigma, Semantics::kBagSet)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(q3, q4, sigma)));
 }
 
 TEST(SigmaEquivalence, EmptySigmaReducesToPlainTests) {
@@ -71,10 +70,10 @@ TEST(SigmaEquivalence, EmptySigmaReducesToPlainTests) {
   ConjunctiveQuery redundant = Q("Q(X) :- p(X, Y), p(X, Z).");
   Schema schema;
   schema.Relation("p", 2);
-  EXPECT_FALSE(Unwrap(BagEquivalentUnder(a, dup, {}, schema)));
-  EXPECT_TRUE(Unwrap(BagSetEquivalentUnder(a, dup, {})));
-  EXPECT_TRUE(Unwrap(SetEquivalentUnder(a, redundant, {})));
-  EXPECT_FALSE(Unwrap(BagSetEquivalentUnder(a, redundant, {})));
+  EXPECT_FALSE(Unwrap(EngineEquivalent(a, dup, {}, Semantics::kBag, schema)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(a, dup, {}, Semantics::kBagSet)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(a, redundant, {})));
+  EXPECT_FALSE(Unwrap(EngineEquivalent(a, redundant, {}, Semantics::kBagSet)));
 }
 
 TEST(SigmaEquivalence, GenericEntryPointDispatches) {
@@ -82,9 +81,9 @@ TEST(SigmaEquivalence, GenericEntryPointDispatches) {
   ConjunctiveQuery dup = Q("Q(X) :- p(X, Y), p(X, Y).");
   Schema schema;
   schema.Relation("p", 2);
-  EXPECT_FALSE(Unwrap(EquivalentUnder(a, dup, {}, Semantics::kBag, schema)));
-  EXPECT_TRUE(Unwrap(EquivalentUnder(a, dup, {}, Semantics::kBagSet, schema)));
-  EXPECT_TRUE(Unwrap(EquivalentUnder(a, dup, {}, Semantics::kSet, schema)));
+  EXPECT_FALSE(Unwrap(EngineEquivalent(a, dup, {}, Semantics::kBag, schema)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(a, dup, {}, Semantics::kBagSet, schema)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(a, dup, {}, Semantics::kSet, schema)));
 }
 
 TEST(SigmaEquivalence, InclusionDependencyMakesJoinRedundant) {
@@ -96,9 +95,9 @@ TEST(SigmaEquivalence, InclusionDependencyMakesJoinRedundant) {
   schema.Relation("emp", 2).Relation("dept", 1, /*set_valued=*/true);
   ConjunctiveQuery with_join = Q("Q(E) :- emp(E, D), dept(D).");
   ConjunctiveQuery without = Q("Q(E) :- emp(E, D).");
-  EXPECT_TRUE(Unwrap(SetEquivalentUnder(with_join, without, sigma)));
-  EXPECT_TRUE(Unwrap(BagSetEquivalentUnder(with_join, without, sigma)));
-  EXPECT_TRUE(Unwrap(BagEquivalentUnder(with_join, without, sigma, schema)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(with_join, without, sigma)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(with_join, without, sigma, Semantics::kBagSet)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(with_join, without, sigma, Semantics::kBag, schema)));
 }
 
 TEST(SigmaEquivalence, BagValuedTargetBlocksBagEquivalence) {
@@ -108,9 +107,9 @@ TEST(SigmaEquivalence, BagValuedTargetBlocksBagEquivalence) {
   schema.Relation("emp", 2).Relation("dept", 1);
   ConjunctiveQuery with_join = Q("Q(E) :- emp(E, D), dept(D).");
   ConjunctiveQuery without = Q("Q(E) :- emp(E, D).");
-  EXPECT_FALSE(Unwrap(BagEquivalentUnder(with_join, without, sigma, schema)));
+  EXPECT_FALSE(Unwrap(EngineEquivalent(with_join, without, sigma, Semantics::kBag, schema)));
   // Bag-set is still fine (set-valued database by definition).
-  EXPECT_TRUE(Unwrap(BagSetEquivalentUnder(with_join, without, sigma)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(with_join, without, sigma, Semantics::kBagSet)));
 }
 
 TEST(SigmaEquivalence, SetContainedUnderDependencies) {
@@ -145,10 +144,9 @@ TEST(SigmaEquivalence, FailedChaseOnBothSidesMeansEquivalent) {
   ConjunctiveQuery impossible1 = Q("Q(X) :- s(X, 4), s(X, 5).");
   ConjunctiveQuery impossible2 = Q("Q(X) :- s(X, 1), s(X, 2).");
   ConjunctiveQuery fine = Q("Q(X) :- s(X, 4).");
-  EXPECT_TRUE(Unwrap(EquivalentUnder(impossible1, impossible2, sigma, Semantics::kBag,
-                                     schema)));
+  EXPECT_TRUE(Unwrap(EngineEquivalent(impossible1, impossible2, sigma, Semantics::kBag, schema)));
   EXPECT_FALSE(
-      Unwrap(EquivalentUnder(impossible1, fine, sigma, Semantics::kBag, schema)));
+      Unwrap(EngineEquivalent(impossible1, fine, sigma, Semantics::kBag, schema)));
 }
 
 }  // namespace

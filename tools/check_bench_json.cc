@@ -1,0 +1,133 @@
+// check_bench_json: validates the BENCH_<name>.json files the benchmark
+// driver (bench/bench_main.cc) emits against the Google Benchmark JSON
+// shape the downstream tooling depends on:
+//
+//   { "context":   { object with "date" and "library_build_type" },
+//     "benchmarks": [ { "name": string, "iterations": number,
+//                       "real_time": number, "cpu_time": number,
+//                       "time_unit": string }, ... ] }
+//
+// A benchmark entry carrying "error_occurred": true fails validation (its
+// message is printed). `tools/ci.sh bench-smoke` runs this over every file
+// a smoke run produced.
+//
+//   check_bench_json BENCH_candb.json [more.json ...]
+//
+// Exit status: 0 when every file validates, 1 when any fails, 2 on usage/IO
+// problems.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using sqleq::JsonValue;
+
+/// Appends "file: problem" to `problems`; returns false for use as a check.
+bool Fail(std::vector<std::string>* problems, const std::string& file,
+          const std::string& problem) {
+  problems->push_back(file + ": " + problem);
+  return false;
+}
+
+bool ValidateEntry(const JsonValue& entry, size_t index, const std::string& file,
+                   std::vector<std::string>* problems) {
+  std::string where = "benchmarks[" + std::to_string(index) + "]";
+  if (!entry.is_object()) return Fail(problems, file, where + " is not an object");
+  const JsonValue* name = entry.Find("name");
+  if (name == nullptr || !name->is_string() || name->string.empty()) {
+    return Fail(problems, file, where + " missing string \"name\"");
+  }
+  where += " (" + name->string + ")";
+  const JsonValue* error = entry.Find("error_occurred");
+  if (error != nullptr && error->kind == JsonValue::Kind::kBool && error->boolean) {
+    const JsonValue* message = entry.Find("error_message");
+    return Fail(problems, file,
+                where + " reported an error: " +
+                    (message != nullptr && message->is_string() ? message->string
+                                                                : "(no message)"));
+  }
+  // Aggregate rows (mean/median/stddev) carry the same numeric fields, so
+  // one shape check covers both run types.
+  for (const char* field : {"iterations", "real_time", "cpu_time"}) {
+    const JsonValue* v = entry.Find(field);
+    if (v == nullptr || !v->is_number()) {
+      return Fail(problems, file,
+                  where + " missing numeric \"" + field + "\"");
+    }
+    if (v->number < 0) {
+      return Fail(problems, file, where + " has negative \"" + field + "\"");
+    }
+  }
+  const JsonValue* unit = entry.Find("time_unit");
+  if (unit == nullptr || !unit->is_string() || unit->string.empty()) {
+    return Fail(problems, file, where + " missing string \"time_unit\"");
+  }
+  return true;
+}
+
+bool ValidateFile(const std::string& file, const std::string& text,
+                  std::vector<std::string>* problems) {
+  sqleq::Result<JsonValue> parsed = sqleq::ParseJson(text);
+  if (!parsed.ok()) {
+    return Fail(problems, file, "not valid JSON: " + parsed.status().ToString());
+  }
+  if (!parsed->is_object()) return Fail(problems, file, "top level is not an object");
+  const JsonValue* context = parsed->Find("context");
+  if (context == nullptr || !context->is_object()) {
+    return Fail(problems, file, "missing object \"context\"");
+  }
+  for (const char* field : {"date", "library_build_type"}) {
+    const JsonValue* v = context->Find(field);
+    if (v == nullptr || !v->is_string()) {
+      return Fail(problems, file,
+                  std::string("context missing string \"") + field + "\"");
+    }
+  }
+  const JsonValue* benchmarks = parsed->Find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    return Fail(problems, file, "missing array \"benchmarks\"");
+  }
+  if (benchmarks->array.empty()) {
+    return Fail(problems, file, "\"benchmarks\" is empty (no benchmark ran)");
+  }
+  bool ok = true;
+  for (size_t i = 0; i < benchmarks->array.size(); ++i) {
+    ok = ValidateEntry(benchmarks->array[i], i, file, problems) && ok;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <BENCH_*.json> [more.json ...]\n", argv[0]);
+    return 2;
+  }
+  std::vector<std::string> problems;
+  int checked = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    ValidateFile(argv[i], buffer.str(), &problems);
+    ++checked;
+  }
+  for (const std::string& problem : problems) {
+    std::fprintf(stderr, "check_bench_json: %s\n", problem.c_str());
+  }
+  if (problems.empty()) {
+    std::printf("check_bench_json: %d file(s) ok\n", checked);
+    return 0;
+  }
+  return 1;
+}

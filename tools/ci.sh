@@ -4,9 +4,52 @@
 # when clang-tidy is absent) and sqleq-lint over the example scripts.
 #
 # usage: tools/ci.sh [build-dir]
+#        tools/ci.sh bench-smoke [build-dir]
+#
+# bench-smoke builds the benchmarks, runs each one for a single pinned
+# iteration (SQLEQ_BENCH_ITERS=1) from the repo root so every binary emits
+# its BENCH_<name>.json there, and validates each file against the Google
+# Benchmark JSON shape with check_bench_json.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+bench_smoke() {
+  local build_dir="${1:-build}"
+
+  echo "== configure =="
+  cmake -B "${build_dir}" -S .
+
+  echo "== build (benchmarks + checker) =="
+  local targets=()
+  for src in bench/bench_*.cc; do
+    local name
+    name="$(basename "${src}" .cc)"
+    [ "${name}" = "bench_main" ] && continue
+    targets+=("${name}")
+  done
+  cmake --build "${build_dir}" -j --target check_bench_json "${targets[@]}"
+
+  echo "== bench smoke (SQLEQ_BENCH_ITERS=1) =="
+  local jsons=()
+  for name in "${targets[@]}"; do
+    echo "-- ${name}"
+    SQLEQ_BENCH_ITERS=1 "${build_dir}/bench/${name}"
+    jsons+=("BENCH_${name#bench_}.json")
+  done
+
+  echo "== check_bench_json =="
+  "${build_dir}/tools/check_bench_json" "${jsons[@]}"
+
+  echo "bench-smoke OK"
+}
+
+if [ "${1:-}" = "bench-smoke" ]; then
+  shift
+  bench_smoke "$@"
+  exit 0
+fi
+
 BUILD_DIR="${1:-build}"
 
 echo "== configure =="

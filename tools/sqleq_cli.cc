@@ -3,6 +3,11 @@
 //
 //   sqleq_cli script.sqleq
 //   echo "CREATE TABLE t (a INT); SHOW SCHEMA;" | sqleq_cli
+//   sqleq_cli --metrics-out metrics.prom --trace-out trace.json script.sqleq
+//
+// --metrics-out writes the session's engine metrics (Prometheus text
+// exposition format) on exit; --trace-out enables span tracing for the whole
+// run and writes Chrome trace_event JSON on exit (docs/observability.md).
 //
 // Ctrl-C requests cooperative cancellation: the running statement stops at
 // its next chase step / backchase candidate and reports a partial result
@@ -13,6 +18,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "shell/engine.h"
 #include "util/fault.h"
@@ -31,18 +37,63 @@ void HandleInterrupt(int /*sig*/) {
   g_cancel.Cancel();
 }
 
+int Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--metrics-out <file>] [--trace-out <file>] "
+               "[script-file]\n"
+               "  runs a sqleq script (stdin when no file is given)\n"
+               "  --metrics-out  write engine metrics (Prometheus text) on exit\n"
+               "  --trace-out    record spans; write Chrome trace JSON on exit\n",
+               prog);
+  return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << content;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "failed writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string script;
-  if (argc > 2) {
-    std::fprintf(stderr, "usage: %s [script-file]\n", argv[0]);
-    return 2;
+  std::string metrics_out;
+  std::string trace_out;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics-out" || arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a file argument\n", arg.c_str());
+        return Usage(argv[0]);
+      }
+      (arg == "--metrics-out" ? metrics_out : trace_out) = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
   }
-  if (argc == 2) {
-    std::ifstream in(argv[1]);
+  if (files.size() > 1) return Usage(argv[0]);
+
+  std::string script;
+  if (files.size() == 1) {
+    std::ifstream in(files[0]);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", files[0].c_str());
       return 2;
     }
     std::ostringstream buffer;
@@ -58,11 +109,25 @@ int main(int argc, char** argv) {
 
   sqleq::shell::ScriptEngine engine;
   engine.set_cancellation(&g_cancel);
+  if (!trace_out.empty()) engine.set_tracing(true);
   sqleq::Result<std::string> out = engine.Run(script);
+
+  // Telemetry is written even when the script failed: a partial run's
+  // metrics and trace are exactly what post-mortems need.
+  int exit_code = 0;
   if (!out.ok()) {
     std::fprintf(stderr, "error: %s\n", out.status().ToString().c_str());
-    return 1;
+    exit_code = 1;
+  } else {
+    std::fputs(out->c_str(), stdout);
   }
-  std::fputs(out->c_str(), stdout);
-  return 0;
+  if (!metrics_out.empty() &&
+      !WriteFile(metrics_out, engine.metrics().Snapshot().ToPrometheusText())) {
+    exit_code = exit_code == 0 ? 2 : exit_code;
+  }
+  if (!trace_out.empty() &&
+      !WriteFile(trace_out, engine.trace().ToChromeTraceJson())) {
+    exit_code = exit_code == 0 ? 2 : exit_code;
+  }
+  return exit_code;
 }

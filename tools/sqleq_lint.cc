@@ -5,7 +5,12 @@
 //
 //   sqleq-lint script.sqleq [more.sqleq ...]
 //   sqleq-lint --strict script.sqleq     # warnings count as errors
+//   sqleq-lint --metrics-out lint.prom --trace-out lint.json script.sqleq
 //   echo "DEP p(X) -> r(X);" | sqleq-lint
+//
+// --metrics-out writes lint counters (files, statements, per-severity
+// diagnostics) in Prometheus text format; --trace-out writes one span per
+// linted input as Chrome trace_event JSON (docs/observability.md).
 //
 // Exit status: 0 when every file is clean of errors, 1 when any file has at
 // least one error-severity diagnostic, 2 on usage/IO problems.
@@ -17,27 +22,73 @@
 #include <vector>
 
 #include "shell/lint.h"
+#include "util/telemetry.h"
 
 namespace {
 
 int Usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [--strict] [script-file ...]\n"
+               "usage: %s [--strict] [--metrics-out <file>] [--trace-out <file>] "
+               "[script-file ...]\n"
                "  lints sqleq scripts (stdin when no files are given)\n"
-               "  --strict  escalate warnings to errors\n",
+               "  --strict       escalate warnings to errors\n"
+               "  --metrics-out  write lint counters (Prometheus text)\n"
+               "  --trace-out    write per-file spans (Chrome trace JSON)\n",
                prog);
   return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << content;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "failed writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Lints one input under a "lint.file" span, tallying the counters SHOW in
+/// --metrics-out.
+sqleq::shell::LintResult LintOne(const std::string& text,
+                                 const sqleq::AnalyzeOptions& opts,
+                                 sqleq::MetricsRegistry* metrics,
+                                 sqleq::TraceSink* trace) {
+  sqleq::TraceSpan span(trace, "lint.file");
+  sqleq::shell::LintResult result = sqleq::shell::LintScript(text, opts);
+  metrics->counter("lint.files").Add();
+  metrics->counter("lint.statements").Add(result.statements);
+  metrics->counter("lint.errors")
+      .Add(result.report.CountOf(sqleq::Severity::kError));
+  metrics->counter("lint.warnings")
+      .Add(result.report.CountOf(sqleq::Severity::kWarning));
+  metrics->counter("lint.notes")
+      .Add(result.report.CountOf(sqleq::Severity::kInfo));
+  return result;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool strict = false;
+  std::string metrics_out;
+  std::string trace_out;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--strict") {
       strict = true;
+    } else if (arg == "--metrics-out" || arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a file argument\n", arg.c_str());
+        return Usage(argv[0]);
+      }
+      (arg == "--metrics-out" ? metrics_out : trace_out) = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -52,11 +103,15 @@ int main(int argc, char** argv) {
   sqleq::AnalyzeOptions opts = sqleq::AnalyzeOptions::Full();
   opts.warnings_as_errors = strict;
 
+  sqleq::MetricsRegistry metrics;
+  sqleq::TraceSink trace_sink;
+  sqleq::TraceSink* trace = trace_out.empty() ? nullptr : &trace_sink;
+
   bool any_errors = false;
   if (files.empty()) {
     std::ostringstream buffer;
     buffer << std::cin.rdbuf();
-    sqleq::shell::LintResult result = sqleq::shell::LintScript(buffer.str(), opts);
+    sqleq::shell::LintResult result = LintOne(buffer.str(), opts, &metrics, trace);
     std::fputs(result.ToString().c_str(), stdout);
     any_errors = result.HasErrors();
   } else {
@@ -68,11 +123,21 @@ int main(int argc, char** argv) {
       }
       std::ostringstream buffer;
       buffer << in.rdbuf();
-      sqleq::shell::LintResult result = sqleq::shell::LintScript(buffer.str(), opts);
+      sqleq::shell::LintResult result =
+          LintOne(buffer.str(), opts, &metrics, trace);
       if (files.size() > 1) std::printf("== %s ==\n", file.c_str());
       std::fputs(result.ToString().c_str(), stdout);
       any_errors = any_errors || result.HasErrors();
     }
+  }
+
+  if (!metrics_out.empty() &&
+      !WriteFile(metrics_out, metrics.Snapshot().ToPrometheusText())) {
+    return 2;
+  }
+  if (!trace_out.empty() &&
+      !WriteFile(trace_out, trace_sink.ToChromeTraceJson())) {
+    return 2;
   }
   return any_errors ? 1 : 0;
 }
