@@ -74,7 +74,7 @@ void BM_CandB_Set_Threads(benchmark::State& state) {
   Schema schema = Example41Schema();
   DependencySet sigma = Example41Sigma();
   CandBOptions options;
-  options.budget.threads = static_cast<size_t>(state.range(1));
+  options.context.budget.threads = static_cast<size_t>(state.range(1));
   size_t candidates = 0, hits = 0, misses = 0;
   for (auto _ : state) {
     CandBResult result =
@@ -84,7 +84,7 @@ void BM_CandB_Set_Threads(benchmark::State& state) {
     misses = result.chase_cache_misses;
     benchmark::DoNotOptimize(result);
   }
-  state.counters["threads"] = static_cast<double>(options.budget.threads);
+  state.counters["threads"] = static_cast<double>(options.context.budget.threads);
   state.counters["candidates"] = static_cast<double>(candidates);
   state.counters["cache_hits"] = static_cast<double>(hits);
   state.counters["cache_misses"] = static_cast<double>(misses);

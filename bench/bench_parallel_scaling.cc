@@ -37,7 +37,7 @@ void BM_Backchase_ThreadSweep(benchmark::State& state) {
   Schema schema = Example41Schema();
   DependencySet sigma = Example41Sigma();
   CandBOptions options;
-  options.budget.threads = static_cast<size_t>(state.range(0));
+  options.context.budget.threads = static_cast<size_t>(state.range(0));
   size_t candidates = 0, hits = 0, misses = 0, outputs = 0;
   for (auto _ : state) {
     CandBResult result =

@@ -59,7 +59,7 @@ void BM_CandB_InterruptAndResume(benchmark::State& state) {
   size_t outputs = 0;
   for (auto _ : state) {
     CandBOptions budgeted;
-    budgeted.budget.max_candidates = half;
+    budgeted.context.budget.max_candidates = half;
     CandBResult partial =
         Must(ChaseAndBackchase(q, sigma, Semantics::kSet, schema, budgeted));
     CandBOptions resumed;
@@ -85,7 +85,7 @@ void BM_CandB_InterruptParkAndResume(benchmark::State& state) {
   size_t checkpoint_bytes = 0;
   for (auto _ : state) {
     CandBOptions budgeted;
-    budgeted.budget.max_candidates = half;
+    budgeted.context.budget.max_candidates = half;
     CandBResult partial =
         Must(ChaseAndBackchase(q, sigma, Semantics::kSet, schema, budgeted));
     std::string parked = partial.checkpoint->Serialize();
@@ -107,8 +107,8 @@ void BM_Checkpoint_RoundTrip(benchmark::State& state) {
   Schema schema = Example41Schema();
   DependencySet sigma = Example41Sigma();
   CandBOptions budgeted;
-  budgeted.budget.max_candidates = FullCandidateCount() / 2;
-  if (budgeted.budget.max_candidates == 0) budgeted.budget.max_candidates = 1;
+  budgeted.context.budget.max_candidates = FullCandidateCount() / 2;
+  if (budgeted.context.budget.max_candidates == 0) budgeted.context.budget.max_candidates = 1;
   CandBResult partial =
       Must(ChaseAndBackchase(q, sigma, Semantics::kSet, schema, budgeted));
   const CandBCheckpoint& checkpoint = *partial.checkpoint;

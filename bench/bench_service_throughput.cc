@@ -1,0 +1,161 @@
+// Request throughput and tail latency of sqleqd over loopback TCP: the same
+// equivalence check driven by 1/4/8 concurrent clients on persistent
+// connections, warm (process-lifetime memo serves every request after the
+// first) versus cold (the memo is reset every iteration, so each round pays
+// the chase). req/sec comes out as items_per_second; per-request p99 and
+// mean wall latency land in the counters, which is what makes the warm/cold
+// memo gap visible in BENCH_service_throughput.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace sqleq {
+namespace {
+
+using bench::Must;
+
+std::string CheckLine() {
+  return service::JsonObject()
+      .Str("cmd", "check")
+      .Str("q1", "Q(X) :- r(X, Y), s(X).")
+      .Str("q2", "Q(X) :- r(X, Y).")
+      .Str("semantics", "set")
+      .Build();
+}
+
+service::ServiceClient DialAndUpload(const service::Server& server) {
+  service::ServiceClient client =
+      Must(service::ServiceClient::Connect("127.0.0.1", server.port()));
+  Must(client.Call(service::JsonObject()
+                       .Str("cmd", "relation")
+                       .Str("name", "r")
+                       .Int("arity", 2)
+                       .Build()));
+  Must(client.Call(service::JsonObject()
+                       .Str("cmd", "relation")
+                       .Str("name", "s")
+                       .Int("arity", 1)
+                       .Build()));
+  Must(client.Call(service::JsonObject()
+                       .Str("cmd", "dep")
+                       .Str("text", "r(X, Y) -> s(X).")
+                       .Str("label", "fk")
+                       .Build()));
+  return client;
+}
+
+/// One round: every client issues one check on its persistent connection;
+/// per-request latencies are appended to `latencies_us` (mutex-guarded —
+/// contention is negligible next to a request round-trip).
+void RunRound(std::vector<service::ServiceClient>& conns, const std::string& line,
+              std::vector<uint64_t>* latencies_us, std::mutex* mu) {
+  std::vector<std::thread> threads;
+  threads.reserve(conns.size());
+  for (service::ServiceClient& conn : conns) {
+    threads.emplace_back([&conn, &line, latencies_us, mu] {
+      auto start = std::chrono::steady_clock::now();
+      Must(conn.Call(line));
+      uint64_t us = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      std::lock_guard<std::mutex> lock(*mu);
+      latencies_us->push_back(us);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+void ReportLatencies(benchmark::State& state, std::vector<uint64_t> latencies_us,
+                     size_t clients) {
+  state.SetItemsProcessed(static_cast<int64_t>(latencies_us.size()));
+  state.counters["clients"] = static_cast<double>(clients);
+  if (latencies_us.empty()) return;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  uint64_t total = 0;
+  for (uint64_t us : latencies_us) total += us;
+  state.counters["mean_us"] =
+      static_cast<double>(total) / static_cast<double>(latencies_us.size());
+  state.counters["p99_us"] = static_cast<double>(
+      latencies_us[(latencies_us.size() - 1) * 99 / 100]);
+}
+
+void BM_Service_Check_Warm(benchmark::State& state) {
+  const size_t clients = static_cast<size_t>(state.range(0));
+  service::ServerOptions options;
+  options.worker_threads = clients;
+  options.max_inflight = clients;
+  service::Server server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    state.SkipWithError(started.ToString().c_str());
+    return;
+  }
+  std::vector<service::ServiceClient> conns;
+  for (size_t i = 0; i < clients; ++i) conns.push_back(DialAndUpload(server));
+  const std::string line = CheckLine();
+  Must(conns[0].Call(line));  // pre-warm the memo outside the timed region
+
+  std::vector<uint64_t> latencies_us;
+  std::mutex mu;
+  for (auto _ : state) {
+    RunRound(conns, line, &latencies_us, &mu);
+  }
+  ReportLatencies(state, std::move(latencies_us), clients);
+  conns.clear();
+  server.Stop();
+}
+SQLEQ_BENCHMARK(BM_Service_Check_Warm)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_Service_Check_Cold(benchmark::State& state) {
+  const size_t clients = static_cast<size_t>(state.range(0));
+  service::ServerOptions options;
+  options.worker_threads = clients;
+  options.max_inflight = clients;
+  service::Server server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    state.SkipWithError(started.ToString().c_str());
+    return;
+  }
+  std::vector<service::ServiceClient> conns;
+  for (size_t i = 0; i < clients; ++i) conns.push_back(DialAndUpload(server));
+  const std::string line = CheckLine();
+
+  std::vector<uint64_t> latencies_us;
+  std::mutex mu;
+  for (auto _ : state) {
+    state.PauseTiming();
+    server.ResetMemo();  // every round re-chases: the no-daemon baseline
+    state.ResumeTiming();
+    RunRound(conns, line, &latencies_us, &mu);
+  }
+  ReportLatencies(state, std::move(latencies_us), clients);
+  conns.clear();
+  server.Stop();
+}
+SQLEQ_BENCHMARK(BM_Service_Check_Cold)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace sqleq

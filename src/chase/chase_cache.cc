@@ -1,6 +1,8 @@
 #include "chase/chase_cache.h"
 
 #include <algorithm>
+#include <tuple>
+#include <utility>
 
 #include "chase/checkpoint.h"
 #include "util/fault.h"
@@ -161,6 +163,46 @@ std::string CanonicalQueryKey(const ConjunctiveQuery& q,
   return key;
 }
 
+void ChaseMemo::set_byte_limit(size_t byte_limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  byte_limit_ = byte_limit;
+  EvictLocked(nullptr);
+}
+
+void ChaseMemo::EvictLocked(MetricsRegistry* metrics) {
+  // Never evict the front (most recently touched) entry: a single outcome
+  // larger than the limit must still cache, or hot loops would re-chase it
+  // on every call.
+  while (byte_limit_ > 0 && bytes_ > byte_limit_ && cache_.size() > 1) {
+    const std::string& victim = lru_.back();
+    auto it = cache_.find(victim);
+    bytes_ -= it->second.bytes;
+    ++evictions_;
+    if (metrics != nullptr) metrics->counter(metric::kMemoEvictions).Add();
+    cache_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+std::pair<std::shared_ptr<const ChaseOutcome>, bool> ChaseMemo::InsertLocked(
+    const std::string& key, std::shared_ptr<const ChaseOutcome> entry,
+    MetricsRegistry* metrics) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // Concurrent miss of the same key: the first insert won; adopt it.
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return {it->second.outcome, false};
+  }
+  lru_.push_front(key);
+  Entry stored{std::move(entry), 0, lru_.begin()};
+  stored.bytes = key.size() + stored.outcome->result.ToString().size();
+  bytes_ += stored.bytes;
+  auto outcome = stored.outcome;
+  cache_.emplace(key, std::move(stored));
+  EvictLocked(metrics);
+  return {std::move(outcome), true};
+}
+
 Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
     const ConjunctiveQuery& q, std::string* out_key, const ChaseRuntime& runtime) {
   ConjunctiveQuery canonical = q;  // overwritten by CanonicalQueryKey
@@ -172,7 +214,8 @@ Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
-      cached = it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      cached = it->second.outcome;
     } else {
       ++misses_;
     }
@@ -194,9 +237,7 @@ Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
   bool inserted = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto [it, fresh] = cache_.emplace(key, entry);
-    inserted = fresh;
-    if (!fresh) entry = it->second;
+    std::tie(entry, inserted) = InsertLocked(key, std::move(entry), runtime.metrics);
   }
   if (inserted) CountMemoInsert(runtime.metrics, key, *entry);
   return entry;
@@ -213,7 +254,8 @@ Result<ChaseOutcome> ChaseMemo::Chase(const ConjunctiveQuery& q,
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
-      entry = it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      entry = it->second.outcome;
     } else {
       ++misses_;
     }
@@ -233,9 +275,7 @@ Result<ChaseOutcome> ChaseMemo::Chase(const ConjunctiveQuery& q,
     bool inserted = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      auto [it, fresh] = cache_.emplace(key, entry);
-      inserted = fresh;
-      if (!fresh) entry = it->second;
+      std::tie(entry, inserted) = InsertLocked(key, std::move(entry), runtime.metrics);
     }
     if (inserted) CountMemoInsert(runtime.metrics, key, *entry);
   }
@@ -246,7 +286,7 @@ Result<ChaseOutcome> ChaseMemo::Chase(const ConjunctiveQuery& q,
 
 ChaseMemo::Stats ChaseMemo::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return Stats{hits_, misses_, cache_.size()};
+  return Stats{hits_, misses_, cache_.size(), bytes_, evictions_, byte_limit_};
 }
 
 }  // namespace sqleq

@@ -8,6 +8,7 @@
 #ifndef SQLEQ_CHASE_CHASE_CACHE_H_
 #define SQLEQ_CHASE_CHASE_CACHE_H_
 
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -35,14 +36,29 @@ std::string CanonicalQueryKey(const ConjunctiveQuery& q,
 /// The stored ChaseOptions' deadline applies to cache-miss chases; callers
 /// that need per-call deadlines should check them around the call (cache
 /// hits cost microseconds).
+///
+/// Retained footprint is bounded when a byte limit is set (`byte_limit`
+/// constructor argument or set_byte_limit): each entry is charged its
+/// canonical key plus the rendered chase result — the same estimate the
+/// memo.bytes metric uses — and least-recently-used entries are evicted
+/// until the total fits. The most recently touched entry is never evicted,
+/// so a single oversized outcome still caches. Limit 0 means unbounded
+/// (the pre-existing behavior; fine for one-shot CLI calls, required to be
+/// finite for process-lifetime memos like the sqleqd server's).
 class ChaseMemo {
  public:
   ChaseMemo(DependencySet sigma, Semantics semantics, Schema schema,
-            ChaseOptions options)
+            ChaseOptions options, size_t byte_limit = 0)
       : sigma_(std::move(sigma)),
         semantics_(semantics),
         schema_(std::move(schema)),
-        options_(std::move(options)) {}
+        options_(std::move(options)),
+        byte_limit_(byte_limit) {}
+
+  /// Re-bounds the memo; shrinking evicts LRU entries immediately (counted
+  /// in stats().evictions, but not in the memo.evictions metric — there is
+  /// no runtime in scope). 0 removes the bound.
+  void set_byte_limit(size_t byte_limit);
 
   /// Memoized SoundChase of `q`, returned in canonical variable space (NOT
   /// remapped to q's variables) — sufficient for every isomorphism-invariant
@@ -73,6 +89,11 @@ class ChaseMemo {
     size_t hits = 0;
     size_t misses = 0;
     size_t entries = 0;
+    /// Approximate retained bytes of the live entries.
+    size_t bytes = 0;
+    /// Entries evicted to honor the byte limit, lifetime total.
+    size_t evictions = 0;
+    size_t byte_limit = 0;
   };
   /// Live counters. Under concurrent misses of one key both misses are
   /// counted (the first insert wins); use CanonicalQueryKey-based accounting
@@ -85,15 +106,36 @@ class ChaseMemo {
   const ChaseOptions& options() const { return options_; }
 
  private:
+  struct Entry {
+    std::shared_ptr<const ChaseOutcome> outcome;
+    size_t bytes = 0;
+    /// Position in lru_ (front = most recently used).
+    std::list<std::string>::iterator lru;
+  };
+
+  /// Inserts (or returns the concurrent winner of) `key`; runs eviction.
+  /// Returns the cached outcome and whether this call inserted it.
+  std::pair<std::shared_ptr<const ChaseOutcome>, bool> InsertLocked(
+      const std::string& key, std::shared_ptr<const ChaseOutcome> entry,
+      MetricsRegistry* metrics);
+
+  /// Evicts LRU entries (never the front) until the limit holds. Caller
+  /// holds mu_.
+  void EvictLocked(MetricsRegistry* metrics);
+
   const DependencySet sigma_;
   const Semantics semantics_;
   const Schema schema_;
   const ChaseOptions options_;
 
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const ChaseOutcome>> cache_;
+  std::unordered_map<std::string, Entry> cache_;
+  std::list<std::string> lru_;
+  size_t byte_limit_ = 0;
+  size_t bytes_ = 0;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t evictions_ = 0;
 };
 
 }  // namespace sqleq

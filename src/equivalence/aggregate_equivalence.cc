@@ -30,9 +30,10 @@ Result<bool> AggregateEquivalentUnder(const AggregateQuery& q1, const AggregateQ
   Semantics semantics =
       UsesSetReduction(q1.function()) ? Semantics::kSet : Semantics::kBagSet;
   EquivalenceEngine engine;
-  SQLEQ_ASSIGN_OR_RETURN(
-      EquivVerdict verdict,
-      engine.Equivalent(c1, c2, EquivRequest{semantics, sigma, Schema(), options}));
+  EquivRequest request{semantics, sigma, Schema(), options};
+  request.context.budget = options.budget;
+  SQLEQ_ASSIGN_OR_RETURN(EquivVerdict verdict,
+                         engine.Equivalent(c1, c2, request));
   return VerdictToBool(verdict);
 }
 

@@ -49,18 +49,22 @@ std::shared_ptr<ChaseMemo> EquivalenceEngine::MemoFor(const EquivRequest& reques
   ChaseOptions memo_options = chase;
   memo_options.budget.deadline.reset();  // enforced per call, not per memo
   auto memo = std::make_shared<ChaseMemo>(request.sigma, request.semantics,
-                                          request.schema, memo_options);
+                                          request.schema, memo_options,
+                                          memo_byte_limit_);
   memos_.emplace(std::move(key), memo);
   return memo;
+}
+
+void EquivalenceEngine::set_memo_byte_limit(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  memo_byte_limit_ = bytes;
+  for (auto& [key, memo] : memos_) memo->set_byte_limit(bytes);
 }
 
 Result<EquivVerdict> EquivalenceEngine::Equivalent(const ConjunctiveQuery& q1,
                                                    const ConjunctiveQuery& q2,
                                                    const EquivRequest& request) {
-  // Resolve the per-call environment: a customized request.context wins over
-  // the legacy shims (request.faults / request.cancel / chase.budget).
-  const EngineContext ctx =
-      request.context.WithLegacy(request.chase.budget, request.faults, request.cancel);
+  const EngineContext& ctx = request.context;
   TraceSpan engine_span(ctx.trace, "engine.equivalent");
   if (ctx.metrics != nullptr) {
     ctx.metrics->counter(metric::kEngineEquivCalls).Add();
@@ -176,11 +180,7 @@ Result<EquivVerdict> EquivalenceEngine::EquivalentWithRetry(
     const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
     const EquivRequest& request, const EscalatingBudget& policy) {
   const size_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
-  // Escalate whichever budget the caller effectively set (context or shim);
-  // the escalated budget is written into the context so it wins the merge.
-  const ResourceBudget base_budget =
-      request.context.budget == ResourceBudget{} ? request.chase.budget
-                                                 : request.context.budget;
+  const ResourceBudget base_budget = request.context.budget;
   EquivRequest attempt_request = request;
   std::optional<ChaseCheckpoint> carried;
   Result<EquivVerdict> result =

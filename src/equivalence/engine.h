@@ -37,18 +37,20 @@
 namespace sqleq {
 
 /// Everything one equivalence decision depends on. Defaults: set semantics,
-/// no dependencies, empty schema, default ChaseOptions (whose embedded
-/// ResourceBudget bounds the chases and supplies the optional deadline).
+/// no dependencies, empty schema, default ChaseOptions, and a default
+/// EngineContext (whose ResourceBudget bounds the chases and supplies the
+/// optional deadline).
 struct EquivRequest {
   Semantics semantics = Semantics::kSet;
   DependencySet sigma;
   Schema schema;
   ChaseOptions chase;
   /// The per-call environment: resource budget plus the optional metrics,
-  /// trace, fault, and cancel facilities (util/engine_context.h). New code
-  /// sets this; the loose `faults`/`cancel` fields and `chase.budget` below
-  /// are forwarding shims kept for one release and honored only where the
-  /// context leaves the corresponding slot untouched.
+  /// trace, fault, and cancel facilities (util/engine_context.h). This is
+  /// the only per-call knob — the loose `faults`/`cancel` fields and the
+  /// `chase.budget` merge that forwarded it for one release are gone, and
+  /// `chase` below is pure strategy configuration (its embedded budget is
+  /// overwritten by context.budget for the chases this request runs).
   EngineContext context = {};
   /// Σ-lint pre-flight (src/analysis): the request is analyzed before any
   /// chase runs, and kError findings — a non-stratified Σ, an unsafe query,
@@ -57,13 +59,10 @@ struct EquivRequest {
   /// skip (inputs already vetted), or analyze.warnings_as_errors = true to
   /// also refuse what the engines would merely auto-correct.
   AnalyzeOptions analyze = AnalyzeOptions::Preflight();
-  /// Anytime hooks (docs/robustness.md): fault injection, cooperative
-  /// cancellation, and a chase checkpoint to resume from. The checkpoint is
-  /// subject-stamped with its query's canonical key, so it is applied only
-  /// to the chase it belongs to (the other query starts cold). All three
-  /// may be left null.
-  FaultInjector* faults = nullptr;
-  CancellationToken* cancel = nullptr;
+  /// Anytime hook (docs/robustness.md): a chase checkpoint to resume from.
+  /// The checkpoint is subject-stamped with its query's canonical key, so it
+  /// is applied only to the chase it belongs to (the other query starts
+  /// cold). Fault injection and cancellation live in `context`.
   const ChaseCheckpoint* resume = nullptr;
 };
 
@@ -140,7 +139,7 @@ class EquivalenceEngine {
                                   const EquivRequest& request);
 
   /// Equivalent() under an escalating-budget retry policy: attempt 0 runs
-  /// with request.chase.budget; each kUnknown attempt is resumed from its
+  /// with request.context.budget; each kUnknown attempt is resumed from its
   /// checkpoint under a budget scaled by `policy` until the verdict is
   /// decided or policy.max_attempts is spent. The final (possibly still
   /// kUnknown) verdict is returned; errors propagate immediately.
@@ -159,6 +158,12 @@ class EquivalenceEngine {
   /// served.
   CacheStats cache_stats() const;
 
+  /// Bounds every chase memo this engine owns (existing and future) to
+  /// `bytes` of retained outcomes, LRU-evicted — see ChaseMemo. Required
+  /// for process-lifetime engines (the sqleqd server); 0 removes the bound.
+  /// The limit is per memo context, not summed across contexts.
+  void set_memo_byte_limit(size_t bytes);
+
  private:
   /// The memo for the request's chase context, under the resolved chase
   /// options (context budget already folded in). Deadlines are deliberately
@@ -170,6 +175,7 @@ class EquivalenceEngine {
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<ChaseMemo>> memos_;
+  size_t memo_byte_limit_ = 0;
 };
 
 }  // namespace sqleq

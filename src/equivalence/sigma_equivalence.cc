@@ -17,9 +17,10 @@ Result<bool> EquivalentUnderImpl(const ConjunctiveQuery& q1, const ConjunctiveQu
                                  const DependencySet& sigma, Semantics semantics,
                                  const Schema& schema, const ChaseOptions& options) {
   EquivalenceEngine engine;
-  SQLEQ_ASSIGN_OR_RETURN(
-      EquivVerdict verdict,
-      engine.Equivalent(q1, q2, EquivRequest{semantics, sigma, schema, options}));
+  EquivRequest request{semantics, sigma, schema, options};
+  request.context.budget = options.budget;
+  SQLEQ_ASSIGN_OR_RETURN(EquivVerdict verdict,
+                         engine.Equivalent(q1, q2, request));
   return VerdictToBool(verdict);
 }
 

@@ -99,10 +99,7 @@ Result<CandBCheckpoint> CandBCheckpoint::Deserialize(std::string_view text) {
 Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
                                       const DependencySet& sigma, Semantics semantics,
                                       const Schema& schema, const CandBOptions& options) {
-  // Resolve the per-call environment: an explicitly customized context wins
-  // over the legacy loose fields (forwarding shims, one release).
-  const EngineContext ctx =
-      options.context.WithLegacy(options.budget, options.faults, options.cancel);
+  const EngineContext& ctx = options.context;
   TraceSpan candb_span(ctx.trace, "candb");
   if (options.analyze.enabled) {
     AnalyzeOptions analyze = options.analyze;
@@ -247,11 +244,7 @@ Result<CandBResult> ChaseAndBackchaseWithRetry(
     const Schema& schema, const CandBOptions& options,
     const EscalatingBudget& policy) {
   const size_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
-  // Escalate whichever budget the caller effectively set (context or shim);
-  // the escalated budget is written into the context so it wins the merge.
-  const ResourceBudget base_budget =
-      options.context.budget == ResourceBudget{} ? options.budget
-                                                 : options.context.budget;
+  const ResourceBudget base_budget = options.context.budget;
   CandBOptions attempt_options = options;
   std::optional<CandBCheckpoint> carried;
   Result<CandBResult> result =

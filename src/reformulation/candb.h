@@ -63,18 +63,14 @@ struct CandBOptions {
   /// The per-call environment: resource budget (max_candidates caps the
   /// backchase lattice, max_chase_steps every chase, deadline the whole
   /// call, threads the backchase worker pool) plus the optional metrics,
-  /// trace, fault, and cancel facilities. This is the one knob new code
-  /// should set; the loose `budget`/`faults`/`cancel` fields below are
-  /// forwarding shims kept for one release and honored only where the
-  /// context leaves the corresponding slot untouched.
+  /// trace, fault, and cancel facilities. This is the one per-call knob —
+  /// the loose `budget`/`faults`/`cancel` forwarding shims that mirrored it
+  /// for one release have been removed.
   EngineContext context;
   /// Chase strategy knobs (egds_first, key_based_fast_path). The embedded
-  /// chase.budget is overridden by the resolved context budget for the
-  /// chases C&B runs, so there is a single budget knob per call.
+  /// chase.budget is overridden by context.budget for the chases C&B runs,
+  /// so there is a single budget knob per call.
   ChaseOptions chase;
-  /// DEPRECATED SHIM — use context.budget. Honored when context.budget is
-  /// left default-constructed.
-  ResourceBudget budget;
   /// When true, outputs are additionally filtered through the Def 3.1
   /// Σ-minimality check (subset-minimality in the universal-plan lattice is
   /// the C&B guarantee; the extra check also covers variable-identification
@@ -84,12 +80,6 @@ struct CandBOptions {
   /// findings become FailedPrecondition instead of a budget blowout. See
   /// EquivRequest::analyze.
   AnalyzeOptions analyze = AnalyzeOptions::Preflight();
-  /// DEPRECATED SHIMS — use context.faults / context.cancel. Fault
-  /// injection ("backchase.candidate" fires once per candidate built, plus
-  /// the chase/memo/pool sites downstream) and cooperative cancellation.
-  /// Either may be null; honored when the context slot is null.
-  FaultInjector* faults = nullptr;
-  CancellationToken* cancel = nullptr;
   /// Resume an interrupted call. Must be a checkpoint produced by a prior
   /// ChaseAndBackchase over the same (q, Σ, semantics, schema, chase knobs);
   /// the finished run's result is then byte-identical to an uninterrupted
@@ -120,7 +110,8 @@ struct CandBResult {
 
 /// Runs chase & backchase for `q` under Σ and the given semantics. Sound
 /// and complete whenever set chase terminates on the inputs (Thms A.1, 6.4,
-/// K.1) — guarded by the chase step budget. With options.budget.threads > 1
+/// K.1) — guarded by the chase step budget. With
+/// options.context.budget.threads > 1
 /// the backchase sweeps candidates on a worker pool; the result is
 /// byte-identical to the serial sweep. Anytime stops (budget, deadline,
 /// cancellation, injected faults) return partial results, not errors — see
@@ -131,7 +122,7 @@ Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
                                       const CandBOptions& options = {});
 
 /// ChaseAndBackchase under an escalating-budget retry policy: attempt 0 runs
-/// with options.budget; each incomplete attempt is resumed (from its own
+/// with options.context.budget; each incomplete attempt is resumed (from its own
 /// checkpoint) under a budget scaled by `policy` until the result is
 /// complete or policy.max_attempts is spent. The final (possibly still
 /// partial) result is returned; errors propagate immediately.

@@ -67,6 +67,8 @@ Result<bool> IsSigmaMinimal(const ConjunctiveQuery& q, const DependencySet& sigm
   // vetted Q and Σ.
   EquivalenceEngine engine;
   EquivRequest request{semantics, sigma, schema, options};
+  // The engine budgets from the context; carry the caller's chase budget over.
+  request.context.budget = options.budget;
   request.analyze.enabled = false;
   auto equivalent_to_q = [&](const ConjunctiveQuery& candidate) -> Result<bool> {
     SQLEQ_ASSIGN_OR_RETURN(EquivVerdict verdict,

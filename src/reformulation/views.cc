@@ -160,9 +160,10 @@ Result<bool> IsEquivalentRewriting(const ConjunctiveQuery& q,
     return expansion.status();
   }
   EquivalenceEngine engine;
-  SQLEQ_ASSIGN_OR_RETURN(
-      EquivVerdict verdict,
-      engine.Equivalent(*expansion, q, EquivRequest{semantics, sigma, schema, options}));
+  EquivRequest request{semantics, sigma, schema, options};
+  request.context.budget = options.budget;
+  SQLEQ_ASSIGN_OR_RETURN(EquivVerdict verdict,
+                         engine.Equivalent(*expansion, q, request));
   return VerdictToBool(verdict);
 }
 
@@ -170,9 +171,7 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
                                        const DependencySet& sigma, Semantics semantics,
                                        const Schema& schema,
                                        const RewriteOptions& options) {
-  // Resolve the per-call environment (context wins over the legacy shims).
-  const EngineContext ctx = options.candb.context.WithLegacy(
-      options.candb.budget, options.candb.faults, options.candb.cancel);
+  const EngineContext& ctx = options.candb.context;
   TraceSpan rewrite_span(ctx.trace, "rewrite.views");
   if (options.candb.analyze.enabled) {
     // Pre-flight Q and every view definition: a bad view body would
@@ -380,12 +379,7 @@ Result<RewriteResult> RewriteWithViewsWithRetry(
     Semantics semantics, const Schema& schema, const RewriteOptions& options,
     const EscalatingBudget& policy) {
   const size_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
-  // Escalate whichever budget the caller effectively set (context or shim);
-  // the escalated budget is written into the context so it wins the merge.
-  const ResourceBudget base_budget =
-      options.candb.context.budget == ResourceBudget{}
-          ? options.candb.budget
-          : options.candb.context.budget;
+  const ResourceBudget base_budget = options.candb.context.budget;
   RewriteOptions attempt_options = options;
   std::optional<CandBCheckpoint> carried;
   Result<RewriteResult> result =

@@ -106,7 +106,7 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
                                        const RewriteOptions& options = {});
 
 /// RewriteWithViews under an escalating-budget retry policy: attempt 0 runs
-/// with options.candb.budget; each incomplete attempt is resumed from its
+/// with options.candb.context.budget; each incomplete attempt is resumed from its
 /// own checkpoint under a budget scaled by `policy` until the result is
 /// complete or policy.max_attempts is spent. The final (possibly still
 /// partial) result is returned; errors propagate immediately.

@@ -1,0 +1,37 @@
+#include "service/client.h"
+
+#include <utility>
+
+namespace sqleq {
+namespace service {
+
+Result<ServiceClient> ServiceClient::Connect(const std::string& host, int port) {
+  SQLEQ_ASSIGN_OR_RETURN(TcpConn conn, TcpConn::Connect(host, port));
+  return ServiceClient(std::move(conn));
+}
+
+Result<JsonValue> ServiceClient::Call(const std::string& request_line) {
+  return Call(request_line, nullptr);
+}
+
+Result<JsonValue> ServiceClient::Call(const std::string& request_line,
+                                      std::string* raw_response) {
+  SQLEQ_RETURN_IF_ERROR(Send(request_line));
+  SQLEQ_ASSIGN_OR_RETURN(std::optional<std::string> line, conn_.ReadLine());
+  if (!line.has_value()) {
+    return Status::FailedPrecondition("connection closed before a response arrived");
+  }
+  if (raw_response != nullptr) *raw_response = *line;
+  return ParseJson(*line);
+}
+
+Status ServiceClient::Send(const std::string& request_line) {
+  return conn_.WriteAll(request_line + "\n");
+}
+
+Result<std::optional<std::string>> ServiceClient::ReadLine() {
+  return conn_.ReadLine();
+}
+
+}  // namespace service
+}  // namespace sqleq

@@ -1,0 +1,48 @@
+// Client side of the sqleqd line protocol: dial, send one JSON request
+// line, read and parse the one-line response. Shared by tools/sqleq_client,
+// the shell's CONNECT command, and the service tests/benchmarks.
+#ifndef SQLEQ_SERVICE_CLIENT_H_
+#define SQLEQ_SERVICE_CLIENT_H_
+
+#include <optional>
+#include <string>
+
+#include "util/json.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace sqleq {
+namespace service {
+
+class ServiceClient {
+ public:
+  static Result<ServiceClient> Connect(const std::string& host, int port);
+
+  ServiceClient(ServiceClient&&) = default;
+  ServiceClient& operator=(ServiceClient&&) = default;
+
+  /// Sends one request line (newline appended) and blocks for the response
+  /// line, parsed as JSON. A connection closed before the response is a
+  /// FailedPrecondition (how callers observe server-side drops).
+  Result<JsonValue> Call(const std::string& request_line);
+
+  /// Call() that also hands back the raw response line (for byte-exact
+  /// comparisons in tests).
+  Result<JsonValue> Call(const std::string& request_line, std::string* raw_response);
+
+  /// Unpaired send/receive halves, for tests that interleave.
+  Status Send(const std::string& request_line);
+  Result<std::optional<std::string>> ReadLine();
+
+  void Close() { conn_.Close(); }
+
+ private:
+  explicit ServiceClient(TcpConn conn) : conn_(std::move(conn)) {}
+
+  TcpConn conn_;
+};
+
+}  // namespace service
+}  // namespace sqleq
+
+#endif  // SQLEQ_SERVICE_CLIENT_H_

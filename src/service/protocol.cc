@@ -1,0 +1,125 @@
+#include "service/protocol.h"
+
+#include <utility>
+
+namespace sqleq {
+namespace service {
+
+Result<Request> ParseRequest(std::string_view line) {
+  SQLEQ_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request line is not a JSON object");
+  }
+  Request request;
+  const JsonValue* cmd = doc.Find("cmd");
+  if (cmd == nullptr || !cmd->is_string()) {
+    return Status::InvalidArgument("request lacks a string \"cmd\" field");
+  }
+  request.cmd = cmd->string;
+  if (const JsonValue* id = doc.Find("id"); id != nullptr) {
+    if (!id->is_string()) {
+      return Status::InvalidArgument("request \"id\" must be a string");
+    }
+    request.id = id->string;
+  }
+  request.body = std::move(doc);
+  return request;
+}
+
+Result<Semantics> ParseSemanticsName(std::string_view name) {
+  if (name == "set" || name == "S") return Semantics::kSet;
+  if (name == "bag" || name == "B") return Semantics::kBag;
+  if (name == "bag-set" || name == "BS") return Semantics::kBagSet;
+  return Status::InvalidArgument("unknown semantics \"" + std::string(name) +
+                                 "\" (expected set, bag, or bag-set)");
+}
+
+const char* SemanticsWireName(Semantics s) {
+  switch (s) {
+    case Semantics::kSet:
+      return "set";
+    case Semantics::kBag:
+      return "bag";
+    case Semantics::kBagSet:
+      return "bag-set";
+  }
+  return "set";
+}
+
+std::string JsonString(std::string_view s) {
+  return "\"" + EscapeJson(s) + "\"";
+}
+
+JsonObject& JsonObject::Str(std::string_view key, std::string_view value) {
+  return Raw(key, JsonString(value));
+}
+
+JsonObject& JsonObject::Int(std::string_view key, uint64_t value) {
+  return Raw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::Bool(std::string_view key, bool value) {
+  return Raw(key, value ? "true" : "false");
+}
+
+JsonObject& JsonObject::Raw(std::string_view key, std::string_view raw_json) {
+  if (!fields_.empty()) fields_ += ",";
+  fields_ += JsonString(key);
+  fields_ += ":";
+  fields_ += raw_json;
+  return *this;
+}
+
+std::string JsonObject::Build() const { return "{" + fields_ + "}"; }
+
+std::string ErrorResponse(const std::string& id, const Status& status) {
+  JsonObject error;
+  error.Str("code", StatusCodeToString(status.code()))
+      .Str("message", status.message());
+  return JsonObject()
+      .Str("id", id)
+      .Bool("ok", false)
+      .Raw("error", error.Build())
+      .Build();
+}
+
+std::string OverloadedResponse(const std::string& id) {
+  JsonObject error;
+  error.Str("code", StatusCodeToString(StatusCode::kResourceExhausted))
+      .Str("message", "server overloaded: in-flight request limit reached");
+  return JsonObject()
+      .Str("id", id)
+      .Bool("ok", false)
+      .Bool("overloaded", true)
+      .Raw("error", error.Build())
+      .Build();
+}
+
+Result<std::string> RequireString(const JsonValue& body, const std::string& key) {
+  const JsonValue* value = body.Find(key);
+  if (value == nullptr || !value->is_string()) {
+    return Status::InvalidArgument("request lacks a string \"" + key + "\" field");
+  }
+  return value->string;
+}
+
+std::optional<std::string> OptionalString(const JsonValue& body, const std::string& key) {
+  const JsonValue* value = body.Find(key);
+  if (value == nullptr || !value->is_string()) return std::nullopt;
+  return value->string;
+}
+
+std::optional<double> OptionalNumber(const JsonValue& body, const std::string& key) {
+  const JsonValue* value = body.Find(key);
+  if (value == nullptr || !value->is_number()) return std::nullopt;
+  return value->number;
+}
+
+bool OptionalBool(const JsonValue& body, const std::string& key, bool fallback) {
+  const JsonValue* value = body.Find(key);
+  if (value == nullptr || value->kind != JsonValue::Kind::kBool) return fallback;
+  return value->boolean;
+}
+
+}  // namespace service
+}  // namespace sqleq

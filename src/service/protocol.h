@@ -1,0 +1,77 @@
+// Wire protocol of sqleqd (docs/service.md): one JSON object per line in
+// both directions. A request is {"id": <string>, "cmd": <string>, ...};
+// every response echoes the id and carries "ok". Parsing reuses util/json;
+// rendering goes through JsonObject so escaping is uniform.
+#ifndef SQLEQ_SERVICE_PROTOCOL_H_
+#define SQLEQ_SERVICE_PROTOCOL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "db/eval.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace sqleq {
+namespace service {
+
+/// Reported by `hello`; bump on incompatible protocol changes.
+inline constexpr int kProtocolVersion = 1;
+
+/// A parsed request line. `body` is the whole request object, so handlers
+/// read command-specific fields through the helpers below.
+struct Request {
+  std::string id;
+  std::string cmd;
+  JsonValue body;
+};
+
+/// Parses one request line: a JSON object with a string "cmd" (required)
+/// and an optional string "id" (echoed on the response; defaults to "").
+Result<Request> ParseRequest(std::string_view line);
+
+/// "set" / "bag" / "bag-set", plus the shell's S / B / BS spellings.
+Result<Semantics> ParseSemanticsName(std::string_view name);
+
+/// The canonical wire spelling: "set" / "bag" / "bag-set".
+const char* SemanticsWireName(Semantics s);
+
+/// `s` as a quoted, escaped JSON string literal.
+std::string JsonString(std::string_view s);
+
+/// Incremental JSON object rendering for response lines. Str escapes;
+/// Raw splices pre-rendered JSON (nested objects, arrays, numbers).
+class JsonObject {
+ public:
+  JsonObject& Str(std::string_view key, std::string_view value);
+  JsonObject& Int(std::string_view key, uint64_t value);
+  JsonObject& Bool(std::string_view key, bool value);
+  JsonObject& Raw(std::string_view key, std::string_view raw_json);
+  /// "{...}" with the fields in insertion order.
+  std::string Build() const;
+
+ private:
+  std::string fields_;
+};
+
+/// {"id":...,"ok":false,"error":{"code":"<StatusCodeToString>","message":...}}
+std::string ErrorResponse(const std::string& id, const Status& status);
+
+/// The load-shedding response: ok:false, overloaded:true, and a
+/// ResourceExhausted error object — so naive clients treat it as a failure
+/// and aware clients back off and retry.
+std::string OverloadedResponse(const std::string& id);
+
+// ---- Field accessors over a parsed request body. ----
+
+/// The string member `key`, or InvalidArgument naming it.
+Result<std::string> RequireString(const JsonValue& body, const std::string& key);
+std::optional<std::string> OptionalString(const JsonValue& body, const std::string& key);
+std::optional<double> OptionalNumber(const JsonValue& body, const std::string& key);
+bool OptionalBool(const JsonValue& body, const std::string& key, bool fallback);
+
+}  // namespace service
+}  // namespace sqleq
+
+#endif  // SQLEQ_SERVICE_PROTOCOL_H_

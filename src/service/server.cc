@@ -1,0 +1,470 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "chase/checkpoint.h"
+#include "reformulation/candb.h"
+#include "util/string_util.h"
+
+namespace sqleq {
+namespace service {
+namespace {
+
+std::string RenderExhaustion(const ExhaustionInfo& e) {
+  return JsonObject()
+      .Str("limit", e.limit)
+      .Str("phase", e.phase)
+      .Str("progress", e.progress)
+      .Build();
+}
+
+std::string RenderStringArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    out += JsonString(items[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  engine_ = std::make_shared<EquivalenceEngine>();
+  engine_->set_memo_byte_limit(options_.memo_byte_limit);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  SQLEQ_RETURN_IF_ERROR(listener_.Listen(options_.port));
+  pool_ = std::make_unique<ThreadPool>(std::max<size_t>(1, options_.worker_threads),
+                                       &metrics_);
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  return Status::OK();
+}
+
+void Server::RequestDrain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  metrics_.counter(metric::kServiceDrained).Add();
+  drain_cancel_.Cancel();
+  listener_.Shutdown();
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (TcpConn* conn : open_conns_) conn->ShutdownRead();
+}
+
+void Server::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop has exited, so conn_threads_ can only shrink under us.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::Stop() {
+  if (!listener_.listening() && !accept_thread_.joinable()) return;
+  RequestDrain();
+  Wait();
+  pool_.reset();  // joins workers that may still be recording task latencies
+  listener_.Close();
+}
+
+void Server::ResetMemo() {
+  auto fresh = std::make_shared<EquivalenceEngine>();
+  fresh->set_memo_byte_limit(options_.memo_byte_limit);
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  engine_ = std::move(fresh);
+}
+
+std::shared_ptr<EquivalenceEngine> Server::engine() {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return engine_;
+}
+
+void Server::AcceptLoop() {
+  while (!draining()) {
+    Result<TcpConn> conn = listener_.Accept();
+    if (!conn.ok()) break;  // listener shut down (drain) or fatal
+    metrics_.counter(metric::kServiceConnections).Add();
+    if (!ProbeSite(options_.faults, nullptr, fault_sites::kServiceAccept).ok()) {
+      continue;  // injected accept failure: the dropped TcpConn closes itself
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn_threads_.emplace_back(&Server::ServeConnection, this, std::move(*conn));
+  }
+}
+
+bool Server::IsExpensive(const std::string& cmd) {
+  return cmd == "check" || cmd == "reformulate" || cmd == "lint";
+}
+
+void Server::ServeConnection(TcpConn conn) {
+  active_sessions_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    open_conns_.push_back(&conn);
+  }
+  // A connection accepted concurrently with RequestDrain may register after
+  // the drain's shutdown sweep; cover that window ourselves.
+  if (draining()) conn.ShutdownRead();
+
+  Session session;
+  Counter& requests = metrics_.counter(metric::kServiceRequests);
+  Counter& errors = metrics_.counter(metric::kServiceErrors);
+  Histogram& request_us = metrics_.histogram(metric::kServiceRequestUs);
+
+  while (true) {
+    Result<std::optional<std::string>> line = conn.ReadLine();
+    if (!line.ok() || !line->has_value()) break;
+    if (Trim(**line).empty()) continue;
+    if (!ProbeSite(options_.faults, nullptr, fault_sites::kServiceParse).ok()) {
+      break;  // injected parse failure drops the connection
+    }
+    requests.Add();
+    std::string response;
+    {
+      ScopedTimerUs timer(&request_us);
+      Result<Request> request = ParseRequest(**line);
+      if (!request.ok()) {
+        response = ErrorResponse("", request.status());
+      } else if (Status dispatch_probe = ProbeSite(options_.faults, nullptr,
+                                                   fault_sites::kServiceDispatch);
+                 !dispatch_probe.ok()) {
+        response = ErrorResponse(request->id, dispatch_probe);
+      } else if (!IsExpensive(request->cmd)) {
+        response = Dispatch(session, *request);
+      } else if (draining()) {
+        response = ErrorResponse(
+            request->id, Status::FailedPrecondition("server draining; retry elsewhere"));
+      } else {
+        // Admission control: shed once queued-or-running hits the cap.
+        size_t prior = inflight_.fetch_add(1, std::memory_order_acq_rel);
+        if (prior >= options_.max_inflight) {
+          inflight_.fetch_sub(1, std::memory_order_acq_rel);
+          metrics_.counter(metric::kServiceOverloaded).Add();
+          response = OverloadedResponse(request->id);
+        } else {
+          // Run on the worker pool; this connection thread blocks until its
+          // request finishes, so Session stays single-owner.
+          std::mutex mu;
+          std::condition_variable cv;
+          bool done = false;
+          pool_->Submit([&] {
+            std::string r = Dispatch(session, *request);
+            std::lock_guard<std::mutex> task_lock(mu);
+            response = std::move(r);
+            done = true;
+            cv.notify_one();
+          });
+          std::unique_lock<std::mutex> wait_lock(mu);
+          cv.wait(wait_lock, [&] { return done; });
+          inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      }
+    }
+    if (response.find("\"ok\":false") != std::string::npos) errors.Add();
+    response += "\n";
+    if (!conn.WriteAll(response).ok()) break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    open_conns_.erase(std::remove(open_conns_.begin(), open_conns_.end(), &conn),
+                      open_conns_.end());
+  }
+  active_sessions_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::string Server::Dispatch(Session& session, const Request& request) {
+  if (request.cmd == "hello") return HandleHello(request);
+  if (request.cmd == "ddl") return HandleDdl(session, request);
+  if (request.cmd == "relation") return HandleRelation(session, request);
+  if (request.cmd == "dep") return HandleDep(session, request);
+  if (request.cmd == "check") return HandleCheck(session, request);
+  if (request.cmd == "reformulate") return HandleReformulate(session, request);
+  if (request.cmd == "lint") return HandleLint(session, request);
+  if (request.cmd == "stats") return HandleStats(request);
+  return ErrorResponse(request.id,
+                       Status::InvalidArgument("unknown command \"" + request.cmd + "\""));
+}
+
+std::string Server::HandleHello(const Request& request) {
+  return JsonObject()
+      .Str("id", request.id)
+      .Bool("ok", true)
+      .Str("server", "sqleqd")
+      .Int("protocol", kProtocolVersion)
+      .Build();
+}
+
+std::string Server::HandleDdl(Session& session, const Request& request) {
+  Result<std::string> script = RequireString(request.body, "script");
+  if (!script.ok()) return ErrorResponse(request.id, script.status());
+  Status status = session.ApplyDdl(*script);
+  if (!status.ok()) return ErrorResponse(request.id, status);
+  return JsonObject()
+      .Str("id", request.id)
+      .Bool("ok", true)
+      .Int("relations", session.catalog().schema.size())
+      .Int("sigma", session.catalog().sigma.size())
+      .Build();
+}
+
+std::string Server::HandleRelation(Session& session, const Request& request) {
+  Result<std::string> name = RequireString(request.body, "name");
+  if (!name.ok()) return ErrorResponse(request.id, name.status());
+  std::optional<double> arity = OptionalNumber(request.body, "arity");
+  if (!arity.has_value() || *arity < 1) {
+    return ErrorResponse(request.id,
+                         Status::InvalidArgument("relation requires a numeric arity >= 1"));
+  }
+  bool set_valued = OptionalBool(request.body, "set_valued", false);
+  Status status =
+      session.AddRelation(*name, static_cast<size_t>(*arity), set_valued);
+  if (!status.ok()) return ErrorResponse(request.id, status);
+  return JsonObject()
+      .Str("id", request.id)
+      .Bool("ok", true)
+      .Int("relations", session.catalog().schema.size())
+      .Build();
+}
+
+std::string Server::HandleDep(Session& session, const Request& request) {
+  Result<std::string> text = RequireString(request.body, "text");
+  if (!text.ok()) return ErrorResponse(request.id, text.status());
+  std::string label = OptionalString(request.body, "label").value_or("");
+  Result<size_t> added = session.AddDependency(*text, std::move(label));
+  if (!added.ok()) return ErrorResponse(request.id, added.status());
+  return JsonObject()
+      .Str("id", request.id)
+      .Bool("ok", true)
+      .Int("added", *added)
+      .Int("sigma", session.catalog().sigma.size())
+      .Build();
+}
+
+std::string Server::HandleCheck(Session& session, const Request& request) {
+  Result<std::string> q1_text = RequireString(request.body, "q1");
+  if (!q1_text.ok()) return ErrorResponse(request.id, q1_text.status());
+  Result<std::string> q2_text = RequireString(request.body, "q2");
+  if (!q2_text.ok()) return ErrorResponse(request.id, q2_text.status());
+
+  Semantics semantics = Semantics::kSet;
+  if (std::optional<std::string> s = OptionalString(request.body, "semantics")) {
+    Result<Semantics> parsed = ParseSemanticsName(*s);
+    if (!parsed.ok()) return ErrorResponse(request.id, parsed.status());
+    semantics = *parsed;
+  }
+  Result<ConjunctiveQuery> q1 = session.ResolveQuery(*q1_text, "Q1");
+  if (!q1.ok()) return ErrorResponse(request.id, q1.status());
+  Result<ConjunctiveQuery> q2 = session.ResolveQuery(*q2_text, "Q2");
+  if (!q2.ok()) return ErrorResponse(request.id, q2.status());
+
+  MetricsRegistry local;
+  EquivRequest equiv;
+  equiv.semantics = semantics;
+  equiv.sigma = session.catalog().sigma;
+  equiv.schema = session.catalog().schema;
+  equiv.context = ContextFor(request.body, &local);
+
+  std::optional<ChaseCheckpoint> resume;
+  if (std::optional<std::string> text = OptionalString(request.body, "resume")) {
+    Result<ChaseCheckpoint> parsed = ChaseCheckpoint::Deserialize(*text);
+    if (!parsed.ok()) return ErrorResponse(request.id, parsed.status());
+    resume = *std::move(parsed);
+    equiv.resume = &*resume;
+  }
+
+  Result<EquivVerdict> verdict = engine()->Equivalent(*q1, *q2, equiv);
+  if (!verdict.ok()) return ErrorResponse(request.id, verdict.status());
+
+  JsonObject out;
+  out.Str("id", request.id)
+      .Bool("ok", true)
+      .Str("verdict", VerdictToString(verdict->verdict))
+      .Bool("equivalent", verdict->verdict == Verdict::kEquivalent)
+      .Str("semantics", SemanticsWireName(semantics));
+  if (verdict->exhaustion.has_value()) {
+    out.Raw("exhaustion", RenderExhaustion(*verdict->exhaustion));
+  }
+  if (verdict->checkpoint.has_value()) {
+    out.Str("checkpoint", verdict->checkpoint->Serialize());
+  }
+  if (draining()) out.Bool("drained", true);
+  out.Raw("metrics", MergeAndRenderMetrics(local));
+  return out.Build();
+}
+
+std::string Server::HandleReformulate(Session& session, const Request& request) {
+  Result<std::string> query_text = RequireString(request.body, "query");
+  if (!query_text.ok()) return ErrorResponse(request.id, query_text.status());
+
+  Semantics semantics = Semantics::kSet;
+  if (std::optional<std::string> s = OptionalString(request.body, "semantics")) {
+    Result<Semantics> parsed = ParseSemanticsName(*s);
+    if (!parsed.ok()) return ErrorResponse(request.id, parsed.status());
+    semantics = *parsed;
+  }
+  Result<ConjunctiveQuery> q = session.ResolveQuery(*query_text, "Q");
+  if (!q.ok()) return ErrorResponse(request.id, q.status());
+
+  MetricsRegistry local;
+  CandBOptions options;
+  options.context = ContextFor(request.body, &local);
+
+  std::optional<CandBCheckpoint> resume;
+  if (std::optional<std::string> text = OptionalString(request.body, "resume")) {
+    Result<CandBCheckpoint> parsed = CandBCheckpoint::Deserialize(*text);
+    if (!parsed.ok()) return ErrorResponse(request.id, parsed.status());
+    resume = *std::move(parsed);
+    options.resume = &*resume;
+  }
+
+  Result<CandBResult> result = ChaseAndBackchase(
+      *q, session.catalog().sigma, semantics, session.catalog().schema, options);
+  if (!result.ok()) return ErrorResponse(request.id, result.status());
+
+  std::vector<std::string> reformulations;
+  reformulations.reserve(result->reformulations.size());
+  for (const ConjunctiveQuery& r : result->reformulations) {
+    reformulations.push_back(r.ToString());
+  }
+
+  JsonObject out;
+  out.Str("id", request.id)
+      .Bool("ok", true)
+      .Bool("complete", result->complete)
+      .Raw("reformulations", RenderStringArray(reformulations))
+      .Str("universal_plan", result->universal_plan.ToString())
+      .Int("candidates", result->candidates_examined)
+      .Int("cache_hits", result->chase_cache_hits)
+      .Int("cache_misses", result->chase_cache_misses);
+  if (result->exhaustion.has_value()) {
+    out.Raw("exhaustion", RenderExhaustion(*result->exhaustion));
+  }
+  if (result->checkpoint.has_value()) {
+    out.Str("checkpoint", result->checkpoint->Serialize());
+  }
+  if (draining()) out.Bool("drained", true);
+  out.Raw("metrics", MergeAndRenderMetrics(local));
+  return out.Build();
+}
+
+std::string Server::HandleLint(Session& session, const Request& request) {
+  AnalyzeOptions opts = AnalyzeOptions::Full();
+  opts.warnings_as_errors = OptionalBool(request.body, "strict", false);
+  opts.budget = options_.default_budget;
+
+  std::vector<ConjunctiveQuery> queries;
+  if (const JsonValue* list = request.body.Find("queries");
+      list != nullptr && list->is_array()) {
+    for (size_t i = 0; i < list->array.size(); ++i) {
+      const JsonValue& item = list->array[i];
+      if (!item.is_string()) {
+        return ErrorResponse(request.id,
+                             Status::InvalidArgument("lint \"queries\" must hold strings"));
+      }
+      Result<ConjunctiveQuery> q =
+          session.ResolveQuery(item.string, "L" + std::to_string(i + 1));
+      if (!q.ok()) return ErrorResponse(request.id, q.status());
+      queries.push_back(*std::move(q));
+    }
+  }
+
+  AnalysisReport report = AnalyzeProgram(session.catalog().schema,
+                                         session.catalog().sigma, queries, opts);
+  std::string diagnostics = "[";
+  for (size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    if (i > 0) diagnostics += ",";
+    diagnostics += JsonObject()
+                       .Str("code", d.code)
+                       .Str("severity", SeverityToString(d.severity))
+                       .Str("subject", d.subject)
+                       .Str("message", d.message)
+                       .Build();
+  }
+  diagnostics += "]";
+  return JsonObject()
+      .Str("id", request.id)
+      .Bool("ok", true)
+      .Bool("errors", report.HasErrors())
+      .Int("findings", report.diagnostics.size())
+      .Raw("diagnostics", diagnostics)
+      .Build();
+}
+
+std::string Server::HandleStats(const Request& request) {
+  MetricsSnapshot snapshot = metrics_.Snapshot();
+  EquivalenceEngine::CacheStats cache = engine()->cache_stats();
+  JsonObject memo;
+  memo.Int("hits", cache.hits)
+      .Int("misses", cache.misses)
+      .Int("entries", cache.entries)
+      .Int("contexts", cache.contexts);
+  return JsonObject()
+      .Str("id", request.id)
+      .Bool("ok", true)
+      .Str("prometheus", snapshot.ToPrometheusText())
+      .Int("inflight", inflight())
+      .Int("sessions", active_sessions())
+      .Bool("draining", draining())
+      .Raw("memo", memo.Build())
+      .Build();
+}
+
+EngineContext Server::ContextFor(const JsonValue& body, MetricsRegistry* local) {
+  EngineContext ctx;
+  ctx.budget = options_.default_budget;
+  // Requests narrow the server's caps; they cannot raise them.
+  if (std::optional<double> v = OptionalNumber(body, "max_chase_steps"); v && *v > 0) {
+    ctx.budget.max_chase_steps =
+        std::min(ctx.budget.max_chase_steps, static_cast<size_t>(*v));
+  }
+  if (std::optional<double> v = OptionalNumber(body, "max_candidates"); v && *v > 0) {
+    ctx.budget.max_candidates =
+        std::min(ctx.budget.max_candidates, static_cast<size_t>(*v));
+  }
+  if (std::optional<double> v = OptionalNumber(body, "threads"); v && *v > 0) {
+    size_t cap = std::max<size_t>(1, ctx.budget.threads);
+    ctx.budget.threads = std::min(cap, static_cast<size_t>(*v));
+  }
+  if (std::optional<double> v = OptionalNumber(body, "deadline_ms"); v && *v > 0) {
+    ctx.budget.deadline_origin = std::chrono::steady_clock::now();
+    ctx.budget.deadline =
+        *ctx.budget.deadline_origin +
+        std::chrono::milliseconds(static_cast<int64_t>(*v));
+  }
+  ctx.metrics = local;
+  ctx.faults = options_.faults;
+  ctx.cancel = &drain_cancel_;
+  return ctx;
+}
+
+std::string Server::MergeAndRenderMetrics(const MetricsRegistry& local) {
+  MetricsSnapshot snapshot = local.Snapshot();
+  JsonObject counters;
+  for (const auto& [name, value] : snapshot.counters) {
+    // Fold the per-request counter deltas into the server-lifetime registry;
+    // histogram deltas stay request-local (snapshots cannot be re-recorded).
+    if (value != 0) metrics_.counter(name).Add(value);
+    counters.Int(name, value);
+  }
+  return counters.Build();
+}
+
+}  // namespace service
+}  // namespace sqleq

@@ -1,0 +1,161 @@
+// sqleqd — the long-running equivalence service (docs/service.md). One
+// process owns a process-lifetime EquivalenceEngine whose chase memo is
+// shared across every connection (bounded by bytes, LRU-evicted), a worker
+// pool that executes the expensive requests (check / reformulate / lint),
+// and an admission controller that sheds load with a structured
+// `overloaded` response once the in-flight limit is reached.
+//
+// Lifecycle: Start() binds the port and spawns the accept loop; every
+// accepted connection gets a thread running the line-oriented protocol over
+// a per-connection Session. RequestDrain() (the SIGTERM path) stops
+// accepting, cancels in-flight engine calls through the shared
+// CancellationToken — anytime C&B runs then checkpoint and return partial
+// results carrying the serialized CandBCheckpoint — shuts the read side of
+// every connection so idle readers see EOF, and lets Wait() join
+// everything. Fault sites service.accept / service.parse /
+// service.dispatch make connection drops and request failures
+// deterministically reproducible (tests/service_test.cc).
+#ifndef SQLEQ_SERVICE_SERVER_H_
+#define SQLEQ_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "equivalence/engine.h"
+#include "service/protocol.h"
+#include "service/session.h"
+#include "util/engine_context.h"
+#include "util/fault.h"
+#include "util/resource_budget.h"
+#include "util/socket.h"
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
+
+namespace sqleq {
+namespace service {
+
+struct ServerOptions {
+  /// TCP port; 0 binds an ephemeral port (read it back via Server::port()).
+  int port = 0;
+  /// Workers executing check/reformulate/lint requests.
+  size_t worker_threads = 2;
+  /// Admission cap: expensive requests beyond this many queued-or-running
+  /// are shed with OverloadedResponse. Cheap requests (hello, ddl, dep,
+  /// relation, stats) always pass.
+  size_t max_inflight = 4;
+  /// Byte bound on each shared chase memo context (0 = unbounded). A
+  /// process-lifetime server should set this; see ChaseMemo.
+  size_t memo_byte_limit = 64u << 20;
+  /// Per-request resource caps. Requests may lower (never raise) the step,
+  /// candidate, and thread limits, and may set their own deadline_ms.
+  ResourceBudget default_budget;
+  /// Deterministic fault injection for the service.* sites and, threaded
+  /// through EngineContext, the engine sites. Borrowed; may be null.
+  FaultInjector* faults = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the port and starts the accept loop + worker pool.
+  Status Start();
+
+  /// The bound port (valid after Start()).
+  int port() const { return listener_.port(); }
+
+  /// Graceful drain: stop accepting, cancel in-flight engine calls (they
+  /// checkpoint and answer with partial results), unblock idle connections.
+  /// Idempotent; safe from any thread.
+  void RequestDrain();
+
+  /// Joins the accept loop and every connection thread. Returns once all
+  /// in-flight responses are written.
+  void Wait();
+
+  /// RequestDrain() + Wait().
+  void Stop();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Live connection count — the leak check fault tests poll this to 0.
+  size_t active_sessions() const { return active_sessions_.load(std::memory_order_acquire); }
+  /// Expensive requests queued or running right now.
+  size_t inflight() const { return inflight_.load(std::memory_order_acquire); }
+
+  /// Server-lifetime metrics (service.* plus the merged per-request engine
+  /// counter deltas); what STATS exports as Prometheus text.
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Replaces the shared engine with a fresh one (cold memo). For the
+  /// warm-vs-cold service benchmarks; in-flight requests keep the engine
+  /// they started with.
+  void ResetMemo();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(TcpConn conn);
+
+  /// True for the commands that go through admission control + the pool.
+  static bool IsExpensive(const std::string& cmd);
+
+  /// Executes one request and renders the response line. Never blocks on
+  /// other requests (the caller handles pooling/admission).
+  std::string Dispatch(Session& session, const Request& request);
+
+  std::string HandleHello(const Request& request);
+  std::string HandleDdl(Session& session, const Request& request);
+  std::string HandleRelation(Session& session, const Request& request);
+  std::string HandleDep(Session& session, const Request& request);
+  std::string HandleCheck(Session& session, const Request& request);
+  std::string HandleReformulate(Session& session, const Request& request);
+  std::string HandleLint(Session& session, const Request& request);
+  std::string HandleStats(const Request& request);
+
+  /// The per-request context: default budget narrowed by request fields,
+  /// a caller-supplied local metrics registry, the server's fault injector,
+  /// and the drain cancellation token.
+  EngineContext ContextFor(const JsonValue& body, MetricsRegistry* local);
+
+  /// Folds a finished request's local counter deltas into the server
+  /// registry and renders them as the response's "metrics" object.
+  std::string MergeAndRenderMetrics(const MetricsRegistry& local);
+
+  std::shared_ptr<EquivalenceEngine> engine();
+
+  ServerOptions options_;
+  TcpListener listener_;
+  MetricsRegistry metrics_;
+  CancellationToken drain_cancel_;
+  // Declared after (so destroyed before) everything its task wrappers touch:
+  // a worker can still be in a task's timing epilogue after the connection
+  // thread that submitted the task has been unblocked and joined.
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::mutex engine_mu_;
+  std::shared_ptr<EquivalenceEngine> engine_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<size_t> active_sessions_{0};
+  std::atomic<size_t> inflight_{0};
+
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> conn_threads_;
+  /// Live connections, for the drain-time read-side shutdown. Entries are
+  /// owned by their ServeConnection frame; registration is bracketed inside
+  /// that frame, so pointers never dangle while registered.
+  std::vector<TcpConn*> open_conns_;
+};
+
+}  // namespace service
+}  // namespace sqleq
+
+#endif  // SQLEQ_SERVICE_SERVER_H_

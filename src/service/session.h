@@ -1,0 +1,50 @@
+// Per-connection state of a sqleqd session: the catalog (schema + Σ) the
+// client has uploaded, mirroring what the shell's CREATE TABLE / DEP
+// statements build locally. Queries in requests resolve against it — SQL
+// text translates through sql/translate, Datalog text parses directly.
+// Sessions are confined to their connection thread; no locking.
+#ifndef SQLEQ_SERVICE_SESSION_H_
+#define SQLEQ_SERVICE_SESSION_H_
+
+#include <string>
+#include <string_view>
+
+#include "ir/query.h"
+#include "sql/translate.h"
+#include "util/status.h"
+
+namespace sqleq {
+namespace service {
+
+class Session {
+ public:
+  /// Applies a ';'-separated CREATE TABLE script to the session catalog
+  /// (keys/fks induce Σ, as in the shell). INSERTs are rejected — the
+  /// service decides equivalence, it stores no data.
+  Status ApplyDdl(std::string_view script);
+
+  /// Declares a bare relation (no constraints), for catalogs built without
+  /// SQL DDL.
+  Status AddRelation(const std::string& name, size_t arity, bool set_valued);
+
+  /// Parses and appends one dependency statement (Datalog syntax; an egd
+  /// conclusion with k equations contributes k dependencies). Returns how
+  /// many were added. An empty label defaults to "sigma<N>".
+  Result<size_t> AddDependency(std::string_view text, std::string label);
+
+  /// Resolves query text: SQL (leading SELECT, translated against the
+  /// session catalog — aggregates are rejected, the equivalence protocol is
+  /// CQ-only) or Datalog ("name(head) :- body"). `name` renames the result.
+  Result<ConjunctiveQuery> ResolveQuery(std::string_view text, const std::string& name) const;
+
+  const sql::Catalog& catalog() const { return catalog_; }
+
+ private:
+  sql::Catalog catalog_;
+  int dep_counter_ = 0;
+};
+
+}  // namespace service
+}  // namespace sqleq
+
+#endif  // SQLEQ_SERVICE_SESSION_H_

@@ -12,6 +12,8 @@
 #include "equivalence/explain.h"
 #include "ir/parser.h"
 #include "reformulation/candb.h"
+#include "service/client.h"
+#include "service/protocol.h"
 #include "shell/lint.h"
 #include "sql/render.h"
 #include "sql/sql_parser.h"
@@ -112,7 +114,62 @@ std::string RenderStats(const MetricsSnapshot& snap) {
   return out;
 }
 
+/// One round-trip on the CONNECT link. A response with "ok":false becomes a
+/// Status carrying the server's error code and message, so remote failures
+/// read like local ones.
+Result<JsonValue> RemoteCall(service::ServiceClient& client, const std::string& line) {
+  SQLEQ_ASSIGN_OR_RETURN(JsonValue response, client.Call(line));
+  const JsonValue* ok = response.Find("ok");
+  if (ok == nullptr || ok->kind != JsonValue::Kind::kBool) {
+    return Status::Internal("malformed response from server (missing \"ok\")");
+  }
+  if (!ok->boolean) {
+    std::string code = "Unknown";
+    std::string message = "server reported an error";
+    if (const JsonValue* error = response.Find("error");
+        error != nullptr && error->kind == JsonValue::Kind::kObject) {
+      if (const JsonValue* c = error->Find("code"); c != nullptr && c->is_string()) {
+        code = c->string;
+      }
+      if (const JsonValue* m = error->Find("message"); m != nullptr && m->is_string()) {
+        message = m->string;
+      }
+    }
+    return Status::FailedPrecondition("remote " + code + ": " + message);
+  }
+  return response;
+}
+
+/// The string member `key` of a remote response, or "" when absent.
+std::string ResponseString(const JsonValue& response, const char* key) {
+  const JsonValue* v = response.Find(key);
+  return (v != nullptr && v->is_string()) ? v->string : std::string();
+}
+
+/// Reassembles the server's exhaustion object into an ExhaustionInfo so
+/// remote partial results render exactly like local ones.
+std::optional<ExhaustionInfo> ResponseExhaustion(const JsonValue& response) {
+  const JsonValue* e = response.Find("exhaustion");
+  if (e == nullptr || e->kind != JsonValue::Kind::kObject) return std::nullopt;
+  ExhaustionInfo info;
+  info.limit = ResponseString(*e, "limit");
+  info.phase = ResponseString(*e, "phase");
+  info.progress = ResponseString(*e, "progress");
+  return info;
+}
+
+/// Budget fields of a check/reformulate request; the server narrows its own
+/// defaults to these, so SET BUDGET / SET THREADS apply remotely too.
+void AddBudgetFields(const ResourceBudget& budget, service::JsonObject* req) {
+  req->Int("max_chase_steps", budget.max_chase_steps)
+      .Int("max_candidates", budget.max_candidates)
+      .Int("threads", budget.threads);
+}
+
 }  // namespace
+
+ScriptEngine::ScriptEngine() = default;
+ScriptEngine::~ScriptEngine() = default;
 
 EngineContext ScriptEngine::Context() {
   EngineContext ctx;
@@ -169,6 +226,8 @@ Result<std::string> ScriptEngine::Execute(std::string_view statement) {
   if (EqualsIgnoreCase(keyword, "SET")) return ExecSet(rest);
   if (EqualsIgnoreCase(keyword, "SHOW")) return ExecShow(rest);
   if (EqualsIgnoreCase(keyword, "TRACE")) return ExecTrace(rest);
+  if (EqualsIgnoreCase(keyword, "CONNECT")) return ExecConnect(rest);
+  if (EqualsIgnoreCase(keyword, "DISCONNECT")) return ExecDisconnect(rest);
   return Status::InvalidArgument("unknown command '" + keyword + "'");
 }
 
@@ -203,9 +262,17 @@ Result<std::string> ScriptEngine::ExecCreate(std::string_view statement) {
       SQLEQ_RETURN_IF_ERROR(rebuilt.Insert(info.name, tuple, count));
     }
   }
+  std::string out = "created table " + stmt.table + "\n";
+  if (remote_ != nullptr) {
+    // Mirror before committing locally, so a remote failure leaves the
+    // session unchanged (the connection is dropped either way).
+    SQLEQ_RETURN_IF_ERROR(MirrorToRemote(
+        service::JsonObject().Str("cmd", "ddl").Str("script", statement).Build()));
+    out += "  (mirrored to " + remote_name_ + ")\n";
+  }
   catalog_ = std::move(updated);
   database_ = std::move(rebuilt);
-  return "created table " + stmt.table + "\n";
+  return out;
 }
 
 Result<std::string> ScriptEngine::ExecInsert(std::string_view statement) {
@@ -221,11 +288,23 @@ Result<std::string> ScriptEngine::ExecDep(std::string_view rest) {
   SQLEQ_ASSIGN_OR_RETURN(
       std::vector<Dependency> deps,
       ParseDependency(rest, "user" + std::to_string(++dep_counter_)));
+  // Mirror before committing locally, so a remote failure leaves the
+  // session unchanged (the connection is dropped either way).
   std::string out;
-  for (Dependency& dep : deps) {
+  for (const Dependency& dep : deps) {
     out += "added dependency " + dep.ToString() + "\n";
-    catalog_.sigma.push_back(std::move(dep));
+    if (remote_ != nullptr) {
+      // Dependency::ToString() prepends "[label] ", which ParseDependency
+      // rejects; send the bare body->head text with the label alongside.
+      service::JsonObject req;
+      req.Str("cmd", "dep")
+          .Str("text", dep.IsTgd() ? dep.tgd().ToString() : dep.egd().ToString())
+          .Str("label", dep.label());
+      SQLEQ_RETURN_IF_ERROR(MirrorToRemote(req.Build()));
+      out += "  (mirrored to " + remote_name_ + ")\n";
+    }
   }
+  for (Dependency& dep : deps) catalog_.sigma.push_back(std::move(dep));
   return out;
 }
 
@@ -303,6 +382,9 @@ Result<std::string> ScriptEngine::ExecEquiv(std::string_view rest, bool explain)
                                               catalog_.schema, chase_options));
     return e.ToString();
   }
+  if (remote_ != nullptr) {
+    return RemoteEquiv(args.first[0], a, args.first[1], b, sem);
+  }
   EquivalenceEngine engine;
   EquivRequest request{sem, catalog_.sigma, catalog_.schema, {}};
   request.context = Context();
@@ -327,6 +409,7 @@ Result<std::string> ScriptEngine::ExecMinimize(std::string_view rest) {
   }
   SQLEQ_ASSIGN_OR_RETURN(NamedQuery named, GetQuery(args.first[0]));
   Semantics sem = args.second.value_or(named.semantics);
+  if (remote_ != nullptr) return RemoteMinimize(args.first[0], named, sem);
   CandBOptions options;
   options.context = Context();
   SQLEQ_ASSIGN_OR_RETURN(
@@ -518,6 +601,154 @@ Result<std::string> ScriptEngine::ExecTrace(std::string_view rest) {
            path + "\n";
   }
   return Status::InvalidArgument("usage: TRACE ON | TRACE OFF | TRACE EXPORT <file>");
+}
+
+Result<std::string> ScriptEngine::ExecConnect(std::string_view rest) {
+  auto [host, tail] = SplitKeyword(rest);
+  auto [port_word, tail2] = SplitKeyword(tail);
+  if (host.empty() || port_word.empty() || !Trim(tail2).empty()) {
+    return Status::InvalidArgument("usage: CONNECT <host> <port>");
+  }
+  if (remote_ != nullptr) {
+    return Status::FailedPrecondition("already connected to " + remote_name_ +
+                                      " (DISCONNECT first)");
+  }
+  SQLEQ_ASSIGN_OR_RETURN(size_t port, ParseCount(port_word, "port"));
+  if (port == 0 || port > 65535) {
+    return Status::InvalidArgument("port must be in 1..65535, got '" + port_word + "'");
+  }
+  SQLEQ_ASSIGN_OR_RETURN(
+      service::ServiceClient client,
+      service::ServiceClient::Connect(host, static_cast<int>(port)));
+
+  SQLEQ_ASSIGN_OR_RETURN(
+      JsonValue hello,
+      RemoteCall(client, service::JsonObject().Str("cmd", "hello").Build()));
+  const JsonValue* protocol = hello.Find("protocol");
+  if (protocol == nullptr || protocol->kind != JsonValue::Kind::kNumber ||
+      static_cast<int>(protocol->number) != service::kProtocolVersion) {
+    return Status::FailedPrecondition(
+        "server speaks a different protocol than this shell (want version " +
+        std::to_string(service::kProtocolVersion) + ")");
+  }
+
+  // Upload the session catalog so the daemon's session matches ours. Keys
+  // and foreign keys travel as the Σ they induced, so only name/arity/
+  // set-valuedness need the relation command.
+  size_t relations = 0;
+  for (const RelationInfo& info : catalog_.schema.Relations()) {
+    service::JsonObject req;
+    req.Str("cmd", "relation")
+        .Str("name", info.name)
+        .Int("arity", info.arity)
+        .Bool("set_valued", info.set_valued);
+    SQLEQ_RETURN_IF_ERROR(RemoteCall(client, req.Build()).status());
+    ++relations;
+  }
+  size_t deps = 0;
+  for (const Dependency& dep : catalog_.sigma) {
+    service::JsonObject req;
+    req.Str("cmd", "dep")
+        .Str("text", dep.IsTgd() ? dep.tgd().ToString() : dep.egd().ToString())
+        .Str("label", dep.label());
+    SQLEQ_RETURN_IF_ERROR(RemoteCall(client, req.Build()).status());
+    ++deps;
+  }
+
+  remote_ = std::make_unique<service::ServiceClient>(std::move(client));
+  remote_name_ = host + ":" + port_word;
+  return "connected to sqleqd at " + remote_name_ + "; uploaded " +
+         std::to_string(relations) + " relation(s), " + std::to_string(deps) +
+         " dependenc(ies)\n";
+}
+
+Result<std::string> ScriptEngine::ExecDisconnect(std::string_view rest) {
+  if (!Trim(rest).empty()) return Status::InvalidArgument("usage: DISCONNECT");
+  if (remote_ == nullptr) {
+    return Status::FailedPrecondition("not connected (use CONNECT <host> <port>)");
+  }
+  remote_.reset();
+  std::string out = "disconnected from " + remote_name_ + "\n";
+  remote_name_.clear();
+  return out;
+}
+
+Status ScriptEngine::MirrorToRemote(const std::string& request_line) {
+  Result<JsonValue> response = RemoteCall(*remote_, request_line);
+  if (!response.ok()) {
+    std::string peer = remote_name_;
+    remote_.reset();
+    remote_name_.clear();
+    return Status::FailedPrecondition("mirroring to " + peer +
+                                      " failed (connection dropped): " +
+                                      response.status().message());
+  }
+  return Status::OK();
+}
+
+Result<std::string> ScriptEngine::RemoteEquiv(const std::string& n1, const NamedQuery& a,
+                                              const std::string& n2, const NamedQuery& b,
+                                              Semantics sem) {
+  service::JsonObject req;
+  req.Str("cmd", "check")
+      .Str("q1", a.query.ToString())
+      .Str("q2", b.query.ToString())
+      .Str("semantics", service::SemanticsWireName(sem));
+  AddBudgetFields(budget_, &req);
+  SQLEQ_ASSIGN_OR_RETURN(JsonValue response, RemoteCall(*remote_, req.Build()));
+  const std::string verdict = ResponseString(response, "verdict");
+  std::string out;
+  if (verdict == "unknown") {
+    out = n1 + " ?? " + n2 + "  under " + SemanticsToString(sem) +
+          " semantics (given Sigma)  [remote " + remote_name_ + "]\n" +
+          IncompleteLine(ResponseExhaustion(response));
+  } else {
+    const JsonValue* equivalent = response.Find("equivalent");
+    bool eq = equivalent != nullptr &&
+              equivalent->kind == JsonValue::Kind::kBool && equivalent->boolean;
+    out = n1 + (eq ? " == " : " != ") + n2 + "  under " + SemanticsToString(sem) +
+          " semantics (given Sigma)  [remote " + remote_name_ + "]\n";
+  }
+  return out;
+}
+
+Result<std::string> ScriptEngine::RemoteMinimize(const std::string& name,
+                                                 const NamedQuery& named,
+                                                 Semantics sem) {
+  service::JsonObject req;
+  req.Str("cmd", "reformulate")
+      .Str("query", named.query.ToString())
+      .Str("semantics", service::SemanticsWireName(sem));
+  AddBudgetFields(budget_, &req);
+  SQLEQ_ASSIGN_OR_RETURN(JsonValue response, RemoteCall(*remote_, req.Build()));
+
+  uint64_t candidates = 0;
+  if (const JsonValue* c = response.Find("candidates");
+      c != nullptr && c->kind == JsonValue::Kind::kNumber) {
+    candidates = static_cast<uint64_t>(c->number);
+  }
+  std::string out = "minimize " + name + " under " + SemanticsToString(sem) + " (" +
+                    std::to_string(candidates) + " candidates)  [remote " +
+                    remote_name_ + "]:\n";
+  if (const JsonValue* list = response.Find("reformulations");
+      list != nullptr && list->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& item : list->array) {
+      if (!item.is_string()) continue;
+      // The daemon speaks Datalog; render back as SQL like local MINIMIZE.
+      std::string line = item.string;
+      if (Result<ConjunctiveQuery> reform = ParseQuery(item.string); reform.ok()) {
+        Result<std::string> rendered = sql::RenderSql(*reform, catalog_.schema, sem);
+        if (rendered.ok()) line = *rendered;
+      }
+      out += "  " + line + "\n";
+    }
+  }
+  const JsonValue* complete = response.Find("complete");
+  if (complete != nullptr && complete->kind == JsonValue::Kind::kBool &&
+      !complete->boolean) {
+    out += IncompleteLine(ResponseExhaustion(response));
+  }
+  return out;
 }
 
 }  // namespace shell

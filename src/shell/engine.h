@@ -18,6 +18,13 @@
 //   SET RETRY n [growth] | OFF;      -- escalating-budget retries on exhaustion
 //   SHOW SCHEMA | SIGMA | QUERIES | DATA | BUDGET | STATS;
 //   TRACE ON | OFF | EXPORT <file>;  -- chase-span tracing (Chrome trace JSON)
+//   CONNECT <host> <port>;           -- attach to a sqleqd daemon
+//   DISCONNECT;                      -- detach
+//
+// While connected, the session catalog is uploaded once and kept in sync
+// (CREATE TABLE / DEP are mirrored), and EQUIV / MINIMIZE execute on the
+// daemon — sharing its process-lifetime chase memo — instead of in-process
+// (docs/service.md). EXPLAIN, REWRITE, and EVAL stay local.
 //
 // SHOW STATS prints the session's accumulated engine metrics (chase steps,
 // memo hits, backchase counters — see docs/observability.md); TRACE ON
@@ -31,6 +38,7 @@
 #define SQLEQ_SHELL_ENGINE_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -48,6 +56,10 @@ namespace sqleq {
 
 class CancellationToken;
 
+namespace service {
+class ServiceClient;
+}  // namespace service
+
 namespace shell {
 
 /// A named query with the evaluation semantics it was defined under.
@@ -58,7 +70,10 @@ struct NamedQuery {
 
 class ScriptEngine {
  public:
-  ScriptEngine() = default;
+  ScriptEngine();
+  ~ScriptEngine();
+  ScriptEngine(const ScriptEngine&) = delete;
+  ScriptEngine& operator=(const ScriptEngine&) = delete;
 
   /// Executes one statement (no trailing ';'), returning its output text.
   Result<std::string> Execute(std::string_view statement);
@@ -89,6 +104,9 @@ class ScriptEngine {
   bool tracing() const { return tracing_; }
   /// Programmatic TRACE ON/OFF (what sqleq_cli --trace-out uses).
   void set_tracing(bool on) { tracing_ = on; }
+  /// True between a successful CONNECT and DISCONNECT (or a remote failure
+  /// that dropped the link).
+  bool connected() const { return remote_ != nullptr; }
 
  private:
   Result<std::string> ExecCreate(std::string_view statement);
@@ -104,6 +122,19 @@ class ScriptEngine {
   Result<std::string> ExecSet(std::string_view rest);
   Result<std::string> ExecShow(std::string_view rest);
   Result<std::string> ExecTrace(std::string_view rest);
+  Result<std::string> ExecConnect(std::string_view rest);
+  Result<std::string> ExecDisconnect(std::string_view rest);
+
+  /// Remote execution paths for EQUIV / MINIMIZE while connected.
+  Result<std::string> RemoteEquiv(const std::string& n1, const NamedQuery& a,
+                                  const std::string& n2, const NamedQuery& b,
+                                  Semantics sem);
+  Result<std::string> RemoteMinimize(const std::string& name, const NamedQuery& named,
+                                     Semantics sem);
+  /// Replays a catalog mutation (CREATE TABLE / DEP) on the daemon. A
+  /// remote failure drops the connection — the two catalogs can no longer
+  /// be assumed in sync — and returns the error.
+  Status MirrorToRemote(const std::string& request_line);
 
   /// The per-call environment EQUIV/MINIMIZE/REWRITE run under: the SET
   /// budget, the session metrics, the trace sink when TRACE is ON, and the
@@ -125,6 +156,8 @@ class ScriptEngine {
   TraceSink trace_;
   bool tracing_ = false;
   int dep_counter_ = 0;
+  std::unique_ptr<service::ServiceClient> remote_;
+  std::string remote_name_;  ///< "host:port", for output lines
 };
 
 }  // namespace shell

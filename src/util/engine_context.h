@@ -31,22 +31,6 @@ struct EngineContext {
   FaultInjector* faults = nullptr;
   /// Cooperative cancellation; null means not cancellable.
   CancellationToken* cancel = nullptr;
-
-  /// Merges this context with the legacy per-options fields it supersedes
-  /// (CandBOptions::{budget,faults,cancel}, EquivRequest equivalents),
-  /// which remain as forwarding shims for one release. Rule: an explicitly
-  /// customized context wins; otherwise the legacy field is honored. For
-  /// the budget, "customized" means != a default-constructed
-  /// ResourceBudget (deadlines and thread counts included).
-  EngineContext WithLegacy(const ResourceBudget& legacy_budget,
-                           FaultInjector* legacy_faults,
-                           CancellationToken* legacy_cancel) const {
-    EngineContext resolved = *this;
-    if (resolved.budget == ResourceBudget{}) resolved.budget = legacy_budget;
-    if (resolved.faults == nullptr) resolved.faults = legacy_faults;
-    if (resolved.cancel == nullptr) resolved.cancel = legacy_cancel;
-    return resolved;
-  }
 };
 
 }  // namespace sqleq

@@ -33,6 +33,12 @@ inline constexpr const char* kChaseStep = "chase.step";
 inline constexpr const char* kBackchaseCandidate = "backchase.candidate";
 inline constexpr const char* kMemoInsert = "memo.insert";
 inline constexpr const char* kPoolTask = "pool.task";
+// Service-layer sites (src/service/server.cc): a fired accept drops the
+// just-accepted connection, a fired parse drops the connection mid-stream,
+// a fired dispatch fails one request with an error response.
+inline constexpr const char* kServiceAccept = "service.accept";
+inline constexpr const char* kServiceParse = "service.parse";
+inline constexpr const char* kServiceDispatch = "service.dispatch";
 }  // namespace fault_sites
 
 /// What an armed site injects when it fires.

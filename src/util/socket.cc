@@ -1,0 +1,180 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sqleq {
+namespace {
+
+/// Framing cap: a service request/response line beyond this is a protocol
+/// violation, not a workload.
+constexpr size_t kMaxLineBytes = 1u << 20;
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+TcpConn::~TcpConn() { Close(); }
+
+TcpConn::TcpConn(TcpConn&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpConn> TcpConn::Connect(const std::string& host, int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(ErrnoMessage("socket"));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unresolvable host (numeric IPv4 or 'localhost' expected): " +
+                                   host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::FailedPrecondition(
+        ErrnoMessage(("connect to " + host + ":" + std::to_string(port)).c_str()));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConn(fd);
+}
+
+Status TcpConn::WriteAll(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("write on closed connection");
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::FailedPrecondition(ErrnoMessage("send"));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::optional<std::string>> TcpConn::ReadLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("read on closed connection");
+  while (true) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return std::optional<std::string>(std::move(line));
+    }
+    if (buffer_.size() > kMaxLineBytes) {
+      return Status::InvalidArgument("line exceeds the 1 MiB framing cap");
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::FailedPrecondition(ErrnoMessage("recv"));
+    }
+    if (n == 0) {  // EOF: hand out a partial trailing line once, then nullopt.
+      if (buffer_.empty()) return std::optional<std::string>(std::nullopt);
+      std::string line = std::move(buffer_);
+      buffer_.clear();
+      return std::optional<std::string>(std::move(line));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void TcpConn::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void TcpConn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+Status TcpListener::Listen(int port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("listener already bound");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(ErrnoMessage("socket"));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::FailedPrecondition(ErrnoMessage("bind"));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status status = Status::Internal(ErrnoMessage("listen"));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status status = Status::Internal(ErrnoMessage("getsockname"));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Result<TcpConn> TcpListener::Accept() {
+  if (fd_ < 0) return Status::FailedPrecondition("listener is not bound");
+  while (true) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpConn(fd);
+    }
+    if (errno == EINTR) continue;
+    return Status::FailedPrecondition(ErrnoMessage("accept"));
+  }
+}
+
+void TcpListener::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace sqleq

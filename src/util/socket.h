@@ -1,0 +1,91 @@
+// Thin POSIX TCP wrappers for the sqleqd service layer (src/service): a
+// listener bound to a local port and a connection with line-framed reads.
+// Scope is deliberately minimal — blocking IO, IPv4 loopback-oriented,
+// Status-based errors — because the service protocol is newline-delimited
+// JSON between cooperating processes on one host or a trusted network, not a
+// general networking stack.
+#ifndef SQLEQ_UTIL_SOCKET_H_
+#define SQLEQ_UTIL_SOCKET_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace sqleq {
+
+/// One accepted (or dialed) TCP connection. Move-only; the destructor
+/// closes the descriptor.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn();
+  TcpConn(TcpConn&& other) noexcept;
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  /// Dials host:port (numeric IPv4 or "localhost").
+  static Result<TcpConn> Connect(const std::string& host, int port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all of `data`, retrying short writes. SIGPIPE is suppressed
+  /// (MSG_NOSIGNAL); a peer reset surfaces as a Status instead.
+  Status WriteAll(std::string_view data);
+
+  /// Next '\n'-terminated line (terminator stripped, trailing '\r' too).
+  /// nullopt on clean EOF with no buffered partial line; a partial final
+  /// line is returned as-is. Lines above the 1 MiB framing cap are an
+  /// InvalidArgument error (the connection should then be dropped).
+  Result<std::optional<std::string>> ReadLine();
+
+  /// Shuts down the read side: a blocked or future ReadLine observes EOF
+  /// while buffered writes still flush. The drain path uses this to unblock
+  /// idle connections without cutting off in-flight responses.
+  void ShutdownRead();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// A listening TCP socket on 0.0.0.0. Accept() blocks; Shutdown() from
+/// another thread unblocks it with an error (Linux ::shutdown semantics).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens. Port 0 picks an ephemeral port; port() reports the
+  /// bound one either way.
+  Status Listen(int port);
+
+  int port() const { return port_; }
+  bool listening() const { return fd_ >= 0; }
+
+  /// Blocks for the next connection. Returns FailedPrecondition after
+  /// Shutdown()/Close().
+  Result<TcpConn> Accept();
+
+  /// Unblocks a concurrent Accept() and refuses further connections; safe
+  /// to call from any thread, repeatedly.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_UTIL_SOCKET_H_

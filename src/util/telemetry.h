@@ -46,6 +46,7 @@ inline constexpr char kMemoHits[] = "memo.hits";
 inline constexpr char kMemoMisses[] = "memo.misses";
 inline constexpr char kMemoInserts[] = "memo.inserts";
 inline constexpr char kMemoBytes[] = "memo.bytes";
+inline constexpr char kMemoEvictions[] = "memo.evictions";
 inline constexpr char kBackchaseCandidates[] = "backchase.candidates";
 inline constexpr char kBackchaseAccepted[] = "backchase.accepted";
 inline constexpr char kBackchaseRejected[] = "backchase.rejected";
@@ -59,6 +60,12 @@ inline constexpr char kEngineEquivNotEquivalent[] =
 inline constexpr char kEngineEquivUnknown[] = "engine.equiv.unknown";
 inline constexpr char kPoolQueueWaitUs[] = "pool.queue_wait_us";
 inline constexpr char kPoolTaskUs[] = "pool.task_us";
+inline constexpr char kServiceConnections[] = "service.connections";
+inline constexpr char kServiceRequests[] = "service.requests";
+inline constexpr char kServiceErrors[] = "service.errors";
+inline constexpr char kServiceOverloaded[] = "service.overloaded";
+inline constexpr char kServiceDrained[] = "service.drained";
+inline constexpr char kServiceRequestUs[] = "service.request_us";
 }  // namespace metric
 
 /// Monotonically increasing event count. Add/value are wait-free.

@@ -299,7 +299,7 @@ TEST(Preflight, DisablingAnalyzeSkipsTheGate) {
   EquivRequest request{Semantics::kSet, Sigma({"e(X, Y) -> e(Y, Z)."}),
                        Schema(), ChaseOptions()};
   request.analyze.enabled = false;
-  request.chase.budget.max_chase_steps = 50;
+  request.context.budget.max_chase_steps = 50;
   Result<EquivVerdict> verdict = engine.Equivalent(q, q, request);
   // Anytime contract: the exhausted chase budget yields kUnknown (with no
   // lint diagnostic in sight), not a lint rejection.

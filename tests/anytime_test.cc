@@ -154,7 +154,7 @@ TEST(AnytimeEngine, ExpiredDeadlineYieldsUnknownUnderAllSemantics) {
   for (Semantics sem : {Semantics::kSet, Semantics::kBag, Semantics::kBagSet}) {
     EquivRequest request{sem, Example41Sigma(), Example41Schema(),
                          ChaseOptions()};
-    request.chase.budget = ExpiredBudget();
+    request.context.budget = ExpiredBudget();
     EquivVerdict verdict =
         Unwrap(engine.Equivalent(q1, q1, request), "Equivalent");
     EXPECT_EQ(verdict.verdict, Verdict::kUnknown) << SemanticsToString(sem);
@@ -173,7 +173,7 @@ TEST(AnytimeEngine, StepBudgetYieldsUnknownWithResumableCheckpoint) {
   ConjunctiveQuery q1 = StepHungryP();
   EquivRequest small{Semantics::kSet, Example41Sigma(), Example41Schema(),
                      ChaseOptions()};
-  small.chase.budget.max_chase_steps = 2;
+  small.context.budget.max_chase_steps = 2;
   EquivVerdict verdict = Unwrap(engine.Equivalent(q1, q1, small), "budgeted");
   ASSERT_EQ(verdict.verdict, Verdict::kUnknown);
   ASSERT_TRUE(verdict.exhaustion.has_value());
@@ -201,7 +201,7 @@ TEST(AnytimeEngine, RetryPolicyDecidesUnderAllSemantics) {
   for (Semantics sem : {Semantics::kSet, Semantics::kBag, Semantics::kBagSet}) {
     EquivRequest request{sem, Example41Sigma(), Example41Schema(),
                          ChaseOptions()};
-    request.chase.budget.max_chase_steps = 1;
+    request.context.budget.max_chase_steps = 1;
     EquivVerdict verdict = Unwrap(
         engine.EquivalentWithRetry(q1, q2, request, policy), "WithRetry");
     EXPECT_NE(verdict.verdict, Verdict::kUnknown) << SemanticsToString(sem);
@@ -217,7 +217,7 @@ TEST(AnytimeEngine, ExhaustedRetriesStayUnknown) {
   ConjunctiveQuery q1 = StepHungryP();
   EquivRequest request{Semantics::kSet, Example41Sigma(), Example41Schema(),
                        ChaseOptions()};
-  request.chase.budget.max_chase_steps = 1;
+  request.context.budget.max_chase_steps = 1;
   EscalatingBudget policy;
   policy.growth = 1.0;  // never escalates
   policy.max_attempts = 2;
@@ -235,7 +235,7 @@ TEST(AnytimeEngine, CancelledVerdictConvertsToCancelledStatus) {
                        ChaseOptions()};
   CancellationToken cancel;
   cancel.Cancel();
-  request.cancel = &cancel;
+  request.context.cancel = &cancel;
   EquivVerdict verdict = Unwrap(engine.Equivalent(q1, q1, request), "cancelled");
   EXPECT_EQ(verdict.verdict, Verdict::kUnknown);
   ASSERT_TRUE(verdict.exhaustion.has_value());
@@ -269,7 +269,7 @@ TEST(AnytimeCandB, BudgetedRunReturnsPrefixOfUnbudgetedOutput) {
   }
   for (size_t cap : {1u, 2u, 4u, 8u, 16u}) {
     CandBOptions options;
-    options.budget.max_candidates = cap;
+    options.context.budget.max_candidates = cap;
     CandBResult partial = Unwrap(
         ChaseAndBackchase(Example41Q1(), Example41Sigma(), Semantics::kSet,
                           Example41Schema(), options),
@@ -289,15 +289,15 @@ TEST(AnytimeCandB, BudgetedRunReturnsPrefixOfUnbudgetedOutput) {
 
 TEST(AnytimeCandB, ResumeWithLargerBudgetMatchesUnbudgetedAtEveryThreadCount) {
   CandBOptions clean;
-  clean.budget.threads = 1;
+  clean.context.budget.threads = 1;
   std::string reference = Canon(Unwrap(
       ChaseAndBackchase(Example41Q1(), Example41Sigma(), Semantics::kSet,
                         Example41Schema(), clean),
       "unbudgeted"));
   for (size_t threads : {1u, 4u, 8u}) {
     CandBOptions budgeted;
-    budgeted.budget.max_candidates = 3;
-    budgeted.budget.threads = threads;
+    budgeted.context.budget.max_candidates = 3;
+    budgeted.context.budget.threads = threads;
     CandBResult partial = Unwrap(
         ChaseAndBackchase(Example41Q1(), Example41Sigma(), Semantics::kSet,
                           Example41Schema(), budgeted),
@@ -306,7 +306,7 @@ TEST(AnytimeCandB, ResumeWithLargerBudgetMatchesUnbudgetedAtEveryThreadCount) {
     ASSERT_TRUE(partial.checkpoint.has_value());
 
     CandBOptions resumed_options;
-    resumed_options.budget.threads = threads;
+    resumed_options.context.budget.threads = threads;
     resumed_options.resume = &*partial.checkpoint;
     CandBResult finished = Unwrap(
         ChaseAndBackchase(Example41Q1(), Example41Sigma(), Semantics::kSet,
@@ -328,7 +328,7 @@ TEST(AnytimeCandB, ChainedEscalatingResumesConvergeToTheUnbudgetedResult) {
                         Example41Schema(), clean),
       "unbudgeted"));
   CandBOptions options;
-  options.budget.max_candidates = 2;
+  options.context.budget.max_candidates = 2;
   CandBResult result = Unwrap(
       ChaseAndBackchase(Example41Q1(), Example41Sigma(), Semantics::kSet,
                         Example41Schema(), options),
@@ -340,7 +340,7 @@ TEST(AnytimeCandB, ChainedEscalatingResumesConvergeToTheUnbudgetedResult) {
     ASSERT_LT(rounds, 32) << "resume loop failed to make progress";
     checkpoint = *result.checkpoint;
     CandBOptions next;
-    next.budget.max_candidates = size_t(2) << (rounds + 1);
+    next.context.budget.max_candidates = size_t(2) << (rounds + 1);
     next.resume = &checkpoint;
     result = Unwrap(ChaseAndBackchase(Example41Q1(), Example41Sigma(),
                                       Semantics::kSet, Example41Schema(), next),
@@ -358,7 +358,7 @@ TEST(AnytimeCandB, DeadlineStopIsResumable) {
                         Example41Schema(), clean),
       "unbudgeted"));
   CandBOptions expired;
-  expired.budget = ExpiredBudget();
+  expired.context.budget = ExpiredBudget();
   CandBResult partial = Unwrap(
       ChaseAndBackchase(Example41Q1(), Example41Sigma(), Semantics::kSet,
                         Example41Schema(), expired),
@@ -385,7 +385,7 @@ TEST(AnytimeCandB, RetryPolicyFinishesAnInterruptedRun) {
                         Example41Schema(), clean),
       "unbudgeted"));
   CandBOptions options;
-  options.budget.max_candidates = 2;
+  options.context.budget.max_candidates = 2;
   EscalatingBudget policy;
   policy.growth = 4.0;
   policy.max_attempts = 6;
@@ -412,7 +412,7 @@ TEST(AnytimeCandB, RetryPolicyFinishesAnInterruptedRun) {
 
 TEST(AnytimeCandB, StepBudgetedChasePhaseEchoesInputAndResumes) {
   CandBOptions options;
-  options.budget.max_chase_steps = 2;
+  options.context.budget.max_chase_steps = 2;
   CandBResult partial = Unwrap(
       ChaseAndBackchase(StepHungryP(), Example41Sigma(), Semantics::kSet,
                         Example41Schema(), options),
@@ -456,7 +456,7 @@ TEST(AnytimeRewrite, BudgetExhaustionIsResumable) {
   std::string reference = Canon(full);
 
   RewriteOptions budgeted;
-  budgeted.candb.budget.max_candidates = 2;
+  budgeted.candb.context.budget.max_candidates = 2;
   RewriteResult partial = Unwrap(
       RewriteWithViews(q, views, Example41Sigma(), Semantics::kSet,
                        Example41Schema(), budgeted),
@@ -492,8 +492,8 @@ TEST(AnytimeRewrite, ResumeMatchesAtEveryThreadCount) {
       "unbudgeted"));
   for (size_t threads : {1u, 4u, 8u}) {
     RewriteOptions budgeted;
-    budgeted.candb.budget.max_candidates = 2;
-    budgeted.candb.budget.threads = threads;
+    budgeted.candb.context.budget.max_candidates = 2;
+    budgeted.candb.context.budget.threads = threads;
     RewriteResult partial = Unwrap(
         RewriteWithViews(q, views, Example41Sigma(), Semantics::kSet,
                          Example41Schema(), budgeted),
@@ -501,7 +501,7 @@ TEST(AnytimeRewrite, ResumeMatchesAtEveryThreadCount) {
     ASSERT_FALSE(partial.complete) << threads << " threads";
     ASSERT_TRUE(partial.checkpoint.has_value());
     RewriteOptions resumed_options;
-    resumed_options.candb.budget.threads = threads;
+    resumed_options.candb.context.budget.threads = threads;
     resumed_options.candb.resume = &*partial.checkpoint;
     RewriteResult finished = Unwrap(
         RewriteWithViews(q, views, Example41Sigma(), Semantics::kSet,
@@ -521,7 +521,7 @@ TEST(AnytimeRewrite, RetryPolicyFinishesAnInterruptedRewrite) {
                        Example41Schema(), clean),
       "unbudgeted"));
   RewriteOptions options;
-  options.candb.budget.max_candidates = 2;
+  options.candb.context.budget.max_candidates = 2;
   EscalatingBudget policy;
   policy.growth = 4.0;
   policy.max_attempts = 6;

@@ -1,0 +1,136 @@
+// Tests for the ChaseMemo byte bound: LRU eviction order, the
+// never-evict-most-recent guarantee, immediate shrink on set_byte_limit,
+// and the memo.evictions metric. This is what keeps the sqleqd
+// process-lifetime memo finite.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chase/chase_cache.h"
+#include "test_util.h"
+#include "util/telemetry.h"
+
+namespace sqleq {
+namespace {
+
+using ::sqleq::testing::Q;
+using ::sqleq::testing::Unwrap;
+
+/// Distinct (non-isomorphic) chain queries over r/2 of growing length, so
+/// each occupies its own memo entry.
+ConjunctiveQuery Chain(int n) {
+  std::string text = "Q(X0) :- ";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) text += ", ";
+    text += "r(X" + std::to_string(i) + ", X" + std::to_string(i + 1) + ")";
+  }
+  text += ".";
+  return Q(text);
+}
+
+/// Fills `memo` with chains 1..n and returns the canonical keys in
+/// insertion order.
+std::vector<std::string> Fill(ChaseMemo* memo, int n) {
+  std::vector<std::string> keys;
+  for (int i = 1; i <= n; ++i) {
+    std::string key;
+    Unwrap(memo->ChaseCanonical(Chain(i), &key));
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+TEST(ChaseMemoLru, UnboundedByDefault) {
+  ChaseMemo memo({}, Semantics::kSet, Schema(), {});
+  Fill(&memo, 8);
+  ChaseMemo::Stats stats = memo.stats();
+  EXPECT_EQ(stats.entries, 8u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.byte_limit, 0u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(ChaseMemoLru, ByteLimitHoldsAndEvictionsAreCounted) {
+  // Learn a realistic per-entry size first, then bound to ~3 entries.
+  ChaseMemo probe({}, Semantics::kSet, Schema(), {});
+  Fill(&probe, 8);
+  size_t limit = probe.stats().bytes * 3 / 8;
+
+  ChaseMemo memo({}, Semantics::kSet, Schema(), {}, limit);
+  Fill(&memo, 8);
+  ChaseMemo::Stats stats = memo.stats();
+  EXPECT_LE(stats.bytes, limit);
+  EXPECT_LT(stats.entries, 8u);
+  EXPECT_EQ(stats.evictions, 8u - stats.entries);
+  EXPECT_EQ(stats.byte_limit, limit);
+}
+
+TEST(ChaseMemoLru, EvictsLeastRecentlyUsedFirst) {
+  ChaseMemo probe({}, Semantics::kSet, Schema(), {});
+  Fill(&probe, 4);
+  // One byte short of all four chains: inserting the fourth overflows and
+  // must evict exactly the LRU entry.
+  ChaseMemo memo({}, Semantics::kSet, Schema(), {}, probe.stats().bytes - 1);
+  Fill(&memo, 3);
+
+  // Touch chains 1 and 2 so chain 3 becomes the LRU entry...
+  Unwrap(memo.ChaseCanonical(Chain(1)));
+  Unwrap(memo.ChaseCanonical(Chain(2)));
+  EXPECT_EQ(memo.stats().hits, 2u);
+  // ...then overflow with chain 4: 3 must go, 1 and 2 must stay.
+  Unwrap(memo.ChaseCanonical(Chain(4)));
+  size_t hits_before = memo.stats().hits;
+  Unwrap(memo.ChaseCanonical(Chain(1)));
+  Unwrap(memo.ChaseCanonical(Chain(2)));
+  EXPECT_EQ(memo.stats().hits, hits_before + 2);
+  size_t misses_before = memo.stats().misses;
+  Unwrap(memo.ChaseCanonical(Chain(3)));  // evicted -> re-chased
+  EXPECT_EQ(memo.stats().misses, misses_before + 1);
+}
+
+TEST(ChaseMemoLru, MostRecentEntryIsNeverEvicted) {
+  // A limit far below one entry's footprint: every insert overflows, yet
+  // the just-inserted outcome must survive (single oversized results still
+  // cache, per the header contract).
+  ChaseMemo memo({}, Semantics::kSet, Schema(), {}, 1);
+  Fill(&memo, 4);
+  ChaseMemo::Stats stats = memo.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 3u);
+  // The survivor is the last insert: chaining it again is a hit.
+  Unwrap(memo.ChaseCanonical(Chain(4)));
+  EXPECT_EQ(memo.stats().hits, 1u);
+}
+
+TEST(ChaseMemoLru, SetByteLimitShrinksImmediately) {
+  ChaseMemo memo({}, Semantics::kSet, Schema(), {});
+  Fill(&memo, 6);
+  ASSERT_EQ(memo.stats().entries, 6u);
+  size_t limit = memo.stats().bytes / 3;
+  memo.set_byte_limit(limit);
+  ChaseMemo::Stats stats = memo.stats();
+  EXPECT_LE(stats.bytes, limit);
+  EXPECT_LT(stats.entries, 6u);
+  EXPECT_GT(stats.evictions, 0u);
+  // Growing the bound back does not resurrect anything.
+  size_t entries = stats.entries;
+  memo.set_byte_limit(0);
+  EXPECT_EQ(memo.stats().entries, entries);
+}
+
+TEST(ChaseMemoLru, EvictionMetricIsRecorded) {
+  MetricsRegistry metrics;
+  ChaseRuntime runtime;
+  runtime.metrics = &metrics;
+  ChaseMemo memo({}, Semantics::kSet, Schema(), {}, 1);
+  for (int i = 1; i <= 4; ++i) Unwrap(memo.ChaseCanonical(Chain(i), nullptr, runtime));
+  MetricsSnapshot snap = metrics.Snapshot();
+  auto it = snap.counters.find(metric::kMemoEvictions);
+  ASSERT_NE(it, snap.counters.end());
+  EXPECT_EQ(it->second, memo.stats().evictions);
+  EXPECT_EQ(it->second, 3u);
+}
+
+}  // namespace
+}  // namespace sqleq

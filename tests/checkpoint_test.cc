@@ -242,7 +242,7 @@ TEST(BackchaseCheckpointTest, DeserializeRejectsMalformedInput) {
 
 TEST(CandBCheckpointTest, BackchasePhaseCheckpointFromRealRunRoundTrips) {
   CandBOptions options;
-  options.budget.max_candidates = 4;
+  options.context.budget.max_candidates = 4;
   CandBResult partial = Unwrap(
       ChaseAndBackchase(Example41Q1(), Example41Sigma(), Semantics::kSet,
                         Example41Schema(), options),
@@ -267,7 +267,7 @@ TEST(CandBCheckpointTest, BackchasePhaseCheckpointFromRealRunRoundTrips) {
 
 TEST(CandBCheckpointTest, ChasePhaseCheckpointFromRealRunRoundTrips) {
   CandBOptions options;
-  options.budget.max_chase_steps = 2;
+  options.context.budget.max_chase_steps = 2;
   CandBResult partial = Unwrap(
       ChaseAndBackchase(StepHungryP(), Example41Sigma(), Semantics::kSet,
                         Example41Schema(), options),
@@ -304,7 +304,7 @@ TEST(CandBCheckpointTest, ParkedCheckpointResumesAcrossDeserialization) {
                 std::to_string(full.candidates_examined);
   }
   CandBOptions budgeted;
-  budgeted.budget.max_candidates = 4;
+  budgeted.context.budget.max_candidates = 4;
   CandBResult partial = Unwrap(
       ChaseAndBackchase(Example41Q1(), Example41Sigma(), Semantics::kSet,
                         Example41Schema(), budgeted),

@@ -141,7 +141,7 @@ TEST(EquivalenceEngine, DistinctSigmaDistinctContexts) {
 TEST(EquivalenceEngine, ExpiredDeadlineReportsResourceExhausted) {
   EquivalenceEngine engine;
   EquivRequest request{Semantics::kSet, Sigma({"a(X) -> b(X)."}), {}, {}};
-  request.chase.budget.deadline =
+  request.context.budget.deadline =
       std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
   Result<EquivVerdict> v =
       engine.Equivalent(Q("Q(X) :- a(X)."), Q("P(X) :- a(X), b(X)."), request);

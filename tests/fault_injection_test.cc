@@ -216,7 +216,7 @@ TEST(FaultSites, ChaseStepFaultYieldsChasePhaseCheckpointInCandB) {
   FaultSpec spec;
   spec.start = 2;
   faults.Arm(fault_sites::kChaseStep, spec);
-  options.faults = &faults;
+  options.context.faults = &faults;
   CandBResult partial = Unwrap(ChaseAndBackchase(
       StepHungryP(), Example41Sigma(), Semantics::kSet, Example41Schema(),
       options));
@@ -234,7 +234,7 @@ TEST(FaultSites, BackchaseCandidateFaultYieldsBackchaseCheckpoint) {
   FaultSpec spec;
   spec.start = 3;
   faults.Arm(fault_sites::kBackchaseCandidate, spec);
-  options.faults = &faults;
+  options.context.faults = &faults;
   CandBResult partial = Unwrap(ChaseAndBackchase(
       Example41Q1(), Example41Sigma(), Semantics::kSet, Example41Schema(),
       options));
@@ -252,7 +252,7 @@ TEST(FaultSites, MemoInsertFaultStopsTheSweep) {
   FaultSpec spec;
   spec.start = 2;  // survive the universal plan's insert, trip a candidate's
   faults.Arm(fault_sites::kMemoInsert, spec);
-  options.faults = &faults;
+  options.context.faults = &faults;
   CandBResult partial = Unwrap(ChaseAndBackchase(
       Example41Q1(), Example41Sigma(), Semantics::kSet, Example41Schema(),
       options));
@@ -268,7 +268,7 @@ TEST(FaultSites, PoolTaskFaultStopsTheSweep) {
   FaultSpec spec;
   spec.start = 4;
   faults.Arm(fault_sites::kPoolTask, spec);
-  options.faults = &faults;
+  options.context.faults = &faults;
   CandBResult partial = Unwrap(ChaseAndBackchase(
       Example41Q1(), Example41Sigma(), Semantics::kSet, Example41Schema(),
       options));
@@ -304,7 +304,7 @@ TEST(FaultDeterminism, IdenticalSeedsReplayIdenticalPartialResults) {
     FaultSpec spec;
     spec.start = 5;
     faults.Arm(fault_sites::kBackchaseCandidate, spec);
-    options.faults = &faults;
+    options.context.faults = &faults;
     CandBResult partial = Unwrap(ChaseAndBackchase(
         Example41Q1(), Example41Sigma(), Semantics::kSet, Example41Schema(),
         options));
@@ -322,13 +322,13 @@ TEST(FaultDeterminism, DelayFaultsDoNotChangeParallelResults) {
   // verdict; the merged result must stay byte-identical to the clean serial
   // run at every thread count.
   CandBOptions serial;
-  serial.budget.threads = 1;
+  serial.context.budget.threads = 1;
   std::string reference = Canon(Unwrap(ChaseAndBackchase(
       Example41Q1(), Example41Sigma(), Semantics::kSet, Example41Schema(),
       serial)));
   for (size_t threads : {2u, 4u, 8u}) {
     CandBOptions options;
-    options.budget.threads = threads;
+    options.context.budget.threads = threads;
     FaultInjector faults(99);
     FaultSpec spec;
     spec.kind = FaultKind::kDelay;
@@ -336,7 +336,7 @@ TEST(FaultDeterminism, DelayFaultsDoNotChangeParallelResults) {
     spec.start = 1;
     spec.period = 2;
     faults.Arm(fault_sites::kPoolTask, spec);
-    options.faults = &faults;
+    options.context.faults = &faults;
     std::string got = Canon(Unwrap(ChaseAndBackchase(
         Example41Q1(), Example41Sigma(), Semantics::kSet, Example41Schema(),
         options)));
@@ -356,7 +356,7 @@ TEST(FaultDeterminism, ResumeAfterInjectedFaultMatchesCleanRun) {
   FaultSpec spec;
   spec.start = 6;
   faults.Arm(fault_sites::kBackchaseCandidate, spec);
-  faulted.faults = &faults;
+  faulted.context.faults = &faults;
   CandBResult partial = Unwrap(ChaseAndBackchase(
       Example41Q1(), Example41Sigma(), Semantics::kSet, Example41Schema(),
       faulted));
@@ -378,7 +378,7 @@ TEST(Cancellation, PreCancelledTokenStopsCandBImmediately) {
   CandBOptions options;
   CancellationToken cancel;
   cancel.Cancel();
-  options.cancel = &cancel;
+  options.context.cancel = &cancel;
   CandBResult partial = Unwrap(ChaseAndBackchase(
       Example41Q1(), Example41Sigma(), Semantics::kSet, Example41Schema(),
       options));
@@ -398,7 +398,7 @@ TEST(Cancellation, ResumeAfterCancellationMatchesCleanRun) {
   CandBOptions cancelled_options;
   CancellationToken cancel;
   cancel.Cancel();
-  cancelled_options.cancel = &cancel;
+  cancelled_options.context.cancel = &cancel;
   CandBResult partial = Unwrap(ChaseAndBackchase(
       Example41Q1(), Example41Sigma(), Semantics::kSet, Example41Schema(),
       cancelled_options));
@@ -407,7 +407,7 @@ TEST(Cancellation, ResumeAfterCancellationMatchesCleanRun) {
 
   cancel.Reset();
   CandBOptions resumed;
-  resumed.cancel = &cancel;
+  resumed.context.cancel = &cancel;
   resumed.resume = &*partial.checkpoint;
   CandBResult finished = Unwrap(ChaseAndBackchase(
       Example41Q1(), Example41Sigma(), Semantics::kSet, Example41Schema(),
@@ -423,7 +423,7 @@ TEST(Cancellation, CancelledRewriteWithViewsReturnsPartial) {
   RewriteOptions options;
   CancellationToken cancel;
   cancel.Cancel();
-  options.candb.cancel = &cancel;
+  options.candb.context.cancel = &cancel;
   RewriteResult partial = Unwrap(RewriteWithViews(
       Q("Q(X) :- p(X, Y), r(X)."), views, Example41Sigma(), Semantics::kSet,
       Example41Schema(), options));

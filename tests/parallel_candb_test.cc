@@ -56,12 +56,12 @@ TEST(ParallelCandB, ThreadCountDoesNotChangeResultsExample41) {
       Q("Q1(X) :- p(X, Y), t(X, Y, W), s(X, Z), r(X), u(X, U).");
   for (Semantics sem : {Semantics::kSet, Semantics::kBag, Semantics::kBagSet}) {
     CandBOptions serial;
-    serial.budget.threads = 1;
+    serial.context.budget.threads = 1;
     std::string reference = Canon(Unwrap(
         ChaseAndBackchase(q1, Example41Sigma(), sem, Example41Schema(), serial)));
     for (size_t threads : {2u, 4u, 8u}) {
       CandBOptions parallel;
-      parallel.budget.threads = threads;
+      parallel.context.budget.threads = threads;
       std::string got = Canon(Unwrap(ChaseAndBackchase(
           q1, Example41Sigma(), sem, Example41Schema(), parallel)));
       EXPECT_EQ(got, reference)
@@ -78,12 +78,12 @@ TEST(ParallelCandB, ThreadCountDoesNotChangeResultsWideQuery) {
       "Q(X) :- a(X), b(X), p(X, Y1), p(X, Y2), p(X, Y3), p(X, Y4), "
       "p(X, Y5), p(X, Y6).");
   CandBOptions serial;
-  serial.budget.threads = 1;
+  serial.context.budget.threads = 1;
   std::string reference =
       Canon(Unwrap(ChaseAndBackchase(q, sigma, Semantics::kSet, Schema(), serial)));
   for (size_t threads : {2u, 4u, 8u}) {
     CandBOptions parallel;
-    parallel.budget.threads = threads;
+    parallel.context.budget.threads = threads;
     std::string got = Canon(
         Unwrap(ChaseAndBackchase(q, sigma, Semantics::kSet, Schema(), parallel)));
     EXPECT_EQ(got, reference) << threads << " threads";
@@ -107,12 +107,12 @@ TEST(ParallelCandB, ByteIdenticalWhenChaseAddsNoFreshVariables) {
     return out;
   };
   CandBOptions serial;
-  serial.budget.threads = 1;
+  serial.context.budget.threads = 1;
   std::string reference =
       serialize(Unwrap(ChaseAndBackchase(q, sigma, Semantics::kSet, Schema(), serial)));
   for (size_t threads : {2u, 4u, 8u}) {
     CandBOptions parallel;
-    parallel.budget.threads = threads;
+    parallel.context.budget.threads = threads;
     std::string got = serialize(
         Unwrap(ChaseAndBackchase(q, sigma, Semantics::kSet, Schema(), parallel)));
     EXPECT_EQ(got, reference) << threads << " threads";
@@ -128,7 +128,7 @@ TEST(ParallelCandB, CacheHitAccountingIsExactAndDeterministic) {
   ConjunctiveQuery q = Q("Q(X) :- p(X, Y1), p(X, Y2), p(X, Y3).");
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     CandBOptions options;
-    options.budget.threads = threads;
+    options.context.budget.threads = threads;
     CandBResult result =
         Unwrap(ChaseAndBackchase(q, {}, Semantics::kSet, Schema(), options));
     EXPECT_EQ(result.candidates_examined, 3u) << threads << " threads";
@@ -145,7 +145,7 @@ TEST(ParallelCandB, DeadlineExpiryReportsResourceExhausted) {
   ConjunctiveQuery q1 =
       Q("Q1(X) :- p(X, Y), t(X, Y, W), s(X, Z), r(X), u(X, U).");
   CandBOptions options;
-  options.budget.deadline =
+  options.context.budget.deadline =
       std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
   Result<CandBResult> result = ChaseAndBackchase(q1, Example41Sigma(),
                                                  Semantics::kSet,
@@ -163,7 +163,7 @@ TEST(ParallelCandB, DeadlineExpiryReportsResourceExhausted) {
 TEST(ParallelCandB, CandidateBudgetErrorNamesTheLimit) {
   ConjunctiveQuery q = Q("Q(X) :- p(X, Y), r(X).");
   CandBOptions options;
-  options.budget.max_candidates = 1;
+  options.context.budget.max_candidates = 1;
   Result<CandBResult> result =
       ChaseAndBackchase(q, {}, Semantics::kSet, Schema(), options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -181,7 +181,7 @@ TEST(ParallelCandB, ChaseStepBudgetErrorNamesTheLimit) {
   DependencySet sigma = Sigma({"a(X) -> b(X).", "b(X) -> a(X)."});
   ConjunctiveQuery q = Q("Q(X) :- a(X), b(X).");
   CandBOptions options;
-  options.budget.max_chase_steps = 0;
+  options.context.budget.max_chase_steps = 0;
   Result<CandBResult> result =
       ChaseAndBackchase(q, sigma, Semantics::kSet, Schema(), options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -199,12 +199,12 @@ TEST(ParallelRewrite, ThreadCountDoesNotChangeRewritings) {
   DependencySet sigma = Sigma({"p(X, Y) -> r(Y)."});
   ConjunctiveQuery q = Q("Q(X, Y) :- p(X, Y), r(Y).");
   RewriteOptions serial;
-  serial.candb.budget.threads = 1;
+  serial.candb.context.budget.threads = 1;
   std::string reference = Canon(
       Unwrap(RewriteWithViews(q, views, sigma, Semantics::kSet, Schema(), serial)));
   for (size_t threads : {2u, 4u, 8u}) {
     RewriteOptions parallel;
-    parallel.candb.budget.threads = threads;
+    parallel.candb.context.budget.threads = threads;
     std::string got = Canon(Unwrap(
         RewriteWithViews(q, views, sigma, Semantics::kSet, Schema(), parallel)));
     EXPECT_EQ(got, reference) << threads << " threads";

@@ -1,0 +1,113 @@
+// Tests for the sqleqd wire protocol helpers: request parsing, semantics
+// spellings, JsonObject rendering, and the canned error responses.
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/json.h"
+
+namespace sqleq {
+namespace service {
+namespace {
+
+using ::sqleq::testing::Unwrap;
+
+TEST(ParseRequest, MinimalAndFullForms) {
+  Request r = Unwrap(ParseRequest(R"({"cmd":"hello"})"));
+  EXPECT_EQ(r.cmd, "hello");
+  EXPECT_EQ(r.id, "");
+
+  r = Unwrap(ParseRequest(R"({"id":"42","cmd":"check","q1":"Q(X) :- r(X)."})"));
+  EXPECT_EQ(r.id, "42");
+  EXPECT_EQ(r.cmd, "check");
+  const JsonValue* q1 = r.body.Find("q1");
+  ASSERT_NE(q1, nullptr);
+  EXPECT_TRUE(q1->is_string());
+}
+
+TEST(ParseRequest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest(R"(["cmd","hello"])").ok());   // array, not object
+  EXPECT_FALSE(ParseRequest(R"({"id":"1"})").ok());        // missing cmd
+  EXPECT_FALSE(ParseRequest(R"({"cmd":7})").ok());         // cmd not a string
+  EXPECT_FALSE(ParseRequest(R"({"cmd":"x","id":9})").ok());  // id not a string
+  EXPECT_FALSE(ParseRequest(R"({"cmd":"x"} trailing)").ok());
+}
+
+TEST(ParseSemanticsName, AcceptsWireAndShellSpellings) {
+  EXPECT_EQ(Unwrap(ParseSemanticsName("set")), Semantics::kSet);
+  EXPECT_EQ(Unwrap(ParseSemanticsName("bag")), Semantics::kBag);
+  EXPECT_EQ(Unwrap(ParseSemanticsName("bag-set")), Semantics::kBagSet);
+  EXPECT_EQ(Unwrap(ParseSemanticsName("S")), Semantics::kSet);
+  EXPECT_EQ(Unwrap(ParseSemanticsName("B")), Semantics::kBag);
+  EXPECT_EQ(Unwrap(ParseSemanticsName("BS")), Semantics::kBagSet);
+  EXPECT_FALSE(ParseSemanticsName("sets").ok());
+  EXPECT_FALSE(ParseSemanticsName("").ok());
+}
+
+TEST(ParseSemanticsName, RoundTripsWireNames) {
+  for (Semantics s : {Semantics::kSet, Semantics::kBag, Semantics::kBagSet}) {
+    EXPECT_EQ(Unwrap(ParseSemanticsName(SemanticsWireName(s))), s);
+  }
+}
+
+TEST(JsonObjectRender, RoundTripsThroughParser) {
+  std::string line = JsonObject()
+                         .Str("id", "a\"b\nc")  // needs escaping
+                         .Bool("ok", true)
+                         .Int("count", 12345)
+                         .Raw("nested", JsonObject().Str("k", "v").Build())
+                         .Build();
+  JsonValue parsed = Unwrap(ParseJson(line));
+  ASSERT_EQ(parsed.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(parsed.Find("id")->string, "a\"b\nc");
+  EXPECT_TRUE(parsed.Find("ok")->boolean);
+  EXPECT_EQ(parsed.Find("count")->number, 12345.0);
+  ASSERT_EQ(parsed.Find("nested")->kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(parsed.Find("nested")->Find("k")->string, "v");
+}
+
+TEST(JsonObjectRender, SingleLineAlways) {
+  std::string line = JsonObject().Str("s", "line1\nline2\r\n").Build();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.find('\r'), std::string::npos);
+}
+
+TEST(ErrorResponses, CarryIdCodeAndMessage) {
+  JsonValue parsed = Unwrap(
+      ParseJson(ErrorResponse("req7", Status::InvalidArgument("bad q1"))));
+  EXPECT_EQ(parsed.Find("id")->string, "req7");
+  EXPECT_FALSE(parsed.Find("ok")->boolean);
+  const JsonValue* error = parsed.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Find("code")->string, "InvalidArgument");
+  EXPECT_EQ(error->Find("message")->string, "bad q1");
+}
+
+TEST(ErrorResponses, OverloadedIsMarkedAndResourceExhausted) {
+  JsonValue parsed = Unwrap(ParseJson(OverloadedResponse("r1")));
+  EXPECT_FALSE(parsed.Find("ok")->boolean);
+  ASSERT_NE(parsed.Find("overloaded"), nullptr);
+  EXPECT_TRUE(parsed.Find("overloaded")->boolean);
+  EXPECT_EQ(parsed.Find("error")->Find("code")->string, "ResourceExhausted");
+}
+
+TEST(FieldAccessors, RequireAndOptional) {
+  JsonValue body = Unwrap(ParseJson(
+      R"({"s":"text","n":3,"b":true,"not_a_string":1})"));
+  EXPECT_EQ(Unwrap(RequireString(body, "s")), "text");
+  EXPECT_FALSE(RequireString(body, "missing").ok());
+  EXPECT_FALSE(RequireString(body, "not_a_string").ok());
+  EXPECT_EQ(OptionalString(body, "s").value_or(""), "text");
+  EXPECT_FALSE(OptionalString(body, "missing").has_value());
+  EXPECT_EQ(OptionalNumber(body, "n").value_or(0), 3.0);
+  EXPECT_FALSE(OptionalNumber(body, "s").has_value());
+  EXPECT_TRUE(OptionalBool(body, "b", false));
+  EXPECT_TRUE(OptionalBool(body, "missing", true));
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace sqleq

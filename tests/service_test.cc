@@ -1,0 +1,481 @@
+// End-to-end tests for the sqleqd service layer (src/service): verdict
+// parity with the in-process engine, per-connection sessions, the shared
+// chase memo, admission control, graceful drain with resumable C&B
+// checkpoints, and the service.* fault sites (connection drops must never
+// wedge the server or leak sessions — this file runs under tsan).
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "equivalence/engine.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "shell/engine.h"
+#include "test_util.h"
+#include "util/fault.h"
+
+namespace sqleq {
+namespace service {
+namespace {
+
+using ::sqleq::testing::Q;
+using ::sqleq::testing::Sigma;
+using ::sqleq::testing::Unwrap;
+
+ServiceClient Dial(const Server& server) {
+  return Unwrap(ServiceClient::Connect("127.0.0.1", server.port()), "Connect");
+}
+
+/// Sends the r/2, s/1 catalog with Σ = { r(X,Y) -> s(X) } over `client`,
+/// mirroring TestSchema()/TestSigma() below.
+void UploadCatalog(ServiceClient& client) {
+  Unwrap(client.Call(
+      JsonObject().Str("cmd", "relation").Str("name", "r").Int("arity", 2).Build()));
+  Unwrap(client.Call(
+      JsonObject().Str("cmd", "relation").Str("name", "s").Int("arity", 1).Build()));
+  Unwrap(client.Call(JsonObject()
+                         .Str("cmd", "dep")
+                         .Str("text", "r(X, Y) -> s(X).")
+                         .Str("label", "fk")
+                         .Build()));
+}
+
+Schema TestSchema() {
+  Schema schema;
+  schema.AddRelation("r", 2);
+  schema.AddRelation("s", 1);
+  return schema;
+}
+
+DependencySet TestSigma() { return Sigma({"r(X, Y) -> s(X)."}); }
+
+std::string CheckLine(const std::string& q1, const std::string& q2,
+                      const std::string& semantics = "set") {
+  return JsonObject()
+      .Str("cmd", "check")
+      .Str("q1", q1)
+      .Str("q2", q2)
+      .Str("semantics", semantics)
+      .Build();
+}
+
+const JsonValue* Field(const JsonValue& response, const char* key) {
+  const JsonValue* v = response.Find(key);
+  EXPECT_NE(v, nullptr) << "response missing field " << key;
+  return v;
+}
+
+bool PollUntil(const std::function<bool()>& done, int timeout_ms = 5000) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return done();
+}
+
+TEST(Service, HelloAndSessionState) {
+  Server server;
+  ASSERT_TRUE(server.Start().ok());
+  ServiceClient client = Dial(server);
+
+  JsonValue hello = Unwrap(client.Call(JsonObject().Str("cmd", "hello").Build()));
+  EXPECT_TRUE(Field(hello, "ok")->boolean);
+  EXPECT_EQ(static_cast<int>(Field(hello, "protocol")->number), kProtocolVersion);
+
+  UploadCatalog(client);
+  JsonValue ddl = Unwrap(client.Call(
+      JsonObject()
+          .Str("cmd", "ddl")
+          .Str("script", "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a))")
+          .Build()));
+  EXPECT_TRUE(Field(ddl, "ok")->boolean);
+  EXPECT_EQ(Field(ddl, "relations")->number, 3.0);  // r, s, t
+
+  // Unknown commands and bad requests answer with ok:false, not a drop.
+  std::string raw;
+  JsonValue bad =
+      Unwrap(client.Call(JsonObject().Str("cmd", "no-such-cmd").Build(), &raw));
+  EXPECT_FALSE(Field(bad, "ok")->boolean);
+  JsonValue still_alive = Unwrap(client.Call(JsonObject().Str("cmd", "hello").Build()));
+  EXPECT_TRUE(Field(still_alive, "ok")->boolean);
+  server.Stop();
+}
+
+TEST(Service, VerdictParityWithInProcessEngine) {
+  struct Case {
+    const char* q1;
+    const char* q2;
+    Semantics semantics;
+    const char* wire;
+  };
+  const std::vector<Case> cases = {
+      // Σ makes the s-atom redundant under set semantics.
+      {"Q(X) :- r(X, Y), s(X).", "Q(X) :- r(X, Y).", Semantics::kSet, "set"},
+      {"Q(X) :- r(X, Y).", "Q(X) :- r(X, X).", Semantics::kSet, "set"},
+      {"Q(X) :- r(X, Y), r(X, Y).", "Q(X) :- r(X, Y).", Semantics::kBag, "bag"},
+      {"Q(X) :- r(X, Y), s(X).", "Q(X) :- r(X, Y).", Semantics::kBagSet, "bag-set"},
+  };
+
+  Server server;
+  ASSERT_TRUE(server.Start().ok());
+  ServiceClient client = Dial(server);
+  UploadCatalog(client);
+
+  for (const Case& c : cases) {
+    EquivalenceEngine engine;
+    EquivRequest request;
+    request.semantics = c.semantics;
+    request.sigma = TestSigma();
+    request.schema = TestSchema();
+    EquivVerdict local = Unwrap(engine.Equivalent(Q(c.q1), Q(c.q2), request));
+    ASSERT_NE(local.verdict, Verdict::kUnknown);
+
+    JsonValue remote = Unwrap(client.Call(CheckLine(c.q1, c.q2, c.wire)));
+    ASSERT_TRUE(Field(remote, "ok")->boolean) << c.q1 << " vs " << c.q2;
+    EXPECT_EQ(Field(remote, "equivalent")->boolean,
+              local.verdict == Verdict::kEquivalent)
+        << c.q1 << " vs " << c.q2 << " under " << c.wire;
+    EXPECT_EQ(Field(remote, "verdict")->string, VerdictToString(local.verdict));
+  }
+  server.Stop();
+}
+
+TEST(Service, ConcurrentClientsAgreeWithLocalVerdict) {
+  Server server;
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  std::vector<std::string> verdicts(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&server, &verdicts, i] {
+      ServiceClient client = Dial(server);
+      UploadCatalog(client);
+      JsonValue response = Unwrap(
+          client.Call(CheckLine("Q(X) :- r(X, Y), s(X).", "Q(X) :- r(X, Y).")));
+      ASSERT_TRUE(Field(response, "ok")->boolean);
+      verdicts[i] = Field(response, "verdict")->string;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& v : verdicts) EXPECT_EQ(v, "equivalent");
+  server.Stop();
+}
+
+TEST(Service, MemoIsSharedAcrossConnections) {
+  Server server;
+  ASSERT_TRUE(server.Start().ok());
+  const std::string line = CheckLine("Q(X) :- r(X, Y), s(X).", "Q(X) :- r(X, Y).");
+
+  ServiceClient first = Dial(server);
+  UploadCatalog(first);
+  Unwrap(first.Call(line));
+
+  ServiceClient second = Dial(server);
+  UploadCatalog(second);
+  JsonValue warm = Unwrap(second.Call(line));
+  const JsonValue* metrics = Field(warm, "metrics");
+  ASSERT_EQ(metrics->kind, JsonValue::Kind::kObject);
+  const JsonValue* hits = metrics->Find("memo.hits");
+  ASSERT_NE(hits, nullptr) << "second identical check should hit the shared memo";
+  EXPECT_GE(hits->number, 1.0);
+  server.Stop();
+}
+
+TEST(Service, AdmissionControlShedsLoad) {
+  FaultInjector faults;
+  FaultSpec slow;
+  slow.kind = FaultKind::kDelay;
+  slow.delay = std::chrono::microseconds(100000);  // 100ms per candidate
+  slow.start = 1;
+  slow.period = 1;
+  faults.Arm(fault_sites::kBackchaseCandidate, slow);
+
+  ServerOptions options;
+  options.max_inflight = 1;
+  options.faults = &faults;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::thread slow_request([&server] {
+    ServiceClient client = Dial(server);
+    UploadCatalog(client);
+    JsonValue response = Unwrap(client.Call(
+        JsonObject()
+            .Str("cmd", "reformulate")
+            .Str("query", "Q(X) :- r(X, Y), r(X, Z), s(X).")
+            .Str("semantics", "set")
+            .Build()));
+    EXPECT_TRUE(Field(response, "ok")->boolean);
+  });
+
+  // Wait for the slow request to occupy the only admission slot.
+  ASSERT_TRUE(PollUntil([&server] { return server.inflight() >= 1; }));
+  ServiceClient client = Dial(server);
+  UploadCatalog(client);
+  JsonValue shed = Unwrap(
+      client.Call(CheckLine("Q(X) :- r(X, Y).", "Q(X) :- r(X, Z).")));
+  EXPECT_FALSE(Field(shed, "ok")->boolean);
+  ASSERT_NE(shed.Find("overloaded"), nullptr);
+  EXPECT_TRUE(Field(shed, "overloaded")->boolean);
+  EXPECT_EQ(Field(shed, "error")->Find("code")->string, "ResourceExhausted");
+
+  // Cheap commands bypass admission even while saturated.
+  JsonValue hello = Unwrap(client.Call(JsonObject().Str("cmd", "hello").Build()));
+  EXPECT_TRUE(Field(hello, "ok")->boolean);
+
+  slow_request.join();
+  server.Stop();
+}
+
+TEST(Service, DrainCheckpointsInflightReformulateAndResumes) {
+  const std::string query = "Q(X) :- r(X, Y), r(X, Z), s(X).";
+  const std::string request_line = JsonObject()
+                                       .Str("cmd", "reformulate")
+                                       .Str("query", query)
+                                       .Str("semantics", "set")
+                                       .Build();
+
+  // Clean run first: the expected reformulations.
+  std::vector<std::string> clean;
+  {
+    Server server;
+    ASSERT_TRUE(server.Start().ok());
+    ServiceClient client = Dial(server);
+    UploadCatalog(client);
+    JsonValue response = Unwrap(client.Call(request_line));
+    ASSERT_TRUE(Field(response, "ok")->boolean);
+    ASSERT_TRUE(Field(response, "complete")->boolean);
+    for (const JsonValue& r : Field(response, "reformulations")->array) {
+      clean.push_back(r.string);
+    }
+    server.Stop();
+  }
+
+  // Now the same request against a server whose backchase crawls; drain
+  // mid-flight and expect a resumable partial answer.
+  FaultInjector faults;
+  FaultSpec slow;
+  slow.kind = FaultKind::kDelay;
+  slow.delay = std::chrono::microseconds(100000);
+  slow.start = 1;
+  slow.period = 1;
+  faults.Arm(fault_sites::kBackchaseCandidate, slow);
+  ServerOptions options;
+  options.faults = &faults;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ServiceClient client = Dial(server);
+  UploadCatalog(client);
+  ASSERT_TRUE(client.Send(request_line).ok());
+  ASSERT_TRUE(PollUntil([&server] { return server.inflight() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  server.RequestDrain();
+
+  std::optional<std::string> raw = Unwrap(client.ReadLine(), "drained response");
+  ASSERT_TRUE(raw.has_value());
+  JsonValue partial = Unwrap(ParseJson(*raw));
+  ASSERT_TRUE(Field(partial, "ok")->boolean);
+  server.Wait();
+
+  if (!Field(partial, "complete")->boolean) {
+    ASSERT_NE(partial.Find("drained"), nullptr);
+    const JsonValue* checkpoint = partial.Find("checkpoint");
+    ASSERT_NE(checkpoint, nullptr) << "cancelled C&B must checkpoint";
+
+    // Resume on a fresh, unfaulted server: same reformulations as clean.
+    Server fresh;
+    ASSERT_TRUE(fresh.Start().ok());
+    ServiceClient resume_client = Dial(fresh);
+    UploadCatalog(resume_client);
+    JsonValue resumed = Unwrap(resume_client.Call(JsonObject()
+                                                      .Str("cmd", "reformulate")
+                                                      .Str("query", query)
+                                                      .Str("semantics", "set")
+                                                      .Str("resume", checkpoint->string)
+                                                      .Build()));
+    ASSERT_TRUE(Field(resumed, "ok")->boolean);
+    ASSERT_TRUE(Field(resumed, "complete")->boolean);
+    std::vector<std::string> after;
+    for (const JsonValue& r : Field(resumed, "reformulations")->array) {
+      after.push_back(r.string);
+    }
+    EXPECT_EQ(after, clean);
+    fresh.Stop();
+  }
+}
+
+TEST(Service, AcceptFaultDropsConnectionButServerSurvives) {
+  FaultInjector faults;
+  FaultSpec drop;  // kExhausted, start=1, period=0: exactly the first accept
+  faults.Arm(fault_sites::kServiceAccept, drop);
+  ServerOptions options;
+  options.faults = &faults;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The first connection is accepted at TCP level, then dropped before it
+  // gets a session: its first call must fail cleanly.
+  Result<ServiceClient> doomed = ServiceClient::Connect("127.0.0.1", server.port());
+  if (doomed.ok()) {
+    EXPECT_FALSE(doomed->Call(JsonObject().Str("cmd", "hello").Build()).ok());
+  }
+  EXPECT_EQ(faults.FiredCount(fault_sites::kServiceAccept), 1u);
+
+  // The next connection is served normally.
+  ServiceClient client = Dial(server);
+  JsonValue hello = Unwrap(client.Call(JsonObject().Str("cmd", "hello").Build()));
+  EXPECT_TRUE(Field(hello, "ok")->boolean);
+  ASSERT_TRUE(PollUntil([&server] { return server.active_sessions() == 1; }));
+  server.Stop();
+}
+
+TEST(Service, ParseFaultDropsConnectionMidStream) {
+  FaultInjector faults;
+  FaultSpec drop;
+  drop.start = 2;  // first request fine, second line drops the connection
+  faults.Arm(fault_sites::kServiceParse, drop);
+  ServerOptions options;
+  options.faults = &faults;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ServiceClient client = Dial(server);
+  JsonValue hello = Unwrap(client.Call(JsonObject().Str("cmd", "hello").Build()));
+  EXPECT_TRUE(Field(hello, "ok")->boolean);
+  EXPECT_FALSE(client.Call(JsonObject().Str("cmd", "hello").Build()).ok());
+
+  // No session leak, and new connections still work.
+  ASSERT_TRUE(PollUntil([&server] { return server.active_sessions() == 0; }));
+  ServiceClient next = Dial(server);
+  EXPECT_TRUE(Field(Unwrap(next.Call(JsonObject().Str("cmd", "hello").Build())),
+                    "ok")
+                  ->boolean);
+  server.Stop();
+}
+
+TEST(Service, DispatchFaultFailsOneRequestOnly) {
+  FaultInjector faults;
+  FaultSpec fail;  // kExhausted on the first dispatched request
+  faults.Arm(fault_sites::kServiceDispatch, fail);
+  ServerOptions options;
+  options.faults = &faults;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ServiceClient client = Dial(server);
+  JsonValue failed = Unwrap(client.Call(JsonObject().Str("cmd", "hello").Build()));
+  EXPECT_FALSE(Field(failed, "ok")->boolean);
+  EXPECT_EQ(Field(failed, "error")->Find("code")->string, "ResourceExhausted");
+  // Same connection, next request succeeds.
+  JsonValue ok = Unwrap(client.Call(JsonObject().Str("cmd", "hello").Build()));
+  EXPECT_TRUE(Field(ok, "ok")->boolean);
+  server.Stop();
+}
+
+TEST(Service, AbruptDisconnectsLeakNoSessions) {
+  Server server;
+  ASSERT_TRUE(server.Start().ok());
+  for (int i = 0; i < 4; ++i) {
+    ServiceClient client = Dial(server);
+    if (i % 2 == 0) {
+      // Half the clients send something first, half vanish silently.
+      ASSERT_TRUE(client.Send(JsonObject().Str("cmd", "hello").Build()).ok());
+    }
+    client.Close();
+  }
+  EXPECT_TRUE(PollUntil([&server] { return server.active_sessions() == 0; }));
+  server.Stop();
+  EXPECT_EQ(server.active_sessions(), 0u);
+}
+
+TEST(Service, StatsExportsPrometheusAndMemoCounters) {
+  Server server;
+  ASSERT_TRUE(server.Start().ok());
+  ServiceClient client = Dial(server);
+  UploadCatalog(client);
+  Unwrap(client.Call(CheckLine("Q(X) :- r(X, Y).", "Q(X) :- r(X, Z).")));
+
+  JsonValue stats = Unwrap(client.Call(JsonObject().Str("cmd", "stats").Build()));
+  ASSERT_TRUE(Field(stats, "ok")->boolean);
+  const std::string& prometheus = Field(stats, "prometheus")->string;
+  EXPECT_NE(prometheus.find("sqleq_service_requests"), std::string::npos);
+  EXPECT_NE(prometheus.find("sqleq_service_connections"), std::string::npos);
+  const JsonValue* memo = Field(stats, "memo");
+  ASSERT_EQ(memo->kind, JsonValue::Kind::kObject);
+  EXPECT_GE(Field(*memo, "misses")->number, 1.0);
+  server.Stop();
+}
+
+TEST(Service, ShellConnectForwardsEquivAndMinimize) {
+  Server server;
+  ASSERT_TRUE(server.Start().ok());
+
+  shell::ScriptEngine engine;
+  Unwrap(engine.Run("CREATE TABLE r (a INT, b INT);"
+                    "CREATE TABLE s (a INT);"
+                    "DEP r(X, Y) -> s(X);"
+                    "QUERY q1(X) :- r(X, Y), s(X);"
+                    "QUERY q2(X) :- r(X, Y)"));
+  std::string local_equiv = Unwrap(engine.Execute("EQUIV q1 q2 UNDER S"));
+
+  std::string connected = Unwrap(engine.Execute(
+      "CONNECT 127.0.0.1 " + std::to_string(server.port())));
+  EXPECT_NE(connected.find("uploaded 2 relation(s)"), std::string::npos);
+  EXPECT_TRUE(engine.connected());
+
+  // Remote EQUIV reaches the same verdict, marked as remote.
+  std::string remote_equiv = Unwrap(engine.Execute("EQUIV q1 q2 UNDER S"));
+  EXPECT_NE(remote_equiv.find("q1 == q2"), std::string::npos) << remote_equiv;
+  EXPECT_NE(remote_equiv.find("[remote"), std::string::npos);
+
+  // Remote MINIMIZE renders the daemon's reformulation back as SQL.
+  std::string minimized = Unwrap(engine.Execute("MINIMIZE q1 UNDER S"));
+  EXPECT_NE(minimized.find("SELECT"), std::string::npos) << minimized;
+  EXPECT_NE(minimized.find("[remote"), std::string::npos);
+
+  // Mirrored DDL/DEP keep the daemon's session in sync.
+  std::string mirrored = Unwrap(engine.Execute("CREATE TABLE t (a INT)"));
+  EXPECT_NE(mirrored.find("mirrored"), std::string::npos);
+
+  Unwrap(engine.Execute("DISCONNECT"));
+  EXPECT_FALSE(engine.connected());
+  std::string local_again = Unwrap(engine.Execute("EQUIV q1 q2 UNDER S"));
+  EXPECT_EQ(local_again, local_equiv);
+  EXPECT_EQ(local_again.find("[remote"), std::string::npos);
+  server.Stop();
+}
+
+TEST(Service, DrainingRejectsNewExpensiveWork) {
+  Server server;
+  ASSERT_TRUE(server.Start().ok());
+  ServiceClient client = Dial(server);
+  UploadCatalog(client);
+  server.RequestDrain();
+  // The read side is shut, but responses to already-connected clients that
+  // raced the drain must still be well-formed; a fresh expensive request on
+  // this connection is either answered with FailedPrecondition or the
+  // connection is already closed — both are clean outcomes.
+  Result<JsonValue> response =
+      client.Call(CheckLine("Q(X) :- r(X, Y).", "Q(X) :- r(X, Z)."));
+  if (response.ok()) {
+    EXPECT_FALSE(Field(*response, "ok")->boolean);
+    EXPECT_EQ(Field(*response, "error")->Find("code")->string,
+              "FailedPrecondition");
+  }
+  server.Wait();
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace sqleq

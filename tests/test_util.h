@@ -52,9 +52,12 @@ inline Result<bool> EngineEquivalent(const ConjunctiveQuery& q1,
                                      const Schema& schema = {},
                                      const ChaseOptions& options = {}) {
   EquivalenceEngine engine;
-  SQLEQ_ASSIGN_OR_RETURN(
-      EquivVerdict verdict,
-      engine.Equivalent(q1, q2, EquivRequest{semantics, sigma, schema, options}));
+  EquivRequest request{semantics, sigma, schema, options};
+  // The engine takes its budget from the context; mirror the legacy
+  // ChaseOptions budget there so wrapper callers keep their caps.
+  request.context.budget = options.budget;
+  SQLEQ_ASSIGN_OR_RETURN(EquivVerdict verdict,
+                         engine.Equivalent(q1, q2, request));
   return VerdictToBool(verdict);
 }
 

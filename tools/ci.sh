@@ -5,11 +5,17 @@
 #
 # usage: tools/ci.sh [build-dir]
 #        tools/ci.sh bench-smoke [build-dir]
+#        tools/ci.sh service-smoke [build-dir]
 #
 # bench-smoke builds the benchmarks, runs each one for a single pinned
 # iteration (SQLEQ_BENCH_ITERS=1) from the repo root so every binary emits
 # its BENCH_<name>.json there, and validates each file against the Google
 # Benchmark JSON shape with check_bench_json.
+#
+# service-smoke builds sqleqd + sqleq-client, boots the daemon on an
+# ephemeral port, drives a catalog upload, check, reformulate, and stats
+# through the client, then SIGTERMs the daemon and asserts a clean drain
+# and a valid Prometheus export (docs/service.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -44,9 +50,89 @@ bench_smoke() {
   echo "bench-smoke OK"
 }
 
+service_smoke() {
+  local build_dir="${1:-build}"
+
+  echo "== configure =="
+  cmake -B "${build_dir}" -S .
+
+  echo "== build (daemon + client) =="
+  cmake --build "${build_dir}" -j --target sqleqd sqleq_client
+
+  echo "== service smoke =="
+  local workdir
+  workdir="$(mktemp -d)"
+  local port_file="${workdir}/port"
+  local log="${workdir}/sqleqd.log"
+  local metrics="${workdir}/metrics.prom"
+
+  "${build_dir}/tools/sqleqd" --port 0 --port-file "${port_file}" \
+      --metrics-out "${metrics}" > "${log}" 2>&1 &
+  local pid=$!
+
+  local i
+  for i in $(seq 1 100); do
+    [ -s "${port_file}" ] && break
+    sleep 0.05
+  done
+  if [ ! -s "${port_file}" ]; then
+    echo "sqleqd did not report a port:"
+    cat "${log}"
+    exit 1
+  fi
+  local port
+  port="$(cat "${port_file}")"
+  echo "-- sqleqd up on port ${port} (pid ${pid})"
+
+  cat > "${workdir}/requests.jsonl" <<'EOF'
+{"id":"1","cmd":"hello"}
+{"id":"2","cmd":"relation","name":"r","arity":2}
+{"id":"3","cmd":"relation","name":"s","arity":1}
+{"id":"4","cmd":"dep","text":"r(X, Y) -> s(X).","label":"fk"}
+{"id":"5","cmd":"check","q1":"Q(X) :- r(X, Y), s(X).","q2":"Q(X) :- r(X, Y).","semantics":"set"}
+{"id":"6","cmd":"reformulate","query":"Q(X) :- r(X, Y), s(X).","semantics":"set"}
+{"id":"7","cmd":"stats"}
+EOF
+  local responses="${workdir}/responses.jsonl"
+  local prometheus="${workdir}/prometheus.txt"
+  "${build_dir}/tools/sqleq-client" --port "${port}" \
+      --file "${workdir}/requests.jsonl" --print-prometheus \
+      > "${responses}" 2> "${prometheus}"
+
+  grep -Fq '"verdict":"equivalent"' "${responses}" \
+      || { echo "check did not come back equivalent:"; cat "${responses}"; exit 1; }
+  grep -Fq '"reformulations":["Q(X) :- r(X, Y)."]' "${responses}" \
+      || { echo "reformulate missing the minimized query:"; cat "${responses}"; exit 1; }
+  grep -Fq 'sqleq_service_requests' "${prometheus}" \
+      || { echo "stats export missing service counters:"; cat "${prometheus}"; exit 1; }
+
+  echo "-- draining (SIGTERM)"
+  kill -TERM "${pid}"
+  local rc=0
+  wait "${pid}" || rc=$?
+  if [ "${rc}" -ne 0 ]; then
+    echo "sqleqd exited with rc=${rc}:"
+    cat "${log}"
+    exit 1
+  fi
+  grep -Fq "sqleqd stopped" "${log}" \
+      || { echo "no clean shutdown line:"; cat "${log}"; exit 1; }
+  grep -Fq 'sqleq_service_requests' "${metrics}" \
+      || { echo "--metrics-out export missing service counters:"; cat "${metrics}"; exit 1; }
+
+  rm -rf "${workdir}"
+  echo "service-smoke OK"
+}
+
 if [ "${1:-}" = "bench-smoke" ]; then
   shift
   bench_smoke "$@"
+  exit 0
+fi
+
+if [ "${1:-}" = "service-smoke" ]; then
+  shift
+  service_smoke "$@"
   exit 0
 fi
 

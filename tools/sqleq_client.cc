@@ -1,0 +1,107 @@
+// sqleq-client — line-oriented client for sqleqd (docs/service.md). Reads
+// JSON request lines from a file (or stdin), sends each to the server, and
+// prints the response lines. Exits 1 if any response has "ok":false, unless
+// --allow-errors. --print-prometheus additionally dumps the decoded
+// Prometheus payload of every `stats` response to stderr, which is what the
+// ci.sh service-smoke stage validates.
+//
+// Usage:
+//   sqleq-client --port N [--host H] [--file PATH] [--allow-errors]
+//                [--print-prometheus]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "service/client.h"
+#include "service/protocol.h"
+#include "util/string_util.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --port N [--host H] [--file PATH] [--allow-errors] "
+               "[--print-prometheus]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string file;
+  bool allow_errors = false;
+  bool print_prometheus = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      port = std::atoi(v);
+    } else if (arg == "--file") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      file = v;
+    } else if (arg == "--allow-errors") {
+      allow_errors = true;
+    } else if (arg == "--print-prometheus") {
+      print_prometheus = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return Usage(argv[0]);
+    }
+  }
+  if (port <= 0) return Usage(argv[0]);
+
+  std::istream* in = &std::cin;
+  std::ifstream file_in;
+  if (!file.empty()) {
+    file_in.open(file);
+    if (!file_in) {
+      std::cerr << "cannot open " << file << "\n";
+      return 1;
+    }
+    in = &file_in;
+  }
+
+  auto client = sqleq::service::ServiceClient::Connect(host, port);
+  if (!client.ok()) {
+    std::cerr << "connect failed: " << client.status().ToString() << "\n";
+    return 1;
+  }
+
+  bool saw_error = false;
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (sqleq::Trim(line).empty()) continue;
+    std::string raw;
+    auto response = client->Call(line, &raw);
+    if (!response.ok()) {
+      std::cerr << "request failed: " << response.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << raw << "\n";
+    const sqleq::JsonValue* ok = response->Find("ok");
+    if (ok == nullptr || ok->kind != sqleq::JsonValue::Kind::kBool || !ok->boolean) {
+      saw_error = true;
+    }
+    if (print_prometheus) {
+      if (const sqleq::JsonValue* prom = response->Find("prometheus");
+          prom != nullptr && prom->is_string()) {
+        std::cerr << prom->string;
+      }
+    }
+  }
+  return (saw_error && !allow_errors) ? 1 : 0;
+}

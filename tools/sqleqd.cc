@@ -1,0 +1,131 @@
+// sqleqd — the sqleq equivalence daemon (docs/service.md). Serves the
+// newline-delimited JSON protocol (check / reformulate / lint / stats plus
+// the session-state commands) on a TCP port, with a shared byte-bounded
+// chase memo, worker-pool execution, admission control, and graceful drain
+// on SIGTERM/SIGINT: in-flight C&B runs are cancelled, checkpoint, and
+// answer with resumable partial results before the process exits.
+//
+// Usage:
+//   sqleqd [--port N] [--port-file PATH] [--workers N] [--max-inflight N]
+//          [--memo-bytes N] [--engine-threads N] [--max-chase-steps N]
+//          [--max-candidates N] [--metrics-out PATH]
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "service/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+bool ParseSizeFlag(const char* value, size_t* out) {
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return false;
+  *out = static_cast<size_t>(parsed);
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--port N] [--port-file PATH] [--workers N] [--max-inflight N]\n"
+               "       [--memo-bytes N] [--engine-threads N] [--max-chase-steps N]\n"
+               "       [--max-candidates N] [--metrics-out PATH]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sqleq::service::ServerOptions options;
+  std::string port_file;
+  std::string metrics_out;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    size_t parsed = 0;
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr || !ParseSizeFlag(v, &parsed)) return Usage(argv[0]);
+      options.port = static_cast<int>(parsed);
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      port_file = v;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr || !ParseSizeFlag(v, &parsed)) return Usage(argv[0]);
+      options.worker_threads = parsed;
+    } else if (arg == "--max-inflight") {
+      const char* v = next();
+      if (v == nullptr || !ParseSizeFlag(v, &parsed)) return Usage(argv[0]);
+      options.max_inflight = parsed;
+    } else if (arg == "--memo-bytes") {
+      const char* v = next();
+      if (v == nullptr || !ParseSizeFlag(v, &parsed)) return Usage(argv[0]);
+      options.memo_byte_limit = parsed;
+    } else if (arg == "--engine-threads") {
+      const char* v = next();
+      if (v == nullptr || !ParseSizeFlag(v, &parsed)) return Usage(argv[0]);
+      options.default_budget.threads = parsed;
+    } else if (arg == "--max-chase-steps") {
+      const char* v = next();
+      if (v == nullptr || !ParseSizeFlag(v, &parsed)) return Usage(argv[0]);
+      options.default_budget.max_chase_steps = parsed;
+    } else if (arg == "--max-candidates") {
+      const char* v = next();
+      if (v == nullptr || !ParseSizeFlag(v, &parsed)) return Usage(argv[0]);
+      options.default_budget.max_candidates = parsed;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      metrics_out = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return Usage(argv[0]);
+    }
+  }
+
+  sqleq::service::Server server(options);
+  sqleq::Status status = server.Start();
+  if (!status.ok()) {
+    std::cerr << "sqleqd: " << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "sqleqd listening on port " << server.port() << std::endl;
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << server.port() << "\n";
+  }
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  // Signal handlers only set a flag; the drain itself (mutexes, socket
+  // shutdowns) runs on this thread.
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "sqleqd draining..." << std::endl;
+  server.RequestDrain();
+  server.Wait();
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::trunc);
+    out << server.metrics().Snapshot().ToPrometheusText();
+  }
+  std::cout << "sqleqd stopped" << std::endl;
+  return 0;
+}
