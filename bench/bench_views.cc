@@ -87,7 +87,7 @@ void BM_RewriteWithViews_Star_Threads(benchmark::State& state) {
   StarFixture fixture = MakeStar(n);
   RewriteOptions options;
   options.allow_base_atoms = true;
-  options.candb.context.budget.threads = static_cast<size_t>(state.range(1));
+  options.context.budget.threads = static_cast<size_t>(state.range(1));
   size_t candidates = 0, hits = 0, misses = 0;
   for (auto _ : state) {
     RewriteResult result =
@@ -98,7 +98,7 @@ void BM_RewriteWithViews_Star_Threads(benchmark::State& state) {
     misses = result.chase_cache_misses;
     benchmark::DoNotOptimize(result);
   }
-  state.counters["threads"] = static_cast<double>(options.candb.context.budget.threads);
+  state.counters["threads"] = static_cast<double>(options.context.budget.threads);
   state.counters["candidates"] = static_cast<double>(candidates);
   state.counters["cache_hits"] = static_cast<double>(hits);
   state.counters["cache_misses"] = static_cast<double>(misses);

@@ -3,6 +3,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "chase/chase_internal.h"
 #include "chase/chase_step.h"
 #include "constraints/keys.h"
 
@@ -38,10 +39,14 @@ AssociatedTestQuery BuildAssociatedTestQuery(const ConjunctiveQuery& q, const Tg
 
 Result<bool> IsAssignmentFixing(const ConjunctiveQuery& q, const Tgd& tgd,
                                 const TermMap& h, const DependencySet& sigma,
-                                const ChaseOptions& options) {
+                                const ChaseOptions& options, const SigmaPlan* plan) {
   if (tgd.IsFull()) return true;  // Prop 4.3.
   AssociatedTestQuery test = BuildAssociatedTestQuery(q, tgd, h);
-  SQLEQ_ASSIGN_OR_RETURN(ChaseOutcome chased, SetChase(test.query, sigma, options));
+  SQLEQ_ASSIGN_OR_RETURN(
+      ChaseOutcome chased,
+      plan != nullptr
+          ? chase_internal::SetChaseWithPlan(test.query, sigma, plan, options, {})
+          : SetChase(test.query, sigma, options));
   if (chased.failed) {
     // Chase failure: Q^{σ,h,θ} is unsatisfiable under Σ; no database can
     // witness a multiplicity blow-up, so the step fixes assignments

@@ -16,6 +16,8 @@
 
 namespace sqleq {
 
+class SigmaPlan;
+
 /// The associated test query Q^{σ,h,θ} (Def 4.2) plus the bookkeeping needed
 /// to decide assignment-fixing: the two parallel instantiations of the
 /// existential variables.
@@ -35,10 +37,13 @@ AssociatedTestQuery BuildAssociatedTestQuery(const ConjunctiveQuery& q, const Tg
 /// Q^{σ,h,θ} under Σ with set semantics; σ is assignment-fixing iff the
 /// terminal result retains at most one variable of each existential pair.
 /// Full tgds are assignment-fixing by Prop 4.3. Requires (set-)chase
-/// termination; ResourceExhausted otherwise.
+/// termination; ResourceExhausted otherwise. `plan`, when non-null, must be
+/// a SigmaPlan compiled from exactly `sigma` and lets the inner test-query
+/// chase reuse its kernels instead of recompiling per call.
 Result<bool> IsAssignmentFixing(const ConjunctiveQuery& q, const Tgd& tgd,
                                 const TermMap& h, const DependencySet& sigma,
-                                const ChaseOptions& options = {});
+                                const ChaseOptions& options = {},
+                                const SigmaPlan* plan = nullptr);
 
 /// σ is assignment-fixing w.r.t. Q if it is assignment-fixing w.r.t. Q and
 /// *some* homomorphism under which the chase is applicable (Def 4.3).

@@ -225,8 +225,7 @@ Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
   // Chase outside the lock: other keys (and even this key, on a concurrent
   // miss) may be chased in parallel; the first insert wins.
   ChaseRuntime inner = RuntimeForKey(runtime, key);
-  Result<ChaseOutcome> outcome =
-      SoundChase(canonical, sigma_, semantics_, schema_, options_, inner);
+  Result<ChaseOutcome> outcome = plan_->Run(canonical, inner);
   if (!outcome.ok()) {
     StampSubject(inner, key);
     return outcome.status();
@@ -263,8 +262,7 @@ Result<ChaseOutcome> ChaseMemo::Chase(const ConjunctiveQuery& q,
   CountMemoLookup(runtime.metrics, /*hit=*/entry != nullptr);
   if (entry == nullptr) {
     ChaseRuntime inner = RuntimeForKey(runtime, key);
-    Result<ChaseOutcome> outcome =
-        SoundChase(canonical, sigma_, semantics_, schema_, options_, inner);
+    Result<ChaseOutcome> outcome = plan_->Run(canonical, inner);
     if (!outcome.ok()) {
       StampSubject(inner, key);
       return outcome.status();

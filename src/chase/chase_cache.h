@@ -13,7 +13,9 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
+#include "chase/chase_plan.h"
 #include "chase/sound_chase.h"
 
 namespace sqleq {
@@ -47,13 +49,17 @@ std::string CanonicalQueryKey(const ConjunctiveQuery& q,
 /// finite for process-lifetime memos like the sqleqd server's).
 class ChaseMemo {
  public:
+  /// Compiles a ChasePlan for the context and memoizes its runs.
   ChaseMemo(DependencySet sigma, Semantics semantics, Schema schema,
             ChaseOptions options, size_t byte_limit = 0)
-      : sigma_(std::move(sigma)),
-        semantics_(semantics),
-        schema_(std::move(schema)),
-        options_(std::move(options)),
-        byte_limit_(byte_limit) {}
+      : ChaseMemo(std::make_shared<const ChasePlan>(std::move(sigma), semantics,
+                                                    std::move(schema), options),
+                  byte_limit) {}
+
+  /// Shares an already-compiled plan (e.g. with a C&B run that chases the
+  /// universal plan through the same kernels).
+  explicit ChaseMemo(std::shared_ptr<const ChasePlan> plan, size_t byte_limit = 0)
+      : plan_(std::move(plan)), byte_limit_(byte_limit) {}
 
   /// Re-bounds the memo; shrinking evicts LRU entries immediately (counted
   /// in stats().evictions, but not in the memo.evictions metric — there is
@@ -100,10 +106,13 @@ class ChaseMemo {
   /// for deterministic numbers.
   Stats stats() const;
 
-  const DependencySet& sigma() const { return sigma_; }
-  Semantics semantics() const { return semantics_; }
-  const Schema& schema() const { return schema_; }
-  const ChaseOptions& options() const { return options_; }
+  const DependencySet& sigma() const { return plan_->sigma(); }
+  Semantics semantics() const { return plan_->semantics(); }
+  const Schema& schema() const { return plan_->schema(); }
+  const ChaseOptions& options() const { return plan_->options(); }
+  /// The compiled plan cache misses chase through.
+  const ChasePlan& plan() const { return *plan_; }
+  std::shared_ptr<const ChasePlan> shared_plan() const { return plan_; }
 
  private:
   struct Entry {
@@ -123,10 +132,7 @@ class ChaseMemo {
   /// holds mu_.
   void EvictLocked(MetricsRegistry* metrics);
 
-  const DependencySet sigma_;
-  const Semantics semantics_;
-  const Schema schema_;
-  const ChaseOptions options_;
+  const std::shared_ptr<const ChasePlan> plan_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> cache_;

@@ -1,0 +1,37 @@
+// Internal chase loop entry points shared by the free-function adapters
+// (SetChase/SoundChase) and the compiled ChasePlan API. Not part of the
+// public surface — include chase/chase_plan.h instead.
+#ifndef SQLEQ_CHASE_CHASE_INTERNAL_H_
+#define SQLEQ_CHASE_CHASE_INTERNAL_H_
+
+#include "chase/set_chase.h"
+#include "chase/sigma_plan.h"
+#include "chase/sound_chase.h"
+
+namespace sqleq {
+namespace chase_internal {
+
+/// The set-chase loop. `plan`, when non-null, must be compiled from exactly
+/// `sigma` (kernels are positional) and switches the loop onto the compiled
+/// kernels; null runs the generic chase_step path. Both produce identical
+/// outcomes and traces.
+Result<ChaseOutcome> SetChaseWithPlan(const ConjunctiveQuery& q,
+                                      const DependencySet& sigma,
+                                      const SigmaPlan* plan,
+                                      const ChaseOptions& options,
+                                      const ChaseRuntime& runtime);
+
+/// The sound-chase loop over an already-regularized Σ (kSet dispatches to
+/// the set-chase loop). `plan`, when non-null, must be compiled from exactly
+/// `regular`.
+Result<ChaseOutcome> SoundChaseRegular(const ConjunctiveQuery& q,
+                                       const DependencySet& regular,
+                                       const SigmaPlan* plan, Semantics semantics,
+                                       const Schema& schema,
+                                       const ChaseOptions& options,
+                                       const ChaseRuntime& runtime);
+
+}  // namespace chase_internal
+}  // namespace sqleq
+
+#endif  // SQLEQ_CHASE_CHASE_INTERNAL_H_

@@ -1,0 +1,33 @@
+#include "chase/chase_plan.h"
+
+#include <utility>
+
+#include "chase/chase_internal.h"
+#include "constraints/regularize.h"
+
+namespace sqleq {
+
+ChasePlan::ChasePlan(DependencySet sigma, Semantics semantics, Schema schema,
+                     ChaseOptions options)
+    : sigma_(std::move(sigma)),
+      regular_(RegularizeSigma(sigma_)),
+      semantics_(semantics),
+      schema_(std::move(schema)),
+      options_(options),
+      plan_(SigmaPlan::Compile(regular_, schema_)) {}
+
+Result<ChaseOutcome> ChasePlan::Run(const ConjunctiveQuery& q,
+                                    const ChaseRuntime& runtime) const {
+  const SigmaPlan* plan = options_.use_compiled_kernels ? &plan_ : nullptr;
+  return chase_internal::SoundChaseRegular(q, regular_, plan, semantics_, schema_,
+                                           options_, runtime);
+}
+
+ChasePlan::Stats ChasePlan::stats() const {
+  Stats s;
+  s.kernels = plan_.stats();
+  s.compiled_path = options_.use_compiled_kernels;
+  return s;
+}
+
+}  // namespace sqleq

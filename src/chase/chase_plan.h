@@ -1,0 +1,71 @@
+// ChasePlan: the compiled public entry surface of the chase (docs/
+// compiled_chase.md).
+//
+// A ChasePlan fixes (Σ, semantics, schema, options) once — regularizing Σ
+// and compiling its SigmaPlan step kernels at construction — and then runs
+// the sound chase on any number of queries without per-call Σ work. This is
+// the Thm 5.2 amortization made concrete: construction is the per-catalog
+// cost, Run() the per-query cost. EquivalenceEngine, chase-and-backchase,
+// view rewriting, and sqleqd all chase through a ChasePlan; the free
+// functions SetChase/SoundChase remain as thin per-call adapters for one
+// release (they compile a throwaway plan internally).
+//
+// A ChasePlan is immutable after construction and safe to share across
+// threads. Run() honors the full ChaseRuntime contract — fault sites,
+// cancellation, checkpoint capture/resume — and, because compiled kernels
+// are trace-identical to the generic path, checkpoints taken under either
+// path resume under the other.
+#ifndef SQLEQ_CHASE_CHASE_PLAN_H_
+#define SQLEQ_CHASE_CHASE_PLAN_H_
+
+#include "chase/set_chase.h"
+#include "chase/sigma_plan.h"
+#include "chase/sound_chase.h"
+#include "constraints/dependency.h"
+#include "db/eval.h"
+#include "ir/query.h"
+#include "ir/schema.h"
+#include "util/status.h"
+
+namespace sqleq {
+
+class ChasePlan {
+ public:
+  /// Compiles a plan: regularizes `sigma` (Prop 4.1) and builds the
+  /// SigmaPlan kernels for the regularized set against `schema`.
+  ChasePlan(DependencySet sigma, Semantics semantics, Schema schema = {},
+            ChaseOptions options = {});
+
+  /// Computes (Q)Σ,X for the plan's semantics — same contract and identical
+  /// outcome/trace as SoundChase(q, sigma(), semantics(), schema(),
+  /// options(), runtime), minus the per-call regularization and kernel
+  /// compilation. `options().use_compiled_kernels` selects the compiled or
+  /// generic loop; both are trace-identical.
+  Result<ChaseOutcome> Run(const ConjunctiveQuery& q,
+                           const ChaseRuntime& runtime = {}) const;
+
+  const DependencySet& sigma() const { return sigma_; }
+  const DependencySet& regularized() const { return regular_; }
+  Semantics semantics() const { return semantics_; }
+  const Schema& schema() const { return schema_; }
+  const ChaseOptions& options() const { return options_; }
+  const SigmaPlan& kernels() const { return plan_; }
+
+  struct Stats {
+    SigmaPlan::Stats kernels;
+    bool compiled_path = false;  ///< options().use_compiled_kernels
+  };
+  Stats stats() const;
+
+ private:
+  DependencySet sigma_;
+  DependencySet regular_;
+  Semantics semantics_;
+  Schema schema_;
+  ChaseOptions options_;
+  SigmaPlan plan_;
+};
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_CHASE_CHASE_PLAN_H_

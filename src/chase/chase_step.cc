@@ -7,9 +7,9 @@ namespace sqleq {
 std::vector<TermMap> FindApplicableTgdHomomorphisms(const ConjunctiveQuery& q,
                                                     const Tgd& tgd) {
   std::vector<TermMap> out;
-  ForEachHomomorphism(tgd.body(), q.body(), TermMap(), [&](const TermMap& h) {
+  ForEachHomomorphismGeneric(tgd.body(), q.body(), TermMap(), [&](const TermMap& h) {
     // Applicable iff h does not extend to the head (restricted chase).
-    if (!HomomorphismExists(tgd.head(), q.body(), h)) out.push_back(h);
+    if (!HomomorphismExistsGeneric(tgd.head(), q.body(), h)) out.push_back(h);
     return true;
   });
   return out;
@@ -18,8 +18,8 @@ std::vector<TermMap> FindApplicableTgdHomomorphisms(const ConjunctiveQuery& q,
 std::optional<TermMap> FindApplicableTgdHomomorphism(const ConjunctiveQuery& q,
                                                      const Tgd& tgd) {
   std::optional<TermMap> found;
-  ForEachHomomorphism(tgd.body(), q.body(), TermMap(), [&](const TermMap& h) {
-    if (!HomomorphismExists(tgd.head(), q.body(), h)) {
+  ForEachHomomorphismGeneric(tgd.body(), q.body(), TermMap(), [&](const TermMap& h) {
+    if (!HomomorphismExistsGeneric(tgd.head(), q.body(), h)) {
       found = h;
       return false;
     }
@@ -52,7 +52,7 @@ std::optional<EgdApplication> FindEgdApplication(const ConjunctiveQuery& q,
                                                  const Egd& egd) {
   std::optional<EgdApplication> failing;
   std::optional<EgdApplication> found;
-  ForEachHomomorphism(egd.body(), q.body(), TermMap(), [&](const TermMap& h) {
+  ForEachHomomorphismGeneric(egd.body(), q.body(), TermMap(), [&](const TermMap& h) {
     Term l = ApplyTermMap(h, egd.left());
     Term r = ApplyTermMap(h, egd.right());
     if (l == r) return true;

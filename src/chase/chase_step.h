@@ -8,6 +8,11 @@
 // least one side a variable; the step replaces that variable throughout Q.
 // Two distinct constants make the chase FAIL (Q is unsatisfiable on
 // databases satisfying the egd).
+//
+// These free functions run on the generic backtracking matcher — the
+// executable-spec path behind ChaseOptions::use_compiled_kernels = false.
+// The compiled equivalents (same homomorphisms, same order) live in
+// chase/sigma_plan.h.
 #ifndef SQLEQ_CHASE_CHASE_STEP_H_
 #define SQLEQ_CHASE_CHASE_STEP_H_
 

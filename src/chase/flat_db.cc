@@ -1,0 +1,110 @@
+#include "chase/flat_db.h"
+
+namespace sqleq {
+
+void FlatConjunction::Rebuild(std::span<const Atom> atoms) {
+  Clear();
+  // Upper-bound reserve hint: no block can exceed the conjunction size, and
+  // pre-sizing the columns avoids the growth reallocations during the bulk
+  // load. The over-reserve is transient scratch memory.
+  reserve_hint_ = atoms.size();
+  for (const Atom& a : atoms) Append(a);
+  reserve_hint_ = 0;
+}
+
+void FlatConjunction::Append(const Atom& atom) {
+  PredicateId pred = InternPredicate(atom.predicate());
+  uint32_t arity = static_cast<uint32_t>(atom.arity());
+  uint64_t key = BlockKey(pred, arity);
+  // Consecutive atoms overwhelmingly share a block; a one-entry memo skips
+  // the map lookup. Node pointers are stable across later insertions.
+  Block* blk_ptr;
+  if (key == last_key_ && last_block_ != nullptr) {
+    blk_ptr = last_block_;
+  } else {
+    blk_ptr = &blocks_[key];
+    last_key_ = key;
+    last_block_ = blk_ptr;
+  }
+  Block& blk = *blk_ptr;
+  if (blk.cols.empty() && arity > 0) {
+    blk.arity = arity;
+    blk.cols.resize(arity);
+    blk.index_.resize(arity);
+    if (reserve_hint_ > 0) {
+      for (auto& col : blk.cols) col.reserve(reserve_hint_);
+    }
+  }
+  ++blk.rows;
+  for (uint32_t c = 0; c < arity; ++c) {
+    blk.cols[c].push_back(atom.args()[c]);
+  }
+  if (static_cast<size_t>(pred) >= pred_counts_.size()) {
+    pred_counts_.resize(static_cast<size_t>(pred) + 1, 0);
+  }
+  ++pred_counts_[static_cast<size_t>(pred)];
+  ++n_atoms_;
+}
+
+std::span<const uint32_t> FlatConjunction::Block::Postings(uint32_t c,
+                                                           Term t) const {
+  ColumnIndex& idx = index_[c];
+  if (idx.built_rows != rows) {
+    // (Re)build the whole column in CSR form: count per term, prefix-sum
+    // the group offsets, then fill in row order so every group ascends.
+    const std::vector<Term>& column = cols[c];
+    idx.spans.clear();
+    idx.spans.reserve(rows);
+    for (Term v : column) ++idx.spans[v].second;
+    uint32_t offset = 0;
+    for (auto& [v, span] : idx.spans) {
+      span.first = offset;
+      offset += span.second;
+      span.second = span.first;  // becomes the write cursor, then the end
+    }
+    idx.rows.resize(rows);
+    for (uint32_t r = 0; r < rows; ++r) {
+      idx.rows[idx.spans[column[r]].second++] = r;
+    }
+    idx.built_rows = rows;
+  }
+  auto it = idx.spans.find(t);
+  if (it == idx.spans.end()) return {};
+  return std::span<const uint32_t>(idx.rows.data() + it->second.first,
+                                   it->second.second - it->second.first);
+}
+
+void FlatConjunction::Clear() {
+  blocks_.clear();
+  pred_counts_.clear();
+  n_atoms_ = 0;
+  last_key_ = 0;
+  last_block_ = nullptr;
+}
+
+const FlatConjunction::Block* FlatConjunction::FindBlock(PredicateId p,
+                                                         uint32_t arity) const {
+  auto it = blocks_.find(BlockKey(p, arity));
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+bool FlatConjunction::ContainsAtom(const Atom& atom) const {
+  PredicateId pred = InternPredicate(atom.predicate());
+  uint32_t arity = static_cast<uint32_t>(atom.arity());
+  const Block* blk = FindBlock(pred, arity);
+  if (blk == nullptr) return false;
+  if (arity == 0) return blk->rows > 0;
+  for (uint32_t row : blk->Postings(0, atom.args()[0])) {
+    bool match = true;
+    for (uint32_t c = 1; c < arity; ++c) {
+      if (blk->cols[c][row] != atom.args()[c]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+}  // namespace sqleq

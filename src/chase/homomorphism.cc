@@ -3,6 +3,10 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
+
+#include "chase/flat_db.h"
+#include "chase/pattern.h"
 
 namespace sqleq {
 namespace {
@@ -10,17 +14,18 @@ namespace {
 /// Backtracking search for homomorphisms. Source atoms are matched
 /// most-constrained-first (fewest same-predicate targets, then most bound
 /// arguments), which keeps the NP-complete search fast on chase-generated
-/// conjunctions.
+/// conjunctions. This is the executable spec the compiled matcher
+/// (chase/pattern.h) emulates order-for-order.
 class HomomorphismSearch {
  public:
-  HomomorphismSearch(const std::vector<Atom>& from, const std::vector<Atom>& to,
+  HomomorphismSearch(std::span<const Atom> from, std::span<const Atom> to,
                      const TermMap& fixed)
       : from_(from), to_(to), assignment_(fixed) {
     for (const Atom& a : to_) targets_per_pred_[a.predicate()].push_back(&a);
   }
 
   /// Returns true if enumeration ran to exhaustion (fn never returned false).
-  bool Run(const std::function<bool(const TermMap&)>& fn) {
+  bool Run(FunctionRef<bool(const TermMap&)> fn) {
     used_.assign(from_.size(), false);
     fn_ = &fn;
     return Recurse(0);
@@ -117,26 +122,26 @@ class HomomorphismSearch {
     return out;
   }
 
-  const std::vector<Atom>& from_;
-  const std::vector<Atom>& to_;
+  std::span<const Atom> from_;
+  std::span<const Atom> to_;
   TermMap assignment_;
   std::vector<bool> used_;
   std::unordered_map<std::string, std::vector<const Atom*>> targets_per_pred_;
   std::set<std::string> emitted_;
-  const std::function<bool(const TermMap&)>* fn_ = nullptr;
+  const FunctionRef<bool(const TermMap&)>* fn_ = nullptr;
 };
 
 }  // namespace
 
-void ForEachHomomorphism(const std::vector<Atom>& from, const std::vector<Atom>& to,
-                         const TermMap& fixed,
-                         const std::function<bool(const TermMap&)>& fn) {
-  HomomorphismSearch search(from, to, fixed);
-  search.Run(fn);
+void ForEachHomomorphism(std::span<const Atom> from, std::span<const Atom> to,
+                         const TermMap& fixed, FunctionRef<bool(const TermMap&)> fn) {
+  CompiledPattern pattern(from);
+  FlatConjunction flat(to);
+  MatchPattern(pattern, flat, fixed, fn);
 }
 
-std::optional<TermMap> FindHomomorphism(const std::vector<Atom>& from,
-                                        const std::vector<Atom>& to,
+std::optional<TermMap> FindHomomorphism(std::span<const Atom> from,
+                                        std::span<const Atom> to,
                                         const TermMap& fixed) {
   std::optional<TermMap> found;
   ForEachHomomorphism(from, to, fixed, [&found](const TermMap& h) {
@@ -146,7 +151,7 @@ std::optional<TermMap> FindHomomorphism(const std::vector<Atom>& from,
   return found;
 }
 
-bool HomomorphismExists(const std::vector<Atom>& from, const std::vector<Atom>& to,
+bool HomomorphismExists(std::span<const Atom> from, std::span<const Atom> to,
                         const TermMap& fixed) {
   return FindHomomorphism(from, to, fixed).has_value();
 }
@@ -174,6 +179,29 @@ std::optional<TermMap> FindContainmentMapping(const ConjunctiveQuery& from,
 
 bool ContainmentMappingExists(const ConjunctiveQuery& from, const ConjunctiveQuery& to) {
   return FindContainmentMapping(from, to).has_value();
+}
+
+void ForEachHomomorphismGeneric(std::span<const Atom> from, std::span<const Atom> to,
+                                const TermMap& fixed,
+                                FunctionRef<bool(const TermMap&)> fn) {
+  HomomorphismSearch search(from, to, fixed);
+  search.Run(fn);
+}
+
+std::optional<TermMap> FindHomomorphismGeneric(std::span<const Atom> from,
+                                               std::span<const Atom> to,
+                                               const TermMap& fixed) {
+  std::optional<TermMap> found;
+  ForEachHomomorphismGeneric(from, to, fixed, [&found](const TermMap& h) {
+    found = h;
+    return false;
+  });
+  return found;
+}
+
+bool HomomorphismExistsGeneric(std::span<const Atom> from, std::span<const Atom> to,
+                               const TermMap& fixed) {
+  return FindHomomorphismGeneric(from, to, fixed).has_value();
 }
 
 }  // namespace sqleq

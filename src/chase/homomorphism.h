@@ -1,14 +1,23 @@
 // Homomorphisms between conjunctions of atoms and containment mappings
 // between CQ queries (§2.1) — the engine under chase steps, applicability
 // tests, and the Chandra–Merlin containment test.
+//
+// Two implementations share one enumeration order:
+//   * the default entry points compile the `from` conjunction to a
+//     CompiledPattern, index `to` as a FlatConjunction, and hash-join
+//     (chase/pattern.h) — the fast path;
+//   * the *Generic entry points run the original backtracking search — kept
+//     as the executable specification the compiled matcher is property-tested
+//     against, and as the `ChaseOptions::use_compiled_kernels = false` path.
+// Both emit the same homomorphisms in the same order.
 #ifndef SQLEQ_CHASE_HOMOMORPHISM_H_
 #define SQLEQ_CHASE_HOMOMORPHISM_H_
 
-#include <functional>
 #include <optional>
-#include <vector>
+#include <span>
 
 #include "ir/query.h"
+#include "util/function_ref.h"
 
 namespace sqleq {
 
@@ -18,16 +27,15 @@ namespace sqleq {
 /// some atom of `to`. `fn` is invoked once per homomorphism (duplicates may
 /// arise only from distinct atom targets yielding equal maps — they are
 /// de-duplicated); return false from `fn` to stop.
-void ForEachHomomorphism(const std::vector<Atom>& from, const std::vector<Atom>& to,
-                         const TermMap& fixed,
-                         const std::function<bool(const TermMap&)>& fn);
+void ForEachHomomorphism(std::span<const Atom> from, std::span<const Atom> to,
+                         const TermMap& fixed, FunctionRef<bool(const TermMap&)> fn);
 
 /// First homomorphism found, or nullopt. Deterministic for fixed inputs.
-std::optional<TermMap> FindHomomorphism(const std::vector<Atom>& from,
-                                        const std::vector<Atom>& to,
+std::optional<TermMap> FindHomomorphism(std::span<const Atom> from,
+                                        std::span<const Atom> to,
                                         const TermMap& fixed = {});
 
-bool HomomorphismExists(const std::vector<Atom>& from, const std::vector<Atom>& to,
+bool HomomorphismExists(std::span<const Atom> from, std::span<const Atom> to,
                         const TermMap& fixed = {});
 
 /// A containment mapping from Q1 to Q2 (§2.1): a homomorphism from Q1's body
@@ -36,6 +44,19 @@ std::optional<TermMap> FindContainmentMapping(const ConjunctiveQuery& from,
                                               const ConjunctiveQuery& to);
 
 bool ContainmentMappingExists(const ConjunctiveQuery& from, const ConjunctiveQuery& to);
+
+/// The original backtracking enumerator — same homomorphisms, same order as
+/// ForEachHomomorphism, without pattern compilation or indexing.
+void ForEachHomomorphismGeneric(std::span<const Atom> from, std::span<const Atom> to,
+                                const TermMap& fixed,
+                                FunctionRef<bool(const TermMap&)> fn);
+
+std::optional<TermMap> FindHomomorphismGeneric(std::span<const Atom> from,
+                                               std::span<const Atom> to,
+                                               const TermMap& fixed = {});
+
+bool HomomorphismExistsGeneric(std::span<const Atom> from, std::span<const Atom> to,
+                               const TermMap& fixed = {});
 
 }  // namespace sqleq
 

@@ -1,0 +1,79 @@
+// CompiledPattern + MatchPattern: the index-backed replacement for the
+// backtracking homomorphism search.
+//
+// A CompiledPattern is the per-dependency, per-query-shape half of a
+// homomorphism problem compiled once: predicates interned, variables mapped
+// to dense slots, argument descriptors flattened. MatchPattern then
+// enumerates homomorphisms from the pattern into a FlatConjunction by
+// hash-join probes on the per-column indexes.
+//
+// Enumeration contract: MatchPattern emits exactly the homomorphisms the
+// legacy backtracking search (ForEachHomomorphismGeneric) emits, in exactly
+// the same order. That makes compiled chase runs trace-identical to generic
+// ones — checkpoints interoperate and the property suite can assert
+// step-for-step equality. The emulated order is: atoms matched
+// most-constrained-first under the score `n_same_predicate_targets * 64 -
+// bound_args` (lower wins, first-lowest ties), candidate targets visited in
+// conjunction order, complete assignments de-duplicated on their restriction
+// to pattern variables.
+#ifndef SQLEQ_CHASE_PATTERN_H_
+#define SQLEQ_CHASE_PATTERN_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "chase/flat_db.h"
+#include "ir/atom.h"
+#include "ir/predicate.h"
+#include "ir/query.h"
+#include "util/function_ref.h"
+
+namespace sqleq {
+
+class CompiledPattern {
+ public:
+  /// One pattern argument: a constant term, or a variable slot.
+  struct Arg {
+    Term term;     ///< the original term (constant when slot < 0)
+    int32_t slot;  ///< dense variable slot, or -1 for a constant
+  };
+
+  struct PatternAtom {
+    PredicateId pred = 0;
+    uint32_t arity = 0;
+    uint32_t first_arg = 0;  ///< offset into args()
+  };
+
+  CompiledPattern() = default;
+  explicit CompiledPattern(std::span<const Atom> from);
+
+  size_t n_atoms() const { return atoms_.size(); }
+  size_t n_slots() const { return slot_vars_.size(); }
+  const std::vector<PatternAtom>& atoms() const { return atoms_; }
+  const std::vector<Arg>& args() const { return args_; }
+  /// Slot → the pattern variable it stands for.
+  const std::vector<Term>& slot_vars() const { return slot_vars_; }
+
+ private:
+  std::vector<PatternAtom> atoms_;
+  std::vector<Arg> args_;
+  std::vector<Term> slot_vars_;
+};
+
+/// Enumerates homomorphisms from `pattern` into `to`, seeding variable slots
+/// from `fixed` (entries of `fixed` for variables outside the pattern are
+/// carried through into every emitted map, matching the generic search).
+/// `fn` returning false stops the enumeration. Returns true iff enumeration
+/// ran to exhaustion.
+bool MatchPattern(const CompiledPattern& pattern, const FlatConjunction& to,
+                  const TermMap& fixed, FunctionRef<bool(const TermMap&)> fn);
+
+/// Existence probe: true iff at least one homomorphism exists.
+bool PatternMatchExists(const CompiledPattern& pattern, const FlatConjunction& to,
+                        const TermMap& fixed);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_CHASE_PATTERN_H_

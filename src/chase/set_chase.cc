@@ -1,8 +1,11 @@
 #include "chase/set_chase.h"
 
+#include "chase/chase_internal.h"
 #include "chase/chase_step.h"
 #include "chase/chase_telemetry.h"
 #include "chase/checkpoint.h"
+#include "chase/flat_db.h"
+#include "chase/sigma_plan.h"
 #include "constraints/weak_acyclicity.h"
 #include "util/fault.h"
 
@@ -11,16 +14,27 @@ namespace {
 
 /// Appends only head-instance atoms not already present: under set
 /// semantics duplicate atoms are redundant, and eager de-duplication keeps
-/// chase results small.
+/// chase results small. `flat`, when non-null, indexes q's body and replaces
+/// the linear presence scan; atoms appended earlier in this same step are
+/// checked separately so both paths see the same growing body.
 ConjunctiveQuery ApplyTgdStepDeduped(const ConjunctiveQuery& q, const Tgd& tgd,
-                                     const TermMap& h) {
+                                     const TermMap& h,
+                                     const FlatConjunction* flat) {
   std::vector<Atom> body = q.body();
+  size_t old_size = body.size();
   for (Atom& a : InstantiateTgdHead(tgd, h)) {
     bool present = false;
-    for (const Atom& existing : body) {
-      if (existing == a) {
-        present = true;
-        break;
+    if (flat != nullptr) {
+      present = flat->ContainsAtom(a);
+      for (size_t i = old_size; !present && i < body.size(); ++i) {
+        present = body[i] == a;
+      }
+    } else {
+      for (const Atom& existing : body) {
+        if (existing == a) {
+          present = true;
+          break;
+        }
       }
     }
     if (!present) body.push_back(std::move(a));
@@ -41,9 +55,13 @@ Status StopChase(Status status, const ChaseOutcome& out, size_t steps_done,
 
 }  // namespace
 
-Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& sigma,
-                              const ChaseOptions& options,
-                              const ChaseRuntime& runtime) {
+namespace chase_internal {
+
+Result<ChaseOutcome> SetChaseWithPlan(const ConjunctiveQuery& q,
+                                      const DependencySet& sigma,
+                                      const SigmaPlan* plan,
+                                      const ChaseOptions& options,
+                                      const ChaseRuntime& runtime) {
   ChaseCounters counters(runtime.metrics);
   TraceSpan span(runtime.trace, "chase.set");
   ChaseOutcome out{q.CanonicalRepresentation(), {}, false};
@@ -54,6 +72,7 @@ Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& si
     out.trace = runtime.resume->trace;
     start = runtime.resume->steps_done;
   }
+  FlatConjunction flat;
   for (size_t step = start; step < options.budget.max_chase_steps; ++step) {
     Status guard = options.budget.CheckDeadline("set chase");
     if (guard.ok()) {
@@ -63,12 +82,16 @@ Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& si
       return StopChase(std::move(guard), out, step,
                        ChaseCheckpoint::kSetChasePhase, runtime);
     }
+    if (plan != nullptr) flat.Rebuild(out.result.body());
     bool applied = false;
     // Egd pass.
     if (options.egds_first) {
-      for (const Dependency& dep : sigma) {
+      for (size_t di = 0; di < sigma.size(); ++di) {
+        const Dependency& dep = sigma[di];
         if (!dep.IsEgd()) continue;
-        std::optional<EgdApplication> app = FindEgdApplication(out.result, dep.egd());
+        std::optional<EgdApplication> app =
+            plan != nullptr ? plan->FindEgdApplication(di, flat)
+                            : FindEgdApplication(out.result, dep.egd());
         if (!app.has_value()) {
           counters.Satisfied();
           continue;
@@ -87,21 +110,27 @@ Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& si
       }
       if (applied) continue;
     }
-    for (const Dependency& dep : sigma) {
+    for (size_t di = 0; di < sigma.size(); ++di) {
+      const Dependency& dep = sigma[di];
       if (dep.IsTgd()) {
-        std::optional<TermMap> h = FindApplicableTgdHomomorphism(out.result, dep.tgd());
+        std::optional<TermMap> h =
+            plan != nullptr ? plan->FindApplicableTgdHomomorphism(di, flat)
+                            : FindApplicableTgdHomomorphism(out.result, dep.tgd());
         if (!h.has_value()) {
           counters.Satisfied();
           continue;
         }
-        out.result = ApplyTgdStepDeduped(out.result, dep.tgd(), *h);
+        out.result = ApplyTgdStepDeduped(out.result, dep.tgd(), *h,
+                                         plan != nullptr ? &flat : nullptr);
         out.trace.push_back({dep.label(), true, out.result.ToString()});
         counters.Fired(dep.label(), /*is_tgd=*/true);
         applied = true;
         break;
       }
       if (!options.egds_first) {
-        std::optional<EgdApplication> app = FindEgdApplication(out.result, dep.egd());
+        std::optional<EgdApplication> app =
+            plan != nullptr ? plan->FindEgdApplication(di, flat)
+                            : FindEgdApplication(out.result, dep.egd());
         if (!app.has_value()) {
           counters.Satisfied();
           continue;
@@ -131,6 +160,20 @@ Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& si
   return StopChase(Status::ResourceExhausted(std::move(message)), out,
                    options.budget.max_chase_steps,
                    ChaseCheckpoint::kSetChasePhase, runtime);
+}
+
+}  // namespace chase_internal
+
+Result<ChaseOutcome> SetChase(const ConjunctiveQuery& q, const DependencySet& sigma,
+                              const ChaseOptions& options,
+                              const ChaseRuntime& runtime) {
+  if (options.use_compiled_kernels) {
+    // Per-call adapter: compile a throwaway plan. Callers with a fixed Σ
+    // should hold a ChasePlan instead and pay this once.
+    SigmaPlan plan = SigmaPlan::Compile(sigma);
+    return chase_internal::SetChaseWithPlan(q, sigma, &plan, options, runtime);
+  }
+  return chase_internal::SetChaseWithPlan(q, sigma, nullptr, options, runtime);
 }
 
 Result<bool> SetChaseTerminates(const ConjunctiveQuery& q, const DependencySet& sigma,

@@ -60,6 +60,12 @@ struct ChaseOptions {
   /// only when that fails. Key-based ⇒ assignment-fixing (§5.1), so this is
   /// a pure fast path; disable to ablate (bench_candb measures the cost).
   bool key_based_fast_path = true;
+  /// Run chase steps through per-Σ compiled kernels (chase/sigma_plan.h)
+  /// over indexed flat storage instead of the generic backtracking path.
+  /// The two paths are trace-identical by construction (the property suite
+  /// asserts it); disable to run the executable-spec path, e.g. as a
+  /// differential oracle.
+  bool use_compiled_kernels = true;
 };
 
 /// One entry of a chase trace.

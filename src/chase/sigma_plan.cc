@@ -1,0 +1,104 @@
+#include "chase/sigma_plan.h"
+
+#include "chase/assignment_fixing.h"
+
+namespace sqleq {
+
+SigmaPlan SigmaPlan::Compile(const DependencySet& sigma, const Schema& schema) {
+  SigmaPlan plan;
+  plan.kernels_.reserve(sigma.size());
+  for (const Dependency& dep : sigma) {
+    DepKernel k;
+    k.is_tgd = dep.IsTgd();
+    if (dep.IsTgd()) {
+      const Tgd& tgd = dep.tgd();
+      k.body = CompiledPattern(tgd.body());
+      k.head = CompiledPattern(tgd.head());
+      k.key_based_any =
+          IsKeyBased(tgd, sigma, schema, /*require_set_valued=*/false);
+      k.key_based_set_valued =
+          IsKeyBased(tgd, sigma, schema, /*require_set_valued=*/true);
+    } else {
+      const Egd& egd = dep.egd();
+      k.body = CompiledPattern(egd.body());
+      k.left = egd.left();
+      k.right = egd.right();
+    }
+    plan.kernels_.push_back(std::move(k));
+  }
+  return plan;
+}
+
+SigmaPlan::Stats SigmaPlan::stats() const {
+  Stats s;
+  s.dependencies = kernels_.size();
+  for (const DepKernel& k : kernels_) {
+    if (k.is_tgd) {
+      ++s.tgd_kernels;
+      s.pattern_atoms += k.body.n_atoms() + k.head.n_atoms();
+    } else {
+      ++s.egd_kernels;
+      s.pattern_atoms += k.body.n_atoms();
+    }
+  }
+  return s;
+}
+
+std::optional<TermMap> SigmaPlan::FindApplicableTgdHomomorphism(
+    size_t dep_index, const FlatConjunction& to) const {
+  const DepKernel& k = kernels_[dep_index];
+  std::optional<TermMap> found;
+  MatchPattern(k.body, to, TermMap(), [&](const TermMap& h) {
+    // Applicable iff h does not extend to the head (restricted chase).
+    if (!PatternMatchExists(k.head, to, h)) {
+      found = h;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+std::vector<TermMap> SigmaPlan::FindApplicableTgdHomomorphisms(
+    size_t dep_index, const FlatConjunction& to) const {
+  const DepKernel& k = kernels_[dep_index];
+  std::vector<TermMap> out;
+  MatchPattern(k.body, to, TermMap(), [&](const TermMap& h) {
+    if (!PatternMatchExists(k.head, to, h)) out.push_back(h);
+    return true;
+  });
+  return out;
+}
+
+std::optional<EgdApplication> SigmaPlan::FindEgdApplication(
+    size_t dep_index, const FlatConjunction& to) const {
+  const DepKernel& k = kernels_[dep_index];
+  std::optional<EgdApplication> failing;
+  std::optional<EgdApplication> found;
+  MatchPattern(k.body, to, TermMap(), [&](const TermMap& h) {
+    Term l = ApplyTermMap(h, k.left);
+    Term r = ApplyTermMap(h, k.right);
+    if (l == r) return true;
+    EgdApplication app;
+    app.h = h;
+    if (l.IsVariable()) {
+      app.from = l;
+      app.to = r;
+    } else if (r.IsVariable()) {
+      app.from = r;
+      app.to = l;
+    } else {
+      app.failure = true;
+      app.from = l;
+      app.to = r;
+      if (!failing.has_value()) failing = app;
+      return true;  // keep searching for a non-failing application
+    }
+    found = app;
+    return false;
+  });
+  if (found.has_value()) return found;
+  return failing;
+}
+
+}  // namespace sqleq

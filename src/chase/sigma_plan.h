@@ -1,0 +1,88 @@
+// SigmaPlan: per-Σ compiled chase step kernels.
+//
+// The paper's Thm 5.2 complexity profile — polynomial in |Q| for a *fixed*
+// Σ — invites compiling everything that depends only on Σ once and reusing
+// it across every query: trigger join patterns for tgd bodies, firing-check
+// probes for tgd heads, egd merge schedules (body pattern + equation sides),
+// and the key-based classification of each tgd (Def 5.1), which the sound
+// chase otherwise re-derives per step. A SigmaPlan is immutable after
+// Compile() and safe to share across threads; sqleqd caches one per catalog
+// next to the shared ChaseMemo.
+//
+// Kernels are positional: kernel i corresponds to sigma[i] of the
+// DependencySet handed to Compile(), and every invocation is the exact-order
+// equivalent of the matching chase_step.h generic (same homomorphisms, same
+// order — see the enumeration contract in chase/pattern.h), so compiled and
+// generic chase runs are trace-identical.
+#ifndef SQLEQ_CHASE_SIGMA_PLAN_H_
+#define SQLEQ_CHASE_SIGMA_PLAN_H_
+
+#include <optional>
+#include <vector>
+
+#include "chase/chase_step.h"
+#include "chase/flat_db.h"
+#include "chase/pattern.h"
+#include "constraints/dependency.h"
+#include "ir/schema.h"
+
+namespace sqleq {
+
+class SigmaPlan {
+ public:
+  /// One compiled dependency. For a tgd: `body` is the trigger join pattern,
+  /// `head` the firing-check probe, and the key-based flags cache Def 5.1
+  /// under both readings of `require_set_valued`. For an egd: `body` plus
+  /// the equation sides.
+  struct DepKernel {
+    bool is_tgd = false;
+    CompiledPattern body;
+    CompiledPattern head;   // tgd only
+    Term left;              // egd only
+    Term right;             // egd only
+    bool key_based_any = false;         // require_set_valued = false
+    bool key_based_set_valued = false;  // require_set_valued = true
+  };
+
+  struct Stats {
+    size_t dependencies = 0;
+    size_t tgd_kernels = 0;
+    size_t egd_kernels = 0;
+    size_t pattern_atoms = 0;  // total atoms across all compiled patterns
+  };
+
+  SigmaPlan() = default;
+
+  /// Compiles kernels for `sigma` as given (no regularization — callers
+  /// chase arbitrary dependency sets). `schema` feeds the key-based flags;
+  /// an empty schema yields key_based_set_valued = false, which only costs
+  /// the fast path, never correctness.
+  static SigmaPlan Compile(const DependencySet& sigma, const Schema& schema = {});
+
+  size_t size() const { return kernels_.size(); }
+  const DepKernel& kernel(size_t dep_index) const { return kernels_[dep_index]; }
+  Stats stats() const;
+
+  /// Exact-order equivalents of the chase_step.h generics, against an
+  /// indexed conjunction. `dep_index` is the dependency's position in the
+  /// compiled Σ.
+  std::optional<TermMap> FindApplicableTgdHomomorphism(
+      size_t dep_index, const FlatConjunction& to) const;
+  std::vector<TermMap> FindApplicableTgdHomomorphisms(
+      size_t dep_index, const FlatConjunction& to) const;
+  std::optional<EgdApplication> FindEgdApplication(size_t dep_index,
+                                                   const FlatConjunction& to) const;
+
+  /// Cached IsKeyBased(tgd, Σ, schema, require_set_valued).
+  bool KeyBased(size_t dep_index, bool require_set_valued) const {
+    const DepKernel& k = kernels_[dep_index];
+    return require_set_valued ? k.key_based_set_valued : k.key_based_any;
+  }
+
+ private:
+  std::vector<DepKernel> kernels_;
+};
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_CHASE_SIGMA_PLAN_H_

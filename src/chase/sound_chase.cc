@@ -4,9 +4,12 @@
 #include <unordered_set>
 
 #include "chase/assignment_fixing.h"
+#include "chase/chase_internal.h"
 #include "chase/chase_step.h"
 #include "chase/chase_telemetry.h"
 #include "chase/checkpoint.h"
+#include "chase/flat_db.h"
+#include "chase/sigma_plan.h"
 #include "constraints/regularize.h"
 #include "util/fault.h"
 
@@ -29,15 +32,22 @@ ConjunctiveQuery DropDuplicates(const ConjunctiveQuery& q, Pred droppable) {
 /// The atoms a tgd step with homomorphism `h` would genuinely add to `q`:
 /// instantiated head atoms minus exact duplicates of existing body atoms
 /// (re-adding an existing atom is a no-op under S/BS and is the Thm 4.1(2)
-/// duplicate-drop under B when the relation is set valued).
+/// duplicate-drop under B when the relation is set valued). `flat`, when
+/// non-null, indexes q's body and replaces the hash-set presence probe.
 std::vector<Atom> GenuinelyAddedAtoms(const ConjunctiveQuery& q, const Tgd& tgd,
                                       const TermMap& h, Semantics semantics,
-                                      const Schema& schema, bool* out_unsound_dup) {
+                                      const Schema& schema, bool* out_unsound_dup,
+                                      const FlatConjunction* flat) {
   *out_unsound_dup = false;
-  std::unordered_set<Atom, AtomHash> existing(q.body().begin(), q.body().end());
+  std::unordered_set<Atom, AtomHash> existing;
+  if (flat == nullptr) {
+    existing.insert(q.body().begin(), q.body().end());
+  }
   std::vector<Atom> added;
   for (Atom& a : InstantiateTgdHead(tgd, h)) {
-    if (existing.count(a) > 0) {
+    bool present =
+        flat != nullptr ? flat->ContainsAtom(a) : existing.count(a) > 0;
+    if (present) {
       // Exact duplicate. Dropping it is sound under S/BS always and under B
       // only for set-valued relations.
       if (semantics == Semantics::kBag && !schema.IsSetValued(a.predicate())) {
@@ -57,12 +67,17 @@ ConjunctiveQuery NormalizeForBag(const ConjunctiveQuery& q, const Schema& schema
       q, [&schema](const Atom& a) { return schema.IsSetValued(a.predicate()); });
 }
 
-Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& sigma,
-                                Semantics semantics, const Schema& schema,
-                                const ChaseOptions& options,
-                                const ChaseRuntime& runtime) {
-  DependencySet regular = RegularizeSigma(sigma);
-  if (semantics == Semantics::kSet) return SetChase(q, regular, options, runtime);
+namespace chase_internal {
+
+Result<ChaseOutcome> SoundChaseRegular(const ConjunctiveQuery& q,
+                                       const DependencySet& regular,
+                                       const SigmaPlan* plan, Semantics semantics,
+                                       const Schema& schema,
+                                       const ChaseOptions& options,
+                                       const ChaseRuntime& runtime) {
+  if (semantics == Semantics::kSet) {
+    return SetChaseWithPlan(q, regular, plan, options, runtime);
+  }
 
   const ChaseCheckpoint* resume = runtime.resume;
   const bool resume_sound =
@@ -90,7 +105,8 @@ Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& 
     }
     std::optional<ChaseCheckpoint> probe_checkpoint;
     probe_runtime.checkpoint_out = &probe_checkpoint;
-    Result<ChaseOutcome> probe = SetChase(q, regular, options, probe_runtime);
+    Result<ChaseOutcome> probe = SetChaseWithPlan(q, regular, plan, options,
+                                                  probe_runtime);
     if (!probe.ok()) {
       if (probe_checkpoint.has_value() && runtime.checkpoint_out != nullptr) {
         probe_checkpoint->phase = ChaseCheckpoint::kSetChaseProbePhase;
@@ -121,18 +137,23 @@ Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& 
     }
     return status;
   };
+  FlatConjunction flat;
   for (size_t step = start; step < options.budget.max_chase_steps; ++step) {
     Status guard = options.budget.CheckDeadline("sound chase");
     if (guard.ok()) {
       guard = ProbeSite(runtime.faults, runtime.cancel, fault_sites::kChaseStep);
     }
     if (!guard.ok()) return stop(std::move(guard), step);
+    if (plan != nullptr) flat.Rebuild(out.result.body());
     bool applied = false;
 
     // Egd pass: egd steps are always sound (Thm 4.1(2) / 4.3(2)).
-    for (const Dependency& dep : regular) {
+    for (size_t di = 0; di < regular.size(); ++di) {
+      const Dependency& dep = regular[di];
       if (!dep.IsEgd()) continue;
-      std::optional<EgdApplication> app = FindEgdApplication(out.result, dep.egd());
+      std::optional<EgdApplication> app =
+          plan != nullptr ? plan->FindEgdApplication(di, flat)
+                          : FindEgdApplication(out.result, dep.egd());
       if (!app.has_value()) {
         counters.Satisfied();
         continue;
@@ -152,13 +173,18 @@ Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& 
     if (applied) continue;
 
     // Tgd pass: only sound steps (Thm 4.1(1) / 4.3(1)).
-    for (const Dependency& dep : regular) {
+    for (size_t di = 0; di < regular.size(); ++di) {
+      const Dependency& dep = regular[di];
       if (!dep.IsTgd()) continue;
       const Tgd& tgd = dep.tgd();
-      for (const TermMap& h : FindApplicableTgdHomomorphisms(out.result, tgd)) {
+      std::vector<TermMap> hs =
+          plan != nullptr ? plan->FindApplicableTgdHomomorphisms(di, flat)
+                          : FindApplicableTgdHomomorphisms(out.result, tgd);
+      for (const TermMap& h : hs) {
         bool unsound_dup = false;
         std::vector<Atom> added =
-            GenuinelyAddedAtoms(out.result, tgd, h, semantics, schema, &unsound_dup);
+            GenuinelyAddedAtoms(out.result, tgd, h, semantics, schema, &unsound_dup,
+                                plan != nullptr ? &flat : nullptr);
         if (unsound_dup) continue;
         if (added.empty()) continue;  // cannot happen for applicable h; guard anyway
         if (semantics == Semantics::kBag) {
@@ -172,12 +198,16 @@ Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& 
           if (!all_set_valued) continue;
         }
         // Key-based ⇒ assignment-fixing (§5.1): try the cheap test first.
+        // The plan caches the per-tgd Def 5.1 classification.
+        bool require_set_valued = semantics == Semantics::kBag;
         bool fixing = options.key_based_fast_path &&
-                      IsKeyBased(tgd, regular, schema,
-                                 /*require_set_valued=*/semantics == Semantics::kBag);
+                      (plan != nullptr
+                           ? plan->KeyBased(di, require_set_valued)
+                           : IsKeyBased(tgd, regular, schema, require_set_valued));
         if (!fixing) {
           SQLEQ_ASSIGN_OR_RETURN(
-              fixing, IsAssignmentFixing(out.result, tgd, h, regular, options));
+              fixing,
+              IsAssignmentFixing(out.result, tgd, h, regular, options, plan));
         }
         if (!fixing) continue;
         std::vector<Atom> body = out.result.body();
@@ -200,6 +230,25 @@ Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& 
               options.budget.max_chase_steps);
 }
 
+}  // namespace chase_internal
+
+Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& sigma,
+                                Semantics semantics, const Schema& schema,
+                                const ChaseOptions& options,
+                                const ChaseRuntime& runtime) {
+  DependencySet regular = RegularizeSigma(sigma);
+  if (options.use_compiled_kernels) {
+    // Per-call adapter: compile a throwaway plan. Callers with a fixed Σ
+    // should hold a ChasePlan instead and pay regularization + kernel
+    // compilation once.
+    SigmaPlan plan = SigmaPlan::Compile(regular, schema);
+    return chase_internal::SoundChaseRegular(q, regular, &plan, semantics, schema,
+                                             options, runtime);
+  }
+  return chase_internal::SoundChaseRegular(q, regular, nullptr, semantics, schema,
+                                           options, runtime);
+}
+
 Result<StepAvailability> ClassifyStep(const ConjunctiveQuery& q, const Dependency& dep,
                                       const DependencySet& sigma, Semantics semantics,
                                       const Schema& schema, const ChaseOptions& options) {
@@ -218,8 +267,8 @@ Result<StepAvailability> ClassifyStep(const ConjunctiveQuery& q, const Dependenc
       any_applicable = true;
       if (semantics == Semantics::kSet) return StepAvailability::kSoundApplicable;
       bool unsound_dup = false;
-      std::vector<Atom> added =
-          GenuinelyAddedAtoms(q, tgd, h, semantics, schema, &unsound_dup);
+      std::vector<Atom> added = GenuinelyAddedAtoms(q, tgd, h, semantics, schema,
+                                                    &unsound_dup, /*flat=*/nullptr);
       if (unsound_dup || added.empty()) continue;
       if (semantics == Semantics::kBag) {
         bool all_set_valued = true;

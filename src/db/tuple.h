@@ -17,9 +17,15 @@ using Tuple = std::vector<Term>;
 
 struct TupleHash {
   size_t operator()(const Tuple& t) const {
-    size_t h = 1469598103u;
-    for (Term x : t) h = h * 1000003u + x.Hash();
-    return h;
+    // FNV-1a with the 64-bit offset basis and prime. The 32-bit constants
+    // used previously collapsed the upper half of size_t and clustered
+    // tuples differing only in late positions into few buckets.
+    uint64_t h = 1469598103934665603ULL;
+    for (Term x : t) {
+      h ^= static_cast<uint64_t>(x.Hash());
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
   }
 };
 

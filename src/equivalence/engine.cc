@@ -21,6 +21,7 @@ std::string ContextKey(const EquivRequest& request, const ChaseOptions& chase) {
   key += '\n';
   key += chase.egds_first ? "E" : "e";
   key += chase.key_based_fast_path ? "K" : "k";
+  key += chase.use_compiled_kernels ? "C" : "c";
   key += std::to_string(chase.budget.max_chase_steps);
   return key;
 }
@@ -207,6 +208,11 @@ EquivalenceEngine::CacheStats EquivalenceEngine::cache_stats() const {
     out.hits += s.hits;
     out.misses += s.misses;
     out.entries += s.entries;
+    ChasePlan::Stats plan = memo->plan().stats();
+    if (plan.compiled_path) {
+      out.compiled_kernels += plan.kernels.tgd_kernels + plan.kernels.egd_kernels;
+      out.pattern_atoms += plan.kernels.pattern_atoms;
+    }
   }
   return out;
 }

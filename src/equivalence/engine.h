@@ -9,9 +9,9 @@
 // The engine owns a chase memo per (Σ, semantics, schema, chase-knob)
 // context, so repeated calls against the same constraint theory — the
 // common shape in minimization and rewriting loops — chase each distinct
-// query once. The legacy free functions (EquivalentUnder and friends in
-// sigma_equivalence.h, BagEquivalent / BagSetEquivalent) remain as thin
-// deprecated wrappers over a per-call engine.
+// query once. Each memo chases through a per-context compiled ChasePlan
+// (chase/chase_plan.h), so the Σ kernels are compiled once per context,
+// not once per call.
 #ifndef SQLEQ_EQUIVALENCE_ENGINE_H_
 #define SQLEQ_EQUIVALENCE_ENGINE_H_
 
@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analysis/analyzer.h"
@@ -27,6 +28,7 @@
 #include "chase/checkpoint.h"
 #include "chase/set_chase.h"
 #include "constraints/dependency.h"
+#include "equivalence/run_options.h"
 #include "util/engine_context.h"
 #include "util/resource_budget.h"
 #include "db/eval.h"
@@ -39,31 +41,30 @@ namespace sqleq {
 /// Everything one equivalence decision depends on. Defaults: set semantics,
 /// no dependencies, empty schema, default ChaseOptions, and a default
 /// EngineContext (whose ResourceBudget bounds the chases and supplies the
-/// optional deadline).
-struct EquivRequest {
+/// optional deadline). The per-call environment (`context`), chase strategy
+/// (`chase`), and Σ-lint pre-flight (`analyze`) are the shared RunOptions
+/// base (equivalence/run_options.h).
+struct EquivRequest : RunOptions {
   Semantics semantics = Semantics::kSet;
   DependencySet sigma;
   Schema schema;
-  ChaseOptions chase;
-  /// The per-call environment: resource budget plus the optional metrics,
-  /// trace, fault, and cancel facilities (util/engine_context.h). This is
-  /// the only per-call knob — the loose `faults`/`cancel` fields and the
-  /// `chase.budget` merge that forwarded it for one release are gone, and
-  /// `chase` below is pure strategy configuration (its embedded budget is
-  /// overwritten by context.budget for the chases this request runs).
-  EngineContext context = {};
-  /// Σ-lint pre-flight (src/analysis): the request is analyzed before any
-  /// chase runs, and kError findings — a non-stratified Σ, an unsafe query,
-  /// schema drift — are rejected as FailedPrecondition naming the diagnostic
-  /// instead of burning the chase budget. Set analyze.enabled = false to
-  /// skip (inputs already vetted), or analyze.warnings_as_errors = true to
-  /// also refuse what the engines would merely auto-correct.
-  AnalyzeOptions analyze = AnalyzeOptions::Preflight();
   /// Anytime hook (docs/robustness.md): a chase checkpoint to resume from.
   /// The checkpoint is subject-stamped with its query's canonical key, so it
   /// is applied only to the chase it belongs to (the other query starts
   /// cold). Fault injection and cancellation live in `context`.
   const ChaseCheckpoint* resume = nullptr;
+
+  EquivRequest() = default;
+  /// Positional shorthand matching the historical aggregate field order, so
+  /// `EquivRequest{semantics, sigma, schema, chase}` keeps working now that
+  /// the shared fields live in the base.
+  EquivRequest(Semantics semantics_in, DependencySet sigma_in = {},
+               Schema schema_in = {}, ChaseOptions chase_in = {})
+      : semantics(semantics_in),
+        sigma(std::move(sigma_in)),
+        schema(std::move(schema_in)) {
+    chase = std::move(chase_in);
+  }
 };
 
 /// The decision plus its evidence: sound-chase results for both inputs
@@ -153,6 +154,11 @@ class EquivalenceEngine {
     size_t misses = 0;
     size_t entries = 0;
     size_t contexts = 0;
+    /// Compiled step kernels (tgd + egd) across the contexts' ChasePlans,
+    /// and the pattern atoms they precompiled — zero when every context runs
+    /// with use_compiled_kernels = false.
+    size_t compiled_kernels = 0;
+    size_t pattern_atoms = 0;
   };
   /// Chase-memo counters aggregated over every context this engine has
   /// served.

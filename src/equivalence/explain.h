@@ -49,7 +49,8 @@ struct EquivalenceExplanation {
 };
 
 /// Decides Q1 ≡Σ,X Q2 and assembles the evidence. Same preconditions as
-/// EquivalentUnder (set chase must terminate within the step budget).
+/// EquivalenceEngine::Equivalent (set chase must terminate within the step
+/// budget).
 Result<EquivalenceExplanation> ExplainEquivalence(const ConjunctiveQuery& q1,
                                                   const ConjunctiveQuery& q2,
                                                   const DependencySet& sigma,

@@ -1,54 +1,9 @@
-// The implementation always builds the legacy symbols so binaries compiled
-// against the gated declarations keep linking; only the header visibility is
-// behind the macro.
-#define SQLEQ_LEGACY_API
 #include "equivalence/sigma_equivalence.h"
 
 #include "chase/sound_chase.h"
 #include "equivalence/containment.h"
-#include "equivalence/engine.h"
 
 namespace sqleq {
-namespace {
-
-/// Shared body of the deprecated wrappers, so they need not call each other
-/// (which would trip -Wdeprecated-declarations under -Werror).
-Result<bool> EquivalentUnderImpl(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
-                                 const DependencySet& sigma, Semantics semantics,
-                                 const Schema& schema, const ChaseOptions& options) {
-  EquivalenceEngine engine;
-  EquivRequest request{semantics, sigma, schema, options};
-  request.context.budget = options.budget;
-  SQLEQ_ASSIGN_OR_RETURN(EquivVerdict verdict,
-                         engine.Equivalent(q1, q2, request));
-  return VerdictToBool(verdict);
-}
-
-}  // namespace
-
-Result<bool> EquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
-                             const DependencySet& sigma, Semantics semantics,
-                             const Schema& schema, const ChaseOptions& options) {
-  return EquivalentUnderImpl(q1, q2, sigma, semantics, schema, options);
-}
-
-Result<bool> SetEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
-                                const DependencySet& sigma, const ChaseOptions& options) {
-  return EquivalentUnderImpl(q1, q2, sigma, Semantics::kSet, Schema(), options);
-}
-
-Result<bool> BagEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
-                                const DependencySet& sigma, const Schema& schema,
-                                const ChaseOptions& options) {
-  return EquivalentUnderImpl(q1, q2, sigma, Semantics::kBag, schema, options);
-}
-
-Result<bool> BagSetEquivalentUnder(const ConjunctiveQuery& q1,
-                                   const ConjunctiveQuery& q2,
-                                   const DependencySet& sigma,
-                                   const ChaseOptions& options) {
-  return EquivalentUnderImpl(q1, q2, sigma, Semantics::kBagSet, Schema(), options);
-}
 
 Result<bool> SetContainedUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
                                const DependencySet& sigma, const ChaseOptions& options) {

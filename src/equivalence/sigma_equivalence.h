@@ -7,14 +7,12 @@
 // All three are conditioned on termination of set chase on the inputs; the
 // step budget in ChaseOptions is the practical proxy.
 //
-// DEPRECATED entry points: the equivalence functions below are kept as thin
-// wrappers over equivalence/engine.h's EquivalenceEngine, which unifies the
-// call shape, memoizes chases across calls, and returns the full evidence
-// (chase traces + witness). New code should use the engine directly. The
-// wrappers are visible only under -DSQLEQ_LEGACY_API (the symbols stay in
-// the library either way), so their removal in a future release is a
-// macro flip for stragglers rather than a source break discovered at link
-// time. SetContainedUnder is not deprecated and remains unconditional.
+// Equivalence testing lives in equivalence/engine.h's EquivalenceEngine,
+// which unifies the call shape, memoizes chases across calls, and returns
+// the full evidence (chase traces + witness). The deprecated free-function
+// wrappers (EquivalentUnder and friends) that used to sit here behind a
+// legacy-API macro have been removed — see docs/compiled_chase.md for the
+// migration mapping. SetContainedUnder was never deprecated and remains.
 #ifndef SQLEQ_EQUIVALENCE_SIGMA_EQUIVALENCE_H_
 #define SQLEQ_EQUIVALENCE_SIGMA_EQUIVALENCE_H_
 
@@ -26,35 +24,6 @@
 #include "util/status.h"
 
 namespace sqleq {
-
-#ifdef SQLEQ_LEGACY_API
-
-/// Q1 ≡Σ,X Q2 for X = `semantics`. `schema` supplies set-valued flags
-/// (consulted only under kBag).
-[[deprecated("use EquivalenceEngine::Equivalent (equivalence/engine.h)")]]
-Result<bool> EquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
-                             const DependencySet& sigma, Semantics semantics,
-                             const Schema& schema, const ChaseOptions& options = {});
-
-/// Theorem 2.2 specialization.
-[[deprecated("use EquivalenceEngine::Equivalent with Semantics::kSet")]]
-Result<bool> SetEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
-                                const DependencySet& sigma,
-                                const ChaseOptions& options = {});
-
-/// Theorem 6.1 specialization.
-[[deprecated("use EquivalenceEngine::Equivalent with Semantics::kBag")]]
-Result<bool> BagEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
-                                const DependencySet& sigma, const Schema& schema,
-                                const ChaseOptions& options = {});
-
-/// Theorem 6.2 specialization.
-[[deprecated("use EquivalenceEngine::Equivalent with Semantics::kBagSet")]]
-Result<bool> BagSetEquivalentUnder(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
-                                   const DependencySet& sigma,
-                                   const ChaseOptions& options = {});
-
-#endif  // SQLEQ_LEGACY_API
 
 /// Q1 ⊑Σ,S Q2: set containment under dependencies, via chase of Q1 and a
 /// containment mapping from Q2 (the standard reduction).

@@ -1,0 +1,63 @@
+#include "ir/predicate.h"
+
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace sqleq {
+namespace {
+
+// Mirrors the Term interning tables (ir/term.cc): deque keeps name addresses
+// stable across later interning; the mutex guards both structures.
+struct PredTable {
+  std::mutex mu;
+  std::deque<std::string> names;
+  std::unordered_map<std::string_view, PredicateId> index;
+};
+
+PredTable& Table() {
+  static PredTable* t = new PredTable();
+  return *t;
+}
+
+}  // namespace
+
+PredicateId InternPredicate(std::string_view name) {
+  // One-entry memo: interning runs per atom in the chase inner loop, and
+  // consecutive atoms overwhelmingly share a predicate, so a short string
+  // compare usually replaces the lock + hash below. Thread-local, so no
+  // synchronization; ids are stable once assigned.
+  thread_local std::string last_name;
+  thread_local PredicateId last_id = -1;
+  if (last_id >= 0 && name == last_name) return last_id;
+  PredTable& t = Table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.index.find(name);
+  PredicateId id;
+  if (it != t.index.end()) {
+    id = it->second;
+  } else {
+    id = static_cast<PredicateId>(t.names.size());
+    t.names.emplace_back(name);
+    t.index.emplace(t.names.back(), id);
+  }
+  last_name.assign(name);
+  last_id = id;
+  return id;
+}
+
+const std::string& PredicateName(PredicateId id) {
+  PredTable& t = Table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  assert(id >= 0 && static_cast<size_t>(id) < t.names.size());
+  return t.names[static_cast<size_t>(id)];
+}
+
+size_t InternedPredicateCount() {
+  PredTable& t = Table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.names.size();
+}
+
+}  // namespace sqleq

@@ -1,0 +1,32 @@
+// Interned predicate symbols. Atom keeps its predicate as an owned string
+// (readable, stable ABI for the IR); the data-oriented chase core
+// (chase/flat_db.h) keys its struct-of-arrays storage and indexes on dense
+// int32 ids instead, so the hot loop never hashes or compares strings.
+// Interning is process-wide, append-only, and thread-safe, mirroring the
+// Term tables in ir/term.cc.
+#ifndef SQLEQ_IR_PREDICATE_H_
+#define SQLEQ_IR_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sqleq {
+
+/// Dense id of an interned predicate symbol. Ids are handed out in first-
+/// intern order and stay stable for the process lifetime.
+using PredicateId = int32_t;
+
+/// Interns (or looks up) `name`, returning its stable id.
+PredicateId InternPredicate(std::string_view name);
+
+/// The interned name for `id`; reference stays valid for the process
+/// lifetime. Requires an id previously returned by InternPredicate.
+const std::string& PredicateName(PredicateId id);
+
+/// Number of predicates interned so far (ids are 0..count-1).
+size_t InternedPredicateCount();
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_IR_PREDICATE_H_

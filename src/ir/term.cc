@@ -78,6 +78,12 @@ Term Term::Int(int64_t v) { return Const(Value(v)); }
 
 Term Term::Str(std::string_view s) { return Const(Value(std::string(s))); }
 
+void Term::ResetFreshCounterForTesting(uint64_t value) {
+  g_fresh_counter.store(value);
+}
+
+uint64_t Term::FreshCounterForTesting() { return g_fresh_counter.load(); }
+
 Term Term::FreshVar(std::string_view prefix) {
   uint64_t n = g_fresh_counter.fetch_add(1);
   std::string name(prefix);

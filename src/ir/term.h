@@ -46,6 +46,16 @@ class Term {
   /// named "<prefix>#<n>" for a process-unique n.
   static Term FreshVar(std::string_view prefix = "v");
 
+  /// Rewinds the FreshVar counter so two runs allocate identical names.
+  /// Only for differential tests that replay the same chase twice and
+  /// compare traces byte-for-byte; never call this in library code — it
+  /// forfeits the distinct-from-everything guarantee above.
+  static void ResetFreshCounterForTesting(uint64_t value = 0);
+
+  /// Current FreshVar counter value; pairs with the reset above so a test
+  /// can mark the counter at a checkpoint and replay resumes from it.
+  static uint64_t FreshCounterForTesting();
+
   bool IsVariable() const { return kind_ == Kind::kVariable; }
   bool IsConstant() const { return kind_ == Kind::kConstant; }
   Kind kind() const { return kind_; }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "chase/chase_cache.h"
+#include "chase/chase_plan.h"
 #include "chase/sound_chase.h"
 #include "equivalence/engine.h"
 #include "reformulation/minimize.h"
@@ -112,6 +113,11 @@ Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
   ChaseOptions chase_options = options.chase;
   chase_options.budget = ctx.budget;
 
+  // One compiled plan serves the whole call: the universal-plan chase and
+  // every backchase candidate (through the memo) share its Σ kernels.
+  auto chase_plan = std::make_shared<const ChasePlan>(sigma, semantics, schema,
+                                                      chase_options);
+
   const CandBCheckpoint* resume = options.resume;
   const bool resume_backchase =
       resume != nullptr && resume->phase == CandBCheckpoint::kBackchasePhase &&
@@ -133,8 +139,7 @@ Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
     }
     std::optional<ChaseCheckpoint> chase_checkpoint;
     chase_runtime.checkpoint_out = &chase_checkpoint;
-    Result<ChaseOutcome> chased =
-        SoundChase(q, sigma, semantics, schema, chase_options, chase_runtime);
+    Result<ChaseOutcome> chased = chase_plan->Run(q, chase_runtime);
     if (!chased.ok()) {
       if (!IsAnytimeStop(chased.status())) return chased.status();
       // The plan does not exist yet: no reformulation can be confirmed.
@@ -165,7 +170,7 @@ Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
 
   // ---- Backchase phase: subqueries of U, smallest first, chased through a
   // shared memo so isomorphic candidates cost one chase. ----
-  ChaseMemo memo(sigma, semantics, schema, chase_options);
+  ChaseMemo memo(chase_plan);
   ChaseRuntime memo_runtime;
   memo_runtime.faults = ctx.faults;
   memo_runtime.cancel = ctx.cancel;

@@ -30,6 +30,7 @@
 #include "chase/set_chase.h"
 #include "constraints/dependency.h"
 #include "db/eval.h"
+#include "equivalence/run_options.h"
 #include "ir/query.h"
 #include "ir/schema.h"
 #include "reformulation/backchase.h"
@@ -59,27 +60,17 @@ struct CandBCheckpoint {
   static Result<CandBCheckpoint> Deserialize(std::string_view text);
 };
 
-struct CandBOptions {
-  /// The per-call environment: resource budget (max_candidates caps the
-  /// backchase lattice, max_chase_steps every chase, deadline the whole
-  /// call, threads the backchase worker pool) plus the optional metrics,
-  /// trace, fault, and cancel facilities. This is the one per-call knob —
-  /// the loose `budget`/`faults`/`cancel` forwarding shims that mirrored it
-  /// for one release have been removed.
-  EngineContext context;
-  /// Chase strategy knobs (egds_first, key_based_fast_path). The embedded
-  /// chase.budget is overridden by context.budget for the chases C&B runs,
-  /// so there is a single budget knob per call.
-  ChaseOptions chase;
+/// The shared RunOptions base (equivalence/run_options.h) supplies the
+/// per-call environment (`context` — max_candidates caps the backchase
+/// lattice, max_chase_steps every chase, deadline the whole call, threads
+/// the backchase worker pool), the chase strategy knobs (`chase`), and the
+/// Σ-lint pre-flight (`analyze`).
+struct CandBOptions : RunOptions {
   /// When true, outputs are additionally filtered through the Def 3.1
   /// Σ-minimality check (subset-minimality in the universal-plan lattice is
   /// the C&B guarantee; the extra check also covers variable-identification
   /// minimality). Costs extra chases.
   bool verify_sigma_minimality = false;
-  /// Σ-lint pre-flight over (schema, Σ, Q) before the chase phase; kError
-  /// findings become FailedPrecondition instead of a budget blowout. See
-  /// EquivRequest::analyze.
-  AnalyzeOptions analyze = AnalyzeOptions::Preflight();
   /// Resume an interrupted call. Must be a checkpoint produced by a prior
   /// ChaseAndBackchase over the same (q, Σ, semantics, schema, chase knobs);
   /// the finished run's result is then byte-identical to an uninterrupted

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "chase/chase_cache.h"
+#include "chase/chase_plan.h"
 #include "chase/homomorphism.h"
 #include "chase/sound_chase.h"
 #include "equivalence/engine.h"
@@ -171,9 +172,9 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
                                        const DependencySet& sigma, Semantics semantics,
                                        const Schema& schema,
                                        const RewriteOptions& options) {
-  const EngineContext& ctx = options.candb.context;
+  const EngineContext& ctx = options.context;
   TraceSpan rewrite_span(ctx.trace, "rewrite.views");
-  if (options.candb.analyze.enabled) {
+  if (options.analyze.enabled) {
     // Pre-flight Q and every view definition: a bad view body would
     // otherwise surface deep inside candidate expansion chases.
     std::vector<ConjunctiveQuery> queries{q};
@@ -181,16 +182,21 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
       SQLEQ_ASSIGN_OR_RETURN(ConjunctiveQuery def, views.Get(name));
       queries.push_back(std::move(def));
     }
-    AnalyzeOptions analyze = options.candb.analyze;
+    AnalyzeOptions analyze = options.analyze;
     if (analyze.budget == ResourceBudget{}) analyze.budget = ctx.budget;
     SQLEQ_RETURN_IF_ERROR(
         ReportToStatus(AnalyzeProgram(schema, sigma, queries, analyze)));
   }
   // One budget governs the whole call (see CandBOptions::context).
-  ChaseOptions chase_options = options.candb.chase;
+  ChaseOptions chase_options = options.chase;
   chase_options.budget = ctx.budget;
 
-  const CandBCheckpoint* resume = options.candb.resume;
+  // One compiled plan serves the whole rewrite: the chase of Q, the chase of
+  // U, and every candidate expansion (through the memo) share its Σ kernels.
+  auto chase_plan = std::make_shared<const ChasePlan>(sigma, semantics, schema,
+                                                      chase_options);
+
+  const CandBCheckpoint* resume = options.resume;
   const bool resume_backchase =
       resume != nullptr && resume->phase == CandBCheckpoint::kBackchasePhase &&
       resume->universal_plan.has_value() && resume->backchase.has_value();
@@ -211,8 +217,7 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
     }
     std::optional<ChaseCheckpoint> chase_checkpoint;
     chase_runtime.checkpoint_out = &chase_checkpoint;
-    Result<ChaseOutcome> chased =
-        SoundChase(q, sigma, semantics, schema, chase_options, chase_runtime);
+    Result<ChaseOutcome> chased = chase_plan->Run(q, chase_runtime);
     if (!chased.ok()) {
       if (!IsAnytimeStop(chased.status())) return chased.status();
       RewriteResult out{{}, q, 0, 0, 0, true, std::nullopt, std::nullopt};
@@ -262,7 +267,7 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
   // sweep: candidate expansions are chased via a memo (isomorphic expansions
   // abound among view-atom combinations), and U itself is chased exactly
   // once, up front, instead of once per candidate.
-  ChaseMemo memo(sigma, semantics, schema, chase_options);
+  ChaseMemo memo(chase_plan);
   ChaseRuntime memo_runtime;
   memo_runtime.faults = ctx.faults;
   memo_runtime.cancel = ctx.cancel;
@@ -379,15 +384,15 @@ Result<RewriteResult> RewriteWithViewsWithRetry(
     Semantics semantics, const Schema& schema, const RewriteOptions& options,
     const EscalatingBudget& policy) {
   const size_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
-  const ResourceBudget base_budget = options.candb.context.budget;
+  const ResourceBudget base_budget = options.context.budget;
   RewriteOptions attempt_options = options;
   std::optional<CandBCheckpoint> carried;
   Result<RewriteResult> result =
       Status::Internal("retry loop did not run");  // overwritten below
   for (size_t attempt = 0; attempt < attempts; ++attempt) {
-    attempt_options.candb.context.budget = policy.Escalate(base_budget, attempt);
-    attempt_options.candb.resume =
-        carried.has_value() ? &*carried : options.candb.resume;
+    attempt_options.context.budget = policy.Escalate(base_budget, attempt);
+    attempt_options.resume =
+        carried.has_value() ? &*carried : options.resume;
     result = RewriteWithViews(q, views, sigma, semantics, schema, attempt_options);
     if (!result.ok() || result->complete || !result->checkpoint.has_value()) {
       return result;

@@ -79,7 +79,7 @@ struct RewriteResult {
   size_t chase_cache_hits = 0;
   size_t chase_cache_misses = 0;
   /// Anytime contract, as in CandBResult: false when the call stopped early
-  /// on budget/deadline/cancellation/fault; resume via options.candb.resume.
+  /// on budget/deadline/cancellation/fault; resume via options.resume.
   /// The candidate pool is rebuilt deterministically from the checkpointed
   /// universal plan, so mask-indexed checkpoint state stays valid.
   bool complete = true;
@@ -87,8 +87,11 @@ struct RewriteResult {
   std::optional<CandBCheckpoint> checkpoint;
 };
 
-struct RewriteOptions {
-  CandBOptions candb;
+/// The C&B knobs (context/chase/analyze via RunOptions, Σ-minimality,
+/// resume) apply to the rewrite's chases directly — RewriteOptions IS-A
+/// CandBOptions; the old `candb` member wrapper is gone (drop the `.candb`
+/// path segment; see equivalence/run_options.h for the mapping).
+struct RewriteOptions : CandBOptions {
   /// Allow base-relation atoms to appear alongside view atoms in rewritings
   /// (false = total rewritings over views only).
   bool allow_base_atoms = false;
@@ -106,7 +109,7 @@ Result<RewriteResult> RewriteWithViews(const ConjunctiveQuery& q, const ViewSet&
                                        const RewriteOptions& options = {});
 
 /// RewriteWithViews under an escalating-budget retry policy: attempt 0 runs
-/// with options.candb.context.budget; each incomplete attempt is resumed from its
+/// with options.context.budget; each incomplete attempt is resumed from its
 /// own checkpoint under a budget scaled by `policy` until the result is
 /// complete or policy.max_attempts is spent. The final (possibly still
 /// partial) result is returned; errors propagate immediately.

@@ -414,7 +414,9 @@ std::string Server::HandleStats(const Request& request) {
   memo.Int("hits", cache.hits)
       .Int("misses", cache.misses)
       .Int("entries", cache.entries)
-      .Int("contexts", cache.contexts);
+      .Int("contexts", cache.contexts)
+      .Int("compiled_kernels", cache.compiled_kernels)
+      .Int("pattern_atoms", cache.pattern_atoms);
   return JsonObject()
       .Str("id", request.id)
       .Bool("ok", true)

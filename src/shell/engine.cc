@@ -441,7 +441,7 @@ Result<std::string> ScriptEngine::ExecRewrite(std::string_view rest) {
   SQLEQ_ASSIGN_OR_RETURN(NamedQuery named, GetQuery(args.first[0]));
   Semantics sem = args.second.value_or(named.semantics);
   RewriteOptions options;
-  options.candb.context = Context();
+  options.context = Context();
   SQLEQ_ASSIGN_OR_RETURN(
       RewriteResult result,
       retry_.has_value()

@@ -1,0 +1,51 @@
+// FunctionRef: a non-owning, non-allocating reference to a callable — the
+// hot-path replacement for `const std::function<...>&` parameters. A
+// std::function wraps the callable in a type-erased heap (or SBO) copy at
+// every call site; FunctionRef stores one void* and one function pointer, so
+// passing a lambda into the homomorphism matcher or a chase-step enumerator
+// costs two words and no allocation.
+//
+// Lifetime contract: FunctionRef borrows the callable. It is safe exactly
+// where a `const F&` parameter would be — callee invokes it during the call
+// and does not store it. Never keep a FunctionRef member alive past the
+// statement that created it from a temporary lambda.
+#ifndef SQLEQ_UTIL_FUNCTION_REF_H_
+#define SQLEQ_UTIL_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace sqleq {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds any callable invocable as R(Args...). Intentionally implicit so
+  /// lambdas pass straight into FunctionRef parameters.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>,
+                                FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, Args... args) -> R {
+          return static_cast<R>((*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...));
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_UTIL_FUNCTION_REF_H_

@@ -456,7 +456,7 @@ TEST(AnytimeRewrite, BudgetExhaustionIsResumable) {
   std::string reference = Canon(full);
 
   RewriteOptions budgeted;
-  budgeted.candb.context.budget.max_candidates = 2;
+  budgeted.context.budget.max_candidates = 2;
   RewriteResult partial = Unwrap(
       RewriteWithViews(q, views, Example41Sigma(), Semantics::kSet,
                        Example41Schema(), budgeted),
@@ -473,7 +473,7 @@ TEST(AnytimeRewrite, BudgetExhaustionIsResumable) {
   }
 
   RewriteOptions resumed_options;
-  resumed_options.candb.resume = &*partial.checkpoint;
+  resumed_options.resume = &*partial.checkpoint;
   RewriteResult finished = Unwrap(
       RewriteWithViews(q, views, Example41Sigma(), Semantics::kSet,
                        Example41Schema(), resumed_options),
@@ -492,8 +492,8 @@ TEST(AnytimeRewrite, ResumeMatchesAtEveryThreadCount) {
       "unbudgeted"));
   for (size_t threads : {1u, 4u, 8u}) {
     RewriteOptions budgeted;
-    budgeted.candb.context.budget.max_candidates = 2;
-    budgeted.candb.context.budget.threads = threads;
+    budgeted.context.budget.max_candidates = 2;
+    budgeted.context.budget.threads = threads;
     RewriteResult partial = Unwrap(
         RewriteWithViews(q, views, Example41Sigma(), Semantics::kSet,
                          Example41Schema(), budgeted),
@@ -501,8 +501,8 @@ TEST(AnytimeRewrite, ResumeMatchesAtEveryThreadCount) {
     ASSERT_FALSE(partial.complete) << threads << " threads";
     ASSERT_TRUE(partial.checkpoint.has_value());
     RewriteOptions resumed_options;
-    resumed_options.candb.context.budget.threads = threads;
-    resumed_options.candb.resume = &*partial.checkpoint;
+    resumed_options.context.budget.threads = threads;
+    resumed_options.resume = &*partial.checkpoint;
     RewriteResult finished = Unwrap(
         RewriteWithViews(q, views, Example41Sigma(), Semantics::kSet,
                          Example41Schema(), resumed_options),
@@ -521,7 +521,7 @@ TEST(AnytimeRewrite, RetryPolicyFinishesAnInterruptedRewrite) {
                        Example41Schema(), clean),
       "unbudgeted"));
   RewriteOptions options;
-  options.candb.context.budget.max_candidates = 2;
+  options.context.budget.max_candidates = 2;
   EscalatingBudget policy;
   policy.growth = 4.0;
   policy.max_attempts = 6;

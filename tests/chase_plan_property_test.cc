@@ -1,0 +1,339 @@
+// Randomized identity suite for the compiled chase core: the per-Σ compiled
+// kernels (ChaseOptions::use_compiled_kernels = true, the default) must be
+// STEP-FOR-STEP identical to the generic executable-spec path — same trace
+// records, same final query, same failed flag, same anytime statuses, same
+// checkpoints — under all three semantics, under fault injection, and
+// through checkpoint/resume. The compiled matcher emulates the generic
+// backtracking enumeration order exactly (chase/pattern.h), so these are
+// equality assertions, not up-to-isomorphism ones. Fresh variables draw
+// from a process-global counter, so each paired run rewinds it
+// (Term::ResetFreshCounterForTesting) to make the names comparable
+// byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chase/chase_plan.h"
+#include "chase/checkpoint.h"
+#include "chase/homomorphism.h"
+#include "chase/set_chase.h"
+#include "chase/sound_chase.h"
+#include "ir/term.h"
+#include "util/fault.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Example41Schema;
+using testing::Example41Sigma;
+using testing::Q;
+using testing::RandomQuery;
+using testing::Sigma;
+using testing::Unwrap;
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+Schema PropSchema() {
+  Schema s;
+  s.Relation("p", 2).Relation("r", 1).Relation("s", 2).Relation("t", 3);
+  return s;
+}
+
+/// Dependency pool the random Σs draw from: tgds with and without
+/// existentials, multi-atom bodies, and egds; every subset yields a
+/// terminating chase on PropSchema queries.
+const std::vector<std::string>& DependencyPool() {
+  static const std::vector<std::string> pool = {
+      "p(X, Y) -> r(X).",
+      "r(X) -> p(X, Z).",
+      "p(X, Y), p(Y, Z) -> t(X, Y, Z).",
+      "t(X, Y, Z) -> s(X, Z).",
+      "s(X, Y) -> p(X, Y).",
+      "t(X, X, Y) -> r(Y).",
+      "s(X, Y), s(X, Z) -> Y = Z.",
+      "p(X, Y), p(X, Z) -> Y = Z.",
+  };
+  return pool;
+}
+
+DependencySet RandomSigma(Rng* rng) {
+  const std::vector<std::string>& pool = DependencyPool();
+  std::vector<std::string> picked;
+  size_t count = static_cast<size_t>(rng->UniformInt(1, 5));
+  for (size_t i = 0; i < count; ++i) {
+    picked.push_back(pool[rng->Index(pool.size())]);
+  }
+  return Sigma(picked);
+}
+
+ChaseOptions CompiledOptions(size_t max_steps = 64) {
+  ChaseOptions options;
+  options.budget.max_chase_steps = max_steps;
+  options.use_compiled_kernels = true;
+  return options;
+}
+
+ChaseOptions GenericOptions(size_t max_steps = 64) {
+  ChaseOptions options = CompiledOptions(max_steps);
+  options.use_compiled_kernels = false;
+  return options;
+}
+
+/// The identity assertion: both runs succeeded with byte-identical traces
+/// and results, or both stopped with the same status.
+void ExpectIdenticalOutcome(const Result<ChaseOutcome>& compiled,
+                            const Result<ChaseOutcome>& generic,
+                            const std::string& context) {
+  ASSERT_EQ(compiled.ok(), generic.ok()) << context;
+  if (!compiled.ok()) {
+    EXPECT_EQ(compiled.status().code(), generic.status().code()) << context;
+    EXPECT_EQ(compiled.status().message(), generic.status().message()) << context;
+    return;
+  }
+  EXPECT_EQ(compiled->failed, generic->failed) << context;
+  EXPECT_EQ(compiled->result.ToString(), generic->result.ToString()) << context;
+  ASSERT_EQ(compiled->trace.size(), generic->trace.size()) << context;
+  for (size_t i = 0; i < compiled->trace.size(); ++i) {
+    EXPECT_EQ(compiled->trace[i].dep_label, generic->trace[i].dep_label)
+        << context << " step " << i;
+    EXPECT_EQ(compiled->trace[i].is_tgd, generic->trace[i].is_tgd)
+        << context << " step " << i;
+    EXPECT_EQ(compiled->trace[i].result, generic->trace[i].result)
+        << context << " step " << i;
+  }
+}
+
+// ---- Matcher-level enumeration order ---------------------------------
+
+TEST_P(SeededTest, CompiledMatcherEnumeratesInGenericOrder) {
+  Rng rng(GetParam());
+  Schema schema = PropSchema();
+  for (int round = 0; round < 20; ++round) {
+    ConjunctiveQuery from = RandomQuery(schema, rng.UniformInt(1, 3), 3, &rng);
+    ConjunctiveQuery to = RandomQuery(schema, rng.UniformInt(1, 5), 4, &rng);
+    auto render = [](const TermMap& h) {
+      std::vector<std::string> entries;
+      for (const auto& [k, v] : h) {
+        entries.push_back(k.ToString() + "->" + v.ToString());
+      }
+      std::sort(entries.begin(), entries.end());
+      std::string out;
+      for (const std::string& e : entries) out += e + ";";
+      return out;
+    };
+    std::vector<std::string> compiled, generic;
+    ForEachHomomorphism(from.body(), to.body(), TermMap(),
+                        [&](const TermMap& h) {
+                          compiled.push_back(render(h));
+                          return true;
+                        });
+    ForEachHomomorphismGeneric(from.body(), to.body(), TermMap(),
+                               [&](const TermMap& h) {
+                                 generic.push_back(render(h));
+                                 return true;
+                               });
+    // Same homomorphisms, in the same order — not just the same set.
+    EXPECT_EQ(compiled, generic)
+        << from.ToString() << " into " << to.ToString();
+  }
+}
+
+// ---- Chase-level identity, all three semantics ------------------------
+
+TEST_P(SeededTest, SetChaseCompiledMatchesGenericStepForStep) {
+  Rng rng(GetParam() + 100);
+  Schema schema = PropSchema();
+  for (int round = 0; round < 15; ++round) {
+    ConjunctiveQuery q = RandomQuery(schema, rng.UniformInt(1, 4), 4, &rng);
+    DependencySet sigma = RandomSigma(&rng);
+    Term::ResetFreshCounterForTesting();
+    Result<ChaseOutcome> compiled = SetChase(q, sigma, CompiledOptions());
+    Term::ResetFreshCounterForTesting();
+    Result<ChaseOutcome> generic = SetChase(q, sigma, GenericOptions());
+    ExpectIdenticalOutcome(compiled, generic,
+                           q.ToString() + " under " + SigmaToString(sigma));
+  }
+}
+
+TEST_P(SeededTest, SoundChaseVerdictIdenticalUnderAllSemantics) {
+  Rng rng(GetParam() + 200);
+  Schema schema = PropSchema();
+  for (int round = 0; round < 8; ++round) {
+    ConjunctiveQuery q = RandomQuery(schema, rng.UniformInt(1, 4), 4, &rng);
+    DependencySet sigma = RandomSigma(&rng);
+    for (Semantics sem :
+         {Semantics::kSet, Semantics::kBag, Semantics::kBagSet}) {
+      Term::ResetFreshCounterForTesting();
+      Result<ChaseOutcome> compiled =
+          SoundChase(q, sigma, sem, schema, CompiledOptions());
+      Term::ResetFreshCounterForTesting();
+      Result<ChaseOutcome> generic =
+          SoundChase(q, sigma, sem, schema, GenericOptions());
+      ExpectIdenticalOutcome(compiled, generic,
+                             std::string(SemanticsToString(sem)) + " " +
+                                 q.ToString() + " under " + SigmaToString(sigma));
+    }
+  }
+}
+
+TEST_P(SeededTest, ChasePlanRunMatchesFreeFunction) {
+  Rng rng(GetParam() + 300);
+  Schema schema = PropSchema();
+  for (int round = 0; round < 8; ++round) {
+    ConjunctiveQuery q = RandomQuery(schema, rng.UniformInt(1, 4), 4, &rng);
+    DependencySet sigma = RandomSigma(&rng);
+    for (Semantics sem :
+         {Semantics::kSet, Semantics::kBag, Semantics::kBagSet}) {
+      // Reset before construction: plan construction regularizes Σ up
+      // front, the free function does it per call, and both paths must see
+      // the same counter state when they do.
+      Term::ResetFreshCounterForTesting();
+      ChasePlan plan(sigma, sem, schema, CompiledOptions());
+      EXPECT_GT(plan.stats().kernels.dependencies, 0u);
+      EXPECT_TRUE(plan.stats().compiled_path);
+      Result<ChaseOutcome> via_plan = plan.Run(q);
+      Term::ResetFreshCounterForTesting();
+      Result<ChaseOutcome> via_free =
+          SoundChase(q, sigma, sem, schema, CompiledOptions());
+      ExpectIdenticalOutcome(via_plan, via_free,
+                             std::string("plan vs free, ") + SemanticsToString(sem));
+    }
+  }
+}
+
+// ---- Paper Example 4.1, pinned explicitly ----------------------------
+
+TEST(ChasePlanIdentity, Example41TraceIdenticalAcrossPaths) {
+  ConjunctiveQuery q = Q("P(X) :- p(X, Y).");
+  for (Semantics sem : {Semantics::kSet, Semantics::kBag, Semantics::kBagSet}) {
+    Term::ResetFreshCounterForTesting();
+    Result<ChaseOutcome> compiled = SoundChase(q, Example41Sigma(), sem,
+                                               Example41Schema(), CompiledOptions());
+    Term::ResetFreshCounterForTesting();
+    Result<ChaseOutcome> generic = SoundChase(q, Example41Sigma(), sem,
+                                              Example41Schema(), GenericOptions());
+    ExpectIdenticalOutcome(compiled, generic, SemanticsToString(sem));
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_FALSE(compiled->trace.empty());
+  }
+}
+
+// ---- Checkpoint/resume through compiled kernels ----------------------
+
+TEST(ChasePlanIdentity, CheckpointsInteroperateBetweenPaths) {
+  // Interrupt the compiled chase, resume it on the generic path (and vice
+  // versa): exact-order emulation makes the checkpoints interchangeable,
+  // and every combination finishes with the uninterrupted result.
+  ConjunctiveQuery q = Q("P(X) :- p(X, Y).");
+  Term::ResetFreshCounterForTesting();
+  ChaseOutcome full = Unwrap(
+      SetChase(q, Example41Sigma(), CompiledOptions()), "uninterrupted");
+
+  for (bool capture_compiled : {true, false}) {
+    ChaseOptions small = capture_compiled ? CompiledOptions(2) : GenericOptions(2);
+    ChaseRuntime runtime;
+    std::optional<ChaseCheckpoint> checkpoint;
+    runtime.checkpoint_out = &checkpoint;
+    Term::ResetFreshCounterForTesting();
+    Result<ChaseOutcome> interrupted =
+        SetChase(q, Example41Sigma(), small, runtime);
+    // Exact-order emulation means the interrupted prefix allocated exactly
+    // the fresh names the full run did; replaying each resume from this
+    // mark makes the finished bodies byte-identical to `full`.
+    uint64_t mark = Term::FreshCounterForTesting();
+    ASSERT_FALSE(interrupted.ok());
+    EXPECT_EQ(interrupted.status().code(), StatusCode::kResourceExhausted);
+    ASSERT_TRUE(checkpoint.has_value()) << "capture_compiled=" << capture_compiled;
+
+    for (bool resume_compiled : {true, false}) {
+      Term::ResetFreshCounterForTesting(mark);
+      ChaseRuntime resume_runtime;
+      resume_runtime.resume = &*checkpoint;
+      Result<ChaseOutcome> finished =
+          SetChase(q, Example41Sigma(),
+                   resume_compiled ? CompiledOptions() : GenericOptions(),
+                   resume_runtime);
+      ASSERT_TRUE(finished.ok())
+          << "capture_compiled=" << capture_compiled
+          << " resume_compiled=" << resume_compiled;
+      EXPECT_EQ(finished->result.ToString(), full.result.ToString());
+      EXPECT_EQ(finished->failed, full.failed);
+    }
+  }
+}
+
+TEST(ChasePlanIdentity, SoundChaseCheckpointResumesThroughPlan) {
+  ConjunctiveQuery q = Q("P(X) :- p(X, Y).");
+  Term::ResetFreshCounterForTesting();
+  ChaseOutcome full = Unwrap(SoundChase(q, Example41Sigma(), Semantics::kSet,
+                                        Example41Schema(), CompiledOptions()),
+                             "uninterrupted");
+  ChaseRuntime runtime;
+  std::optional<ChaseCheckpoint> checkpoint;
+  runtime.checkpoint_out = &checkpoint;
+  Term::ResetFreshCounterForTesting();
+  Result<ChaseOutcome> interrupted =
+      SoundChase(q, Example41Sigma(), Semantics::kSet, Example41Schema(),
+                 CompiledOptions(2), runtime);
+  uint64_t mark = Term::FreshCounterForTesting();
+  ASSERT_FALSE(interrupted.ok());
+  ASSERT_TRUE(checkpoint.has_value());
+  // Round-trip through the text format, then resume through the plan.
+  ChaseCheckpoint restored =
+      Unwrap(ChaseCheckpoint::Deserialize(checkpoint->Serialize()), "restore");
+  ChasePlan plan(Example41Sigma(), Semantics::kSet, Example41Schema(),
+                 CompiledOptions());
+  ChaseRuntime resume_runtime;
+  resume_runtime.resume = &restored;
+  Term::ResetFreshCounterForTesting(mark);
+  ChaseOutcome finished = Unwrap(plan.Run(q, resume_runtime), "resume");
+  EXPECT_EQ(finished.result.ToString(), full.result.ToString());
+}
+
+// ---- Fault injection: identical anytime behavior ---------------------
+
+TEST_P(SeededTest, InjectedFaultsStopBothPathsIdentically) {
+  Rng rng(GetParam() + 400);
+  Schema schema = PropSchema();
+  for (int round = 0; round < 6; ++round) {
+    ConjunctiveQuery q = RandomQuery(schema, rng.UniformInt(2, 4), 4, &rng);
+    DependencySet sigma = RandomSigma(&rng);
+    FaultSpec spec;
+    spec.kind = FaultKind::kExhausted;
+    spec.start = static_cast<uint64_t>(rng.UniformInt(1, 4));
+
+    auto run = [&](const ChaseOptions& options)
+        -> std::pair<Result<ChaseOutcome>, std::string> {
+      Term::ResetFreshCounterForTesting();
+      FaultInjector faults(7);  // fresh injector per run: same schedule
+      faults.Arm(fault_sites::kChaseStep, spec);
+      ChaseRuntime runtime;
+      runtime.faults = &faults;
+      std::optional<ChaseCheckpoint> checkpoint;
+      runtime.checkpoint_out = &checkpoint;
+      Result<ChaseOutcome> outcome =
+          SoundChase(q, sigma, Semantics::kSet, schema, options, runtime);
+      std::string serialized =
+          checkpoint.has_value() ? checkpoint->Serialize() : "";
+      return {std::move(outcome), std::move(serialized)};
+    };
+    auto [compiled, compiled_cp] = run(CompiledOptions());
+    auto [generic, generic_cp] = run(GenericOptions());
+    ExpectIdenticalOutcome(compiled, generic,
+                           "faulted " + q.ToString() + " under " +
+                               SigmaToString(sigma));
+    // Trace-identity extends to the captured resume state.
+    EXPECT_EQ(compiled_cp, generic_cp);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace sqleq

@@ -1,6 +1,5 @@
-// Tests for the EquivalenceEngine facade: agreement with the legacy entry
-// points, evidence (traces + witnesses), chase-memo reuse across calls, and
-// ResourceBudget deadline enforcement.
+// Tests for the EquivalenceEngine facade: evidence (traces + witnesses),
+// chase-memo reuse across calls, and ResourceBudget deadline enforcement.
 #include "equivalence/engine.h"
 
 #include <gtest/gtest.h>
@@ -9,13 +8,7 @@
 
 #include "equivalence/bag_equivalence.h"
 #include "equivalence/bag_set_equivalence.h"
-#include "equivalence/sigma_equivalence.h"
 #include "test_util.h"
-
-// This target builds with -DSQLEQ_LEGACY_API (tests/CMakeLists.txt): the
-// legacy-agreement test below pins the deprecated wrapper contract until the
-// wrappers are removed, and is the one in-repo caller left on them.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace sqleq {
 namespace {
@@ -26,7 +19,7 @@ using testing::Q;
 using testing::Sigma;
 using testing::Unwrap;
 
-TEST(EquivalenceEngine, AgreesWithLegacyEntryPointsOnExample41) {
+TEST(EquivalenceEngine, DecidesExample41PerSemantics) {
   // Q1 ≡Σ Q4 under S but not under B/BS (Example 4.1 / §6.3).
   ConjunctiveQuery q1 =
       Q("Q1(X) :- p(X, Y), t(X, Y, W), s(X, Z), r(X), u(X, U).");
@@ -37,11 +30,6 @@ TEST(EquivalenceEngine, AgreesWithLegacyEntryPointsOnExample41) {
     EquivVerdict verdict = Unwrap(engine.Equivalent(q1, q4, request));
     EXPECT_EQ(verdict.equivalent, sem == Semantics::kSet) << SemanticsToString(sem);
     EXPECT_EQ(verdict.semantics, sem);
-#ifdef SQLEQ_LEGACY_API
-    bool legacy = Unwrap(
-        EquivalentUnder(q1, q4, Example41Sigma(), sem, Example41Schema()));
-    EXPECT_EQ(verdict.equivalent, legacy) << SemanticsToString(sem);
-#endif
   }
   // The set-semantics verdict specifically is "equivalent".
   EquivRequest set_request{Semantics::kSet, Example41Sigma(), Example41Schema(), {}};

@@ -423,7 +423,7 @@ TEST(Cancellation, CancelledRewriteWithViewsReturnsPartial) {
   RewriteOptions options;
   CancellationToken cancel;
   cancel.Cancel();
-  options.candb.context.cancel = &cancel;
+  options.context.cancel = &cancel;
   RewriteResult partial = Unwrap(RewriteWithViews(
       Q("Q(X) :- p(X, Y), r(X)."), views, Example41Sigma(), Semantics::kSet,
       Example41Schema(), options));

@@ -199,12 +199,12 @@ TEST(ParallelRewrite, ThreadCountDoesNotChangeRewritings) {
   DependencySet sigma = Sigma({"p(X, Y) -> r(Y)."});
   ConjunctiveQuery q = Q("Q(X, Y) :- p(X, Y), r(Y).");
   RewriteOptions serial;
-  serial.candb.context.budget.threads = 1;
+  serial.context.budget.threads = 1;
   std::string reference = Canon(
       Unwrap(RewriteWithViews(q, views, sigma, Semantics::kSet, Schema(), serial)));
   for (size_t threads : {2u, 4u, 8u}) {
     RewriteOptions parallel;
-    parallel.candb.context.budget.threads = threads;
+    parallel.context.budget.threads = threads;
     std::string got = Canon(Unwrap(
         RewriteWithViews(q, views, sigma, Semantics::kSet, Schema(), parallel)));
     EXPECT_EQ(got, reference) << threads << " threads";

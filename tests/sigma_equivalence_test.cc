@@ -1,8 +1,6 @@
 // Unit tests for equivalence under dependencies (Theorems 2.2, 6.1, 6.2;
 // Propositions 6.1, 6.2) — the paper's headline decision procedures,
 // exercised through the EquivalenceEngine facade (testing::EngineEquivalent).
-// The legacy wrapper contract is pinned separately by the
-// SQLEQ_LEGACY_API-gated test in equivalence_engine_test.cc.
 #include "equivalence/sigma_equivalence.h"  // SetContainedUnder
 
 #include <gtest/gtest.h>

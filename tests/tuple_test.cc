@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 namespace sqleq {
 namespace {
 
@@ -15,6 +17,40 @@ TEST(Tuple, IntTupleBuilder) {
 
 TEST(Tuple, HashConsistency) {
   EXPECT_EQ(TupleHash()(IntTuple({1, 2})), TupleHash()(IntTuple({1, 2})));
+}
+
+TEST(Tuple, HashCollisionRateOnDenseGrid) {
+  // 64×64 grid of small-int pairs plus their reversals: a workload where
+  // the old 32-bit-constant FNV clustered badly. Distinct tuples should
+  // hash to (nearly) distinct values — tolerate a handful of accidental
+  // 64-bit collisions, not systematic clustering.
+  TupleHash hash;
+  std::unordered_set<size_t> seen;
+  size_t total = 0;
+  for (int64_t a = 0; a < 64; ++a) {
+    for (int64_t b = 0; b < 64; ++b) {
+      seen.insert(hash(IntTuple({a, b})));
+      seen.insert(hash(IntTuple({b, a, a})));
+      total += 2;
+    }
+  }
+  EXPECT_GE(seen.size() + 4, total);
+  // The hash must also spread across the full size_t range, not just the
+  // low 32 bits (the old constants left the high half nearly constant).
+  size_t high_bits_seen = 0;
+  std::unordered_set<size_t> high_halves;
+  for (size_t h : seen) high_halves.insert(h >> 32);
+  high_bits_seen = high_halves.size();
+  EXPECT_GT(high_bits_seen, seen.size() / 2);
+}
+
+TEST(Tuple, HashPositionSensitive) {
+  // Permutations and boundary-shifted tuples must not collide.
+  TupleHash hash;
+  EXPECT_NE(hash(IntTuple({1, 2, 3})), hash(IntTuple({3, 2, 1})));
+  EXPECT_NE(hash(IntTuple({1, 2})), hash(IntTuple({2, 1})));
+  EXPECT_NE(hash(IntTuple({0, 1})), hash(IntTuple({1, 0})));
+  EXPECT_NE(hash(IntTuple({})), hash(IntTuple({0})));
 }
 
 TEST(Bag, EmptyBag) {

@@ -10,7 +10,10 @@
 # bench-smoke builds the benchmarks, runs each one for a single pinned
 # iteration (SQLEQ_BENCH_ITERS=1) from the repo root so every binary emits
 # its BENCH_<name>.json there, and validates each file against the Google
-# Benchmark JSON shape with check_bench_json.
+# Benchmark JSON shape with check_bench_json. For the chase-scaling and
+# homomorphism suites it also snapshots the committed baseline JSON before
+# the run and gates the fresh output on check_bench_regress (fails when the
+# median cpu_time ratio exceeds 1.5x).
 #
 # service-smoke builds sqleqd + sqleq-client, boots the daemon on an
 # ephemeral port, drives a catalog upload, check, reformulate, and stats
@@ -34,7 +37,20 @@ bench_smoke() {
     [ "${name}" = "bench_main" ] && continue
     targets+=("${name}")
   done
-  cmake --build "${build_dir}" -j --target check_bench_json "${targets[@]}"
+  cmake --build "${build_dir}" -j --target check_bench_json check_bench_regress \
+      "${targets[@]}"
+
+  # The bench binaries overwrite BENCH_<name>.json in place, so stash the
+  # committed baselines for the regression-gated suites before running.
+  local regress_suites=(chase_scaling homomorphism)
+  local baseline_dir
+  baseline_dir="$(mktemp -d)"
+  local suite
+  for suite in "${regress_suites[@]}"; do
+    if [ -f "BENCH_${suite}.json" ]; then
+      cp "BENCH_${suite}.json" "${baseline_dir}/BENCH_${suite}.json"
+    fi
+  done
 
   echo "== bench smoke (SQLEQ_BENCH_ITERS=1) =="
   local jsons=()
@@ -46,6 +62,17 @@ bench_smoke() {
 
   echo "== check_bench_json =="
   "${build_dir}/tools/check_bench_json" "${jsons[@]}"
+
+  echo "== check_bench_regress (median cpu_time vs committed baseline) =="
+  for suite in "${regress_suites[@]}"; do
+    if [ -f "${baseline_dir}/BENCH_${suite}.json" ]; then
+      "${build_dir}/tools/check_bench_regress" \
+          "BENCH_${suite}.json" "${baseline_dir}/BENCH_${suite}.json" 1.5
+    else
+      echo "-- no committed baseline for BENCH_${suite}.json, skipping"
+    fi
+  done
+  rm -rf "${baseline_dir}"
 
   echo "bench-smoke OK"
 }
