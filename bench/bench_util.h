@@ -120,6 +120,47 @@ inline DependencySet Example41Sigma() {
   }));
 }
 
+/// Pads (schema, Σ) with `clusters` dependency islands no query over the
+/// original schema can ever trigger. Each island adds relations ak/bk/ck
+/// and three dependencies:
+///
+///   isl1: anchor(X, Y), ak(Y, Z) → bk(X)   — an FK-style constraint whose
+///         second body atom reads ak, which nothing ever writes, so the
+///         static Σ-slice prunes it (blocked on ak). A full-Σ chase instead
+///         re-joins the populated `anchor` relation against empty ak on
+///         every fixpoint pass.
+///   isl2: bk(X) → ∃Z ck(X, Z)              — downstream of isl1, pruned
+///         transitively once isl1 is out.
+///   isl3: key on ck                        — likewise unreachable.
+///
+/// `anchor` must name a binary relation the chased queries populate (the
+/// Example 4.1 fixtures use p). This is the sliced-vs-full ablation fixture
+/// shared by bench_candb / bench_equivalence / bench_sigma_slice.
+inline void AddIrrelevantIslands(Schema* schema, DependencySet* sigma,
+                                 int clusters,
+                                 const std::string& anchor = "p") {
+  for (int k = 0; k < clusters; ++k) {
+    std::string a = "isl_a" + std::to_string(k);
+    std::string b = "isl_b" + std::to_string(k);
+    std::string c = "isl_c" + std::to_string(k);
+    schema->Relation(a, 2).Relation(b, 1).Relation(c, 2);
+    for (Dependency& d : Must(ParseDependency(
+             anchor + "(X, Y), " + a + "(Y, Z) -> " + b + "(X).",
+             "isl1_" + std::to_string(k)))) {
+      sigma->push_back(std::move(d));
+    }
+    for (Dependency& d : Must(ParseDependency(b + "(X) -> " + c + "(X, Z).",
+                                              "isl2_" + std::to_string(k)))) {
+      sigma->push_back(std::move(d));
+    }
+    for (Dependency& d : Must(ParseDependency(
+             c + "(X, Y), " + c + "(X, Z) -> Y = Z.",
+             "isl3_" + std::to_string(k)))) {
+      sigma->push_back(std::move(d));
+    }
+  }
+}
+
 /// SQLEQ_BENCH_ITERS: when set to a positive integer N, every benchmark
 /// registered through SQLEQ_BENCHMARK runs exactly N iterations with no
 /// warmup — the contract `tools/ci.sh bench-smoke` relies on for fast,

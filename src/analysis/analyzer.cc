@@ -3,20 +3,27 @@
 #include <set>
 #include <unordered_set>
 
+#include "analysis/sigma_graph.h"
 #include "chase/homomorphism.h"
 #include "chase/set_chase.h"
 #include "constraints/regularize.h"
 #include "constraints/weak_acyclicity.h"
+#include "util/telemetry.h"
 
 namespace sqleq {
 namespace {
 
-/// Appends a diagnostic, applying the warnings_as_errors escalation.
+/// Appends a diagnostic, applying the warnings_as_errors escalation and
+/// bumping the per-code analysis.diag.<code> counter when a registry is
+/// wired up.
 void Emit(AnalysisReport& report, const AnalyzeOptions& opts, std::string code,
           Severity severity, std::string subject, std::string message,
           std::string fix_hint = "") {
   if (severity == Severity::kWarning && opts.warnings_as_errors) {
     severity = Severity::kError;
+  }
+  if (opts.metrics != nullptr) {
+    opts.metrics->counter(metric::kAnalysisDiagPrefix + code).Add();
   }
   report.diagnostics.push_back(Diagnostic{std::move(code), severity,
                                           std::move(message), std::move(subject),
@@ -259,12 +266,78 @@ AnalysisReport AnalyzeQuery(const Schema& schema, const ConjunctiveQuery& query,
   return AnalyzeQueryParts(schema, query.name(), query.head(), query.body(), opts);
 }
 
+AnalysisReport AnalyzeSigmaSlicing(const Schema& schema, const DependencySet& sigma,
+                                   const std::vector<QueryBodyRef>& queries,
+                                   const AnalyzeOptions& opts) {
+  AnalysisReport report;
+  if (sigma.empty()) return report;
+  SigmaGraph graph = SigmaGraph::Build(sigma, schema);
+
+  TerminationCertificate cert = graph.DeriveCertificate();
+  if (cert.terminates()) {
+    std::string message = "chase termination certificate: " + cert.ToString();
+    // The static step bound is query-dependent; report it for the largest
+    // query of the batch, the one that dominates any shared budget.
+    const QueryBodyRef* largest = nullptr;
+    size_t largest_atoms = 0, largest_terms = 0;
+    for (const QueryBodyRef& q : queries) {
+      std::unordered_set<Term, TermHash> terms;
+      for (const Atom& a : q.body) {
+        for (Term t : a.args()) terms.insert(t);
+      }
+      if (largest == nullptr ||
+          q.body.size() + terms.size() > largest_atoms + largest_terms) {
+        largest = &q;
+        largest_atoms = q.body.size();
+        largest_terms = terms.size();
+      }
+    }
+    if (largest != nullptr) {
+      uint64_t bound = cert.StepBound(largest_atoms, largest_terms);
+      message += "; static chase-step bound for query '" + largest->name + "': ";
+      message += bound >= TerminationCertificate::kBoundCap
+                     ? ">=2^62 (finite but astronomically large)"
+                     : std::to_string(bound);
+    }
+    Emit(report, opts, "termination-certificate", Severity::kInfo, "sigma",
+         message);
+  }
+
+  for (const QueryBodyRef& q : queries) {
+    SigmaSlice slice = graph.SliceFor(q.body);
+    Emit(report, opts, "sigma-slice-summary", Severity::kInfo, "query " + q.name,
+         "sigma slice keeps " + std::to_string(slice.kept.size()) + " of " +
+             std::to_string(slice.total()) + " dependencies (" +
+             std::to_string(slice.pruned.size()) + " pruned) [" +
+             slice.Signature() + "]");
+    for (const SigmaSlice::Pruned& p : slice.pruned) {
+      Emit(report, opts, "dependency-unreachable-for-query", Severity::kInfo,
+           DependencySubject(sigma[p.index], p.index),
+           "can never fire while chasing query '" + q.name + "': body atom " +
+               p.blocked_atom +
+               " matches neither the query's atoms nor anything a reachable "
+               "dependency writes",
+           "no action needed; the engines skip it automatically "
+           "(ChaseOptions::use_sigma_slicing)");
+    }
+  }
+  return report;
+}
+
 AnalysisReport AnalyzeProgram(const Schema& schema, const DependencySet& sigma,
                               const std::vector<ConjunctiveQuery>& queries,
                               const AnalyzeOptions& opts) {
   AnalysisReport report = AnalyzeDependencies(schema, sigma, opts);
   for (const ConjunctiveQuery& q : queries) {
     report.Merge(AnalyzeQuery(schema, q, opts));
+  }
+  if (opts.check_slicing) {
+    std::vector<QueryBodyRef> bodies;
+    bodies.reserve(queries.size());
+    for (const ConjunctiveQuery& q : queries) {
+      bodies.push_back(QueryBodyRef{q.name(), q.body()});
+    }
+    report.Merge(AnalyzeSigmaSlicing(schema, sigma, bodies, opts));
   }
   return report;
 }

@@ -16,6 +16,9 @@
 //   dependency-implied          warning  σ follows from Σ \ {σ}
 //   dependency-unsatisfiable-body warning σ's body dies under Σ \ {σ}
 //   analysis-incomplete         info     a chase-based check hit its budget
+//   termination-certificate     info     Σ terminates; strata/rank/step bound
+//   sigma-slice-summary         info     per query: kept/pruned Σ-slice sizes
+//   dependency-unreachable-for-query info σ can never fire on this query
 //
 // Severity policy: errors are conditions under which the engines are
 // unsound or non-terminating; warnings are conditions they survive
@@ -35,6 +38,8 @@
 
 namespace sqleq {
 
+class MetricsRegistry;
+
 /// Which checks run, and how strictly.
 struct AnalyzeOptions {
   /// Master switch for the engine pre-flights (EquivRequest / CandBOptions);
@@ -47,23 +52,31 @@ struct AnalyzeOptions {
   bool check_regularization = true;  ///< Def 4.1 partitions
   bool check_satisfiability = true;  ///< syntactic egd constant clashes
   bool check_implication = false;    ///< chase-based redundancy + dead bodies
+  bool check_slicing = false;        ///< Σ-slices + termination certificates
 
   /// Escalate kWarning findings to kError at emission time. Strict mode for
   /// callers that refuse anything the engines would merely auto-correct.
   bool warnings_as_errors = false;
 
-  /// Bounds the chases the implication check runs (per dependency).
+  /// Bounds the chases the implication check runs (per dependency). Each σ
+  /// gets this budget afresh — one slow check never starves the others.
   ResourceBudget budget;
+
+  /// When non-null, every emitted diagnostic bumps the per-code counter
+  /// `analysis.diag.<code>` here (SHOW STATS / Prometheus visibility).
+  MetricsRegistry* metrics = nullptr;
 
   /// Pre-flight preset: every syntactic check, no chasing — the default
   /// gate inside EquivalenceEngine and the reformulation entry points.
   static AnalyzeOptions Preflight() { return AnalyzeOptions{}; }
 
-  /// Everything on, including the chase-based implication check — the LINT
-  /// command and sqleq-lint preset.
+  /// Everything on, including the chase-based implication check and the
+  /// Σ-slicing / termination-certificate report — the LINT command and
+  /// sqleq-lint preset.
   static AnalyzeOptions Full() {
     AnalyzeOptions opts;
     opts.check_implication = true;
+    opts.check_slicing = true;
     return opts;
   }
 };
@@ -85,7 +98,27 @@ AnalysisReport AnalyzeQueryParts(const Schema& schema, const std::string& name,
 AnalysisReport AnalyzeQuery(const Schema& schema, const ConjunctiveQuery& query,
                             const AnalyzeOptions& opts = {});
 
-/// The whole triple: AnalyzeDependencies plus AnalyzeQuery per query.
+/// A query body by name — the minimal shape the Σ-slicing report needs, so
+/// the script linter can feed it queries ConjunctiveQuery::Create rejects.
+struct QueryBodyRef {
+  std::string name;
+  std::vector<Atom> body;
+};
+
+/// The Σ-slicing / termination-certificate report (analysis/sigma_graph.h):
+/// one `termination-certificate` info when the chase of Σ provably
+/// terminates (with the static step bound for the largest query), and per
+/// query a `sigma-slice-summary` info plus one
+/// `dependency-unreachable-for-query` info per pruned dependency, naming
+/// the body atom nothing reachable can produce. Callers gate on
+/// opts.check_slicing (AnalyzeProgram does); the function itself always
+/// runs. All findings are informational — slicing never changes verdicts.
+AnalysisReport AnalyzeSigmaSlicing(const Schema& schema, const DependencySet& sigma,
+                                   const std::vector<QueryBodyRef>& queries,
+                                   const AnalyzeOptions& opts = {});
+
+/// The whole triple: AnalyzeDependencies plus AnalyzeQuery per query, plus
+/// AnalyzeSigmaSlicing when opts.check_slicing is on.
 AnalysisReport AnalyzeProgram(const Schema& schema, const DependencySet& sigma,
                               const std::vector<ConjunctiveQuery>& queries,
                               const AnalyzeOptions& opts = {});

@@ -77,4 +77,26 @@ Status ReportToStatus(const AnalysisReport& report) {
   return Status::FailedPrecondition("rejected by sigma-lint: " + first->ToString());
 }
 
+const std::vector<std::string>& KnownDiagnosticCodes() {
+  static const std::vector<std::string> codes = {
+      "analysis-incomplete",
+      "arity-mismatch",
+      "chase-nontermination",
+      "dependency-implied",
+      "dependency-unreachable-for-query",
+      "dependency-unsatisfiable-body",
+      "egd-constant-contradiction",
+      "parse-error",
+      "query-empty-body",
+      "query-unsafe-head",
+      "sigma-not-weakly-acyclic",
+      "sigma-slice-summary",
+      "termination-certificate",
+      "tgd-unregularized",
+      "unknown-query",
+      "unknown-relation",
+  };
+  return codes;
+}
+
 }  // namespace sqleq

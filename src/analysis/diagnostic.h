@@ -59,6 +59,13 @@ struct AnalysisReport {
 /// "rejected by sigma-lint: error[...] ...".
 Status ReportToStatus(const AnalysisReport& report);
 
+/// Every diagnostic code the analyzer (src/analysis/analyzer.cc) and the
+/// script linter (src/shell/lint.cc) can emit, sorted ascending. The single
+/// source of truth the catalogue-sync test checks docs/diagnostics.md
+/// against — add new codes HERE when adding an Emit call, or that test
+/// fails by design.
+const std::vector<std::string>& KnownDiagnosticCodes();
+
 }  // namespace sqleq
 
 #endif  // SQLEQ_ANALYSIS_DIAGNOSTIC_H_

@@ -1,0 +1,433 @@
+#include "analysis/sigma_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "ir/term.h"
+
+namespace sqleq {
+namespace {
+
+// ---- Saturating arithmetic for StepBound -------------------------------
+
+constexpr uint64_t kCap = TerminationCertificate::kBoundCap;
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  if (a >= kCap || b >= kCap || a + b >= kCap) return kCap;
+  return a + b;
+}
+
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a >= kCap || b >= kCap || a > kCap / b) return kCap;
+  return a * b;
+}
+
+uint64_t SatPow(uint64_t base, uint64_t exp) {
+  uint64_t out = 1;
+  for (uint64_t i = 0; i < exp; ++i) {
+    out = SatMul(out, base);
+    if (out >= kCap) return kCap;
+  }
+  return out;
+}
+
+// ---- Position-graph ranks ----------------------------------------------
+
+/// Max number of special edges on any path of `edges`, or nullopt when some
+/// special edge lies on a cycle (rank unbounded — Σ not weakly acyclic).
+/// Iterative Tarjan over the position graph, then a longest-path DP over
+/// the condensation counting special edges.
+std::optional<size_t> MaxSpecialRank(const std::vector<PositionEdge>& edges) {
+  if (edges.empty()) return 0;
+
+  std::map<Position, size_t> ids;
+  auto id_of = [&ids](const Position& p) {
+    return ids.emplace(p, ids.size()).first->second;
+  };
+  struct E {
+    size_t to;
+    bool special;
+  };
+  std::vector<std::vector<E>> succ;
+  std::vector<std::pair<size_t, size_t>> raw;  // (from, to) per edge
+  raw.reserve(edges.size());
+  for (const PositionEdge& e : edges) {
+    size_t u = id_of(e.from);
+    size_t v = id_of(e.to);
+    if (succ.size() < ids.size()) succ.resize(ids.size());
+    succ[u].push_back({v, e.special});
+    raw.push_back({u, v});
+  }
+  size_t n = ids.size();
+  succ.resize(n);
+
+  // Tarjan SCC over positions.
+  constexpr size_t kUnvisited = static_cast<size_t>(-1);
+  std::vector<size_t> index(n, kUnvisited), lowlink(n, 0), scc(n, kUnvisited);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  size_t next_index = 0, scc_count = 0;
+  struct Frame {
+    size_t v;
+    size_t child = 0;
+  };
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    std::vector<Frame> frames{{root}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < succ[f.v].size()) {
+        size_t w = succ[f.v][f.child++].to;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          size_t w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc[w] = scc_count;
+          } while (w != f.v);
+          ++scc_count;
+        }
+        size_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] = std::min(lowlink[frames.back().v], lowlink[v]);
+        }
+      }
+    }
+  }
+
+  // A special edge inside one SCC closes a cycle through itself.
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].special && scc[raw[i].first] == scc[raw[i].second]) {
+      return std::nullopt;
+    }
+  }
+
+  // Tarjan numbers SCCs in reverse topological order: scc id ascending is
+  // children-before-parents, so descending order is topological. DP longest
+  // special-edge count from sources.
+  std::vector<size_t> rank(scc_count, 0);
+  std::vector<std::vector<std::pair<size_t, bool>>> cedges(scc_count);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    size_t cu = scc[raw[i].first];
+    size_t cv = scc[raw[i].second];
+    if (cu != cv) cedges[cu].push_back({cv, edges[i].special});
+  }
+  size_t best = 0;
+  for (size_t c = scc_count; c-- > 0;) {
+    for (const auto& [to, special] : cedges[c]) {
+      size_t cand = rank[c] + (special ? 1 : 0);
+      rank[to] = std::max(rank[to], cand);
+      best = std::max(best, rank[to]);
+    }
+  }
+  return best;
+}
+
+DependencySet Subset(const DependencySet& sigma, const std::vector<size_t>& members) {
+  DependencySet out;
+  out.reserve(members.size());
+  for (size_t i : members) out.push_back(sigma[i]);
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+std::string ComputeSignature(const SigmaSlice& slice) {
+  size_t n = slice.in_slice.size();
+  size_t words = (n + 63) / 64;
+  std::vector<uint64_t> mask(words == 0 ? 1 : words, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (slice.in_slice[i]) mask[i / 64] |= uint64_t{1} << (i % 64);
+  }
+  std::string hex;
+  char buf[32];
+  for (size_t w = mask.size(); w-- > 0;) {
+    if (hex.empty()) {
+      std::snprintf(buf, sizeof(buf), "%llx", static_cast<unsigned long long>(mask[w]));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(mask[w]));
+    }
+    hex += buf;
+  }
+  return std::to_string(slice.kept.size()) + "/" + std::to_string(n) + ":" + hex;
+}
+
+}  // namespace
+
+uint64_t TerminationCertificate::StepBound(size_t query_atoms,
+                                           size_t query_terms) const {
+  if (!stratified) return 0;
+  // Value universe: starts at the query's terms; each "generation" can add
+  // one fresh null per existential per body assignment. The rank bounds how
+  // many generations can cascade (per stratum when only stratified).
+  uint64_t generations;
+  if (weakly_acyclic) {
+    generations = static_cast<uint64_t>(max_rank) + 1;
+  } else {
+    generations = 0;
+    for (const Stratum& s : strata) {
+      generations = SatAdd(generations, static_cast<uint64_t>(s.max_rank) + 1);
+    }
+  }
+  uint64_t values = query_terms == 0 ? 1 : query_terms;
+  if (existentials > 0) {
+    for (uint64_t g = 0; g < generations && values < kCap; ++g) {
+      values = SatAdd(values, SatMul(existentials, SatPow(values, max_body_vars)));
+    }
+  }
+  // Distinct atoms over the writable relations, plus one egd merge per
+  // value, bounds the applicable steps (a set-chase step is only taken when
+  // it changes the state).
+  uint64_t atoms = query_atoms;
+  for (uint64_t arity : head_arities) {
+    atoms = SatAdd(atoms, SatPow(values, arity));
+  }
+  return SatAdd(atoms, values);
+}
+
+std::string TerminationCertificate::ToString() const {
+  if (!stratified) {
+    std::string out = "no termination certificate";
+    if (witness.has_value()) out += ": special cycle " + witness->ToString();
+    return out;
+  }
+  std::string out = weakly_acyclic ? "weakly acyclic" : "stratified";
+  out += ", " + std::to_string(strata.size()) +
+         (strata.size() == 1 ? " stratum" : " strata") + ", max rank " +
+         std::to_string(max_rank);
+  return out;
+}
+
+SigmaGraph SigmaGraph::Build(DependencySet sigma, const Schema& schema) {
+  (void)schema;  // arities come from the atoms themselves
+  SigmaGraph g;
+  g.sigma_ = std::move(sigma);
+  g.writes_.reserve(g.sigma_.size());
+  for (const Dependency& dep : g.sigma_) {
+    g.writes_.push_back(DependencyWrites(dep));
+  }
+  g.body_offset_.reserve(g.sigma_.size() + 1);
+  g.body_offset_.push_back(0);
+  for (size_t i = 0; i < g.sigma_.size(); ++i) {
+    const std::vector<Atom>& body = g.sigma_[i].body();
+    for (size_t j = 0; j < body.size(); ++j) {
+      g.readers_[body[j].predicate()].push_back(
+          {static_cast<uint32_t>(i), static_cast<uint32_t>(j)});
+      for (const Term& t : body[j].args()) {
+        if (!t.IsVariable()) g.body_reads_constants_ = true;
+      }
+    }
+    g.body_offset_.push_back(g.body_offset_.back() +
+                             static_cast<uint32_t>(body.size()));
+  }
+  return g;
+}
+
+TerminationCertificate SigmaGraph::DeriveCertificate() const {
+  TerminationCertificate cert;
+  StratificationResult strat = CheckStratification(sigma_);
+  cert.weakly_acyclic = strat.weakly_acyclic;
+  cert.stratified = strat.stratified;
+  cert.witness = strat.witness;
+
+  // Topologically order the firing components: component A precedes B when
+  // some dependency of A may fire one of B. Kahn's algorithm, smallest
+  // component first among the ready ones, for determinism.
+  std::vector<std::vector<size_t>> components = FiringComponents(sigma_);
+  size_t m = components.size();
+  std::vector<size_t> comp_of(sigma_.size(), 0);
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t i : components[c]) comp_of[i] = c;
+  }
+  std::vector<std::set<size_t>> csucc(m);
+  std::vector<size_t> indeg(m, 0);
+  for (size_t a = 0; a < sigma_.size(); ++a) {
+    for (size_t b = 0; b < sigma_.size(); ++b) {
+      if (comp_of[a] == comp_of[b]) continue;
+      bool fires = false;
+      for (const WrittenAtomView& w : writes_[a]) {
+        for (const Atom& r : sigma_[b].body()) {
+          if (MayMatchAtom(w, r)) {
+            fires = true;
+            break;
+          }
+        }
+        if (fires) break;
+      }
+      if (fires && csucc[comp_of[a]].insert(comp_of[b]).second) {
+        ++indeg[comp_of[b]];
+      }
+    }
+  }
+  std::set<size_t> ready;
+  for (size_t c = 0; c < m; ++c) {
+    if (indeg[c] == 0) ready.insert(c);
+  }
+  std::vector<size_t> topo;
+  while (!ready.empty()) {
+    size_t c = *ready.begin();
+    ready.erase(ready.begin());
+    topo.push_back(c);
+    for (size_t d : csucc[c]) {
+      if (--indeg[d] == 0) ready.insert(d);
+    }
+  }
+
+  size_t stratified_rank = 0;
+  for (size_t c : topo) {
+    TerminationCertificate::Stratum stratum;
+    stratum.members = components[c];
+    DependencySet sub = Subset(sigma_, stratum.members);
+    std::optional<size_t> rank = MaxSpecialRank(BuildDependencyGraph(sub));
+    stratum.weakly_acyclic = rank.has_value();
+    stratum.max_rank = rank.value_or(0);
+    stratified_rank = std::max(stratified_rank, stratum.max_rank);
+    cert.strata.push_back(std::move(stratum));
+  }
+  if (cert.weakly_acyclic) {
+    cert.max_rank = MaxSpecialRank(BuildDependencyGraph(sigma_)).value_or(0);
+  } else if (cert.stratified) {
+    cert.max_rank = stratified_rank;
+  }
+
+  std::set<std::pair<std::string, uint64_t>> writable;
+  uint64_t existentials = 0;
+  uint64_t max_body_vars = 0;
+  for (const Dependency& dep : sigma_) {
+    if (!dep.IsTgd()) continue;
+    const Tgd& tgd = dep.tgd();
+    existentials += tgd.ExistentialVariables().size();
+    std::unordered_set<Term, TermHash> body_vars;
+    for (const Atom& b : tgd.body()) {
+      for (Term t : b.args()) {
+        if (t.IsVariable()) body_vars.insert(t);
+      }
+    }
+    max_body_vars = std::max<uint64_t>(max_body_vars, body_vars.size());
+    for (const Atom& h : tgd.head()) {
+      writable.insert({h.predicate(), h.arity()});
+    }
+  }
+  cert.existentials = existentials;
+  cert.max_body_vars = max_body_vars;
+  for (const auto& [pred, arity] : writable) {
+    (void)pred;
+    cert.head_arities.push_back(arity);
+  }
+  return cert;
+}
+
+SigmaSlice SigmaGraph::SliceFor(const std::vector<Atom>& body,
+                                bool render_pruned) const {
+  size_t n = sigma_.size();
+  SigmaSlice slice;
+  slice.in_slice.assign(n, false);
+
+  // Counting worklist over the prebuilt reader index. The available pool —
+  // the query's own atoms (canonical-database tuples — variables freeze to
+  // nulls, which later merges can rename, so variable positions stay
+  // wildcards under MayMatchAtom), then the written atoms of every
+  // dependency proven reachable — is streamed through add_write, which
+  // tests each atom only against the still-uncovered reads of its own
+  // predicate (MayMatchAtom never matches across relations). A dependency
+  // joins the slice the moment its last body atom is covered; its writes
+  // are then streamed in turn, until fixpoint.
+  std::vector<char> covered(body_offset_.empty() ? 0 : body_offset_[n], 0);
+  std::vector<uint32_t> uncovered(n);
+  std::vector<size_t> worklist;
+  for (size_t i = 0; i < n; ++i) {
+    uncovered[i] = body_offset_[i + 1] - body_offset_[i];
+    if (uncovered[i] == 0) worklist.push_back(i);  // empty body: vacuous fire
+  }
+
+  auto add_write = [&](const WrittenAtomView& w) {
+    auto it = readers_.find(w.atom->predicate());
+    if (it == readers_.end()) return;
+    for (const Reader& r : it->second) {
+      char& flag = covered[body_offset_[r.dep] + r.atom];
+      if (flag != 0) continue;
+      if (!MayMatchAtom(w, sigma_[r.dep].body()[r.atom])) continue;
+      flag = 1;
+      if (--uncovered[r.dep] == 0) worklist.push_back(r.dep);
+    }
+  };
+  for (const Atom& a : body) add_write({&a, false});
+  while (!worklist.empty()) {
+    size_t i = worklist.back();
+    worklist.pop_back();
+    if (slice.in_slice[i]) continue;
+    slice.in_slice[i] = true;
+    for (const WrittenAtomView& w : writes_[i]) add_write(w);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (slice.in_slice[i]) {
+      slice.kept.push_back(i);
+      continue;
+    }
+    // At fixpoint a pruned dependency has at least one uncovered body atom;
+    // name the first as the missing reachability link.
+    SigmaSlice::Pruned p;
+    p.index = i;
+    if (render_pruned) {
+      const std::vector<Atom>& reads = sigma_[i].body();
+      for (size_t j = 0; j < reads.size(); ++j) {
+        if (covered[body_offset_[i] + j] == 0) {
+          p.blocked_atom = reads[j].ToString();
+          break;
+        }
+      }
+    }
+    slice.pruned.push_back(std::move(p));
+  }
+  slice.signature = ComputeSignature(slice);
+  return slice;
+}
+
+bool SigmaGraph::Verify(const TerminationCertificate& cert) const {
+  TerminationCertificate fresh = DeriveCertificate();
+  if (cert.weakly_acyclic != fresh.weakly_acyclic ||
+      cert.stratified != fresh.stratified || cert.max_rank != fresh.max_rank ||
+      cert.existentials != fresh.existentials ||
+      cert.max_body_vars != fresh.max_body_vars ||
+      cert.head_arities != fresh.head_arities ||
+      cert.strata.size() != fresh.strata.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < cert.strata.size(); ++i) {
+    if (cert.strata[i].members != fresh.strata[i].members ||
+        cert.strata[i].weakly_acyclic != fresh.strata[i].weakly_acyclic ||
+        cert.strata[i].max_rank != fresh.strata[i].max_rank) {
+      return false;
+    }
+  }
+  if (cert.witness.has_value() != fresh.witness.has_value()) return false;
+  if (cert.witness.has_value() &&
+      cert.witness->ToString() != fresh.witness->ToString()) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sqleq

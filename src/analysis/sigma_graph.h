@@ -1,0 +1,190 @@
+// Static Σ-interaction analysis: query-aware dependency slicing and
+// machine-checkable chase-termination certificates.
+//
+// Thm 5.2 makes the chase polynomial in |Q| only for *fixed* Σ — so every
+// dependency carried along that can provably never fire is pure waste, both
+// in kernel compilation and in per-step applicability probes. SigmaGraph
+// precomputes, once per (Schema, Σ), the constant-aware may-match relation
+// between the atoms each dependency *writes* (tgd heads, egd-rewritten
+// bodies) and the atoms each dependency *reads* (its body). From a query's
+// body atoms, a monotone fixpoint then yields a sound Σ-slice: a dependency
+// is kept iff EVERY one of its body atoms may-match some atom of the
+// growing pool (query atoms plus the written atoms of already-kept
+// dependencies). Anything outside the slice cannot find a homomorphism at
+// any point of the chase of Q's canonical database — and, because backchase
+// candidates are sub-conjunctions of the universal plan, at any point of a
+// whole C&B run either. The abstraction is the one weak_acyclicity.h
+// already uses: variables are wildcards, egd rewrites are full wildcards,
+// only clashing constants sever a match.
+//
+// From the same graph the analysis derives a TerminationCertificate: the
+// stratification order (topologically sorted firing-graph components), a
+// per-stratum weak-acyclicity verdict, the maximum special-edge rank, and a
+// coarse static chase-step bound for a query of given size. Certificates
+// are advisory — engines never silently change budgets — but EXPLAIN
+// SLICE, the Σ-lint analyzer, and the shell's SET BUDGET AUTO surface them.
+#ifndef SQLEQ_ANALYSIS_SIGMA_GRAPH_H_
+#define SQLEQ_ANALYSIS_SIGMA_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "constraints/dependency.h"
+#include "constraints/weak_acyclicity.h"
+#include "ir/query.h"
+#include "ir/schema.h"
+
+namespace sqleq {
+
+/// The result of slicing Σ for one query body. Indices refer to the Σ the
+/// owning SigmaGraph was built from.
+struct SigmaSlice {
+  /// in_slice[i] — dependency i can possibly fire while chasing the query.
+  std::vector<bool> in_slice;
+  /// Indices of the kept dependencies, ascending.
+  std::vector<size_t> kept;
+  /// For every pruned dependency: the first body atom (rendered) that no
+  /// available atom may-match — the missing reachability link. Left empty
+  /// when the slice was computed with `render_pruned = false`.
+  struct Pruned {
+    size_t index = 0;
+    std::string blocked_atom;
+  };
+  std::vector<Pruned> pruned;
+
+  size_t total() const { return in_slice.size(); }
+  bool IsFull() const { return kept.size() == in_slice.size(); }
+
+  /// "kept/total:hexmask" — stable identity of the slice, suitable for
+  /// memo-key suffixes. Bit i of the mask is dependency i, 64 bits per hex
+  /// word, low word first. Precomputed by SigmaGraph::SliceFor so hot paths
+  /// (memo keys, subset lookups) never re-serialize the mask.
+  const std::string& Signature() const { return signature; }
+  std::string signature;
+};
+
+/// Machine-checkable chase-termination evidence derived from (Schema, Σ).
+/// `Verify` re-derives the certificate and compares, so a stored or
+/// transmitted certificate can be checked against the Σ it claims to cover.
+struct TerminationCertificate {
+  /// Σ as a whole is weakly acyclic (implies `stratified`).
+  bool weakly_acyclic = false;
+  /// Every firing stratum is weakly acyclic: the set chase terminates on
+  /// every input.
+  bool stratified = false;
+
+  /// One firing-graph component, in topological firing order (a stratum
+  /// only reads atoms written by itself or earlier strata).
+  struct Stratum {
+    std::vector<size_t> members;  ///< dependency indices, ascending
+    bool weakly_acyclic = false;  ///< the stratum in isolation
+    size_t max_rank = 0;          ///< special-edge depth of its position graph
+  };
+  std::vector<Stratum> strata;
+
+  /// Max special-edge rank: over the whole position graph when Σ is weakly
+  /// acyclic, else the per-stratum maximum. Bounds how many "generations"
+  /// of fresh nulls the chase can create.
+  size_t max_rank = 0;
+
+  /// When not stratified: a special-edge cycle refuting termination.
+  std::optional<SpecialCycle> witness;
+
+  /// True iff the set chase provably terminates on every input.
+  bool terminates() const { return stratified; }
+
+  /// A static upper bound on the number of chase steps for a query with
+  /// `query_atoms` body atoms over `query_terms` distinct terms, or 0 when
+  /// no finite bound is certified. Deliberately coarse (saturating
+  /// arithmetic; astronomically large bounds cap at kBoundCap) — use it to
+  /// pick safe budgets, never to predict runtimes.
+  static constexpr uint64_t kBoundCap = uint64_t{1} << 62;
+  uint64_t StepBound(size_t query_atoms, size_t query_terms) const;
+
+  /// "weakly acyclic, 3 strata, max rank 2" / "not stratified: <witness>".
+  std::string ToString() const;
+
+  // Inputs StepBound needs, recorded at build time.
+  uint64_t existentials = 0;   ///< total existential variables across tgds
+  uint64_t max_body_vars = 0;  ///< max distinct body variables of any tgd
+  std::vector<uint64_t> head_arities;  ///< arity of each relation Σ can write
+};
+
+/// The per-Σ analysis object. Build once, slice many queries. Immutable
+/// after construction; safe to share across threads by const reference.
+///
+/// Build() is deliberately cheap (it only tabulates each dependency's
+/// written atoms and indexes its body reads by predicate) so per-call
+/// adapters like the free SoundChase can slice without paying for
+/// certificate derivation; DeriveCertificate() is the expensive part and is
+/// computed on demand (ChasePlan caches it).
+class SigmaGraph {
+ public:
+  /// Tabulates the written atoms of every dependency. `schema` is advisory
+  /// (arity bookkeeping only); dependencies over relations the schema lacks
+  /// are still analyzed soundly.
+  static SigmaGraph Build(DependencySet sigma, const Schema& schema = {});
+
+  // writes_ points into sigma_'s elements: moving transfers the vector's
+  // heap buffer (pointers stay valid), copying would leave them dangling.
+  SigmaGraph(SigmaGraph&&) = default;
+  SigmaGraph& operator=(SigmaGraph&&) = default;
+  SigmaGraph(const SigmaGraph&) = delete;
+  SigmaGraph& operator=(const SigmaGraph&) = delete;
+
+  /// The sound Σ-slice for a query body: dependency i is kept iff every
+  /// atom of its body may-match an available atom, where the available pool
+  /// starts at `body` and grows by the written atoms of kept dependencies
+  /// until fixpoint. Deterministic. A counting worklist over the prebuilt
+  /// reader index makes this O(available atoms × same-predicate reads), not
+  /// O(|Σ|²) — it runs once per backchase candidate, so it must stay cheap
+  /// for large Σ. `render_pruned = false` skips rendering each pruned
+  /// dependency's blocked atom (diagnostics-only strings) for callers that
+  /// just chase or count.
+  SigmaSlice SliceFor(const std::vector<Atom>& body,
+                      bool render_pruned = true) const;
+
+  /// Stratification order, per-stratum weak-acyclicity, ranks, and the
+  /// StepBound inputs — the full termination analysis of this Σ.
+  TerminationCertificate DeriveCertificate() const;
+
+  /// Checks `cert` against this graph's Σ by re-derivation. True iff every
+  /// field matches the freshly computed certificate.
+  bool Verify(const TerminationCertificate& cert) const;
+
+  const DependencySet& sigma() const { return sigma_; }
+
+  /// True iff some dependency body atom carries a constant. Only then can a
+  /// query constant affect coverage (MayMatchAtom severs solely on
+  /// constant-vs-constant clashes against body reads) — when false, slices
+  /// are constant-invariant and callers may cache them per variable-blind
+  /// body shape (ChasePlan does).
+  bool body_reads_constants() const { return body_reads_constants_; }
+
+ private:
+  SigmaGraph() = default;
+
+  DependencySet sigma_;
+  /// writes_[i]: atoms dependency i can add or rewrite (borrow from sigma_).
+  std::vector<std::vector<WrittenAtomView>> writes_;
+
+  /// One body-atom read: `atom`-th atom of dependency `dep`'s body.
+  struct Reader {
+    uint32_t dep = 0;
+    uint32_t atom = 0;
+  };
+  /// predicate → every body-atom read of that relation across Σ. SliceFor's
+  /// worklist consults only the bucket of each newly available atom.
+  std::unordered_map<std::string, std::vector<Reader>> readers_;
+  /// body_offset_[i] is the start of dependency i's atoms in SliceFor's
+  /// flat covered bitmap; body_offset_[sigma_.size()] is the total.
+  std::vector<uint32_t> body_offset_;
+  bool body_reads_constants_ = false;
+};
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_ANALYSIS_SIGMA_GRAPH_H_

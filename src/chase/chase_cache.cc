@@ -203,10 +203,36 @@ std::pair<std::shared_ptr<const ChaseOutcome>, bool> ChaseMemo::InsertLocked(
   return {std::move(outcome), true};
 }
 
+void ChaseMemo::PinEnvelope(const ConjunctiveQuery& envelope) {
+  if (!plan_->options().use_sigma_slicing) return;
+  pinned_slice_ = &plan_->SliceFor(envelope);
+  pinned_suffix_ = "|slice:";
+  pinned_suffix_ += pinned_slice_->Signature();
+}
+
 Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
     const ConjunctiveQuery& q, std::string* out_key, const ChaseRuntime& runtime) {
   ConjunctiveQuery canonical = q;  // overwritten by CanonicalQueryKey
-  std::string key = CanonicalQueryKey(q, &canonical);
+  const std::string subject = CanonicalQueryKey(q, &canonical);
+  std::string key = subject;
+  const SigmaSlice* slice = nullptr;
+  if (plan_->options().use_sigma_slicing) {
+    // Two body shapes that slice Σ differently must never share an entry;
+    // shapes that slice identically still can (the slice is a function of
+    // the shape, so this is a refinement, not a correctness need — but it
+    // keeps cache keys self-describing in stats). The
+    // slice is handed back to Run() below so each candidate is sliced once.
+    // A pinned envelope slice (PinEnvelope) short-circuits even that: one
+    // slice, one kernel subset, for the whole backchase sweep.
+    if (pinned_slice_ != nullptr) {
+      slice = pinned_slice_;
+      key += pinned_suffix_;
+    } else {
+      slice = &plan_->SliceFor(canonical);
+      key += "|slice:";
+      key += slice->Signature();
+    }
+  }
   if (out_key != nullptr) *out_key = key;
   std::shared_ptr<const ChaseOutcome> cached;
   {
@@ -224,10 +250,16 @@ Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
   if (cached != nullptr) return cached;
   // Chase outside the lock: other keys (and even this key, on a concurrent
   // miss) may be chased in parallel; the first insert wins.
-  ChaseRuntime inner = RuntimeForKey(runtime, key);
-  Result<ChaseOutcome> outcome = plan_->Run(canonical, inner);
+  // Checkpoint subjects use the plain canonical key, not the slice-suffixed
+  // memo key: the slice is a function of the canonical body (and slicing is
+  // trace-invariant), so a checkpoint resumes correctly across slicing
+  // configurations while still never replaying into a different query.
+  ChaseRuntime inner = RuntimeForKey(runtime, subject);
+  Result<ChaseOutcome> outcome = slice != nullptr
+                                     ? plan_->Run(canonical, inner, *slice)
+                                     : plan_->Run(canonical, inner);
   if (!outcome.ok()) {
-    StampSubject(inner, key);
+    StampSubject(inner, subject);
     return outcome.status();
   }
   SQLEQ_RETURN_IF_ERROR(
@@ -246,7 +278,19 @@ Result<ChaseOutcome> ChaseMemo::Chase(const ConjunctiveQuery& q,
                                       const ChaseRuntime& runtime) {
   ConjunctiveQuery canonical = q;
   TermMap from_canonical;
-  std::string key = CanonicalQueryKey(q, &canonical, &from_canonical);
+  const std::string subject = CanonicalQueryKey(q, &canonical, &from_canonical);
+  std::string key = subject;
+  const SigmaSlice* slice = nullptr;
+  if (plan_->options().use_sigma_slicing) {
+    if (pinned_slice_ != nullptr) {
+      slice = pinned_slice_;
+      key += pinned_suffix_;
+    } else {
+      slice = &plan_->SliceFor(canonical);
+      key += "|slice:";
+      key += slice->Signature();
+    }
+  }
   std::shared_ptr<const ChaseOutcome> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -261,10 +305,12 @@ Result<ChaseOutcome> ChaseMemo::Chase(const ConjunctiveQuery& q,
   }
   CountMemoLookup(runtime.metrics, /*hit=*/entry != nullptr);
   if (entry == nullptr) {
-    ChaseRuntime inner = RuntimeForKey(runtime, key);
-    Result<ChaseOutcome> outcome = plan_->Run(canonical, inner);
+    ChaseRuntime inner = RuntimeForKey(runtime, subject);
+    Result<ChaseOutcome> outcome = slice != nullptr
+                                       ? plan_->Run(canonical, inner, *slice)
+                                       : plan_->Run(canonical, inner);
     if (!outcome.ok()) {
-      StampSubject(inner, key);
+      StampSubject(inner, subject);
       return outcome.status();
     }
     SQLEQ_RETURN_IF_ERROR(

@@ -66,6 +66,15 @@ class ChaseMemo {
   /// no runtime in scope). 0 removes the bound.
   void set_byte_limit(size_t byte_limit);
 
+  /// Pins the Σ-slice of `envelope` for every later chase through this
+  /// memo. Sound exactly when each chased query is a sub-conjunction of
+  /// `envelope` (up to renaming) — the backchase invariant: Σ-slices are
+  /// monotone in the body, so the envelope's slice is a sound slice for
+  /// every candidate, and the whole lattice sweep shares one compiled
+  /// kernel subset instead of slicing each candidate shape separately.
+  /// Call before the first chase; no-op when the plan does not slice.
+  void PinEnvelope(const ConjunctiveQuery& envelope);
+
   /// Memoized SoundChase of `q`, returned in canonical variable space (NOT
   /// remapped to q's variables) — sufficient for every isomorphism-invariant
   /// use (the equivalence tests of Thms 2.2/6.1/6.2). Shared pointer: the
@@ -133,6 +142,11 @@ class ChaseMemo {
   void EvictLocked(MetricsRegistry* metrics);
 
   const std::shared_ptr<const ChasePlan> plan_;
+
+  /// Set by PinEnvelope: the envelope's slice (stable reference into the
+  /// plan's shape cache) and its prebuilt "|slice:<sig>" key suffix.
+  const SigmaSlice* pinned_slice_ = nullptr;
+  std::string pinned_suffix_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> cache_;

@@ -18,6 +18,12 @@
 #ifndef SQLEQ_CHASE_CHASE_PLAN_H_
 #define SQLEQ_CHASE_CHASE_PLAN_H_
 
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/sigma_graph.h"
 #include "chase/set_chase.h"
 #include "chase/sigma_plan.h"
 #include "chase/sound_chase.h"
@@ -44,6 +50,29 @@ class ChasePlan {
   Result<ChaseOutcome> Run(const ConjunctiveQuery& q,
                            const ChaseRuntime& runtime = {}) const;
 
+  /// Run() with the Σ-slice already in hand: `slice` must be this plan's
+  /// SliceFor(q) (callers like ChaseMemo need the slice for their cache key
+  /// anyway, and passing it back avoids a second shape-cache lookup per
+  /// chased candidate). Identical outcome to Run(q, runtime).
+  Result<ChaseOutcome> Run(const ConjunctiveQuery& q, const ChaseRuntime& runtime,
+                           const SigmaSlice& slice) const;
+
+  /// The sound Σ-slice for `q` over the plan's *regularized* Σ: the
+  /// dependencies the static may-match analysis (analysis/sigma_graph.h)
+  /// cannot rule out from firing while chasing q's canonical database.
+  /// Run() chases exactly this subset when options().use_sigma_slicing is
+  /// on; ChaseMemo folds Signature() into its keys. Cached per body shape
+  /// (atoms up to variable renaming), so repeat calls are a lookup; the
+  /// returned reference is stable for the plan's lifetime (entries are
+  /// never evicted). Pruned diagnostics are not rendered here — use
+  /// SigmaGraph::SliceFor directly for EXPLAIN SLICE-style output.
+  const SigmaSlice& SliceFor(const ConjunctiveQuery& q) const;
+
+  /// The termination certificate of the regularized Σ, derived on first
+  /// use and cached. Advisory: Run() never changes budgets from it; EXPLAIN
+  /// SLICE, the Σ-lint analyzer, and SET BUDGET AUTO surface it.
+  const TerminationCertificate& certificate() const;
+
   const DependencySet& sigma() const { return sigma_; }
   const DependencySet& regularized() const { return regular_; }
   Semantics semantics() const { return semantics_; }
@@ -54,16 +83,42 @@ class ChasePlan {
   struct Stats {
     SigmaPlan::Stats kernels;
     bool compiled_path = false;  ///< options().use_compiled_kernels
+    bool sliced_path = false;    ///< options().use_sigma_slicing
   };
   Stats stats() const;
 
  private:
+  /// One materialized Σ-slice: the kept dependencies plus their compiled
+  /// kernels (positional Subset of the full plan, so key-based flags are
+  /// bit-identical to the full compile). Shared so a slice outlives the
+  /// mutex scope while Run() chases through it.
+  struct SlicedSigma {
+    DependencySet deps;
+    SigmaPlan kernels;
+  };
+  std::shared_ptr<const SlicedSigma> SlicedFor(const SigmaSlice& slice) const;
+
+  /// The unsliced compiled chase — shared tail of both Run overloads.
+  Result<ChaseOutcome> RunFull(const ConjunctiveQuery& q,
+                               const ChaseRuntime& runtime) const;
+
   DependencySet sigma_;
   DependencySet regular_;
   Semantics semantics_;
   Schema schema_;
   ChaseOptions options_;
   SigmaPlan plan_;
+  SigmaGraph graph_;  ///< over regular_; cheap to build, immutable
+
+  // Lazy, per-plan caches. Keyed by body shape (slices) and slice
+  // signature (materialized subsets); both key spaces are tiny in practice
+  // — a handful of query shapes per catalog — and bounded by the memo's
+  // own LRU upstream, so no eviction here.
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<TerminationCertificate> certificate_;
+  mutable std::unordered_map<std::string, SigmaSlice> slices_;
+  mutable std::unordered_map<std::string, std::shared_ptr<const SlicedSigma>>
+      subsets_;
 };
 
 }  // namespace sqleq

@@ -66,6 +66,14 @@ struct ChaseOptions {
   /// asserts it); disable to run the executable-spec path, e.g. as a
   /// differential oracle.
   bool use_compiled_kernels = true;
+  /// Chase only the sound Σ-slice for the query (analysis/sigma_graph.h):
+  /// dependencies the static may-match analysis proves can never fire on
+  /// the query's canonical database are dropped before the loop starts.
+  /// Provably conservative — sliced and full runs are trace-identical (the
+  /// property suite asserts it) — so this is a pure perf knob. Honored by
+  /// ChasePlan::Run and the free SoundChase; the free SetChase always
+  /// chases the full Σ (it is the executable specification).
+  bool use_sigma_slicing = true;
 };
 
 /// One entry of a chase trace.

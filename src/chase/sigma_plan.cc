@@ -29,6 +29,13 @@ SigmaPlan SigmaPlan::Compile(const DependencySet& sigma, const Schema& schema) {
   return plan;
 }
 
+SigmaPlan SigmaPlan::Subset(const std::vector<size_t>& kept) const {
+  SigmaPlan out;
+  out.kernels_.reserve(kept.size());
+  for (size_t i : kept) out.kernels_.push_back(kernels_[i]);
+  return out;
+}
+
 SigmaPlan::Stats SigmaPlan::stats() const {
   Stats s;
   s.dependencies = kernels_.size();

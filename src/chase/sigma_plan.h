@@ -73,6 +73,13 @@ class SigmaPlan {
   std::optional<EgdApplication> FindEgdApplication(size_t dep_index,
                                                    const FlatConjunction& to) const;
 
+  /// The kernels at positions `kept` (ascending indices into this plan), as
+  /// a plan for the corresponding dependency subset: kernel i of the result
+  /// serves dependency kept[i]. Used by Σ-slicing (analysis/sigma_graph.h);
+  /// copying compiled kernels keeps the key-based flags bit-identical to
+  /// the full compile instead of re-deriving them against the subset.
+  SigmaPlan Subset(const std::vector<size_t>& kept) const;
+
   /// Cached IsKeyBased(tgd, Σ, schema, require_set_valued).
   bool KeyBased(size_t dep_index, bool require_set_valued) const {
     const DepKernel& k = kernels_[dep_index];

@@ -3,6 +3,7 @@
 #include <optional>
 #include <unordered_set>
 
+#include "analysis/sigma_graph.h"
 #include "chase/assignment_fixing.h"
 #include "chase/chase_internal.h"
 #include "chase/chase_step.h"
@@ -237,6 +238,31 @@ Result<ChaseOutcome> SoundChase(const ConjunctiveQuery& q, const DependencySet& 
                                 const ChaseOptions& options,
                                 const ChaseRuntime& runtime) {
   DependencySet regular = RegularizeSigma(sigma);
+  if (options.use_sigma_slicing) {
+    // Per-call slicing mirrors ChasePlan::Run so the two surfaces stay
+    // trace-identical under identical options. SigmaGraph::Build is cheap
+    // (certificate derivation is the expensive part and is not needed here).
+    SigmaGraph graph = SigmaGraph::Build(regular, schema);
+    SigmaSlice slice = graph.SliceFor(q.body());
+    if (runtime.metrics != nullptr) {
+      runtime.metrics->counter(metric::kSliceKept).Add(slice.kept.size());
+      runtime.metrics->counter(metric::kSlicePruned).Add(slice.pruned.size());
+    }
+    if (!slice.IsFull()) {
+      DependencySet sliced;
+      sliced.reserve(slice.kept.size());
+      for (size_t i : slice.kept) sliced.push_back(regular[i]);
+      if (options.use_compiled_kernels) {
+        // Subset of the full compile, not a fresh compile of the subset:
+        // keeps the cached key-based flags bit-identical to the full path.
+        SigmaPlan plan = SigmaPlan::Compile(regular, schema).Subset(slice.kept);
+        return chase_internal::SoundChaseRegular(q, sliced, &plan, semantics,
+                                                 schema, options, runtime);
+      }
+      return chase_internal::SoundChaseRegular(q, sliced, nullptr, semantics,
+                                               schema, options, runtime);
+    }
+  }
   if (options.use_compiled_kernels) {
     // Per-call adapter: compile a throwaway plan. Callers with a fixed Σ
     // should hold a ChasePlan instead and pay regularization + kernel

@@ -74,17 +74,10 @@ std::optional<SpecialCycle> FindSpecialCycleInGraph(
   return std::nullopt;
 }
 
-/// An atom firing `dep` can add or rewrite, with `wildcard` marking atoms
-/// whose argument values are unconstrained: head atoms for a tgd (their
-/// constants are literal); body atoms for an egd (its merges rewrite the
-/// matched tuples to values the egd text does not determine).
-struct WrittenAtom {
-  const Atom* atom;
-  bool wildcard;
-};
+}  // namespace
 
-std::vector<WrittenAtom> WrittenAtoms(const Dependency& dep) {
-  std::vector<WrittenAtom> out;
+std::vector<WrittenAtomView> DependencyWrites(const Dependency& dep) {
+  std::vector<WrittenAtomView> out;
   if (dep.IsTgd()) {
     for (const Atom& h : dep.tgd().head()) out.push_back({&h, false});
   } else {
@@ -93,12 +86,7 @@ std::vector<WrittenAtom> WrittenAtoms(const Dependency& dep) {
   return out;
 }
 
-/// Whether a tuple produced by `written` can match `read`. Variables are
-/// wildcards (an existential null may later be merged into anything);
-/// only a position where both atoms carry distinct constants rules a match
-/// out — constants are never rewritten (an egd equating two constants fails
-/// the chase instead).
-bool MayMatch(const WrittenAtom& written, const Atom& read) {
+bool MayMatchAtom(const WrittenAtomView& written, const Atom& read) {
   const Atom& w = *written.atom;
   if (w.predicate() != read.predicate() || w.arity() != read.arity()) return false;
   if (written.wildcard) return true;
@@ -110,19 +98,18 @@ bool MayMatch(const WrittenAtom& written, const Atom& read) {
   return true;
 }
 
-/// Strongly connected components of the firing graph over dependency
-/// indices, via iterative Tarjan. Deterministic for fixed inputs.
+/// Iterative Tarjan over the may-match firing graph.
 std::vector<std::vector<size_t>> FiringComponents(const DependencySet& sigma) {
   size_t n = sigma.size();
-  std::vector<std::vector<WrittenAtom>> writes(n);
-  for (size_t i = 0; i < n; ++i) writes[i] = WrittenAtoms(sigma[i]);
+  std::vector<std::vector<WrittenAtomView>> writes(n);
+  for (size_t i = 0; i < n; ++i) writes[i] = DependencyWrites(sigma[i]);
   std::vector<std::vector<size_t>> succ(n);
   for (size_t a = 0; a < n; ++a) {
     for (size_t b = 0; b < n; ++b) {
       bool fires = false;
-      for (const WrittenAtom& w : writes[a]) {
+      for (const WrittenAtomView& w : writes[a]) {
         for (const Atom& r : sigma[b].body()) {
-          if (MayMatch(w, r)) {
+          if (MayMatchAtom(w, r)) {
             fires = true;
             break;
           }
@@ -187,8 +174,6 @@ std::vector<std::vector<size_t>> FiringComponents(const DependencySet& sigma) {
   std::sort(components.begin(), components.end());
   return components;
 }
-
-}  // namespace
 
 std::string SpecialCycle::ToString() const {
   if (edges.empty()) return "(empty cycle)";

@@ -65,6 +65,33 @@ struct SpecialCycle {
 /// The dependency graph of the tgds of Σ (egds contribute nothing).
 std::vector<PositionEdge> BuildDependencyGraph(const DependencySet& sigma);
 
+/// An atom firing a dependency can add or rewrite, with `wildcard` marking
+/// atoms whose argument values are unconstrained: head atoms for a tgd
+/// (their constants are literal); body atoms for an egd (its merges rewrite
+/// the matched tuples to values the egd text does not determine). The
+/// pointer borrows from the dependency it was extracted from.
+struct WrittenAtomView {
+  const Atom* atom;
+  bool wildcard;
+};
+
+/// The atoms firing `dep` can add or rewrite (see WrittenAtomView). Views
+/// borrow from `dep`, which must outlive them.
+std::vector<WrittenAtomView> DependencyWrites(const Dependency& dep);
+
+/// Whether a tuple produced by `written` can match `read`. Variables are
+/// wildcards (an existential null may later be merged into anything); only
+/// a position where both atoms carry distinct constants rules a match out —
+/// constants are never rewritten (an egd equating two constants fails the
+/// chase instead).
+bool MayMatchAtom(const WrittenAtomView& written, const Atom& read);
+
+/// Strongly connected components of the firing graph over dependency
+/// indices (σ ≺ σ′ when a written atom of σ may-matches a body atom of σ′).
+/// Each component is sorted ascending; the component list is sorted too.
+/// Deterministic for fixed inputs.
+std::vector<std::vector<size_t>> FiringComponents(const DependencySet& sigma);
+
 /// A cycle through a special edge, or nullopt when Σ is weakly acyclic.
 /// Deterministic for fixed inputs.
 std::optional<SpecialCycle> FindSpecialCycle(const DependencySet& sigma);

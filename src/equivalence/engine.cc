@@ -22,6 +22,7 @@ std::string ContextKey(const EquivRequest& request, const ChaseOptions& chase) {
   key += chase.egds_first ? "E" : "e";
   key += chase.key_based_fast_path ? "K" : "k";
   key += chase.use_compiled_kernels ? "C" : "c";
+  key += chase.use_sigma_slicing ? "S" : "s";
   key += std::to_string(chase.budget.max_chase_steps);
   return key;
 }
@@ -85,6 +86,7 @@ Result<EquivVerdict> EquivalenceEngine::Equivalent(const ConjunctiveQuery& q1,
   if (request.analyze.enabled) {
     AnalyzeOptions analyze = request.analyze;
     if (analyze.budget == ResourceBudget{}) analyze.budget = ctx.budget;
+    if (analyze.metrics == nullptr) analyze.metrics = ctx.metrics;
     SQLEQ_RETURN_IF_ERROR(ReportToStatus(
         AnalyzeProgram(request.schema, request.sigma, {q1, q2}, analyze)));
   }

@@ -169,8 +169,11 @@ Result<CandBResult> ChaseAndBackchase(const ConjunctiveQuery& q,
   }
 
   // ---- Backchase phase: subqueries of U, smallest first, chased through a
-  // shared memo so isomorphic candidates cost one chase. ----
+  // shared memo so isomorphic candidates cost one chase. Every candidate is
+  // a sub-conjunction of U, so U's Σ-slice is sound for all of them — pin
+  // it once instead of slicing 2^n candidate shapes.
   ChaseMemo memo(chase_plan);
+  memo.PinEnvelope(u);
   ChaseRuntime memo_runtime;
   memo_runtime.faults = ctx.faults;
   memo_runtime.cancel = ctx.cancel;

@@ -1,13 +1,16 @@
 #include "shell/engine.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <set>
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/sigma_graph.h"
 #include "equivalence/engine.h"
 #include "equivalence/explain.h"
 #include "ir/parser.h"
@@ -157,6 +160,28 @@ std::optional<ExhaustionInfo> ResponseExhaustion(const JsonValue& response) {
   info.progress = ResponseString(*e, "progress");
   return info;
 }
+
+/// Distinct terms (variables and constants) in a query's body — the
+/// `query_terms` input of TerminationCertificate::StepBound.
+size_t QueryTermCount(const ConjunctiveQuery& q) {
+  std::set<std::string> terms;
+  for (const Atom& a : q.body()) {
+    for (const Term& t : a.args()) terms.insert(t.ToString());
+  }
+  return terms.size();
+}
+
+/// Renders a StepBound value; the saturated cap prints symbolically.
+std::string RenderBound(uint64_t bound) {
+  if (bound >= TerminationCertificate::kBoundCap) {
+    return ">=2^62 (finite but astronomically large)";
+  }
+  return std::to_string(bound);
+}
+
+/// SET BUDGET AUTO clamps the certificate bound here so a sound but
+/// astronomical bound still yields a usable interactive budget.
+constexpr uint64_t kAutoBudgetCap = uint64_t{1} << 20;
 
 /// Budget fields of a check/reformulate request; the server narrows its own
 /// defaults to these, so SET BUDGET / SET THREADS apply remotely too.
@@ -367,6 +392,10 @@ Result<std::string> ScriptEngine::ExecEval(std::string_view rest) {
 }
 
 Result<std::string> ScriptEngine::ExecEquiv(std::string_view rest, bool explain) {
+  if (explain) {
+    auto [mode, tail] = SplitKeyword(rest);
+    if (EqualsIgnoreCase(mode, "SLICE")) return ExecExplainSlice(tail);
+  }
   SQLEQ_ASSIGN_OR_RETURN(auto args, ParseArgs(rest));
   if (args.first.size() != 2) {
     return Status::InvalidArgument("usage: EQUIV|EXPLAIN <q1> <q2> [UNDER S|B|BS]");
@@ -400,6 +429,36 @@ Result<std::string> ScriptEngine::ExecEquiv(std::string_view rest, bool explain)
   }
   return args.first[0] + (verdict.equivalent ? " == " : " != ") + args.first[1] +
          "  under " + SemanticsToString(sem) + " semantics (given Sigma)\n";
+}
+
+Result<std::string> ScriptEngine::ExecExplainSlice(std::string_view rest) {
+  auto [name, tail] = SplitKeyword(rest);
+  if (name.empty() || !Trim(tail).empty()) {
+    return Status::InvalidArgument("usage: EXPLAIN SLICE <query>");
+  }
+  SQLEQ_ASSIGN_OR_RETURN(NamedQuery named, GetQuery(name));
+  SigmaGraph graph = SigmaGraph::Build(catalog_.sigma, catalog_.schema);
+  SigmaSlice slice = graph.SliceFor(named.query.body());
+  std::string out = "slice for " + name + ": keeps " +
+                    std::to_string(slice.kept.size()) + " of " +
+                    std::to_string(slice.total()) + " dependencies [" +
+                    slice.Signature() + "]\n";
+  for (size_t i : slice.kept) {
+    out += "  kept   " + graph.sigma()[i].ToString() + "\n";
+  }
+  for (const SigmaSlice::Pruned& p : slice.pruned) {
+    out += "  pruned " + graph.sigma()[p.index].ToString() +
+           "  -- body atom " + p.blocked_atom + " can never be matched\n";
+  }
+  TerminationCertificate cert = graph.DeriveCertificate();
+  out += "certificate: " + cert.ToString() + "\n";
+  if (cert.terminates()) {
+    uint64_t bound = cert.StepBound(named.query.body().size(),
+                                    QueryTermCount(named.query));
+    out += "static chase-step bound for " + name + ": " + RenderBound(bound) +
+           "  (SET BUDGET AUTO adopts it)\n";
+  }
+  return out;
 }
 
 Result<std::string> ScriptEngine::ExecMinimize(std::string_view rest) {
@@ -472,6 +531,7 @@ Result<std::string> ScriptEngine::ExecLint(std::string_view rest) {
   AnalyzeOptions opts = AnalyzeOptions::Full();
   opts.warnings_as_errors = strict;
   opts.budget = budget_;
+  opts.metrics = &metrics_;  // analysis.diag.<code> counters for SHOW STATS
   std::vector<ConjunctiveQuery> queries;
   for (const auto& [name, named] : queries_) queries.push_back(named.query);
   for (const std::string& name : views_.names()) {
@@ -500,6 +560,36 @@ Result<std::string> ScriptEngine::ExecSet(std::string_view rest) {
   }
   if (EqualsIgnoreCase(what, "BUDGET")) {
     auto [steps_word, tail2] = SplitKeyword(tail);
+    if (EqualsIgnoreCase(steps_word, "AUTO")) {
+      if (!Trim(tail2).empty()) {
+        return Status::InvalidArgument("usage: SET BUDGET AUTO");
+      }
+      if (queries_.empty()) {
+        return Status::FailedPrecondition(
+            "SET BUDGET AUTO needs at least one QUERY to bound");
+      }
+      SigmaGraph graph = SigmaGraph::Build(catalog_.sigma, catalog_.schema);
+      TerminationCertificate cert = graph.DeriveCertificate();
+      if (!cert.terminates()) {
+        std::string why = cert.ToString();
+        return Status::FailedPrecondition(
+            "SET BUDGET AUTO needs a termination certificate, but Sigma has "
+            "none (" + why + "); set an explicit SET BUDGET instead");
+      }
+      uint64_t bound = 0;
+      for (const auto& [qname, named] : queries_) {
+        uint64_t b = cert.StepBound(named.query.body().size(),
+                                    QueryTermCount(named.query));
+        if (b > bound) bound = b;
+      }
+      uint64_t clamped = std::min(bound, kAutoBudgetCap);
+      budget_.max_chase_steps = static_cast<size_t>(clamped);
+      std::string out = "set budget: " + budget_.ToString() +
+                        "  (certificate bound " + RenderBound(bound);
+      if (clamped != bound) out += ", clamped to " + std::to_string(clamped);
+      out += ")\n";
+      return out;
+    }
     auto [cands_word, tail3] = SplitKeyword(tail2);
     if (!Trim(tail3).empty()) {
       return Status::InvalidArgument("usage: SET BUDGET <chase-steps> <candidates>");
@@ -541,7 +631,7 @@ Result<std::string> ScriptEngine::ExecSet(std::string_view rest) {
   }
   return Status::InvalidArgument(
       "usage: SET THREADS <n> | SET BUDGET <chase-steps> <candidates> | "
-      "SET RETRY <attempts> [<growth>] | SET RETRY OFF");
+      "SET BUDGET AUTO | SET RETRY <attempts> [<growth>] | SET RETRY OFF");
 }
 
 Result<std::string> ScriptEngine::ExecShow(std::string_view rest) {

@@ -10,11 +10,14 @@
 //   EVAL q1;                         -- evaluate on the loaded data
 //   EQUIV q1 q2 [UNDER S|B|BS];      -- equivalence under Σ
 //   EXPLAIN q1 q2 [UNDER S|B|BS];    -- ... with chase traces and witnesses
+//   EXPLAIN SLICE q1;                -- Σ-slice + termination certificate for q1
 //   MINIMIZE q1 [UNDER S|B|BS];      -- C&B reformulations, rendered as SQL
 //   REWRITE q1 [UNDER S|B|BS];       -- rewritings over the registered views
 //   LINT [STRICT];                   -- Σ-lint the session (STRICT: warnings err)
 //   SET THREADS n;                   -- backchase worker threads
 //   SET BUDGET <steps> <candidates>; -- chase-step / candidate limits
+//   SET BUDGET AUTO;                 -- chase-step limit from the termination
+//                                    --   certificate's static bound
 //   SET RETRY n [growth] | OFF;      -- escalating-budget retries on exhaustion
 //   SHOW SCHEMA | SIGMA | QUERIES | DATA | BUDGET | STATS;
 //   TRACE ON | OFF | EXPORT <file>;  -- chase-span tracing (Chrome trace JSON)
@@ -116,6 +119,10 @@ class ScriptEngine {
   Result<std::string> ExecQuery(std::string_view rest);
   Result<std::string> ExecEval(std::string_view rest);
   Result<std::string> ExecEquiv(std::string_view rest, bool explain);
+  /// EXPLAIN SLICE <query>: which dependencies the Σ-slice keeps/prunes for
+  /// the query, why each pruned one can never fire, and the termination
+  /// certificate with its static chase-step bound.
+  Result<std::string> ExecExplainSlice(std::string_view rest);
   Result<std::string> ExecMinimize(std::string_view rest);
   Result<std::string> ExecRewrite(std::string_view rest);
   Result<std::string> ExecLint(std::string_view rest);

@@ -12,6 +12,7 @@
 #include "sql/sql_parser.h"
 #include "sql/translate.h"
 #include "util/string_util.h"
+#include "util/telemetry.h"
 
 namespace sqleq {
 namespace shell {
@@ -39,10 +40,14 @@ struct ScriptState {
   size_t views = 0;
   int dep_counter = 0;
   AnalysisReport report;
+  MetricsRegistry* metrics = nullptr;  // analysis.diag.<code> counters
 };
 
 void Emit(ScriptState* st, std::string code, Severity severity, std::string subject,
           std::string message, std::string fix_hint = "") {
+  if (st->metrics != nullptr) {
+    st->metrics->counter(metric::kAnalysisDiagPrefix + code).Add();
+  }
   st->report.diagnostics.push_back(Diagnostic{std::move(code), severity,
                                               std::move(message), std::move(subject),
                                               std::move(fix_hint)});
@@ -231,6 +236,14 @@ void LintStatement(ScriptState* st, size_t number, std::string_view statement) {
     return CheckReferences(st, subject, rest, 1, "usage: EVAL <query> [UNDER S|B|BS]");
   }
   if (EqualsIgnoreCase(keyword, "EQUIV") || EqualsIgnoreCase(keyword, "EXPLAIN")) {
+    if (EqualsIgnoreCase(keyword, "EXPLAIN")) {
+      auto [mode, tail] = SplitKeyword(rest);
+      if (EqualsIgnoreCase(mode, "SLICE")) {
+        // EXPLAIN SLICE <query> — one name, no semantics clause.
+        return CheckReferences(st, subject, tail, 1,
+                               "usage: EXPLAIN SLICE <query>");
+      }
+    }
     return CheckReferences(st, subject, rest, 2,
                            "usage: EQUIV|EXPLAIN <q1> <q2> [UNDER S|B|BS]");
   }
@@ -279,6 +292,7 @@ LintResult LintScript(std::string_view script, const AnalyzeOptions& opts) {
   std::string stripped = StripLineComments(script);
   script = stripped;
   ScriptState state;
+  state.metrics = opts.metrics;
   size_t number = 0;
   size_t start = 0;
   while (start <= script.size()) {
@@ -295,6 +309,15 @@ LintResult LintScript(std::string_view script, const AnalyzeOptions& opts) {
   for (const ParsedQueryParts& q : state.queries) {
     state.report.Merge(AnalyzeQueryParts(state.catalog.schema, q.name, q.head,
                                          q.body, opts));
+  }
+  if (opts.check_slicing) {
+    std::vector<QueryBodyRef> bodies;
+    bodies.reserve(state.queries.size());
+    for (const ParsedQueryParts& q : state.queries) {
+      bodies.push_back(QueryBodyRef{q.name, q.body});
+    }
+    state.report.Merge(AnalyzeSigmaSlicing(state.catalog.schema,
+                                           state.catalog.sigma, bodies, opts));
   }
 
   LintResult result;

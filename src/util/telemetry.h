@@ -42,6 +42,11 @@ inline constexpr char kChaseSteps[] = "chase.steps";
 inline constexpr char kChaseStepsTgd[] = "chase.steps.tgd";
 inline constexpr char kChaseStepsEgd[] = "chase.steps.egd";
 inline constexpr char kChaseChecksSatisfied[] = "chase.checks.satisfied";
+inline constexpr char kSliceKept[] = "slice.kept";
+inline constexpr char kSlicePruned[] = "slice.pruned";
+/// Per-code diagnostic counters: kAnalysisDiagPrefix + <code>, one counter
+/// per diagnostic code the analyzer or script linter emits.
+inline constexpr char kAnalysisDiagPrefix[] = "analysis.diag.";
 inline constexpr char kMemoHits[] = "memo.hits";
 inline constexpr char kMemoMisses[] = "memo.misses";
 inline constexpr char kMemoInserts[] = "memo.inserts";

@@ -178,6 +178,32 @@ TEST(AnalyzeDependencies, ImplicationCheckBudgetYieldsIncompleteNote) {
   EXPECT_FALSE(report.HasErrors());
 }
 
+TEST(AnalyzeDependencies, ImplicationBudgetIsPerDependency) {
+  // Regression pin: every dependency's implication check gets opts.budget
+  // AFRESH. A slow check early in Σ (the chain below burns through two
+  // chase steps immediately) must not starve the checks after it — the
+  // cheap duplicate pair at the END of Σ is still detected as implied,
+  // which would be impossible if the budget drained across dependencies.
+  AnalyzeOptions opts = AnalyzeOptions::Full();
+  opts.budget.max_chase_steps = 2;
+  DependencySet sigma = Sigma({
+      "p(X, Y) -> q(X, Z).",
+      "q(X, Y) -> r(X, W).",
+      "r(X, Y) -> t(X, V).",
+      "p(X, Y), t(X, W) -> u(X).",
+      "s(X, Y) -> v(X).",
+      "s(A, B) -> v(A).",
+  });
+  AnalysisReport report = AnalyzeDependencies(Schema(), sigma, opts);
+  EXPECT_TRUE(HasCode(report, "analysis-incomplete"));
+  const Diagnostic* implied = Find(report, "dependency-implied");
+  ASSERT_NE(implied, nullptr)
+      << "late cheap checks were starved by an early slow one:\n"
+      << report.ToString();
+  EXPECT_EQ(implied->subject.rfind("dependency sigma", 0), 0u);
+  EXPECT_FALSE(report.HasErrors());
+}
+
 // --- query checks ---
 
 TEST(AnalyzeQuery, UnsafeHeadViaWithBody) {

@@ -1,0 +1,174 @@
+// Catalogue-sync test: docs/diagnostics.md and the code stay in lockstep.
+//
+// 1. Every code KnownDiagnosticCodes() declares has a `### `code` (sev)`
+//    entry in the catalogue, and every catalogue entry names a known code.
+// 2. Every catalogue entry has a triggering fixture: either a fenced shell
+//    snippet right in its docs section (linted here, expected to emit the
+//    code at the documented severity), or an API-level fixture in this file
+//    for the codes the docs explain cannot fire from script text alone.
+//
+// Adding an Emit call with a new code therefore fails this test until the
+// code is registered in KnownDiagnosticCodes(), documented with a trigger,
+// and (if the trigger is not a script snippet) given a fixture below.
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "shell/lint.h"
+#include "test_util.h"
+
+#ifndef SQLEQ_DIAGNOSTICS_MD
+#error "SQLEQ_DIAGNOSTICS_MD must point at docs/diagnostics.md"
+#endif
+
+namespace sqleq {
+namespace {
+
+struct CatalogueEntry {
+  std::string severity;  // "error" / "warning" / "info"
+  std::string snippet;   // first fenced block of the section, "" if none
+};
+
+/// Parses docs/diagnostics.md: each `### `code` (severity)` heading opens a
+/// section; the first fenced ``` block before the next heading is the
+/// section's trigger snippet.
+std::map<std::string, CatalogueEntry> ParseCatalogue(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::map<std::string, CatalogueEntry> entries;
+  std::string current;  // code of the open section, "" outside sections
+  bool in_fence = false;
+  bool fence_captured = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("```", 0) == 0) {
+      if (!in_fence) {
+        in_fence = true;
+      } else {
+        in_fence = false;
+        if (!current.empty()) fence_captured = true;
+      }
+      continue;
+    }
+    if (in_fence) {
+      if (!current.empty() && !fence_captured) {
+        entries[current].snippet += line + "\n";
+      }
+      continue;
+    }
+    if (line.rfind("### `", 0) == 0) {
+      size_t close = line.find('`', 5);
+      size_t open_paren = line.find('(', close);
+      size_t close_paren = line.find(')', close);
+      if (close == std::string::npos || open_paren == std::string::npos ||
+          close_paren == std::string::npos) {
+        ADD_FAILURE() << "malformed catalogue heading: " << line;
+        current.clear();
+        continue;
+      }
+      current = line.substr(5, close - 5);
+      fence_captured = false;
+      entries[current].severity =
+          line.substr(open_paren + 1, close_paren - open_paren - 1);
+      continue;
+    }
+    if (line.rfind("## ", 0) == 0) current.clear();  // new chapter
+  }
+  return entries;
+}
+
+const std::map<std::string, CatalogueEntry>& Catalogue() {
+  static const auto* entries =
+      new std::map<std::string, CatalogueEntry>(ParseCatalogue(SQLEQ_DIAGNOSTICS_MD));
+  return *entries;
+}
+
+bool HasCodeAtSeverity(const AnalysisReport& report, const std::string& code,
+                       const std::string& severity) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.code == code && SeverityToString(d.severity) == severity) return true;
+  }
+  return false;
+}
+
+TEST(DiagnosticsCatalogue, EveryKnownCodeIsDocumented) {
+  for (const std::string& code : KnownDiagnosticCodes()) {
+    EXPECT_TRUE(Catalogue().count(code))
+        << "code '" << code
+        << "' (KnownDiagnosticCodes) has no catalogue entry in docs/diagnostics.md";
+  }
+}
+
+TEST(DiagnosticsCatalogue, EveryDocumentedCodeIsKnown) {
+  std::set<std::string> known(KnownDiagnosticCodes().begin(),
+                              KnownDiagnosticCodes().end());
+  for (const auto& [code, entry] : Catalogue()) {
+    EXPECT_TRUE(known.count(code))
+        << "docs/diagnostics.md documents '" << code
+        << "', which KnownDiagnosticCodes() does not declare";
+  }
+}
+
+// The codes whose docs sections explain why no script snippet can trigger
+// them; each has an API-level fixture test below instead.
+const std::set<std::string>& ApiOnlyCodes() {
+  static const std::set<std::string> codes = {"query-empty-body",
+                                              "analysis-incomplete"};
+  return codes;
+}
+
+TEST(DiagnosticsCatalogue, EveryEntryHasATriggeringFixture) {
+  for (const auto& [code, entry] : Catalogue()) {
+    if (ApiOnlyCodes().count(code)) {
+      EXPECT_TRUE(entry.snippet.empty())
+          << "'" << code << "' gained a docs snippet; drop it from ApiOnlyCodes";
+      continue;
+    }
+    EXPECT_FALSE(entry.snippet.empty())
+        << "catalogue entry '" << code
+        << "' has no triggering snippet (and no API fixture registered here)";
+  }
+}
+
+TEST(DiagnosticsCatalogue, SnippetsTriggerTheirCodeAtTheDocumentedSeverity) {
+  for (const auto& [code, entry] : Catalogue()) {
+    if (entry.snippet.empty()) continue;
+    shell::LintResult result =
+        shell::LintScript(entry.snippet, AnalyzeOptions::Full());
+    EXPECT_TRUE(HasCodeAtSeverity(result.report, code, entry.severity))
+        << "docs snippet for '" << code << "' (" << entry.severity
+        << ") does not trigger it; lint said:\n"
+        << result.report.ToString();
+  }
+}
+
+TEST(DiagnosticsCatalogue, ApiFixtureQueryEmptyBody) {
+  ConjunctiveQuery q = testing::Q("Q(X) :- p(X).").WithBody({});
+  AnalysisReport report = AnalyzeQuery(Schema(), q);
+  EXPECT_TRUE(HasCodeAtSeverity(report, "query-empty-body",
+                                Catalogue().at("query-empty-body").severity));
+}
+
+TEST(DiagnosticsCatalogue, ApiFixtureAnalysisIncomplete) {
+  AnalyzeOptions opts = AnalyzeOptions::Full();
+  opts.budget.max_chase_steps = 1;
+  DependencySet sigma = testing::Sigma({
+      "p(X, Y) -> q(X, Z).",
+      "q(X, Y) -> r(X, W).",
+      "r(X, Y) -> t(X, V).",
+      "p(X, Y), t(X, W) -> u(X).",
+  });
+  AnalysisReport report = AnalyzeDependencies(Schema(), sigma, opts);
+  EXPECT_TRUE(HasCodeAtSeverity(report, "analysis-incomplete",
+                                Catalogue().at("analysis-incomplete").severity));
+}
+
+}  // namespace
+}  // namespace sqleq

@@ -1,0 +1,101 @@
+// End-to-end exit-code contract of the sqleq-lint CLI (tools/sqleq_lint.cc):
+//
+//   0  clean (no errors, no warnings; info notes are fine)
+//   1  warnings only
+//   2  at least one error-severity diagnostic (--strict escalates warnings)
+//   3  usage / IO problems
+//
+// Each case writes a script to a temp file and runs the real binary
+// (SQLEQ_LINT_BIN, injected by tests/CMakeLists.txt), so regressions in
+// main()'s wiring — not just LintScript — fail here.
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef SQLEQ_LINT_BIN
+#error "SQLEQ_LINT_BIN must point at the built sqleq-lint binary"
+#endif
+
+namespace sqleq {
+namespace {
+
+std::string WriteScript(const std::string& name, const std::string& text) {
+  std::string path = ::testing::TempDir() + "lint_cli_" + name + ".sqleq";
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+/// Runs `sqleq-lint <args>` with output discarded; returns the exit code.
+int RunLint(const std::string& args) {
+  std::string cmd =
+      std::string(SQLEQ_LINT_BIN) + " " + args + " > /dev/null 2> /dev/null";
+  int rc = std::system(cmd.c_str());
+  EXPECT_NE(rc, -1);
+  return WEXITSTATUS(rc);
+}
+
+constexpr char kCleanScript[] =
+    "DEP p(X, Y) -> r(X);\n"
+    "QUERY q(X) :- p(X, Y);\n";
+
+// The second DEP restates the first, so the implication check reports the
+// warning-severity dependency-implied (both directions) and nothing worse.
+constexpr char kWarningScript[] =
+    "DEP emp(E, D) -> dept(D);\n"
+    "DEP emp(X, Y) -> dept(Y);\n";
+
+constexpr char kErrorScript[] = "FROBNICATE q;\n";
+
+TEST(LintCli, CleanScriptExitsZero) {
+  std::string path = WriteScript("clean", kCleanScript);
+  EXPECT_EQ(RunLint(path), 0);
+}
+
+TEST(LintCli, InfoNotesAreStillClean) {
+  // Slicing diagnostics are info-severity; a pruned dependency must not
+  // affect the exit code.
+  std::string path = WriteScript("sliced", "DEP s(X) -> t(X);\n"
+                                           "QUERY q(X) :- p(X, Y);\n");
+  EXPECT_EQ(RunLint(path), 0);
+}
+
+TEST(LintCli, WarningsOnlyExitsOne) {
+  std::string path = WriteScript("warn", kWarningScript);
+  EXPECT_EQ(RunLint(path), 1);
+}
+
+TEST(LintCli, ErrorsExitTwo) {
+  std::string path = WriteScript("error", kErrorScript);
+  EXPECT_EQ(RunLint(path), 2);
+}
+
+TEST(LintCli, ErrorsDominateWarningsAcrossFiles) {
+  std::string warn = WriteScript("warn2", kWarningScript);
+  std::string error = WriteScript("error2", kErrorScript);
+  EXPECT_EQ(RunLint(warn + " " + error), 2);
+}
+
+TEST(LintCli, StrictEscalatesWarningsToTwo) {
+  std::string path = WriteScript("strict", kWarningScript);
+  EXPECT_EQ(RunLint("--strict " + path), 2);
+}
+
+TEST(LintCli, StrictLeavesCleanAtZero) {
+  std::string path = WriteScript("strict_clean", kCleanScript);
+  EXPECT_EQ(RunLint("--strict " + path), 0);
+}
+
+TEST(LintCli, UnknownFlagExitsThree) {
+  EXPECT_EQ(RunLint("--no-such-flag"), 3);
+}
+
+TEST(LintCli, MissingFileExitsThree) {
+  EXPECT_EQ(RunLint(::testing::TempDir() + "lint_cli_nonesuch.sqleq"), 3);
+}
+
+}  // namespace
+}  // namespace sqleq

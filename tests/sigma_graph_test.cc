@@ -1,0 +1,234 @@
+// Unit tests for the static Σ-interaction analysis (analysis/sigma_graph.h):
+// slice soundness and signatures, termination certificates with their
+// Verify re-derivation check, and the coarse StepBound arithmetic.
+#include "analysis/sigma_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Q;
+using testing::Sigma;
+
+// --- slicing ---
+
+TEST(SigmaSliceTest, ConnectedSigmaIsKeptInFull) {
+  SigmaGraph graph = SigmaGraph::Build(Sigma({
+      "p(X, Y) -> r(X).",
+      "r(X) -> s(X, Z).",
+  }));
+  SigmaSlice slice = graph.SliceFor(Q("Q(X) :- p(X, Y).").body());
+  EXPECT_TRUE(slice.IsFull());
+  EXPECT_EQ(slice.kept.size(), 2u);
+  EXPECT_TRUE(slice.pruned.empty());
+}
+
+TEST(SigmaSliceTest, DisconnectedDependencyIsPruned) {
+  SigmaGraph graph = SigmaGraph::Build(Sigma({
+      "p(X, Y) -> r(X).",
+      "a(X) -> b(X).",  // unreachable from p/r
+  }));
+  SigmaSlice slice = graph.SliceFor(Q("Q(X) :- p(X, Y).").body());
+  EXPECT_FALSE(slice.IsFull());
+  ASSERT_EQ(slice.kept.size(), 1u);
+  EXPECT_EQ(slice.kept[0], 0u);
+  ASSERT_EQ(slice.pruned.size(), 1u);
+  EXPECT_EQ(slice.pruned[0].index, 1u);
+  EXPECT_EQ(slice.pruned[0].blocked_atom, "a(X)");
+  ASSERT_EQ(slice.in_slice.size(), 2u);
+  EXPECT_TRUE(slice.in_slice[0]);
+  EXPECT_FALSE(slice.in_slice[1]);
+}
+
+TEST(SigmaSliceTest, ReachabilityIsTransitive) {
+  // q's body mentions only p, but p-writes feed r, and r-writes feed s.
+  SigmaGraph graph = SigmaGraph::Build(Sigma({
+      "p(X, Y) -> r(X).",
+      "r(X) -> s(X, Z).",
+      "s(X, Y) -> t(X).",
+  }));
+  SigmaSlice slice = graph.SliceFor(Q("Q(X) :- p(X, Y).").body());
+  EXPECT_TRUE(slice.IsFull());
+}
+
+TEST(SigmaSliceTest, MultiAtomBodyNeedsEveryAtomCovered) {
+  // The second dependency reads BOTH r and z; z is never written and not in
+  // the query, so the dependency can never fire even though r is reachable.
+  SigmaGraph graph = SigmaGraph::Build(Sigma({
+      "p(X, Y) -> r(X).",
+      "r(X), z(X) -> w(X).",
+  }));
+  SigmaSlice slice = graph.SliceFor(Q("Q(X) :- p(X, Y).").body());
+  ASSERT_EQ(slice.pruned.size(), 1u);
+  EXPECT_EQ(slice.pruned[0].index, 1u);
+  EXPECT_EQ(slice.pruned[0].blocked_atom, "z(X)");
+}
+
+TEST(SigmaSliceTest, ClashingConstantsSeverTheMatch) {
+  // The query only has p(X, 1) while the dependency reads p(X, 2): under
+  // the constant-aware abstraction they cannot match, and nothing else
+  // writes p.
+  SigmaGraph graph = SigmaGraph::Build(Sigma({"p(X, 2) -> r(X)."}));
+  SigmaSlice pruned = graph.SliceFor(Q("Q(X) :- p(X, 1).").body());
+  EXPECT_TRUE(pruned.kept.empty());
+  // A variable in the query position is a wildcard: kept.
+  SigmaSlice kept = graph.SliceFor(Q("Q(X) :- p(X, Y).").body());
+  EXPECT_TRUE(kept.IsFull());
+}
+
+TEST(SigmaSliceTest, EgdRewritesAreWildcardWrites) {
+  // The egd can merge values inside s-tuples, which may enable the tgd
+  // reading s(X, X) even though the query only has s(X, Y): the egd's
+  // rewritten atoms must count as wildcard writes.
+  SigmaGraph graph = SigmaGraph::Build(Sigma({
+      "s(X, Y), s(X, Z) -> Y = Z.",
+      "s(X, X) -> r(X).",
+  }));
+  SigmaSlice slice = graph.SliceFor(Q("Q(X) :- s(X, Y).").body());
+  EXPECT_TRUE(slice.IsFull());
+}
+
+TEST(SigmaSliceTest, SignatureEncodesKeptSet) {
+  SigmaGraph graph = SigmaGraph::Build(Sigma({
+      "p(X, Y) -> r(X).",
+      "a(X) -> b(X).",
+  }));
+  EXPECT_EQ(graph.SliceFor(Q("Q(X) :- p(X, Y).").body()).Signature(), "1/2:1");
+  EXPECT_EQ(graph.SliceFor(Q("Q(X) :- a(X).").body()).Signature(), "1/2:2");
+  EXPECT_EQ(graph.SliceFor(Q("Q(X) :- p(X, Y), a(X).").body()).Signature(),
+            "2/2:3");
+}
+
+TEST(SigmaSliceTest, EmptySigmaSlicesToEmpty) {
+  SigmaGraph graph = SigmaGraph::Build(DependencySet{});
+  SigmaSlice slice = graph.SliceFor(Q("Q(X) :- p(X, Y).").body());
+  EXPECT_TRUE(slice.IsFull());  // vacuously
+  EXPECT_EQ(slice.total(), 0u);
+  EXPECT_EQ(slice.Signature(), "0/0:0");
+}
+
+// --- termination certificates ---
+
+TEST(TerminationCertificateTest, WeaklyAcyclicSigma) {
+  SigmaGraph graph = SigmaGraph::Build(Sigma({
+      "p(X, Y) -> r(X).",
+      "r(X) -> s(X, Z).",
+  }));
+  TerminationCertificate cert = graph.DeriveCertificate();
+  EXPECT_TRUE(cert.weakly_acyclic);
+  EXPECT_TRUE(cert.stratified);
+  EXPECT_TRUE(cert.terminates());
+  EXPECT_FALSE(cert.witness.has_value());
+  EXPECT_TRUE(graph.Verify(cert));
+}
+
+TEST(TerminationCertificateTest, NonTerminatingSigmaHasWitness) {
+  SigmaGraph graph = SigmaGraph::Build(Sigma({"e(X, Y) -> e(Y, Z)."}));
+  TerminationCertificate cert = graph.DeriveCertificate();
+  EXPECT_FALSE(cert.weakly_acyclic);
+  EXPECT_FALSE(cert.stratified);
+  EXPECT_FALSE(cert.terminates());
+  EXPECT_TRUE(cert.witness.has_value());
+  EXPECT_EQ(cert.StepBound(2, 3), 0u);  // no bound without termination
+  EXPECT_TRUE(graph.Verify(cert));
+}
+
+TEST(TerminationCertificateTest, StrataAreInFiringOrder) {
+  // p-deps must come before the r-reader, which comes before the s-reader.
+  SigmaGraph graph = SigmaGraph::Build(Sigma({
+      "s(X, Y) -> t(X).",
+      "r(X) -> s(X, Z).",
+      "p(X, Y) -> r(X).",
+  }));
+  TerminationCertificate cert = graph.DeriveCertificate();
+  ASSERT_EQ(cert.strata.size(), 3u);
+  EXPECT_EQ(cert.strata[0].members, std::vector<size_t>{2});
+  EXPECT_EQ(cert.strata[1].members, std::vector<size_t>{1});
+  EXPECT_EQ(cert.strata[2].members, std::vector<size_t>{0});
+  for (const TerminationCertificate::Stratum& s : cert.strata) {
+    EXPECT_TRUE(s.weakly_acyclic);
+  }
+}
+
+TEST(TerminationCertificateTest, VerifyRejectsTamperedCertificate) {
+  SigmaGraph graph = SigmaGraph::Build(Sigma({"p(X, Y) -> r(X)."}));
+  TerminationCertificate cert = graph.DeriveCertificate();
+  ASSERT_TRUE(graph.Verify(cert));
+  TerminationCertificate tampered = cert;
+  tampered.max_rank = cert.max_rank + 1;
+  EXPECT_FALSE(graph.Verify(tampered));
+  tampered = cert;
+  tampered.stratified = !cert.stratified;
+  EXPECT_FALSE(graph.Verify(tampered));
+  tampered = cert;
+  tampered.existentials = cert.existentials + 1;
+  EXPECT_FALSE(graph.Verify(tampered));
+}
+
+TEST(TerminationCertificateTest, CertificateIsNotForAnotherSigma) {
+  SigmaGraph wa = SigmaGraph::Build(Sigma({"p(X, Y) -> r(X)."}));
+  SigmaGraph cyclic = SigmaGraph::Build(Sigma({"e(X, Y) -> e(Y, Z)."}));
+  EXPECT_FALSE(cyclic.Verify(wa.DeriveCertificate()));
+  EXPECT_FALSE(wa.Verify(cyclic.DeriveCertificate()));
+}
+
+TEST(TerminationCertificateTest, StepBoundIsFiniteAndMonotone) {
+  SigmaGraph graph = SigmaGraph::Build(Sigma({
+      "p(X, Y) -> r(X).",
+      "r(X) -> s(X, Z).",
+  }));
+  TerminationCertificate cert = graph.DeriveCertificate();
+  uint64_t small = cert.StepBound(1, 2);
+  uint64_t large = cert.StepBound(4, 8);
+  EXPECT_GT(small, 0u);
+  EXPECT_LE(small, large);
+  EXPECT_LT(large, TerminationCertificate::kBoundCap);
+}
+
+TEST(TerminationCertificateTest, StepBoundSaturatesInsteadOfOverflowing) {
+  // Wide bodies with an existential head push the tuple count past 2^62 for
+  // a large query: the saturating arithmetic must cap, not wrap.
+  SigmaGraph graph = SigmaGraph::Build(Sigma({
+      "p(X1, X2, X3, X4, X5, X6, X7, X8) -> "
+      "q(X1, X2, X3, X4, X5, X6, X7, X8, Z).",
+  }));
+  TerminationCertificate cert = graph.DeriveCertificate();
+  ASSERT_TRUE(cert.terminates());
+  EXPECT_EQ(cert.StepBound(1, size_t{1} << 16),
+            TerminationCertificate::kBoundCap);
+}
+
+TEST(TerminationCertificateTest, NoSigmaNoSteps) {
+  SigmaGraph graph = SigmaGraph::Build(DependencySet{});
+  TerminationCertificate cert = graph.DeriveCertificate();
+  EXPECT_TRUE(cert.terminates());
+  // No dependencies: nothing can fire regardless of the query size, but the
+  // bound may still count the query itself; it just must be finite.
+  EXPECT_LT(cert.StepBound(3, 5), TerminationCertificate::kBoundCap);
+}
+
+TEST(TerminationCertificateTest, ToStringMentionsStrataOrWitness) {
+  SigmaGraph wa = SigmaGraph::Build(Sigma({"p(X, Y) -> r(X)."}));
+  EXPECT_NE(wa.DeriveCertificate().ToString().find("weakly acyclic"),
+            std::string::npos);
+  SigmaGraph cyclic = SigmaGraph::Build(Sigma({"e(X, Y) -> e(Y, Z)."}));
+  EXPECT_NE(cyclic.DeriveCertificate().ToString().find("no termination"),
+            std::string::npos);
+}
+
+// --- the paper's running example ---
+
+TEST(SigmaGraphTest, Example41SigmaIsCertifiedAndUnsliced) {
+  SigmaGraph graph = SigmaGraph::Build(testing::Example41Sigma(),
+                                       testing::Example41Schema());
+  TerminationCertificate cert = graph.DeriveCertificate();
+  EXPECT_TRUE(cert.terminates());
+  EXPECT_TRUE(graph.Verify(cert));
+}
+
+}  // namespace
+}  // namespace sqleq

@@ -1,0 +1,340 @@
+// Randomized conservativity suite for query-aware Σ-slicing
+// (analysis/sigma_graph.h): chasing with ChaseOptions::use_sigma_slicing on
+// must be STEP-FOR-STEP identical to chasing the full Σ — same trace
+// records, same final query, same failed flag, same statuses, same
+// checkpoints — under all three semantics, on both the compiled-kernel and
+// generic paths, through ChasePlan and the free SoundChase, and under fault
+// injection. The slice only removes dependencies that can never fire, so
+// every observable of the run must be untouched; these are equality
+// assertions in the chase_plan_property_test style, not up-to-isomorphism
+// ones. The dependency pool deliberately mixes the connected p/r/s/t
+// dependencies with dependencies over the disconnected u/v/w relations, so
+// random Σs routinely contain prunable dependencies.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/sigma_graph.h"
+#include "chase/chase_plan.h"
+#include "chase/checkpoint.h"
+#include "chase/set_chase.h"
+#include "chase/sound_chase.h"
+#include "reformulation/candb.h"
+#include "ir/term.h"
+#include "util/fault.h"
+#include "util/telemetry.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace {
+
+using testing::Q;
+using testing::RandomQuery;
+using testing::Sigma;
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// Relations the random queries range over.
+Schema QuerySchema() {
+  Schema s;
+  s.Relation("p", 2).Relation("r", 1).Relation("s", 2).Relation("t", 3);
+  return s;
+}
+
+/// The chase schema additionally declares the disconnected u/v/w island the
+/// irrelevant dependencies live on.
+Schema FullSchema() {
+  Schema s = QuerySchema();
+  s.Relation("u", 2).Relation("v", 1).Relation("w", 2);
+  return s;
+}
+
+/// Dependencies reachable from p/r/s/t query bodies (the
+/// chase_plan_property_test pool: existentials, multi-atom bodies, egds).
+const std::vector<std::string>& ConnectedPool() {
+  static const std::vector<std::string> pool = {
+      "p(X, Y) -> r(X).",
+      "r(X) -> p(X, Z).",
+      "p(X, Y), p(Y, Z) -> t(X, Y, Z).",
+      "t(X, Y, Z) -> s(X, Z).",
+      "s(X, Y) -> p(X, Y).",
+      "t(X, X, Y) -> r(Y).",
+      "s(X, Y), s(X, Z) -> Y = Z.",
+      "p(X, Y), p(X, Z) -> Y = Z.",
+  };
+  return pool;
+}
+
+/// Dependencies over the u/v/w island: no query over QuerySchema can ever
+/// fire them, so the slicer must prune every one of them.
+const std::vector<std::string>& IrrelevantPool() {
+  static const std::vector<std::string> pool = {
+      "u(X, Y) -> v(X).",
+      "v(X) -> u(X, Z).",
+      "u(X, Y), u(Y, Z) -> w(X, Z).",
+      "w(X, Y) -> v(Y).",
+      "u(X, Y), u(X, Z) -> Y = Z.",
+  };
+  return pool;
+}
+
+/// 1–4 connected plus 0–3 irrelevant dependencies, shuffled together so
+/// slice indices interleave.
+DependencySet RandomSigma(Rng* rng) {
+  std::vector<std::string> picked;
+  size_t connected = static_cast<size_t>(rng->UniformInt(1, 4));
+  for (size_t i = 0; i < connected; ++i) {
+    picked.push_back(ConnectedPool()[rng->Index(ConnectedPool().size())]);
+  }
+  size_t irrelevant = static_cast<size_t>(rng->UniformInt(0, 3));
+  for (size_t i = 0; i < irrelevant; ++i) {
+    size_t at = static_cast<size_t>(rng->Index(picked.size() + 1));
+    picked.insert(picked.begin() + at,
+                  IrrelevantPool()[rng->Index(IrrelevantPool().size())]);
+  }
+  return Sigma(picked);
+}
+
+ChaseOptions SlicedOptions(bool compiled, size_t max_steps = 64) {
+  ChaseOptions options;
+  options.budget.max_chase_steps = max_steps;
+  options.use_compiled_kernels = compiled;
+  options.use_sigma_slicing = true;
+  return options;
+}
+
+ChaseOptions FullOptions(bool compiled, size_t max_steps = 64) {
+  ChaseOptions options = SlicedOptions(compiled, max_steps);
+  options.use_sigma_slicing = false;
+  return options;
+}
+
+/// The conservativity assertion: both runs succeeded with byte-identical
+/// traces and results, or both stopped with the same status.
+void ExpectIdenticalOutcome(const Result<ChaseOutcome>& sliced,
+                            const Result<ChaseOutcome>& full,
+                            const std::string& context) {
+  ASSERT_EQ(sliced.ok(), full.ok()) << context;
+  if (!sliced.ok()) {
+    EXPECT_EQ(sliced.status().code(), full.status().code()) << context;
+    EXPECT_EQ(sliced.status().message(), full.status().message()) << context;
+    return;
+  }
+  EXPECT_EQ(sliced->failed, full->failed) << context;
+  EXPECT_EQ(sliced->result.ToString(), full->result.ToString()) << context;
+  ASSERT_EQ(sliced->trace.size(), full->trace.size()) << context;
+  for (size_t i = 0; i < sliced->trace.size(); ++i) {
+    EXPECT_EQ(sliced->trace[i].dep_label, full->trace[i].dep_label)
+        << context << " step " << i;
+    EXPECT_EQ(sliced->trace[i].is_tgd, full->trace[i].is_tgd)
+        << context << " step " << i;
+    EXPECT_EQ(sliced->trace[i].result, full->trace[i].result)
+        << context << " step " << i;
+  }
+}
+
+// ---- Free SoundChase, all semantics, compiled and generic -------------
+
+TEST_P(SeededTest, SoundChaseSlicedMatchesFullUnderAllSemantics) {
+  Rng rng(GetParam() + 100);
+  Schema query_schema = QuerySchema();
+  Schema schema = FullSchema();
+  for (int round = 0; round < 8; ++round) {
+    ConjunctiveQuery q = RandomQuery(query_schema, rng.UniformInt(1, 4), 4, &rng);
+    DependencySet sigma = RandomSigma(&rng);
+    for (bool compiled : {true, false}) {
+      for (Semantics sem :
+           {Semantics::kSet, Semantics::kBag, Semantics::kBagSet}) {
+        Term::ResetFreshCounterForTesting();
+        Result<ChaseOutcome> sliced =
+            SoundChase(q, sigma, sem, schema, SlicedOptions(compiled));
+        Term::ResetFreshCounterForTesting();
+        Result<ChaseOutcome> full =
+            SoundChase(q, sigma, sem, schema, FullOptions(compiled));
+        ExpectIdenticalOutcome(
+            sliced, full,
+            std::string(compiled ? "compiled " : "generic ") +
+                SemanticsToString(sem) + " " + q.ToString() + " under " +
+                SigmaToString(sigma));
+      }
+    }
+  }
+}
+
+// ---- ChasePlan: the slicing path the engines actually take ------------
+
+TEST_P(SeededTest, ChasePlanSlicedMatchesFull) {
+  Rng rng(GetParam() + 200);
+  Schema query_schema = QuerySchema();
+  Schema schema = FullSchema();
+  for (int round = 0; round < 6; ++round) {
+    ConjunctiveQuery q = RandomQuery(query_schema, rng.UniformInt(1, 4), 4, &rng);
+    DependencySet sigma = RandomSigma(&rng);
+    for (Semantics sem :
+         {Semantics::kSet, Semantics::kBag, Semantics::kBagSet}) {
+      Term::ResetFreshCounterForTesting();
+      ChasePlan sliced_plan(sigma, sem, schema, SlicedOptions(true));
+      Result<ChaseOutcome> sliced = sliced_plan.Run(q);
+      Term::ResetFreshCounterForTesting();
+      ChasePlan full_plan(sigma, sem, schema, FullOptions(true));
+      Result<ChaseOutcome> full = full_plan.Run(q);
+      ExpectIdenticalOutcome(sliced, full,
+                             std::string("plan ") + SemanticsToString(sem) +
+                                 " " + q.ToString() + " under " +
+                                 SigmaToString(sigma));
+    }
+  }
+}
+
+// ---- Fault injection: identical anytime behavior ----------------------
+
+TEST_P(SeededTest, InjectedFaultsStopSlicedAndFullIdentically) {
+  Rng rng(GetParam() + 300);
+  Schema query_schema = QuerySchema();
+  Schema schema = FullSchema();
+  for (int round = 0; round < 6; ++round) {
+    ConjunctiveQuery q = RandomQuery(query_schema, rng.UniformInt(2, 4), 4, &rng);
+    DependencySet sigma = RandomSigma(&rng);
+    FaultSpec spec;
+    spec.kind = FaultKind::kExhausted;
+    spec.start = static_cast<uint64_t>(rng.UniformInt(1, 4));
+
+    auto run = [&](const ChaseOptions& options)
+        -> std::pair<Result<ChaseOutcome>, std::string> {
+      Term::ResetFreshCounterForTesting();
+      FaultInjector faults(7);  // fresh injector per run: same schedule
+      faults.Arm(fault_sites::kChaseStep, spec);
+      ChaseRuntime runtime;
+      runtime.faults = &faults;
+      std::optional<ChaseCheckpoint> checkpoint;
+      runtime.checkpoint_out = &checkpoint;
+      Result<ChaseOutcome> outcome =
+          SoundChase(q, sigma, Semantics::kSet, schema, options, runtime);
+      std::string serialized =
+          checkpoint.has_value() ? checkpoint->Serialize() : "";
+      return {std::move(outcome), std::move(serialized)};
+    };
+    auto [sliced, sliced_cp] = run(SlicedOptions(true));
+    auto [full, full_cp] = run(FullOptions(true));
+    ExpectIdenticalOutcome(sliced, full,
+                           "faulted " + q.ToString() + " under " +
+                               SigmaToString(sigma));
+    // The slice never fires, checks, or renames anything the full run
+    // would not: the captured resume state is byte-identical too.
+    EXPECT_EQ(sliced_cp, full_cp);
+  }
+}
+
+// ---- C&B end-to-end: the pinned envelope slice is conservative --------
+//
+// ChaseAndBackchase pins the universal plan's slice for every backchase
+// candidate (a sub-conjunction of U, so U's slice is sound for it). The
+// whole pipeline — universal plan, confirmed reformulations, candidate
+// accounting — must be identical with slicing on and off.
+TEST_P(SeededTest, CandBPinnedEnvelopeMatchesFull) {
+  Rng rng(GetParam() + 400);
+  Schema query_schema = QuerySchema();
+  Schema schema = FullSchema();
+  for (int round = 0; round < 4; ++round) {
+    ConjunctiveQuery q = RandomQuery(query_schema, rng.UniformInt(1, 3), 4, &rng);
+    DependencySet sigma = RandomSigma(&rng);
+    for (Semantics sem :
+         {Semantics::kSet, Semantics::kBag, Semantics::kBagSet}) {
+      auto run = [&](bool sliced) -> Result<CandBResult> {
+        Term::ResetFreshCounterForTesting();
+        CandBOptions options;
+        options.chase = sliced ? SlicedOptions(true) : FullOptions(true);
+        return ChaseAndBackchase(q, sigma, sem, schema, options);
+      };
+      Result<CandBResult> sliced = run(true);
+      Result<CandBResult> full = run(false);
+      std::string context = std::string("candb ") + SemanticsToString(sem) +
+                            " " + q.ToString() + " under " +
+                            SigmaToString(sigma);
+      ASSERT_EQ(sliced.ok(), full.ok()) << context;
+      if (!sliced.ok()) {
+        EXPECT_EQ(sliced.status().code(), full.status().code()) << context;
+        continue;
+      }
+      EXPECT_EQ(sliced->universal_plan.ToString(),
+                full->universal_plan.ToString())
+          << context;
+      ASSERT_EQ(sliced->reformulations.size(), full->reformulations.size())
+          << context;
+      for (size_t i = 0; i < sliced->reformulations.size(); ++i) {
+        EXPECT_EQ(sliced->reformulations[i].ToString(),
+                  full->reformulations[i].ToString())
+            << context << " reformulation " << i;
+      }
+      EXPECT_EQ(sliced->candidates_examined, full->candidates_examined)
+          << context;
+    }
+  }
+}
+
+// ---- The suite is not vacuous: slices really prune --------------------
+
+TEST(SigmaSlicePinned, IrrelevantDependenciesArePrunedAndCounted) {
+  DependencySet sigma = Sigma({
+      "p(X, Y) -> r(X).",
+      "u(X, Y) -> v(X).",
+      "v(X) -> u(X, Z).",
+  });
+  ConjunctiveQuery q = Q("Q(X) :- p(X, Y).");
+
+  // Static view: the slicer names exactly the u/v dependencies.
+  SigmaGraph graph = SigmaGraph::Build(sigma, FullSchema());
+  SigmaSlice slice = graph.SliceFor(q.body());
+  ASSERT_EQ(slice.kept.size(), 1u);
+  EXPECT_EQ(slice.kept[0], 0u);
+  ASSERT_EQ(slice.pruned.size(), 2u);
+
+  // Dynamic view: ChasePlan::Run takes the sliced path and reports the
+  // slice.kept / slice.pruned counters.
+  ChasePlan plan(sigma, Semantics::kSet, FullSchema(), SlicedOptions(true));
+  MetricsRegistry metrics;
+  ChaseRuntime runtime;
+  runtime.metrics = &metrics;
+  Term::ResetFreshCounterForTesting();
+  Result<ChaseOutcome> sliced = plan.Run(q, runtime);
+  ASSERT_TRUE(sliced.ok());
+
+  uint64_t kept = 0, pruned = 0;
+  for (const auto& [name, value] : metrics.Snapshot().counters) {
+    if (name == metric::kSliceKept) kept = value;
+    if (name == metric::kSlicePruned) pruned = value;
+  }
+  EXPECT_EQ(kept, 1u);
+  EXPECT_EQ(pruned, 2u);
+
+  // And the verdict still matches the full chase.
+  ChasePlan full_plan(sigma, Semantics::kSet, FullSchema(), FullOptions(true));
+  Term::ResetFreshCounterForTesting();
+  Result<ChaseOutcome> full = full_plan.Run(q);
+  ExpectIdenticalOutcome(sliced, full, "pinned prune");
+}
+
+TEST(SigmaSlicePinned, SliceSignatureKeysDistinctChaseMemoEntries) {
+  // Two queries with different slices over the same plan must produce
+  // different memo-key suffixes; SliceFor is also memoized per body shape,
+  // so asking twice is cheap and deterministic.
+  DependencySet sigma = Sigma({
+      "p(X, Y) -> r(X).",
+      "u(X, Y) -> v(X).",
+  });
+  ChasePlan plan(sigma, Semantics::kSet, FullSchema(), SlicedOptions(true));
+  SigmaSlice for_p = plan.SliceFor(Q("Q(X) :- p(X, Y)."));
+  SigmaSlice for_u = plan.SliceFor(Q("Q(X) :- u(X, Y)."));
+  SigmaSlice for_p_again = plan.SliceFor(Q("Q2(A) :- p(A, B)."));
+  EXPECT_NE(for_p.Signature(), for_u.Signature());
+  EXPECT_EQ(for_p.Signature(), for_p_again.Signature());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace sqleq

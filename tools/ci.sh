@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 CI entry point: configure + build + full test suite, then the two
 # static-analysis gates — clang-tidy over the sources (tools/lint.sh, skipped
-# when clang-tidy is absent) and sqleq-lint over the example scripts.
+# when clang-tidy is absent) and a lint smoke over the example scripts: each
+# examples/scripts/*.sqleq must exit sqleq-lint with its expected code
+# (examples/scripts/lint_expected.txt, default 0 = clean).
 #
 # usage: tools/ci.sh [build-dir]
 #        tools/ci.sh bench-smoke [build-dir]
@@ -151,6 +153,33 @@ EOF
   echo "service-smoke OK"
 }
 
+# Lints every example script, gating each on its expected sqleq-lint exit
+# code (0 clean / 1 warnings-only / 2 errors). Scripts that intentionally
+# carry diagnostics declare their expected code in
+# examples/scripts/lint_expected.txt as "<file> <code>"; everything else
+# must be clean (exit 0).
+lint_smoke() {
+  local build_dir="${1:-build}"
+  local manifest="examples/scripts/lint_expected.txt"
+  local script rc expected
+  for script in examples/scripts/*.sqleq; do
+    expected=0
+    if [ -f "${manifest}" ]; then
+      local line
+      line="$(grep -E "^$(basename "${script}")[[:space:]]" "${manifest}" || true)"
+      [ -n "${line}" ] && expected="$(echo "${line}" | awk '{print $2}')"
+    fi
+    rc=0
+    "${build_dir}/tools/sqleq-lint" "${script}" > /dev/null || rc=$?
+    if [ "${rc}" -ne "${expected}" ]; then
+      echo "sqleq-lint ${script}: exit ${rc}, expected ${expected}"
+      "${build_dir}/tools/sqleq-lint" "${script}" || true
+      exit 1
+    fi
+    echo "-- $(basename "${script}"): exit ${rc} (expected ${expected})"
+  done
+}
+
 if [ "${1:-}" = "bench-smoke" ]; then
   shift
   bench_smoke "$@"
@@ -180,7 +209,7 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j -L fault
 echo "== clang-tidy =="
 tools/lint.sh "${BUILD_DIR}"
 
-echo "== sqleq-lint (examples/scripts) =="
-"${BUILD_DIR}/tools/sqleq-lint" examples/scripts/*.sqleq
+echo "== lint smoke (examples/scripts) =="
+lint_smoke "${BUILD_DIR}"
 
 echo "CI OK"

@@ -12,8 +12,11 @@
 // diagnostics) in Prometheus text format; --trace-out writes one span per
 // linted input as Chrome trace_event JSON (docs/observability.md).
 //
-// Exit status: 0 when every file is clean of errors, 1 when any file has at
-// least one error-severity diagnostic, 2 on usage/IO problems.
+// Exit status: 0 when every file is clean (no errors, no warnings), 1 when
+// there are warnings but no errors, 2 when any file has at least one
+// error-severity diagnostic, 3 on usage/IO problems. --strict escalates
+// warnings to errors at emission time, so a warnings-only run exits 2 under
+// it (docs/diagnostics.md documents the contract).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -33,9 +36,10 @@ int Usage(const char* prog) {
                "  lints sqleq scripts (stdin when no files are given)\n"
                "  --strict       escalate warnings to errors\n"
                "  --metrics-out  write lint counters (Prometheus text)\n"
-               "  --trace-out    write per-file spans (Chrome trace JSON)\n",
+               "  --trace-out    write per-file spans (Chrome trace JSON)\n"
+               "  exit: 0 clean, 1 warnings only, 2 errors, 3 usage/IO\n",
                prog);
-  return 2;
+  return 3;
 }
 
 bool WriteFile(const std::string& path, const std::string& content) {
@@ -100,26 +104,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  sqleq::MetricsRegistry metrics;
   sqleq::AnalyzeOptions opts = sqleq::AnalyzeOptions::Full();
   opts.warnings_as_errors = strict;
+  opts.metrics = &metrics;  // analysis.diag.<code> counters in --metrics-out
 
-  sqleq::MetricsRegistry metrics;
   sqleq::TraceSink trace_sink;
   sqleq::TraceSink* trace = trace_out.empty() ? nullptr : &trace_sink;
 
   bool any_errors = false;
+  bool any_warnings = false;
   if (files.empty()) {
     std::ostringstream buffer;
     buffer << std::cin.rdbuf();
     sqleq::shell::LintResult result = LintOne(buffer.str(), opts, &metrics, trace);
     std::fputs(result.ToString().c_str(), stdout);
     any_errors = result.HasErrors();
+    any_warnings = result.report.CountOf(sqleq::Severity::kWarning) > 0;
   } else {
     for (const std::string& file : files) {
       std::ifstream in(file);
       if (!in) {
         std::fprintf(stderr, "cannot open %s\n", file.c_str());
-        return 2;
+        return 3;
       }
       std::ostringstream buffer;
       buffer << in.rdbuf();
@@ -128,16 +135,19 @@ int main(int argc, char** argv) {
       if (files.size() > 1) std::printf("== %s ==\n", file.c_str());
       std::fputs(result.ToString().c_str(), stdout);
       any_errors = any_errors || result.HasErrors();
+      any_warnings =
+          any_warnings || result.report.CountOf(sqleq::Severity::kWarning) > 0;
     }
   }
 
   if (!metrics_out.empty() &&
       !WriteFile(metrics_out, metrics.Snapshot().ToPrometheusText())) {
-    return 2;
+    return 3;
   }
   if (!trace_out.empty() &&
       !WriteFile(trace_out, trace_sink.ToChromeTraceJson())) {
-    return 2;
+    return 3;
   }
-  return any_errors ? 1 : 0;
+  if (any_errors) return 2;
+  return any_warnings ? 1 : 0;
 }
