@@ -1,0 +1,191 @@
+// Cost model of the two-tier durable memo (docs/service.md, "Durability &
+// Recovery"): the same equivalence check served three ways — cold (full
+// chase), warm-from-disk (server restartish: ResetMemo() drops the memory
+// tier, the verdict is promoted back from the MemoStore segments), and
+// warm-in-memory (pure ChaseMemo hit) — plus the startup recovery scan
+// itself at increasing record counts. The cold/disk/memory latency ladder
+// in BENCH_memo_persistence.json is the argument for paying the tier-2
+// write-through on the insert path.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <dirent.h>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_util.h"
+#include "chase/memo_store.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "util/telemetry.h"
+
+namespace sqleq {
+namespace {
+
+using bench::Must;
+
+/// Fresh scratch directory for one benchmark's segments.
+std::string TempMemoDir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                     "/sqleq_bench_memo_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* made = mkdtemp(buf.data());
+  if (made == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed for %s\n", tmpl.c_str());
+    std::abort();
+  }
+  return made;
+}
+
+void RemoveMemoDir(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d != nullptr) {
+    while (dirent* entry = readdir(d)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      unlink((dir + "/" + name).c_str());
+    }
+    closedir(d);
+  }
+  rmdir(dir.c_str());
+}
+
+std::string CheckLine() {
+  return service::JsonObject()
+      .Str("cmd", "check")
+      .Str("q1", "Q(X) :- r(X, Y), s(X).")
+      .Str("q2", "Q(X) :- r(X, Y).")
+      .Str("semantics", "set")
+      .Build();
+}
+
+service::ServiceClient DialAndUpload(const service::Server& server) {
+  service::ServiceClient client =
+      Must(service::ServiceClient::Connect("127.0.0.1", server.port()));
+  Must(client.Call(service::JsonObject()
+                       .Str("cmd", "relation")
+                       .Str("name", "r")
+                       .Int("arity", 2)
+                       .Build()));
+  Must(client.Call(service::JsonObject()
+                       .Str("cmd", "relation")
+                       .Str("name", "s")
+                       .Int("arity", 1)
+                       .Build()));
+  Must(client.Call(service::JsonObject()
+                       .Str("cmd", "dep")
+                       .Str("text", "r(X, Y) -> s(X).")
+                       .Str("label", "fk")
+                       .Build()));
+  return client;
+}
+
+/// Cold: every iteration resets the engine (no disk tier configured), so
+/// each check pays the full chase. The floor the other two tiers beat.
+void BM_MemoPersistence_ColdChase(benchmark::State& state) {
+  service::Server server;
+  Status started = server.Start();
+  if (!started.ok()) {
+    state.SkipWithError(started.ToString().c_str());
+    return;
+  }
+  service::ServiceClient client = DialAndUpload(server);
+  const std::string line = CheckLine();
+  for (auto _ : state) {
+    state.PauseTiming();
+    server.ResetMemo();
+    state.ResumeTiming();
+    Must(client.Call(line));
+  }
+  server.Stop();
+}
+SQLEQ_BENCHMARK(BM_MemoPersistence_ColdChase)->Unit(benchmark::kMicrosecond);
+
+/// Warm-from-disk: the disk tier is configured and pre-warmed; every
+/// iteration drops the memory tier (what a restart does) and the check is
+/// answered by promoting the spilled record — no re-chase.
+void BM_MemoPersistence_WarmFromDisk(benchmark::State& state) {
+  const std::string dir = TempMemoDir();
+  service::ServerOptions options;
+  options.memo_dir = dir;
+  service::Server server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    state.SkipWithError(started.ToString().c_str());
+    return;
+  }
+  service::ServiceClient client = DialAndUpload(server);
+  const std::string line = CheckLine();
+  Must(client.Call(line));  // chase once; write-through spills to disk
+  for (auto _ : state) {
+    state.PauseTiming();
+    server.ResetMemo();  // memory tier gone, segments survive
+    state.ResumeTiming();
+    Must(client.Call(line));
+  }
+  state.counters["disk_hits"] = static_cast<double>(
+      server.metrics().counter(metric::kMemoDiskHits).value());
+  server.Stop();
+  RemoveMemoDir(dir);
+}
+SQLEQ_BENCHMARK(BM_MemoPersistence_WarmFromDisk)->Unit(benchmark::kMicrosecond);
+
+/// Warm-in-memory: the steady state — every check after the first is a pure
+/// ChaseMemo hit.
+void BM_MemoPersistence_WarmInMemory(benchmark::State& state) {
+  const std::string dir = TempMemoDir();
+  service::ServerOptions options;
+  options.memo_dir = dir;
+  service::Server server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    state.SkipWithError(started.ToString().c_str());
+    return;
+  }
+  service::ServiceClient client = DialAndUpload(server);
+  const std::string line = CheckLine();
+  Must(client.Call(line));
+  for (auto _ : state) {
+    Must(client.Call(line));
+  }
+  server.Stop();
+  RemoveMemoDir(dir);
+}
+SQLEQ_BENCHMARK(BM_MemoPersistence_WarmInMemory)->Unit(benchmark::kMicrosecond);
+
+/// Startup recovery: MemoStore::Open scanning a segment set of range(0)
+/// records (~256B payload each). What a restarted sqleqd pays before it can
+/// serve its first warm verdict.
+void BM_MemoPersistence_RecoveryScan(benchmark::State& state) {
+  const int records = static_cast<int>(state.range(0));
+  const std::string dir = TempMemoDir();
+  {
+    MemoStoreOptions options;
+    options.dir = dir;
+    auto store = Must(MemoStore::Open(options));
+    const std::string body(256, 'b');
+    for (int i = 0; i < records; ++i) {
+      (void)store->Put("bench-key-" + std::to_string(i), body, nullptr);
+    }
+  }
+  for (auto _ : state) {
+    MemoStoreOptions options;
+    options.dir = dir;
+    auto store = Must(MemoStore::Open(options));
+    benchmark::DoNotOptimize(store->stats().recovered);
+  }
+  state.counters["records"] = static_cast<double>(records);
+  RemoveMemoDir(dir);
+}
+SQLEQ_BENCHMARK(BM_MemoPersistence_RecoveryScan)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sqleq

@@ -1,15 +1,48 @@
 #include "chase/chase_cache.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <tuple>
 #include <utility>
 
 #include "chase/checkpoint.h"
+#include "chase/memo_store.h"
 #include "util/fault.h"
 #include "util/telemetry.h"
 
 namespace sqleq {
 namespace {
+
+uint64_t Fnv64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string ContextPrefix(std::string_view context_fingerprint) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(Fnv64(context_fingerprint)));
+  return std::string("ctx:") + hex + "|";
+}
+
+/// Writes evicted entries to the disk tier. Thanks to the write-through at
+/// insert time this is normally a dedupe no-op inside MemoStore::Put; it
+/// only really writes when the insert-time spill failed (e.g. under an
+/// injected write fault). Failures are swallowed: losing a spill costs a
+/// future re-chase, nothing else.
+void SpillEvicted(
+    const std::shared_ptr<MemoStore>& store,
+    const std::vector<std::pair<std::string, std::shared_ptr<const ChaseOutcome>>>&
+        spilled) {
+  if (store == nullptr) return;
+  for (const auto& [disk_key, outcome] : spilled) {
+    (void)store->Put(disk_key, SerializeChaseOutcomeBody(*outcome));
+  }
+}
 
 /// memo.hits / memo.misses, mirroring the live Stats counters (and sharing
 /// their caveat: concurrent misses of one key are both counted).
@@ -164,18 +197,57 @@ std::string CanonicalQueryKey(const ConjunctiveQuery& q,
 }
 
 void ChaseMemo::set_byte_limit(size_t byte_limit) {
-  std::lock_guard<std::mutex> lock(mu_);
-  byte_limit_ = byte_limit;
-  EvictLocked(nullptr);
+  std::vector<SpilledEntry> spilled;
+  std::shared_ptr<MemoStore> store;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    byte_limit_ = byte_limit;
+    store = store_;
+    EvictLocked(nullptr, &spilled);
+  }
+  SpillEvicted(store, spilled);
 }
 
-void ChaseMemo::EvictLocked(MetricsRegistry* metrics) {
+void ChaseMemo::AttachStore(std::shared_ptr<MemoStore> store,
+                            std::string_view context_fingerprint) {
+  if (store == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    store_.reset();
+    disk_prefix_.clear();
+    return;
+  }
+  std::string prefix = ContextPrefix(context_fingerprint);
+  const std::string sentinel_key = prefix + "@context";
+  Result<std::optional<std::string>> existing = store->Get(sentinel_key);
+  if (existing.ok() && existing->has_value() &&
+      **existing != context_fingerprint) {
+    // Fingerprint hash collision with a different chase context already in
+    // the store: leave the disk tier detached rather than risk serving
+    // another context's outcomes.
+    return;
+  }
+  if (!existing.ok() || !existing->has_value()) {
+    // Claim the prefix. A failed claim (e.g. injected write fault) is fine:
+    // the next attach retries, and unclaimed prefixes only forgo the
+    // collision check above.
+    (void)store->Put(sentinel_key, std::string(context_fingerprint));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  store_ = std::move(store);
+  disk_prefix_ = std::move(prefix);
+}
+
+void ChaseMemo::EvictLocked(MetricsRegistry* metrics,
+                            std::vector<SpilledEntry>* spilled) {
   // Never evict the front (most recently touched) entry: a single outcome
   // larger than the limit must still cache, or hot loops would re-chase it
   // on every call.
   while (byte_limit_ > 0 && bytes_ > byte_limit_ && cache_.size() > 1) {
     const std::string& victim = lru_.back();
     auto it = cache_.find(victim);
+    if (store_ != nullptr && spilled != nullptr) {
+      spilled->emplace_back(disk_prefix_ + victim, it->second.outcome);
+    }
     bytes_ -= it->second.bytes;
     ++evictions_;
     if (metrics != nullptr) metrics->counter(metric::kMemoEvictions).Add();
@@ -186,7 +258,7 @@ void ChaseMemo::EvictLocked(MetricsRegistry* metrics) {
 
 std::pair<std::shared_ptr<const ChaseOutcome>, bool> ChaseMemo::InsertLocked(
     const std::string& key, std::shared_ptr<const ChaseOutcome> entry,
-    MetricsRegistry* metrics) {
+    MetricsRegistry* metrics, std::vector<SpilledEntry>* spilled) {
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     // Concurrent miss of the same key: the first insert won; adopt it.
@@ -199,7 +271,7 @@ std::pair<std::shared_ptr<const ChaseOutcome>, bool> ChaseMemo::InsertLocked(
   bytes_ += stored.bytes;
   auto outcome = stored.outcome;
   cache_.emplace(key, std::move(stored));
-  EvictLocked(metrics);
+  EvictLocked(metrics, spilled);
   return {std::move(outcome), true};
 }
 
@@ -210,10 +282,11 @@ void ChaseMemo::PinEnvelope(const ConjunctiveQuery& envelope) {
   pinned_suffix_ += pinned_slice_->Signature();
 }
 
-Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
-    const ConjunctiveQuery& q, std::string* out_key, const ChaseRuntime& runtime) {
+Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::LookupOrChase(
+    const ConjunctiveQuery& q, std::string* out_key, TermMap* from_canonical,
+    const ChaseRuntime& runtime) {
   ConjunctiveQuery canonical = q;  // overwritten by CanonicalQueryKey
-  const std::string subject = CanonicalQueryKey(q, &canonical);
+  const std::string subject = CanonicalQueryKey(q, &canonical, from_canonical);
   std::string key = subject;
   const SigmaSlice* slice = nullptr;
   if (plan_->options().use_sigma_slicing) {
@@ -235,6 +308,8 @@ Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
   }
   if (out_key != nullptr) *out_key = key;
   std::shared_ptr<const ChaseOutcome> cached;
+  std::shared_ptr<MemoStore> store;
+  std::string disk_key;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
@@ -244,10 +319,42 @@ Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
       cached = it->second.outcome;
     } else {
       ++misses_;
+      store = store_;
+      if (store != nullptr) disk_key = disk_prefix_ + key;
     }
   }
   CountMemoLookup(runtime.metrics, /*hit=*/cached != nullptr);
   if (cached != nullptr) return cached;
+
+  // Tier-2: consult the disk store before re-chasing. A hit is parsed back
+  // from the checkpoint text dialect and re-promoted into the memory tier
+  // under the same slice-suffixed key. The promotion charges the memory
+  // tier's live bytes but deliberately not memo.inserts/memo.bytes (the
+  // outcome was not freshly chased) and writes nothing back to disk — a
+  // re-promotion never double-counts. Read failures, injected or real,
+  // degrade to a cold chase.
+  if (store != nullptr) {
+    Result<std::optional<std::string>> body =
+        store->Get(disk_key, runtime.metrics);
+    if (body.ok() && body->has_value()) {
+      Result<ChaseOutcome> parsed = ParseChaseOutcomeBody(**body);
+      if (parsed.ok()) {
+        auto promoted =
+            std::make_shared<const ChaseOutcome>(std::move(parsed).value());
+        std::vector<SpilledEntry> spilled;
+        std::shared_ptr<const ChaseOutcome> winner;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          winner = InsertLocked(key, std::move(promoted), runtime.metrics,
+                                &spilled)
+                       .first;
+        }
+        SpillEvicted(store, spilled);
+        return winner;
+      }
+    }
+  }
+
   // Chase outside the lock: other keys (and even this key, on a concurrent
   // miss) may be chased in parallel; the first insert wins.
   // Checkpoint subjects use the plain canonical key, not the slice-suffixed
@@ -266,66 +373,39 @@ Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
       ProbeSite(runtime.faults, runtime.cancel, fault_sites::kMemoInsert));
   auto entry = std::make_shared<const ChaseOutcome>(std::move(outcome).value());
   bool inserted = false;
+  std::vector<SpilledEntry> spilled;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    std::tie(entry, inserted) = InsertLocked(key, std::move(entry), runtime.metrics);
+    std::tie(entry, inserted) =
+        InsertLocked(key, std::move(entry), runtime.metrics, &spilled);
   }
-  if (inserted) CountMemoInsert(runtime.metrics, key, *entry);
+  if (inserted) {
+    CountMemoInsert(runtime.metrics, key, *entry);
+    if (store != nullptr) {
+      // Write-through: a freshly chased outcome spills immediately, so a
+      // later eviction is a dedupe no-op and a crash right now loses
+      // nothing already paid for. Failures cost a future re-chase only.
+      (void)store->Put(disk_key, SerializeChaseOutcomeBody(*entry),
+                       runtime.metrics);
+    }
+  }
+  SpillEvicted(store, spilled);
   return entry;
+}
+
+Result<std::shared_ptr<const ChaseOutcome>> ChaseMemo::ChaseCanonical(
+    const ConjunctiveQuery& q, std::string* out_key, const ChaseRuntime& runtime) {
+  return LookupOrChase(q, out_key, /*from_canonical=*/nullptr, runtime);
 }
 
 Result<ChaseOutcome> ChaseMemo::Chase(const ConjunctiveQuery& q,
                                       const ChaseRuntime& runtime) {
-  ConjunctiveQuery canonical = q;
   TermMap from_canonical;
-  const std::string subject = CanonicalQueryKey(q, &canonical, &from_canonical);
-  std::string key = subject;
-  const SigmaSlice* slice = nullptr;
-  if (plan_->options().use_sigma_slicing) {
-    if (pinned_slice_ != nullptr) {
-      slice = pinned_slice_;
-      key += pinned_suffix_;
-    } else {
-      slice = &plan_->SliceFor(canonical);
-      key += "|slice:";
-      key += slice->Signature();
-    }
-  }
-  std::shared_ptr<const ChaseOutcome> entry;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++hits_;
-      lru_.splice(lru_.begin(), lru_, it->second.lru);
-      entry = it->second.outcome;
-    } else {
-      ++misses_;
-    }
-  }
-  CountMemoLookup(runtime.metrics, /*hit=*/entry != nullptr);
-  if (entry == nullptr) {
-    ChaseRuntime inner = RuntimeForKey(runtime, subject);
-    Result<ChaseOutcome> outcome = slice != nullptr
-                                       ? plan_->Run(canonical, inner, *slice)
-                                       : plan_->Run(canonical, inner);
-    if (!outcome.ok()) {
-      StampSubject(inner, subject);
-      return outcome.status();
-    }
-    SQLEQ_RETURN_IF_ERROR(
-        ProbeSite(runtime.faults, runtime.cancel, fault_sites::kMemoInsert));
-    entry = std::make_shared<const ChaseOutcome>(std::move(outcome).value());
-    bool inserted = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      std::tie(entry, inserted) = InsertLocked(key, std::move(entry), runtime.metrics);
-    }
-    if (inserted) CountMemoInsert(runtime.metrics, key, *entry);
-  }
-  ChaseOutcome remapped{entry->result.Substitute(from_canonical).WithName(q.name()),
-                        entry->trace, entry->failed};
-  return remapped;
+  SQLEQ_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ChaseOutcome> entry,
+      LookupOrChase(q, /*out_key=*/nullptr, &from_canonical, runtime));
+  return ChaseOutcome{entry->result.Substitute(from_canonical).WithName(q.name()),
+                      entry->trace, entry->failed};
 }
 
 ChaseMemo::Stats ChaseMemo::stats() const {

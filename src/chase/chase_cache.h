@@ -12,13 +12,17 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "chase/chase_plan.h"
 #include "chase/sound_chase.h"
 
 namespace sqleq {
+
+class MemoStore;
 
 /// A canonical form of `q`: variables renamed to ?0, ?1, ... and body atoms
 /// reordered by a greedy least-signature labelling, so any two queries that
@@ -65,6 +69,19 @@ class ChaseMemo {
   /// in stats().evictions, but not in the memo.evictions metric — there is
   /// no runtime in scope). 0 removes the bound.
   void set_byte_limit(size_t byte_limit);
+
+  /// Attaches a tier-2 on-disk store (chase/memo_store.h): memory misses
+  /// consult it (disk hits are parsed back and re-promoted into the memory
+  /// tier, slice-suffixed key and all), fresh outcomes are written through,
+  /// and LRU evictions spill as a backstop (normally a no-op thanks to the
+  /// write-through). Disk failures of any kind degrade to a cold chase,
+  /// never an error. `context_fingerprint` names the chase context (Σ,
+  /// semantics, schema, options); records live under a fingerprint-derived
+  /// key prefix, and a sentinel record pins the prefix to the full
+  /// fingerprint so a hash collision between contexts detaches the tier
+  /// instead of mixing outcomes. nullptr detaches.
+  void AttachStore(std::shared_ptr<MemoStore> store,
+                   std::string_view context_fingerprint);
 
   /// Pins the Σ-slice of `envelope` for every later chase through this
   /// memo. Sound exactly when each chased query is a sub-conjunction of
@@ -131,15 +148,28 @@ class ChaseMemo {
     std::list<std::string>::iterator lru;
   };
 
+  /// (disk key, outcome) of an entry evicted under mu_; spilled to the
+  /// disk tier after unlocking.
+  using SpilledEntry =
+      std::pair<std::string, std::shared_ptr<const ChaseOutcome>>;
+
+  /// The shared lookup core behind Chase/ChaseCanonical: memory tier, then
+  /// disk tier (with re-promotion), then a fresh chase (with write-through).
+  Result<std::shared_ptr<const ChaseOutcome>> LookupOrChase(
+      const ConjunctiveQuery& q, std::string* out_key, TermMap* from_canonical,
+      const ChaseRuntime& runtime);
+
   /// Inserts (or returns the concurrent winner of) `key`; runs eviction.
   /// Returns the cached outcome and whether this call inserted it.
   std::pair<std::shared_ptr<const ChaseOutcome>, bool> InsertLocked(
       const std::string& key, std::shared_ptr<const ChaseOutcome> entry,
-      MetricsRegistry* metrics);
+      MetricsRegistry* metrics, std::vector<SpilledEntry>* spilled);
 
-  /// Evicts LRU entries (never the front) until the limit holds. Caller
+  /// Evicts LRU entries (never the front) until the limit holds, recording
+  /// victims in `spilled` (may be null) when a store is attached. Caller
   /// holds mu_.
-  void EvictLocked(MetricsRegistry* metrics);
+  void EvictLocked(MetricsRegistry* metrics,
+                   std::vector<SpilledEntry>* spilled);
 
   const std::shared_ptr<const ChasePlan> plan_;
 
@@ -149,6 +179,10 @@ class ChaseMemo {
   std::string pinned_suffix_;
 
   mutable std::mutex mu_;
+  /// Tier-2 store and the context-fingerprint key prefix; both set by
+  /// AttachStore under mu_ and copied out under mu_ before disk I/O.
+  std::shared_ptr<MemoStore> store_;
+  std::string disk_prefix_;
   std::unordered_map<std::string, Entry> cache_;
   std::list<std::string> lru_;
   size_t byte_limit_ = 0;

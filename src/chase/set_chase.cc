@@ -72,9 +72,11 @@ Result<ChaseOutcome> SetChaseWithPlan(const ConjunctiveQuery& q,
     out.trace = runtime.resume->trace;
     start = runtime.resume->steps_done;
   }
+  const ResourceBudget& budget =
+      runtime.budget != nullptr ? *runtime.budget : options.budget;
   FlatConjunction flat;
-  for (size_t step = start; step < options.budget.max_chase_steps; ++step) {
-    Status guard = options.budget.CheckDeadline("set chase");
+  for (size_t step = start; step < budget.max_chase_steps; ++step) {
+    Status guard = budget.CheckDeadline("set chase");
     if (guard.ok()) {
       guard = ProbeSite(runtime.faults, runtime.cancel, fault_sites::kChaseStep);
     }
@@ -151,14 +153,14 @@ Result<ChaseOutcome> SetChaseWithPlan(const ConjunctiveQuery& q,
     if (!applied) return out;  // D(result) |= Σ — terminal.
   }
   std::string message = "set chase exceeded " +
-                        std::to_string(options.budget.max_chase_steps) +
+                        std::to_string(budget.max_chase_steps) +
                         " steps (ResourceBudget::max_chase_steps); ";
   message += IsWeaklyAcyclic(sigma)
                  ? "Σ is weakly acyclic, so raising the budget will "
                    "terminate (Thm H.1)"
                  : "Σ is NOT weakly acyclic — the chase may diverge";
   return StopChase(Status::ResourceExhausted(std::move(message)), out,
-                   options.budget.max_chase_steps,
+                   budget.max_chase_steps,
                    ChaseCheckpoint::kSetChasePhase, runtime);
 }
 

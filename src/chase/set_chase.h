@@ -44,6 +44,13 @@ struct ChaseRuntime {
   /// deadline, cancellation, injected exhaustion), receives the loop state
   /// for a later resume.
   std::optional<ChaseCheckpoint>* checkpoint_out = nullptr;
+  /// Per-run budget override: when non-null the step cap and deadline checks
+  /// consult this instead of the ChaseOptions budget the loop (or the
+  /// ChasePlan/ChaseMemo it runs through) was constructed with. This is what
+  /// lets one long-lived plan/memo serve calls with different budgets —
+  /// cached outcomes are completed chases, hence budget-independent
+  /// (equivalence/engine.cc shares memos across budgets on this basis).
+  const ResourceBudget* budget = nullptr;
 };
 
 /// Knobs shared by set chase and sound chase.

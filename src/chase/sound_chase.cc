@@ -97,6 +97,7 @@ Result<ChaseOutcome> SoundChaseRegular(const ConjunctiveQuery& q,
     probe_runtime.cancel = runtime.cancel;
     probe_runtime.metrics = runtime.metrics;
     probe_runtime.trace = runtime.trace;
+    probe_runtime.budget = runtime.budget;
     std::optional<ChaseCheckpoint> probe_resume;
     if (resume != nullptr &&
         resume->phase == ChaseCheckpoint::kSetChaseProbePhase) {
@@ -138,9 +139,14 @@ Result<ChaseOutcome> SoundChaseRegular(const ConjunctiveQuery& q,
     }
     return status;
   };
+  // The effective budget also governs the nested assignment-fixing test
+  // chases, which take ChaseOptions (no runtime) — fold it in once.
+  ChaseOptions effective = options;
+  if (runtime.budget != nullptr) effective.budget = *runtime.budget;
+  const ResourceBudget& budget = effective.budget;
   FlatConjunction flat;
-  for (size_t step = start; step < options.budget.max_chase_steps; ++step) {
-    Status guard = options.budget.CheckDeadline("sound chase");
+  for (size_t step = start; step < budget.max_chase_steps; ++step) {
+    Status guard = budget.CheckDeadline("sound chase");
     if (guard.ok()) {
       guard = ProbeSite(runtime.faults, runtime.cancel, fault_sites::kChaseStep);
     }
@@ -201,14 +207,14 @@ Result<ChaseOutcome> SoundChaseRegular(const ConjunctiveQuery& q,
         // Key-based ⇒ assignment-fixing (§5.1): try the cheap test first.
         // The plan caches the per-tgd Def 5.1 classification.
         bool require_set_valued = semantics == Semantics::kBag;
-        bool fixing = options.key_based_fast_path &&
+        bool fixing = effective.key_based_fast_path &&
                       (plan != nullptr
                            ? plan->KeyBased(di, require_set_valued)
                            : IsKeyBased(tgd, regular, schema, require_set_valued));
         if (!fixing) {
           SQLEQ_ASSIGN_OR_RETURN(
               fixing,
-              IsAssignmentFixing(out.result, tgd, h, regular, options, plan));
+              IsAssignmentFixing(out.result, tgd, h, regular, effective, plan));
         }
         if (!fixing) continue;
         std::vector<Atom> body = out.result.body();
@@ -226,9 +232,9 @@ Result<ChaseOutcome> SoundChaseRegular(const ConjunctiveQuery& q,
   }
   return stop(Status::ResourceExhausted(
                   "sound chase exceeded " +
-                  std::to_string(options.budget.max_chase_steps) +
+                  std::to_string(budget.max_chase_steps) +
                   " steps (ResourceBudget::max_chase_steps)"),
-              options.budget.max_chase_steps);
+              budget.max_chase_steps);
 }
 
 }  // namespace chase_internal

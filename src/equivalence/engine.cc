@@ -10,8 +10,11 @@ namespace sqleq {
 namespace {
 
 /// Context fingerprint for memo sharing: everything a chase outcome depends
-/// on. `chase` is the resolved chase options (context budget already folded
-/// in). Deadline and thread count are excluded on purpose (see MemoFor).
+/// on. Deadline, thread count, and the budget caps are excluded on purpose:
+/// a budget-exhausted chase is a Status (never memoized), so every cached
+/// outcome is a completed chase whose result is budget-independent — which
+/// lets a narrowed-budget request (the degraded admission lane, a client
+/// that lowered max_chase_steps) still hit entries warmed at full budget.
 std::string ContextKey(const EquivRequest& request, const ChaseOptions& chase) {
   std::string key = SemanticsToString(request.semantics);
   key += '\n';
@@ -23,7 +26,6 @@ std::string ContextKey(const EquivRequest& request, const ChaseOptions& chase) {
   key += chase.key_based_fast_path ? "K" : "k";
   key += chase.use_compiled_kernels ? "C" : "c";
   key += chase.use_sigma_slicing ? "S" : "s";
-  key += std::to_string(chase.budget.max_chase_steps);
   return key;
 }
 
@@ -49,10 +51,14 @@ std::shared_ptr<ChaseMemo> EquivalenceEngine::MemoFor(const EquivRequest& reques
   auto it = memos_.find(key);
   if (it != memos_.end()) return it->second;
   ChaseOptions memo_options = chase;
-  memo_options.budget.deadline.reset();  // enforced per call, not per memo
+  // The budget is per call (ChaseRuntime::budget), never per memo: the memo
+  // keyed by ContextKey outlives any one request's limits, so the baked
+  // options carry neutral defaults only.
+  memo_options.budget = ResourceBudget{};
   auto memo = std::make_shared<ChaseMemo>(request.sigma, request.semantics,
                                           request.schema, memo_options,
                                           memo_byte_limit_);
+  if (memo_store_ != nullptr) memo->AttachStore(memo_store_, key);
   memos_.emplace(std::move(key), memo);
   return memo;
 }
@@ -61,6 +67,12 @@ void EquivalenceEngine::set_memo_byte_limit(size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   memo_byte_limit_ = bytes;
   for (auto& [key, memo] : memos_) memo->set_byte_limit(bytes);
+}
+
+void EquivalenceEngine::set_memo_store(std::shared_ptr<MemoStore> store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  memo_store_ = std::move(store);
+  for (auto& [key, memo] : memos_) memo->AttachStore(memo_store_, key);
 }
 
 Result<EquivVerdict> EquivalenceEngine::Equivalent(const ConjunctiveQuery& q1,
@@ -90,12 +102,12 @@ Result<EquivVerdict> EquivalenceEngine::Equivalent(const ConjunctiveQuery& q1,
     SQLEQ_RETURN_IF_ERROR(ReportToStatus(
         AnalyzeProgram(request.schema, request.sigma, {q1, q2}, analyze)));
   }
-  // One budget governs the call: fold the resolved budget into the chase
-  // options before the memo lookup so the memo context key reflects it.
-  ChaseOptions chase_options = request.chase;
-  chase_options.budget = ctx.budget;
-  std::shared_ptr<ChaseMemo> memo = MemoFor(request, chase_options);
+  // One budget governs the call, threaded per-run (ChaseRuntime::budget)
+  // rather than baked into the memo's plan — so calls with different budgets
+  // share one memo and its compiled kernels (see ContextKey above).
+  std::shared_ptr<ChaseMemo> memo = MemoFor(request, request.chase);
   ChaseRuntime runtime;
+  runtime.budget = &ctx.budget;
   runtime.faults = ctx.faults;
   runtime.cancel = ctx.cancel;
   runtime.metrics = ctx.metrics;

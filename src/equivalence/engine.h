@@ -170,6 +170,13 @@ class EquivalenceEngine {
   /// The limit is per memo context, not summed across contexts.
   void set_memo_byte_limit(size_t bytes);
 
+  /// Attaches a tier-2 on-disk memo store (chase/memo_store.h) to every
+  /// chase memo this engine owns, existing and future. Each memo's records
+  /// are namespaced by its context key, so one store serves all contexts
+  /// (and survives engine resets — the sqleqd server re-attaches the same
+  /// store to a fresh engine). nullptr detaches.
+  void set_memo_store(std::shared_ptr<MemoStore> store);
+
  private:
   /// The memo for the request's chase context, under the resolved chase
   /// options (context budget already folded in). Deadlines are deliberately
@@ -182,6 +189,7 @@ class EquivalenceEngine {
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<ChaseMemo>> memos_;
   size_t memo_byte_limit_ = 0;
+  std::shared_ptr<MemoStore> memo_store_;
 };
 
 }  // namespace sqleq

@@ -1,13 +1,88 @@
 #include "service/client.h"
 
+#include <algorithm>
+#include <cmath>
+#include <thread>
 #include <utility>
 
 namespace sqleq {
 namespace service {
+namespace {
+
+/// splitmix64: full-period 64-bit mixer for the deterministic jitter.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool FieldIsTrue(const JsonValue& doc, const char* key) {
+  const JsonValue* v = doc.Find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kBool && v->boolean;
+}
+
+}  // namespace
+
+uint64_t RetryBackoffMs(const RetryPolicy& policy, size_t attempt,
+                        std::optional<uint64_t> server_hint_ms) {
+  if (attempt == 0) attempt = 1;
+  double step = static_cast<double>(policy.initial_backoff_ms) *
+                std::pow(std::max(1.0, policy.multiplier),
+                         static_cast<double>(attempt - 1));
+  uint64_t base = static_cast<uint64_t>(
+      std::min(step, static_cast<double>(policy.max_backoff_ms)));
+  if (server_hint_ms.has_value()) base = std::max(base, *server_hint_ms);
+  if (base == 0) return 0;
+  // Deterministic jitter into [base/2, base]: spreads synchronized retries
+  // without giving up reproducibility.
+  uint64_t r = Mix64(policy.seed ^ Mix64(attempt));
+  return base / 2 + r % (base - base / 2 + 1);
+}
+
+bool IsRetryableResponse(const JsonValue& response,
+                         std::optional<uint64_t>* server_hint_ms) {
+  if (!response.is_object()) return false;
+  bool retryable = FieldIsTrue(response, "overloaded") ||
+                   FieldIsTrue(response, "draining");
+  if (!retryable) return false;
+  if (server_hint_ms != nullptr) {
+    if (const JsonValue* hint = response.Find("retry_after_ms");
+        hint != nullptr && hint->is_number() && hint->number >= 0) {
+      *server_hint_ms = static_cast<uint64_t>(hint->number);
+    }
+  }
+  return true;
+}
 
 Result<ServiceClient> ServiceClient::Connect(const std::string& host, int port) {
   SQLEQ_ASSIGN_OR_RETURN(TcpConn conn, TcpConn::Connect(host, port));
-  return ServiceClient(std::move(conn));
+  return ServiceClient(std::move(conn), host, port);
+}
+
+Result<ServiceClient> ServiceClient::Connect(const std::string& host, int port,
+                                             const RetryPolicy& policy) {
+  Result<TcpConn> conn = policy.connect_timeout.count() > 0
+                             ? TcpConn::Connect(host, port, policy.connect_timeout)
+                             : TcpConn::Connect(host, port);
+  if (!conn.ok()) return conn.status();
+  ServiceClient client(std::move(*conn), host, port);
+  if (policy.request_timeout.count() > 0) {
+    SQLEQ_RETURN_IF_ERROR(client.conn_.SetRecvTimeout(policy.request_timeout));
+  }
+  return client;
+}
+
+Status ServiceClient::Reconnect(const RetryPolicy& policy) {
+  Result<TcpConn> conn = policy.connect_timeout.count() > 0
+                             ? TcpConn::Connect(host_, port_, policy.connect_timeout)
+                             : TcpConn::Connect(host_, port_);
+  if (!conn.ok()) return conn.status();
+  conn_ = std::move(*conn);
+  if (policy.request_timeout.count() > 0) {
+    SQLEQ_RETURN_IF_ERROR(conn_.SetRecvTimeout(policy.request_timeout));
+  }
+  return Status::OK();
 }
 
 Result<JsonValue> ServiceClient::Call(const std::string& request_line) {
@@ -23,6 +98,42 @@ Result<JsonValue> ServiceClient::Call(const std::string& request_line,
   }
   if (raw_response != nullptr) *raw_response = *line;
   return ParseJson(*line);
+}
+
+Result<JsonValue> ServiceClient::CallWithRetry(const std::string& request_line,
+                                               const RetryPolicy& policy,
+                                               std::string* raw_response,
+                                               RetryStats* stats) {
+  const size_t attempts = std::max<size_t>(1, policy.max_attempts);
+  Result<JsonValue> result = Status::Internal("retry loop did not run");
+  for (size_t attempt = 1; attempt <= attempts; ++attempt) {
+    if (stats != nullptr) stats->attempts = attempt;
+    result = Call(request_line, raw_response);
+    std::optional<uint64_t> hint;
+    bool reconnect;
+    if (result.ok()) {
+      if (!IsRetryableResponse(*result, &hint)) return result;
+      // Draining means this server is going away: redial so the retry can
+      // land on a replacement bound to the same port. Overloaded keeps the
+      // healthy connection.
+      reconnect = FieldIsTrue(*result, "draining");
+    } else {
+      reconnect = true;  // transport failure or read deadline
+    }
+    if (attempt == attempts) break;
+    uint64_t backoff = RetryBackoffMs(policy, attempt, hint);
+    if (stats != nullptr) stats->total_backoff_ms += backoff;
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    if (reconnect) {
+      Status redial = Reconnect(policy);
+      if (stats != nullptr && redial.ok()) ++stats->reconnects;
+      // A failed redial leaves the dead connection in place; the next Call
+      // fails fast and we burn an attempt, which is the intended bound.
+    }
+  }
+  return result;
 }
 
 Status ServiceClient::Send(const std::string& request_line) {

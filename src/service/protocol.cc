@@ -83,7 +83,7 @@ std::string ErrorResponse(const std::string& id, const Status& status) {
       .Build();
 }
 
-std::string OverloadedResponse(const std::string& id) {
+std::string OverloadedResponse(const std::string& id, uint64_t retry_after_ms) {
   JsonObject error;
   error.Str("code", StatusCodeToString(StatusCode::kResourceExhausted))
       .Str("message", "server overloaded: in-flight request limit reached");
@@ -91,6 +91,20 @@ std::string OverloadedResponse(const std::string& id) {
       .Str("id", id)
       .Bool("ok", false)
       .Bool("overloaded", true)
+      .Int("retry_after_ms", retry_after_ms)
+      .Raw("error", error.Build())
+      .Build();
+}
+
+std::string DrainingResponse(const std::string& id, uint64_t retry_after_ms) {
+  JsonObject error;
+  error.Str("code", StatusCodeToString(StatusCode::kFailedPrecondition))
+      .Str("message", "server draining; retry against a replacement server");
+  return JsonObject()
+      .Str("id", id)
+      .Bool("ok", false)
+      .Bool("draining", true)
+      .Int("retry_after_ms", retry_after_ms)
       .Raw("error", error.Build())
       .Build();
 }

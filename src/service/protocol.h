@@ -58,10 +58,20 @@ class JsonObject {
 /// {"id":...,"ok":false,"error":{"code":"<StatusCodeToString>","message":...}}
 std::string ErrorResponse(const std::string& id, const Status& status);
 
-/// The load-shedding response: ok:false, overloaded:true, and a
-/// ResourceExhausted error object — so naive clients treat it as a failure
-/// and aware clients back off and retry.
-std::string OverloadedResponse(const std::string& id);
+/// The load-shedding response: ok:false, overloaded:true, a retry_after_ms
+/// backoff hint, and a ResourceExhausted error object — so naive clients
+/// treat it as a failure and aware clients (ServiceClient::CallWithRetry)
+/// back off and retry.
+std::string OverloadedResponse(const std::string& id,
+                               uint64_t retry_after_ms = 100);
+
+/// The drain-time rejection for new expensive work: ok:false,
+/// draining:true (the machine-readable code — no message pattern-matching
+/// needed), a retry_after_ms hint for clients that will retry against a
+/// replacement server, and a FailedPrecondition error object for naive
+/// clients.
+std::string DrainingResponse(const std::string& id,
+                             uint64_t retry_after_ms = 100);
 
 // ---- Field accessors over a parsed request body. ----
 

@@ -44,6 +44,18 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
 Server::~Server() { Stop(); }
 
 Status Server::Start() {
+  if (!options_.memo_dir.empty()) {
+    MemoStoreOptions store_options;
+    store_options.dir = options_.memo_dir;
+    store_options.max_disk_bytes = options_.memo_disk_bytes;
+    store_options.fsync_each_put = options_.memo_fsync;
+    store_options.faults = options_.faults;
+    store_options.metrics = &metrics_;
+    Result<std::unique_ptr<MemoStore>> store = MemoStore::Open(std::move(store_options));
+    if (!store.ok()) return store.status();
+    memo_store_ = std::shared_ptr<MemoStore>(std::move(*store));
+    engine_->set_memo_store(memo_store_);
+  }
   SQLEQ_RETURN_IF_ERROR(listener_.Listen(options_.port));
   pool_ = std::make_unique<ThreadPool>(std::max<size_t>(1, options_.worker_threads),
                                        &metrics_);
@@ -85,6 +97,9 @@ void Server::Stop() {
 void Server::ResetMemo() {
   auto fresh = std::make_shared<EquivalenceEngine>();
   fresh->set_memo_byte_limit(options_.memo_byte_limit);
+  // The disk tier outlives the engine on purpose: a reset cools the memory
+  // tier but the fresh engine re-warms from disk (bench_memo_persistence).
+  if (memo_store_ != nullptr) fresh->set_memo_store(memo_store_);
   std::lock_guard<std::mutex> lock(engine_mu_);
   engine_ = std::move(fresh);
 }
@@ -147,15 +162,33 @@ void Server::ServeConnection(TcpConn conn) {
       } else if (!IsExpensive(request->cmd)) {
         response = Dispatch(session, *request);
       } else if (draining()) {
-        response = ErrorResponse(
-            request->id, Status::FailedPrecondition("server draining; retry elsewhere"));
+        metrics_.counter(metric::kServiceDrainingRejected).Add();
+        response = DrainingResponse(request->id, options_.retry_after_ms);
+      } else if (std::optional<std::string> replay = IdempotentReplay(request->id);
+                 replay.has_value()) {
+        // A retried id whose original response was already settled: replay
+        // it instead of re-dispatching (the retry raced a lost response).
+        response = *std::move(replay);
       } else {
-        // Admission control: shed once queued-or-running hits the cap.
+        // Admission control once queued-or-running hits the cap: either
+        // shed, or (degraded_admission) answer inline under the narrowed
+        // budget — memo hits still resolve, fresh work returns an anytime
+        // kUnknown with a checkpoint and a retry_after_ms hint.
         size_t prior = inflight_.fetch_add(1, std::memory_order_acq_rel);
         if (prior >= options_.max_inflight) {
-          inflight_.fetch_sub(1, std::memory_order_acq_rel);
-          metrics_.counter(metric::kServiceOverloaded).Add();
-          response = OverloadedResponse(request->id);
+          if (options_.degraded_admission) {
+            // Stays on the connection thread (the pool is saturated by
+            // definition here) and keeps inflight_ raised so concurrent
+            // arrivals also see the overload.
+            metrics_.counter(metric::kServiceDegraded).Add();
+            response = Dispatch(session, *request, /*degraded=*/true);
+            inflight_.fetch_sub(1, std::memory_order_acq_rel);
+            RememberResponse(request->id, response);
+          } else {
+            inflight_.fetch_sub(1, std::memory_order_acq_rel);
+            metrics_.counter(metric::kServiceOverloaded).Add();
+            response = OverloadedResponse(request->id, options_.retry_after_ms);
+          }
         } else {
           // Run on the worker pool; this connection thread blocks until its
           // request finishes, so Session stays single-owner.
@@ -172,6 +205,7 @@ void Server::ServeConnection(TcpConn conn) {
           std::unique_lock<std::mutex> wait_lock(mu);
           cv.wait(wait_lock, [&] { return done; });
           inflight_.fetch_sub(1, std::memory_order_acq_rel);
+          RememberResponse(request->id, response);
         }
       }
     }
@@ -188,14 +222,15 @@ void Server::ServeConnection(TcpConn conn) {
   active_sessions_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
-std::string Server::Dispatch(Session& session, const Request& request) {
+std::string Server::Dispatch(Session& session, const Request& request,
+                             bool degraded) {
   if (request.cmd == "hello") return HandleHello(request);
   if (request.cmd == "ddl") return HandleDdl(session, request);
   if (request.cmd == "relation") return HandleRelation(session, request);
   if (request.cmd == "dep") return HandleDep(session, request);
-  if (request.cmd == "check") return HandleCheck(session, request);
-  if (request.cmd == "reformulate") return HandleReformulate(session, request);
-  if (request.cmd == "lint") return HandleLint(session, request);
+  if (request.cmd == "check") return HandleCheck(session, request, degraded);
+  if (request.cmd == "reformulate") return HandleReformulate(session, request, degraded);
+  if (request.cmd == "lint") return HandleLint(session, request, degraded);
   if (request.cmd == "stats") return HandleStats(request);
   return ErrorResponse(request.id,
                        Status::InvalidArgument("unknown command \"" + request.cmd + "\""));
@@ -256,7 +291,8 @@ std::string Server::HandleDep(Session& session, const Request& request) {
       .Build();
 }
 
-std::string Server::HandleCheck(Session& session, const Request& request) {
+std::string Server::HandleCheck(Session& session, const Request& request,
+                                bool degraded) {
   Result<std::string> q1_text = RequireString(request.body, "q1");
   if (!q1_text.ok()) return ErrorResponse(request.id, q1_text.status());
   Result<std::string> q2_text = RequireString(request.body, "q2");
@@ -278,7 +314,7 @@ std::string Server::HandleCheck(Session& session, const Request& request) {
   equiv.semantics = semantics;
   equiv.sigma = session.catalog().sigma;
   equiv.schema = session.catalog().schema;
-  equiv.context = ContextFor(request.body, &local);
+  equiv.context = ContextFor(request.body, &local, degraded);
 
   std::optional<ChaseCheckpoint> resume;
   if (std::optional<std::string> text = OptionalString(request.body, "resume")) {
@@ -303,12 +339,19 @@ std::string Server::HandleCheck(Session& session, const Request& request) {
   if (verdict->checkpoint.has_value()) {
     out.Str("checkpoint", verdict->checkpoint->Serialize());
   }
+  if (degraded) {
+    out.Bool("degraded", true);
+    if (verdict->verdict == Verdict::kUnknown) {
+      out.Int("retry_after_ms", options_.retry_after_ms);
+    }
+  }
   if (draining()) out.Bool("drained", true);
   out.Raw("metrics", MergeAndRenderMetrics(local));
   return out.Build();
 }
 
-std::string Server::HandleReformulate(Session& session, const Request& request) {
+std::string Server::HandleReformulate(Session& session, const Request& request,
+                                      bool degraded) {
   Result<std::string> query_text = RequireString(request.body, "query");
   if (!query_text.ok()) return ErrorResponse(request.id, query_text.status());
 
@@ -323,7 +366,7 @@ std::string Server::HandleReformulate(Session& session, const Request& request) 
 
   MetricsRegistry local;
   CandBOptions options;
-  options.context = ContextFor(request.body, &local);
+  options.context = ContextFor(request.body, &local, degraded);
 
   std::optional<CandBCheckpoint> resume;
   if (std::optional<std::string> text = OptionalString(request.body, "resume")) {
@@ -358,15 +401,27 @@ std::string Server::HandleReformulate(Session& session, const Request& request) 
   if (result->checkpoint.has_value()) {
     out.Str("checkpoint", result->checkpoint->Serialize());
   }
+  if (degraded) {
+    out.Bool("degraded", true);
+    if (!result->complete) out.Int("retry_after_ms", options_.retry_after_ms);
+  }
   if (draining()) out.Bool("drained", true);
   out.Raw("metrics", MergeAndRenderMetrics(local));
   return out.Build();
 }
 
-std::string Server::HandleLint(Session& session, const Request& request) {
+std::string Server::HandleLint(Session& session, const Request& request,
+                               bool degraded) {
   AnalyzeOptions opts = AnalyzeOptions::Full();
   opts.warnings_as_errors = OptionalBool(request.body, "strict", false);
   opts.budget = options_.default_budget;
+  if (degraded) {
+    opts.budget.max_chase_steps =
+        std::min(opts.budget.max_chase_steps, options_.degraded_chase_steps);
+    opts.budget.max_candidates =
+        std::min(opts.budget.max_candidates, options_.degraded_candidates);
+    opts.budget.threads = 1;
+  }
 
   std::vector<ConjunctiveQuery> queries;
   if (const JsonValue* list = request.body.Find("queries");
@@ -417,20 +472,78 @@ std::string Server::HandleStats(const Request& request) {
       .Int("contexts", cache.contexts)
       .Int("compiled_kernels", cache.compiled_kernels)
       .Int("pattern_atoms", cache.pattern_atoms);
-  return JsonObject()
-      .Str("id", request.id)
+  JsonObject out;
+  out.Str("id", request.id)
       .Bool("ok", true)
       .Str("prometheus", snapshot.ToPrometheusText())
       .Int("inflight", inflight())
       .Int("sessions", active_sessions())
       .Bool("draining", draining())
-      .Raw("memo", memo.Build())
-      .Build();
+      .Raw("memo", memo.Build());
+  if (memo_store_ != nullptr) {
+    MemoStore::Stats d = memo_store_->stats();
+    JsonObject disk;
+    disk.Int("entries", d.entries)
+        .Int("segments", d.segments)
+        .Int("bytes", d.disk_bytes)
+        .Int("recovered", d.recovered)
+        .Int("corrupt_records", d.corrupt_records)
+        .Int("dropped", d.dropped)
+        .Int("compactions", d.compactions)
+        .Int("hits", d.hits)
+        .Int("writes", d.writes);
+    out.Raw("disk", disk.Build());
+  }
+  return out.Build();
 }
 
-EngineContext Server::ContextFor(const JsonValue& body, MetricsRegistry* local) {
+std::optional<std::string> Server::IdempotentReplay(const std::string& id) {
+  if (id.empty() || options_.idempotency_cache == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(idem_mu_);
+  auto it = idem_cache_.find(id);
+  if (it == idem_cache_.end()) return std::nullopt;
+  idem_lru_.splice(idem_lru_.begin(), idem_lru_, it->second.lru_pos);
+  metrics_.counter(metric::kServiceIdempotentReplays).Add();
+  return it->second.response;
+}
+
+void Server::RememberResponse(const std::string& id, const std::string& response) {
+  if (id.empty() || options_.idempotency_cache == 0) return;
+  // Only settled responses replay. A failure, an anytime kUnknown, or a
+  // partial reformulation must re-dispatch on retry so the work can finish
+  // (typically as a memo hit the second time around).
+  if (response.find("\"ok\":false") != std::string::npos) return;
+  if (response.find("\"verdict\":\"unknown\"") != std::string::npos) return;
+  if (response.find("\"complete\":false") != std::string::npos) return;
+  std::lock_guard<std::mutex> lock(idem_mu_);
+  auto it = idem_cache_.find(id);
+  if (it != idem_cache_.end()) {
+    idem_lru_.splice(idem_lru_.begin(), idem_lru_, it->second.lru_pos);
+    it->second.response = response;
+    return;
+  }
+  idem_lru_.push_front(id);
+  idem_cache_.emplace(id, IdemEntry{response, idem_lru_.begin()});
+  while (idem_cache_.size() > options_.idempotency_cache) {
+    idem_cache_.erase(idem_lru_.back());
+    idem_lru_.pop_back();
+  }
+}
+
+EngineContext Server::ContextFor(const JsonValue& body, MetricsRegistry* local,
+                                 bool degraded) {
   EngineContext ctx;
   ctx.budget = options_.default_budget;
+  if (degraded) {
+    // The overload lane: a fraction of the full budget, single-threaded, so
+    // a degraded request cannot pile more pressure on a saturated server.
+    // Anytime C&B keeps the result prefix-consistent with a full-budget run.
+    ctx.budget.max_chase_steps =
+        std::min(ctx.budget.max_chase_steps, options_.degraded_chase_steps);
+    ctx.budget.max_candidates =
+        std::min(ctx.budget.max_candidates, options_.degraded_candidates);
+    ctx.budget.threads = 1;
+  }
   // Requests narrow the server's caps; they cannot raise them.
   if (std::optional<double> v = OptionalNumber(body, "max_chase_steps"); v && *v > 0) {
     ctx.budget.max_chase_steps =

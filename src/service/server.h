@@ -19,12 +19,16 @@
 #define SQLEQ_SERVICE_SERVER_H_
 
 #include <atomic>
+#include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "chase/memo_store.h"
 #include "equivalence/engine.h"
 #include "service/protocol.h"
 #include "service/session.h"
@@ -56,6 +60,29 @@ struct ServerOptions {
   /// Deterministic fault injection for the service.* sites and, threaded
   /// through EngineContext, the engine sites. Borrowed; may be null.
   FaultInjector* faults = nullptr;
+  /// Tier-2 durable memo (--memo-dir): when non-empty, Start() opens a
+  /// MemoStore here and attaches it to the engine, so warm chase verdicts
+  /// survive crashes and restarts. Empty disables the tier.
+  std::string memo_dir;
+  /// On-disk budget for the tier-2 store (--memo-disk-bytes).
+  size_t memo_disk_bytes = 256u << 20;
+  /// fsync each tier-2 append (--memo-fsync); see MemoStoreOptions.
+  bool memo_fsync = false;
+  /// Overload degradation (--degraded-admission): instead of shedding an
+  /// expensive request past max_inflight, run it inline under the narrowed
+  /// degraded_* budget — memo hits still answer instantly, fresh work
+  /// returns an anytime kUnknown with ExhaustionInfo, a checkpoint, and a
+  /// retry_after_ms hint (prefix-consistent with the full-budget run).
+  bool degraded_admission = false;
+  size_t degraded_chase_steps = 128;
+  size_t degraded_candidates = 64;
+  /// Backoff hint stamped on overloaded / draining / degraded responses.
+  uint64_t retry_after_ms = 100;
+  /// Idempotent request ids: settled responses of expensive requests that
+  /// carried a non-empty id are cached (LRU, this many entries) and a
+  /// repeated id replays the response instead of re-dispatching — a client
+  /// retry after a lost response lands here, or on the memo. 0 disables.
+  size_t idempotency_cache = 128;
 };
 
 class Server {
@@ -107,22 +134,35 @@ class Server {
   static bool IsExpensive(const std::string& cmd);
 
   /// Executes one request and renders the response line. Never blocks on
-  /// other requests (the caller handles pooling/admission).
-  std::string Dispatch(Session& session, const Request& request);
+  /// other requests (the caller handles pooling/admission). `degraded`
+  /// narrows the budget to the degraded_* caps (overload lane).
+  std::string Dispatch(Session& session, const Request& request,
+                       bool degraded = false);
 
   std::string HandleHello(const Request& request);
   std::string HandleDdl(Session& session, const Request& request);
   std::string HandleRelation(Session& session, const Request& request);
   std::string HandleDep(Session& session, const Request& request);
-  std::string HandleCheck(Session& session, const Request& request);
-  std::string HandleReformulate(Session& session, const Request& request);
-  std::string HandleLint(Session& session, const Request& request);
+  std::string HandleCheck(Session& session, const Request& request, bool degraded);
+  std::string HandleReformulate(Session& session, const Request& request,
+                                bool degraded);
+  std::string HandleLint(Session& session, const Request& request, bool degraded);
   std::string HandleStats(const Request& request);
 
   /// The per-request context: default budget narrowed by request fields,
   /// a caller-supplied local metrics registry, the server's fault injector,
-  /// and the drain cancellation token.
-  EngineContext ContextFor(const JsonValue& body, MetricsRegistry* local);
+  /// and the drain cancellation token. `degraded` additionally clamps
+  /// chase steps / candidates / threads to the degraded_* caps.
+  EngineContext ContextFor(const JsonValue& body, MetricsRegistry* local,
+                           bool degraded);
+
+  /// The idempotency cache: a settled response previously remembered under
+  /// this non-empty request id, if any. Counts service.idempotent_replays.
+  std::optional<std::string> IdempotentReplay(const std::string& id);
+  /// Remembers a settled expensive response under its id (LRU-bounded).
+  /// Unsettled responses (errors, overload/degraded kUnknown, partial
+  /// results) are skipped so a retry re-dispatches and can finish the work.
+  void RememberResponse(const std::string& id, const std::string& response);
 
   /// Folds a finished request's local counter deltas into the server
   /// registry and renders them as the response's "metrics" object.
@@ -141,6 +181,18 @@ class Server {
 
   std::mutex engine_mu_;
   std::shared_ptr<EquivalenceEngine> engine_;
+  /// Tier-2 durable memo; opened by Start() when options_.memo_dir is set.
+  /// Owned here (not by the engine) so ResetMemo() keeps the disk tier and
+  /// a fresh engine re-warms from it.
+  std::shared_ptr<MemoStore> memo_store_;
+
+  std::mutex idem_mu_;
+  std::list<std::string> idem_lru_;  // front = most recent
+  struct IdemEntry {
+    std::string response;
+    std::list<std::string>::iterator lru_pos;
+  };
+  std::unordered_map<std::string, IdemEntry> idem_cache_;
 
   std::atomic<bool> draining_{false};
   std::atomic<size_t> active_sessions_{0};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
@@ -117,11 +118,27 @@ std::string RenderStats(const MetricsSnapshot& snap) {
   return out;
 }
 
-/// One round-trip on the CONNECT link. A response with "ok":false becomes a
-/// Status carrying the server's error code and message, so remote failures
-/// read like local ones.
+/// The shell's client robustness defaults (docs/robustness.md): bounded
+/// dialing, a few retries with backoff on overloaded/draining responses, no
+/// read deadline (an expensive check may legitimately run long; the server
+/// bounds it via the request budget).
+service::RetryPolicy ShellRetryPolicy() {
+  service::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 50;
+  policy.max_backoff_ms = 1000;
+  policy.connect_timeout = std::chrono::milliseconds(2000);
+  return policy;
+}
+
+/// One round-trip on the CONNECT link, with the shell's retry policy: a
+/// dropped connection redials, an overloaded/draining server gets a bounded
+/// backed-off retry. A response with "ok":false becomes a Status carrying
+/// the server's error code and message, so remote failures read like local
+/// ones.
 Result<JsonValue> RemoteCall(service::ServiceClient& client, const std::string& line) {
-  SQLEQ_ASSIGN_OR_RETURN(JsonValue response, client.Call(line));
+  SQLEQ_ASSIGN_OR_RETURN(JsonValue response,
+                         client.CallWithRetry(line, ShellRetryPolicy()));
   const JsonValue* ok = response.Find("ok");
   if (ok == nullptr || ok->kind != JsonValue::Kind::kBool) {
     return Status::Internal("malformed response from server (missing \"ok\")");
@@ -709,7 +726,8 @@ Result<std::string> ScriptEngine::ExecConnect(std::string_view rest) {
   }
   SQLEQ_ASSIGN_OR_RETURN(
       service::ServiceClient client,
-      service::ServiceClient::Connect(host, static_cast<int>(port)));
+      service::ServiceClient::Connect(host, static_cast<int>(port),
+                                      ShellRetryPolicy()));
 
   SQLEQ_ASSIGN_OR_RETURN(
       JsonValue hello,

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte strings. Used to
+// frame tier-2 memo segment records (src/chase/memo_store.h): a record whose
+// stored checksum disagrees with its payload is a torn or corrupted tail and
+// is skipped by recovery instead of trusted.
+#ifndef SQLEQ_UTIL_CRC32_H_
+#define SQLEQ_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sqleq {
+
+/// CRC-32 of `data`, standard reflected IEEE polynomial with initial value
+/// and final XOR of 0xFFFFFFFF (the zlib/crc32(3) convention, so checksums
+/// can be cross-checked with external tools).
+uint32_t Crc32(std::string_view data);
+
+/// Streaming form: feed `crc` from a previous call (or 0 to start) and the
+/// next chunk. Crc32(a + b) == Crc32Update(Crc32(a), b).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+}  // namespace sqleq
+
+#endif  // SQLEQ_UTIL_CRC32_H_

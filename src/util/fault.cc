@@ -47,26 +47,28 @@ void FaultInjector::ResetCounters() {
   }
 }
 
-Status FaultInjector::Hit(const char* site) {
+FaultInjector::WriteFault FaultInjector::HitWrite(const char* site,
+                                                  size_t full_bytes) {
+  WriteFault out;
   FaultSpec spec;
   uint64_t hit = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     SiteState& state = sites_[site];
     hit = ++state.hits;
-    if (!state.armed) return Status::OK();
+    if (!state.armed) return out;
     spec = state.spec;
     bool eligible =
         hit >= spec.start &&
         (spec.period == 0 ? hit == spec.start
                           : (hit - spec.start) % spec.period == 0);
-    if (!eligible) return Status::OK();
+    if (!eligible) return out;
     if (spec.probability < 1.0) {
       // Deterministic coin: high 53 bits of the mixed triple, uniform in
       // [0, 1). Depends only on (seed, site, hit index).
       uint64_t mixed = Mix64(seed_ ^ Mix64(HashSite(site)) ^ Mix64(hit));
       double coin = static_cast<double>(mixed >> 11) * 0x1.0p-53;
-      if (coin >= spec.probability) return Status::OK();
+      if (coin >= spec.probability) return out;
     }
     ++state.fired;
   }
@@ -74,21 +76,38 @@ Status FaultInjector::Hit(const char* site) {
   switch (spec.kind) {
     case FaultKind::kDelay:
       if (spec.delay.count() > 0) std::this_thread::sleep_for(spec.delay);
-      return Status::OK();
+      return out;
     case FaultKind::kExhausted:
-      return Status::ResourceExhausted(
+      out.status = Status::ResourceExhausted(
           std::string("injected fault at ") + site + " (hit #" +
           std::to_string(hit) + ", FaultInjector)");
+      return out;
     case FaultKind::kBadAlloc:
       try {
         throw std::bad_alloc();
       } catch (const std::bad_alloc& e) {
-        return Status::Internal(std::string("injected allocation failure at ") +
-                                site + " (hit #" + std::to_string(hit) +
-                                "): " + e.what());
+        out.status = Status::Internal(
+            std::string("injected allocation failure at ") + site + " (hit #" +
+            std::to_string(hit) + "): " + e.what());
       }
+      return out;
+    case FaultKind::kShortWrite:
+      if (full_bytes > 0) {
+        // Deterministic tear point in [0, full_bytes); the extra constant
+        // decorrelates it from the probability coin above.
+        uint64_t mixed = Mix64(seed_ ^ Mix64(HashSite(site)) ^ Mix64(hit) ^
+                               0x73686f7274ull /* "short" */);
+        out.short_bytes = static_cast<size_t>(mixed % full_bytes);
+      }
+      return out;
   }
-  return Status::OK();
+  return out;
+}
+
+Status FaultInjector::Hit(const char* site) {
+  // A kShortWrite firing through the plain probe has nothing to truncate
+  // and HitWrite(site, 0) leaves both fields unset — the documented no-op.
+  return HitWrite(site, 0).status;
 }
 
 uint64_t FaultInjector::HitCount(const std::string& site) const {

@@ -19,8 +19,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -39,6 +41,13 @@ inline constexpr const char* kPoolTask = "pool.task";
 inline constexpr const char* kServiceAccept = "service.accept";
 inline constexpr const char* kServiceParse = "service.parse";
 inline constexpr const char* kServiceDispatch = "service.dispatch";
+// Tier-2 memo I/O sites (src/chase/memo_store.cc): a fired write fails (or,
+// with kind kShortWrite, truncates) one segment append, a fired read fails
+// one disk lookup (the memo treats it as a miss), a fired fsync fails the
+// durability barrier after an append.
+inline constexpr const char* kMemoDiskWrite = "memo.disk.write";
+inline constexpr const char* kMemoDiskRead = "memo.disk.read";
+inline constexpr const char* kMemoDiskFsync = "memo.disk.fsync";
 }  // namespace fault_sites
 
 /// What an armed site injects when it fires.
@@ -51,6 +60,12 @@ enum class FaultKind {
   /// Simulate allocation failure: throw-and-catch std::bad_alloc internally,
   /// surfaced as Status::Internal (the library itself is exception-free).
   kBadAlloc,
+  /// Simulate a torn write: meaningful only at sites probed through
+  /// HitWrite(), where a firing yields a deterministic byte count in
+  /// [0, full) the caller must persist before reporting failure — exactly
+  /// what a crash mid-append leaves in a segment file. Through plain Hit()
+  /// a firing is a no-op (there is nothing to truncate).
+  kShortWrite,
 };
 
 /// When and what a site injects. Hits are counted per site from 1; the spec
@@ -84,6 +99,22 @@ class FaultInjector {
   /// Registers one hit of `site` and injects per the armed spec (no-op for
   /// unarmed sites beyond counting). Returns OK, or the injected failure.
   Status Hit(const char* site);
+
+  /// What HitWrite() injects for one write of `full_bytes` bytes. At most
+  /// one of the fields is set: `status` non-OK for kExhausted/kBadAlloc
+  /// firings, `short_bytes` for kShortWrite firings (how many leading bytes
+  /// the caller should actually persist before failing the write).
+  struct WriteFault {
+    Status status = Status::OK();
+    std::optional<size_t> short_bytes;
+  };
+
+  /// Hit() specialized for write sites: counts one hit and, when the armed
+  /// spec fires, injects either an error status or — for kShortWrite — a
+  /// deterministic truncation length in [0, full_bytes). The truncation
+  /// length is a pure function of (seed, site, hit index), so torn-tail
+  /// schedules replay identically.
+  WriteFault HitWrite(const char* site, size_t full_bytes);
 
   /// Total hits observed at `site` (armed or not).
   uint64_t HitCount(const std::string& site) const;

@@ -1,9 +1,12 @@
 #include "util/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -64,6 +67,81 @@ Result<TcpConn> TcpConn::Connect(const std::string& host, int port) {
   return TcpConn(fd);
 }
 
+Result<TcpConn> TcpConn::Connect(const std::string& host, int port,
+                                 std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) return Connect(host, port);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(ErrnoMessage("socket"));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unresolvable host (numeric IPv4 or 'localhost' expected): " +
+                                   host);
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    Status status = Status::Internal(ErrnoMessage("fcntl"));
+    ::close(fd);
+    return status;
+  }
+  const std::string target = host + ":" + std::to_string(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      Status status = Status::FailedPrecondition(
+          ErrnoMessage(("connect to " + target).c_str()));
+      ::close(fd);
+      return status;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    } while (ready < 0 && errno == EINTR);
+    if (ready == 0) {
+      ::close(fd);
+      return Status::ResourceExhausted("connect to " + target + " timed out after " +
+                                       std::to_string(timeout.count()) + "ms");
+    }
+    if (ready < 0) {
+      Status status = Status::Internal(ErrnoMessage("poll"));
+      ::close(fd);
+      return status;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      errno = err;
+      return Status::FailedPrecondition(
+          ErrnoMessage(("connect to " + target).c_str()));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    Status status = Status::Internal(ErrnoMessage("fcntl"));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConn(fd);
+}
+
+Status TcpConn::SetRecvTimeout(std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return Status::FailedPrecondition("timeout on closed connection");
+  if (timeout.count() < 0) timeout = std::chrono::milliseconds(0);
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(ErrnoMessage("setsockopt(SO_RCVTIMEO)"));
+  }
+  return Status::OK();
+}
+
 Status TcpConn::WriteAll(std::string_view data) {
   if (fd_ < 0) return Status::FailedPrecondition("write on closed connection");
   size_t off = 0;
@@ -95,6 +173,10 @@ Result<std::optional<std::string>> TcpConn::ReadLine() {
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO tripped (SetRecvTimeout): a deadline, not a peer error.
+        return Status::ResourceExhausted("read deadline exceeded waiting for a response line");
+      }
       return Status::FailedPrecondition(ErrnoMessage("recv"));
     }
     if (n == 0) {  // EOF: hand out a partial trailing line once, then nullopt.

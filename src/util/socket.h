@@ -7,6 +7,7 @@
 #ifndef SQLEQ_UTIL_SOCKET_H_
 #define SQLEQ_UTIL_SOCKET_H_
 
+#include <chrono>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -29,6 +30,18 @@ class TcpConn {
 
   /// Dials host:port (numeric IPv4 or "localhost").
   static Result<TcpConn> Connect(const std::string& host, int port);
+
+  /// Connect with a deadline: nonblocking connect(2) + poll(2). A timeout
+  /// (or a refused/failed connect within it) is ResourceExhausted naming
+  /// the deadline, so retrying clients can tell it from a protocol error.
+  /// A zero/negative timeout falls back to the blocking overload.
+  static Result<TcpConn> Connect(const std::string& host, int port,
+                                 std::chrono::milliseconds timeout);
+
+  /// Caps every subsequent blocking read (SO_RCVTIMEO). A read that trips
+  /// the cap surfaces as ResourceExhausted from ReadLine, distinguishable
+  /// from EOF and peer resets. Zero clears the cap.
+  Status SetRecvTimeout(std::chrono::milliseconds timeout);
 
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }

@@ -52,6 +52,16 @@ inline constexpr char kMemoMisses[] = "memo.misses";
 inline constexpr char kMemoInserts[] = "memo.inserts";
 inline constexpr char kMemoBytes[] = "memo.bytes";
 inline constexpr char kMemoEvictions[] = "memo.evictions";
+// Tier-2 on-disk memo (src/chase/memo_store.h). hits/writes are counted
+// into the per-call registry (folded into server totals per request);
+// recovered/corrupt_records/bytes are store-lifetime facts counted into the
+// registry the store was opened with.
+inline constexpr char kMemoDiskHits[] = "memo.disk.hits";
+inline constexpr char kMemoDiskWrites[] = "memo.disk.writes";
+inline constexpr char kMemoDiskRecovered[] = "memo.disk.recovered";
+inline constexpr char kMemoDiskCorrupt[] = "memo.disk.corrupt_records";
+inline constexpr char kMemoDiskBytes[] = "memo.disk.bytes";
+inline constexpr char kMemoDiskCompactions[] = "memo.disk.compactions";
 inline constexpr char kBackchaseCandidates[] = "backchase.candidates";
 inline constexpr char kBackchaseAccepted[] = "backchase.accepted";
 inline constexpr char kBackchaseRejected[] = "backchase.rejected";
@@ -70,6 +80,9 @@ inline constexpr char kServiceRequests[] = "service.requests";
 inline constexpr char kServiceErrors[] = "service.errors";
 inline constexpr char kServiceOverloaded[] = "service.overloaded";
 inline constexpr char kServiceDrained[] = "service.drained";
+inline constexpr char kServiceDrainingRejected[] = "service.draining_rejected";
+inline constexpr char kServiceDegraded[] = "service.degraded";
+inline constexpr char kServiceIdempotentReplays[] = "service.idempotent_replays";
 inline constexpr char kServiceRequestUs[] = "service.request_us";
 }  // namespace metric
 

@@ -1,13 +1,18 @@
 // Tests for the ChaseMemo byte bound: LRU eviction order, the
 // never-evict-most-recent guarantee, immediate shrink on set_byte_limit,
 // and the memo.evictions metric. This is what keeps the sqleqd
-// process-lifetime memo finite.
+// process-lifetime memo finite. The Tier2* tests cover the interaction with
+// the on-disk MemoStore: eviction spill, disk re-promotion on a memory
+// miss, and the single-count guarantees for evictions and bytes.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "chase/chase_cache.h"
+#include "chase/memo_store.h"
 #include "test_util.h"
 #include "util/telemetry.h"
 
@@ -117,6 +122,127 @@ TEST(ChaseMemoLru, SetByteLimitShrinksImmediately) {
   size_t entries = stats.entries;
   memo.set_byte_limit(0);
   EXPECT_EQ(memo.stats().entries, entries);
+}
+
+/// A fresh tier-2 store in a throwaway TMPDIR directory.
+std::shared_ptr<MemoStore> TempStore() {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                     "/sqleq_memo_tier2_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* made = ::mkdtemp(buf.data());
+  EXPECT_NE(made, nullptr);
+  MemoStoreOptions options;
+  options.dir = made;
+  return std::shared_ptr<MemoStore>(
+      Unwrap(MemoStore::Open(std::move(options)), "MemoStore::Open"));
+}
+
+TEST(ChaseMemoLruTier2, EvictedEntriesRepromoteFromDiskWithoutRechasing) {
+  std::shared_ptr<MemoStore> store = TempStore();
+  ChaseMemo memo({}, Semantics::kSet, Schema(), {}, 1);  // keeps 1 entry
+  memo.AttachStore(store, "ctx-a");
+  MetricsRegistry metrics;
+  ChaseRuntime runtime;
+  runtime.metrics = &metrics;
+  for (int i = 1; i <= 4; ++i) Unwrap(memo.ChaseCanonical(Chain(i), nullptr, runtime));
+  ASSERT_EQ(memo.stats().entries, 1u);  // 1..3 evicted, spilled to disk
+  EXPECT_GE(store->stats().entries, 4u);  // write-through covered all 4 (+sentinel)
+
+  // Chain(2) is gone from memory but on disk: the lookup is a memory miss
+  // served by a disk hit, with no fresh chase.
+  uint64_t steps_before = metrics.Snapshot().counters[metric::kChaseSteps];
+  auto outcome = Unwrap(memo.ChaseCanonical(Chain(2), nullptr, runtime));
+  MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.counters[metric::kMemoDiskHits], 1u);
+  EXPECT_EQ(snap.counters[metric::kChaseSteps], steps_before);
+  // No Σ: the chased result is the query itself.
+  EXPECT_EQ(outcome->result.body().size(), 2u);
+  // The promotion re-entered the memory tier: chasing again is a pure
+  // memory hit (no second disk hit).
+  size_t hits_before = memo.stats().hits;
+  Unwrap(memo.ChaseCanonical(Chain(2), nullptr, runtime));
+  EXPECT_EQ(memo.stats().hits, hits_before + 1);
+  EXPECT_EQ(metrics.Snapshot().counters[metric::kMemoDiskHits], 1u);
+}
+
+TEST(ChaseMemoLruTier2, MostRecentEntryIsNeverEvictedWithStoreAttached) {
+  std::shared_ptr<MemoStore> store = TempStore();
+  ChaseMemo memo({}, Semantics::kSet, Schema(), {}, 1);
+  memo.AttachStore(store, "ctx-b");
+  Fill(&memo, 4);
+  ChaseMemo::Stats stats = memo.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 3u);
+  Unwrap(memo.ChaseCanonical(Chain(4)));
+  EXPECT_EQ(memo.stats().hits, 1u);
+}
+
+TEST(ChaseMemoLruTier2, EvictionsAreCountedExactlyOnce) {
+  std::shared_ptr<MemoStore> store = TempStore();
+  MetricsRegistry metrics;
+  ChaseRuntime runtime;
+  runtime.metrics = &metrics;
+  ChaseMemo memo({}, Semantics::kSet, Schema(), {}, 1);
+  memo.AttachStore(store, "ctx-c");
+  for (int i = 1; i <= 4; ++i) Unwrap(memo.ChaseCanonical(Chain(i), nullptr, runtime));
+  // The spill path must not double-count the eviction.
+  EXPECT_EQ(memo.stats().evictions, 3u);
+  EXPECT_EQ(metrics.Snapshot().counters[metric::kMemoEvictions], 3u);
+}
+
+TEST(ChaseMemoLruTier2, DiskPromotionDoesNotDoubleCountBytes) {
+  std::shared_ptr<MemoStore> store = TempStore();
+  MetricsRegistry chased_metrics;
+  ChaseRuntime chased_runtime;
+  chased_runtime.metrics = &chased_metrics;
+  ChaseMemo first({}, Semantics::kSet, Schema(), {});
+  first.AttachStore(store, "ctx-d");
+  Unwrap(first.ChaseCanonical(Chain(3), nullptr, chased_runtime));
+  size_t chased_bytes = first.stats().bytes;
+  size_t disk_bytes = store->stats().disk_bytes;
+  uint64_t disk_writes = store->stats().writes;
+  MetricsSnapshot chased_snap = chased_metrics.Snapshot();
+  EXPECT_EQ(chased_snap.counters[metric::kMemoInserts], 1u);
+  EXPECT_EQ(chased_snap.counters[metric::kMemoBytes], chased_bytes);
+  EXPECT_EQ(chased_snap.counters[metric::kMemoDiskWrites], 1u);
+
+  // A second memo over the same context warms from disk: the entry is
+  // charged to the memory tier once (stats().bytes matches the chased
+  // case) but the memo.inserts / memo.bytes metrics — and the disk tier —
+  // see no new traffic.
+  MetricsRegistry warm_metrics;
+  ChaseRuntime warm_runtime;
+  warm_runtime.metrics = &warm_metrics;
+  ChaseMemo second({}, Semantics::kSet, Schema(), {});
+  second.AttachStore(store, "ctx-d");
+  Unwrap(second.ChaseCanonical(Chain(3), nullptr, warm_runtime));
+  EXPECT_EQ(second.stats().bytes, chased_bytes);
+  MetricsSnapshot warm_snap = warm_metrics.Snapshot();
+  EXPECT_EQ(warm_snap.counters[metric::kMemoDiskHits], 1u);
+  EXPECT_EQ(warm_snap.counters[metric::kMemoInserts], 0u);
+  EXPECT_EQ(warm_snap.counters[metric::kMemoBytes], 0u);
+  EXPECT_EQ(warm_snap.counters[metric::kMemoDiskWrites], 0u);
+  // And the promotion wrote nothing back.
+  EXPECT_EQ(store->stats().writes, disk_writes);
+  EXPECT_EQ(store->stats().disk_bytes, disk_bytes);
+}
+
+TEST(ChaseMemoLruTier2, ContextFingerprintsDoNotMix) {
+  std::shared_ptr<MemoStore> store = TempStore();
+  ChaseMemo a({}, Semantics::kSet, Schema(), {});
+  a.AttachStore(store, "ctx-one");
+  Unwrap(a.ChaseCanonical(Chain(2)));
+
+  // A different context fingerprint must not see ctx-one's records.
+  MetricsRegistry metrics;
+  ChaseRuntime runtime;
+  runtime.metrics = &metrics;
+  ChaseMemo b({}, Semantics::kSet, Schema(), {});
+  b.AttachStore(store, "ctx-two");
+  Unwrap(b.ChaseCanonical(Chain(2), nullptr, runtime));
+  EXPECT_EQ(metrics.Snapshot().counters[metric::kMemoDiskHits], 0u);
 }
 
 TEST(ChaseMemoLru, EvictionMetricIsRecorded) {

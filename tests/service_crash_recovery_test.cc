@@ -1,0 +1,280 @@
+// Process-level crash/recovery harness for the tier-2 durable memo
+// (docs/service.md, "Durability & Recovery"): a real sqleqd is killed with
+// SIGKILL mid-workload and restarted on the same --memo-dir. The restarted
+// daemon must recover the spilled chase verdicts (memo.disk.recovered > 0),
+// answer warm checks byte-identically to the pre-crash warm responses, and
+// tolerate a torn/corrupt segment tail (memo.disk.corrupt_records counted,
+// never a crash or a wrong verdict). The daemon binary path is injected by
+// CMake as SQLEQ_SQLEQD_BIN.
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "service/protocol.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace service {
+namespace {
+
+using ::sqleq::testing::Unwrap;
+
+std::string TempDir(const char* tag) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") + "/sqleq_" +
+                     tag + "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* made = mkdtemp(buf.data());
+  EXPECT_NE(made, nullptr) << "mkdtemp failed for " << tmpl;
+  return made != nullptr ? std::string(made) : std::string();
+}
+
+/// One sqleqd incarnation: fork/exec the real binary, discover the
+/// ephemeral port through --port-file, SIGKILL it on demand.
+class Daemon {
+ public:
+  Daemon(const std::string& memo_dir, const std::string& port_file)
+      : port_file_(port_file) {
+    ::unlink(port_file.c_str());
+    pid_ = fork();
+    if (pid_ == 0) {
+      const char* bin = SQLEQ_SQLEQD_BIN;
+      execl(bin, bin, "--port", "0", "--port-file", port_file.c_str(),
+            "--memo-dir", memo_dir.c_str(), "--workers", "2",
+            static_cast<char*>(nullptr));
+      _exit(127);  // exec failed
+    }
+  }
+
+  ~Daemon() { Kill(); }
+
+  bool running() const { return pid_ > 0; }
+
+  /// Polls the port file the daemon writes once it is listening.
+  int WaitForPort(int timeout_ms = 10000) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::ifstream in(port_file_);
+      int port = 0;
+      if (in >> port && port > 0) return port;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return 0;
+  }
+
+  /// SIGKILL — no drain, no fsync window, exactly the crash being tested.
+  void Kill() {
+    if (pid_ <= 0) return;
+    kill(pid_, SIGKILL);
+    int status = 0;
+    waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  std::string port_file_;
+};
+
+ServiceClient DialPort(int port) {
+  RetryPolicy policy;
+  policy.connect_timeout = std::chrono::milliseconds(5000);
+  // The port file appears as soon as the listener is bound, but give the
+  // accept loop a few tries to be safe on a loaded machine.
+  for (int i = 0; i < 50; ++i) {
+    Result<ServiceClient> client =
+        ServiceClient::Connect("127.0.0.1", port, policy);
+    if (client.ok()) return std::move(*client);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return Unwrap(ServiceClient::Connect("127.0.0.1", port, policy),
+                "connect to sqleqd");
+}
+
+void UploadCatalog(ServiceClient& client) {
+  Unwrap(client.Call(
+      JsonObject().Str("cmd", "relation").Str("name", "r").Int("arity", 2).Build()));
+  Unwrap(client.Call(
+      JsonObject().Str("cmd", "relation").Str("name", "s").Int("arity", 1).Build()));
+  Unwrap(client.Call(JsonObject()
+                         .Str("cmd", "dep")
+                         .Str("text", "r(X, Y) -> s(X).")
+                         .Str("label", "fk")
+                         .Build()));
+}
+
+std::string CheckLine() {
+  return JsonObject()
+      .Str("cmd", "check")
+      .Str("q1", "Q(X) :- r(X, Y), s(X).")
+      .Str("q2", "Q(X) :- r(X, Y).")
+      .Str("semantics", "set")
+      .Build();
+}
+
+const JsonValue* Field(const JsonValue& response, const char* key) {
+  const JsonValue* v = response.Find(key);
+  EXPECT_NE(v, nullptr) << "response missing field " << key;
+  return v;
+}
+
+double Metric(const JsonValue& response, const char* object, const char* key) {
+  const JsonValue* obj = response.Find(object);
+  if (obj == nullptr) return -1.0;
+  const JsonValue* v = obj->Find(key);
+  return v == nullptr ? -1.0 : v->number;
+}
+
+/// The largest memo segment in `dir` — the one holding the pre-crash
+/// records (recovery starts a fresh, possibly empty segment).
+std::string LargestSegment(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return "";
+  std::string best;
+  off_t best_size = -1;
+  while (dirent* entry = readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.size() < 4 || name.substr(name.size() - 4) != ".seg") continue;
+    std::string path = dir + "/" + name;
+    struct stat st;
+    if (stat(path.c_str(), &st) == 0 && st.st_size > best_size) {
+      best_size = st.st_size;
+      best = path;
+    }
+  }
+  closedir(d);
+  return best;
+}
+
+/// Tears the segment's tail the way a crash mid-append would: the last
+/// bytes of the final record vanish, then a few garbage bytes land where
+/// the next record header should be.
+void TearTail(const std::string& path) {
+  struct stat st;
+  ASSERT_EQ(stat(path.c_str(), &st), 0) << path;
+  ASSERT_GT(st.st_size, 8) << path << " too small to tear";
+  ASSERT_EQ(truncate(path.c_str(), st.st_size - 7), 0);
+  int fd = open(path.c_str(), O_WRONLY | O_APPEND);
+  ASSERT_GE(fd, 0);
+  const unsigned char garbage[12] = {0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+                                     0xff, 0xff, 0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(write(fd, garbage, sizeof(garbage)),
+            static_cast<ssize_t>(sizeof(garbage)));
+  close(fd);
+}
+
+TEST(ServiceCrashRecovery, WarmVerdictsSurviveSigkillByteIdentically) {
+  const std::string memo_dir = TempDir("crash_memo");
+  const std::string port_file = memo_dir + "/port";
+  ASSERT_FALSE(memo_dir.empty());
+
+  // --- Incarnation 1: build up warm state, then die without warning. ----
+  std::string warm_before;
+  {
+    Daemon daemon(memo_dir, port_file);
+    ASSERT_TRUE(daemon.running());
+    int port = daemon.WaitForPort();
+    ASSERT_GT(port, 0) << "sqleqd never published its port";
+    ServiceClient client = DialPort(port);
+    UploadCatalog(client);
+
+    JsonValue cold = Unwrap(client.Call(CheckLine()));
+    ASSERT_TRUE(Field(cold, "ok")->boolean);
+    ASSERT_EQ(Field(cold, "verdict")->string, "equivalent");
+
+    JsonValue warm = Unwrap(client.Call(CheckLine(), &warm_before));
+    ASSERT_TRUE(Field(warm, "ok")->boolean);
+    ASSERT_GE(Metric(warm, "metrics", "memo.hits"), 1.0)
+        << "second identical check should be a memory-tier hit";
+
+    // Leave a request in flight so the kill lands mid-work, like a real
+    // crash would: the response is never read.
+    ASSERT_TRUE(client
+                    .Send(JsonObject()
+                              .Str("cmd", "reformulate")
+                              .Str("query", "Q(X) :- r(X, Y), r(X, Z), s(X).")
+                              .Str("semantics", "set")
+                              .Build())
+                    .ok());
+    daemon.Kill();
+  }
+
+  // --- Incarnation 2: same --memo-dir; verdicts must come back warm. ----
+  {
+    Daemon daemon(memo_dir, port_file);
+    int port = daemon.WaitForPort();
+    ASSERT_GT(port, 0) << "restart on a recovered memo dir failed";
+    ServiceClient client = DialPort(port);
+    UploadCatalog(client);
+
+    JsonValue stats = Unwrap(client.Call(JsonObject().Str("cmd", "stats").Build()));
+    ASSERT_TRUE(Field(stats, "ok")->boolean);
+    EXPECT_GT(Metric(stats, "disk", "recovered"), 0.0)
+        << "restart must recover the spilled records";
+
+    // First post-restart check: a disk-tier hit, promoted — no re-chase.
+    JsonValue promoted = Unwrap(client.Call(CheckLine()));
+    ASSERT_TRUE(Field(promoted, "ok")->boolean);
+    EXPECT_EQ(Field(promoted, "verdict")->string, "equivalent");
+    EXPECT_GE(Metric(promoted, "metrics", "memo.disk.hits"), 1.0)
+        << "warm verdict should come from the durable tier, not a re-chase";
+    EXPECT_LE(Metric(promoted, "metrics", "chase.steps"), 0.0)
+        << "promotion must not re-run the chase";
+
+    // Second post-restart check: a pure memory hit again — byte-identical
+    // to the pre-crash warm response.
+    std::string warm_after;
+    JsonValue warm = Unwrap(client.Call(CheckLine(), &warm_after));
+    ASSERT_TRUE(Field(warm, "ok")->boolean);
+    EXPECT_EQ(warm_after, warm_before)
+        << "recovered warm response must match the pre-crash bytes";
+    daemon.Kill();
+  }
+
+  // --- Incarnation 3: a torn + garbage tail must be skipped, not fatal. --
+  const std::string segment = LargestSegment(memo_dir);
+  ASSERT_FALSE(segment.empty()) << "no segment files under " << memo_dir;
+  TearTail(segment);
+  {
+    Daemon daemon(memo_dir, port_file);
+    int port = daemon.WaitForPort();
+    ASSERT_GT(port, 0) << "sqleqd must start on a corrupt memo dir";
+    ServiceClient client = DialPort(port);
+    UploadCatalog(client);
+
+    JsonValue stats = Unwrap(client.Call(JsonObject().Str("cmd", "stats").Build()));
+    ASSERT_TRUE(Field(stats, "ok")->boolean);
+    EXPECT_GE(Metric(stats, "disk", "corrupt_records"), 1.0)
+        << "the torn tail must be counted";
+
+    // The verdict is still correct: served from the surviving records or
+    // re-chased if the torn record happened to be this one.
+    JsonValue check = Unwrap(client.Call(CheckLine()));
+    ASSERT_TRUE(Field(check, "ok")->boolean);
+    EXPECT_EQ(Field(check, "verdict")->string, "equivalent");
+    daemon.Kill();
+  }
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace sqleq

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -453,6 +455,369 @@ TEST(Service, ShellConnectForwardsEquivAndMinimize) {
   std::string local_again = Unwrap(engine.Execute("EQUIV q1 q2 UNDER S"));
   EXPECT_EQ(local_again, local_equiv);
   EXPECT_EQ(local_again.find("[remote"), std::string::npos);
+  server.Stop();
+}
+
+TEST(Service, DrainingResponseIsStructured) {
+  Server server;
+  ASSERT_TRUE(server.Start().ok());
+  ServiceClient client = Dial(server);
+  UploadCatalog(client);
+  server.RequestDrain();
+
+  // If the request raced through before the read-side shutdown, the
+  // rejection must be machine-readable: draining:true plus a retry_after_ms
+  // hint, so a retrying client backs off and redials a replacement.
+  Result<JsonValue> response =
+      client.Call(CheckLine("Q(X) :- r(X, Y).", "Q(X) :- r(X, Z)."));
+  if (response.ok()) {
+    EXPECT_FALSE(Field(*response, "ok")->boolean);
+    EXPECT_TRUE(Field(*response, "draining")->boolean);
+    EXPECT_GE(Field(*response, "retry_after_ms")->number, 1.0);
+    EXPECT_EQ(Field(*response, "error")->Find("code")->string,
+              "FailedPrecondition");
+    EXPECT_GE(server.metrics().counter(metric::kServiceDrainingRejected).value(),
+              1u);
+    std::optional<uint64_t> hint;
+    EXPECT_TRUE(service::IsRetryableResponse(*response, &hint));
+    ASSERT_TRUE(hint.has_value());
+    EXPECT_GE(*hint, 1u);
+  }
+  server.Wait();
+}
+
+TEST(Service, DrainRaceLosesNoInflightRequest) {
+  // Several connections are mid-reformulate when the drain lands, and one
+  // more tries to connect during it. Every in-flight request must get a
+  // well-formed response (complete, or checkpointed partial); the late
+  // arrival gets either a clean connection failure or a structured
+  // draining rejection. Nothing hangs, nothing is silently dropped.
+  FaultInjector faults;
+  FaultSpec slow;
+  slow.kind = FaultKind::kDelay;
+  slow.delay = std::chrono::microseconds(100000);
+  slow.start = 1;
+  slow.period = 1;
+  faults.Arm(fault_sites::kBackchaseCandidate, slow);
+  ServerOptions options;
+  options.faults = &faults;
+  options.worker_threads = 3;
+  options.max_inflight = 4;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string request_line = JsonObject()
+                                       .Str("cmd", "reformulate")
+                                       .Str("query", "Q(X) :- r(X, Y), r(X, Z), s(X).")
+                                       .Str("semantics", "set")
+                                       .Build();
+  constexpr int kInflight = 3;
+  std::vector<std::thread> threads;
+  std::vector<bool> answered(kInflight, false);
+  for (int i = 0; i < kInflight; ++i) {
+    threads.emplace_back([&server, &request_line, &answered, i] {
+      ServiceClient client = Dial(server);
+      UploadCatalog(client);
+      ASSERT_TRUE(client.Send(request_line).ok());
+      std::optional<std::string> raw =
+          Unwrap(client.ReadLine(), "drained in-flight response");
+      ASSERT_TRUE(raw.has_value()) << "in-flight request " << i << " lost";
+      JsonValue response = Unwrap(ParseJson(*raw));
+      ASSERT_TRUE(Field(response, "ok")->boolean);
+      if (!Field(response, "complete")->boolean) {
+        // A cancelled C&B run must hand back a resumable checkpoint.
+        EXPECT_NE(response.Find("checkpoint"), nullptr);
+        EXPECT_NE(response.Find("drained"), nullptr);
+      }
+      answered[i] = true;
+    });
+  }
+
+  ASSERT_TRUE(PollUntil([&server] { return server.inflight() >= kInflight; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  server.RequestDrain();
+
+  // A connection attempt racing the drain: accepted-then-rejected or
+  // refused outright are both clean; a hang or a malformed line is not.
+  Result<ServiceClient> late = ServiceClient::Connect("127.0.0.1", server.port());
+  if (late.ok()) {
+    Result<JsonValue> response =
+        late->Call(CheckLine("Q(X) :- r(X, Y).", "Q(X) :- r(X, Z)."));
+    if (response.ok()) {
+      EXPECT_FALSE(Field(*response, "ok")->boolean);
+      EXPECT_TRUE(Field(*response, "draining")->boolean);
+    }
+  }
+
+  for (std::thread& t : threads) t.join();
+  server.Wait();
+  for (int i = 0; i < kInflight; ++i) EXPECT_TRUE(answered[i]);
+}
+
+TEST(Service, DegradedAdmissionAnswersInsteadOfShedding) {
+  FaultInjector faults;
+  FaultSpec slow;
+  slow.kind = FaultKind::kDelay;
+  slow.delay = std::chrono::microseconds(100000);
+  slow.start = 1;
+  slow.period = 1;
+  faults.Arm(fault_sites::kBackchaseCandidate, slow);
+
+  ServerOptions options;
+  options.max_inflight = 1;
+  options.faults = &faults;
+  options.degraded_admission = true;
+  options.degraded_chase_steps = 1;
+  options.degraded_candidates = 1;
+  options.retry_after_ms = 25;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Warm the shared memo at full budget before saturating the server: the
+  // degraded lane must still resolve memo hits to real verdicts.
+  const std::string warm_line =
+      CheckLine("Q(X) :- r(X, Y), s(X).", "Q(X) :- r(X, Y).");
+  {
+    ServiceClient warm = Dial(server);
+    UploadCatalog(warm);
+    JsonValue response = Unwrap(warm.Call(warm_line));
+    ASSERT_TRUE(Field(response, "ok")->boolean);
+    ASSERT_EQ(Field(response, "verdict")->string, "equivalent");
+  }
+
+  std::thread slow_request([&server] {
+    ServiceClient client = Dial(server);
+    UploadCatalog(client);
+    JsonValue response = Unwrap(client.Call(
+        JsonObject()
+            .Str("cmd", "reformulate")
+            .Str("query", "Q(X) :- r(X, Y), r(X, Z), s(X).")
+            .Str("semantics", "set")
+            .Build()));
+    EXPECT_TRUE(Field(response, "ok")->boolean);
+  });
+  ASSERT_TRUE(PollUntil([&server] { return server.inflight() >= 1; }));
+
+  ServiceClient client = Dial(server);
+  UploadCatalog(client);
+
+  // Over-cap memo hit: answered with the full-budget verdict, not shed.
+  JsonValue hit = Unwrap(client.Call(warm_line));
+  ASSERT_TRUE(Field(hit, "ok")->boolean) << "degraded lane must not shed";
+  EXPECT_TRUE(Field(hit, "degraded")->boolean);
+  EXPECT_EQ(Field(hit, "verdict")->string, "equivalent");
+  EXPECT_EQ(hit.Find("overloaded"), nullptr);
+
+  // Over-cap fresh work: either finishes inside the narrowed budget or
+  // returns an anytime kUnknown with the exhaustion report and a
+  // machine-readable retry hint — never a bare rejection.
+  JsonValue fresh = Unwrap(
+      client.Call(CheckLine("Q(X) :- r(X, Y).", "Q(X) :- r(X, Z).")));
+  ASSERT_TRUE(Field(fresh, "ok")->boolean);
+  EXPECT_TRUE(Field(fresh, "degraded")->boolean);
+  if (Field(fresh, "verdict")->string == "unknown") {
+    EXPECT_NE(fresh.Find("exhaustion"), nullptr);
+    EXPECT_EQ(Field(fresh, "retry_after_ms")->number, 25.0);
+    std::optional<uint64_t> hint;
+    // A degraded kUnknown is settled "try again later", not backpressure:
+    // the client retry loop must not treat it as retryable transport-level
+    // failure (ok:true, no overloaded/draining marker).
+    EXPECT_FALSE(service::IsRetryableResponse(fresh, &hint));
+  }
+
+  EXPECT_GE(server.metrics().counter(metric::kServiceDegraded).value(), 2u);
+  EXPECT_EQ(server.metrics().counter(metric::kServiceOverloaded).value(), 0u);
+
+  slow_request.join();
+  server.Stop();
+}
+
+TEST(Service, IdempotentRequestIdReplaysSettledResponseBytes) {
+  Server server;
+  ASSERT_TRUE(server.Start().ok());
+  ServiceClient client = Dial(server);
+  UploadCatalog(client);
+
+  const std::string line = JsonObject()
+                               .Str("id", "idem-1")
+                               .Str("cmd", "check")
+                               .Str("q1", "Q(X) :- r(X, Y), s(X).")
+                               .Str("q2", "Q(X) :- r(X, Y).")
+                               .Str("semantics", "set")
+                               .Build();
+  std::string first_raw;
+  JsonValue first = Unwrap(client.Call(line, &first_raw));
+  ASSERT_TRUE(Field(first, "ok")->boolean);
+  EXPECT_EQ(Field(first, "id")->string, "idem-1");
+
+  // The retried id replays the settled response byte-for-byte instead of
+  // re-dispatching (the metrics object inside is the original's too).
+  std::string second_raw;
+  JsonValue second = Unwrap(client.Call(line, &second_raw));
+  EXPECT_EQ(second_raw, first_raw);
+  EXPECT_TRUE(Field(second, "ok")->boolean);
+  EXPECT_EQ(server.metrics().counter(metric::kServiceIdempotentReplays).value(),
+            1u);
+
+  // A different id is fresh work, not a replay.
+  const std::string other = JsonObject()
+                                .Str("id", "idem-2")
+                                .Str("cmd", "check")
+                                .Str("q1", "Q(X) :- r(X, Y), s(X).")
+                                .Str("q2", "Q(X) :- r(X, Y).")
+                                .Str("semantics", "set")
+                                .Build();
+  JsonValue fresh = Unwrap(client.Call(other));
+  EXPECT_TRUE(Field(fresh, "ok")->boolean);
+  EXPECT_EQ(server.metrics().counter(metric::kServiceIdempotentReplays).value(),
+            1u);
+
+  // Error responses are not settled: the same bad id re-dispatches (a fixed
+  // client must not be stuck replaying its own typo).
+  const std::string bad = JsonObject()
+                              .Str("id", "idem-bad")
+                              .Str("cmd", "check")
+                              .Str("q1", "this does not parse")
+                              .Str("q2", "Q(X) :- r(X, Y).")
+                              .Build();
+  JsonValue bad1 = Unwrap(client.Call(bad));
+  EXPECT_FALSE(Field(bad1, "ok")->boolean);
+  JsonValue bad2 = Unwrap(client.Call(bad));
+  EXPECT_FALSE(Field(bad2, "ok")->boolean);
+  EXPECT_EQ(server.metrics().counter(metric::kServiceIdempotentReplays).value(),
+            1u);
+  server.Stop();
+}
+
+TEST(ServiceRetry, BackoffScheduleIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 50;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 2000;
+  policy.seed = 42;
+
+  uint64_t expected_base = 50;
+  for (size_t attempt = 1; attempt <= 8; ++attempt) {
+    uint64_t backoff = RetryBackoffMs(policy, attempt, std::nullopt);
+    // Jittered into [base/2, base] of the capped exponential step.
+    EXPECT_GE(backoff, expected_base / 2) << "attempt " << attempt;
+    EXPECT_LE(backoff, expected_base) << "attempt " << attempt;
+    // Pure: the same (seed, attempt) always sleeps the same amount.
+    EXPECT_EQ(backoff, RetryBackoffMs(policy, attempt, std::nullopt));
+    expected_base = std::min<uint64_t>(expected_base * 2, 2000);
+  }
+
+  // A server retry_after_ms hint raises the base, never lowers the floor.
+  uint64_t hinted = RetryBackoffMs(policy, 1, 500);
+  EXPECT_GE(hinted, 250u);
+  EXPECT_LE(hinted, 500u);
+  EXPECT_GE(RetryBackoffMs(policy, 1, 10), 25u);  // small hint: exp step wins
+}
+
+TEST(ServiceRetry, IsRetryableResponseRecognizesBackpressure) {
+  std::optional<uint64_t> hint;
+
+  JsonValue overloaded = Unwrap(ParseJson(OverloadedResponse("r1", 120)));
+  EXPECT_TRUE(service::IsRetryableResponse(overloaded, &hint));
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(*hint, 120u);
+
+  hint.reset();
+  JsonValue draining = Unwrap(ParseJson(DrainingResponse("r2", 75)));
+  EXPECT_TRUE(service::IsRetryableResponse(draining, &hint));
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(*hint, 75u);
+
+  hint.reset();
+  JsonValue ok = Unwrap(ParseJson(
+      JsonObject().Str("id", "r3").Bool("ok", true).Str("verdict", "equivalent").Build()));
+  EXPECT_FALSE(service::IsRetryableResponse(ok, &hint));
+  JsonValue plain_error = Unwrap(ParseJson(
+      ErrorResponse("r4", Status::InvalidArgument("bad query"))));
+  EXPECT_FALSE(service::IsRetryableResponse(plain_error, &hint));
+}
+
+TEST(ServiceRetry, RetryBudgetExhaustsOnPersistentOverload) {
+  FaultInjector faults;
+  FaultSpec slow;
+  slow.kind = FaultKind::kDelay;
+  slow.delay = std::chrono::microseconds(100000);
+  slow.start = 1;
+  slow.period = 1;
+  faults.Arm(fault_sites::kBackchaseCandidate, slow);
+  ServerOptions options;
+  options.max_inflight = 1;
+  options.faults = &faults;
+  options.retry_after_ms = 10;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::thread slow_request([&server] {
+    ServiceClient client = Dial(server);
+    UploadCatalog(client);
+    JsonValue response = Unwrap(client.Call(
+        JsonObject()
+            .Str("cmd", "reformulate")
+            .Str("query", "Q(X) :- r(X, Y), r(X, Z), s(X).")
+            .Str("semantics", "set")
+            .Build()));
+    EXPECT_TRUE(Field(response, "ok")->boolean);
+  });
+  ASSERT_TRUE(PollUntil([&server] { return server.inflight() >= 1; }));
+
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff_ms = 1;
+  policy.seed = 7;
+  ServiceClient client = Dial(server);
+  UploadCatalog(client);
+  RetryStats stats;
+  JsonValue last = Unwrap(client.CallWithRetry(
+      CheckLine("Q(X) :- r(X, Y).", "Q(X) :- r(X, Z)."), policy,
+      /*raw_response=*/nullptr, &stats));
+
+  // Both attempts were shed (the slow request holds the only slot for far
+  // longer than the two ~10ms hinted backoffs), so the loop hands back the
+  // last overloaded response with a reproducible sleep schedule.
+  EXPECT_TRUE(Field(last, "overloaded")->boolean);
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_EQ(stats.reconnects, 0u);
+  EXPECT_EQ(stats.total_backoff_ms, RetryBackoffMs(policy, 1, 10));
+
+  slow_request.join();
+  server.Stop();
+}
+
+TEST(ServiceRetry, TransportDropRedialsAndResends) {
+  FaultInjector faults;
+  FaultSpec drop;
+  drop.start = 2;  // first request parses fine, second drops the connection
+  faults.Arm(fault_sites::kServiceParse, drop);
+  ServerOptions options;
+  options.faults = &faults;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+  policy.connect_timeout = std::chrono::milliseconds(2000);
+  ServiceClient client = Unwrap(
+      ServiceClient::Connect("127.0.0.1", server.port(), policy), "Connect");
+
+  RetryStats stats;
+  JsonValue first = Unwrap(client.CallWithRetry(
+      JsonObject().Str("cmd", "hello").Build(), policy, nullptr, &stats));
+  EXPECT_TRUE(Field(first, "ok")->boolean);
+  EXPECT_EQ(stats.attempts, 1u);
+
+  // The server drops the connection mid-read; the client redials the stored
+  // endpoint and resends the same line, invisibly to the caller.
+  JsonValue second = Unwrap(client.CallWithRetry(
+      JsonObject().Str("cmd", "hello").Build(), policy, nullptr, &stats));
+  EXPECT_TRUE(Field(second, "ok")->boolean);
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_EQ(stats.reconnects, 1u);
   server.Stop();
 }
 

@@ -8,6 +8,7 @@
 # usage: tools/ci.sh [build-dir]
 #        tools/ci.sh bench-smoke [build-dir]
 #        tools/ci.sh service-smoke [build-dir]
+#        tools/ci.sh crash-smoke [build-dir]
 #
 # bench-smoke builds the benchmarks, runs each one for a single pinned
 # iteration (SQLEQ_BENCH_ITERS=1) from the repo root so every binary emits
@@ -21,6 +22,12 @@
 # ephemeral port, drives a catalog upload, check, reformulate, and stats
 # through the client, then SIGTERMs the daemon and asserts a clean drain
 # and a valid Prometheus export (docs/service.md).
+#
+# crash-smoke exercises the durable memo end to end (docs/service.md,
+# "Durability & Recovery"): boot sqleqd with --memo-dir, warm the memo,
+# SIGKILL the daemon (no drain), restart it on the same directory, and
+# assert the verdict comes back from the recovered tier-2 store
+# (memo.disk.recovered > 0 and a memo hit instead of a re-chase).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -153,6 +160,94 @@ EOF
   echo "service-smoke OK"
 }
 
+crash_smoke() {
+  local build_dir="${1:-build}"
+
+  echo "== configure =="
+  cmake -B "${build_dir}" -S .
+
+  echo "== build (daemon + client) =="
+  cmake --build "${build_dir}" -j --target sqleqd sqleq_client
+
+  echo "== crash-recovery smoke =="
+  local workdir
+  workdir="$(mktemp -d)"
+  local memo_dir="${workdir}/memo"
+  local port_file="${workdir}/port"
+  local log="${workdir}/sqleqd.log"
+
+  start_daemon() {
+    : > "${port_file}"
+    "${build_dir}/tools/sqleqd" --port 0 --port-file "${port_file}" \
+        --memo-dir "${memo_dir}" >> "${log}" 2>&1 &
+    DAEMON_PID=$!
+    local i
+    for i in $(seq 1 100); do
+      [ -s "${port_file}" ] && break
+      sleep 0.05
+    done
+    if [ ! -s "${port_file}" ]; then
+      echo "sqleqd did not report a port:"
+      cat "${log}"
+      exit 1
+    fi
+    DAEMON_PORT="$(cat "${port_file}")"
+  }
+
+  cat > "${workdir}/warmup.jsonl" <<'EOF'
+{"id":"w1","cmd":"relation","name":"r","arity":2}
+{"id":"w2","cmd":"relation","name":"s","arity":1}
+{"id":"w3","cmd":"dep","text":"r(X, Y) -> s(X).","label":"fk"}
+{"id":"w4","cmd":"check","q1":"Q(X) :- r(X, Y), s(X).","q2":"Q(X) :- r(X, Y).","semantics":"set"}
+EOF
+  cat > "${workdir}/warm.jsonl" <<'EOF'
+{"id":"c1","cmd":"relation","name":"r","arity":2}
+{"id":"c2","cmd":"relation","name":"s","arity":1}
+{"id":"c3","cmd":"dep","text":"r(X, Y) -> s(X).","label":"fk"}
+{"id":"c4","cmd":"stats"}
+{"id":"c5","cmd":"check","q1":"Q(X) :- r(X, Y), s(X).","q2":"Q(X) :- r(X, Y).","semantics":"set"}
+EOF
+
+  start_daemon
+  echo "-- sqleqd up on port ${DAEMON_PORT} (pid ${DAEMON_PID}); warming the memo"
+  "${build_dir}/tools/sqleq-client" --port "${DAEMON_PORT}" \
+      --retries 2 --backoff-ms 10 \
+      --file "${workdir}/warmup.jsonl" > "${workdir}/warmup_responses.jsonl"
+  grep -Fq '"verdict":"equivalent"' "${workdir}/warmup_responses.jsonl" \
+      || { echo "warmup check failed:"; cat "${workdir}/warmup_responses.jsonl"; exit 1; }
+
+  echo "-- SIGKILL (no drain, no warning)"
+  kill -KILL "${DAEMON_PID}"
+  wait "${DAEMON_PID}" 2>/dev/null || true
+
+  echo "-- restart on the same --memo-dir"
+  start_daemon
+  local responses="${workdir}/warm_responses.jsonl"
+  "${build_dir}/tools/sqleq-client" --port "${DAEMON_PORT}" \
+      --retries 2 --backoff-ms 10 \
+      --file "${workdir}/warm.jsonl" > "${responses}"
+
+  grep -Eq '"recovered":[1-9]' "${responses}" \
+      || { echo "restart recovered nothing from the memo dir:"; cat "${responses}"; exit 1; }
+  grep -Fq '"verdict":"equivalent"' "${responses}" \
+      || { echo "post-restart check lost the verdict:"; cat "${responses}"; exit 1; }
+  grep -Eq '"memo\.disk\.hits":[1-9]' "${responses}" \
+      || { echo "post-restart check re-chased instead of hitting the disk tier:"; \
+           cat "${responses}"; exit 1; }
+
+  kill -TERM "${DAEMON_PID}"
+  local rc=0
+  wait "${DAEMON_PID}" || rc=$?
+  if [ "${rc}" -ne 0 ]; then
+    echo "sqleqd exited with rc=${rc} after drain:"
+    cat "${log}"
+    exit 1
+  fi
+
+  rm -rf "${workdir}"
+  echo "crash-smoke OK"
+}
+
 # Lints every example script, gating each on its expected sqleq-lint exit
 # code (0 clean / 1 warnings-only / 2 errors). Scripts that intentionally
 # carry diagnostics declare their expected code in
@@ -189,6 +284,12 @@ fi
 if [ "${1:-}" = "service-smoke" ]; then
   shift
   service_smoke "$@"
+  exit 0
+fi
+
+if [ "${1:-}" = "crash-smoke" ]; then
+  shift
+  crash_smoke "$@"
   exit 0
 fi
 

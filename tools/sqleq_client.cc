@@ -5,9 +5,19 @@
 // Prometheus payload of every `stats` response to stderr, which is what the
 // ci.sh service-smoke stage validates.
 //
+// Robustness (docs/robustness.md): --retries enables the bounded
+// retry/backoff loop for overloaded/draining responses and transport
+// failures; --timeout-ms / --connect-timeout-ms bound each read and each
+// (re)dial; --retry-seed fixes the deterministic jitter. When retries are
+// on, a request line without an "id" gets one spliced in ("auto-<n>") so a
+// resend after a lost response is idempotent on the server.
+//
 // Usage:
 //   sqleq-client --port N [--host H] [--file PATH] [--allow-errors]
-//                [--print-prometheus]
+//                [--print-prometheus] [--retries N] [--backoff-ms N]
+//                [--timeout-ms N] [--connect-timeout-ms N] [--retry-seed N]
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -21,9 +31,21 @@ namespace {
 
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " --port N [--host H] [--file PATH] [--allow-errors] "
-               "[--print-prometheus]\n";
+            << " --port N [--host H] [--file PATH] [--allow-errors]\n"
+               "       [--print-prometheus] [--retries N] [--backoff-ms N]\n"
+               "       [--timeout-ms N] [--connect-timeout-ms N] [--retry-seed N]\n";
   return 2;
+}
+
+/// Splices "id":"auto-<n>" into a request line that parses as a JSON object
+/// without an id, so retried sends are idempotent. Lines that already carry
+/// an id (or do not parse — the server will reject them) pass through.
+std::string EnsureRequestId(const std::string& line, uint64_t n) {
+  sqleq::Result<sqleq::JsonValue> doc = sqleq::ParseJson(line);
+  if (!doc.ok() || !doc->is_object() || doc->Find("id") != nullptr) return line;
+  std::string trimmed(sqleq::Trim(line));
+  if (trimmed.empty() || trimmed.front() != '{') return line;
+  return "{\"id\":\"auto-" + std::to_string(n) + "\"," + trimmed.substr(1);
 }
 
 }  // namespace
@@ -34,6 +56,8 @@ int main(int argc, char** argv) {
   std::string file;
   bool allow_errors = false;
   bool print_prometheus = false;
+  sqleq::service::RetryPolicy policy;
+  policy.max_attempts = 1;  // retries off unless --retries is given
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -54,6 +78,26 @@ int main(int argc, char** argv) {
       allow_errors = true;
     } else if (arg == "--print-prometheus") {
       print_prometheus = true;
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      policy.max_attempts = 1 + static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--backoff-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      policy.initial_backoff_ms = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      policy.request_timeout = std::chrono::milliseconds(std::atoll(v));
+    } else if (arg == "--connect-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      policy.connect_timeout = std::chrono::milliseconds(std::atoll(v));
+    } else if (arg == "--retry-seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      policy.seed = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -63,6 +107,7 @@ int main(int argc, char** argv) {
     }
   }
   if (port <= 0) return Usage(argv[0]);
+  const bool retries_on = policy.max_attempts > 1;
 
   std::istream* in = &std::cin;
   std::ifstream file_in;
@@ -75,7 +120,7 @@ int main(int argc, char** argv) {
     in = &file_in;
   }
 
-  auto client = sqleq::service::ServiceClient::Connect(host, port);
+  auto client = sqleq::service::ServiceClient::Connect(host, port, policy);
   if (!client.ok()) {
     std::cerr << "connect failed: " << client.status().ToString() << "\n";
     return 1;
@@ -83,10 +128,14 @@ int main(int argc, char** argv) {
 
   bool saw_error = false;
   std::string line;
+  uint64_t line_no = 0;
   while (std::getline(*in, line)) {
     if (sqleq::Trim(line).empty()) continue;
+    ++line_no;
+    if (retries_on) line = EnsureRequestId(line, line_no);
     std::string raw;
-    auto response = client->Call(line, &raw);
+    auto response = retries_on ? client->CallWithRetry(line, policy, &raw)
+                               : client->Call(line, &raw);
     if (!response.ok()) {
       std::cerr << "request failed: " << response.status().ToString() << "\n";
       return 1;

@@ -9,6 +9,14 @@
 //   sqleqd [--port N] [--port-file PATH] [--workers N] [--max-inflight N]
 //          [--memo-bytes N] [--engine-threads N] [--max-chase-steps N]
 //          [--max-candidates N] [--metrics-out PATH]
+//          [--memo-dir PATH] [--memo-disk-bytes N] [--memo-fsync]
+//          [--degraded-admission] [--degraded-chase-steps N]
+//          [--degraded-candidates N] [--retry-after-ms N]
+//
+// --memo-dir turns on the tier-2 durable memo (docs/service.md, "Durability
+// & Recovery"): warm chase verdicts persist across SIGKILL and restart.
+// --degraded-admission swaps load shedding for the narrowed-budget lane
+// (docs/robustness.md).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +46,10 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--port N] [--port-file PATH] [--workers N] [--max-inflight N]\n"
                "       [--memo-bytes N] [--engine-threads N] [--max-chase-steps N]\n"
-               "       [--max-candidates N] [--metrics-out PATH]\n";
+               "       [--max-candidates N] [--metrics-out PATH]\n"
+               "       [--memo-dir PATH] [--memo-disk-bytes N] [--memo-fsync]\n"
+               "       [--degraded-admission] [--degraded-chase-steps N]\n"
+               "       [--degraded-candidates N] [--retry-after-ms N]\n";
   return 2;
 }
 
@@ -89,6 +100,30 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       metrics_out = v;
+    } else if (arg == "--memo-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.memo_dir = v;
+    } else if (arg == "--memo-disk-bytes") {
+      const char* v = next();
+      if (v == nullptr || !ParseSizeFlag(v, &parsed)) return Usage(argv[0]);
+      options.memo_disk_bytes = parsed;
+    } else if (arg == "--memo-fsync") {
+      options.memo_fsync = true;
+    } else if (arg == "--degraded-admission") {
+      options.degraded_admission = true;
+    } else if (arg == "--degraded-chase-steps") {
+      const char* v = next();
+      if (v == nullptr || !ParseSizeFlag(v, &parsed)) return Usage(argv[0]);
+      options.degraded_chase_steps = parsed;
+    } else if (arg == "--degraded-candidates") {
+      const char* v = next();
+      if (v == nullptr || !ParseSizeFlag(v, &parsed)) return Usage(argv[0]);
+      options.degraded_candidates = parsed;
+    } else if (arg == "--retry-after-ms") {
+      const char* v = next();
+      if (v == nullptr || !ParseSizeFlag(v, &parsed)) return Usage(argv[0]);
+      options.retry_after_ms = parsed;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
