@@ -1,0 +1,228 @@
+// Multi-process fleet soak (docs/fleet.md): launches 1 or 3 real sqleqd
+// processes (found next to this binary's ../tools/ directory), uploads the
+// catalog through a FleetClient, then drives a mixed stream of equivalence
+// checks from more client threads than the fleet has workers×inflight slots
+// — deliberate overload, so the admission controller sheds and the
+// pool-level retry loop backs off and resends. Per-request wall latency
+// (including every retry) lands in p50/p95/p99/mean via the shared
+// ReportLatencyPercentiles; comparing the shards=1 and shards=3 rows in
+// BENCH_fleet_soak.json is the scaling claim of the fleet redesign.
+#include <benchmark/benchmark.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/fleet_client.h"
+#include "service/protocol.h"
+#include "service/routing.h"
+#include "util/socket.h"
+
+namespace sqleq {
+namespace {
+
+using bench::Must;
+
+/// The sqleqd binary, assuming the standard build layout
+/// (<build>/bench/bench_fleet_soak and <build>/tools/sqleqd).
+std::string SqleqdPath() {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  std::string path(buf);
+  size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "";
+  path.resize(slash);
+  slash = path.rfind('/');
+  if (slash == std::string::npos) return "";
+  path.resize(slash);
+  return path + "/tools/sqleqd";
+}
+
+/// A real sqleqd fleet of `n` child processes on ephemeral loopback ports.
+struct Fleet {
+  std::vector<service::ShardId> topology;
+  std::vector<pid_t> pids;
+
+  static Fleet Launch(size_t n, size_t workers, size_t max_inflight) {
+    Fleet fleet;
+    const std::string sqleqd = SqleqdPath();
+    for (size_t i = 0; i < n; ++i) {
+      TcpListener probe;
+      if (!probe.Listen(0).ok()) std::abort();
+      service::ShardId shard;
+      shard.name = "shard" + std::to_string(i);
+      shard.host = "127.0.0.1";
+      shard.port = probe.port();
+      fleet.topology.push_back(std::move(shard));
+    }
+    const std::string spec = service::RenderFleetSpec(fleet.topology);
+    for (size_t i = 0; i < n; ++i) {
+      std::string port = std::to_string(fleet.topology[i].port);
+      std::string workers_s = std::to_string(workers);
+      std::string inflight_s = std::to_string(max_inflight);
+      pid_t pid = ::fork();
+      if (pid == 0) {
+        // Quiet the children; their startup lines would interleave with the
+        // benchmark's JSON output.
+        std::freopen("/dev/null", "w", stdout);
+        if (n == 1) {
+          ::execl(sqleqd.c_str(), sqleqd.c_str(), "--port", port.c_str(),
+                  "--workers", workers_s.c_str(), "--max-inflight",
+                  inflight_s.c_str(), (char*)nullptr);
+        } else {
+          ::execl(sqleqd.c_str(), sqleqd.c_str(), "--port", port.c_str(),
+                  "--workers", workers_s.c_str(), "--max-inflight",
+                  inflight_s.c_str(), "--fleet", spec.c_str(), "--shard-name",
+                  fleet.topology[i].name.c_str(), (char*)nullptr);
+        }
+        _exit(127);
+      }
+      fleet.pids.push_back(pid);
+    }
+    return fleet;
+  }
+
+  /// Blocks until every shard accepts connections (dial loop with deadline).
+  bool AwaitReady() const {
+    for (const service::ShardId& shard : topology) {
+      bool up = false;
+      for (int attempt = 0; attempt < 200 && !up; ++attempt) {
+        service::RetryPolicy policy;
+        policy.connect_timeout = std::chrono::milliseconds(250);
+        up = service::Connection::Connect(shard.host, shard.port, policy).ok();
+        if (!up) std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+      if (!up) return false;
+    }
+    return true;
+  }
+
+  void Stop() {
+    for (pid_t pid : pids) ::kill(pid, SIGTERM);
+    for (pid_t pid : pids) ::waitpid(pid, nullptr, 0);
+    pids.clear();
+  }
+};
+
+/// A small family of distinct checks so the stream exercises routing (each
+/// signature may own a different shard) while staying memo-friendly within
+/// one signature.
+std::string CheckLine(size_t variant) {
+  std::string r = "r" + std::to_string(variant);
+  return service::JsonObject()
+      .Str("cmd", "check")
+      .Str("q1", "Q(X) :- " + r + "(X, Y), s(X).")
+      .Str("q2", "Q(X) :- " + r + "(X, Y).")
+      .Str("semantics", "set")
+      .Build();
+}
+
+constexpr size_t kVariants = 4;
+
+std::unique_ptr<service::FleetClient> MakeClient(
+    const std::vector<service::ShardId>& topology) {
+  service::FleetClientOptions options;
+  options.shards = topology;
+  options.retry.max_attempts = 6;
+  options.retry.initial_backoff_ms = 5;
+  options.retry.max_backoff_ms = 100;
+  options.retry.connect_timeout = std::chrono::milliseconds(2000);
+  return Must(service::FleetClient::Create(std::move(options)));
+}
+
+void UploadCatalog(service::FleetClient& client) {
+  for (size_t v = 0; v < kVariants; ++v) {
+    std::string r = "r" + std::to_string(v);
+    Must(client.Call(service::JsonObject()
+                         .Str("cmd", "relation")
+                         .Str("name", r)
+                         .Int("arity", 2)
+                         .Build()));
+    Must(client.Call(service::JsonObject()
+                         .Str("cmd", "dep")
+                         .Str("text", r + "(X, Y) -> s(X).")
+                         .Str("label", "fk" + std::to_string(v))
+                         .Build()));
+  }
+  Must(client.Call(service::JsonObject()
+                       .Str("cmd", "relation")
+                       .Str("name", "s")
+                       .Int("arity", 1)
+                       .Build()));
+}
+
+/// One soak round: `threads` clients each issue `per_thread` checks through
+/// their own FleetClient (own pool), round-robin over the variant family.
+void SoakRound(const std::vector<service::ShardId>& topology, size_t threads,
+               size_t per_thread, std::vector<uint64_t>* latencies_us,
+               std::mutex* mu) {
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&topology, t, per_thread, latencies_us, mu] {
+      std::unique_ptr<service::FleetClient> client = MakeClient(topology);
+      UploadCatalog(*client);
+      std::vector<uint64_t> local;
+      local.reserve(per_thread);
+      for (size_t i = 0; i < per_thread; ++i) {
+        const std::string line = CheckLine((t + i) % kVariants);
+        auto start = std::chrono::steady_clock::now();
+        Must(client->Call(line));
+        local.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+      }
+      std::lock_guard<std::mutex> lock(*mu);
+      latencies_us->insert(latencies_us->end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+void BM_Fleet_Soak(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  // 2 workers × 2 inflight slots per shard, 6 client threads: at shards=1
+  // the fleet is oversubscribed 3× (sheds + retries), at shards=3 the same
+  // stream fits.
+  const size_t threads = 6;
+  const size_t per_thread = 8;
+  Fleet fleet = Fleet::Launch(shards, /*workers=*/2, /*max_inflight=*/2);
+  if (!fleet.AwaitReady()) {
+    fleet.Stop();
+    state.SkipWithError("fleet did not come up");
+    return;
+  }
+
+  std::vector<uint64_t> latencies_us;
+  std::mutex mu;
+  for (auto _ : state) {
+    SoakRound(fleet.topology, threads, per_thread, &latencies_us, &mu);
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["client_threads"] = static_cast<double>(threads);
+  bench::ReportLatencyPercentiles(state, std::move(latencies_us));
+  fleet.Stop();
+}
+SQLEQ_BENCHMARK(BM_Fleet_Soak)
+    ->Arg(1)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace sqleq

@@ -17,7 +17,7 @@
 
 #include "bench_util.h"
 #include "chase/memo_store.h"
-#include "service/client.h"
+#include "service/connection.h"
 #include "service/protocol.h"
 #include "service/server.h"
 #include "util/telemetry.h"
@@ -64,9 +64,9 @@ std::string CheckLine() {
       .Build();
 }
 
-service::ServiceClient DialAndUpload(const service::Server& server) {
-  service::ServiceClient client =
-      Must(service::ServiceClient::Connect("127.0.0.1", server.port()));
+service::Connection DialAndUpload(const service::Server& server) {
+  service::Connection client =
+      Must(service::Connection::Connect("127.0.0.1", server.port()));
   Must(client.Call(service::JsonObject()
                        .Str("cmd", "relation")
                        .Str("name", "r")
@@ -94,7 +94,7 @@ void BM_MemoPersistence_ColdChase(benchmark::State& state) {
     state.SkipWithError(started.ToString().c_str());
     return;
   }
-  service::ServiceClient client = DialAndUpload(server);
+  service::Connection client = DialAndUpload(server);
   const std::string line = CheckLine();
   for (auto _ : state) {
     state.PauseTiming();
@@ -119,7 +119,7 @@ void BM_MemoPersistence_WarmFromDisk(benchmark::State& state) {
     state.SkipWithError(started.ToString().c_str());
     return;
   }
-  service::ServiceClient client = DialAndUpload(server);
+  service::Connection client = DialAndUpload(server);
   const std::string line = CheckLine();
   Must(client.Call(line));  // chase once; write-through spills to disk
   for (auto _ : state) {
@@ -147,7 +147,7 @@ void BM_MemoPersistence_WarmInMemory(benchmark::State& state) {
     state.SkipWithError(started.ToString().c_str());
     return;
   }
-  service::ServiceClient client = DialAndUpload(server);
+  service::Connection client = DialAndUpload(server);
   const std::string line = CheckLine();
   Must(client.Call(line));
   for (auto _ : state) {

@@ -2,9 +2,10 @@
 // equivalence check driven by 1/4/8 concurrent clients on persistent
 // connections, warm (process-lifetime memo serves every request after the
 // first) versus cold (the memo is reset every iteration, so each round pays
-// the chase). req/sec comes out as items_per_second; per-request p99 and
-// mean wall latency land in the counters, which is what makes the warm/cold
-// memo gap visible in BENCH_service_throughput.json.
+// the chase). req/sec comes out as items_per_second; per-request p50/p95/p99
+// and mean wall latency land in the counters via the shared
+// ReportLatencyPercentiles (same fields as bench_fleet_soak), which is what
+// makes the warm/cold memo gap visible in BENCH_service_throughput.json.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -16,7 +17,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "service/client.h"
+#include "service/connection.h"
 #include "service/protocol.h"
 #include "service/server.h"
 
@@ -34,9 +35,9 @@ std::string CheckLine() {
       .Build();
 }
 
-service::ServiceClient DialAndUpload(const service::Server& server) {
-  service::ServiceClient client =
-      Must(service::ServiceClient::Connect("127.0.0.1", server.port()));
+service::Connection DialAndUpload(const service::Server& server) {
+  service::Connection client =
+      Must(service::Connection::Connect("127.0.0.1", server.port()));
   Must(client.Call(service::JsonObject()
                        .Str("cmd", "relation")
                        .Str("name", "r")
@@ -58,11 +59,11 @@ service::ServiceClient DialAndUpload(const service::Server& server) {
 /// One round: every client issues one check on its persistent connection;
 /// per-request latencies are appended to `latencies_us` (mutex-guarded —
 /// contention is negligible next to a request round-trip).
-void RunRound(std::vector<service::ServiceClient>& conns, const std::string& line,
+void RunRound(std::vector<service::Connection>& conns, const std::string& line,
               std::vector<uint64_t>* latencies_us, std::mutex* mu) {
   std::vector<std::thread> threads;
   threads.reserve(conns.size());
-  for (service::ServiceClient& conn : conns) {
+  for (service::Connection& conn : conns) {
     threads.emplace_back([&conn, &line, latencies_us, mu] {
       auto start = std::chrono::steady_clock::now();
       Must(conn.Call(line));
@@ -79,16 +80,8 @@ void RunRound(std::vector<service::ServiceClient>& conns, const std::string& lin
 
 void ReportLatencies(benchmark::State& state, std::vector<uint64_t> latencies_us,
                      size_t clients) {
-  state.SetItemsProcessed(static_cast<int64_t>(latencies_us.size()));
   state.counters["clients"] = static_cast<double>(clients);
-  if (latencies_us.empty()) return;
-  std::sort(latencies_us.begin(), latencies_us.end());
-  uint64_t total = 0;
-  for (uint64_t us : latencies_us) total += us;
-  state.counters["mean_us"] =
-      static_cast<double>(total) / static_cast<double>(latencies_us.size());
-  state.counters["p99_us"] = static_cast<double>(
-      latencies_us[(latencies_us.size() - 1) * 99 / 100]);
+  bench::ReportLatencyPercentiles(state, std::move(latencies_us));
 }
 
 void BM_Service_Check_Warm(benchmark::State& state) {
@@ -102,7 +95,7 @@ void BM_Service_Check_Warm(benchmark::State& state) {
     state.SkipWithError(started.ToString().c_str());
     return;
   }
-  std::vector<service::ServiceClient> conns;
+  std::vector<service::Connection> conns;
   for (size_t i = 0; i < clients; ++i) conns.push_back(DialAndUpload(server));
   const std::string line = CheckLine();
   Must(conns[0].Call(line));  // pre-warm the memo outside the timed region
@@ -134,7 +127,7 @@ void BM_Service_Check_Cold(benchmark::State& state) {
     state.SkipWithError(started.ToString().c_str());
     return;
   }
-  std::vector<service::ServiceClient> conns;
+  std::vector<service::Connection> conns;
   for (size_t i = 0; i < clients; ++i) conns.push_back(DialAndUpload(server));
   const std::string line = CheckLine();
 

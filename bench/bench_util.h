@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -159,6 +161,28 @@ inline void AddIrrelevantIslands(Schema* schema, DependencySet* sigma,
       sigma->push_back(std::move(d));
     }
   }
+}
+
+/// The shared latency-percentile reporter: p50/p95/p99/mean of the given
+/// per-request wall latencies land in the state counters (so they appear in
+/// BENCH_<name>.json), and the sample count becomes items_processed. Used
+/// by bench_service_throughput and bench_fleet_soak so their numbers read
+/// identically. No-op on an empty sample.
+inline void ReportLatencyPercentiles(benchmark::State& state,
+                                     std::vector<uint64_t> latencies_us) {
+  state.SetItemsProcessed(static_cast<int64_t>(latencies_us.size()));
+  if (latencies_us.empty()) return;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  auto percentile = [&](int p) {
+    return static_cast<double>(latencies_us[(latencies_us.size() - 1) * p / 100]);
+  };
+  uint64_t total = 0;
+  for (uint64_t us : latencies_us) total += us;
+  state.counters["mean_us"] =
+      static_cast<double>(total) / static_cast<double>(latencies_us.size());
+  state.counters["p50_us"] = percentile(50);
+  state.counters["p95_us"] = percentile(95);
+  state.counters["p99_us"] = percentile(99);
 }
 
 /// SQLEQ_BENCH_ITERS: when set to a positive integer N, every benchmark

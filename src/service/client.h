@@ -1,110 +1,24 @@
-// Client side of the sqleqd line protocol: dial, send one JSON request
-// line, read and parse the one-line response. Shared by tools/sqleq_client,
-// the shell's CONNECT command, and the service tests/benchmarks.
+// DEPRECATED shim — one release only. The monolithic ServiceClient was
+// split in the fleet redesign (docs/fleet.md): transport-level dial/call/
+// retry lives in service/connection.h as `Connection`, and pooled,
+// routing-aware fleet access lives in service/fleet_client.h as
+// `FleetClient`. This header survives one release so out-of-tree callers
+// get a deprecation warning instead of a hard break; every in-repo caller
+// has been migrated. Include service/connection.h (or fleet_client.h)
+// directly.
 #ifndef SQLEQ_SERVICE_CLIENT_H_
 #define SQLEQ_SERVICE_CLIENT_H_
 
-#include <chrono>
-#include <cstdint>
-#include <optional>
-#include <string>
-
-#include "util/json.h"
-#include "util/socket.h"
-#include "util/status.h"
+#include "service/connection.h"
 
 namespace sqleq {
 namespace service {
 
-/// Client-side robustness knobs (docs/robustness.md). Attempts are total
-/// tries including the first; backoff grows exponentially from
-/// initial_backoff_ms, is capped at max_backoff_ms, raised to any
-/// retry_after_ms hint the server sent, and jittered deterministically from
-/// `seed` so test runs and reproductions sleep the same schedule.
-struct RetryPolicy {
-  size_t max_attempts = 4;
-  uint64_t initial_backoff_ms = 50;
-  double multiplier = 2.0;
-  uint64_t max_backoff_ms = 2000;
-  /// Jitter seed; same seed + same attempt number => same backoff.
-  uint64_t seed = 0;
-  /// Connect deadline for dialing and redialing. <=0 = blocking connect.
-  std::chrono::milliseconds connect_timeout{0};
-  /// Per-response read deadline (SO_RCVTIMEO). <=0 = wait forever.
-  std::chrono::milliseconds request_timeout{0};
-};
-
-/// What CallWithRetry did, for logs and determinism tests.
-struct RetryStats {
-  size_t attempts = 0;
-  size_t reconnects = 0;
-  uint64_t total_backoff_ms = 0;
-};
-
-/// The backoff before retry `attempt` (1 = after the first failure): the
-/// capped exponential step, raised to the server's retry_after_ms hint when
-/// one arrived, then deterministically jittered into [base/2, base] from
-/// (policy.seed, attempt). Pure — the schedule is reproducible.
-uint64_t RetryBackoffMs(const RetryPolicy& policy, size_t attempt,
-                        std::optional<uint64_t> server_hint_ms);
-
-/// True when `response` is a structured backpressure response —
-/// overloaded:true (admission shed) or draining:true (SIGTERM drain) — and
-/// a retry may succeed. Extracts the server's retry_after_ms hint.
-bool IsRetryableResponse(const JsonValue& response,
-                         std::optional<uint64_t>* server_hint_ms);
-
-class ServiceClient {
- public:
-  static Result<ServiceClient> Connect(const std::string& host, int port);
-
-  /// Connect honoring policy.connect_timeout and installing
-  /// policy.request_timeout as the read deadline for every later Call.
-  static Result<ServiceClient> Connect(const std::string& host, int port,
-                                       const RetryPolicy& policy);
-
-  ServiceClient(ServiceClient&&) = default;
-  ServiceClient& operator=(ServiceClient&&) = default;
-
-  /// Sends one request line (newline appended) and blocks for the response
-  /// line, parsed as JSON. A connection closed before the response is a
-  /// FailedPrecondition (how callers observe server-side drops).
-  Result<JsonValue> Call(const std::string& request_line);
-
-  /// Call() that also hands back the raw response line (for byte-exact
-  /// comparisons in tests).
-  Result<JsonValue> Call(const std::string& request_line, std::string* raw_response);
-
-  /// Call() wrapped in the retry loop: a transport failure (dropped
-  /// connection, read deadline) redials and resends; an overloaded or
-  /// draining response backs off per RetryBackoffMs and resends. The same
-  /// line is resent verbatim, so a request carrying an id is idempotent on
-  /// the server (memo + idempotency cache) even if the original response
-  /// was lost. Returns the last response (or transport error) when the
-  /// attempt budget runs out.
-  Result<JsonValue> CallWithRetry(const std::string& request_line,
-                                  const RetryPolicy& policy,
-                                  std::string* raw_response = nullptr,
-                                  RetryStats* stats = nullptr);
-
-  /// Unpaired send/receive halves, for tests that interleave.
-  Status Send(const std::string& request_line);
-  Result<std::optional<std::string>> ReadLine();
-
-  void Close() { conn_.Close(); }
-
- private:
-  ServiceClient(TcpConn conn, std::string host, int port)
-      : conn_(std::move(conn)), host_(std::move(host)), port_(port) {}
-
-  /// Replaces the connection by redialing host_:port_ (policy timeouts
-  /// apply). The old connection is closed either way.
-  Status Reconnect(const RetryPolicy& policy);
-
-  TcpConn conn_;
-  std::string host_;
-  int port_ = 0;
-};
+/// The old name of Connection. RetryPolicy, RetryStats, RetryBackoffMs,
+/// and IsRetryableResponse kept their names and moved to connection.h.
+using ServiceClient [[deprecated(
+    "ServiceClient was split: use service::Connection (transport) or "
+    "service::FleetClient (pooled shard routing)")]] = Connection;
 
 }  // namespace service
 }  // namespace sqleq

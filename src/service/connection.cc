@@ -1,4 +1,4 @@
-#include "service/client.h"
+#include "service/connection.h"
 
 #include <algorithm>
 #include <cmath>
@@ -55,25 +55,25 @@ bool IsRetryableResponse(const JsonValue& response,
   return true;
 }
 
-Result<ServiceClient> ServiceClient::Connect(const std::string& host, int port) {
+Result<Connection> Connection::Connect(const std::string& host, int port) {
   SQLEQ_ASSIGN_OR_RETURN(TcpConn conn, TcpConn::Connect(host, port));
-  return ServiceClient(std::move(conn), host, port);
+  return Connection(std::move(conn), host, port);
 }
 
-Result<ServiceClient> ServiceClient::Connect(const std::string& host, int port,
+Result<Connection> Connection::Connect(const std::string& host, int port,
                                              const RetryPolicy& policy) {
   Result<TcpConn> conn = policy.connect_timeout.count() > 0
                              ? TcpConn::Connect(host, port, policy.connect_timeout)
                              : TcpConn::Connect(host, port);
   if (!conn.ok()) return conn.status();
-  ServiceClient client(std::move(*conn), host, port);
+  Connection client(std::move(*conn), host, port);
   if (policy.request_timeout.count() > 0) {
     SQLEQ_RETURN_IF_ERROR(client.conn_.SetRecvTimeout(policy.request_timeout));
   }
   return client;
 }
 
-Status ServiceClient::Reconnect(const RetryPolicy& policy) {
+Status Connection::Reconnect(const RetryPolicy& policy) {
   Result<TcpConn> conn = policy.connect_timeout.count() > 0
                              ? TcpConn::Connect(host_, port_, policy.connect_timeout)
                              : TcpConn::Connect(host_, port_);
@@ -85,11 +85,11 @@ Status ServiceClient::Reconnect(const RetryPolicy& policy) {
   return Status::OK();
 }
 
-Result<JsonValue> ServiceClient::Call(const std::string& request_line) {
+Result<JsonValue> Connection::Call(const std::string& request_line) {
   return Call(request_line, nullptr);
 }
 
-Result<JsonValue> ServiceClient::Call(const std::string& request_line,
+Result<JsonValue> Connection::Call(const std::string& request_line,
                                       std::string* raw_response) {
   SQLEQ_RETURN_IF_ERROR(Send(request_line));
   SQLEQ_ASSIGN_OR_RETURN(std::optional<std::string> line, conn_.ReadLine());
@@ -100,7 +100,7 @@ Result<JsonValue> ServiceClient::Call(const std::string& request_line,
   return ParseJson(*line);
 }
 
-Result<JsonValue> ServiceClient::CallWithRetry(const std::string& request_line,
+Result<JsonValue> Connection::CallWithRetry(const std::string& request_line,
                                                const RetryPolicy& policy,
                                                std::string* raw_response,
                                                RetryStats* stats) {
@@ -136,11 +136,11 @@ Result<JsonValue> ServiceClient::CallWithRetry(const std::string& request_line,
   return result;
 }
 
-Status ServiceClient::Send(const std::string& request_line) {
+Status Connection::Send(const std::string& request_line) {
   return conn_.WriteAll(request_line + "\n");
 }
 
-Result<std::optional<std::string>> ServiceClient::ReadLine() {
+Result<std::optional<std::string>> Connection::ReadLine() {
   return conn_.ReadLine();
 }
 

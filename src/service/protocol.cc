@@ -4,6 +4,46 @@
 
 namespace sqleq {
 namespace service {
+namespace {
+
+bool FieldIsTrue(const JsonValue& doc, const char* key) {
+  const JsonValue* v = doc.Find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kBool && v->boolean;
+}
+
+StatusCode ParseStatusCode(std::string_view name) {
+  if (name == "OK") return StatusCode::kOk;
+  if (name == "InvalidArgument") return StatusCode::kInvalidArgument;
+  if (name == "NotFound") return StatusCode::kNotFound;
+  if (name == "ResourceExhausted") return StatusCode::kResourceExhausted;
+  if (name == "Cancelled") return StatusCode::kCancelled;
+  if (name == "FailedPrecondition") return StatusCode::kFailedPrecondition;
+  if (name == "Unsupported") return StatusCode::kUnsupported;
+  return StatusCode::kInternal;
+}
+
+}  // namespace
+
+std::optional<ProtocolVersion> MinVersionForVerb(std::string_view cmd) {
+  if (cmd == "hello" || cmd == "ddl" || cmd == "relation" || cmd == "dep" ||
+      cmd == "check" || cmd == "reformulate" || cmd == "lint" ||
+      cmd == "stats") {
+    return ProtocolVersion::kV1;
+  }
+  if (cmd == "memo_fetch" || cmd == "memo_offer") return ProtocolVersion::kV2;
+  return std::nullopt;
+}
+
+ProtocolVersion NegotiateVersion(std::optional<double> requested_max) {
+  if (!requested_max.has_value()) return ProtocolVersion::kV1;
+  if (*requested_max < static_cast<double>(ToInt(ProtocolVersion::kV1))) {
+    return ProtocolVersion::kV1;
+  }
+  if (*requested_max >= static_cast<double>(ToInt(kMaxProtocolVersion))) {
+    return kMaxProtocolVersion;
+  }
+  return static_cast<ProtocolVersion>(static_cast<int>(*requested_max));
+}
 
 Result<Request> ParseRequest(std::string_view line) {
   SQLEQ_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
@@ -72,6 +112,97 @@ JsonObject& JsonObject::Raw(std::string_view key, std::string_view raw_json) {
 
 std::string JsonObject::Build() const { return "{" + fields_ + "}"; }
 
+Result<std::string> EncodeRequest(const RequestSpec& spec,
+                                  ProtocolVersion version) {
+  std::optional<ProtocolVersion> min = MinVersionForVerb(spec.cmd());
+  if (!min.has_value()) {
+    return Status::InvalidArgument("unknown request verb \"" + spec.cmd() + "\"");
+  }
+  if (ToInt(*min) > ToInt(version)) {
+    return Status::InvalidArgument(
+        "verb \"" + spec.cmd() + "\" requires protocol >= " +
+        std::to_string(ToInt(*min)) + " (connection negotiated " +
+        std::to_string(ToInt(version)) + ")");
+  }
+  JsonObject out;
+  if (!spec.id().empty()) out.Str("id", spec.id());
+  out.Str("cmd", spec.cmd());
+  std::string fields = spec.fields().Build();  // "{...}"
+  std::string line = out.Build();              // "{...}"
+  if (fields.size() > 2) {
+    line.pop_back();  // drop '}'
+    if (line.size() > 1) line += ",";
+    line.append(fields, 1, fields.size() - 1);  // splice "...}"
+  }
+  return line;
+}
+
+DecodedResponse DecodeResponseObject(JsonValue body) {
+  DecodedResponse out;
+  out.id = OptionalString(body, "id").value_or("");
+  out.ok = FieldIsTrue(body, "ok");
+  out.overloaded = FieldIsTrue(body, "overloaded");
+  out.draining = FieldIsTrue(body, "draining");
+  if (std::optional<double> hint = OptionalNumber(body, "retry_after_ms");
+      hint.has_value() && *hint >= 0) {
+    out.retry_after_ms = static_cast<uint64_t>(*hint);
+  }
+  if (const JsonValue* error = body.Find("error");
+      error != nullptr && error->is_object()) {
+    out.error_code =
+        ParseStatusCode(OptionalString(*error, "code").value_or(""));
+    out.error_message = OptionalString(*error, "message").value_or("");
+  }
+  if (FieldIsTrue(body, "not_owner")) {
+    if (const JsonValue* owner = body.Find("owner");
+        owner != nullptr && owner->is_object()) {
+      RedirectInfo redirect;
+      redirect.shard = OptionalString(*owner, "shard").value_or("");
+      redirect.host = OptionalString(*owner, "host").value_or("");
+      redirect.port = static_cast<int>(
+          OptionalNumber(*owner, "port").value_or(0));
+      redirect.epoch = static_cast<uint64_t>(
+          OptionalNumber(body, "epoch").value_or(0));
+      out.redirect = std::move(redirect);
+    }
+  }
+  out.body = std::move(body);
+  return out;
+}
+
+Result<DecodedResponse> DecodeResponse(std::string_view line) {
+  SQLEQ_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("response line is not a JSON object");
+  }
+  return DecodeResponseObject(std::move(doc));
+}
+
+Status DecodedResponse::ToStatus() const {
+  if (ok) return Status::OK();
+  std::string message = error_message.empty()
+                            ? std::string("remote request failed")
+                            : error_message;
+  switch (error_code) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kUnsupported:
+      return Status::Unsupported(std::move(message));
+    case StatusCode::kOk:
+    case StatusCode::kInternal:
+      break;
+  }
+  return Status::Internal(std::move(message));
+}
+
 std::string ErrorResponse(const std::string& id, const Status& status) {
   JsonObject error;
   error.Str("code", StatusCodeToString(status.code()))
@@ -105,6 +236,25 @@ std::string DrainingResponse(const std::string& id, uint64_t retry_after_ms) {
       .Bool("ok", false)
       .Bool("draining", true)
       .Int("retry_after_ms", retry_after_ms)
+      .Raw("error", error.Build())
+      .Build();
+}
+
+std::string NotOwnerResponse(const std::string& id, const RedirectInfo& owner) {
+  JsonObject owner_obj;
+  owner_obj.Str("shard", owner.shard)
+      .Str("host", owner.host)
+      .Int("port", static_cast<uint64_t>(owner.port));
+  JsonObject error;
+  error.Str("code", StatusCodeToString(StatusCode::kFailedPrecondition))
+      .Str("message", "request signature is owned by shard \"" + owner.shard +
+                          "\"; follow the redirect");
+  return JsonObject()
+      .Str("id", id)
+      .Bool("ok", false)
+      .Bool("not_owner", true)
+      .Raw("owner", owner_obj.Build())
+      .Int("epoch", owner.epoch)
       .Raw("error", error.Build())
       .Build();
 }

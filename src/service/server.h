@@ -30,7 +30,9 @@
 
 #include "chase/memo_store.h"
 #include "equivalence/engine.h"
+#include "service/connection.h"
 #include "service/protocol.h"
+#include "service/routing.h"
 #include "service/session.h"
 #include "util/engine_context.h"
 #include "util/fault.h"
@@ -83,6 +85,15 @@ struct ServerOptions {
   /// repeated id replays the response instead of re-dispatching — a client
   /// retry after a lost response lands here, or on the memo. 0 disables.
   size_t idempotency_cache = 128;
+  /// Fleet mode (docs/fleet.md): the full shard topology, including this
+  /// process. Empty = single node (v1 behavior unchanged, v2 extras only).
+  /// When set, shard_name must name one entry; if port is 0 the topology
+  /// entry's port is bound.
+  std::vector<ShardId> fleet;
+  std::string shard_name;
+  /// Topology generation, stamped on v2 hellos / redirects / stats so
+  /// clients can notice a reshard. Bumped by the operator, not the server.
+  uint64_t shard_epoch = 1;
 };
 
 class Server {
@@ -139,7 +150,26 @@ class Server {
   std::string Dispatch(Session& session, const Request& request,
                        bool degraded = false);
 
-  std::string HandleHello(const Request& request);
+  /// True once Start() resolved this process to an entry of options_.fleet.
+  bool fleet_enabled() const { return self_index_ >= 0; }
+
+  /// Index of the shard owning `request`'s canonical signature. Only
+  /// meaningful when fleet_enabled().
+  size_t OwnerShardFor(const Request& request) const;
+
+  /// One request/response round trip on the lazily-dialed peer link to
+  /// `shard` (hello-negotiated at v2). Any failure — dial, write, read,
+  /// ok:false — drops the link and returns nullopt: peer traffic is an
+  /// optimization, never a correctness dependency.
+  std::optional<JsonValue> CallPeer(size_t shard, const std::string& line);
+
+  /// The peer tier hooks ChaseMemo calls on a local miss / fresh insert:
+  /// fetch pulls a settled record from the key's owning shard, offer pushes
+  /// a freshly chased record to it. Both no-op when we own the key.
+  std::optional<std::string> PeerFetch(const std::string& key);
+  void PeerOffer(const std::string& key, const std::string& body);
+
+  std::string HandleHello(Session& session, const Request& request);
   std::string HandleDdl(Session& session, const Request& request);
   std::string HandleRelation(Session& session, const Request& request);
   std::string HandleDep(Session& session, const Request& request);
@@ -148,6 +178,10 @@ class Server {
                                 bool degraded);
   std::string HandleLint(Session& session, const Request& request, bool degraded);
   std::string HandleStats(const Request& request);
+  /// v2 fleet verbs: read-only memory-tier export (never chases) and
+  /// validated import of a peer's settled chase record.
+  std::string HandleMemoFetch(const Request& request);
+  std::string HandleMemoOffer(const Request& request);
 
   /// The per-request context: default budget narrowed by request fields,
   /// a caller-supplied local metrics registry, the server's fault injector,
@@ -178,6 +212,19 @@ class Server {
   // a worker can still be in a task's timing epilogue after the connection
   // thread that submitted the task has been unblocked and joined.
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Fleet state, resolved by Start() from options_.fleet.
+  std::optional<HashRing> ring_;
+  int self_index_ = -1;
+  std::shared_ptr<const MemoPeerTier> peer_tier_;
+  /// One outgoing link per peer shard (self entry unused), dialed on first
+  /// use and redialed after failures. Guarded per-link so fetches to
+  /// different peers do not serialize.
+  struct PeerLink {
+    std::mutex mu;
+    std::unique_ptr<Connection> conn;
+  };
+  std::vector<std::unique_ptr<PeerLink>> peer_links_;
 
   std::mutex engine_mu_;
   std::shared_ptr<EquivalenceEngine> engine_;

@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "ir/query.h"
+#include "service/protocol.h"
 #include "sql/translate.h"
 #include "util/status.h"
 
@@ -39,9 +40,17 @@ class Session {
 
   const sql::Catalog& catalog() const { return catalog_; }
 
+  /// The protocol version this connection negotiated in hello. Connections
+  /// start at v1 (a client that never says hello, or says it without
+  /// max_protocol, keeps the PR-8 wire behavior byte-for-byte); the v2
+  /// verbs and not_owner redirects only apply at kV2 and above.
+  ProtocolVersion protocol() const { return protocol_; }
+  void set_protocol(ProtocolVersion v) { protocol_ = v; }
+
  private:
   sql::Catalog catalog_;
   int dep_counter_ = 0;
+  ProtocolVersion protocol_ = ProtocolVersion::kV1;
 };
 
 }  // namespace service

@@ -16,8 +16,9 @@
 #include "equivalence/explain.h"
 #include "ir/parser.h"
 #include "reformulation/candb.h"
-#include "service/client.h"
+#include "service/fleet_client.h"
 #include "service/protocol.h"
+#include "service/routing.h"
 #include "shell/lint.h"
 #include "sql/render.h"
 #include "sql/sql_parser.h"
@@ -131,33 +132,34 @@ service::RetryPolicy ShellRetryPolicy() {
   return policy;
 }
 
-/// One round-trip on the CONNECT link, with the shell's retry policy: a
-/// dropped connection redials, an overloaded/draining server gets a bounded
-/// backed-off retry. A response with "ok":false becomes a Status carrying
-/// the server's error code and message, so remote failures read like local
-/// ones.
-Result<JsonValue> RemoteCall(service::ServiceClient& client, const std::string& line) {
-  SQLEQ_ASSIGN_OR_RETURN(JsonValue response,
-                         client.CallWithRetry(line, ShellRetryPolicy()));
+/// One round-trip through the CONNECT fleet client (which pools, routes,
+/// follows redirects, redials dropped connections, and backs off on
+/// overloaded/draining servers). A response with "ok":false becomes a
+/// Status carrying the server's error code and message, so remote failures
+/// read like local ones.
+Result<JsonValue> RemoteCall(service::FleetClient& client, const std::string& line) {
+  SQLEQ_ASSIGN_OR_RETURN(JsonValue response, client.Call(line));
   const JsonValue* ok = response.Find("ok");
   if (ok == nullptr || ok->kind != JsonValue::Kind::kBool) {
     return Status::Internal("malformed response from server (missing \"ok\")");
   }
   if (!ok->boolean) {
-    std::string code = "Unknown";
-    std::string message = "server reported an error";
-    if (const JsonValue* error = response.Find("error");
-        error != nullptr && error->kind == JsonValue::Kind::kObject) {
-      if (const JsonValue* c = error->Find("code"); c != nullptr && c->is_string()) {
-        code = c->string;
-      }
-      if (const JsonValue* m = error->Find("message"); m != nullptr && m->is_string()) {
-        message = m->string;
-      }
-    }
+    service::DecodedResponse decoded =
+        service::DecodeResponseObject(std::move(response));
+    std::string code = StatusCodeToString(decoded.error_code);
+    std::string message = decoded.error_message.empty()
+                              ? "server reported an error"
+                              : decoded.error_message;
     return Status::FailedPrecondition("remote " + code + ": " + message);
   }
   return response;
+}
+
+/// RemoteCall for a RequestSpec (the v2 single-encoder path).
+Result<JsonValue> RemoteCall(service::FleetClient& client,
+                             const service::RequestSpec& spec) {
+  SQLEQ_ASSIGN_OR_RETURN(std::string line, service::EncodeRequest(spec));
+  return RemoteCall(client, line);
 }
 
 /// The string member `key` of a remote response, or "" when absent.
@@ -202,7 +204,7 @@ constexpr uint64_t kAutoBudgetCap = uint64_t{1} << 20;
 
 /// Budget fields of a check/reformulate request; the server narrows its own
 /// defaults to these, so SET BUDGET / SET THREADS apply remotely too.
-void AddBudgetFields(const ResourceBudget& budget, service::JsonObject* req) {
+void AddBudgetFields(const ResourceBudget& budget, service::RequestSpec* req) {
   req->Int("max_chase_steps", budget.max_chase_steps)
       .Int("max_candidates", budget.max_candidates)
       .Int("threads", budget.threads);
@@ -308,8 +310,10 @@ Result<std::string> ScriptEngine::ExecCreate(std::string_view statement) {
   if (remote_ != nullptr) {
     // Mirror before committing locally, so a remote failure leaves the
     // session unchanged (the connection is dropped either way).
-    SQLEQ_RETURN_IF_ERROR(MirrorToRemote(
-        service::JsonObject().Str("cmd", "ddl").Str("script", statement).Build()));
+    service::RequestSpec req("ddl");
+    req.Str("script", std::string(statement));
+    SQLEQ_ASSIGN_OR_RETURN(std::string line, service::EncodeRequest(req));
+    SQLEQ_RETURN_IF_ERROR(MirrorToRemote(line));
     out += "  (mirrored to " + remote_name_ + ")\n";
   }
   catalog_ = std::move(updated);
@@ -338,11 +342,11 @@ Result<std::string> ScriptEngine::ExecDep(std::string_view rest) {
     if (remote_ != nullptr) {
       // Dependency::ToString() prepends "[label] ", which ParseDependency
       // rejects; send the bare body->head text with the label alongside.
-      service::JsonObject req;
-      req.Str("cmd", "dep")
-          .Str("text", dep.IsTgd() ? dep.tgd().ToString() : dep.egd().ToString())
+      service::RequestSpec req("dep");
+      req.Str("text", dep.IsTgd() ? dep.tgd().ToString() : dep.egd().ToString())
           .Str("label", dep.label());
-      SQLEQ_RETURN_IF_ERROR(MirrorToRemote(req.Build()));
+      SQLEQ_ASSIGN_OR_RETURN(std::string line, service::EncodeRequest(req));
+      SQLEQ_RETURN_IF_ERROR(MirrorToRemote(line));
       out += "  (mirrored to " + remote_name_ + ")\n";
     }
   }
@@ -713,61 +717,79 @@ Result<std::string> ScriptEngine::ExecTrace(std::string_view rest) {
 Result<std::string> ScriptEngine::ExecConnect(std::string_view rest) {
   auto [host, tail] = SplitKeyword(rest);
   auto [port_word, tail2] = SplitKeyword(tail);
-  if (host.empty() || port_word.empty() || !Trim(tail2).empty()) {
-    return Status::InvalidArgument("usage: CONNECT <host> <port>");
+  if (host.empty() || !Trim(tail2).empty() ||
+      (port_word.empty() && host.find(':') == std::string::npos)) {
+    return Status::InvalidArgument(
+        "usage: CONNECT <host> <port> | CONNECT <fleet-spec>");
   }
   if (remote_ != nullptr) {
     return Status::FailedPrecondition("already connected to " + remote_name_ +
                                       " (DISCONNECT first)");
   }
-  SQLEQ_ASSIGN_OR_RETURN(size_t port, ParseCount(port_word, "port"));
-  if (port == 0 || port > 65535) {
-    return Status::InvalidArgument("port must be in 1..65535, got '" + port_word + "'");
+  std::string spec;
+  if (port_word.empty()) {
+    // One word with ':' — a fleet spec ("host:port" or "a=h:p,b=h:p,...").
+    spec = host;
+  } else {
+    SQLEQ_ASSIGN_OR_RETURN(size_t port, ParseCount(port_word, "port"));
+    if (port == 0 || port > 65535) {
+      return Status::InvalidArgument("port must be in 1..65535, got '" + port_word + "'");
+    }
+    spec = host + ":" + port_word;
   }
-  SQLEQ_ASSIGN_OR_RETURN(
-      service::ServiceClient client,
-      service::ServiceClient::Connect(host, static_cast<int>(port),
-                                      ShellRetryPolicy()));
+  service::FleetClientOptions options;
+  SQLEQ_ASSIGN_OR_RETURN(options.shards, service::ParseFleetSpec(spec));
+  options.retry = ShellRetryPolicy();
+  SQLEQ_ASSIGN_OR_RETURN(std::unique_ptr<service::FleetClient> client,
+                         service::FleetClient::Create(std::move(options)));
 
-  SQLEQ_ASSIGN_OR_RETURN(
-      JsonValue hello,
-      RemoteCall(client, service::JsonObject().Str("cmd", "hello").Build()));
-  const JsonValue* protocol = hello.Find("protocol");
-  if (protocol == nullptr || protocol->kind != JsonValue::Kind::kNumber ||
-      static_cast<int>(protocol->number) != service::kProtocolVersion) {
-    return Status::FailedPrecondition(
-        "server speaks a different protocol than this shell (want version " +
-        std::to_string(service::kProtocolVersion) + ")");
+  // One hello per shard: proves every shard is reachable and speaks a
+  // protocol we understand before any catalog is uploaded.
+  SQLEQ_ASSIGN_OR_RETURN(std::string hello_line,
+                         service::EncodeRequest(service::RequestSpec("hello")));
+  SQLEQ_ASSIGN_OR_RETURN(std::vector<JsonValue> hellos,
+                         client->Broadcast(hello_line));
+  for (const JsonValue& hello : hellos) {
+    const JsonValue* protocol = hello.Find("protocol");
+    if (protocol == nullptr || protocol->kind != JsonValue::Kind::kNumber ||
+        static_cast<int>(protocol->number) < service::kProtocolVersion) {
+      return Status::FailedPrecondition(
+          "server speaks a different protocol than this shell (want version " +
+          std::to_string(service::kProtocolVersion) + " or newer)");
+    }
   }
 
-  // Upload the session catalog so the daemon's session matches ours. Keys
+  // Upload the session catalog so the daemon sessions match ours; the fleet
+  // client logs these and replays them onto every pooled connection. Keys
   // and foreign keys travel as the Σ they induced, so only name/arity/
   // set-valuedness need the relation command.
   size_t relations = 0;
   for (const RelationInfo& info : catalog_.schema.Relations()) {
-    service::JsonObject req;
-    req.Str("cmd", "relation")
-        .Str("name", info.name)
+    service::RequestSpec req("relation");
+    req.Str("name", info.name)
         .Int("arity", info.arity)
         .Bool("set_valued", info.set_valued);
-    SQLEQ_RETURN_IF_ERROR(RemoteCall(client, req.Build()).status());
+    SQLEQ_RETURN_IF_ERROR(RemoteCall(*client, req).status());
     ++relations;
   }
   size_t deps = 0;
   for (const Dependency& dep : catalog_.sigma) {
-    service::JsonObject req;
-    req.Str("cmd", "dep")
-        .Str("text", dep.IsTgd() ? dep.tgd().ToString() : dep.egd().ToString())
+    service::RequestSpec req("dep");
+    req.Str("text", dep.IsTgd() ? dep.tgd().ToString() : dep.egd().ToString())
         .Str("label", dep.label());
-    SQLEQ_RETURN_IF_ERROR(RemoteCall(client, req.Build()).status());
+    SQLEQ_RETURN_IF_ERROR(RemoteCall(*client, req).status());
     ++deps;
   }
 
-  remote_ = std::make_unique<service::ServiceClient>(std::move(client));
-  remote_name_ = host + ":" + port_word;
-  return "connected to sqleqd at " + remote_name_ + "; uploaded " +
-         std::to_string(relations) + " relation(s), " + std::to_string(deps) +
-         " dependenc(ies)\n";
+  const size_t shard_count = client->shard_count();
+  remote_ = std::move(client);
+  remote_name_ = spec;
+  std::string out = "connected to sqleqd at " + remote_name_;
+  if (shard_count > 1) {
+    out += " (" + std::to_string(shard_count) + " shards)";
+  }
+  return out + "; uploaded " + std::to_string(relations) + " relation(s), " +
+         std::to_string(deps) + " dependenc(ies)\n";
 }
 
 Result<std::string> ScriptEngine::ExecDisconnect(std::string_view rest) {
@@ -797,13 +819,12 @@ Status ScriptEngine::MirrorToRemote(const std::string& request_line) {
 Result<std::string> ScriptEngine::RemoteEquiv(const std::string& n1, const NamedQuery& a,
                                               const std::string& n2, const NamedQuery& b,
                                               Semantics sem) {
-  service::JsonObject req;
-  req.Str("cmd", "check")
-      .Str("q1", a.query.ToString())
+  service::RequestSpec req("check");
+  req.Str("q1", a.query.ToString())
       .Str("q2", b.query.ToString())
       .Str("semantics", service::SemanticsWireName(sem));
   AddBudgetFields(budget_, &req);
-  SQLEQ_ASSIGN_OR_RETURN(JsonValue response, RemoteCall(*remote_, req.Build()));
+  SQLEQ_ASSIGN_OR_RETURN(JsonValue response, RemoteCall(*remote_, req));
   const std::string verdict = ResponseString(response, "verdict");
   std::string out;
   if (verdict == "unknown") {
@@ -823,12 +844,11 @@ Result<std::string> ScriptEngine::RemoteEquiv(const std::string& n1, const Named
 Result<std::string> ScriptEngine::RemoteMinimize(const std::string& name,
                                                  const NamedQuery& named,
                                                  Semantics sem) {
-  service::JsonObject req;
-  req.Str("cmd", "reformulate")
-      .Str("query", named.query.ToString())
+  service::RequestSpec req("reformulate");
+  req.Str("query", named.query.ToString())
       .Str("semantics", service::SemanticsWireName(sem));
   AddBudgetFields(budget_, &req);
-  SQLEQ_ASSIGN_OR_RETURN(JsonValue response, RemoteCall(*remote_, req.Build()));
+  SQLEQ_ASSIGN_OR_RETURN(JsonValue response, RemoteCall(*remote_, req));
 
   uint64_t candidates = 0;
   if (const JsonValue* c = response.Find("candidates");

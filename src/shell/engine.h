@@ -22,6 +22,7 @@
 //   SHOW SCHEMA | SIGMA | QUERIES | DATA | BUDGET | STATS;
 //   TRACE ON | OFF | EXPORT <file>;  -- chase-span tracing (Chrome trace JSON)
 //   CONNECT <host> <port>;           -- attach to a sqleqd daemon
+//   CONNECT <fleet-spec>;            -- ... or a whole fleet ("a=h:p,b=h:p")
 //   DISCONNECT;                      -- detach
 //
 // While connected, the session catalog is uploaded once and kept in sync
@@ -60,7 +61,7 @@ namespace sqleq {
 class CancellationToken;
 
 namespace service {
-class ServiceClient;
+class FleetClient;
 }  // namespace service
 
 namespace shell {
@@ -163,8 +164,8 @@ class ScriptEngine {
   TraceSink trace_;
   bool tracing_ = false;
   int dep_counter_ = 0;
-  std::unique_ptr<service::ServiceClient> remote_;
-  std::string remote_name_;  ///< "host:port", for output lines
+  std::unique_ptr<service::FleetClient> remote_;
+  std::string remote_name_;  ///< "host:port" or fleet spec, for output lines
 };
 
 }  // namespace shell

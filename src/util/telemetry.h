@@ -62,6 +62,16 @@ inline constexpr char kMemoDiskRecovered[] = "memo.disk.recovered";
 inline constexpr char kMemoDiskCorrupt[] = "memo.disk.corrupt_records";
 inline constexpr char kMemoDiskBytes[] = "memo.disk.bytes";
 inline constexpr char kMemoDiskCompactions[] = "memo.disk.compactions";
+// Peer memo tier (fleet shards; docs/fleet.md). hits/misses are counted by
+// the fetching shard into the per-request registry; served/accepted by the
+// owning shard's server registry; fetches/offers by the fetching server's
+// peer link.
+inline constexpr char kMemoPeerHits[] = "memo.peer.hits";
+inline constexpr char kMemoPeerMisses[] = "memo.peer.misses";
+inline constexpr char kMemoPeerFetches[] = "memo.peer.fetches";
+inline constexpr char kMemoPeerServed[] = "memo.peer.served";
+inline constexpr char kMemoPeerOffers[] = "memo.peer.offers";
+inline constexpr char kMemoPeerAccepted[] = "memo.peer.accepted";
 inline constexpr char kBackchaseCandidates[] = "backchase.candidates";
 inline constexpr char kBackchaseAccepted[] = "backchase.accepted";
 inline constexpr char kBackchaseRejected[] = "backchase.rejected";
@@ -83,6 +93,7 @@ inline constexpr char kServiceDrained[] = "service.drained";
 inline constexpr char kServiceDrainingRejected[] = "service.draining_rejected";
 inline constexpr char kServiceDegraded[] = "service.degraded";
 inline constexpr char kServiceIdempotentReplays[] = "service.idempotent_replays";
+inline constexpr char kServiceRedirects[] = "service.redirects";
 inline constexpr char kServiceRequestUs[] = "service.request_us";
 }  // namespace metric
 

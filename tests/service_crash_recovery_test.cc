@@ -26,7 +26,7 @@
 #include <thread>
 #include <vector>
 
-#include "service/client.h"
+#include "service/connection.h"
 #include "service/protocol.h"
 #include "test_util.h"
 
@@ -95,22 +95,22 @@ class Daemon {
   std::string port_file_;
 };
 
-ServiceClient DialPort(int port) {
+Connection DialPort(int port) {
   RetryPolicy policy;
   policy.connect_timeout = std::chrono::milliseconds(5000);
   // The port file appears as soon as the listener is bound, but give the
   // accept loop a few tries to be safe on a loaded machine.
   for (int i = 0; i < 50; ++i) {
-    Result<ServiceClient> client =
-        ServiceClient::Connect("127.0.0.1", port, policy);
+    Result<Connection> client =
+        Connection::Connect("127.0.0.1", port, policy);
     if (client.ok()) return std::move(*client);
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
-  return Unwrap(ServiceClient::Connect("127.0.0.1", port, policy),
+  return Unwrap(Connection::Connect("127.0.0.1", port, policy),
                 "connect to sqleqd");
 }
 
-void UploadCatalog(ServiceClient& client) {
+void UploadCatalog(Connection& client) {
   Unwrap(client.Call(
       JsonObject().Str("cmd", "relation").Str("name", "r").Int("arity", 2).Build()));
   Unwrap(client.Call(
@@ -194,7 +194,7 @@ TEST(ServiceCrashRecovery, WarmVerdictsSurviveSigkillByteIdentically) {
     ASSERT_TRUE(daemon.running());
     int port = daemon.WaitForPort();
     ASSERT_GT(port, 0) << "sqleqd never published its port";
-    ServiceClient client = DialPort(port);
+    Connection client = DialPort(port);
     UploadCatalog(client);
 
     JsonValue cold = Unwrap(client.Call(CheckLine()));
@@ -223,7 +223,7 @@ TEST(ServiceCrashRecovery, WarmVerdictsSurviveSigkillByteIdentically) {
     Daemon daemon(memo_dir, port_file);
     int port = daemon.WaitForPort();
     ASSERT_GT(port, 0) << "restart on a recovered memo dir failed";
-    ServiceClient client = DialPort(port);
+    Connection client = DialPort(port);
     UploadCatalog(client);
 
     JsonValue stats = Unwrap(client.Call(JsonObject().Str("cmd", "stats").Build()));
@@ -258,7 +258,7 @@ TEST(ServiceCrashRecovery, WarmVerdictsSurviveSigkillByteIdentically) {
     Daemon daemon(memo_dir, port_file);
     int port = daemon.WaitForPort();
     ASSERT_GT(port, 0) << "sqleqd must start on a corrupt memo dir";
-    ServiceClient client = DialPort(port);
+    Connection client = DialPort(port);
     UploadCatalog(client);
 
     JsonValue stats = Unwrap(client.Call(JsonObject().Str("cmd", "stats").Build()));

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "equivalence/engine.h"
-#include "service/client.h"
+#include "service/connection.h"
 #include "service/protocol.h"
 #include "shell/engine.h"
 #include "test_util.h"
@@ -31,13 +31,13 @@ using ::sqleq::testing::Q;
 using ::sqleq::testing::Sigma;
 using ::sqleq::testing::Unwrap;
 
-ServiceClient Dial(const Server& server) {
-  return Unwrap(ServiceClient::Connect("127.0.0.1", server.port()), "Connect");
+Connection Dial(const Server& server) {
+  return Unwrap(Connection::Connect("127.0.0.1", server.port()), "Connect");
 }
 
 /// Sends the r/2, s/1 catalog with Σ = { r(X,Y) -> s(X) } over `client`,
 /// mirroring TestSchema()/TestSigma() below.
-void UploadCatalog(ServiceClient& client) {
+void UploadCatalog(Connection& client) {
   Unwrap(client.Call(
       JsonObject().Str("cmd", "relation").Str("name", "r").Int("arity", 2).Build()));
   Unwrap(client.Call(
@@ -87,7 +87,7 @@ bool PollUntil(const std::function<bool()>& done, int timeout_ms = 5000) {
 TEST(Service, HelloAndSessionState) {
   Server server;
   ASSERT_TRUE(server.Start().ok());
-  ServiceClient client = Dial(server);
+  Connection client = Dial(server);
 
   JsonValue hello = Unwrap(client.Call(JsonObject().Str("cmd", "hello").Build()));
   EXPECT_TRUE(Field(hello, "ok")->boolean);
@@ -129,7 +129,7 @@ TEST(Service, VerdictParityWithInProcessEngine) {
 
   Server server;
   ASSERT_TRUE(server.Start().ok());
-  ServiceClient client = Dial(server);
+  Connection client = Dial(server);
   UploadCatalog(client);
 
   for (const Case& c : cases) {
@@ -160,7 +160,7 @@ TEST(Service, ConcurrentClientsAgreeWithLocalVerdict) {
   std::vector<std::thread> threads;
   for (int i = 0; i < kClients; ++i) {
     threads.emplace_back([&server, &verdicts, i] {
-      ServiceClient client = Dial(server);
+      Connection client = Dial(server);
       UploadCatalog(client);
       JsonValue response = Unwrap(
           client.Call(CheckLine("Q(X) :- r(X, Y), s(X).", "Q(X) :- r(X, Y).")));
@@ -178,11 +178,11 @@ TEST(Service, MemoIsSharedAcrossConnections) {
   ASSERT_TRUE(server.Start().ok());
   const std::string line = CheckLine("Q(X) :- r(X, Y), s(X).", "Q(X) :- r(X, Y).");
 
-  ServiceClient first = Dial(server);
+  Connection first = Dial(server);
   UploadCatalog(first);
   Unwrap(first.Call(line));
 
-  ServiceClient second = Dial(server);
+  Connection second = Dial(server);
   UploadCatalog(second);
   JsonValue warm = Unwrap(second.Call(line));
   const JsonValue* metrics = Field(warm, "metrics");
@@ -209,7 +209,7 @@ TEST(Service, AdmissionControlShedsLoad) {
   ASSERT_TRUE(server.Start().ok());
 
   std::thread slow_request([&server] {
-    ServiceClient client = Dial(server);
+    Connection client = Dial(server);
     UploadCatalog(client);
     JsonValue response = Unwrap(client.Call(
         JsonObject()
@@ -222,7 +222,7 @@ TEST(Service, AdmissionControlShedsLoad) {
 
   // Wait for the slow request to occupy the only admission slot.
   ASSERT_TRUE(PollUntil([&server] { return server.inflight() >= 1; }));
-  ServiceClient client = Dial(server);
+  Connection client = Dial(server);
   UploadCatalog(client);
   JsonValue shed = Unwrap(
       client.Call(CheckLine("Q(X) :- r(X, Y).", "Q(X) :- r(X, Z).")));
@@ -252,7 +252,7 @@ TEST(Service, DrainCheckpointsInflightReformulateAndResumes) {
   {
     Server server;
     ASSERT_TRUE(server.Start().ok());
-    ServiceClient client = Dial(server);
+    Connection client = Dial(server);
     UploadCatalog(client);
     JsonValue response = Unwrap(client.Call(request_line));
     ASSERT_TRUE(Field(response, "ok")->boolean);
@@ -277,7 +277,7 @@ TEST(Service, DrainCheckpointsInflightReformulateAndResumes) {
   Server server(options);
   ASSERT_TRUE(server.Start().ok());
 
-  ServiceClient client = Dial(server);
+  Connection client = Dial(server);
   UploadCatalog(client);
   ASSERT_TRUE(client.Send(request_line).ok());
   ASSERT_TRUE(PollUntil([&server] { return server.inflight() >= 1; }));
@@ -298,7 +298,7 @@ TEST(Service, DrainCheckpointsInflightReformulateAndResumes) {
     // Resume on a fresh, unfaulted server: same reformulations as clean.
     Server fresh;
     ASSERT_TRUE(fresh.Start().ok());
-    ServiceClient resume_client = Dial(fresh);
+    Connection resume_client = Dial(fresh);
     UploadCatalog(resume_client);
     JsonValue resumed = Unwrap(resume_client.Call(JsonObject()
                                                       .Str("cmd", "reformulate")
@@ -328,14 +328,14 @@ TEST(Service, AcceptFaultDropsConnectionButServerSurvives) {
 
   // The first connection is accepted at TCP level, then dropped before it
   // gets a session: its first call must fail cleanly.
-  Result<ServiceClient> doomed = ServiceClient::Connect("127.0.0.1", server.port());
+  Result<Connection> doomed = Connection::Connect("127.0.0.1", server.port());
   if (doomed.ok()) {
     EXPECT_FALSE(doomed->Call(JsonObject().Str("cmd", "hello").Build()).ok());
   }
   EXPECT_EQ(faults.FiredCount(fault_sites::kServiceAccept), 1u);
 
   // The next connection is served normally.
-  ServiceClient client = Dial(server);
+  Connection client = Dial(server);
   JsonValue hello = Unwrap(client.Call(JsonObject().Str("cmd", "hello").Build()));
   EXPECT_TRUE(Field(hello, "ok")->boolean);
   ASSERT_TRUE(PollUntil([&server] { return server.active_sessions() == 1; }));
@@ -352,14 +352,14 @@ TEST(Service, ParseFaultDropsConnectionMidStream) {
   Server server(options);
   ASSERT_TRUE(server.Start().ok());
 
-  ServiceClient client = Dial(server);
+  Connection client = Dial(server);
   JsonValue hello = Unwrap(client.Call(JsonObject().Str("cmd", "hello").Build()));
   EXPECT_TRUE(Field(hello, "ok")->boolean);
   EXPECT_FALSE(client.Call(JsonObject().Str("cmd", "hello").Build()).ok());
 
   // No session leak, and new connections still work.
   ASSERT_TRUE(PollUntil([&server] { return server.active_sessions() == 0; }));
-  ServiceClient next = Dial(server);
+  Connection next = Dial(server);
   EXPECT_TRUE(Field(Unwrap(next.Call(JsonObject().Str("cmd", "hello").Build())),
                     "ok")
                   ->boolean);
@@ -375,7 +375,7 @@ TEST(Service, DispatchFaultFailsOneRequestOnly) {
   Server server(options);
   ASSERT_TRUE(server.Start().ok());
 
-  ServiceClient client = Dial(server);
+  Connection client = Dial(server);
   JsonValue failed = Unwrap(client.Call(JsonObject().Str("cmd", "hello").Build()));
   EXPECT_FALSE(Field(failed, "ok")->boolean);
   EXPECT_EQ(Field(failed, "error")->Find("code")->string, "ResourceExhausted");
@@ -389,7 +389,7 @@ TEST(Service, AbruptDisconnectsLeakNoSessions) {
   Server server;
   ASSERT_TRUE(server.Start().ok());
   for (int i = 0; i < 4; ++i) {
-    ServiceClient client = Dial(server);
+    Connection client = Dial(server);
     if (i % 2 == 0) {
       // Half the clients send something first, half vanish silently.
       ASSERT_TRUE(client.Send(JsonObject().Str("cmd", "hello").Build()).ok());
@@ -404,7 +404,7 @@ TEST(Service, AbruptDisconnectsLeakNoSessions) {
 TEST(Service, StatsExportsPrometheusAndMemoCounters) {
   Server server;
   ASSERT_TRUE(server.Start().ok());
-  ServiceClient client = Dial(server);
+  Connection client = Dial(server);
   UploadCatalog(client);
   Unwrap(client.Call(CheckLine("Q(X) :- r(X, Y).", "Q(X) :- r(X, Z).")));
 
@@ -461,7 +461,7 @@ TEST(Service, ShellConnectForwardsEquivAndMinimize) {
 TEST(Service, DrainingResponseIsStructured) {
   Server server;
   ASSERT_TRUE(server.Start().ok());
-  ServiceClient client = Dial(server);
+  Connection client = Dial(server);
   UploadCatalog(client);
   server.RequestDrain();
 
@@ -516,7 +516,7 @@ TEST(Service, DrainRaceLosesNoInflightRequest) {
   std::vector<bool> answered(kInflight, false);
   for (int i = 0; i < kInflight; ++i) {
     threads.emplace_back([&server, &request_line, &answered, i] {
-      ServiceClient client = Dial(server);
+      Connection client = Dial(server);
       UploadCatalog(client);
       ASSERT_TRUE(client.Send(request_line).ok());
       std::optional<std::string> raw =
@@ -539,7 +539,7 @@ TEST(Service, DrainRaceLosesNoInflightRequest) {
 
   // A connection attempt racing the drain: accepted-then-rejected or
   // refused outright are both clean; a hang or a malformed line is not.
-  Result<ServiceClient> late = ServiceClient::Connect("127.0.0.1", server.port());
+  Result<Connection> late = Connection::Connect("127.0.0.1", server.port());
   if (late.ok()) {
     Result<JsonValue> response =
         late->Call(CheckLine("Q(X) :- r(X, Y).", "Q(X) :- r(X, Z)."));
@@ -578,7 +578,7 @@ TEST(Service, DegradedAdmissionAnswersInsteadOfShedding) {
   const std::string warm_line =
       CheckLine("Q(X) :- r(X, Y), s(X).", "Q(X) :- r(X, Y).");
   {
-    ServiceClient warm = Dial(server);
+    Connection warm = Dial(server);
     UploadCatalog(warm);
     JsonValue response = Unwrap(warm.Call(warm_line));
     ASSERT_TRUE(Field(response, "ok")->boolean);
@@ -586,7 +586,7 @@ TEST(Service, DegradedAdmissionAnswersInsteadOfShedding) {
   }
 
   std::thread slow_request([&server] {
-    ServiceClient client = Dial(server);
+    Connection client = Dial(server);
     UploadCatalog(client);
     JsonValue response = Unwrap(client.Call(
         JsonObject()
@@ -598,7 +598,7 @@ TEST(Service, DegradedAdmissionAnswersInsteadOfShedding) {
   });
   ASSERT_TRUE(PollUntil([&server] { return server.inflight() >= 1; }));
 
-  ServiceClient client = Dial(server);
+  Connection client = Dial(server);
   UploadCatalog(client);
 
   // Over-cap memo hit: answered with the full-budget verdict, not shed.
@@ -635,7 +635,7 @@ TEST(Service, DegradedAdmissionAnswersInsteadOfShedding) {
 TEST(Service, IdempotentRequestIdReplaysSettledResponseBytes) {
   Server server;
   ASSERT_TRUE(server.Start().ok());
-  ServiceClient client = Dial(server);
+  Connection client = Dial(server);
   UploadCatalog(client);
 
   const std::string line = JsonObject()
@@ -753,7 +753,7 @@ TEST(ServiceRetry, RetryBudgetExhaustsOnPersistentOverload) {
   ASSERT_TRUE(server.Start().ok());
 
   std::thread slow_request([&server] {
-    ServiceClient client = Dial(server);
+    Connection client = Dial(server);
     UploadCatalog(client);
     JsonValue response = Unwrap(client.Call(
         JsonObject()
@@ -769,7 +769,7 @@ TEST(ServiceRetry, RetryBudgetExhaustsOnPersistentOverload) {
   policy.max_attempts = 2;
   policy.initial_backoff_ms = 1;
   policy.seed = 7;
-  ServiceClient client = Dial(server);
+  Connection client = Dial(server);
   UploadCatalog(client);
   RetryStats stats;
   JsonValue last = Unwrap(client.CallWithRetry(
@@ -802,8 +802,8 @@ TEST(ServiceRetry, TransportDropRedialsAndResends) {
   policy.max_attempts = 3;
   policy.initial_backoff_ms = 1;
   policy.connect_timeout = std::chrono::milliseconds(2000);
-  ServiceClient client = Unwrap(
-      ServiceClient::Connect("127.0.0.1", server.port(), policy), "Connect");
+  Connection client = Unwrap(
+      Connection::Connect("127.0.0.1", server.port(), policy), "Connect");
 
   RetryStats stats;
   JsonValue first = Unwrap(client.CallWithRetry(
@@ -824,7 +824,7 @@ TEST(ServiceRetry, TransportDropRedialsAndResends) {
 TEST(Service, DrainingRejectsNewExpensiveWork) {
   Server server;
   ASSERT_TRUE(server.Start().ok());
-  ServiceClient client = Dial(server);
+  Connection client = Dial(server);
   UploadCatalog(client);
   server.RequestDrain();
   // The read side is shut, but responses to already-connected clients that

@@ -9,6 +9,7 @@
 #        tools/ci.sh bench-smoke [build-dir]
 #        tools/ci.sh service-smoke [build-dir]
 #        tools/ci.sh crash-smoke [build-dir]
+#        tools/ci.sh fleet-smoke [build-dir]
 #
 # bench-smoke builds the benchmarks, runs each one for a single pinned
 # iteration (SQLEQ_BENCH_ITERS=1) from the repo root so every binary emits
@@ -28,6 +29,14 @@
 # SIGKILL the daemon (no drain), restart it on the same directory, and
 # assert the verdict comes back from the recovered tier-2 store
 # (memo.disk.recovered > 0 and a memo hit instead of a re-chase).
+#
+# fleet-smoke exercises the sharded fleet end to end (docs/fleet.md): a
+# 3-shard sqleq-fleet with --restart and per-shard durable memos, verdicts
+# byte-identical to a single node with every request forced through the
+# not_owner redirect path (--route first), cross-shard peer memo hits from
+# a legacy v1 client, a SIGKILL of one shard mid-run with byte-identical
+# verdicts after its supervised restart, and a fleet stats rollup showing
+# memo.peer.hits > 0 and followed redirects.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -248,6 +257,142 @@ EOF
   echo "crash-smoke OK"
 }
 
+fleet_smoke() {
+  local build_dir="${1:-build}"
+
+  echo "== configure =="
+  cmake -B "${build_dir}" -S .
+
+  echo "== build (daemon + fleet launcher + client) =="
+  cmake --build "${build_dir}" -j --target sqleqd sqleq_client sqleq_fleet
+
+  echo "== fleet smoke =="
+  local workdir
+  workdir="$(mktemp -d)"
+  local fleet_file="${workdir}/fleet.spec"
+  local pids_file="${workdir}/fleet.pids"
+  local fleet_log="${workdir}/fleet.log"
+
+  "${build_dir}/tools/sqleq-fleet" --shards 3 --restart \
+      --memo-root "${workdir}/memo" \
+      --fleet-file "${fleet_file}" --pids-file "${pids_file}" \
+      > "${fleet_log}" 2>&1 &
+  local fleet_pid=$!
+
+  local i
+  for i in $(seq 1 100); do
+    grep -Fq "up with 3 shard(s)" "${fleet_log}" 2>/dev/null && break
+    sleep 0.05
+  done
+  grep -Fq "up with 3 shard(s)" "${fleet_log}" \
+      || { echo "fleet did not come up:"; cat "${fleet_log}"; exit 1; }
+  local spec
+  spec="$(cat "${fleet_file}")"
+  echo "-- fleet up: ${spec}"
+
+  # No bare hello lines here: a legacy hello (no max_protocol) would drop
+  # the negotiated session back to v1 and disable redirects (docs/fleet.md).
+  local checks="${workdir}/checks.jsonl"
+  : > "${checks}"
+  local v
+  for v in 0 1 2 3 4 5; do
+    cat >> "${checks}" <<EOF
+{"id":"r${v}","cmd":"relation","name":"r${v}","arity":2}
+{"id":"d${v}","cmd":"dep","text":"r${v}(X, Y) -> s(X).","label":"fk${v}"}
+EOF
+  done
+  echo '{"id":"s","cmd":"relation","name":"s","arity":1}' >> "${checks}"
+  for v in 0 1 2 3 4 5; do
+    cat >> "${checks}" <<EOF
+{"id":"c${v}","cmd":"check","q1":"Q(X) :- r${v}(X, Y), s(X).","q2":"Q(X) :- r${v}(X, Y).","semantics":"set"}
+EOF
+  done
+
+  echo "-- single-node baseline"
+  local port_file="${workdir}/solo.port"
+  local solo_log="${workdir}/solo.log"
+  "${build_dir}/tools/sqleqd" --port 0 --port-file "${port_file}" \
+      > "${solo_log}" 2>&1 &
+  local solo_pid=$!
+  for i in $(seq 1 100); do
+    [ -s "${port_file}" ] && break
+    sleep 0.05
+  done
+  [ -s "${port_file}" ] || { echo "baseline sqleqd has no port:"; cat "${solo_log}"; exit 1; }
+  "${build_dir}/tools/sqleq-client" --port "$(cat "${port_file}")" \
+      --file "${checks}" > "${workdir}/solo.jsonl"
+  kill -TERM "${solo_pid}"; wait "${solo_pid}" || true
+  grep -o '"verdict":"[a-z-]*"' "${workdir}/solo.jsonl" > "${workdir}/solo.verdicts"
+  [ -s "${workdir}/solo.verdicts" ] \
+      || { echo "baseline produced no verdicts:"; cat "${workdir}/solo.jsonl"; exit 1; }
+
+  echo "-- fleet traffic through the redirect path (--route first)"
+  "${build_dir}/tools/sqleq-client" --shards "${spec}" --route first \
+      --retries 6 --backoff-ms 50 \
+      --file "${checks}" > "${workdir}/fleet.jsonl"
+  grep -o '"verdict":"[a-z-]*"' "${workdir}/fleet.jsonl" > "${workdir}/fleet.verdicts"
+  diff "${workdir}/solo.verdicts" "${workdir}/fleet.verdicts" \
+      || { echo "fleet verdicts differ from the single node"; exit 1; }
+
+  echo "-- cross-shard warm reads from a legacy v1 client"
+  # A v1 client pinned to shard 0 is always served locally; any check whose
+  # record lives elsewhere must arrive through the peer memo tier.
+  "${build_dir}/tools/sqleq-client" --shards "${spec}" --route first \
+      --max-protocol 1 --retries 6 --backoff-ms 50 \
+      --file "${checks}" > "${workdir}/v1.jsonl"
+  grep -o '"verdict":"[a-z-]*"' "${workdir}/v1.jsonl" > "${workdir}/v1.verdicts"
+  diff "${workdir}/solo.verdicts" "${workdir}/v1.verdicts" \
+      || { echo "v1 client verdicts differ from the single node"; exit 1; }
+
+  echo "-- SIGKILL shard1, await supervised restart"
+  local shard1_pid
+  shard1_pid="$(sed -n '2p' "${pids_file}")"
+  kill -KILL "${shard1_pid}"
+  for i in $(seq 1 100); do
+    grep -Fq "restarted shard1" "${fleet_log}" 2>/dev/null && break
+    sleep 0.05
+  done
+  grep -Fq "restarted shard1" "${fleet_log}" \
+      || { echo "supervisor did not restart shard1:"; cat "${fleet_log}"; exit 1; }
+
+  echo "-- fleet traffic again after the restart"
+  "${build_dir}/tools/sqleq-client" --shards "${spec}" --route first \
+      --retries 6 --backoff-ms 50 \
+      --file "${checks}" > "${workdir}/after.jsonl"
+  grep -o '"verdict":"[a-z-]*"' "${workdir}/after.jsonl" > "${workdir}/after.verdicts"
+  diff "${workdir}/solo.verdicts" "${workdir}/after.verdicts" \
+      || { echo "post-restart fleet verdicts differ from the single node"; exit 1; }
+
+  echo "-- fleet stats rollup"
+  echo '{"id":"st","cmd":"stats"}' > "${workdir}/stats.jsonl"
+  "${build_dir}/tools/sqleq-client" --shards "${spec}" \
+      --retries 6 --backoff-ms 50 \
+      --file "${workdir}/stats.jsonl" > "${workdir}/stats.out"
+  grep -Fq '"fleet":true' "${workdir}/stats.out" \
+      || { echo "stats is not a fleet rollup:"; cat "${workdir}/stats.out"; exit 1; }
+  grep -Eq '"memo\.peer\.hits":[1-9]' "${workdir}/stats.out" \
+      || { echo "no cross-shard peer memo hits:"; cat "${workdir}/stats.out"; exit 1; }
+  # --route first forced every check to shard 0; the ones it does not own
+  # show up in its server-lifetime redirect counter (per_shard detail).
+  grep -Eq '"redirects":[1-9]' "${workdir}/stats.out" \
+      || { echo "no not_owner redirects were served:"; cat "${workdir}/stats.out"; exit 1; }
+
+  echo "-- draining the fleet (SIGTERM)"
+  kill -TERM "${fleet_pid}"
+  local rc=0
+  wait "${fleet_pid}" || rc=$?
+  if [ "${rc}" -ne 0 ]; then
+    echo "sqleq-fleet exited with rc=${rc}:"
+    cat "${fleet_log}"
+    exit 1
+  fi
+  grep -Fq "sqleq-fleet: stopped" "${fleet_log}" \
+      || { echo "no clean fleet shutdown line:"; cat "${fleet_log}"; exit 1; }
+
+  rm -rf "${workdir}"
+  echo "fleet-smoke OK"
+}
+
 # Lints every example script, gating each on its expected sqleq-lint exit
 # code (0 clean / 1 warnings-only / 2 errors). Scripts that intentionally
 # carry diagnostics declare their expected code in
@@ -290,6 +435,12 @@ fi
 if [ "${1:-}" = "crash-smoke" ]; then
   shift
   crash_smoke "$@"
+  exit 0
+fi
+
+if [ "${1:-}" = "fleet-smoke" ]; then
+  shift
+  fleet_smoke "$@"
   exit 0
 fi
 

@@ -1,0 +1,269 @@
+// sqleq-fleet — launcher/supervisor for a sharded sqleqd fleet
+// (docs/fleet.md). Picks N loopback ports, renders the fleet topology spec,
+// launches one sqleqd per shard with --fleet/--shard-name, and supervises
+// them: with --restart, a shard that dies (e.g. SIGKILL in the fleet-smoke
+// stage) is relaunched with the same arguments — same name, same port, same
+// --memo-dir — so it rejoins the fleet and re-warms from its durable memo.
+// SIGTERM/SIGINT drain the whole fleet (TERM to every child, then wait).
+//
+// The sqleqd binary is found next to this executable unless --sqleqd is
+// given. --fleet-file/--pids-file export the topology spec and child pids
+// for scripts (ci.sh fleet-smoke reads both).
+//
+// Usage:
+//   sqleq-fleet --shards N [--base-port P] [--sqleqd PATH]
+//               [--memo-root DIR] [--fleet-file PATH] [--pids-file PATH]
+//               [--restart] [--shard-epoch N] [--workers N]
+//               [--max-inflight N] [--degraded-admission]
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/routing.h"
+#include "util/socket.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --shards N [--base-port P] [--sqleqd PATH] [--memo-root DIR]\n"
+               "       [--fleet-file PATH] [--pids-file PATH] [--restart]\n"
+               "       [--shard-epoch N] [--workers N] [--max-inflight N]\n"
+               "       [--degraded-admission]\n";
+  return 2;
+}
+
+/// The directory holding this executable, via /proc/self/exe.
+std::string SelfDir() {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  std::string path(buf);
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+struct ShardProc {
+  std::vector<std::string> argv;
+  pid_t pid = -1;
+};
+
+pid_t Launch(const ShardProc& shard) {
+  std::vector<char*> argv;
+  argv.reserve(shard.argv.size() + 1);
+  for (const std::string& arg : shard.argv) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    std::perror("sqleq-fleet: execv");
+    _exit(127);
+  }
+  return pid;
+}
+
+void WritePids(const std::string& path, const std::vector<ShardProc>& shards) {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::trunc);
+  for (const ShardProc& shard : shards) out << shard.pid << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t shard_count = 0;
+  int base_port = 0;
+  std::string sqleqd = SelfDir() + "/sqleqd";
+  std::string memo_root;
+  std::string fleet_file;
+  std::string pids_file;
+  bool restart = false;
+  std::string shard_epoch = "1";
+  std::string workers;
+  std::string max_inflight;
+  bool degraded = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      shard_count = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--base-port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      base_port = std::atoi(v);
+    } else if (arg == "--sqleqd") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      sqleqd = v;
+    } else if (arg == "--memo-root") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      memo_root = v;
+    } else if (arg == "--fleet-file") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      fleet_file = v;
+    } else if (arg == "--pids-file") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      pids_file = v;
+    } else if (arg == "--restart") {
+      restart = true;
+    } else if (arg == "--shard-epoch") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      shard_epoch = v;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      workers = v;
+    } else if (arg == "--max-inflight") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      max_inflight = v;
+    } else if (arg == "--degraded-admission") {
+      degraded = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return Usage(argv[0]);
+    }
+  }
+  if (shard_count == 0) return Usage(argv[0]);
+
+  // Resolve one concrete port per shard up front — the topology must be
+  // final before any shard starts. With --base-port the ports are
+  // sequential; otherwise each is picked by binding an ephemeral listener
+  // and releasing it (a small race against other processes, fine for CI).
+  std::vector<sqleq::service::ShardId> topology;
+  for (size_t i = 0; i < shard_count; ++i) {
+    sqleq::service::ShardId shard;
+    shard.name = "shard" + std::to_string(i);
+    shard.host = "127.0.0.1";
+    if (base_port > 0) {
+      shard.port = base_port + static_cast<int>(i);
+    } else {
+      sqleq::TcpListener probe;
+      sqleq::Status listening = probe.Listen(0);
+      if (!listening.ok()) {
+        std::cerr << "sqleq-fleet: cannot pick a port: " << listening.ToString()
+                  << "\n";
+        return 1;
+      }
+      shard.port = probe.port();
+    }
+    topology.push_back(std::move(shard));
+  }
+  const std::string spec = sqleq::service::RenderFleetSpec(topology);
+  if (!fleet_file.empty()) {
+    std::ofstream out(fleet_file, std::ios::trunc);
+    out << spec << "\n";
+  }
+
+  std::vector<ShardProc> shards;
+  for (size_t i = 0; i < shard_count; ++i) {
+    ShardProc shard;
+    shard.argv = {sqleqd,
+                  "--port",       std::to_string(topology[i].port),
+                  "--fleet",      spec,
+                  "--shard-name", topology[i].name,
+                  "--shard-epoch", shard_epoch};
+    if (!memo_root.empty()) {
+      // MemoStore creates its own directory but not missing parents; make
+      // the whole path here so a shard never dies on a fresh --memo-root.
+      std::string memo_dir = memo_root + "/" + topology[i].name;
+      std::error_code ec;
+      std::filesystem::create_directories(memo_dir, ec);
+      if (ec) {
+        std::cerr << "sqleq-fleet: cannot create " << memo_dir << ": "
+                  << ec.message() << "\n";
+        return 1;
+      }
+      shard.argv.push_back("--memo-dir");
+      shard.argv.push_back(std::move(memo_dir));
+    }
+    if (!workers.empty()) {
+      shard.argv.push_back("--workers");
+      shard.argv.push_back(workers);
+    }
+    if (!max_inflight.empty()) {
+      shard.argv.push_back("--max-inflight");
+      shard.argv.push_back(max_inflight);
+    }
+    if (degraded) shard.argv.push_back("--degraded-admission");
+    shard.pid = Launch(shard);
+    if (shard.pid < 0) {
+      std::cerr << "sqleq-fleet: fork failed for " << topology[i].name << "\n";
+      return 1;
+    }
+    std::cout << "sqleq-fleet: " << topology[i].name << " pid " << shard.pid
+              << " port " << topology[i].port << std::endl;
+    shards.push_back(std::move(shard));
+  }
+  WritePids(pids_file, shards);
+  std::cout << "sqleq-fleet: up with " << shard_count << " shard(s): " << spec
+            << std::endl;
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  // Supervision loop: reap exited children; with --restart relaunch them on
+  // the same port/name/memo-dir, otherwise shut the whole fleet down (one
+  // dead shard without a supervisor is a degraded fleet, not a working one).
+  int exit_code = 0;
+  while (g_shutdown == 0) {
+    int wstatus = 0;
+    pid_t dead = ::waitpid(-1, &wstatus, WNOHANG);
+    if (dead > 0) {
+      for (size_t i = 0; i < shards.size(); ++i) {
+        if (shards[i].pid != dead) continue;
+        if (restart) {
+          shards[i].pid = Launch(shards[i]);
+          std::cout << "sqleq-fleet: restarted " << topology[i].name
+                    << " as pid " << shards[i].pid << std::endl;
+          WritePids(pids_file, shards);
+        } else {
+          std::cerr << "sqleq-fleet: " << topology[i].name
+                    << " exited; draining the fleet\n";
+          shards[i].pid = -1;
+          g_shutdown = 1;
+          exit_code = 1;
+        }
+        break;
+      }
+      continue;
+    }
+    ::usleep(50 * 1000);
+  }
+
+  for (const ShardProc& shard : shards) {
+    if (shard.pid > 0) ::kill(shard.pid, SIGTERM);
+  }
+  for (const ShardProc& shard : shards) {
+    if (shard.pid > 0) ::waitpid(shard.pid, nullptr, 0);
+  }
+  std::cout << "sqleq-fleet: stopped" << std::endl;
+  return exit_code;
+}

@@ -12,11 +12,15 @@
 //          [--memo-dir PATH] [--memo-disk-bytes N] [--memo-fsync]
 //          [--degraded-admission] [--degraded-chase-steps N]
 //          [--degraded-candidates N] [--retry-after-ms N]
+//          [--fleet SPEC --shard-name NAME] [--shard-epoch N]
 //
 // --memo-dir turns on the tier-2 durable memo (docs/service.md, "Durability
 // & Recovery"): warm chase verdicts persist across SIGKILL and restart.
 // --degraded-admission swaps load shedding for the narrowed-budget lane
-// (docs/robustness.md).
+// (docs/robustness.md). --fleet ("a=h:p,b=h:p,...") + --shard-name join a
+// sharded fleet (docs/fleet.md): v2 sessions are redirected to the shard
+// owning each request, and chase verdicts are pulled from / offered to the
+// peer tier of the two-level memo.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -49,7 +53,8 @@ int Usage(const char* argv0) {
                "       [--max-candidates N] [--metrics-out PATH]\n"
                "       [--memo-dir PATH] [--memo-disk-bytes N] [--memo-fsync]\n"
                "       [--degraded-admission] [--degraded-chase-steps N]\n"
-               "       [--degraded-candidates N] [--retry-after-ms N]\n";
+               "       [--degraded-candidates N] [--retry-after-ms N]\n"
+               "       [--fleet SPEC --shard-name NAME] [--shard-epoch N]\n";
   return 2;
 }
 
@@ -124,6 +129,24 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr || !ParseSizeFlag(v, &parsed)) return Usage(argv[0]);
       options.retry_after_ms = parsed;
+    } else if (arg == "--fleet") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      sqleq::Result<std::vector<sqleq::service::ShardId>> fleet =
+          sqleq::service::ParseFleetSpec(v);
+      if (!fleet.ok()) {
+        std::cerr << "sqleqd: --fleet: " << fleet.status().ToString() << "\n";
+        return 2;
+      }
+      options.fleet = *std::move(fleet);
+    } else if (arg == "--shard-name") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.shard_name = v;
+    } else if (arg == "--shard-epoch") {
+      const char* v = next();
+      if (v == nullptr || !ParseSizeFlag(v, &parsed)) return Usage(argv[0]);
+      options.shard_epoch = parsed;
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
