@@ -1,0 +1,213 @@
+// End-to-end semantic-cache traffic bench (docs/workload.md): a generated
+// FK-join workload at overlap 0.5 replayed through the SemanticCache in
+// three configurations —
+//
+//   cold:  every Σ-equivalence decision runs on a fresh EquivalenceEngine
+//          (the no-cache baseline: per-check latencies of full EQUIV);
+//   warm:  the cache is pre-populated with the whole corpus, then variants
+//          are looked up again; only semantic-tier hit latencies are
+//          reported, so p95_us is the warm confirm path (hot memo);
+//   fleet: the replay confirms through an in-process sqleqd over loopback
+//          TCP (the sqleq-replay --port path).
+//
+// The e2e replay additionally reports hit_rate / ground_truth counters, the
+// numbers `tools/ci.sh workload-smoke` gates on (±10%), and the committed
+// BENCH_workload_e2e.json is expected to show warm p95_us strictly below
+// cold p95_us — the cache earning its keep.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cache/semantic_cache.h"
+#include "equivalence/engine.h"
+#include "service/connection.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "util/json.h"
+#include "workload/generator.h"
+
+namespace sqleq {
+namespace {
+
+using bench::Must;
+
+workload::Workload MakeCorpus() {
+  workload::WorkloadOptions options;
+  options.schema_template = "warehouse";
+  options.seed = 7;
+  options.num_queries = 60;
+  options.overlap_rate = 0.5;
+  return Must(workload::GenerateWorkload(options));
+}
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+/// Cold baseline: each variant is checked against its base query by a fresh
+/// engine — what every query would pay without the cache.
+void BM_Workload_Equiv_Cold(benchmark::State& state) {
+  workload::Workload w = MakeCorpus();
+  std::vector<uint64_t> latencies_us;
+  for (auto _ : state) {
+    for (const workload::WorkloadQuery& wq : w.queries) {
+      if (!wq.is_variant) continue;
+      EquivalenceEngine engine;
+      EquivRequest request(Semantics::kSet, w.schema.catalog.sigma,
+                           w.schema.catalog.schema);
+      auto start = std::chrono::steady_clock::now();
+      EquivVerdict v = Must(engine.Equivalent(
+          wq.query, w.queries[wq.class_id].query, request));
+      latencies_us.push_back(ElapsedUs(start));
+      if (v.verdict != Verdict::kEquivalent) {
+        state.SkipWithError("generator produced a non-equivalent variant");
+        return;
+      }
+    }
+  }
+  bench::ReportLatencyPercentiles(state, std::move(latencies_us));
+}
+SQLEQ_BENCHMARK(BM_Workload_Equiv_Cold)->Unit(benchmark::kMillisecond);
+
+/// Warm semantic tier: the corpus is admitted once, then every variant is
+/// looked up again against the hot cache (engine memo already chased each
+/// class). Only semantic-tier hits are timed — exact-tier hits would make
+/// the comparison against cold EQUIV flattering.
+void BM_Workload_Cache_Warm(benchmark::State& state) {
+  workload::Workload w = MakeCorpus();
+  cache::SemanticCache cache(w.schema.catalog.sigma, w.schema.catalog.schema);
+  for (const workload::WorkloadQuery& wq : w.queries) {
+    cache::SemanticCache::Lookup hit = Must(cache.Get(wq.query));
+    if (hit.tier == cache::SemanticCache::Tier::kMiss) {
+      cache.Admit(wq.query, wq.query.name());
+    }
+  }
+  std::vector<uint64_t> latencies_us;
+  size_t semantic_hits = 0;
+  for (auto _ : state) {
+    for (const workload::WorkloadQuery& wq : w.queries) {
+      if (!wq.is_variant) continue;
+      auto start = std::chrono::steady_clock::now();
+      cache::SemanticCache::Lookup hit = Must(cache.Get(wq.query));
+      uint64_t us = ElapsedUs(start);
+      if (hit.tier == cache::SemanticCache::Tier::kSemantic) {
+        latencies_us.push_back(us);
+        ++semantic_hits;
+      }
+    }
+  }
+  state.counters["semantic_hits"] = static_cast<double>(semantic_hits);
+  bench::ReportLatencyPercentiles(state, std::move(latencies_us));
+}
+SQLEQ_BENCHMARK(BM_Workload_Cache_Warm)->Unit(benchmark::kMillisecond);
+
+/// The end-to-end cold replay: lookup + admit-on-miss over the whole corpus
+/// with a fresh cache per iteration. hit_rate vs ground_truth is the
+/// headline pair; every lookup's latency lands in the percentiles.
+void BM_Workload_Replay_E2E(benchmark::State& state) {
+  workload::Workload w = MakeCorpus();
+  std::vector<uint64_t> latencies_us;
+  double hit_rate = 0.0;
+  for (auto _ : state) {
+    cache::SemanticCache cache(w.schema.catalog.sigma,
+                               w.schema.catalog.schema);
+    for (const workload::WorkloadQuery& wq : w.queries) {
+      auto start = std::chrono::steady_clock::now();
+      cache::SemanticCache::Lookup hit = Must(cache.Get(wq.query));
+      latencies_us.push_back(ElapsedUs(start));
+      if (hit.tier == cache::SemanticCache::Tier::kMiss) {
+        cache.Admit(wq.query, wq.query.name());
+      }
+    }
+    hit_rate = cache.stats().HitRate();
+  }
+  state.counters["hit_rate"] = hit_rate;
+  state.counters["ground_truth"] = w.GroundTruthHitRate();
+  bench::ReportLatencyPercentiles(state, std::move(latencies_us));
+}
+SQLEQ_BENCHMARK(BM_Workload_Replay_E2E)->Unit(benchmark::kMillisecond);
+
+/// Fleet config: the same replay, but semantic-tier confirms round-trip to
+/// an in-process sqleqd over loopback (the sqleq-replay --port path).
+void BM_Workload_Replay_Fleet(benchmark::State& state) {
+  workload::Workload w = MakeCorpus();
+  service::Server server;
+  Status started = server.Start();
+  if (!started.ok()) {
+    state.SkipWithError(started.ToString().c_str());
+    return;
+  }
+  service::Connection conn =
+      Must(service::Connection::Connect("127.0.0.1", server.port()));
+  for (const RelationInfo& info : w.schema.catalog.schema.Relations()) {
+    Must(conn.Call(service::JsonObject()
+                       .Str("cmd", "relation")
+                       .Str("name", info.name)
+                       .Int("arity", info.arity)
+                       .Bool("set_valued", info.set_valued)
+                       .Build()));
+  }
+  for (const Dependency& dep : w.schema.catalog.sigma) {
+    Must(conn.Call(
+        service::JsonObject()
+            .Str("cmd", "dep")
+            .Str("text",
+                 dep.IsTgd() ? dep.tgd().ToString() : dep.egd().ToString())
+            .Str("label", dep.label())
+            .Build()));
+  }
+  auto confirm = [&conn](const ConjunctiveQuery& q1,
+                         const ConjunctiveQuery& q2) -> Result<Verdict> {
+    SQLEQ_ASSIGN_OR_RETURN(JsonValue response,
+                           conn.Call(service::JsonObject()
+                                         .Str("cmd", "check")
+                                         .Str("q1", q1.ToString())
+                                         .Str("q2", q2.ToString())
+                                         .Str("semantics", "set")
+                                         .Build()));
+    const JsonValue* verdict = response.Find("verdict");
+    if (verdict != nullptr && verdict->is_string() &&
+        verdict->string == "unknown") {
+      return Verdict::kUnknown;
+    }
+    const JsonValue* equivalent = response.Find("equivalent");
+    const bool eq = equivalent != nullptr &&
+                    equivalent->kind == JsonValue::Kind::kBool &&
+                    equivalent->boolean;
+    return eq ? Verdict::kEquivalent : Verdict::kNotEquivalent;
+  };
+
+  std::vector<uint64_t> latencies_us;
+  double hit_rate = 0.0;
+  for (auto _ : state) {
+    cache::SemanticCache cache(w.schema.catalog.sigma,
+                               w.schema.catalog.schema);
+    cache.set_confirmer(confirm);
+    for (const workload::WorkloadQuery& wq : w.queries) {
+      auto start = std::chrono::steady_clock::now();
+      cache::SemanticCache::Lookup hit = Must(cache.Get(wq.query));
+      latencies_us.push_back(ElapsedUs(start));
+      if (hit.tier == cache::SemanticCache::Tier::kMiss) {
+        cache.Admit(wq.query, wq.query.name());
+      }
+    }
+    hit_rate = cache.stats().HitRate();
+  }
+  state.counters["hit_rate"] = hit_rate;
+  state.counters["ground_truth"] = w.GroundTruthHitRate();
+  bench::ReportLatencyPercentiles(state, std::move(latencies_us));
+  server.Stop();
+}
+SQLEQ_BENCHMARK(BM_Workload_Replay_Fleet)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace sqleq

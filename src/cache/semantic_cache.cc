@@ -1,0 +1,167 @@
+#include "cache/semantic_cache.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "chase/chase_cache.h"
+
+namespace sqleq {
+namespace cache {
+
+SemanticCache::SemanticCache(DependencySet sigma, Schema schema,
+                             SemanticCacheOptions options)
+    : options_(options),
+      sigma_(std::move(sigma)),
+      schema_(std::move(schema)),
+      graph_(SigmaGraph::Build(sigma_, schema_)),
+      engine_(std::make_unique<EquivalenceEngine>()) {
+  confirmer_ = [this](const ConjunctiveQuery& q1, const ConjunctiveQuery& q2)
+      -> Result<Verdict> {
+    EquivRequest request(options_.semantics, sigma_, schema_);
+    request.context.budget.max_chase_steps = options_.confirm_chase_steps;
+    SQLEQ_ASSIGN_OR_RETURN(EquivVerdict v, engine_->Equivalent(q1, q2, request));
+    return v.verdict;
+  };
+}
+
+void SemanticCache::set_confirmer(Confirmer confirmer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  confirmer_ = std::move(confirmer);
+}
+
+std::string SemanticCache::BucketKey(const ConjunctiveQuery& q) const {
+  // Σ-reachability closure: body predicates plus the head predicates of
+  // every tgd the slice keeps. Egds never contribute new predicates (their
+  // bodies must already may-match the pool), so tgd heads suffice.
+  std::set<std::string> predicates;
+  for (const Atom& a : q.body()) predicates.insert(a.predicate());
+  SigmaSlice slice = graph_.SliceFor(q.body(), /*render_pruned=*/false);
+  for (size_t i : slice.kept) {
+    if (!sigma_[i].IsTgd()) continue;
+    for (const Atom& h : sigma_[i].tgd().head()) {
+      predicates.insert(h.predicate());
+    }
+  }
+  // Distinct-constant fingerprint: FK-unfold copies existing terms and
+  // invents only fresh variables, so the distinct set (not the multiset!)
+  // is transform-invariant.
+  std::set<std::string> constants;
+  for (const Atom& a : q.body()) {
+    for (Term t : a.args()) {
+      if (t.IsConstant()) constants.insert(t.ToString());
+    }
+  }
+  for (Term t : q.head()) {
+    if (t.IsConstant()) constants.insert(t.ToString());
+  }
+  std::string key = "w=" + std::to_string(q.head().size()) + "|p=";
+  for (const std::string& p : predicates) {
+    key += p;
+    key += ',';
+  }
+  key += "|c=";
+  for (const std::string& c : constants) {
+    key += c;
+    key += ';';
+  }
+  return key;
+}
+
+Result<SemanticCache::Lookup> SemanticCache::Get(const ConjunctiveQuery& q) {
+  MetricsRegistry* metrics = options_.metrics;
+  if (metrics != nullptr) metrics->counter(metric::kCacheLookups).Add();
+
+  const std::string canonical = CanonicalQueryKey(q);
+  std::vector<Entry> candidates;
+  Confirmer confirmer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    auto it = exact_.find(canonical);
+    if (it != exact_.end()) {
+      ++stats_.exact_hits;
+      if (metrics != nullptr) metrics->counter(metric::kCacheHitsExact).Add();
+      const Entry& e = entries_[it->second];
+      return Lookup{Tier::kExact, e.payload, e.query.name(), 0};
+    }
+    auto bucket = buckets_.find(BucketKey(q));
+    if (bucket != buckets_.end()) {
+      for (size_t idx : bucket->second) candidates.push_back(entries_[idx]);
+    }
+    confirmer = confirmer_;
+  }
+
+  // Semantic tier: confirm bucket candidates with the engine, newest first
+  // (recently admitted bases are likelier matches in replay order), under
+  // the per-lookup confirm budget. Engine calls run outside the lock.
+  std::reverse(candidates.begin(), candidates.end());
+  Lookup result;
+  size_t unknown = 0;
+  for (const Entry& e : candidates) {
+    if (result.confirms >= options_.max_confirms_per_lookup) break;
+    if (options_.max_body_size_delta > 0) {
+      size_t delta = e.body_size > q.body().size()
+                         ? e.body_size - q.body().size()
+                         : q.body().size() - e.body_size;
+      if (delta > options_.max_body_size_delta) continue;
+    }
+    ++result.confirms;
+    Result<Verdict> v = confirmer(q, e.query);
+    if (!v.ok()) continue;  // a broken confirmer degrades to a miss
+    if (v.value() == Verdict::kUnknown) {
+      ++unknown;
+      continue;
+    }
+    if (v.value() == Verdict::kEquivalent) {
+      result.tier = Tier::kSemantic;
+      result.payload = e.payload;
+      result.matched = e.query.name();
+      break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.confirms += result.confirms;
+    stats_.unknown_confirms += unknown;
+    if (result.tier == Tier::kSemantic) {
+      ++stats_.semantic_hits;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  if (metrics != nullptr) {
+    metrics->counter(metric::kCacheConfirms).Add(result.confirms);
+    if (unknown > 0) metrics->counter(metric::kCacheConfirmsUnknown).Add(unknown);
+    metrics
+        ->counter(result.tier == Tier::kSemantic ? metric::kCacheHitsSemantic
+                                                 : metric::kCacheMisses)
+        .Add();
+  }
+  return result;
+}
+
+void SemanticCache::Admit(const ConjunctiveQuery& q, std::string payload) {
+  const std::string canonical = CanonicalQueryKey(q);
+  const std::string bucket = BucketKey(q);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (exact_.find(canonical) != exact_.end()) return;
+  size_t idx = entries_.size();
+  entries_.push_back(Entry{q, std::move(payload), q.body().size()});
+  exact_.emplace(canonical, idx);
+  buckets_[bucket].push_back(idx);
+  stats_.entries = entries_.size();
+  stats_.buckets = buckets_.size();
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter(metric::kCacheAdmissions).Add();
+  }
+}
+
+SemanticCache::Stats SemanticCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cache
+}  // namespace sqleq

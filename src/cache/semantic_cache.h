@@ -1,0 +1,161 @@
+// SemanticCache — the Σ-aware two-tier query result/verdict cache the
+// roadmap's flagship scenario calls for (docs/workload.md).
+//
+// A lookup for query Q proceeds through two tiers:
+//
+//  1. EXACT tier: hash on CanonicalQueryKey(Q). Renamings and atom
+//     reorderings of an admitted query hit here in O(|Q| log |Q|), no
+//     chase.
+//  2. SEMANTIC tier: candidates are the admitted entries in Q's bucket,
+//     where buckets are keyed by cheap Σ-aware invariants — the predicate
+//     set of Q's Σ-reachability closure (body predicates plus the head
+//     predicates of the tgds SigmaGraph::SliceFor keeps), the head arity,
+//     and the distinct-constant fingerprint. All three are invariant under
+//     every Σ-equivalence-preserving rewrite the workload generator emits
+//     (FK fold/unfold adds/removes only predicates already in the closure
+//     and copies only existing constants), so a true variant always lands
+//     in its base's bucket. Each candidate is confirmed by a full
+//     EquivalenceEngine::Equivalent call under a per-lookup budget;
+//     kUnknown confirms fall through — the cache degrades to a miss, never
+//     to a wrong answer.
+//
+// Correctness therefore never rests on the invariants: they only bound how
+// many engine confirms a lookup spends. A pluggable Confirmer reroutes the
+// semantic-tier decision through a remote fleet (tools/sqleq-replay wires
+// FleetClient "check" requests in) without the cache knowing.
+#ifndef SQLEQ_CACHE_SEMANTIC_CACHE_H_
+#define SQLEQ_CACHE_SEMANTIC_CACHE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/sigma_graph.h"
+#include "constraints/dependency.h"
+#include "db/eval.h"
+#include "equivalence/engine.h"
+#include "ir/query.h"
+#include "ir/schema.h"
+#include "util/status.h"
+#include "util/telemetry.h"
+
+namespace sqleq {
+namespace cache {
+
+/// Decides whether two queries are Σ-equivalent. kUnknown (or an error) is
+/// treated as "not confirmed": the lookup moves to the next candidate.
+using Confirmer = std::function<Result<Verdict>(const ConjunctiveQuery&,
+                                                const ConjunctiveQuery&)>;
+
+struct SemanticCacheOptions {
+  Semantics semantics = Semantics::kSet;
+  /// Engine confirms a single lookup may spend on semantic-tier candidates
+  /// before giving up and reporting a miss.
+  size_t max_confirms_per_lookup = 4;
+  /// Chase-step budget per confirm (EquivRequest context budget). The
+  /// default matches ResourceBudget's.
+  size_t confirm_chase_steps = 5000;
+  /// Candidates whose body size differs from the probe's by more than this
+  /// are skipped without a confirm — transforms change the body by at most
+  /// one atom each, so a small bound covers real variants. 0 disables the
+  /// filter.
+  size_t max_body_size_delta = 4;
+  /// Counter/histogram sink for cache.* metrics; null disables telemetry.
+  MetricsRegistry* metrics = nullptr;
+};
+
+class SemanticCache {
+ public:
+  /// The cache owns an EquivalenceEngine configured for (Σ, schema,
+  /// semantics); the engine's chase memo persists across lookups, so
+  /// confirms against a hot class get cheaper over time.
+  SemanticCache(DependencySet sigma, Schema schema,
+                SemanticCacheOptions options = {});
+
+  SemanticCache(const SemanticCache&) = delete;
+  SemanticCache& operator=(const SemanticCache&) = delete;
+
+  /// Reroutes semantic-tier confirms (e.g. through a fleet). The default
+  /// confirmer is the owned engine.
+  void set_confirmer(Confirmer confirmer);
+
+  enum class Tier { kExact, kSemantic, kMiss };
+
+  struct Lookup {
+    Tier tier = Tier::kMiss;
+    /// The admitted payload on a hit; empty on a miss.
+    std::string payload;
+    /// Name of the admitted query that matched; empty on a miss.
+    std::string matched;
+    /// Engine confirms this lookup spent (semantic tier only).
+    size_t confirms = 0;
+  };
+
+  /// Looks Q up. Never errors on engine kUnknown — that candidate is simply
+  /// not confirmed. Errors surface only for malformed inputs (e.g. the
+  /// slice machinery rejecting the query).
+  Result<Lookup> Get(const ConjunctiveQuery& q);
+
+  /// Admits (Q, payload). Typically called after Get reported a miss; a
+  /// second admit under the same canonical key keeps the first entry (the
+  /// cache is append-wins-first, matching replay semantics).
+  void Admit(const ConjunctiveQuery& q, std::string payload);
+
+  struct Stats {
+    size_t lookups = 0;
+    size_t exact_hits = 0;
+    size_t semantic_hits = 0;
+    size_t misses = 0;
+    size_t confirms = 0;          ///< engine confirms attempted
+    size_t unknown_confirms = 0;  ///< confirms that came back kUnknown
+    size_t entries = 0;
+    size_t buckets = 0;
+    double HitRate() const {
+      return lookups == 0
+                 ? 0.0
+                 : static_cast<double>(exact_hits + semantic_hits) / lookups;
+    }
+  };
+  Stats stats() const;
+
+  /// The owned engine — exposed so callers can pre-warm memos, attach
+  /// stores, or read ChaseMemo counters (tests assert memo.inserts
+  /// stability across replayed equivalents).
+  EquivalenceEngine& engine() { return *engine_; }
+
+  const DependencySet& sigma() const { return sigma_; }
+  const Schema& schema() const { return schema_; }
+  Semantics semantics() const { return options_.semantics; }
+
+  /// The semantic-tier bucket key for Q — exposed for tests asserting the
+  /// invariance contract (every generator transform preserves it).
+  std::string BucketKey(const ConjunctiveQuery& q) const;
+
+ private:
+  struct Entry {
+    ConjunctiveQuery query;
+    std::string payload;
+    size_t body_size = 0;
+  };
+
+  SemanticCacheOptions options_;
+  DependencySet sigma_;
+  Schema schema_;
+  SigmaGraph graph_;
+  std::unique_ptr<EquivalenceEngine> engine_;
+  Confirmer confirmer_;
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, size_t> exact_;  ///< canonical key → entry
+  std::unordered_map<std::string, std::vector<size_t>> buckets_;
+  Stats stats_;
+};
+
+}  // namespace cache
+}  // namespace sqleq
+
+#endif  // SQLEQ_CACHE_SEMANTIC_CACHE_H_

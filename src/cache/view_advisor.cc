@@ -1,0 +1,83 @@
+#include "cache/view_advisor.h"
+
+#include <string>
+#include <utility>
+
+#include "reformulation/candb.h"
+
+namespace sqleq {
+namespace cache {
+
+Result<ViewAdvice> AdviseViews(const std::vector<ConjunctiveQuery>& workload,
+                               const DependencySet& sigma, const Schema& schema,
+                               const ViewAdvisorOptions& options) {
+  ViewAdvice advice;
+  if (workload.empty()) return advice;
+
+  // Clustering pass: replay through a SemanticCache whose payloads are
+  // cluster indices. A hit (either tier) assigns the query to the matched
+  // entry's cluster; a miss opens a new cluster and admits the query as its
+  // representative.
+  SemanticCacheOptions cache_options;
+  cache_options.semantics = options.semantics;
+  cache_options.confirm_chase_steps = options.max_chase_steps;
+  // Advice wants exhaustive clustering, not bounded lookup latency: let the
+  // semantic tier examine the whole bucket.
+  cache_options.max_confirms_per_lookup = workload.size();
+  cache_options.max_body_size_delta = 0;
+  SemanticCache cache(sigma, schema, cache_options);
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    SQLEQ_ASSIGN_OR_RETURN(SemanticCache::Lookup hit, cache.Get(workload[i]));
+    if (hit.tier == SemanticCache::Tier::kMiss) {
+      ViewAdvice::Cluster cluster{{i}, workload[i]};
+      advice.clusters.push_back(std::move(cluster));
+      cache.Admit(workload[i], std::to_string(advice.clusters.size() - 1));
+    } else {
+      advice.clusters[std::stoul(hit.payload)].members.push_back(i);
+    }
+  }
+  advice.queries_clustered = workload.size();
+  advice.confirms = cache.stats().confirms;
+
+  // Advice pass: C&B each big-enough cluster's representative and keep the
+  // cheapest Σ-minimal reformulation under the cost model.
+  for (ViewAdvice::Cluster& cluster : advice.clusters) {
+    double member_cost = 0.0;
+    for (size_t m : cluster.members) {
+      member_cost +=
+          EstimateCost(workload[m], options.cost_model).intermediate_tuples;
+    }
+    cluster.original_cost = member_cost;
+    cluster.rewritten_cost = member_cost;
+    if (cluster.members.size() < options.min_cluster_size) continue;
+
+    CandBOptions candb;
+    candb.context.budget.max_chase_steps = options.max_chase_steps;
+    candb.context.budget.max_candidates = options.max_candidates;
+    Result<CandBResult> run = ChaseAndBackchase(cluster.rewrite, sigma,
+                                                options.semantics, schema,
+                                                candb);
+    // A cluster C&B cannot improve (e.g. an unsatisfiable representative the
+    // chase rejects) is reported unrewritten rather than failing the whole
+    // advice pass.
+    if (!run.ok()) continue;
+    CandBResult result = std::move(run).value();
+    if (!result.complete || result.reformulations.empty()) continue;
+
+    std::vector<ConjunctiveQuery> candidates = result.reformulations;
+    candidates.push_back(cluster.rewrite);  // never advise a costlier rewrite
+    std::optional<size_t> best = PickCheapest(candidates, options.cost_model);
+    if (!best.has_value()) continue;
+    double per_query =
+        EstimateCost(candidates[*best], options.cost_model).intermediate_tuples;
+    cluster.rewrite = candidates[*best].WithName(cluster.rewrite.name());
+    cluster.rewritten = true;
+    cluster.rewritten_cost =
+        per_query * static_cast<double>(cluster.members.size());
+  }
+  return advice;
+}
+
+}  // namespace cache
+}  // namespace sqleq

@@ -1,0 +1,76 @@
+// ViewAdvisor — workload-level advice built on the semantic cache: replay
+// a workload, cluster the queries by Σ-equivalence (two queries land in one
+// cluster iff the cache's engine confirms them equivalent), then run the
+// paper's C&B (Appendix A / §6.3) on each cluster's representative and
+// report the Σ-minimal reformulation the cost model ranks cheapest,
+// together with the projected per-cluster saving of answering every member
+// from that one rewrite. The "materialize one representative per class"
+// workflow of docs/workload.md.
+#ifndef SQLEQ_CACHE_VIEW_ADVISOR_H_
+#define SQLEQ_CACHE_VIEW_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "cache/semantic_cache.h"
+#include "constraints/dependency.h"
+#include "db/eval.h"
+#include "ir/query.h"
+#include "ir/schema.h"
+#include "reformulation/cost.h"
+#include "util/status.h"
+
+namespace sqleq {
+namespace cache {
+
+struct ViewAdvisorOptions {
+  Semantics semantics = Semantics::kSet;
+  /// Chase-step budget for the clustering confirms and each C&B run.
+  size_t max_chase_steps = 5000;
+  /// Backchase candidate cap per representative.
+  size_t max_candidates = 4096;
+  /// Clusters below this size are reported without a C&B run (no rewrite
+  /// is worth materializing for a singleton unless asked).
+  size_t min_cluster_size = 2;
+  /// Statistics the projected savings are priced under.
+  CostModel cost_model;
+};
+
+struct ViewAdvice {
+  struct Cluster {
+    /// Indices into the input workload, ascending. members[0] contributed
+    /// the representative.
+    std::vector<size_t> members;
+    /// The advised rewrite: the cheapest Σ-minimal reformulation of the
+    /// representative (which may be the representative itself when C&B
+    /// finds nothing cheaper, or for sub-threshold clusters).
+    ConjunctiveQuery rewrite;
+    /// Whether C&B ran and completed for this cluster (sub-threshold
+    /// clusters and anytime-interrupted runs report false and echo the
+    /// representative).
+    bool rewritten = false;
+    /// Summed EstimateCost(...).intermediate_tuples over the members, and
+    /// the same sum if every member instead ran the rewrite.
+    double original_cost = 0.0;
+    double rewritten_cost = 0.0;
+    double ProjectedSaving() const { return original_cost - rewritten_cost; }
+  };
+  /// Clusters in order of first appearance in the workload.
+  std::vector<Cluster> clusters;
+  size_t queries_clustered = 0;
+  /// Engine confirms the clustering pass spent.
+  size_t confirms = 0;
+};
+
+/// Clusters `workload` by Σ-equivalence and advises one rewrite per
+/// cluster. Every advised rewrite is engine-confirmed Σ-equivalent to its
+/// cluster's representative (C&B soundness); the property tests re-verify
+/// against every member. Deterministic for a fixed input.
+Result<ViewAdvice> AdviseViews(const std::vector<ConjunctiveQuery>& workload,
+                               const DependencySet& sigma, const Schema& schema,
+                               const ViewAdvisorOptions& options = {});
+
+}  // namespace cache
+}  // namespace sqleq
+
+#endif  // SQLEQ_CACHE_VIEW_ADVISOR_H_

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
@@ -12,6 +13,8 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/sigma_graph.h"
+#include "cache/semantic_cache.h"
+#include "cache/view_advisor.h"
 #include "equivalence/engine.h"
 #include "equivalence/explain.h"
 #include "ir/parser.h"
@@ -23,6 +26,7 @@
 #include "sql/render.h"
 #include "sql/sql_parser.h"
 #include "util/string_util.h"
+#include "workload/generator.h"
 
 namespace sqleq {
 namespace shell {
@@ -272,6 +276,9 @@ Result<std::string> ScriptEngine::Execute(std::string_view statement) {
   if (EqualsIgnoreCase(keyword, "TRACE")) return ExecTrace(rest);
   if (EqualsIgnoreCase(keyword, "CONNECT")) return ExecConnect(rest);
   if (EqualsIgnoreCase(keyword, "DISCONNECT")) return ExecDisconnect(rest);
+  if (EqualsIgnoreCase(keyword, "WORKLOAD")) return ExecWorkload(rest);
+  if (EqualsIgnoreCase(keyword, "CACHE")) return ExecCacheStats(rest);
+  if (EqualsIgnoreCase(keyword, "ADVISE")) return ExecAdvise(rest);
   return Status::InvalidArgument("unknown command '" + keyword + "'");
 }
 
@@ -875,6 +882,143 @@ Result<std::string> ScriptEngine::RemoteMinimize(const std::string& name,
   if (complete != nullptr && complete->kind == JsonValue::Kind::kBool &&
       !complete->boolean) {
     out += IncompleteLine(ResponseExhaustion(response));
+  }
+  return out;
+}
+
+Result<std::string> ScriptEngine::ExecWorkload(std::string_view rest) {
+  auto [verb, tail] = SplitKeyword(rest);
+  if (EqualsIgnoreCase(verb, "GEN")) {
+    auto [tmpl, tail2] = SplitKeyword(tail);
+    auto [num_word, tail3] = SplitKeyword(tail2);
+    auto [olap_word, tail4] = SplitKeyword(tail3);
+    workload::WorkloadOptions options;
+    if (tmpl.empty() || num_word.empty() || olap_word.empty()) {
+      return Status::InvalidArgument(
+          "usage: WORKLOAD GEN <template> <num-queries> <overlap> [SEED <n>]");
+    }
+    options.schema_template = tmpl;
+    SQLEQ_ASSIGN_OR_RETURN(options.num_queries,
+                           ParseCount(num_word, "num-queries"));
+    errno = 0;
+    char* end = nullptr;
+    options.overlap_rate = std::strtod(olap_word.c_str(), &end);
+    if (end == nullptr || *end != '\0' || errno == ERANGE) {
+      return Status::InvalidArgument("overlap must be a number in [0, 1], got '" +
+                                     olap_word + "'");
+    }
+    auto [seed_kw, tail5] = SplitKeyword(tail4);
+    if (EqualsIgnoreCase(seed_kw, "SEED")) {
+      auto [seed_word, tail6] = SplitKeyword(tail5);
+      if (!Trim(tail6).empty()) {
+        return Status::InvalidArgument(
+            "usage: WORKLOAD GEN <template> <num-queries> <overlap> [SEED <n>]");
+      }
+      SQLEQ_ASSIGN_OR_RETURN(size_t seed, ParseCount(seed_word, "SEED"));
+      options.seed = seed;
+    } else if (!seed_kw.empty()) {
+      return Status::InvalidArgument(
+          "usage: WORKLOAD GEN <template> <num-queries> <overlap> [SEED <n>]");
+    }
+    SQLEQ_ASSIGN_OR_RETURN(workload::Workload w, GenerateWorkload(options));
+    workload_ = std::make_unique<workload::Workload>(std::move(w));
+    cache_.reset();
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.3f", workload_->GroundTruthHitRate());
+    return "generated workload: template=" + workload_->schema.name +
+           " queries=" + std::to_string(workload_->queries.size()) +
+           " classes=" + std::to_string(workload_->num_classes) +
+           " ground-truth-hit-rate=" + rate + "\n";
+  }
+  if (EqualsIgnoreCase(verb, "REPLAY")) {
+    if (!Trim(tail).empty()) {
+      return Status::InvalidArgument("usage: WORKLOAD REPLAY");
+    }
+    if (workload_ == nullptr) {
+      return Status::FailedPrecondition("no workload (use WORKLOAD GEN first)");
+    }
+    cache::SemanticCacheOptions options;
+    options.metrics = &metrics_;
+    cache_ = std::make_unique<cache::SemanticCache>(
+        workload_->schema.catalog.sigma, workload_->schema.catalog.schema,
+        options);
+    size_t hits = 0;
+    for (const workload::WorkloadQuery& wq : workload_->queries) {
+      SQLEQ_ASSIGN_OR_RETURN(cache::SemanticCache::Lookup hit,
+                             cache_->Get(wq.query));
+      if (hit.tier == cache::SemanticCache::Tier::kMiss) {
+        cache_->Admit(wq.query, wq.query.name());
+      } else {
+        ++hits;
+      }
+    }
+    cache::SemanticCache::Stats stats = cache_->stats();
+    char measured[32], truth[32];
+    std::snprintf(measured, sizeof(measured), "%.3f", stats.HitRate());
+    std::snprintf(truth, sizeof(truth), "%.3f", workload_->GroundTruthHitRate());
+    return "replayed " + std::to_string(workload_->queries.size()) +
+           " queries: hits=" + std::to_string(hits) + " (exact=" +
+           std::to_string(stats.exact_hits) + ", semantic=" +
+           std::to_string(stats.semantic_hits) + ") hit-rate=" + measured +
+           " ground-truth=" + truth + "\n";
+  }
+  return Status::InvalidArgument("usage: WORKLOAD GEN ... | WORKLOAD REPLAY");
+}
+
+Result<std::string> ScriptEngine::ExecCacheStats(std::string_view rest) {
+  auto [verb, tail] = SplitKeyword(rest);
+  if (!EqualsIgnoreCase(verb, "STATS") || !Trim(tail).empty()) {
+    return Status::InvalidArgument("usage: CACHE STATS");
+  }
+  if (cache_ == nullptr) {
+    return Status::FailedPrecondition("no cache (use WORKLOAD REPLAY first)");
+  }
+  cache::SemanticCache::Stats s = cache_->stats();
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.3f", s.HitRate());
+  std::string out = "cache stats:\n";
+  out += "  lookups = " + std::to_string(s.lookups) + "\n";
+  out += "  hits.exact = " + std::to_string(s.exact_hits) + "\n";
+  out += "  hits.semantic = " + std::to_string(s.semantic_hits) + "\n";
+  out += "  misses = " + std::to_string(s.misses) + "\n";
+  out += "  confirms = " + std::to_string(s.confirms) + " (unknown " +
+         std::to_string(s.unknown_confirms) + ")\n";
+  out += "  entries = " + std::to_string(s.entries) + " in " +
+         std::to_string(s.buckets) + " buckets\n";
+  out += "  hit-rate = " + std::string(rate) + "\n";
+  return out;
+}
+
+Result<std::string> ScriptEngine::ExecAdvise(std::string_view rest) {
+  auto [verb, tail] = SplitKeyword(rest);
+  if (!EqualsIgnoreCase(verb, "VIEWS") || !Trim(tail).empty()) {
+    return Status::InvalidArgument("usage: ADVISE VIEWS");
+  }
+  if (workload_ == nullptr) {
+    return Status::FailedPrecondition("no workload (use WORKLOAD GEN first)");
+  }
+  std::vector<ConjunctiveQuery> queries;
+  queries.reserve(workload_->queries.size());
+  for (const workload::WorkloadQuery& wq : workload_->queries) {
+    queries.push_back(wq.query);
+  }
+  cache::ViewAdvisorOptions options;
+  options.max_chase_steps = budget_.max_chase_steps;
+  options.max_candidates = budget_.max_candidates;
+  SQLEQ_ASSIGN_OR_RETURN(
+      cache::ViewAdvice advice,
+      AdviseViews(queries, workload_->schema.catalog.sigma,
+                  workload_->schema.catalog.schema, options));
+  std::string out = "advised " + std::to_string(advice.clusters.size()) +
+                    " clusters over " +
+                    std::to_string(advice.queries_clustered) + " queries (" +
+                    std::to_string(advice.confirms) + " confirms)\n";
+  for (const cache::ViewAdvice::Cluster& c : advice.clusters) {
+    if (!c.rewritten) continue;
+    char saving[32];
+    std::snprintf(saving, sizeof(saving), "%.0f", c.ProjectedSaving());
+    out += "  [" + std::to_string(c.members.size()) + " queries, saves ~" +
+           saving + " tuples] " + c.rewrite.ToString() + "\n";
   }
   return out;
 }

@@ -24,6 +24,10 @@
 //   CONNECT <host> <port>;           -- attach to a sqleqd daemon
 //   CONNECT <fleet-spec>;            -- ... or a whole fleet ("a=h:p,b=h:p")
 //   DISCONNECT;                      -- detach
+//   WORKLOAD GEN <tmpl> <n> <olap> [SEED s];  -- synthesize a CQ corpus
+//   WORKLOAD REPLAY;                 -- replay it through a semantic cache
+//   CACHE STATS;                     -- cache counters of the last replay
+//   ADVISE VIEWS;                    -- Σ-cluster the corpus, advise rewrites
 //
 // While connected, the session catalog is uploaded once and kept in sync
 // (CREATE TABLE / DEP are mirrored), and EQUIV / MINIMIZE execute on the
@@ -63,6 +67,14 @@ class CancellationToken;
 namespace service {
 class FleetClient;
 }  // namespace service
+
+namespace workload {
+struct Workload;
+}  // namespace workload
+
+namespace cache {
+class SemanticCache;
+}  // namespace cache
 
 namespace shell {
 
@@ -132,6 +144,15 @@ class ScriptEngine {
   Result<std::string> ExecTrace(std::string_view rest);
   Result<std::string> ExecConnect(std::string_view rest);
   Result<std::string> ExecDisconnect(std::string_view rest);
+  /// WORKLOAD GEN / WORKLOAD REPLAY (docs/workload.md): corpus synthesis
+  /// and a cold semantic-cache replay reporting measured-vs-ground-truth
+  /// hit rates.
+  Result<std::string> ExecWorkload(std::string_view rest);
+  /// CACHE STATS: the SemanticCache counters of the last WORKLOAD REPLAY.
+  Result<std::string> ExecCacheStats(std::string_view rest);
+  /// ADVISE VIEWS: Σ-equivalence clustering + C&B representative rewrites
+  /// with projected cost savings over the generated corpus.
+  Result<std::string> ExecAdvise(std::string_view rest);
 
   /// Remote execution paths for EQUIV / MINIMIZE while connected.
   Result<std::string> RemoteEquiv(const std::string& n1, const NamedQuery& a,
@@ -166,6 +187,9 @@ class ScriptEngine {
   int dep_counter_ = 0;
   std::unique_ptr<service::FleetClient> remote_;
   std::string remote_name_;  ///< "host:port" or fleet spec, for output lines
+  /// WORKLOAD GEN's corpus and the cache of the last WORKLOAD REPLAY.
+  std::unique_ptr<workload::Workload> workload_;
+  std::unique_ptr<cache::SemanticCache> cache_;
 };
 
 }  // namespace shell

@@ -95,6 +95,17 @@ inline constexpr char kServiceDegraded[] = "service.degraded";
 inline constexpr char kServiceIdempotentReplays[] = "service.idempotent_replays";
 inline constexpr char kServiceRedirects[] = "service.redirects";
 inline constexpr char kServiceRequestUs[] = "service.request_us";
+// Semantic query cache (src/cache/semantic_cache.h). hits.exact counts
+// canonical-key matches, hits.semantic engine-confirmed bucket matches;
+// confirms is engine Equivalent calls spent by the semantic tier, with the
+// kUnknown (budget-tripped) subset broken out.
+inline constexpr char kCacheLookups[] = "cache.lookups";
+inline constexpr char kCacheHitsExact[] = "cache.hits.exact";
+inline constexpr char kCacheHitsSemantic[] = "cache.hits.semantic";
+inline constexpr char kCacheMisses[] = "cache.misses";
+inline constexpr char kCacheConfirms[] = "cache.confirms";
+inline constexpr char kCacheConfirmsUnknown[] = "cache.confirms.unknown";
+inline constexpr char kCacheAdmissions[] = "cache.admissions";
 }  // namespace metric
 
 /// Monotonically increasing event count. Add/value are wait-free.

@@ -1,0 +1,465 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "chase/chase_cache.h"
+#include "chase/chase_plan.h"
+#include "util/rng.h"
+
+namespace sqleq {
+namespace workload {
+namespace {
+
+/// Occurrence count of every variable across the body and head — the
+/// "lone variable" test the fold/collapse transforms rely on: a variable
+/// occurring exactly once (in the atom being dropped) maps freely onto the
+/// chase's fresh nulls, so dropping the atom preserves Σ-equivalence.
+std::unordered_map<Term, size_t, TermHash> VariableOccurrences(
+    const ConjunctiveQuery& q) {
+  std::unordered_map<Term, size_t, TermHash> counts;
+  for (const Atom& a : q.body()) {
+    for (Term t : a.args()) {
+      if (t.IsVariable()) ++counts[t];
+    }
+  }
+  for (Term t : q.head()) {
+    if (t.IsVariable()) ++counts[t];
+  }
+  return counts;
+}
+
+/// The generator's variable factory: deterministic names, no dependence on
+/// the process-global FreshVar counter, so the same seed reproduces the
+/// same corpus byte for byte in any process.
+class VarFactory {
+ public:
+  Term Next() { return Term::Var("V" + std::to_string(counter_++)); }
+
+ private:
+  size_t counter_ = 0;
+};
+
+/// All FK edges incident to `relation` (as src or dst), by index into fks.
+std::vector<size_t> IncidentEdges(const std::vector<ForeignKeyEdge>& fks,
+                                  const std::string& relation) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < fks.size(); ++i) {
+    if (fks[i].src == relation || fks[i].dst == relation) out.push_back(i);
+  }
+  return out;
+}
+
+class Generator {
+ public:
+  Generator(const WorkloadOptions& options, SchemaTemplate tmpl)
+      : options_(options), tmpl_(std::move(tmpl)), rng_(options.seed) {
+    relations_ = tmpl_.catalog.schema.RelationNames();
+    plan_ = std::make_unique<ChasePlan>(tmpl_.catalog.sigma, Semantics::kSet,
+                                        tmpl_.catalog.schema);
+  }
+
+  Result<Workload> Run() {
+    Workload out;
+    std::vector<size_t> base_indices;
+    std::unordered_map<std::string, size_t> base_key_to_index;
+    for (size_t i = 0; i < options_.num_queries; ++i) {
+      const bool make_variant =
+          !base_indices.empty() && rng_.Chance(options_.overlap_rate);
+      WorkloadQuery wq{ConjunctiveQuery::Make("Q", {Term::Var("V0")},
+                                              {Atom("q", {Term::Var("V0")})}),
+                       i, false, "base"};
+      if (make_variant) {
+        size_t base = base_indices[rng_.Index(base_indices.size())];
+        SQLEQ_ASSIGN_OR_RETURN(
+            auto v,
+            MakeVariant(out.queries[base].query, "Q" + std::to_string(i)));
+        wq.query = std::move(v.first);
+        wq.class_id = base;
+        wq.is_variant = true;
+        wq.transform = std::move(v.second);
+      } else {
+        // Retry base generation until the canonical key is fresh AND the
+        // query is Σ-satisfiable (random constants can clash through key
+        // egds — e.g. two atoms key-equated by the chase holding different
+        // constants in the same column — and an unsatisfiable query has no
+        // meaningful equivalence class). A stale key after the retries
+        // means the walk space is effectively exhausted, and the query is
+        // RECLASSIFIED as a variant of the base it collided with — ground
+        // truth stays exact either way.
+        ConjunctiveQuery q = GenerateBase("Q" + std::to_string(i));
+        std::string key = CanonicalQueryKey(q);
+        for (int attempt = 0; attempt < 20; ++attempt) {
+          if (!Unsatisfiable(q) &&
+              base_key_to_index.find(key) == base_key_to_index.end()) {
+            break;
+          }
+          q = GenerateBase("Q" + std::to_string(i));
+          key = CanonicalQueryKey(q);
+        }
+        if (Unsatisfiable(q)) {
+          // Every retry clashed (possible only at extreme constant
+          // density): constant-free queries cannot clash, so strip the
+          // constants rather than ship an unsatisfiable base.
+          q = StripConstants(q);
+          key = CanonicalQueryKey(q);
+        }
+        auto it = base_key_to_index.find(key);
+        if (it != base_key_to_index.end()) {
+          wq.query = std::move(q);
+          wq.class_id = it->second;
+          wq.is_variant = true;
+          wq.transform = "isomorphic-dup";
+        } else {
+          base_key_to_index.emplace(std::move(key), i);
+          base_indices.push_back(i);
+          wq.query = std::move(q);
+          wq.class_id = i;
+        }
+      }
+      out.queries.push_back(std::move(wq));
+    }
+    out.num_classes = base_indices.size();
+    out.schema = std::move(tmpl_);
+    return out;
+  }
+
+ private:
+  /// True when the chase proves q empty on every instance of Σ (a key egd
+  /// equated two distinct constants). Chase errors (budget, etc.) count as
+  /// satisfiable — we only reject what is *provably* unsatisfiable.
+  bool Unsatisfiable(const ConjunctiveQuery& q) {
+    Result<ChaseOutcome> out = plan_->Run(q);
+    return out.ok() && out->failed;
+  }
+
+  /// Replaces every constant with a fresh variable — the satisfiability
+  /// fallback (an egd can fail only by equating two distinct constants, so
+  /// a constant-free query always chases to a universal plan).
+  ConjunctiveQuery StripConstants(const ConjunctiveQuery& q) {
+    std::vector<Atom> body = q.body();
+    size_t i = 0;
+    for (Atom& a : body) {
+      for (Term& t : a.mutable_args()) {
+        if (!t.IsVariable()) {
+          t = Term::Var("C" + std::to_string(rename_epoch_) + "_" +
+                        std::to_string(i++));
+        }
+      }
+    }
+    ++rename_epoch_;
+    return q.WithBody(std::move(body));
+  }
+
+  /// A fresh atom over `relation`, every position a fresh variable.
+  Atom FreshAtom(const std::string& relation, VarFactory* vars) {
+    size_t arity = tmpl_.catalog.schema.ArityOf(relation);
+    std::vector<Term> args;
+    args.reserve(arity);
+    for (size_t i = 0; i < arity; ++i) args.push_back(vars->Next());
+    return Atom(relation, std::move(args));
+  }
+
+  /// A random FK-join walk: start anywhere, grow by joining a new atom to
+  /// an existing one along a random incident FK edge (either direction),
+  /// then bind random single-occurrence positions to constants and draw the
+  /// head from the surviving variables.
+  ConjunctiveQuery GenerateBase(const std::string& name) {
+    VarFactory vars;
+    size_t depth = options_.min_join_depth +
+                   rng_.Index(options_.max_join_depth -
+                              options_.min_join_depth + 1);
+    std::vector<Atom> body;
+    body.push_back(
+        FreshAtom(relations_[rng_.Index(relations_.size())], &vars));
+    while (body.size() < depth) {
+      size_t at = rng_.Index(body.size());
+      std::vector<size_t> edges =
+          IncidentEdges(tmpl_.fks, body[at].predicate());
+      if (edges.empty()) break;  // isolated relation: stop growing
+      const ForeignKeyEdge& fk = tmpl_.fks[edges[rng_.Index(edges.size())]];
+      const bool at_is_src = fk.src == body[at].predicate();
+      Atom added = FreshAtom(at_is_src ? fk.dst : fk.src, &vars);
+      const std::vector<size_t>& at_cols = at_is_src ? fk.src_cols : fk.dst_cols;
+      const std::vector<size_t>& new_cols = at_is_src ? fk.dst_cols : fk.src_cols;
+      for (size_t j = 0; j < at_cols.size(); ++j) {
+        added.mutable_args()[new_cols[j]] = body[at].args()[at_cols[j]];
+      }
+      body.push_back(std::move(added));
+    }
+
+    // Constant binding: single-occurrence variables only, so join structure
+    // is never disturbed, and always leaving at least one variable for the
+    // head.
+    std::unordered_map<Term, size_t, TermHash> counts;
+    for (const Atom& a : body) {
+      for (Term t : a.args()) {
+        if (t.IsVariable()) ++counts[t];
+      }
+    }
+    size_t variables_left = counts.size();
+    for (Atom& a : body) {
+      for (Term& t : a.mutable_args()) {
+        if (!t.IsVariable() || counts[t] != 1 || variables_left <= 1) continue;
+        if (rng_.Chance(options_.constant_density)) {
+          t = Term::Int(rng_.UniformInt(0, options_.constant_domain - 1));
+          --variables_left;
+        }
+      }
+    }
+
+    std::vector<Term> head_pool = DistinctVariables(body);
+    rng_.Shuffle(&head_pool);
+    size_t width = 1 + rng_.Index(std::min(options_.max_width,
+                                           head_pool.size()));
+    head_pool.resize(width);
+    return ConjunctiveQuery::Make(name, std::move(head_pool), std::move(body));
+  }
+
+  /// One Σ-equivalence-preserving rewrite chain applied to `base`.
+  Result<std::pair<ConjunctiveQuery, std::string>> MakeVariant(
+      const ConjunctiveQuery& base, const std::string& name) {
+    ConjunctiveQuery q = base.WithName(name);
+    std::string chain;
+    size_t steps = 1 + rng_.Index(options_.max_transforms_per_variant);
+    for (size_t s = 0; s < steps; ++s) {
+      std::string applied;
+      switch (rng_.Index(4)) {
+        case 0:
+          q = RenameAndReorder(q);
+          applied = "rename";
+          break;
+        case 1:
+          applied = TryFkUnfold(&q) ? "fk-unfold" : "";
+          break;
+        case 2:
+          applied = TryFkFold(&q) ? "fk-fold" : "";
+          break;
+        case 3:
+          applied = TrySelfJoin(&q) ? "selfjoin" : "";
+          break;
+      }
+      if (applied.empty()) {  // transform inapplicable: renaming always is
+        q = RenameAndReorder(q);
+        applied = "rename";
+      }
+      chain += (chain.empty() ? "" : "+") + applied;
+    }
+    return std::make_pair(std::move(q), std::move(chain));
+  }
+
+  /// Fresh deterministic names for every variable plus a body shuffle — the
+  /// identity-up-to-isomorphism rewrite every tier must catch exactly.
+  ConjunctiveQuery RenameAndReorder(const ConjunctiveQuery& q) {
+    TermMap renaming;
+    size_t i = 0;
+    for (Term v : q.BodyVariables()) {
+      renaming.emplace(
+          v, Term::Var("W" + std::to_string(rename_epoch_) + "_" +
+                       std::to_string(i++)));
+    }
+    ++rename_epoch_;
+    ConjunctiveQuery renamed = q.Substitute(renaming);
+    std::vector<Atom> body = renamed.body();
+    rng_.Shuffle(&body);
+    return renamed.WithBody(std::move(body));
+  }
+
+  /// FK-join unfolding: src(… k …) additionally joins its FK target
+  /// dst(… k …, fresh) — the atom the chase adds when it fires the
+  /// inclusion tgd, so Q and Q+dst are Σ-equivalent under set semantics.
+  bool TryFkUnfold(ConjunctiveQuery* q) {
+    std::vector<std::pair<size_t, size_t>> sites;  // (atom index, fk index)
+    for (size_t i = 0; i < q->body().size(); ++i) {
+      for (size_t f = 0; f < tmpl_.fks.size(); ++f) {
+        if (tmpl_.fks[f].src == q->body()[i].predicate()) sites.push_back({i, f});
+      }
+    }
+    if (sites.empty()) return false;
+    auto [at, f] = sites[rng_.Index(sites.size())];
+    const ForeignKeyEdge& fk = tmpl_.fks[f];
+    std::vector<Term> args;
+    size_t arity = tmpl_.catalog.schema.ArityOf(fk.dst);
+    args.reserve(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      args.push_back(Term::Var("U" + std::to_string(rename_epoch_) + "_" +
+                               std::to_string(i)));
+    }
+    ++rename_epoch_;
+    for (size_t j = 0; j < fk.src_cols.size(); ++j) {
+      args[fk.dst_cols[j]] = q->body()[at].args()[fk.src_cols[j]];
+    }
+    std::vector<Atom> body = q->body();
+    body.emplace_back(fk.dst, std::move(args));
+    *q = q->WithBody(std::move(body));
+    return true;
+  }
+
+  /// FK-join folding — the inverse of unfolding: drop a dst atom that is
+  /// FK-implied by a src atom and whose non-referenced positions are lone
+  /// variables (they map onto the tgd's existential nulls).
+  bool TryFkFold(ConjunctiveQuery* q) {
+    std::unordered_map<Term, size_t, TermHash> counts = VariableOccurrences(*q);
+    std::vector<size_t> victims;
+    for (size_t d = 0; d < q->body().size(); ++d) {
+      const Atom& dst = q->body()[d];
+      for (const ForeignKeyEdge& fk : tmpl_.fks) {
+        if (fk.dst != dst.predicate()) continue;
+        bool extras_lone = true;
+        for (size_t p = 0; p < dst.arity(); ++p) {
+          if (std::find(fk.dst_cols.begin(), fk.dst_cols.end(), p) !=
+              fk.dst_cols.end()) {
+            continue;
+          }
+          Term t = dst.args()[p];
+          if (!t.IsVariable() || counts[t] != 1) {
+            extras_lone = false;
+            break;
+          }
+        }
+        if (!extras_lone) continue;
+        for (size_t s = 0; s < q->body().size(); ++s) {
+          if (s == d || q->body()[s].predicate() != fk.src) continue;
+          bool joined = true;
+          for (size_t j = 0; j < fk.src_cols.size(); ++j) {
+            if (q->body()[s].args()[fk.src_cols[j]] !=
+                dst.args()[fk.dst_cols[j]]) {
+              joined = false;
+              break;
+            }
+          }
+          if (joined) {
+            victims.push_back(d);
+            s = q->body().size();  // one witness suffices
+          }
+        }
+      }
+    }
+    if (victims.empty()) return false;
+    size_t victim = victims[rng_.Index(victims.size())];
+    std::vector<Atom> body = q->body();
+    body.erase(body.begin() + static_cast<ptrdiff_t>(victim));
+    if (body.empty()) return false;  // never fold the last atom away
+    *q = q->WithBody(std::move(body));
+    return true;
+  }
+
+  /// Key-implied self-join: EXPAND duplicates a keyed atom with fresh lone
+  /// variables off the key (the key egd chases the copies together), or —
+  /// when the query already contains such a redundant copy — COLLAPSE
+  /// removes it. Collapse is preferred so expand+collapse chains shrink
+  /// back instead of growing monotonically.
+  bool TrySelfJoin(ConjunctiveQuery* q) {
+    std::unordered_map<Term, size_t, TermHash> counts = VariableOccurrences(*q);
+    // Collapse: a pair (keep, drop) over the same keyed relation, equal on
+    // the key, drop's off-key positions all lone variables.
+    for (size_t drop = 0; drop < q->body().size(); ++drop) {
+      const Atom& a = q->body()[drop];
+      Result<RelationInfo> info = tmpl_.catalog.schema.GetRelation(a.predicate());
+      if (!info.ok() || info.value().declared_keys.empty()) continue;
+      const std::vector<size_t>& key = info.value().declared_keys.front();
+      bool extras_lone = true;
+      for (size_t p = 0; p < a.arity(); ++p) {
+        if (std::find(key.begin(), key.end(), p) != key.end()) continue;
+        if (!a.args()[p].IsVariable() || counts[a.args()[p]] != 1) {
+          extras_lone = false;
+          break;
+        }
+      }
+      if (!extras_lone) continue;
+      for (size_t keep = 0; keep < q->body().size(); ++keep) {
+        if (keep == drop || q->body()[keep].predicate() != a.predicate()) continue;
+        bool same_key = true;
+        for (size_t p : key) {
+          if (q->body()[keep].args()[p] != a.args()[p]) same_key = false;
+        }
+        if (!same_key) continue;
+        std::vector<Atom> body = q->body();
+        body.erase(body.begin() + static_cast<ptrdiff_t>(drop));
+        *q = q->WithBody(std::move(body));
+        return true;
+      }
+    }
+    // Expand: duplicate a keyed atom that has at least one off-key position.
+    std::vector<size_t> sites;
+    for (size_t i = 0; i < q->body().size(); ++i) {
+      Result<RelationInfo> info =
+          tmpl_.catalog.schema.GetRelation(q->body()[i].predicate());
+      if (info.ok() && !info.value().declared_keys.empty() &&
+          info.value().declared_keys.front().size() < q->body()[i].arity()) {
+        sites.push_back(i);
+      }
+    }
+    if (sites.empty()) return false;
+    size_t at = sites[rng_.Index(sites.size())];
+    const Atom& a = q->body()[at];
+    const std::vector<size_t> key =
+        tmpl_.catalog.schema.GetRelation(a.predicate()).value()
+            .declared_keys.front();
+    std::vector<Term> args = a.args();
+    for (size_t p = 0; p < args.size(); ++p) {
+      if (std::find(key.begin(), key.end(), p) == key.end()) {
+        args[p] = Term::Var("K" + std::to_string(rename_epoch_) + "_" +
+                            std::to_string(p));
+      }
+    }
+    ++rename_epoch_;
+    std::vector<Atom> body = q->body();
+    body.emplace_back(a.predicate(), std::move(args));
+    *q = q->WithBody(std::move(body));
+    return true;
+  }
+
+  const WorkloadOptions& options_;
+  SchemaTemplate tmpl_;
+  Rng rng_;
+  std::vector<std::string> relations_;
+  /// Satisfiability screen for generated bases (see Unsatisfiable()).
+  std::unique_ptr<ChasePlan> plan_;
+  /// Monotone epoch making every rename/unfold/expand variable family
+  /// distinct without consulting the process-global fresh counter.
+  size_t rename_epoch_ = 0;
+};
+
+}  // namespace
+
+double Workload::GroundTruthHitRate() const {
+  if (queries.empty()) return 0.0;
+  size_t variants = 0;
+  for (const WorkloadQuery& q : queries) {
+    if (q.is_variant) ++variants;
+  }
+  return static_cast<double>(variants) / static_cast<double>(queries.size());
+}
+
+Result<Workload> GenerateWorkload(const WorkloadOptions& options) {
+  if (options.num_queries == 0) {
+    return Status::InvalidArgument("workload needs at least one query");
+  }
+  if (options.overlap_rate < 0.0 || options.overlap_rate > 1.0) {
+    return Status::InvalidArgument("overlap_rate must be in [0, 1]");
+  }
+  if (options.constant_density < 0.0 || options.constant_density > 1.0) {
+    return Status::InvalidArgument("constant_density must be in [0, 1]");
+  }
+  if (options.min_join_depth == 0 ||
+      options.min_join_depth > options.max_join_depth) {
+    return Status::InvalidArgument(
+        "join depth bounds must satisfy 1 <= min <= max");
+  }
+  if (options.max_width == 0) {
+    return Status::InvalidArgument("max_width must be at least 1");
+  }
+  if (options.constant_domain <= 0) {
+    return Status::InvalidArgument("constant_domain must be positive");
+  }
+  SQLEQ_ASSIGN_OR_RETURN(SchemaTemplate tmpl,
+                         MakeSchemaTemplate(options.schema_template));
+  return Generator(options, std::move(tmpl)).Run();
+}
+
+}  // namespace workload
+}  // namespace sqleq

@@ -1,0 +1,96 @@
+// Deterministic, seed-driven CQ workload synthesis over a schema template
+// (docs/workload.md). Two query populations interleave:
+//
+//  - base queries: random FK-join walks over the template's FK graph —
+//    atoms joined on FK columns, optional constants on free positions,
+//    heads drawn from the body variables;
+//  - variants: with probability `overlap_rate`, the next query is instead a
+//    Σ-equivalent rewrite of an earlier BASE query, produced by composing
+//    equivalence-preserving transforms (variable renaming, atom
+//    reordering, FK-join folding/unfolding, key-implied self-join
+//    expansion/collapse).
+//
+// Every query carries the index of its base class, so the Σ-equivalence
+// structure of the corpus — and therefore the ideal semantic-cache hit
+// rate — is known BY CONSTRUCTION: a fresh cache replay should hit exactly
+// on the variants (their base was admitted earlier) and miss on first-seen
+// bases. Base queries are deduplicated by canonical key at generation time
+// so accidental isomorphic collisions cannot inflate the measured rate.
+//
+// All transforms preserve Σ-equivalence under SET semantics (the chase
+// adds exactly the atoms unfold/expand introduce; fold/collapse remove
+// chase-redundant atoms), so generated workloads are set-semantics
+// corpora. Determinism: a (template, options) pair with the same seed
+// yields byte-identical queries on every platform — std::mt19937_64
+// through util/rng.h, no iteration-order dependence.
+#ifndef SQLEQ_WORKLOAD_GENERATOR_H_
+#define SQLEQ_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/query.h"
+#include "util/status.h"
+#include "workload/schema_templates.h"
+
+namespace sqleq {
+namespace workload {
+
+struct WorkloadOptions {
+  /// A name MakeSchemaTemplate accepts: "warehouse", "tpch", or "job".
+  std::string schema_template = "warehouse";
+  uint64_t seed = 1;
+  size_t num_queries = 100;
+  /// Fraction of queries generated as Σ-equivalent variants of earlier base
+  /// queries, in [0, 1]. The first query is always a base.
+  double overlap_rate = 0.5;
+  /// Body atoms of a base query are drawn uniformly from [min, max].
+  size_t min_join_depth = 1;
+  size_t max_join_depth = 4;
+  /// Head arity is drawn uniformly from [1, max_width] (clamped to the
+  /// number of body variables).
+  size_t max_width = 3;
+  /// Probability that a non-join body position binds an integer constant
+  /// instead of a fresh variable.
+  double constant_density = 0.25;
+  /// Distinct integer constants the generator draws from. Small domains
+  /// create constant-heavy queries that differ only in constant values —
+  /// the exact shape the signature property tests guard.
+  int constant_domain = 16;
+  /// Transforms composed per variant, drawn uniformly from [1, max].
+  size_t max_transforms_per_variant = 2;
+};
+
+struct WorkloadQuery {
+  ConjunctiveQuery query;
+  /// Ground-truth Σ-equivalence class: the index (into Workload::queries)
+  /// of the base query this one is equivalent to. Bases point at
+  /// themselves.
+  size_t class_id = 0;
+  /// True when the query was generated as a variant of an earlier base.
+  bool is_variant = false;
+  /// "base" or the '+'-joined transform chain ("rename+fk-unfold", ...).
+  std::string transform;
+};
+
+struct Workload {
+  SchemaTemplate schema;
+  std::vector<WorkloadQuery> queries;
+  /// Number of distinct base queries (= ground-truth equivalence classes).
+  size_t num_classes = 0;
+
+  /// The hit rate an ideal semantic cache achieves on a cold replay in
+  /// generation order: variants hit (their base is already admitted),
+  /// first-seen bases miss. Equals variants / total.
+  double GroundTruthHitRate() const;
+};
+
+/// Generates the workload. Fails on an unknown template, overlap/density
+/// outside [0, 1], zero queries, or min_join_depth > max_join_depth.
+Result<Workload> GenerateWorkload(const WorkloadOptions& options);
+
+}  // namespace workload
+}  // namespace sqleq
+
+#endif  // SQLEQ_WORKLOAD_GENERATOR_H_

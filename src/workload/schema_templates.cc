@@ -1,0 +1,140 @@
+#include "workload/schema_templates.h"
+
+#include <utility>
+
+#include "constraints/builders.h"
+
+namespace sqleq {
+namespace workload {
+namespace {
+
+/// Accumulates relations, keys, and FK edges, then compiles Σ: key egds
+/// from the declared keys (KeyEgdsFromSchema) followed by one inclusion tgd
+/// per FK edge (MakeForeignKey), labelled "fk_<src>_<dst>".
+class TemplateBuilder {
+ public:
+  explicit TemplateBuilder(std::string name) { out_.name = std::move(name); }
+
+  /// Keyed relations are set valued in all instances (the SQL-standard
+  /// PRIMARY KEY reading the paper adopts, §1).
+  TemplateBuilder& Rel(const std::string& name, size_t arity,
+                       std::vector<size_t> key = {}) {
+    out_.catalog.schema.Relation(name, arity, /*set_valued=*/!key.empty());
+    if (!key.empty()) {
+      Status s = out_.catalog.schema.DeclareKey(name, std::move(key));
+      if (status_.ok() && !s.ok()) status_ = std::move(s);
+    }
+    return *this;
+  }
+
+  TemplateBuilder& Fk(const std::string& src, std::vector<size_t> src_cols,
+                      const std::string& dst, std::vector<size_t> dst_cols) {
+    out_.fks.push_back({src, std::move(src_cols), dst, std::move(dst_cols)});
+    return *this;
+  }
+
+  Result<SchemaTemplate> Build() {
+    SQLEQ_RETURN_IF_ERROR(status_);
+    SQLEQ_ASSIGN_OR_RETURN(DependencySet keys,
+                           KeyEgdsFromSchema(out_.catalog.schema));
+    out_.catalog.sigma = std::move(keys);
+    for (const ForeignKeyEdge& fk : out_.fks) {
+      SQLEQ_ASSIGN_OR_RETURN(
+          Dependency dep,
+          MakeForeignKey(fk.src, out_.catalog.schema.ArityOf(fk.src),
+                         fk.src_cols, fk.dst,
+                         out_.catalog.schema.ArityOf(fk.dst), fk.dst_cols,
+                         "fk_" + fk.src + "_" + fk.dst));
+      out_.catalog.sigma.push_back(std::move(dep));
+    }
+    return std::move(out_);
+  }
+
+ private:
+  SchemaTemplate out_;
+  Status status_ = Status::OK();
+};
+
+/// TPC-H's snowflake, attribute lists trimmed to the join-relevant columns
+/// (key columns first, FK columns next, one or two payload columns).
+Result<SchemaTemplate> MakeTpch() {
+  TemplateBuilder b("tpch");
+  b.Rel("region", 2, {0})                    // (regionkey, name)
+      .Rel("nation", 3, {0})                 // (nationkey, regionkey, name)
+      .Rel("supplier", 3, {0})               // (suppkey, nationkey, acctbal)
+      .Rel("customer", 3, {0})               // (custkey, nationkey, mktsegment)
+      .Rel("part", 3, {0})                   // (partkey, brand, size)
+      .Rel("partsupp", 4, {0, 1})            // (partkey, suppkey, qty, cost)
+      .Rel("orders", 4, {0})                 // (orderkey, custkey, status, prio)
+      .Rel("lineitem", 5, {0, 1});           // (orderkey, linenum, partkey,
+                                             //  suppkey, qty)
+  b.Fk("nation", {1}, "region", {0})
+      .Fk("supplier", {1}, "nation", {0})
+      .Fk("customer", {1}, "nation", {0})
+      .Fk("partsupp", {0}, "part", {0})
+      .Fk("partsupp", {1}, "supplier", {0})
+      .Fk("orders", {1}, "customer", {0})
+      .Fk("lineitem", {0}, "orders", {0})
+      .Fk("lineitem", {2, 3}, "partsupp", {0, 1});
+  return b.Build();
+}
+
+/// A JOB/IMDB-shaped join graph: fact-ish link tables (cast_info,
+/// movie_companies, movie_keyword) fanning out to entity tables.
+Result<SchemaTemplate> MakeJob() {
+  TemplateBuilder b("job");
+  b.Rel("title", 3, {0})                     // (movie_id, kind, year)
+      .Rel("name", 2, {0})                   // (person_id, gender)
+      .Rel("company", 2, {0})                // (company_id, country)
+      .Rel("keyword", 2, {0})                // (keyword_id, phrase)
+      .Rel("cast_info", 4, {0})              // (ci_id, person_id, movie_id, role)
+      .Rel("movie_companies", 3)             // (movie_id, company_id, note)
+      .Rel("movie_keyword", 2);              // (movie_id, keyword_id)
+  b.Fk("cast_info", {1}, "name", {0})
+      .Fk("cast_info", {2}, "title", {0})
+      .Fk("movie_companies", {0}, "title", {0})
+      .Fk("movie_companies", {1}, "company", {0})
+      .Fk("movie_keyword", {0}, "title", {0})
+      .Fk("movie_keyword", {1}, "keyword", {0});
+  return b.Build();
+}
+
+/// A star-schema warehouse: one fact keyed on its first column, four
+/// dimensions, one FK per dimension — the smallest template, and the
+/// default for smoke runs.
+Result<SchemaTemplate> MakeWarehouse() {
+  TemplateBuilder b("warehouse");
+  b.Rel("fact", 6, {0})                      // (id, d1, d2, d3, d4, measure)
+      .Rel("dim_time", 2, {0})
+      .Rel("dim_cust", 3, {0})
+      .Rel("dim_prod", 3, {0})
+      .Rel("dim_geo", 2, {0});
+  b.Fk("fact", {1}, "dim_time", {0})
+      .Fk("fact", {2}, "dim_cust", {0})
+      .Fk("fact", {3}, "dim_prod", {0})
+      .Fk("fact", {4}, "dim_geo", {0});
+  return b.Build();
+}
+
+}  // namespace
+
+std::vector<std::string> KnownSchemaTemplates() {
+  return {"warehouse", "tpch", "job"};
+}
+
+Result<SchemaTemplate> MakeSchemaTemplate(std::string_view name) {
+  if (name == "tpch") return MakeTpch();
+  if (name == "job") return MakeJob();
+  if (name == "warehouse") return MakeWarehouse();
+  std::string known;
+  for (const std::string& t : KnownSchemaTemplates()) {
+    if (!known.empty()) known += ", ";
+    known += t;
+  }
+  return Status::InvalidArgument("unknown schema template '" +
+                                 std::string(name) + "' (known: " + known +
+                                 ")");
+}
+
+}  // namespace workload
+}  // namespace sqleq

@@ -1,0 +1,55 @@
+// Workload schema templates (docs/workload.md): realistically shaped
+// catalogs whose declared PRIMARY KEYs and FOREIGN KEYs are compiled into
+// Σ through constraints/builders — exactly what a production catalog hands
+// the semantic cache. Three families ship:
+//
+//   tpch       — the TPC-H order/lineitem snowflake (8 relations),
+//   job        — an IMDB/JOB-style movie join graph (7 relations),
+//   warehouse  — a star-schema fact table over four dimensions.
+//
+// Every template's FK graph is acyclic and every FK target is a key, so Σ
+// is weakly acyclic and the chase carries a termination certificate — the
+// decidable regime the paper's headline theorems live in (Thm 5.2).
+#ifndef SQLEQ_WORKLOAD_SCHEMA_TEMPLATES_H_
+#define SQLEQ_WORKLOAD_SCHEMA_TEMPLATES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/translate.h"
+#include "util/status.h"
+
+namespace sqleq {
+namespace workload {
+
+/// One FOREIGN KEY edge of a template, in structured form. The same edge is
+/// compiled into Σ as an inclusion tgd; the generator additionally walks
+/// these edges to synthesize FK-join queries and to apply the fold/unfold
+/// equivalence transforms, which need the column lists, not the tgd.
+struct ForeignKeyEdge {
+  std::string src;
+  std::vector<size_t> src_cols;
+  std::string dst;
+  std::vector<size_t> dst_cols;
+};
+
+/// A named schema template: the compiled catalog (schema + Σ) plus the
+/// structured FK graph it was compiled from.
+struct SchemaTemplate {
+  std::string name;
+  sql::Catalog catalog;
+  std::vector<ForeignKeyEdge> fks;
+};
+
+/// The template names MakeSchemaTemplate accepts, in display order.
+std::vector<std::string> KnownSchemaTemplates();
+
+/// Builds the named template. Deterministic — two calls return catalogs
+/// with identical schemas and identical Σ (labels included).
+Result<SchemaTemplate> MakeSchemaTemplate(std::string_view name);
+
+}  // namespace workload
+}  // namespace sqleq
+
+#endif  // SQLEQ_WORKLOAD_SCHEMA_TEMPLATES_H_

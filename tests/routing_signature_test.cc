@@ -1,0 +1,89 @@
+// Regression property test for CanonicalRequestSignature on constant-heavy
+// queries (service/routing.h): the canonicalization that makes renamed /
+// reordered queries share a shard must never identify two queries that
+// differ only in constant *values* — that would route inequivalent checks
+// to one warm memo key and, worse, collide their cache identities.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "service/protocol.h"
+#include "service/routing.h"
+#include "test_util.h"
+
+namespace sqleq {
+namespace service {
+namespace {
+
+using ::sqleq::testing::Unwrap;
+
+std::string SignatureOf(const std::string& line) {
+  Request request = Unwrap(ParseRequest(line));
+  return CanonicalRequestSignature(request.cmd, request.body);
+}
+
+std::string CheckLine(const std::string& q1, const std::string& q2) {
+  return std::string(R"({"cmd":"check","q1":")") + q1 + R"(","q2":")" + q2 +
+         R"(","semantics":"set"})";
+}
+
+/// Sweep constant values through every body position of a fixed shape: all
+/// signatures must be pairwise distinct, and distinct from the all-variable
+/// query of the same shape.
+TEST(RoutingSignature, ConstantValuesNeverCollide) {
+  const std::string all_vars = "Q(X) :- r(X, Y, Z), s(Y, W).";
+  std::set<std::string> seen;
+  seen.insert(SignatureOf(CheckLine(all_vars, all_vars)));
+  for (int position = 0; position < 2; ++position) {
+    for (int value = 0; value < 25; ++value) {
+      std::string q =
+          position == 0
+              ? "Q(X) :- r(X, Y, " + std::to_string(value) + "), s(Y, W)."
+              : "Q(X) :- r(X, Y, Z), s(Y, " + std::to_string(value) + ").";
+      EXPECT_TRUE(seen.insert(SignatureOf(CheckLine(q, q))).second)
+          << "signature collision for constant " << value << " at position "
+          << position;
+    }
+  }
+}
+
+/// Multiple constants in one query: permuting which value sits at which
+/// position must change the signature (values are tied to positions, not
+/// pooled into a bag).
+TEST(RoutingSignature, ConstantPositionsAreDistinguished) {
+  std::string a = SignatureOf(
+      CheckLine("Q(X) :- r(X, 1, 2).", "Q(X) :- r(X, 1, 2)."));
+  std::string b = SignatureOf(
+      CheckLine("Q(X) :- r(X, 2, 1).", "Q(X) :- r(X, 2, 1)."));
+  EXPECT_NE(a, b);
+}
+
+/// The flip side: canonicalization must still hold with constants present —
+/// renaming variables and reordering atoms around the constants does not
+/// change the signature.
+TEST(RoutingSignature, RenamingInvariantWithConstants) {
+  std::string a = SignatureOf(
+      CheckLine("Q(X) :- r(X, Y, 7), s(Y, 3).", "Q(X) :- r(X, Y, 7)."));
+  std::string b = SignatureOf(
+      CheckLine("Q(A) :- s(B, 3), r(A, B, 7).", "Q(A) :- r(A, B, 7)."));
+  EXPECT_EQ(a, b);
+  // And the q1/q2 symmetrization still applies.
+  std::string swapped = SignatureOf(
+      CheckLine("Q(X) :- r(X, Y, 7).", "Q(X) :- r(X, Y, 7), s(Y, 3)."));
+  EXPECT_EQ(a, swapped);
+}
+
+/// A constant must never be confused with a variable occupying the same
+/// position.
+TEST(RoutingSignature, ConstantVersusVariableDiffer) {
+  std::string constant = SignatureOf(
+      CheckLine("Q(X) :- r(X, 0).", "Q(X) :- r(X, 0)."));
+  std::string variable = SignatureOf(
+      CheckLine("Q(X) :- r(X, Y).", "Q(X) :- r(X, Y)."));
+  EXPECT_NE(constant, variable);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace sqleq

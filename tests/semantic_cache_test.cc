@@ -1,0 +1,174 @@
+// SemanticCache (src/cache): exact-tier hits on canonical-key matches,
+// semantic-tier hits on Σ-equivalent variants, misses on inequivalent
+// queries, bucket-key invariance under the workload transforms, and the
+// memo-stability regression — replayed equivalents must not grow the chase
+// memo (a semantic hit may never insert a duplicate memo entry under a
+// different slice-signature key).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cache/semantic_cache.h"
+#include "equivalence/engine.h"
+#include "test_util.h"
+#include "workload/generator.h"
+#include "workload/schema_templates.h"
+
+namespace sqleq {
+namespace cache {
+namespace {
+
+using ::sqleq::testing::Q;
+using ::sqleq::testing::Unwrap;
+
+workload::SchemaTemplate Warehouse() {
+  return Unwrap(workload::MakeSchemaTemplate("warehouse"));
+}
+
+TEST(SemanticCache, ExactTierHitOnRenamedReorderedQuery) {
+  workload::SchemaTemplate tmpl = Warehouse();
+  SemanticCache cache(tmpl.catalog.sigma, tmpl.catalog.schema);
+  ConjunctiveQuery q1 =
+      Q("Q(X) :- fact(X, T, C, P, G, M), dim_time(T, D).");
+  // Same query modulo variable names and atom order.
+  ConjunctiveQuery q2 =
+      Q("Q(A) :- dim_time(B, E), fact(A, B, C2, P2, G2, M2).");
+  cache.Admit(q1, "plan-1");
+  SemanticCache::Lookup hit = Unwrap(cache.Get(q2));
+  EXPECT_EQ(hit.tier, SemanticCache::Tier::kExact);
+  EXPECT_EQ(hit.payload, "plan-1");
+  SemanticCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.exact_hits, 1u);
+  EXPECT_EQ(stats.confirms, 0u) << "exact tier must not consult the engine";
+}
+
+TEST(SemanticCache, SemanticTierHitOnFkUnfoldedVariant) {
+  workload::SchemaTemplate tmpl = Warehouse();
+  SemanticCache cache(tmpl.catalog.sigma, tmpl.catalog.schema);
+  ConjunctiveQuery base = Q("Q(X, T) :- fact(X, T, C, P, G, M).");
+  // FK fact.1 -> dim_time.0 makes the extra dim_time atom redundant.
+  ConjunctiveQuery unfolded =
+      Q("Q(X, T) :- fact(X, T, C, P, G, M), dim_time(T, D).");
+  cache.Admit(base, "plan-base");
+  SemanticCache::Lookup hit = Unwrap(cache.Get(unfolded));
+  EXPECT_EQ(hit.tier, SemanticCache::Tier::kSemantic);
+  EXPECT_EQ(hit.payload, "plan-base");
+  SemanticCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.semantic_hits, 1u);
+  EXPECT_GE(stats.confirms, 1u) << "semantic tier must confirm via engine";
+}
+
+TEST(SemanticCache, MissOnInequivalentQuery) {
+  workload::SchemaTemplate tmpl = Warehouse();
+  SemanticCache cache(tmpl.catalog.sigma, tmpl.catalog.schema);
+  cache.Admit(Q("Q(X) :- fact(X, T, C, P, G, M)."), "plan-base");
+  // Different constant selection: inequivalent, must miss.
+  SemanticCache::Lookup miss =
+      Unwrap(cache.Get(Q("Q(X) :- fact(X, T, 3, P, G, M).")));
+  EXPECT_EQ(miss.tier, SemanticCache::Tier::kMiss);
+  // Head projects a different column: inequivalent, must miss.
+  miss = Unwrap(cache.Get(Q("Q(T) :- fact(X, T, C, P, G, M).")));
+  EXPECT_EQ(miss.tier, SemanticCache::Tier::kMiss);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(SemanticCache, EmptyCacheMissesWithoutConfirms) {
+  workload::SchemaTemplate tmpl = Warehouse();
+  SemanticCache cache(tmpl.catalog.sigma, tmpl.catalog.schema);
+  SemanticCache::Lookup miss =
+      Unwrap(cache.Get(Q("Q(X) :- fact(X, T, C, P, G, M).")));
+  EXPECT_EQ(miss.tier, SemanticCache::Tier::kMiss);
+  EXPECT_EQ(cache.stats().confirms, 0u);
+}
+
+TEST(SemanticCache, AdmitDedupesOnCanonicalKey) {
+  workload::SchemaTemplate tmpl = Warehouse();
+  SemanticCache cache(tmpl.catalog.sigma, tmpl.catalog.schema);
+  cache.Admit(Q("Q(X) :- fact(X, T, C, P, G, M)."), "first");
+  cache.Admit(Q("Q(A) :- fact(A, B, C2, D2, E2, F2)."), "second");
+  EXPECT_EQ(cache.stats().entries, 1u);
+  SemanticCache::Lookup hit =
+      Unwrap(cache.Get(Q("Q(X) :- fact(X, T, C, P, G, M).")));
+  EXPECT_EQ(hit.tier, SemanticCache::Tier::kExact);
+  EXPECT_EQ(hit.payload, "first") << "first admit wins on the same key";
+}
+
+/// Bucket keys must be invariant under every transform the generator
+/// applies, or semantic-tier candidates are never even considered.
+TEST(SemanticCache, BucketKeyInvariantUnderWorkloadTransforms) {
+  for (const std::string& name : workload::KnownSchemaTemplates()) {
+    workload::WorkloadOptions options;
+    options.schema_template = name;
+    options.seed = 5;
+    options.num_queries = 30;
+    options.overlap_rate = 0.7;
+    workload::Workload w = Unwrap(workload::GenerateWorkload(options));
+    SemanticCache cache(w.schema.catalog.sigma, w.schema.catalog.schema);
+    for (const workload::WorkloadQuery& wq : w.queries) {
+      if (!wq.is_variant) continue;
+      EXPECT_EQ(cache.BucketKey(wq.query),
+                cache.BucketKey(w.queries[wq.class_id].query))
+          << name << " transform '" << wq.transform
+          << "': " << wq.query.ToString();
+    }
+  }
+}
+
+/// Replay of a generated corpus: the measured hit rate must land exactly on
+/// the generator's ground truth (every variant hits, every base misses) for
+/// this fixed seed.
+TEST(SemanticCache, ReplayRecoversGroundTruthHitRate) {
+  workload::WorkloadOptions options;
+  options.seed = 9;
+  options.num_queries = 40;
+  options.overlap_rate = 0.5;
+  workload::Workload w = Unwrap(workload::GenerateWorkload(options));
+  SemanticCache cache(w.schema.catalog.sigma, w.schema.catalog.schema);
+  for (const workload::WorkloadQuery& wq : w.queries) {
+    SemanticCache::Lookup hit = Unwrap(cache.Get(wq.query));
+    if (wq.is_variant) {
+      EXPECT_NE(hit.tier, SemanticCache::Tier::kMiss)
+          << "variant missed: " << wq.query.ToString() << " (transform "
+          << wq.transform << ")";
+    }
+    if (hit.tier == SemanticCache::Tier::kMiss) {
+      cache.Admit(wq.query, wq.query.name());
+    }
+  }
+  EXPECT_NEAR(cache.stats().HitRate(), w.GroundTruthHitRate(), 1e-9);
+}
+
+/// Regression (memo stability): once a corpus has been replayed, looking the
+/// same Σ-equivalent variants up again must be answered from warm state —
+/// the engine's chase memo must not grow, i.e. a semantic-cache hit never
+/// inserts a duplicate memo entry under a different slice-signature key.
+TEST(SemanticCache, ReplayedEquivalentsDoNotGrowChaseMemo) {
+  workload::WorkloadOptions options;
+  options.seed = 13;
+  options.num_queries = 30;
+  options.overlap_rate = 0.6;
+  workload::Workload w = Unwrap(workload::GenerateWorkload(options));
+  SemanticCache cache(w.schema.catalog.sigma, w.schema.catalog.schema);
+  for (const workload::WorkloadQuery& wq : w.queries) {
+    SemanticCache::Lookup hit = Unwrap(cache.Get(wq.query));
+    if (hit.tier == SemanticCache::Tier::kMiss) {
+      cache.Admit(wq.query, wq.query.name());
+    }
+  }
+  const EquivalenceEngine::CacheStats before = cache.engine().cache_stats();
+  // Replay every variant a second time: all warm, all already chased.
+  for (const workload::WorkloadQuery& wq : w.queries) {
+    if (!wq.is_variant) continue;
+    SemanticCache::Lookup hit = Unwrap(cache.Get(wq.query));
+    EXPECT_NE(hit.tier, SemanticCache::Tier::kMiss);
+  }
+  const EquivalenceEngine::CacheStats after = cache.engine().cache_stats();
+  EXPECT_EQ(after.entries, before.entries)
+      << "replayed equivalents inserted duplicate chase-memo entries";
+  EXPECT_EQ(after.misses, before.misses)
+      << "replayed equivalents re-chased instead of hitting the memo";
+}
+
+}  // namespace
+}  // namespace cache
+}  // namespace sqleq

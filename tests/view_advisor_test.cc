@@ -1,0 +1,119 @@
+// ViewAdvisor (src/cache/view_advisor.h): clustering partitions the
+// workload by Σ-equivalence, and — the acceptance property — every advised
+// rewrite is engine-validated kEquivalent to EVERY member of its cluster,
+// across seeds and all three schema templates.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cache/view_advisor.h"
+#include "equivalence/engine.h"
+#include "test_util.h"
+#include "workload/generator.h"
+#include "workload/schema_templates.h"
+
+namespace sqleq {
+namespace cache {
+namespace {
+
+using ::sqleq::testing::Q;
+using ::sqleq::testing::Unwrap;
+
+std::vector<ConjunctiveQuery> Queries(const workload::Workload& w) {
+  std::vector<ConjunctiveQuery> out;
+  out.reserve(w.queries.size());
+  for (const workload::WorkloadQuery& wq : w.queries) out.push_back(wq.query);
+  return out;
+}
+
+TEST(ViewAdvisor, EmptyWorkload) {
+  workload::SchemaTemplate tmpl =
+      Unwrap(workload::MakeSchemaTemplate("warehouse"));
+  ViewAdvice advice = Unwrap(
+      AdviseViews({}, tmpl.catalog.sigma, tmpl.catalog.schema));
+  EXPECT_TRUE(advice.clusters.empty());
+  EXPECT_EQ(advice.queries_clustered, 0u);
+}
+
+TEST(ViewAdvisor, ClustersPartitionTheWorkload) {
+  workload::WorkloadOptions options;
+  options.seed = 3;
+  options.num_queries = 24;
+  options.overlap_rate = 0.6;
+  workload::Workload w = Unwrap(workload::GenerateWorkload(options));
+  ViewAdvice advice = Unwrap(AdviseViews(Queries(w), w.schema.catalog.sigma,
+                                         w.schema.catalog.schema));
+  EXPECT_EQ(advice.queries_clustered, w.queries.size());
+  std::set<size_t> seen;
+  for (const ViewAdvice::Cluster& c : advice.clusters) {
+    ASSERT_FALSE(c.members.empty());
+    for (size_t m : c.members) {
+      EXPECT_LT(m, w.queries.size());
+      EXPECT_TRUE(seen.insert(m).second)
+          << "query " << m << " appears in two clusters";
+    }
+  }
+  EXPECT_EQ(seen.size(), w.queries.size());
+  // The generator's classes give a lower bound on cluster granularity:
+  // clustering may merge generator classes that happen to coincide, but it
+  // must never split one (all members of a generated class are equivalent).
+  EXPECT_LE(advice.clusters.size(), w.num_classes);
+}
+
+TEST(ViewAdvisor, FoldsRedundantDimensionJoin) {
+  workload::SchemaTemplate tmpl =
+      Unwrap(workload::MakeSchemaTemplate("warehouse"));
+  // Two equivalent spellings of the same query: the second carries a
+  // dim_time join the FK makes redundant. The advised rewrite must be
+  // Σ-equivalent to both, and C&B should shed the redundant atom.
+  std::vector<ConjunctiveQuery> queries = {
+      Q("Q(X, T) :- fact(X, T, C, P, G, M)."),
+      Q("Q(X, T) :- fact(X, T, C, P, G, M), dim_time(T, D)."),
+  };
+  ViewAdvice advice = Unwrap(
+      AdviseViews(queries, tmpl.catalog.sigma, tmpl.catalog.schema));
+  ASSERT_EQ(advice.clusters.size(), 1u);
+  const ViewAdvice::Cluster& c = advice.clusters[0];
+  EXPECT_EQ(c.members, (std::vector<size_t>{0, 1}));
+  EXPECT_TRUE(c.rewritten);
+  EXPECT_EQ(c.rewrite.body().size(), 1u)
+      << "C&B kept the redundant dim join: " << c.rewrite.ToString();
+  EXPECT_GE(c.ProjectedSaving(), 0.0);
+}
+
+/// Acceptance property: for seeds × all templates, every advised rewrite is
+/// engine-validated kEquivalent to every member of its cluster.
+TEST(ViewAdvisor, RewritesAreEquivalentToEveryClusterMember) {
+  for (const std::string& tmpl : workload::KnownSchemaTemplates()) {
+    for (uint64_t seed : {2u, 8u}) {
+      workload::WorkloadOptions options;
+      options.schema_template = tmpl;
+      options.seed = seed;
+      options.num_queries = 15;
+      options.overlap_rate = 0.6;
+      workload::Workload w = Unwrap(workload::GenerateWorkload(options));
+      std::vector<ConjunctiveQuery> queries = Queries(w);
+      ViewAdvice advice = Unwrap(AdviseViews(queries, w.schema.catalog.sigma,
+                                             w.schema.catalog.schema));
+      EquivalenceEngine engine;
+      EquivRequest request(Semantics::kSet, w.schema.catalog.sigma,
+                           w.schema.catalog.schema);
+      for (const ViewAdvice::Cluster& c : advice.clusters) {
+        for (size_t m : c.members) {
+          EquivVerdict v =
+              Unwrap(engine.Equivalent(c.rewrite, queries[m], request));
+          EXPECT_EQ(v.verdict, Verdict::kEquivalent)
+              << tmpl << " seed " << seed << ": rewrite "
+              << c.rewrite.ToString() << " not equivalent to member " << m
+              << ": " << queries[m].ToString();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cache
+}  // namespace sqleq

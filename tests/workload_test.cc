@@ -1,0 +1,166 @@
+// Workload corpus generator (src/workload): template compilation,
+// seed-determinism, ground-truth bookkeeping, and the central soundness
+// property — every generated variant is Σ-equivalent to its base under set
+// semantics, across seeds and every schema template.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chase/chase_cache.h"
+#include "equivalence/engine.h"
+#include "test_util.h"
+#include "workload/generator.h"
+#include "workload/schema_templates.h"
+
+namespace sqleq {
+namespace workload {
+namespace {
+
+using ::sqleq::testing::Unwrap;
+
+TEST(SchemaTemplates, AllKnownTemplatesBuild) {
+  for (const std::string& name : KnownSchemaTemplates()) {
+    SchemaTemplate tmpl = Unwrap(MakeSchemaTemplate(name));
+    EXPECT_EQ(tmpl.name, name);
+    EXPECT_FALSE(tmpl.catalog.schema.RelationNames().empty()) << name;
+    EXPECT_FALSE(tmpl.catalog.sigma.empty()) << name;
+    EXPECT_FALSE(tmpl.fks.empty()) << name;
+    // FK edges must reference declared relations with in-range columns.
+    for (const ForeignKeyEdge& fk : tmpl.fks) {
+      ASSERT_EQ(fk.src_cols.size(), fk.dst_cols.size());
+      size_t src_arity = tmpl.catalog.schema.ArityOf(fk.src);
+      size_t dst_arity = tmpl.catalog.schema.ArityOf(fk.dst);
+      ASSERT_GT(src_arity, 0u) << name << " fk src " << fk.src;
+      ASSERT_GT(dst_arity, 0u) << name << " fk dst " << fk.dst;
+      for (size_t c : fk.src_cols) EXPECT_LT(c, src_arity);
+      for (size_t c : fk.dst_cols) EXPECT_LT(c, dst_arity);
+    }
+  }
+}
+
+TEST(SchemaTemplates, UnknownTemplateIsRejected) {
+  EXPECT_FALSE(MakeSchemaTemplate("no_such_template").ok());
+}
+
+TEST(SchemaTemplates, BuildIsDeterministic) {
+  SchemaTemplate a = Unwrap(MakeSchemaTemplate("tpch"));
+  SchemaTemplate b = Unwrap(MakeSchemaTemplate("tpch"));
+  ASSERT_EQ(a.catalog.sigma.size(), b.catalog.sigma.size());
+  for (size_t i = 0; i < a.catalog.sigma.size(); ++i) {
+    EXPECT_EQ(a.catalog.sigma[i].ToString(), b.catalog.sigma[i].ToString());
+  }
+}
+
+TEST(WorkloadGenerator, RejectsBadOptions) {
+  WorkloadOptions options;
+  options.num_queries = 0;
+  EXPECT_FALSE(GenerateWorkload(options).ok());
+  options = WorkloadOptions();
+  options.overlap_rate = 1.5;
+  EXPECT_FALSE(GenerateWorkload(options).ok());
+  options = WorkloadOptions();
+  options.min_join_depth = 3;
+  options.max_join_depth = 2;
+  EXPECT_FALSE(GenerateWorkload(options).ok());
+  options = WorkloadOptions();
+  options.schema_template = "bogus";
+  EXPECT_FALSE(GenerateWorkload(options).ok());
+}
+
+TEST(WorkloadGenerator, SeedDeterminism) {
+  WorkloadOptions options;
+  options.num_queries = 30;
+  options.seed = 42;
+  Workload a = Unwrap(GenerateWorkload(options));
+  Workload b = Unwrap(GenerateWorkload(options));
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].query.ToString(), b.queries[i].query.ToString());
+    EXPECT_EQ(a.queries[i].class_id, b.queries[i].class_id);
+    EXPECT_EQ(a.queries[i].transform, b.queries[i].transform);
+  }
+  options.seed = 43;
+  Workload c = Unwrap(GenerateWorkload(options));
+  bool any_differ = false;
+  for (size_t i = 0; i < a.queries.size() && i < c.queries.size(); ++i) {
+    if (a.queries[i].query.ToString() != c.queries[i].query.ToString()) {
+      any_differ = true;
+    }
+  }
+  EXPECT_TRUE(any_differ) << "different seeds produced an identical corpus";
+}
+
+TEST(WorkloadGenerator, GroundTruthBookkeeping) {
+  WorkloadOptions options;
+  options.num_queries = 50;
+  options.overlap_rate = 0.5;
+  options.seed = 7;
+  Workload w = Unwrap(GenerateWorkload(options));
+  ASSERT_EQ(w.queries.size(), 50u);
+  EXPECT_FALSE(w.queries[0].is_variant) << "first query must be a base";
+  size_t variants = 0;
+  for (const WorkloadQuery& wq : w.queries) {
+    if (wq.is_variant) {
+      ++variants;
+      EXPECT_LT(wq.class_id, w.queries.size());
+      EXPECT_FALSE(w.queries[wq.class_id].is_variant)
+          << "class_id must point at a base";
+      EXPECT_NE(wq.transform, "base");
+    } else {
+      EXPECT_EQ(wq.class_id, static_cast<size_t>(&wq - w.queries.data()));
+      EXPECT_EQ(wq.transform, "base");
+    }
+  }
+  EXPECT_DOUBLE_EQ(w.GroundTruthHitRate(),
+                   static_cast<double>(variants) / w.queries.size());
+  EXPECT_GT(variants, 10u) << "overlap 0.5 over 50 queries";
+  EXPECT_LT(variants, 40u);
+}
+
+TEST(WorkloadGenerator, BasesHaveDistinctCanonicalKeys) {
+  WorkloadOptions options;
+  options.num_queries = 40;
+  options.seed = 11;
+  Workload w = Unwrap(GenerateWorkload(options));
+  std::set<std::string> keys;
+  for (const WorkloadQuery& wq : w.queries) {
+    if (wq.is_variant) continue;
+    EXPECT_TRUE(keys.insert(CanonicalQueryKey(wq.query)).second)
+        << "duplicate base canonical key for " << wq.query.ToString();
+  }
+  EXPECT_EQ(keys.size(), w.num_classes);
+}
+
+/// The load-bearing property: every variant the generator labels with a
+/// class is engine-confirmed Σ-equivalent to that class's base under set
+/// semantics — across seeds and all three schema templates.
+TEST(WorkloadGenerator, VariantsAreSigmaEquivalentToTheirBase) {
+  for (const std::string& tmpl : KnownSchemaTemplates()) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      WorkloadOptions options;
+      options.schema_template = tmpl;
+      options.seed = seed;
+      options.num_queries = 20;
+      options.overlap_rate = 0.6;
+      Workload w = Unwrap(GenerateWorkload(options));
+      EquivalenceEngine engine;
+      EquivRequest request(Semantics::kSet, w.schema.catalog.sigma,
+                           w.schema.catalog.schema);
+      for (const WorkloadQuery& wq : w.queries) {
+        if (!wq.is_variant) continue;
+        EquivVerdict v = Unwrap(engine.Equivalent(
+            wq.query, w.queries[wq.class_id].query, request));
+        EXPECT_EQ(v.verdict, Verdict::kEquivalent)
+            << tmpl << " seed " << seed << " transform '" << wq.transform
+            << "': " << wq.query.ToString() << "  vs  "
+            << w.queries[wq.class_id].query.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace sqleq

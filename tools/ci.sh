@@ -10,6 +10,7 @@
 #        tools/ci.sh service-smoke [build-dir]
 #        tools/ci.sh crash-smoke [build-dir]
 #        tools/ci.sh fleet-smoke [build-dir]
+#        tools/ci.sh workload-smoke [build-dir]
 #
 # bench-smoke builds the benchmarks, runs each one for a single pinned
 # iteration (SQLEQ_BENCH_ITERS=1) from the repo root so every binary emits
@@ -29,6 +30,15 @@
 # SIGKILL the daemon (no drain), restart it on the same directory, and
 # assert the verdict comes back from the recovered tier-2 store
 # (memo.disk.recovered > 0 and a memo hit instead of a re-chase).
+#
+# workload-smoke exercises the semantic query cache end to end
+# (docs/workload.md): generate a 200-query corpus at overlap 0.5, boot a
+# 1-shard daemon, and replay the corpus through sqleq-replay with every
+# semantic-tier confirm routed to the daemon, gating on the measured hit
+# rate landing within ±10% of the generator's ground truth
+# (--assert-tolerance 0.10). It also re-runs bench_workload_e2e for one
+# pinned iteration and gates it on check_bench_regress against the
+# committed BENCH_workload_e2e.json baseline.
 #
 # fleet-smoke exercises the sharded fleet end to end (docs/fleet.md): a
 # 3-shard sqleq-fleet with --restart and per-shard durable memos, verdicts
@@ -60,7 +70,7 @@ bench_smoke() {
 
   # The bench binaries overwrite BENCH_<name>.json in place, so stash the
   # committed baselines for the regression-gated suites before running.
-  local regress_suites=(chase_scaling homomorphism)
+  local regress_suites=(chase_scaling homomorphism workload_e2e)
   local baseline_dir
   baseline_dir="$(mktemp -d)"
   local suite
@@ -257,6 +267,71 @@ EOF
   echo "crash-smoke OK"
 }
 
+workload_smoke() {
+  local build_dir="${1:-build}"
+
+  echo "== configure =="
+  cmake -B "${build_dir}" -S .
+
+  echo "== build (daemon + replay driver + bench + regress checker) =="
+  cmake --build "${build_dir}" -j --target sqleqd sqleq_replay \
+      bench_workload_e2e check_bench_regress
+
+  echo "== workload smoke =="
+  local workdir
+  workdir="$(mktemp -d)"
+  local port_file="${workdir}/port"
+  local log="${workdir}/sqleqd.log"
+
+  "${build_dir}/tools/sqleqd" --port 0 --port-file "${port_file}" \
+      > "${log}" 2>&1 &
+  local pid=$!
+
+  local i
+  for i in $(seq 1 100); do
+    [ -s "${port_file}" ] && break
+    sleep 0.05
+  done
+  if [ ! -s "${port_file}" ]; then
+    echo "sqleqd did not report a port:"
+    cat "${log}"
+    exit 1
+  fi
+  local port
+  port="$(cat "${port_file}")"
+  echo "-- sqleqd up on port ${port} (pid ${pid})"
+
+  echo "-- replaying a 200-query corpus (overlap 0.5) through the daemon"
+  "${build_dir}/tools/sqleq-replay" --template warehouse --queries 200 \
+      --overlap 0.5 --seed 1 --port "${port}" --assert-tolerance 0.10 \
+      || { echo "replay hit rate outside tolerance"; cat "${log}"; exit 1; }
+
+  echo "-- draining (SIGTERM)"
+  kill -TERM "${pid}"
+  local rc=0
+  wait "${pid}" || rc=$?
+  if [ "${rc}" -ne 0 ]; then
+    echo "sqleqd exited with rc=${rc}:"
+    cat "${log}"
+    exit 1
+  fi
+
+  echo "-- bench_workload_e2e regression vs committed baseline"
+  if [ -f "BENCH_workload_e2e.json" ]; then
+    cp "BENCH_workload_e2e.json" "${workdir}/BENCH_workload_e2e.json"
+    SQLEQ_BENCH_ITERS=1 "${build_dir}/bench/bench_workload_e2e"
+    "${build_dir}/tools/check_bench_regress" \
+        "BENCH_workload_e2e.json" "${workdir}/BENCH_workload_e2e.json" 1.5
+    # Restore the committed baseline; the smoke run is not a new baseline.
+    cp "${workdir}/BENCH_workload_e2e.json" "BENCH_workload_e2e.json"
+  else
+    echo "-- no committed BENCH_workload_e2e.json, skipping regress gate"
+  fi
+
+  rm -rf "${workdir}"
+  echo "workload-smoke OK"
+}
+
 fleet_smoke() {
   local build_dir="${1:-build}"
 
@@ -441,6 +516,12 @@ fi
 if [ "${1:-}" = "fleet-smoke" ]; then
   shift
   fleet_smoke "$@"
+  exit 0
+fi
+
+if [ "${1:-}" = "workload-smoke" ]; then
+  shift
+  workload_smoke "$@"
   exit 0
 fi
 

@@ -1,0 +1,260 @@
+// sqleq-replay — workload replay driver for the semantic query cache
+// (docs/workload.md). Generates a seed-deterministic CQ corpus over a
+// schema template, replays it through a SemanticCache in generation order
+// (lookup, then admit on miss), and reports the measured hit rate against
+// the generator's ground truth.
+//
+// Two confirm paths:
+//  - in-process (default): the cache's own EquivalenceEngine decides the
+//    semantic-tier confirms;
+//  - fleet (--shards SPEC or --port N): the template catalog is uploaded to
+//    a live sqleqd fleet (relation + dep requests through FleetClient) and
+//    every semantic-tier confirm routes as a `check` request, so warm memos
+//    concentrate on the shard owning each equivalence class's signature.
+//
+// --assert-tolerance T makes the tool its own gate: exit 1 unless
+// |measured - ground truth| <= T. `tools/ci.sh workload-smoke` replays a
+// 200-query corpus at overlap 0.5 against a 1-shard daemon under T = 0.10.
+//
+// Usage:
+//   sqleq-replay [--template warehouse|tpch|job] [--queries N]
+//                [--overlap X] [--seed N]
+//                [--shards SPEC | --port N [--host H]]
+//                [--assert-tolerance X] [--advise]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cache/semantic_cache.h"
+#include "cache/view_advisor.h"
+#include "service/fleet_client.h"
+#include "service/protocol.h"
+#include "service/routing.h"
+#include "util/json.h"
+#include "workload/generator.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--template NAME] [--queries N] [--overlap X] [--seed N]\n"
+               "       [--shards SPEC | --port N [--host H]]\n"
+               "       [--assert-tolerance X] [--advise]\n";
+  return 2;
+}
+
+/// Uploads the template's catalog to every shard: relation name/arity/
+/// set-valuedness plus each dependency of Σ (keys and FKs travel as the
+/// dependencies they compile to, the same contract the shell's CONNECT
+/// uses).
+sqleq::Status UploadCatalog(sqleq::service::FleetClient& client,
+                            const sqleq::workload::SchemaTemplate& tmpl) {
+  for (const sqleq::RelationInfo& info : tmpl.catalog.schema.Relations()) {
+    sqleq::service::RequestSpec req("relation");
+    req.Str("name", info.name)
+        .Int("arity", info.arity)
+        .Bool("set_valued", info.set_valued);
+    SQLEQ_ASSIGN_OR_RETURN(std::string line, sqleq::service::EncodeRequest(req));
+    SQLEQ_RETURN_IF_ERROR(client.Call(line).status());
+  }
+  for (const sqleq::Dependency& dep : tmpl.catalog.sigma) {
+    sqleq::service::RequestSpec req("dep");
+    req.Str("text", dep.IsTgd() ? dep.tgd().ToString() : dep.egd().ToString())
+        .Str("label", dep.label());
+    SQLEQ_ASSIGN_OR_RETURN(std::string line, sqleq::service::EncodeRequest(req));
+    SQLEQ_RETURN_IF_ERROR(client.Call(line).status());
+  }
+  return sqleq::Status::OK();
+}
+
+/// A Confirmer that routes each semantic-tier confirm through the fleet as
+/// a `check` request.
+sqleq::cache::Confirmer FleetConfirmer(sqleq::service::FleetClient* client,
+                                       sqleq::Semantics semantics) {
+  return [client, semantics](const sqleq::ConjunctiveQuery& q1,
+                             const sqleq::ConjunctiveQuery& q2)
+             -> sqleq::Result<sqleq::Verdict> {
+    sqleq::service::RequestSpec req("check");
+    req.Str("q1", q1.ToString())
+        .Str("q2", q2.ToString())
+        .Str("semantics", sqleq::service::SemanticsWireName(semantics));
+    SQLEQ_ASSIGN_OR_RETURN(std::string line, sqleq::service::EncodeRequest(req));
+    SQLEQ_ASSIGN_OR_RETURN(sqleq::JsonValue response, client->Call(line));
+    const sqleq::JsonValue* ok = response.Find("ok");
+    if (ok == nullptr || ok->kind != sqleq::JsonValue::Kind::kBool ||
+        !ok->boolean) {
+      return sqleq::Status::FailedPrecondition("server rejected check request");
+    }
+    const sqleq::JsonValue* verdict = response.Find("verdict");
+    if (verdict != nullptr && verdict->is_string() &&
+        verdict->string == "unknown") {
+      return sqleq::Verdict::kUnknown;
+    }
+    const sqleq::JsonValue* equivalent = response.Find("equivalent");
+    const bool eq = equivalent != nullptr &&
+                    equivalent->kind == sqleq::JsonValue::Kind::kBool &&
+                    equivalent->boolean;
+    return eq ? sqleq::Verdict::kEquivalent : sqleq::Verdict::kNotEquivalent;
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sqleq::workload::WorkloadOptions gen;
+  gen.num_queries = 200;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string shards_spec;
+  double assert_tolerance = -1.0;
+  bool advise = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--template") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      gen.schema_template = v;
+    } else if (arg == "--queries") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      gen.num_queries = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--overlap") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      gen.overlap_rate = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      gen.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      port = std::atoi(v);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      shards_spec = v;
+    } else if (arg == "--assert-tolerance") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      assert_tolerance = std::atof(v);
+    } else if (arg == "--advise") {
+      advise = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return Usage(argv[0]);
+    }
+  }
+  if (port > 0 && !shards_spec.empty()) {
+    std::cerr << "--shards and --port are mutually exclusive\n";
+    return Usage(argv[0]);
+  }
+  if (port > 0) shards_spec = host + ":" + std::to_string(port);
+
+  sqleq::Result<sqleq::workload::Workload> generated =
+      sqleq::workload::GenerateWorkload(gen);
+  if (!generated.ok()) {
+    std::cerr << "generation failed: " << generated.status().ToString() << "\n";
+    return 1;
+  }
+  sqleq::workload::Workload& w = generated.value();
+  std::fprintf(stderr,
+               "generated template=%s queries=%zu classes=%zu "
+               "ground-truth=%.3f\n",
+               w.schema.name.c_str(), w.queries.size(), w.num_classes,
+               w.GroundTruthHitRate());
+
+  sqleq::cache::SemanticCacheOptions cache_options;
+  sqleq::cache::SemanticCache cache(w.schema.catalog.sigma,
+                                    w.schema.catalog.schema, cache_options);
+
+  std::unique_ptr<sqleq::service::FleetClient> client;
+  if (!shards_spec.empty()) {
+    sqleq::service::FleetClientOptions options;
+    sqleq::Result<std::vector<sqleq::service::ShardId>> shards =
+        sqleq::service::ParseFleetSpec(shards_spec);
+    if (!shards.ok()) {
+      std::cerr << "bad shard spec: " << shards.status().ToString() << "\n";
+      return 1;
+    }
+    options.shards = *std::move(shards);
+    auto created = sqleq::service::FleetClient::Create(std::move(options));
+    if (!created.ok()) {
+      std::cerr << "connect failed: " << created.status().ToString() << "\n";
+      return 1;
+    }
+    client = std::move(created).value();
+    if (sqleq::Status s = UploadCatalog(*client, w.schema); !s.ok()) {
+      std::cerr << "catalog upload failed: " << s.ToString() << "\n";
+      return 1;
+    }
+    cache.set_confirmer(FleetConfirmer(client.get(), cache.semantics()));
+    std::fprintf(stderr, "confirming through fleet %s (%zu shards)\n",
+                 shards_spec.c_str(), client->shard_count());
+  }
+
+  for (const sqleq::workload::WorkloadQuery& wq : w.queries) {
+    sqleq::Result<sqleq::cache::SemanticCache::Lookup> hit =
+        cache.Get(wq.query);
+    if (!hit.ok()) {
+      std::cerr << "lookup failed: " << hit.status().ToString() << "\n";
+      return 1;
+    }
+    if (hit->tier == sqleq::cache::SemanticCache::Tier::kMiss) {
+      cache.Admit(wq.query, wq.query.name());
+    }
+  }
+
+  sqleq::cache::SemanticCache::Stats stats = cache.stats();
+  const double measured = stats.HitRate();
+  const double truth = w.GroundTruthHitRate();
+  std::printf(
+      "sqleq-replay: queries=%zu hit_rate=%.3f ground_truth=%.3f exact=%zu "
+      "semantic=%zu misses=%zu confirms=%zu unknown=%zu\n",
+      stats.lookups, measured, truth, stats.exact_hits, stats.semantic_hits,
+      stats.misses, stats.confirms, stats.unknown_confirms);
+
+  if (advise) {
+    std::vector<sqleq::ConjunctiveQuery> queries;
+    queries.reserve(w.queries.size());
+    for (const sqleq::workload::WorkloadQuery& wq : w.queries) {
+      queries.push_back(wq.query);
+    }
+    sqleq::Result<sqleq::cache::ViewAdvice> advice = sqleq::cache::AdviseViews(
+        queries, w.schema.catalog.sigma, w.schema.catalog.schema);
+    if (!advice.ok()) {
+      std::cerr << "advise failed: " << advice.status().ToString() << "\n";
+      return 1;
+    }
+    for (const sqleq::cache::ViewAdvice::Cluster& c : advice->clusters) {
+      if (!c.rewritten) continue;
+      std::printf("advise: members=%zu saving=%.0f rewrite=%s\n",
+                  c.members.size(), c.ProjectedSaving(),
+                  c.rewrite.ToString().c_str());
+    }
+  }
+
+  if (assert_tolerance >= 0.0) {
+    const double delta = measured > truth ? measured - truth : truth - measured;
+    if (delta > assert_tolerance) {
+      std::fprintf(stderr,
+                   "FAIL: |hit_rate - ground_truth| = %.3f exceeds tolerance "
+                   "%.3f\n",
+                   delta, assert_tolerance);
+      return 1;
+    }
+    std::fprintf(stderr, "OK: hit rate within %.3f of ground truth\n",
+                 assert_tolerance);
+  }
+  return 0;
+}
